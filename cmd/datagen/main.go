@@ -1,0 +1,96 @@
+// Command datagen writes synthetic data sets in the relation text codec
+// used by cmd/simq and the examples.
+//
+// Usage:
+//
+//	datagen -kind words  -count 10000 -out words.rel
+//	datagen -kind stocks -count 1067 -length 128 -out stocks.rel
+//
+// The words generator plants near-duplicates (a quarter of the words
+// are 1-2 edits of earlier words) so similarity queries have answers;
+// the stocks generator emits the companion paper's random-walk family,
+// one series per line with values comma-separated in the seq column.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/relation"
+	"repro/internal/seq"
+	"repro/internal/stock"
+)
+
+func main() {
+	kind := flag.String("kind", "words", "data set kind: words | stocks")
+	count := flag.Int("count", 1000, "number of tuples")
+	length := flag.Int("length", 128, "series length (stocks only)")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	var w *os.File = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	var rel *relation.Relation
+	switch *kind {
+	case "words":
+		rel = words(*seed, *count)
+	case "stocks":
+		rel = stocks(*seed, *count, *length)
+	default:
+		fail(fmt.Errorf("unknown kind %q", *kind))
+	}
+	if err := rel.Store(w); err != nil {
+		fail(err)
+	}
+}
+
+func words(seedVal int64, count int) *relation.Relation {
+	a := seq.MustAlphabet("abcdefghij")
+	rng := rand.New(rand.NewSource(seedVal))
+	rel := relation.New("words")
+	var made []string
+	for len(made) < count {
+		var w string
+		if len(made) > 0 && rng.Intn(4) == 0 {
+			w = a.RandomEdits(rng, made[rng.Intn(len(made))], 1+rng.Intn(2))
+		} else {
+			w = a.Random(rng, 4+rng.Intn(11))
+		}
+		if w == "" {
+			continue
+		}
+		made = append(made, w)
+		rel.Insert(w, map[string]string{"n": strconv.Itoa(len(made))})
+	}
+	return rel
+}
+
+func stocks(seedVal int64, count, length int) *relation.Relation {
+	rel := relation.New("stocks")
+	for i, s := range stock.Walks(seedVal, count, length) {
+		parts := make([]string, len(s))
+		for j, v := range s {
+			parts[j] = strconv.FormatFloat(v, 'f', 3, 64)
+		}
+		rel.Insert(strings.Join(parts, ","), map[string]string{"ticker": fmt.Sprintf("S%04d", i)})
+	}
+	return rel
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Spellcheck: the sequence domain at scale — a 20k-word synthetic
+// dictionary indexed four ways, racing range-query strategies and
+// correcting words against a regular pattern.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro"
+	"repro/internal/index"
+	"repro/internal/seq"
+)
+
+func main() {
+	// Build a dictionary with planted near-duplicates.
+	a := seq.MustAlphabet("abcdefghij")
+	rng := rand.New(rand.NewSource(42))
+	var words []string
+	for i := 0; i < 20000; i++ {
+		if i > 0 && rng.Intn(4) == 0 {
+			words = append(words, a.RandomEdits(rng, words[rng.Intn(i)], 1))
+		} else {
+			words = append(words, a.Random(rng, 4+rng.Intn(9)))
+		}
+	}
+
+	entries := make([]index.Entry, len(words))
+	bk := index.NewBKTree()
+	tr := index.NewTrie()
+	qg := index.NewQGramIndex(2)
+	for i, w := range words {
+		entries[i] = index.Entry{ID: i, S: w}
+		bk.Insert(i, w)
+		tr.Insert(i, w)
+		qg.Insert(i, w)
+	}
+
+	query := a.RandomEdits(rng, words[123], 1)
+	fmt.Printf("query %q, radius 1, dictionary %d words\n\n", query, len(words))
+
+	type strat struct {
+		name string
+		run  func() ([]index.Match, index.Stats)
+	}
+	for _, s := range []strat{
+		{"scan  ", func() ([]index.Match, index.Stats) {
+			return index.Scan(entries, query, 1, index.UnitVerifier)
+		}},
+		{"qgram ", func() ([]index.Match, index.Stats) {
+			return qg.Range(query, 1, index.UnitVerifier)
+		}},
+		{"bktree", func() ([]index.Match, index.Stats) { return bk.RangeStats(query, 1) }},
+		{"trie  ", func() ([]index.Match, index.Stats) { return tr.RangeStats(query, 1) }},
+	} {
+		start := time.Now()
+		matches, st := s.run()
+		fmt.Printf("%s %3d matches, %6d verifications, %v\n",
+			s.name, len(matches), st.Verifications, time.Since(start))
+	}
+
+	// Suggestions: the 5 nearest dictionary words.
+	fmt.Printf("\nsuggestions for %q:\n", query)
+	for _, m := range bk.NearestK(query, 5) {
+		fmt.Printf("  %-12s dist=%.0f\n", m.S, m.Dist)
+	}
+
+	// Pattern-constrained correction: the nearest word shaped like
+	// [ab]+c?d (the predicate x ≈ t(e)).
+	calc, err := repro.NewEditCalculator(repro.UnitEdits("abcdefghij"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := repro.CompilePattern("[ab]+c?d")
+	if err != nil {
+		log.Fatal(err)
+	}
+	member, d, ok := repro.NearestMember(calc, query, p, 20)
+	if !ok {
+		log.Fatal("no member reachable")
+	}
+	fmt.Printf("\nnearest member of [ab]+c?d to %q: %q at distance %.0f\n", query, member, d)
+}

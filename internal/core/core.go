@@ -1,0 +1,201 @@
+// Package core is the domain-independent heart of the PODS'95
+// similarity-query framework. A Domain packages the three ingredients
+// the paper's model needs:
+//
+//   - objects (opaque values with a canonical Key),
+//   - a base distance D0 between objects, and
+//   - cost-weighted one-step transformations (the rule language T).
+//
+// On top of a Domain, Evaluator computes the framework's similarity
+// distance — the companion paper's Equation 10, which the PODS paper
+// states in its general form:
+//
+//	D(x, y) = min( D0(x, y),
+//	               min_T cost(T) + D(T(x), y),
+//	               min_T cost(T) + D(x, T(y)),
+//	               min_{T1,T2} cost(T1) + cost(T2) + D(T1(x), T2(y)) )
+//
+// i.e. the cheapest way to transform either or both objects until the
+// base distance (plus the transformation costs spent) is minimal. The
+// evaluator runs budget-bounded uniform-cost search over pairs of
+// objects, so it inherits the paper's decidability regime: strictly
+// positive costs (or finitely many zero-cost states) plus a budget.
+//
+// Two domains ship with the repository: the sequence domain over
+// rewrite rule sets (internal/rewrite) and the time-series domain over
+// safe spectral transformations (internal/tsdb).
+package core
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Object is any domain value.
+type Object interface{}
+
+// Move is one applicable transformation step: the named transformation,
+// its cost, and the resulting object.
+type Move struct {
+	Name   string
+	Cost   float64
+	Result Object
+}
+
+// Domain packages a pattern-free instantiation of the framework: keys,
+// base distance and the transformation language.
+type Domain struct {
+	// Name identifies the domain in error messages.
+	Name string
+	// Key returns a canonical identity for memoisation; objects with
+	// equal keys are the same object.
+	Key func(Object) string
+	// Base is the underlying distance D0 (Euclidean, discrete 0/∞, ...).
+	Base func(a, b Object) (float64, error)
+	// Successors enumerates every one-step transformation of an object.
+	Successors func(Object) ([]Move, error)
+}
+
+// ErrStateLimit is returned when the pair search exceeds its state cap.
+var ErrStateLimit = errors.New("core: similarity search exceeded state limit")
+
+// DefaultMaxStates caps the number of object pairs settled per query.
+const DefaultMaxStates = 1 << 18
+
+// Evaluator computes the framework's similarity distance over one
+// domain. Safe for concurrent use.
+type Evaluator struct {
+	dom       *Domain
+	maxStates int
+}
+
+// NewEvaluator validates the domain and returns an evaluator.
+func NewEvaluator(dom *Domain) (*Evaluator, error) {
+	if dom == nil || dom.Key == nil || dom.Base == nil || dom.Successors == nil {
+		return nil, fmt.Errorf("core: domain requires Key, Base and Successors")
+	}
+	return &Evaluator{dom: dom, maxStates: DefaultMaxStates}, nil
+}
+
+// SetMaxStates overrides the search state cap (n <= 0 restores the
+// default).
+func (e *Evaluator) SetMaxStates(n int) {
+	if n <= 0 {
+		n = DefaultMaxStates
+	}
+	e.maxStates = n
+}
+
+// pairState is a node of the two-sided search.
+type pairState struct {
+	x, y Object
+	g    float64 // transformation cost spent so far
+}
+
+type pairHeap []pairState
+
+func (h pairHeap) Len() int            { return len(h) }
+func (h pairHeap) Less(i, j int) bool  { return h[i].g < h[j].g }
+func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pairHeap) Push(v interface{}) { *h = append(*h, v.(pairState)) }
+func (h *pairHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// Distance returns the similarity distance between x and y if it is at
+// most budget (ok=false otherwise). Transformation spending is capped
+// by the budget: the result is the minimum over reachable pairs of
+// spent cost plus base distance.
+func (e *Evaluator) Distance(x, y Object, budget float64) (dist float64, ok bool, err error) {
+	if budget < 0 {
+		return 0, false, nil
+	}
+	best := math.Inf(1)
+	dists := map[[2]string]float64{}
+	key := func(a, b Object) [2]string { return [2]string{e.dom.Key(a), e.dom.Key(b)} }
+	pq := &pairHeap{{x: x, y: y, g: 0}}
+	dists[key(x, y)] = 0
+	settled := 0
+	for pq.Len() > 0 {
+		st := heap.Pop(pq).(pairState)
+		k := key(st.x, st.y)
+		if d, seen := dists[k]; seen && st.g > d {
+			continue // stale entry
+		}
+		// Once the cheapest unexplored transformation cost alone
+		// reaches the current best total, no improvement is possible.
+		if st.g >= best {
+			break
+		}
+		settled++
+		if settled > e.maxStates {
+			return 0, false, fmt.Errorf("%w (limit %d)", ErrStateLimit, e.maxStates)
+		}
+		base, err := e.dom.Base(st.x, st.y)
+		if err != nil {
+			return 0, false, err
+		}
+		if total := st.g + base; total < best {
+			best = total
+		}
+		expand := func(nx, ny Object, cost float64) {
+			g := st.g + cost
+			if g > budget || g >= best {
+				return
+			}
+			nk := key(nx, ny)
+			if prev, seen := dists[nk]; seen && prev <= g {
+				return
+			}
+			dists[nk] = g
+			heap.Push(pq, pairState{x: nx, y: ny, g: g})
+		}
+		xs, err := e.dom.Successors(st.x)
+		if err != nil {
+			return 0, false, err
+		}
+		for _, m := range xs {
+			expand(m.Result, st.y, m.Cost)
+		}
+		ys, err := e.dom.Successors(st.y)
+		if err != nil {
+			return 0, false, err
+		}
+		for _, m := range ys {
+			expand(st.x, m.Result, m.Cost)
+		}
+	}
+	if best <= budget {
+		return best, true, nil
+	}
+	return 0, false, nil
+}
+
+// Within reports whether the similarity distance is at most budget.
+func (e *Evaluator) Within(x, y Object, budget float64) (bool, error) {
+	_, ok, err := e.Distance(x, y, budget)
+	return ok, err
+}
+
+// Similar filters a set of objects, returning the indexes of those
+// within budget of the query — the framework's range query in its
+// domain-independent form.
+func (e *Evaluator) Similar(query Object, objects []Object, budget float64) ([]int, error) {
+	var out []int
+	for i, o := range objects {
+		ok, err := e.Within(o, query, budget)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/rewrite"
+	"repro/internal/stock"
+	"repro/internal/transform"
+	"repro/internal/tsdb"
+)
+
+func seqEval(t *testing.T, rs *rewrite.RuleSet) *Evaluator {
+	t.Helper()
+	dom, err := SequenceDomain(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewEvaluator(dom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func TestNewEvaluatorValidation(t *testing.T) {
+	if _, err := NewEvaluator(nil); err == nil {
+		t.Error("nil domain accepted")
+	}
+	if _, err := NewEvaluator(&Domain{}); err == nil {
+		t.Error("empty domain accepted")
+	}
+}
+
+func TestSequenceIdentity(t *testing.T) {
+	ev := seqEval(t, rewrite.UnitEdits("ab"))
+	d, ok, err := ev.Distance("ab", "ab", 0)
+	if err != nil || !ok || d != 0 {
+		t.Fatalf("Distance(x,x) = %g,%v,%v", d, ok, err)
+	}
+}
+
+// TestTwoSidedMatchesOneSidedSymmetric: for symmetric rule sets the
+// two-sided distance equals the one-sided transformation distance.
+func TestTwoSidedMatchesOneSidedSymmetric(t *testing.T) {
+	rs := rewrite.UnitEdits("ab")
+	ev := seqEval(t, rs)
+	eng, err := transform.NewEngine(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	alpha := []byte("ab")
+	randStr := func(n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alpha[rng.Intn(2)]
+		}
+		return string(b)
+	}
+	for trial := 0; trial < 40; trial++ {
+		x, y := randStr(rng.Intn(4)), randStr(rng.Intn(4))
+		d1, ok1, err := ev.Distance(x, y, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, ok2, err := eng.Distance(x, y, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok1 != ok2 || (ok1 && d1 != d2) {
+			t.Fatalf("(%q,%q): two-sided %g,%v vs one-sided %g,%v", x, y, d1, ok1, d2, ok2)
+		}
+	}
+}
+
+// TestTwoSidedBeatsOneSided: with deletion-only rules, "ab" and "ba"
+// meet at "a" (or "b") for cost 2 even though neither reduces to the
+// other.
+func TestTwoSidedBeatsOneSided(t *testing.T) {
+	rs := rewrite.MustRuleSet("del", []rewrite.Rule{
+		rewrite.Delete('a', 1), rewrite.Delete('b', 1),
+	})
+	ev := seqEval(t, rs)
+	d, ok, err := ev.Distance("ab", "ba", 10)
+	if err != nil || !ok {
+		t.Fatalf("Distance: %v, ok=%v", err, ok)
+	}
+	if d != 2 {
+		t.Errorf("two-sided distance = %g, want 2 (meet at a common substring)", d)
+	}
+	// One-sided: unreachable.
+	eng, err := transform.NewEngine(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := eng.Within("ab", "ba", 10); ok {
+		t.Error("one-sided reported reachable")
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	ev := seqEval(t, rewrite.UnitEdits("ab"))
+	if _, ok, _ := ev.Distance("aaa", "bbb", 2); ok {
+		t.Error("distance 3 within budget 2")
+	}
+	if _, ok, _ := ev.Distance("aaa", "bbb", 3); !ok {
+		t.Error("distance 3 not within budget 3")
+	}
+	if _, ok, _ := ev.Distance("a", "a", -1); ok {
+		t.Error("negative budget accepted")
+	}
+}
+
+func TestSequenceDomainRejectsUndecidable(t *testing.T) {
+	rs := rewrite.MustRuleSet("grow", []rewrite.Rule{{LHS: "a", RHS: "aa", Cost: 0}})
+	if _, err := SequenceDomain(rs); err == nil {
+		t.Fatal("zero-cost growth accepted")
+	}
+}
+
+func TestStateLimit(t *testing.T) {
+	ev := seqEval(t, rewrite.UnitEdits("abcdefgh"))
+	ev.SetMaxStates(5)
+	_, _, err := ev.Distance("aaaaaa", "hhhhhh", 6)
+	if !errors.Is(err, ErrStateLimit) {
+		t.Fatalf("err = %v, want ErrStateLimit", err)
+	}
+	ev.SetMaxStates(0) // restore default
+	if _, ok, err := ev.Distance("a", "b", 1); err != nil || !ok {
+		t.Fatalf("after restore: %v, ok=%v", err, ok)
+	}
+}
+
+func TestSimilar(t *testing.T) {
+	ev := seqEval(t, rewrite.UnitEdits("abc"))
+	objs := []Object{"abc", "abd", "xyz", "ab"}
+	got, err := ev.Similar("abc", objs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "abd" has 'd' outside the alphabet: substitution impossible; only
+	// exact and one-deletion matches are within 1.
+	want := []int{0, 3}
+	if len(got) != len(want) || got[0] != 0 || got[1] != 3 {
+		t.Errorf("Similar = %v, want %v", got, want)
+	}
+}
+
+// TestTimeSeriesDomain realises Example 2.2: a reversed, smoothed
+// series is similar to its partner once the catalog may apply reverse
+// and moving average, and dissimilar without budget.
+func TestTimeSeriesDomain(t *testing.T) {
+	const n = 64
+	rng := rand.New(rand.NewSource(2))
+	base := stock.Walk(rng, n)
+	norm, _, _, err := tsdb.NormalForm(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opposite := tsdb.Reverse(norm)
+
+	mavg, err := tsdb.MovingAvg(n, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := []TSTransformation{
+		{T: tsdb.ReverseT(n), Cost: 1},
+		{T: mavg, Cost: 1},
+	}
+	dom, err := TimeSeriesDomain(n, catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewEvaluator(dom)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rawDist, err := tsdb.Euclid(norm, opposite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Applying reverse (cost 1) to one side makes them identical:
+	// similarity distance = 1 < raw Euclidean distance.
+	d, ok, err := ev.Distance(norm, opposite, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("reverse-related series not similar within budget 2")
+	}
+	if math.Abs(d-1) > 1e-6 {
+		t.Errorf("similarity distance = %g, want 1 (one reverse)", d)
+	}
+	if d >= rawDist {
+		t.Errorf("transformation did not pay off: %g vs raw %g", d, rawDist)
+	}
+}
+
+func TestTimeSeriesDomainValidation(t *testing.T) {
+	if _, err := TimeSeriesDomain(0, nil); err == nil {
+		t.Error("n=0 accepted")
+	}
+	mavg, _ := tsdb.MovingAvg(8, 2)
+	if _, err := TimeSeriesDomain(8, []TSTransformation{{T: mavg, Cost: -1}}); err == nil {
+		t.Error("negative cost accepted")
+	}
+	dom, err := TimeSeriesDomain(8, []TSTransformation{{T: mavg, Cost: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, _ := NewEvaluator(dom)
+	if _, _, err := ev.Distance([]float64{1, 2}, []float64{1, 2}, 1); err == nil {
+		t.Error("wrong-length series accepted")
+	}
+}
+
+func TestZeroCostCatalogTerminates(t *testing.T) {
+	// A free involution (reverse twice = identity): the memoised search
+	// must terminate despite the zero-cost cycle.
+	const n = 16
+	dom, err := TimeSeriesDomain(n, []TSTransformation{{T: tsdb.ReverseT(n), Cost: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewEvaluator(dom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := stock.Walk(rand.New(rand.NewSource(3)), n)
+	y := tsdb.Reverse(x)
+	d, ok, err := ev.Distance(x, y, 1)
+	if err != nil || !ok || d > 1e-9 {
+		t.Fatalf("free reverse: %g,%v,%v; want ~0,true,nil", d, ok, err)
+	}
+}

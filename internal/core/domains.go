@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/rewrite"
+	"repro/internal/tsdb"
+)
+
+// SequenceDomain instantiates the framework for strings under a rewrite
+// rule set: the base distance is discrete (0 when equal, +∞ otherwise)
+// so the evaluator's two-sided search computes "reduce both objects to
+// a common one" — the PODS paper's general reduction semantics. The
+// rule set must lie in the decidable regime (no zero-cost growth).
+func SequenceDomain(rs *rewrite.RuleSet) (*Domain, error) {
+	if rs.ZeroCostGrowth() {
+		return nil, fmt.Errorf("core: rule set %q has zero-cost length-increasing rules", rs.Name())
+	}
+	return &Domain{
+		Name: "sequence/" + rs.Name(),
+		Key:  func(o Object) string { return o.(string) },
+		Base: func(a, b Object) (float64, error) {
+			if a.(string) == b.(string) {
+				return 0, nil
+			}
+			return math.Inf(1), nil
+		},
+		Successors: func(o Object) ([]Move, error) {
+			s := o.(string)
+			var out []Move
+			for _, r := range rs.Rules() {
+				for _, app := range r.Applications(s) {
+					out = append(out, Move{Name: r.String(), Cost: r.Cost, Result: app.Result})
+				}
+			}
+			return out, nil
+		},
+	}, nil
+}
+
+// TSTransformation is a catalog entry of the time-series domain: a
+// named safe spectral transformation with a cost, as in the companion
+// paper's Section 2 examples (each operation has a cost; the total is
+// bounded by the query budget).
+type TSTransformation struct {
+	T    *tsdb.Transform
+	Cost float64
+}
+
+// TimeSeriesDomain instantiates the framework for real series of length
+// n: the base distance is Euclidean, transformations are the supplied
+// catalog (moving averages, reversal, ...). Objects are []float64 of
+// length n.
+func TimeSeriesDomain(n int, catalog []TSTransformation) (*Domain, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: series length must be positive")
+	}
+	for _, c := range catalog {
+		if c.Cost < 0 {
+			return nil, fmt.Errorf("core: transformation %q has negative cost", c.T.Name)
+		}
+	}
+	return &Domain{
+		Name: "timeseries",
+		Key: func(o Object) string {
+			s := o.([]float64)
+			var b strings.Builder
+			for _, v := range s {
+				// Round to 1e-9 so float jitter from FFT round trips
+				// does not split states.
+				b.WriteString(strconv.FormatFloat(math.Round(v*1e9)/1e9, 'g', -1, 64))
+				b.WriteByte(',')
+			}
+			return b.String()
+		},
+		Base: func(a, b Object) (float64, error) {
+			return tsdb.Euclid(a.([]float64), b.([]float64))
+		},
+		Successors: func(o Object) ([]Move, error) {
+			s := o.([]float64)
+			if len(s) != n {
+				return nil, fmt.Errorf("core: series length %d, want %d", len(s), n)
+			}
+			out := make([]Move, 0, len(catalog))
+			for _, c := range catalog {
+				r, err := c.T.ApplySeries(s)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, Move{Name: c.T.Name, Cost: c.Cost, Result: r})
+			}
+			return out, nil
+		},
+	}, nil
+}

@@ -1,0 +1,225 @@
+// Package dft implements the discrete Fourier transform substrate used
+// by the time-series instantiation of the framework: a radix-2
+// iterative FFT with a naive O(n²) DFT fallback for non-power-of-two
+// lengths, the inverse transform, circular convolution, and the energy
+// and distance identities (Parseval) that make frequency-domain
+// indexing sound.
+//
+// The normalisation follows the companion implementation paper (and
+// [AFS93]): both the forward and inverse transforms carry 1/√n, so the
+// transform is unitary and Euclidean distances are preserved exactly.
+package dft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Transform returns the DFT of x with unitary normalisation:
+//
+//	X_f = (1/√n) Σ_t x_t e^{-j2πtf/n}.
+//
+// The input is not modified.
+func Transform(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	copy(out, x)
+	if n == 0 {
+		return out
+	}
+	if n&(n-1) == 0 {
+		fft(out, false)
+	} else {
+		out = naive(x, false)
+	}
+	scale := complex(1/math.Sqrt(float64(n)), 0)
+	for i := range out {
+		out[i] *= scale
+	}
+	return out
+}
+
+// Inverse returns the inverse DFT with the matching normalisation:
+//
+//	x_t = (1/√n) Σ_f X_f e^{+j2πtf/n}.
+func Inverse(X []complex128) []complex128 {
+	n := len(X)
+	out := make([]complex128, n)
+	copy(out, X)
+	if n == 0 {
+		return out
+	}
+	if n&(n-1) == 0 {
+		fft(out, true)
+	} else {
+		out = naive(X, true)
+	}
+	scale := complex(1/math.Sqrt(float64(n)), 0)
+	for i := range out {
+		out[i] *= scale
+	}
+	return out
+}
+
+// TransformReal converts a real series and transforms it.
+func TransformReal(x []float64) []complex128 {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	return Transform(c)
+}
+
+// fft runs an in-place iterative radix-2 Cooley–Tukey transform
+// (without normalisation). inverse flips the twiddle sign.
+func fft(a []complex128, inverse bool) {
+	n := len(a)
+	// Bit reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := a[i+j]
+				v := a[i+j+length/2] * w
+				a[i+j] = u + v
+				a[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// naive is the O(n²) fallback for non-power-of-two lengths.
+func naive(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for f := 0; f < n; f++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			ang := sign * 2 * math.Pi * float64(t) * float64(f) / float64(n)
+			sum += x[t] * cmplx.Exp(complex(0, ang))
+		}
+		out[f] = sum
+	}
+	return out
+}
+
+// Energy returns Σ|x_t|² (Equation 3 of the companion paper).
+func Energy(x []complex128) float64 {
+	var e float64
+	for _, v := range x {
+		e += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return e
+}
+
+// EnergyReal is Energy for real series.
+func EnergyReal(x []float64) float64 {
+	var e float64
+	for _, v := range x {
+		e += v * v
+	}
+	return e
+}
+
+// Dist returns the Euclidean distance between two complex vectors. By
+// Parseval's relation it is identical in the time and frequency domains.
+func Dist(x, y []complex128) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("dft: length mismatch %d vs %d", len(x), len(y))
+	}
+	var s float64
+	for i := range x {
+		d := x[i] - y[i]
+		s += real(d)*real(d) + imag(d)*imag(d)
+	}
+	return math.Sqrt(s), nil
+}
+
+// DistReal returns the Euclidean distance between two real series.
+func DistReal(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("dft: length mismatch %d vs %d", len(x), len(y))
+	}
+	var s float64
+	for i := range x {
+		d := x[i] - y[i]
+		s += d * d
+	}
+	return math.Sqrt(s), nil
+}
+
+// Convolve returns the circular convolution of x and y
+// (Equation 4 of the companion paper), computed directly in O(n²).
+func Convolve(x, y []complex128) ([]complex128, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("dft: length mismatch %d vs %d", len(x), len(y))
+	}
+	n := len(x)
+	out := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		var sum complex128
+		for k := 0; k < n; k++ {
+			j := i - k
+			if j < 0 {
+				j += n
+			}
+			sum += x[k] * y[j]
+		}
+		out[i] = sum
+	}
+	return out, nil
+}
+
+// ConvolveFFT returns the circular convolution via the
+// convolution-multiplication property conv(x,y) ⇔ √n · X*Y (the √n
+// restores the unitary normalisation).
+func ConvolveFFT(x, y []complex128) ([]complex128, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("dft: length mismatch %d vs %d", len(x), len(y))
+	}
+	n := len(x)
+	if n == 0 {
+		return nil, nil
+	}
+	X := Transform(x)
+	Y := Transform(y)
+	Z := make([]complex128, n)
+	scale := complex(math.Sqrt(float64(n)), 0)
+	for i := range Z {
+		Z[i] = X[i] * Y[i] * scale
+	}
+	return Inverse(Z), nil
+}
+
+// Mul returns the element-wise product of two equal-length vectors.
+func Mul(x, y []complex128) ([]complex128, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("dft: length mismatch %d vs %d", len(x), len(y))
+	}
+	out := make([]complex128, len(x))
+	for i := range x {
+		out[i] = x[i] * y[i]
+	}
+	return out, nil
+}

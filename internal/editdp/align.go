@@ -1,0 +1,111 @@
+package editdp
+
+import "fmt"
+
+// OpKind identifies the operation of one alignment step.
+type OpKind int
+
+// Alignment operation kinds.
+const (
+	OpMatch OpKind = iota // symbols equal, no cost
+	OpSub                 // rewrite X-symbol into Y-symbol
+	OpDel                 // delete X-symbol
+	OpIns                 // insert Y-symbol
+)
+
+// String returns the kind's mnemonic.
+func (k OpKind) String() string {
+	switch k {
+	case OpMatch:
+		return "match"
+	case OpSub:
+		return "sub"
+	case OpDel:
+		return "del"
+	case OpIns:
+		return "ins"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one step of an optimal edit script, positions referring to the
+// original strings.
+type Op struct {
+	Kind OpKind
+	I    int  // position in x (for match/sub/del)
+	J    int  // position in y (for match/sub/ins)
+	From byte // x symbol involved (match/sub/del)
+	To   byte // y symbol involved (match/sub/ins)
+	Cost float64
+}
+
+// String renders the op for explanations and the CLI.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpMatch:
+		return fmt.Sprintf("match %q @%d,%d", o.From, o.I, o.J)
+	case OpSub:
+		return fmt.Sprintf("sub %q->%q @%d,%d cost %g", o.From, o.To, o.I, o.J, o.Cost)
+	case OpDel:
+		return fmt.Sprintf("del %q @%d cost %g", o.From, o.I, o.Cost)
+	case OpIns:
+		return fmt.Sprintf("ins %q @%d cost %g", o.To, o.J, o.Cost)
+	default:
+		return "?"
+	}
+}
+
+// Alignment returns an optimal edit script transforming x into y and its
+// total (closed) cost. The script witnesses the distance: summing the op
+// costs reproduces Distance(x, y) exactly.
+func (c *Calculator) Alignment(x, y string) ([]Op, float64) {
+	n, m := len(x), len(y)
+	// Full matrix for traceback.
+	d := make([][]float64, n+1)
+	for i := range d {
+		d[i] = make([]float64, m+1)
+	}
+	for j := 1; j <= m; j++ {
+		d[0][j] = d[0][j-1] + c.ins[y[j-1]]
+	}
+	for i := 1; i <= n; i++ {
+		d[i][0] = d[i-1][0] + c.del[x[i-1]]
+		for j := 1; j <= m; j++ {
+			best := d[i-1][j-1] + c.SubCost(x[i-1], y[j-1])
+			if v := d[i-1][j] + c.del[x[i-1]]; v < best {
+				best = v
+			}
+			if v := d[i][j-1] + c.ins[y[j-1]]; v < best {
+				best = v
+			}
+			d[i][j] = best
+		}
+	}
+	// Traceback.
+	var rev []Op
+	i, j := n, m
+	for i > 0 || j > 0 {
+		switch {
+		case i > 0 && j > 0 && d[i][j] == d[i-1][j-1]+c.SubCost(x[i-1], y[j-1]):
+			kind := OpSub
+			cost := c.SubCost(x[i-1], y[j-1])
+			if x[i-1] == y[j-1] {
+				kind = OpMatch
+				cost = 0
+			}
+			rev = append(rev, Op{Kind: kind, I: i - 1, J: j - 1, From: x[i-1], To: y[j-1], Cost: cost})
+			i, j = i-1, j-1
+		case i > 0 && d[i][j] == d[i-1][j]+c.del[x[i-1]]:
+			rev = append(rev, Op{Kind: OpDel, I: i - 1, J: j, From: x[i-1], Cost: c.del[x[i-1]]})
+			i--
+		default:
+			rev = append(rev, Op{Kind: OpIns, I: i, J: j - 1, To: y[j-1], Cost: c.ins[y[j-1]]})
+			j--
+		}
+	}
+	for a, b := 0, len(rev)-1; a < b; a, b = a+1, b-1 {
+		rev[a], rev[b] = rev[b], rev[a]
+	}
+	return rev, d[n][m]
+}

@@ -1,0 +1,359 @@
+package editdp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rewrite"
+	"repro/internal/transform"
+)
+
+func mustCalc(t *testing.T, rs *rewrite.RuleSet) *Calculator {
+	t.Helper()
+	c, err := New(rs)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestDistanceUnit(t *testing.T) {
+	c := mustCalc(t, rewrite.UnitEdits("abcdefgh"))
+	for _, tc := range []struct {
+		x, y string
+		want float64
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "a", 1},
+		{"abc", "abc", 0},
+		{"abc", "abd", 1},
+		{"abc", "acb", 2},
+		{"kitten-ish", "sitting-sh", 0}, // symbols outside rules: see below
+	} {
+		if tc.x == "kitten-ish" {
+			continue // handled in TestUnreachableSymbols
+		}
+		if got := c.Distance(tc.x, tc.y); got != tc.want {
+			t.Errorf("Distance(%q,%q) = %g, want %g", tc.x, tc.y, got, tc.want)
+		}
+	}
+}
+
+func TestKittenSitting(t *testing.T) {
+	c := mustCalc(t, rewrite.UnitEdits("abcdefghijklmnopqrstuvwxyz"))
+	if got := c.Distance("kitten", "sitting"); got != 3 {
+		t.Errorf("Distance(kitten,sitting) = %g, want 3", got)
+	}
+	if got := Levenshtein("kitten", "sitting"); got != 3 {
+		t.Errorf("Levenshtein(kitten,sitting) = %d, want 3", got)
+	}
+}
+
+func TestUnreachableSymbols(t *testing.T) {
+	// No rule mentions 'z': transforming to or from it is impossible.
+	c := mustCalc(t, rewrite.UnitEdits("ab"))
+	if got := c.Distance("z", "a"); !math.IsInf(got, 1) {
+		t.Errorf("Distance(z,a) = %g, want +Inf", got)
+	}
+	if got := c.Distance("a", "z"); !math.IsInf(got, 1) {
+		t.Errorf("Distance(a,z) = %g, want +Inf", got)
+	}
+	// Matching symbols cost nothing even outside the rules.
+	if got := c.Distance("za", "zb"); got != 1 {
+		t.Errorf("Distance(za,zb) = %g, want 1", got)
+	}
+}
+
+func TestSubstitutionClosure(t *testing.T) {
+	// a->c : 1, c->b : 1, a->b : 5. Closed sub(a,b) must be 2.
+	rs := rewrite.MustRuleSet("chain", []rewrite.Rule{
+		rewrite.Subst('a', 'c', 1),
+		rewrite.Subst('c', 'b', 1),
+		rewrite.Subst('a', 'b', 5),
+	})
+	c := mustCalc(t, rs)
+	if got := c.SubCost('a', 'b'); got != 2 {
+		t.Errorf("closed SubCost(a,b) = %g, want 2", got)
+	}
+	if got := c.Distance("a", "b"); got != 2 {
+		t.Errorf("Distance(a,b) = %g, want 2 via chain", got)
+	}
+}
+
+func TestInsertionClosure(t *testing.T) {
+	// Only 'c' can be inserted (cost 1) but c->b costs 1: effective
+	// insertion of b is 2.
+	rs := rewrite.MustRuleSet("insclose", []rewrite.Rule{
+		rewrite.Insert('c', 1),
+		rewrite.Subst('c', 'b', 1),
+	})
+	c := mustCalc(t, rs)
+	if got := c.InsCost('b'); got != 2 {
+		t.Errorf("closed InsCost(b) = %g, want 2", got)
+	}
+	if got := c.Distance("", "b"); got != 2 {
+		t.Errorf("Distance(\"\",\"b\") = %g, want 2", got)
+	}
+}
+
+func TestDeletionClosure(t *testing.T) {
+	// Only 'c' can be deleted; b->c costs 1: effective deletion of b is 2.
+	rs := rewrite.MustRuleSet("delclose", []rewrite.Rule{
+		rewrite.Delete('c', 1),
+		rewrite.Subst('b', 'c', 1),
+	})
+	c := mustCalc(t, rs)
+	if got := c.DelCost('b'); got != 2 {
+		t.Errorf("closed DelCost(b) = %g, want 2", got)
+	}
+	if got := c.Distance("b", ""); got != 2 {
+		t.Errorf("Distance(\"b\",\"\") = %g, want 2", got)
+	}
+}
+
+func TestNewRejectsNonEditLike(t *testing.T) {
+	rs := rewrite.MustRuleSet("swap", []rewrite.Rule{rewrite.Swap('a', 'b', 1)})
+	if _, err := New(rs); err == nil {
+		t.Fatal("New accepted a non-edit-like rule set")
+	}
+}
+
+// TestAgreesWithGeneralEngine is the F1 equivalence claim: on edit-like
+// rule sets the DP computes exactly the general transformation distance.
+func TestAgreesWithGeneralEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	// Deliberately skewed, asymmetric, triangle-violating costs.
+	rs := rewrite.MustRuleSet("weird", []rewrite.Rule{
+		rewrite.Insert('a', 1.5), rewrite.Insert('b', 0.7),
+		rewrite.Delete('a', 0.9), rewrite.Delete('b', 1.1),
+		rewrite.Subst('a', 'b', 3), // worse than a->c->b would be if c existed
+		rewrite.Subst('b', 'a', 0.4),
+	})
+	c := mustCalc(t, rs)
+	eng, err := transform.NewEngine(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := []byte("ab")
+	randStr := func(n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alpha[rng.Intn(2)]
+		}
+		return string(b)
+	}
+	const budget = 4.0
+	for trial := 0; trial < 80; trial++ {
+		x, y := randStr(rng.Intn(5)), randStr(rng.Intn(5))
+		want, okWant, err := eng.Distance(x, y, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := c.Distance(x, y)
+		if okWant {
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("DP(%q,%q) = %g, engine = %g", x, y, got, want)
+			}
+		} else if got <= budget {
+			t.Fatalf("DP(%q,%q) = %g <= budget, engine found nothing", x, y, got)
+		}
+	}
+}
+
+func TestWithinMatchesDistance(t *testing.T) {
+	c := mustCalc(t, rewrite.UnitEdits("abc"))
+	rng := rand.New(rand.NewSource(5))
+	alpha := []byte("abc")
+	randStr := func(n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alpha[rng.Intn(3)]
+		}
+		return string(b)
+	}
+	for trial := 0; trial < 300; trial++ {
+		x, y := randStr(rng.Intn(12)), randStr(rng.Intn(12))
+		full := c.Distance(x, y)
+		for _, k := range []float64{0, 1, 2, 3, 5, 20} {
+			got, ok := c.Within(x, y, k)
+			if wantOK := full <= k; ok != wantOK {
+				t.Fatalf("Within(%q,%q,%g) ok=%v, full=%g", x, y, k, ok, full)
+			} else if ok && got != full {
+				t.Fatalf("Within(%q,%q,%g) = %g, full=%g", x, y, k, got, full)
+			}
+		}
+	}
+}
+
+func TestWithinFreeInsertions(t *testing.T) {
+	// Zero-cost insertions leave the band unbounded; Within must still
+	// terminate and agree with Distance.
+	rs := rewrite.MustRuleSet("freeins", []rewrite.Rule{
+		rewrite.Insert('a', 0), rewrite.Delete('a', 1), rewrite.Subst('a', 'b', 1), rewrite.Insert('b', 0),
+	})
+	c := mustCalc(t, rs)
+	d, ok := c.Within("", "aaab", 0.5)
+	if !ok || d != 0 {
+		t.Errorf("free insertion Within = %g,%v; want 0,true", d, ok)
+	}
+}
+
+func TestLevenshteinBasics(t *testing.T) {
+	for _, tc := range []struct {
+		x, y string
+		want int
+	}{
+		{"", "", 0},
+		{"", "abc", 3},
+		{"abc", "", 3},
+		{"abc", "abc", 0},
+		{"flaw", "lawn", 2},
+		{"gumbo", "gambol", 2},
+		{"saturday", "sunday", 3},
+	} {
+		if got := Levenshtein(tc.x, tc.y); got != tc.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", tc.x, tc.y, got, tc.want)
+		}
+		if got := Levenshtein(tc.y, tc.x); got != tc.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d (symmetry)", tc.y, tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestLevenshteinMatchesDP(t *testing.T) {
+	c := mustCalc(t, rewrite.UnitEdits("abcd"))
+	rng := rand.New(rand.NewSource(21))
+	alpha := []byte("abcd")
+	f := func(n1, n2 uint8) bool {
+		x := make([]byte, n1%16)
+		y := make([]byte, n2%16)
+		for i := range x {
+			x[i] = alpha[rng.Intn(4)]
+		}
+		for i := range y {
+			y[i] = alpha[rng.Intn(4)]
+		}
+		return float64(Levenshtein(string(x), string(y))) == c.Distance(string(x), string(y))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinWithin(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	alpha := []byte("abcd")
+	randStr := func(n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alpha[rng.Intn(4)]
+		}
+		return string(b)
+	}
+	for trial := 0; trial < 500; trial++ {
+		x, y := randStr(rng.Intn(20)), randStr(rng.Intn(20))
+		full := Levenshtein(x, y)
+		for k := 0; k <= 6; k++ {
+			got, ok := LevenshteinWithin(x, y, k)
+			if wantOK := full <= k; ok != wantOK {
+				t.Fatalf("LevenshteinWithin(%q,%q,%d) ok=%v, full=%d", x, y, k, ok, full)
+			} else if ok && got != full {
+				t.Fatalf("LevenshteinWithin(%q,%q,%d) = %d, full=%d", x, y, k, got, full)
+			}
+		}
+	}
+}
+
+func TestLevenshteinTriangle(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	alpha := []byte("ab")
+	randStr := func(n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alpha[rng.Intn(2)]
+		}
+		return string(b)
+	}
+	f := func(n1, n2, n3 uint8) bool {
+		x, y, z := randStr(int(n1%12)), randStr(int(n2%12)), randStr(int(n3%12))
+		return Levenshtein(x, z) <= Levenshtein(x, y)+Levenshtein(y, z)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	c := mustCalc(t, rewrite.UnitEdits("abcdefghijklmnopqrstuvwxyz"))
+	ops, cost := c.Alignment("kitten", "sitting")
+	if cost != 3 {
+		t.Fatalf("Alignment cost = %g, want 3", cost)
+	}
+	// Replay: apply ops to "kitten" and check the sum of costs.
+	total := 0.0
+	matches, subs, dels, inss := 0, 0, 0, 0
+	for _, op := range ops {
+		total += op.Cost
+		switch op.Kind {
+		case OpMatch:
+			matches++
+		case OpSub:
+			subs++
+		case OpDel:
+			dels++
+		case OpIns:
+			inss++
+		}
+	}
+	if total != cost {
+		t.Errorf("op costs sum to %g, want %g", total, cost)
+	}
+	if subs != 2 || inss != 1 || dels != 0 {
+		t.Errorf("kitten->sitting ops: %d sub %d ins %d del, want 2/1/0", subs, inss, dels)
+	}
+	if matches != 4 {
+		t.Errorf("matches = %d, want 4", matches)
+	}
+}
+
+func TestAlignmentReconstructsTarget(t *testing.T) {
+	c := mustCalc(t, rewrite.UnitEdits("abc"))
+	rng := rand.New(rand.NewSource(61))
+	alpha := []byte("abc")
+	randStr := func(n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alpha[rng.Intn(3)]
+		}
+		return string(b)
+	}
+	for trial := 0; trial < 100; trial++ {
+		x, y := randStr(rng.Intn(10)), randStr(rng.Intn(10))
+		ops, cost := c.Alignment(x, y)
+		if cost != c.Distance(x, y) {
+			t.Fatalf("Alignment cost %g != Distance %g for (%q,%q)", cost, c.Distance(x, y), x, y)
+		}
+		// Rebuild y from the script.
+		var out []byte
+		for _, op := range ops {
+			switch op.Kind {
+			case OpMatch, OpSub:
+				out = append(out, op.To)
+			case OpIns:
+				out = append(out, op.To)
+			}
+		}
+		if string(out) != y {
+			t.Fatalf("script rebuilds %q, want %q (x=%q ops=%v)", out, y, x, ops)
+		}
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpMatch.String() != "match" || OpSub.String() != "sub" || OpDel.String() != "del" || OpIns.String() != "ins" {
+		t.Error("OpKind strings wrong")
+	}
+}

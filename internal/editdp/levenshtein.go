@@ -1,0 +1,132 @@
+package editdp
+
+// Levenshtein returns the classical unit-cost edit distance between x
+// and y: the transformation distance under rewrite.UnitEdits over any
+// alphabet covering both strings. It is the fast integer path used by
+// the metric indexes.
+func Levenshtein(x, y string) int {
+	// Strip common affixes; they never participate in an optimal script.
+	for len(x) > 0 && len(y) > 0 && x[0] == y[0] {
+		x, y = x[1:], y[1:]
+	}
+	for len(x) > 0 && len(y) > 0 && x[len(x)-1] == y[len(y)-1] {
+		x, y = x[:len(x)-1], y[:len(y)-1]
+	}
+	if len(x) == 0 {
+		return len(y)
+	}
+	if len(y) == 0 {
+		return len(x)
+	}
+	if len(y) > len(x) {
+		x, y = y, x
+	}
+	m := len(y)
+	row := make([]int, m+1)
+	for j := range row {
+		row[j] = j
+	}
+	for i := 1; i <= len(x); i++ {
+		prevDiag := row[0]
+		row[0] = i
+		for j := 1; j <= m; j++ {
+			cost := 1
+			if x[i-1] == y[j-1] {
+				cost = 0
+			}
+			best := prevDiag + cost
+			if v := row[j] + 1; v < best {
+				best = v
+			}
+			if v := row[j-1] + 1; v < best {
+				best = v
+			}
+			prevDiag, row[j] = row[j], best
+		}
+	}
+	return row[m]
+}
+
+// LevenshteinWithin returns the unit-cost edit distance between x and y
+// if it is at most k, and ok=false otherwise. It runs the Ukkonen banded
+// dynamic program in O(k·min(|x|,|y|)) time, which is what makes
+// BK-tree and trie range searches cheap at small radii.
+func LevenshteinWithin(x, y string, k int) (int, bool) {
+	if k < 0 {
+		return 0, false
+	}
+	for len(x) > 0 && len(y) > 0 && x[0] == y[0] {
+		x, y = x[1:], y[1:]
+	}
+	for len(x) > 0 && len(y) > 0 && x[len(x)-1] == y[len(y)-1] {
+		x, y = x[:len(x)-1], y[:len(y)-1]
+	}
+	if len(y) > len(x) {
+		x, y = y, x
+	}
+	n, m := len(x), len(y)
+	if n-m > k {
+		return 0, false
+	}
+	if m == 0 {
+		return n, n <= k
+	}
+	const inf = int(^uint(0) >> 2)
+	row := make([]int, m+1)
+	for j := range row {
+		if j <= k {
+			row[j] = j
+		} else {
+			row[j] = inf
+		}
+	}
+	for i := 1; i <= n; i++ {
+		lo := i - k
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + k
+		if hi > m {
+			hi = m
+		}
+		prevDiag := row[lo-1]
+		if lo == 1 {
+			if i <= k {
+				row[0] = i
+			} else {
+				row[0] = inf
+			}
+		}
+		rowMin := inf
+		if lo > 1 {
+			row[lo-1] = inf
+		}
+		for j := lo; j <= hi; j++ {
+			cost := 1
+			if x[i-1] == y[j-1] {
+				cost = 0
+			}
+			best := prevDiag + cost
+			if v := row[j] + 1; v < best {
+				best = v
+			}
+			if v := row[j-1] + 1; v < best {
+				best = v
+			}
+			prevDiag, row[j] = row[j], best
+			if best < rowMin {
+				rowMin = best
+			}
+		}
+		for j := hi + 1; j <= m; j++ {
+			row[j] = inf
+		}
+		if rowMin > k {
+			return 0, false
+		}
+	}
+	if row[m] <= k {
+		return row[m], true
+	}
+	return 0, false
+}

@@ -1,0 +1,355 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/stock"
+	"repro/internal/tsdb"
+)
+
+// buildTSDB loads count random-walk series of the given length and
+// builds the k-index.
+func buildTSDB(seed int64, count, length, k int) (*tsdb.DB, error) {
+	db, err := tsdb.New(k)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range stock.Walks(seed, count, length) {
+		if _, err := db.Add(s); err != nil {
+			return nil, err
+		}
+	}
+	if err := db.Build(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// companionEps picks a range-query threshold on normal-form distances
+// that yields small, non-trivial answer sets for random walks.
+const companionEps = 0.5
+
+// C8 — companion Figure 8: query time vs sequence length; index with
+// identity transformation vs index without transformation.
+func C8() (*Table, error) {
+	t := &Table{
+		ID:     "C8",
+		Title:  "(Fig. 8) time per query vs sequence length: index +T vs index",
+		Header: []string{"seq_len", "index_us", "index+T_us", "delta_us", "nodes", "nodes+T"},
+	}
+	lengths := []int{64, 128, 256, 512, 1024}
+	if Quick {
+		lengths = []int{64, 128, 256}
+	}
+	count := 1000
+	if Quick {
+		count = 600
+	}
+	for _, n := range lengths {
+		db, err := buildTSDB(81, count, n, 2)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(82))
+		queries := queryWalks(rng, 10, n)
+		ident := tsdb.Identity(n)
+		var nodesPlain, nodesT int
+		for _, q := range queries {
+			_, st, err := db.RangeIndex(q, nil, companionEps)
+			if err != nil {
+				return nil, err
+			}
+			nodesPlain += st.NodeAccesses
+			_, st, err = db.RangeIndex(q, ident, companionEps)
+			if err != nil {
+				return nil, err
+			}
+			nodesT += st.NodeAccesses
+		}
+		dPlain := timeOp(func() {
+			for _, q := range queries {
+				if _, _, err := db.RangeIndex(q, nil, companionEps); err != nil {
+					panic(err)
+				}
+			}
+		}) / time.Duration(len(queries))
+		dT := timeOp(func() {
+			for _, q := range queries {
+				if _, _, err := db.RangeIndex(q, ident, companionEps); err != nil {
+					panic(err)
+				}
+			}
+		}) / time.Duration(len(queries))
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), us(dPlain), us(dT), us(dT - dPlain),
+			fmt.Sprint(nodesPlain / len(queries)), fmt.Sprint(nodesT / len(queries)),
+		})
+	}
+	t.Notes = "expected shape: the two curves differ by a small constant (transform CPU); node accesses identical"
+	return t, nil
+}
+
+// C9 — companion Figure 9: query time vs number of sequences.
+func C9() (*Table, error) {
+	t := &Table{
+		ID:     "C9",
+		Title:  "(Fig. 9) time per query vs number of sequences: index +T vs index",
+		Header: []string{"sequences", "index_us", "index+T_us", "delta_us", "nodes", "nodes+T"},
+	}
+	counts := []int{500, 2000, 6000, 12000}
+	if Quick {
+		counts = []int{500, 2000}
+	}
+	const n = 128
+	for _, count := range counts {
+		db, err := buildTSDB(83, count, n, 2)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(84))
+		queries := queryWalks(rng, 10, n)
+		ident := tsdb.Identity(n)
+		var nodesPlain, nodesT int
+		for _, q := range queries {
+			_, st, err := db.RangeIndex(q, nil, companionEps)
+			if err != nil {
+				return nil, err
+			}
+			nodesPlain += st.NodeAccesses
+			_, st, err = db.RangeIndex(q, ident, companionEps)
+			if err != nil {
+				return nil, err
+			}
+			nodesT += st.NodeAccesses
+		}
+		dPlain := timeOp(func() {
+			for _, q := range queries {
+				if _, _, err := db.RangeIndex(q, nil, companionEps); err != nil {
+					panic(err)
+				}
+			}
+		}) / time.Duration(len(queries))
+		dT := timeOp(func() {
+			for _, q := range queries {
+				if _, _, err := db.RangeIndex(q, ident, companionEps); err != nil {
+					panic(err)
+				}
+			}
+		}) / time.Duration(len(queries))
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(count), us(dPlain), us(dT), us(dT - dPlain),
+			fmt.Sprint(nodesPlain / len(queries)), fmt.Sprint(nodesT / len(queries)),
+		})
+	}
+	t.Notes = "expected shape: constant gap between the curves at every size"
+	return t, nil
+}
+
+// C10 — companion Figure 10: index+transform vs sequential scan, vs
+// sequence length.
+func C10() (*Table, error) {
+	t := &Table{
+		ID:     "C10",
+		Title:  "(Fig. 10) time per query vs sequence length: index+T vs sequential scan+T",
+		Header: []string{"seq_len", "index+T_us", "scan+T_us", "speedup"},
+	}
+	lengths := []int{64, 128, 256, 512, 1024}
+	if Quick {
+		lengths = []int{64, 128, 256}
+	}
+	count := 1000
+	if Quick {
+		count = 600
+	}
+	for _, n := range lengths {
+		db, err := buildTSDB(85, count, n, 2)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(86))
+		queries := queryWalks(rng, 10, n)
+		mavg, err := tsdb.MovingAvg(n, 20)
+		if err != nil {
+			return nil, err
+		}
+		dIdx := timeOp(func() {
+			for _, q := range queries {
+				if _, _, err := db.RangeIndex(q, mavg, companionEps); err != nil {
+					panic(err)
+				}
+			}
+		}) / time.Duration(len(queries))
+		dScan := timeOp(func() {
+			for _, q := range queries {
+				if _, _, err := db.RangeScan(q, mavg, companionEps); err != nil {
+					panic(err)
+				}
+			}
+		}) / time.Duration(len(queries))
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), us(dIdx), us(dScan),
+			fmt.Sprintf("%.1fx", float64(dScan)/float64(dIdx)),
+		})
+	}
+	t.Notes = "expected shape: index wins; margin grows with sequence length"
+	return t, nil
+}
+
+// C11 — companion Figure 11: index+transform vs sequential scan, vs
+// number of sequences.
+func C11() (*Table, error) {
+	t := &Table{
+		ID:     "C11",
+		Title:  "(Fig. 11) time per query vs number of sequences: index+T vs sequential scan+T",
+		Header: []string{"sequences", "index+T_us", "scan+T_us", "speedup"},
+	}
+	counts := []int{500, 2000, 6000, 12000}
+	if Quick {
+		counts = []int{500, 2000}
+	}
+	const n = 128
+	mavg, err := tsdb.MovingAvg(n, 20)
+	if err != nil {
+		return nil, err
+	}
+	for _, count := range counts {
+		db, err := buildTSDB(87, count, n, 2)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(88))
+		queries := queryWalks(rng, 10, n)
+		dIdx := timeOp(func() {
+			for _, q := range queries {
+				if _, _, err := db.RangeIndex(q, mavg, companionEps); err != nil {
+					panic(err)
+				}
+			}
+		}) / time.Duration(len(queries))
+		dScan := timeOp(func() {
+			for _, q := range queries {
+				if _, _, err := db.RangeScan(q, mavg, companionEps); err != nil {
+					panic(err)
+				}
+			}
+		}) / time.Duration(len(queries))
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(count), us(dIdx), us(dScan),
+			fmt.Sprintf("%.1fx", float64(dScan)/float64(dIdx)),
+		})
+	}
+	t.Notes = "expected shape: index wins; margin grows with the number of sequences"
+	return t, nil
+}
+
+// C12 — companion Figure 12: query time vs answer-set size (threshold
+// sweep on the 1067×128 relation); index wins until the answer set
+// reaches about a third of the relation.
+func C12() (*Table, error) {
+	count := 1067
+	if Quick {
+		count = 400
+	}
+	const n = 128
+	db, err := buildTSDB(89, count, n, 2)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(90))
+	// Query close to the data distribution so thresholds sweep the
+	// whole relation.
+	q := stock.Walk(rng, n)
+	t := &Table{
+		ID:     "C12",
+		Title:  fmt.Sprintf("(Fig. 12) time per query vs answer-set size (%d series)", count),
+		Header: []string{"eps", "answers", "frac_of_rel", "index_us", "scan_us", "index_wins"},
+	}
+	epss := []float64{1, 4, 8, 12, 14, 15.85}
+	if Quick {
+		epss = []float64{1, 8, 14}
+	}
+	for _, eps := range epss {
+		matches, _, err := db.RangeIndex(q, nil, eps)
+		if err != nil {
+			return nil, err
+		}
+		dIdx := timeOp(func() {
+			if _, _, err := db.RangeIndex(q, nil, eps); err != nil {
+				panic(err)
+			}
+		})
+		dScan := timeOp(func() {
+			if _, _, err := db.RangeScan(q, nil, eps); err != nil {
+				panic(err)
+			}
+		})
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(eps), fmt.Sprint(len(matches)),
+			fmt.Sprintf("%.2f", float64(len(matches))/float64(count)),
+			us(dIdx), us(dScan), fmt.Sprint(dIdx < dScan),
+		})
+	}
+	t.Notes = "expected shape: index wins for small answer sets, scan catches up as the answer set approaches ~1/3 of the relation"
+	return t, nil
+}
+
+// CT1 — companion Table 1: the spatial self-join with the four methods.
+func CT1() (*Table, error) {
+	count := 1067
+	if Quick {
+		count = 200
+	}
+	const n = 128
+	db, err := buildTSDB(91, count, n, 2)
+	if err != nil {
+		return nil, err
+	}
+	mavg, err := tsdb.MovingAvg(n, 20)
+	if err != nil {
+		return nil, err
+	}
+	// Threshold tuned to give a small, non-empty answer set on the
+	// smoothed normal forms (the companion found 12 pairs in 1067).
+	const eps = 1.4
+	t := &Table{
+		ID:     "CT1",
+		Title:  fmt.Sprintf("(Table 1) spatial self-join, %d series x len %d, Tmavg20, eps=%g", count, n, eps),
+		Header: []string{"method", "time_ms", "answer_set"},
+	}
+	type row struct {
+		m tsdb.JoinMethod
+		t *tsdb.Transform
+	}
+	for _, r := range []row{
+		{tsdb.JoinScanFull, mavg},
+		{tsdb.JoinScanAbort, mavg},
+		{tsdb.JoinIndex, nil},
+		{tsdb.JoinIndexT, mavg},
+	} {
+		start := time.Now()
+		pairs, _, err := db.SelfJoin(r.m, r.t, eps)
+		if err != nil {
+			return nil, err
+		}
+		dur := time.Since(start)
+		t.Rows = append(t.Rows, []string{
+			r.m.String(),
+			fmt.Sprintf("%.1f", float64(dur.Microseconds())/1e3),
+			fmt.Sprint(len(pairs)),
+		})
+	}
+	t.Notes = "expected shape: a slowest, then b, index methods fastest; d's answer set is twice b's (ordered pairs), c differs (no transform)"
+	return t, nil
+}
+
+// queryWalks draws query series from the same random-walk family as
+// the data.
+func queryWalks(rng *rand.Rand, count, length int) [][]float64 {
+	out := make([][]float64, count)
+	for i := range out {
+		out[i] = stock.Walk(rng, length)
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package exp
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The experiment suite runs in quick mode under test: every runner must
+// complete, produce rows, and satisfy its structural claims.
+
+func runQuick(t *testing.T, r Runner) *Table {
+	t.Helper()
+	old := Quick
+	Quick = true
+	defer func() { Quick = old }()
+	tab, err := r()
+	if err != nil {
+		t.Fatalf("runner failed: %v", err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("row width %d, header %d", len(row), len(tab.Header))
+		}
+	}
+	return tab
+}
+
+func col(tab *Table, name string) int {
+	for i, h := range tab.Header {
+		if h == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestF1(t *testing.T) {
+	tab := runQuick(t, F1)
+	c := col(tab, "all_equal")
+	for _, row := range tab.Rows {
+		if row[c] != "true" {
+			t.Errorf("F1 equivalence violated: %v", row)
+		}
+	}
+}
+
+func TestF2MonotoneEffort(t *testing.T) {
+	tab := runQuick(t, F2)
+	c := col(tab, "expanded")
+	prev := -1
+	for _, row := range tab.Rows {
+		n, err := strconv.Atoi(row[c])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < prev {
+			t.Errorf("expanded shrank: %v", tab.Rows)
+		}
+		prev = n
+	}
+	// Growth should be super-linear: last/first ratio large.
+	first, _ := strconv.Atoi(tab.Rows[0][c])
+	last, _ := strconv.Atoi(tab.Rows[len(tab.Rows)-1][c])
+	if first > 0 && last < first*4 {
+		t.Errorf("expected super-linear growth, got %d -> %d", first, last)
+	}
+}
+
+func TestF3(t *testing.T) {
+	runQuick(t, F3)
+}
+
+func TestF4Equal(t *testing.T) {
+	tab := runQuick(t, F4)
+	c := col(tab, "equal")
+	for _, row := range tab.Rows {
+		if row[c] != "true" {
+			t.Errorf("F4 equivalence violated: %v", row)
+		}
+	}
+}
+
+func TestF5StrategiesAgree(t *testing.T) {
+	// F5 itself errors out if any strategy disagrees with the scan.
+	runQuick(t, F5)
+}
+
+func TestF6JoinsAgree(t *testing.T) {
+	runQuick(t, F6)
+}
+
+func TestF7(t *testing.T) {
+	tab := runQuick(t, F7)
+	// Case-fold closures double with each extra 'a'.
+	sizes := []string{"2", "4", "16", "256"}
+	for i, want := range sizes {
+		if tab.Rows[i][2] != want {
+			t.Errorf("closure row %d = %v, want %s", i, tab.Rows[i], want)
+		}
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if !strings.Contains(last[3], "rejected") {
+		t.Errorf("guard row = %v", last)
+	}
+}
+
+func TestC8(t *testing.T) {
+	tab := runQuick(t, C8)
+	// Node accesses must be identical with and without the identity
+	// transformation.
+	cn, cnt := col(tab, "nodes"), col(tab, "nodes+T")
+	for _, row := range tab.Rows {
+		if row[cn] != row[cnt] {
+			t.Errorf("node accesses differ: %v", row)
+		}
+	}
+}
+
+func TestC9(t *testing.T) {
+	tab := runQuick(t, C9)
+	cn, cnt := col(tab, "nodes"), col(tab, "nodes+T")
+	for _, row := range tab.Rows {
+		if row[cn] != row[cnt] {
+			t.Errorf("node accesses differ: %v", row)
+		}
+	}
+}
+
+func TestC10IndexWins(t *testing.T) {
+	tab := runQuick(t, C10)
+	c := col(tab, "speedup")
+	// As in Fig. 10, the curves may touch at the shortest length where
+	// query preparation dominates; the index must win at the largest.
+	for i, row := range tab.Rows {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[c], "x"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == len(tab.Rows)-1 && v < 1 {
+			t.Errorf("scan beat the index at the largest length: %v", row)
+		}
+	}
+}
+
+func TestC11IndexWins(t *testing.T) {
+	tab := runQuick(t, C11)
+	c := col(tab, "speedup")
+	// At the smallest population both strategies are dominated by the
+	// query-DFT cost (the companion's Fig. 11 curves also converge at
+	// the left edge); the shape claim is that the index's margin grows
+	// with the data size and it wins clearly at scale.
+	var prev float64
+	for i, row := range tab.Rows {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[c], "x"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == len(tab.Rows)-1 && v < 1 {
+			t.Errorf("scan beat the index at the largest size: %v", row)
+		}
+		if i > 0 && v < prev*0.5 {
+			t.Errorf("speedup collapsed with size: %v", tab.Rows)
+		}
+		prev = v
+	}
+}
+
+func TestC12(t *testing.T) {
+	tab := runQuick(t, C12)
+	// Small answer sets: index wins.
+	if tab.Rows[0][col(tab, "index_wins")] != "true" {
+		t.Errorf("index lost at the smallest threshold: %v", tab.Rows[0])
+	}
+	// Answers grow with eps.
+	c := col(tab, "answers")
+	prev := -1
+	for _, row := range tab.Rows {
+		n, _ := strconv.Atoi(row[c])
+		if n < prev {
+			t.Errorf("answers shrank with growing eps: %v", tab.Rows)
+		}
+		prev = n
+	}
+}
+
+func TestCT1(t *testing.T) {
+	tab := runQuick(t, CT1)
+	// d's answer set = 2 × b's; a == b.
+	get := func(i int) int {
+		n, _ := strconv.Atoi(tab.Rows[i][2])
+		return n
+	}
+	a, b, d := get(0), get(1), get(3)
+	if a != b {
+		t.Errorf("a=%d b=%d answer sets differ", a, b)
+	}
+	if d != 2*b {
+		t.Errorf("d=%d, want 2*b=%d", d, 2*b)
+	}
+}
+
+func TestRegistryRunsAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	old := Quick
+	Quick = true
+	defer func() { Quick = old }()
+	for _, e := range Registry() {
+		if _, err := e.Run(); err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+		}
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	tab := &Table{
+		ID: "X", Title: "demo",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  "n",
+	}
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== X: demo ==") || !strings.Contains(out, "333") || !strings.Contains(out, "note: n") {
+		t.Errorf("Fprint output:\n%s", out)
+	}
+}

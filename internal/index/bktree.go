@@ -1,0 +1,127 @@
+package index
+
+import "repro/internal/editdp"
+
+// BKTree is a Burkhard–Keller tree over the unit-cost edit distance.
+// Soundness requires a metric (symmetry + triangle inequality), which
+// Levenshtein distance satisfies; the query planner therefore only
+// offers BK-trees for unit-cost rule sets. Not safe for concurrent
+// mutation; reads may proceed concurrently once building is done.
+type BKTree struct {
+	root *bkNode
+	size int
+}
+
+type bkNode struct {
+	entry    Entry
+	children map[int]*bkNode // edit distance -> subtree
+}
+
+// NewBKTree returns an empty tree.
+func NewBKTree() *BKTree { return &BKTree{} }
+
+// Len returns the number of indexed entries.
+func (t *BKTree) Len() int { return t.size }
+
+// Insert adds an entry. Duplicate strings are fine; they stack along
+// zero-distance edges.
+func (t *BKTree) Insert(id int, s string) {
+	t.size++
+	n := &bkNode{entry: Entry{ID: id, S: s}}
+	if t.root == nil {
+		t.root = n
+		return
+	}
+	cur := t.root
+	for {
+		d := editdp.Levenshtein(s, cur.entry.S)
+		child, ok := cur.children[d]
+		if !ok {
+			if cur.children == nil {
+				cur.children = make(map[int]*bkNode)
+			}
+			cur.children[d] = n
+			return
+		}
+		cur = child
+	}
+}
+
+// Range returns every entry within unit edit distance k of the query.
+func (t *BKTree) Range(query string, k int) []Match {
+	m, _ := t.RangeStats(query, k)
+	return m
+}
+
+// NearestK returns the k entries closest to the query in unit edit
+// distance, nearest first (ties broken by insertion order encountered).
+// It walks the tree best-first, shrinking the pruning radius to the
+// current kth-best distance.
+func (t *BKTree) NearestK(query string, k int) []Match {
+	if t.root == nil || k <= 0 {
+		return nil
+	}
+	// best holds up to k matches sorted ascending by distance.
+	var best []Match
+	insert := func(m Match) {
+		i := len(best)
+		for i > 0 && best[i-1].Dist > m.Dist {
+			i--
+		}
+		best = append(best, Match{})
+		copy(best[i+1:], best[i:])
+		best[i] = m
+		if len(best) > k {
+			best = best[:k]
+		}
+	}
+	var walk func(n *bkNode)
+	walk = func(n *bkNode) {
+		d := editdp.Levenshtein(query, n.entry.S)
+		if len(best) < k || float64(d) <= best[len(best)-1].Dist {
+			insert(Match{ID: n.entry.ID, S: n.entry.S, Dist: float64(d)})
+		}
+		for dist, child := range n.children {
+			if len(best) < k {
+				walk(child)
+				continue
+			}
+			// Triangle inequality: the subtree can only contain entries
+			// at distance >= |d - dist| from the query.
+			r := int(best[len(best)-1].Dist)
+			if dist >= d-r && dist <= d+r {
+				walk(child)
+			}
+		}
+	}
+	walk(t.root)
+	return best
+}
+
+// RangeStats is Range with work counters: Verifications counts distance
+// computations (the tree's only cost), Candidates the nodes visited.
+func (t *BKTree) RangeStats(query string, k int) ([]Match, Stats) {
+	var out []Match
+	var st Stats
+	if t.root == nil || k < 0 {
+		return nil, st
+	}
+	stack := []*bkNode{t.root}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		st.Candidates++
+		st.Verifications++
+		d := editdp.Levenshtein(query, n.entry.S)
+		if d <= k {
+			out = append(out, Match{ID: n.entry.ID, S: n.entry.S, Dist: float64(d)})
+		}
+		// Triangle inequality: answers in child c require |d - c| <= k.
+		for dist, child := range n.children {
+			if dist >= d-k && dist <= d+k {
+				stack = append(stack, child)
+			}
+		}
+	}
+	return out, st
+}

@@ -1,0 +1,77 @@
+// Package index provides the similarity indexes and candidate filters
+// that accelerate range queries and joins in the sequence domain.
+//
+// Four strategies with identical answer semantics are offered, so the
+// query planner (internal/query) can pick one and the F5/F6 experiments
+// can race them:
+//
+//   - Scan: verify every entry (baseline).
+//   - LengthIndex: bucket by length; only |len(s)-len(q)| <= k buckets
+//     can contain answers at radius k.
+//   - QGramIndex: inverted q-gram index with the count filter
+//     (overlap >= |q| - g + 1 - k·g), then verification.
+//   - BKTree: Burkhard–Keller metric tree; sound for metrics, i.e. for
+//     symmetric rule sets with the triangle inequality — the unit edit
+//     distance in particular.
+//   - Trie: shared-prefix tree walked with the banded edit DP row.
+//
+// The transformation distance of an arbitrary rule set is a quasi-metric
+// (directional), so the planner admits BKTree and Trie only for the
+// unit-cost edit distance; the filters and scan work for any edit-like
+// set via a Verifier.
+package index
+
+import "repro/internal/editdp"
+
+// Entry is one indexed sequence.
+type Entry struct {
+	ID int
+	S  string
+}
+
+// Match is one query answer: an entry within the query radius.
+type Match struct {
+	ID   int
+	S    string
+	Dist float64
+}
+
+// Verifier decides whether a candidate is a true answer. The unit
+// verifier wraps editdp.LevenshteinWithin; weighted verifiers wrap
+// Calculator.Within.
+type Verifier func(query, candidate string, radius float64) (float64, bool)
+
+// UnitVerifier verifies with the unit-cost banded edit distance.
+func UnitVerifier(query, candidate string, radius float64) (float64, bool) {
+	d, ok := editdp.LevenshteinWithin(query, candidate, int(radius))
+	return float64(d), ok
+}
+
+// CalcVerifier adapts a weighted Calculator to a Verifier. Distances are
+// measured from the data entry to the query (entries are transformed to
+// match the query, per the framework's reduction semantics).
+func CalcVerifier(c *editdp.Calculator) Verifier {
+	return func(query, candidate string, radius float64) (float64, bool) {
+		return c.Within(candidate, query, radius)
+	}
+}
+
+// Stats counts the work a strategy did for one query; the experiments
+// report these next to wall-clock times.
+type Stats struct {
+	Candidates    int // entries reaching verification
+	Verifications int // verifier invocations
+}
+
+// Scan verifies every entry against the query; the correctness baseline
+// all other strategies are compared to.
+func Scan(entries []Entry, query string, radius float64, v Verifier) ([]Match, Stats) {
+	var out []Match
+	st := Stats{Candidates: len(entries), Verifications: len(entries)}
+	for _, e := range entries {
+		if d, ok := v(query, e.S, radius); ok {
+			out = append(out, Match{ID: e.ID, S: e.S, Dist: d})
+		}
+	}
+	return out, st
+}

@@ -1,0 +1,235 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/editdp"
+	"repro/internal/rewrite"
+	"repro/internal/seq"
+)
+
+// dictionary builds a deterministic random dictionary with planted
+// near-duplicates so range queries have non-trivial answers.
+func dictionary(seed int64, n int) []Entry {
+	a := seq.MustAlphabet("abcdef")
+	rng := rand.New(rand.NewSource(seed))
+	entries := make([]Entry, 0, n)
+	for i := 0; i < n; i++ {
+		var s string
+		if i > 0 && rng.Intn(4) == 0 {
+			s = a.RandomEdits(rng, entries[rng.Intn(i)].S, 1+rng.Intn(2))
+		} else {
+			s = a.Random(rng, 3+rng.Intn(10))
+		}
+		entries = append(entries, Entry{ID: i, S: s})
+	}
+	return entries
+}
+
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
+}
+
+func assertSameMatches(t *testing.T, name string, got, want []Match) {
+	t.Helper()
+	sortMatches(got)
+	sortMatches(want)
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d matches, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || got[i].Dist != want[i].Dist {
+			t.Fatalf("%s: match %d = %+v, want %+v", name, i, got[i], want[i])
+		}
+	}
+}
+
+// TestAllStrategiesAgree is the core soundness test: every index
+// strategy must return exactly the scan answer.
+func TestAllStrategiesAgree(t *testing.T) {
+	entries := dictionary(1, 800)
+	bk := NewBKTree()
+	tr := NewTrie()
+	li := NewLengthIndex()
+	qg := NewQGramIndex(2)
+	for _, e := range entries {
+		bk.Insert(e.ID, e.S)
+		tr.Insert(e.ID, e.S)
+		li.Insert(e.ID, e.S)
+		qg.Insert(e.ID, e.S)
+	}
+	a := seq.MustAlphabet("abcdef")
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		var query string
+		if trial%2 == 0 {
+			query = entries[rng.Intn(len(entries))].S
+		} else {
+			query = a.Random(rng, 3+rng.Intn(10))
+		}
+		for k := 0; k <= 3; k++ {
+			want, _ := Scan(entries, query, float64(k), UnitVerifier)
+			got := bk.Range(query, k)
+			assertSameMatches(t, "bktree", got, want)
+			got = tr.Range(query, k)
+			assertSameMatches(t, "trie", got, want)
+			got, _ = li.Range(query, float64(k), UnitVerifier)
+			assertSameMatches(t, "length", got, want)
+			got, _ = qg.Range(query, float64(k), UnitVerifier)
+			assertSameMatches(t, "qgram", got, want)
+		}
+	}
+}
+
+func TestBKTreeEmpty(t *testing.T) {
+	bk := NewBKTree()
+	if got := bk.Range("abc", 2); got != nil {
+		t.Errorf("empty tree Range = %v", got)
+	}
+	if bk.Len() != 0 {
+		t.Errorf("Len = %d", bk.Len())
+	}
+}
+
+func TestBKTreeDuplicates(t *testing.T) {
+	bk := NewBKTree()
+	bk.Insert(1, "abc")
+	bk.Insert(2, "abc")
+	bk.Insert(3, "abd")
+	got := bk.Range("abc", 0)
+	if len(got) != 2 {
+		t.Fatalf("duplicates: %d matches, want 2", len(got))
+	}
+	if bk.Len() != 3 {
+		t.Errorf("Len = %d, want 3", bk.Len())
+	}
+}
+
+func TestBKTreePrunes(t *testing.T) {
+	entries := dictionary(3, 2000)
+	bk := NewBKTree()
+	for _, e := range entries {
+		bk.Insert(e.ID, e.S)
+	}
+	_, st := bk.RangeStats(entries[7].S, 1)
+	if st.Verifications >= len(entries) {
+		t.Errorf("BK-tree did not prune: %d verifications for %d entries", st.Verifications, len(entries))
+	}
+}
+
+func TestTrieContains(t *testing.T) {
+	tr := NewTrie()
+	tr.Insert(1, "abc")
+	tr.Insert(2, "ab")
+	if !tr.Contains("abc") || !tr.Contains("ab") {
+		t.Error("Contains misses inserted strings")
+	}
+	if tr.Contains("a") || tr.Contains("abcd") || tr.Contains("zzz") {
+		t.Error("Contains false positives")
+	}
+}
+
+func TestTrieEmptyString(t *testing.T) {
+	tr := NewTrie()
+	tr.Insert(1, "")
+	got := tr.Range("", 0)
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("empty-string entry: %v", got)
+	}
+	got = tr.Range("a", 1)
+	if len(got) != 1 {
+		t.Fatalf("empty string within 1 of \"a\": %v", got)
+	}
+}
+
+func TestTrieNegativeRadius(t *testing.T) {
+	tr := NewTrie()
+	tr.Insert(1, "abc")
+	if got := tr.Range("abc", -1); got != nil {
+		t.Errorf("negative radius: %v", got)
+	}
+	bk := NewBKTree()
+	bk.Insert(1, "abc")
+	if got := bk.Range("abc", -1); got != nil {
+		t.Errorf("negative radius: %v", got)
+	}
+}
+
+func TestQGramShortStrings(t *testing.T) {
+	qg := NewQGramIndex(3)
+	qg.Insert(1, "ab") // shorter than q
+	qg.Insert(2, "abcde")
+	got, _ := qg.Range("ab", 0, UnitVerifier)
+	if len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("short string lost: %v", got)
+	}
+}
+
+func TestQGramPrunes(t *testing.T) {
+	entries := dictionary(5, 3000)
+	qg := NewQGramIndex(2)
+	for _, e := range entries {
+		qg.Insert(e.ID, e.S)
+	}
+	query := entries[11].S
+	if len(query) < 7 {
+		for _, e := range entries {
+			if len(e.S) >= 9 {
+				query = e.S
+				break
+			}
+		}
+	}
+	_, st := qg.Range(query, 1, UnitVerifier)
+	if st.Verifications >= len(entries)/2 {
+		t.Errorf("q-gram filter did not prune: %d verifications for %d entries", st.Verifications, len(entries))
+	}
+}
+
+func TestLengthIndexPrunes(t *testing.T) {
+	li := NewLengthIndex()
+	li.Insert(1, "a")
+	li.Insert(2, "abcdefgh")
+	_, st := li.Range("ab", 1, UnitVerifier)
+	if st.Verifications != 1 {
+		t.Errorf("length filter verified %d entries, want 1", st.Verifications)
+	}
+}
+
+func TestCalcVerifierDirection(t *testing.T) {
+	// Deletion-only rules: entry "ab" reduces to query "a", but entry
+	// "a" cannot grow into query "ab".
+	rs := rewrite.MustRuleSet("del", []rewrite.Rule{rewrite.Delete('b', 1)})
+	c, err := editdp.New(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := CalcVerifier(c)
+	if _, ok := v("a", "ab", 1); !ok {
+		t.Error("entry ab should reduce to query a within 1")
+	}
+	if _, ok := v("ab", "a", 5); ok {
+		t.Error("entry a cannot grow into query ab under deletions only")
+	}
+}
+
+func TestScanWithWeightedVerifier(t *testing.T) {
+	rs := rewrite.MustRuleSet("w", []rewrite.Rule{
+		rewrite.Subst('a', 'b', 0.25), rewrite.Subst('b', 'a', 0.25),
+	})
+	c, err := editdp.New(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := []Entry{{1, "aa"}, {2, "ab"}, {3, "bb"}, {4, "aaa"}}
+	got, _ := Scan(entries, "aa", 0.5, CalcVerifier(c))
+	sortMatches(got)
+	if len(got) != 3 {
+		t.Fatalf("weighted scan: %d matches, want 3 (aa@0, ab@.25, bb@.5): %v", len(got), got)
+	}
+	if got[0].Dist != 0 || got[1].Dist != 0.25 || got[2].Dist != 0.5 {
+		t.Errorf("distances = %v", got)
+	}
+}

@@ -1,0 +1,125 @@
+package index
+
+// Trie is a shared-prefix tree searched with the classic edit-distance
+// row propagation: the DP row for a node is computed once and shared by
+// every word below it, so range search at small radii touches only a
+// thin band of the dictionary. Unit costs only (the same metric caveat
+// as BKTree). Not safe for concurrent mutation.
+type Trie struct {
+	root *trieNode
+	size int
+}
+
+type trieNode struct {
+	children map[byte]*trieNode
+	// terminal entries ending at this node (same string, many ids).
+	terminal []Entry
+}
+
+// NewTrie returns an empty trie.
+func NewTrie() *Trie { return &Trie{root: &trieNode{}} }
+
+// Len returns the number of indexed entries.
+func (t *Trie) Len() int { return t.size }
+
+// Insert adds an entry.
+func (t *Trie) Insert(id int, s string) {
+	t.size++
+	cur := t.root
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if cur.children == nil {
+			cur.children = make(map[byte]*trieNode)
+		}
+		next, ok := cur.children[c]
+		if !ok {
+			next = &trieNode{}
+			cur.children[c] = next
+		}
+		cur = next
+	}
+	cur.terminal = append(cur.terminal, Entry{ID: id, S: s})
+}
+
+// Contains reports whether some entry equals s.
+func (t *Trie) Contains(s string) bool {
+	cur := t.root
+	for i := 0; i < len(s); i++ {
+		next, ok := cur.children[s[i]]
+		if !ok {
+			return false
+		}
+		cur = next
+	}
+	return len(cur.terminal) > 0
+}
+
+// Range returns every entry within unit edit distance k of the query.
+func (t *Trie) Range(query string, k int) []Match {
+	m, _ := t.RangeStats(query, k)
+	return m
+}
+
+// RangeStats is Range with work counters: Candidates counts trie nodes
+// visited, Verifications counts DP row computations.
+func (t *Trie) RangeStats(query string, k int) ([]Match, Stats) {
+	var out []Match
+	var st Stats
+	if k < 0 {
+		return nil, st
+	}
+	m := len(query)
+	row := make([]int, m+1)
+	for j := range row {
+		row[j] = j
+	}
+	st.Candidates++
+	if min(row) <= k && row[m] <= k {
+		for _, e := range t.root.terminal {
+			out = append(out, Match{ID: e.ID, S: e.S, Dist: float64(row[m])})
+		}
+	}
+	var walk func(n *trieNode, prevRow []int)
+	walk = func(n *trieNode, prevRow []int) {
+		for c, child := range n.children {
+			st.Candidates++
+			st.Verifications++
+			cur := make([]int, m+1)
+			cur[0] = prevRow[0] + 1
+			for j := 1; j <= m; j++ {
+				cost := 1
+				if query[j-1] == c {
+					cost = 0
+				}
+				best := prevRow[j-1] + cost
+				if v := prevRow[j] + 1; v < best {
+					best = v
+				}
+				if v := cur[j-1] + 1; v < best {
+					best = v
+				}
+				cur[j] = best
+			}
+			if cur[m] <= k {
+				for _, e := range child.terminal {
+					out = append(out, Match{ID: e.ID, S: e.S, Dist: float64(cur[m])})
+				}
+			}
+			if min(cur) <= k {
+				walk(child, cur)
+			}
+		}
+	}
+	walk(t.root, row)
+	return out, st
+}
+
+func min(xs []int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,208 @@
+// Package patdist evaluates the framework's pattern-similarity
+// predicate: the minimum transformation distance from a sequence x to
+// *any* member of the set denoted by a regular pattern e,
+//
+//	d(x, e) = min { d(x, y) : y ∈ L(e) }.
+//
+// For edit-like rule sets this is computable in polynomial time by
+// shortest-path search over the product of the edit dynamic program with
+// the pattern's NFA: nodes are (position in x, NFA state), edges are
+// substitutions/matches (consume one x symbol and one NFA edge),
+// deletions (consume one x symbol), insertions (traverse one NFA edge)
+// and free ε-moves. With the Calculator's closed cost tables the result
+// equals the true transformation distance into the language, which the
+// tests verify against enumerate-and-DP.
+package patdist
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/editdp"
+	"repro/internal/pattern"
+)
+
+// Distance returns the minimum closed edit cost from x into the
+// language of p, or +Inf if the language is unreachable (e.g. empty or
+// requiring insertions no rule provides).
+func Distance(c *editdp.Calculator, x string, p *pattern.Pattern) float64 {
+	d, _, ok := search(c, x, p, math.Inf(1), false)
+	if !ok {
+		return math.Inf(1)
+	}
+	return d
+}
+
+// Within returns the distance if it is at most budget, with ok
+// reporting success. The search stops as soon as the best frontier cost
+// exceeds the budget.
+func Within(c *editdp.Calculator, x string, p *pattern.Pattern, budget float64) (float64, bool) {
+	d, _, ok := search(c, x, p, budget, false)
+	return d, ok
+}
+
+// NearestMember returns a member y of L(p) achieving the minimum
+// distance from x within budget, together with that distance. ok is
+// false when no member is reachable within budget.
+func NearestMember(c *editdp.Calculator, x string, p *pattern.Pattern, budget float64) (string, float64, bool) {
+	d, y, ok := search(c, x, p, budget, true)
+	return y, d, ok
+}
+
+// EnumerateAndDP is the brute-force baseline for the F4 experiment: it
+// enumerates language members up to maxLen/limit and runs the pairwise
+// DP against each. It returns the best distance within budget. Unlike
+// the product search it can miss members beyond the enumeration bound —
+// the experiment shows exactly that failure mode alongside the slowdown.
+func EnumerateAndDP(c *editdp.Calculator, x string, p *pattern.Pattern, maxLen, limit int, budget float64) (float64, bool) {
+	best := math.Inf(1)
+	for _, y := range p.Enumerate(maxLen, limit) {
+		if d := c.Distance(x, y); d < best {
+			best = d
+		}
+	}
+	return best, best <= budget
+}
+
+type pnode struct {
+	id int // i*numStates + q
+	g  float64
+	// choice tracking for NearestMember
+	parent int // previous node id, -1 for roots
+	emit   int // emitted symbol (0..255) or -1
+}
+
+type pheap []pnode
+
+func (h pheap) Len() int            { return len(h) }
+func (h pheap) Less(i, j int) bool  { return h[i].g < h[j].g }
+func (h pheap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pheap) Push(x interface{}) { *h = append(*h, x.(pnode)) }
+func (h *pheap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// search runs Dijkstra over the (position, state) product graph.
+func search(c *editdp.Calculator, x string, p *pattern.Pattern, budget float64, track bool) (float64, string, bool) {
+	if budget < 0 {
+		return 0, "", false
+	}
+	nfa := p.NFA()
+	ns := nfa.Size()
+	n := len(x)
+	size := (n + 1) * ns
+	dist := make([]float64, size)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	var parents []pnode
+	if track {
+		parents = make([]pnode, size)
+		for i := range parents {
+			parents[i] = pnode{parent: -1, emit: -1}
+		}
+	}
+	syms := c.MentionedSymbols()
+
+	// minSubInto returns the cheapest cost of turning symbol a into any
+	// symbol of the edge set, and that symbol.
+	minSubInto := func(a byte, set pattern.ByteSet) (float64, int) {
+		best, bestSym := math.Inf(1), -1
+		if set.Contains(a) {
+			return 0, int(a) // match
+		}
+		for _, b := range syms {
+			if set.Contains(b) {
+				if v := c.SubCost(a, b); v < best {
+					best, bestSym = v, int(b)
+				}
+			}
+		}
+		return best, bestSym
+	}
+	// minInsInto returns the cheapest insertion producing a symbol of
+	// the edge set, and that symbol.
+	minInsInto := func(set pattern.ByteSet) (float64, int) {
+		best, bestSym := math.Inf(1), -1
+		for _, b := range syms {
+			if set.Contains(b) {
+				if v := c.InsCost(b); v < best {
+					best, bestSym = v, int(b)
+				}
+			}
+		}
+		return best, bestSym
+	}
+
+	goal := n*ns + nfa.Accept
+	pq := &pheap{}
+	start := 0*ns + nfa.Start
+	dist[start] = 0
+	heap.Push(pq, pnode{id: start, g: 0, parent: -1, emit: -1})
+
+	relax := func(id int, g float64, parent, emit int) {
+		if g > budget || g >= dist[id] {
+			return
+		}
+		dist[id] = g
+		if track {
+			parents[id] = pnode{id: id, g: g, parent: parent, emit: emit}
+		}
+		heap.Push(pq, pnode{id: id, g: g, parent: parent, emit: emit})
+	}
+
+	for pq.Len() > 0 {
+		nd := heap.Pop(pq).(pnode)
+		if nd.g > dist[nd.id] {
+			continue
+		}
+		if nd.id == goal {
+			return nd.g, rebuild(parents, nd.id, track), true
+		}
+		i, q := nd.id/ns, nd.id%ns
+		st := nfa.States[q]
+		// ε-moves: free.
+		for _, t := range st.Eps {
+			relax(i*ns+t, nd.g, nd.id, -1)
+		}
+		// Deletion: consume x[i].
+		if i < n {
+			relax((i+1)*ns+q, nd.g+c.DelCost(x[i]), nd.id, -1)
+		}
+		for _, e := range st.Edges {
+			// Insertion: emit a symbol without consuming input.
+			if g, sym := minInsInto(e.Set); sym >= 0 {
+				relax(i*ns+e.To, nd.g+g, nd.id, sym)
+			}
+			// Match/substitution: consume x[i] and emit.
+			if i < n {
+				if g, sym := minSubInto(x[i], e.Set); sym >= 0 {
+					relax((i+1)*ns+e.To, nd.g+g, nd.id, sym)
+				}
+			}
+		}
+	}
+	return 0, "", false
+}
+
+func rebuild(parents []pnode, id int, track bool) string {
+	if !track {
+		return ""
+	}
+	var rev []byte
+	for cur := id; cur >= 0; {
+		p := parents[cur]
+		if p.emit >= 0 {
+			rev = append(rev, byte(p.emit))
+		}
+		cur = p.parent
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return string(rev)
+}

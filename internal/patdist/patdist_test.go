@@ -1,0 +1,210 @@
+package patdist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/editdp"
+	"repro/internal/pattern"
+	"repro/internal/rewrite"
+)
+
+func calc(t *testing.T, alphabet string) *editdp.Calculator {
+	t.Helper()
+	c, err := editdp.New(rewrite.UnitEdits(alphabet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDistanceMemberIsZero(t *testing.T) {
+	c := calc(t, "abcd")
+	p := pattern.MustCompile("a(b|c)*d")
+	for _, s := range []string{"ad", "abd", "acbd"} {
+		if got := Distance(c, s, p); got != 0 {
+			t.Errorf("Distance(%q, %s) = %g, want 0", s, p, got)
+		}
+	}
+}
+
+func TestDistanceSimple(t *testing.T) {
+	c := calc(t, "abcd")
+	for _, tc := range []struct {
+		x, pat string
+		want   float64
+	}{
+		{"b", "a", 1},          // one substitution
+		{"", "a", 1},           // one insertion
+		{"ab", "a", 1},         // one deletion
+		{"aa", "a+", 0},        // already a member
+		{"bb", "a+", 2},        // substitute both
+		{"abc", "abd", 1},      // last symbol
+		{"d", "(a|b)(c|d)", 1}, // insert a or b
+	} {
+		p := pattern.MustCompile(tc.pat)
+		if got := Distance(c, tc.x, p); got != tc.want {
+			t.Errorf("Distance(%q, %q) = %g, want %g", tc.x, tc.pat, got, tc.want)
+		}
+	}
+}
+
+// TestMatchesEnumerateAndDP cross-checks the product search against the
+// brute-force baseline on random inputs.
+func TestMatchesEnumerateAndDP(t *testing.T) {
+	c := calc(t, "abcd")
+	pats := []string{"a(b|c)*d", "[ab]+c?", "(ab|ba)*", "a?b?c?d?", "(a|b)(c|d)+"}
+	rng := rand.New(rand.NewSource(55))
+	alpha := []byte("abcd")
+	randStr := func(n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alpha[rng.Intn(4)]
+		}
+		return string(b)
+	}
+	for _, ps := range pats {
+		p := pattern.MustCompile(ps)
+		for trial := 0; trial < 40; trial++ {
+			x := randStr(rng.Intn(7))
+			got := Distance(c, x, p)
+			// Enumerate generously: strings within distance d of x have
+			// length <= len(x)+d; d <= len(x)+shortest member length.
+			want, _ := EnumerateAndDP(c, x, p, len(x)+8, 100000, math.Inf(1))
+			if got != want {
+				t.Fatalf("Distance(%q, %q) = %g, EnumerateAndDP = %g", x, ps, got, want)
+			}
+		}
+	}
+}
+
+func TestWithin(t *testing.T) {
+	c := calc(t, "ab")
+	p := pattern.MustCompile("aaaa")
+	// distance("bbbb", aaaa) = 4
+	if _, ok := Within(c, "bbbb", p, 3); ok {
+		t.Error("Within(3) accepted distance-4 input")
+	}
+	d, ok := Within(c, "bbbb", p, 4)
+	if !ok || d != 4 {
+		t.Errorf("Within(4) = %g,%v; want 4,true", d, ok)
+	}
+	if _, ok := Within(c, "bbbb", p, -1); ok {
+		t.Error("negative budget accepted")
+	}
+}
+
+func TestNearestMember(t *testing.T) {
+	c := calc(t, "abcdx") // include x so the stray symbol is editable
+	p := pattern.MustCompile("a(b|c)+d")
+	y, d, ok := NearestMember(c, "axd", p, 10)
+	if !ok {
+		t.Fatal("NearestMember found nothing")
+	}
+	if !p.Match(y) {
+		t.Errorf("NearestMember %q is not in L(p)", y)
+	}
+	if d != 1 {
+		t.Errorf("NearestMember distance = %g, want 1", d)
+	}
+	if got := c.Distance("axd", y); got != d {
+		t.Errorf("claimed distance %g, actual %g to %q", d, got, y)
+	}
+}
+
+func TestNearestMemberRandom(t *testing.T) {
+	c := calc(t, "abcd")
+	rng := rand.New(rand.NewSource(66))
+	alpha := []byte("abcd")
+	p := pattern.MustCompile("(ab|cd)+")
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(8)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alpha[rng.Intn(4)]
+		}
+		x := string(b)
+		y, d, ok := NearestMember(c, x, p, 100)
+		if !ok {
+			t.Fatalf("no member within 100 for %q", x)
+		}
+		if !p.Match(y) {
+			t.Fatalf("witness %q not a member (x=%q)", y, x)
+		}
+		if got := c.Distance(x, y); got != d {
+			t.Fatalf("witness distance %g != reported %g (x=%q y=%q)", got, d, x, y)
+		}
+		if want := Distance(c, x, p); want != d {
+			t.Fatalf("NearestMember distance %g != Distance %g", d, want)
+		}
+	}
+}
+
+func TestUnreachableLanguage(t *testing.T) {
+	// Rules only mention a,b; pattern requires z.
+	c := calc(t, "ab")
+	p := pattern.MustCompile("z")
+	if got := Distance(c, "a", p); !math.IsInf(got, 1) {
+		t.Errorf("Distance to z-language = %g, want +Inf", got)
+	}
+	if _, ok := Within(c, "a", p, 1e9); ok {
+		t.Error("Within accepted unreachable language")
+	}
+}
+
+func TestMatchingSymbolOutsideRules(t *testing.T) {
+	// 'z' appears in no rule, but matching consumes it for free.
+	c := calc(t, "ab")
+	p := pattern.MustCompile("za")
+	if got := Distance(c, "zb", p); got != 1 {
+		t.Errorf("Distance(zb, za) = %g, want 1", got)
+	}
+}
+
+func TestEmptyPatternEmptyString(t *testing.T) {
+	c := calc(t, "ab")
+	p := pattern.MustCompile("")
+	if got := Distance(c, "", p); got != 0 {
+		t.Errorf("Distance(\"\",ε) = %g, want 0", got)
+	}
+	if got := Distance(c, "ab", p); got != 2 {
+		t.Errorf("Distance(ab,ε) = %g, want 2 deletions", got)
+	}
+}
+
+func TestWeightedCosts(t *testing.T) {
+	// Cheap insert of 'b' (0.2) vs expensive substitution a->b (5):
+	// turning "a" into a member of "ab" should insert b at 0.2.
+	rs := rewrite.MustRuleSet("w", []rewrite.Rule{
+		rewrite.Insert('b', 0.2),
+		rewrite.Subst('a', 'b', 5),
+		rewrite.Delete('a', 0.7),
+	})
+	c, err := editdp.New(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pattern.MustCompile("ab")
+	if got := Distance(c, "a", p); got != 0.2 {
+		t.Errorf("Distance = %g, want 0.2", got)
+	}
+	// "aa" -> "ab": delete one a (0.7) + insert b (0.2) = 0.9 beats sub 5.
+	if got := Distance(c, "aa", p); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("Distance(aa,ab) = %g, want 0.9", got)
+	}
+}
+
+func TestEnumerateAndDPMissesBeyondBound(t *testing.T) {
+	// The baseline's known failure mode: members longer than the
+	// enumeration bound are invisible to it.
+	c := calc(t, "ab")
+	p := pattern.MustCompile("aaaaaaaa") // single member of length 8
+	x := "aaaaaaaa"
+	if got := Distance(c, x, p); got != 0 {
+		t.Fatalf("product search = %g, want 0", got)
+	}
+	if _, ok := EnumerateAndDP(c, x, p, 4, 1000, 0); ok {
+		t.Error("EnumerateAndDP with maxLen=4 found the length-8 member")
+	}
+}

@@ -1,0 +1,532 @@
+// Package pattern implements the pattern language P of the PODS'95
+// similarity-query framework for the sequence domain: regular
+// expressions over byte symbols, compiled to Thompson NFAs.
+//
+// An expression in P denotes a set of sequences. The framework's
+// similarity predicate "x ≈ t(e) within c" asks whether x can be
+// transformed, at cost ≤ c, into *some* member of the set denoted by e;
+// internal/patdist evaluates that by searching the product of the edit
+// dynamic program with the NFA exposed here.
+//
+// Supported syntax: literals, '.', character classes [a-z0-9] and [^..],
+// grouping (...), alternation |, and the closures * + ?. Backslash
+// escapes the next character.
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pattern is a compiled pattern expression.
+type Pattern struct {
+	src string
+	ast node
+	nfa *NFA
+}
+
+// Compile parses and compiles a pattern expression.
+func Compile(src string) (*Pattern, error) {
+	p := &parser{src: src}
+	ast, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("pattern: unexpected %q at %d in %q", p.src[p.pos], p.pos, src)
+	}
+	return &Pattern{src: src, ast: ast, nfa: buildNFA(ast)}, nil
+}
+
+// MustCompile is Compile that panics on error; for tests and fixed
+// literals.
+func MustCompile(src string) *Pattern {
+	p, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Literal returns a pattern that matches exactly s, escaping any
+// metacharacters. It realises the framework's trivial constant
+// patterns.
+func Literal(s string) *Pattern {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if strings.IndexByte(`.|*+?()[]\^`, s[i]) >= 0 {
+			b.WriteByte('\\')
+		}
+		b.WriteByte(s[i])
+	}
+	return MustCompile(b.String())
+}
+
+// String returns the pattern source.
+func (p *Pattern) String() string { return p.src }
+
+// NFA returns the compiled automaton. Callers must not modify it.
+func (p *Pattern) NFA() *NFA { return p.nfa }
+
+// Match reports whether s is a member of the set denoted by the pattern
+// (full-string anchoring, as the framework's patterns denote whole
+// objects).
+func (p *Pattern) Match(s string) bool {
+	cur := p.nfa.closure(map[int]bool{p.nfa.Start: true})
+	for i := 0; i < len(s); i++ {
+		next := make(map[int]bool)
+		for st := range cur {
+			for _, e := range p.nfa.States[st].Edges {
+				if e.Set.Contains(s[i]) {
+					next[e.To] = true
+				}
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		cur = p.nfa.closure(next)
+	}
+	return cur[p.nfa.Accept]
+}
+
+// Enumerate returns up to limit members of the pattern's language with
+// length at most maxLen, in shortlex order. It is the brute-force
+// baseline in the F4 experiment and the oracle in tests.
+func (p *Pattern) Enumerate(maxLen, limit int) []string {
+	type cfg struct {
+		states map[int]bool
+		s      string
+	}
+	var out []string
+	seen := map[string]bool{}
+	queue := []cfg{{states: p.nfa.closure(map[int]bool{p.nfa.Start: true}), s: ""}}
+	for len(queue) > 0 && len(out) < limit {
+		c := queue[0]
+		queue = queue[1:]
+		if c.states[p.nfa.Accept] && !seen[c.s] {
+			seen[c.s] = true
+			out = append(out, c.s)
+			if len(out) >= limit {
+				break
+			}
+		}
+		if len(c.s) >= maxLen {
+			continue
+		}
+		// All symbols leaving the current state set, in order.
+		var symset ByteSet
+		for st := range c.states {
+			for _, e := range p.nfa.States[st].Edges {
+				symset = symset.Union(e.Set)
+			}
+		}
+		for _, b := range symset.Symbols() {
+			next := make(map[int]bool)
+			for st := range c.states {
+				for _, e := range p.nfa.States[st].Edges {
+					if e.Set.Contains(b) {
+						next[e.To] = true
+					}
+				}
+			}
+			queue = append(queue, cfg{states: p.nfa.closure(next), s: c.s + string(b)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// ---- AST ----
+
+type node interface{ isNode() }
+
+type litNode struct{ set ByteSet } // one symbol from set
+type emptyNode struct{}            // ε
+type concatNode struct{ l, r node }
+type altNode struct{ l, r node }
+type starNode struct{ n node }
+type plusNode struct{ n node }
+type questNode struct{ n node }
+
+func (litNode) isNode()    {}
+func (emptyNode) isNode()  {}
+func (concatNode) isNode() {}
+func (altNode) isNode()    {}
+func (starNode) isNode()   {}
+func (plusNode) isNode()   {}
+func (questNode) isNode()  {}
+
+// ---- parser ----
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) peek() (byte, bool) {
+	if p.pos < len(p.src) {
+		return p.src[p.pos], true
+	}
+	return 0, false
+}
+
+func (p *parser) parseAlt() (node, error) {
+	l, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		c, ok := p.peek()
+		if !ok || c != '|' {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		l = altNode{l, r}
+	}
+}
+
+func (p *parser) parseConcat() (node, error) {
+	var parts []node
+	for {
+		c, ok := p.peek()
+		if !ok || c == '|' || c == ')' {
+			break
+		}
+		n, err := p.parseRepeat()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, n)
+	}
+	if len(parts) == 0 {
+		return emptyNode{}, nil
+	}
+	out := parts[0]
+	for _, n := range parts[1:] {
+		out = concatNode{out, n}
+	}
+	return out, nil
+}
+
+func (p *parser) parseRepeat() (node, error) {
+	n, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		c, ok := p.peek()
+		if !ok {
+			return n, nil
+		}
+		switch c {
+		case '*':
+			p.pos++
+			n = starNode{n}
+		case '+':
+			p.pos++
+			n = plusNode{n}
+		case '?':
+			p.pos++
+			n = questNode{n}
+		default:
+			return n, nil
+		}
+	}
+}
+
+func (p *parser) parseAtom() (node, error) {
+	c, ok := p.peek()
+	if !ok {
+		return nil, fmt.Errorf("pattern: unexpected end of %q", p.src)
+	}
+	switch c {
+	case '(':
+		p.pos++
+		n, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		if c, ok := p.peek(); !ok || c != ')' {
+			return nil, fmt.Errorf("pattern: missing ')' in %q", p.src)
+		}
+		p.pos++
+		return n, nil
+	case '[':
+		return p.parseClass()
+	case '.':
+		p.pos++
+		var all ByteSet
+		all = all.Negate() // every byte
+		return litNode{set: all}, nil
+	case '\\':
+		p.pos++
+		e, ok := p.peek()
+		if !ok {
+			return nil, fmt.Errorf("pattern: trailing backslash in %q", p.src)
+		}
+		p.pos++
+		var s ByteSet
+		s = s.Add(e)
+		return litNode{set: s}, nil
+	case '*', '+', '?', '|', ')':
+		return nil, fmt.Errorf("pattern: unexpected %q at %d in %q", c, p.pos, p.src)
+	default:
+		p.pos++
+		var s ByteSet
+		s = s.Add(c)
+		return litNode{set: s}, nil
+	}
+}
+
+func (p *parser) parseClass() (node, error) {
+	p.pos++ // consume '['
+	var set ByteSet
+	negate := false
+	if c, ok := p.peek(); ok && c == '^' {
+		negate = true
+		p.pos++
+	}
+	empty := true
+	for {
+		c, ok := p.peek()
+		if !ok {
+			return nil, fmt.Errorf("pattern: missing ']' in %q", p.src)
+		}
+		if c == ']' && !empty {
+			p.pos++
+			break
+		}
+		if c == '\\' {
+			p.pos++
+			e, ok := p.peek()
+			if !ok {
+				return nil, fmt.Errorf("pattern: trailing backslash in %q", p.src)
+			}
+			c = e
+		}
+		p.pos++
+		empty = false
+		// Range a-z?
+		if n, ok := p.peek(); ok && n == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] != ']' {
+			p.pos++ // consume '-'
+			hi, _ := p.peek()
+			if hi == '\\' {
+				p.pos++
+				hi, _ = p.peek()
+			}
+			p.pos++
+			if hi < c {
+				return nil, fmt.Errorf("pattern: bad range %q-%q in %q", c, hi, p.src)
+			}
+			set = set.AddRange(c, hi)
+			continue
+		}
+		set = set.Add(c)
+	}
+	if negate {
+		set = set.Negate()
+	}
+	return litNode{set: set}, nil
+}
+
+// ---- NFA ----
+
+// NFA is a Thompson automaton with a single start and accept state.
+type NFA struct {
+	Start  int
+	Accept int
+	States []State
+}
+
+// State holds the outgoing transitions of one NFA state.
+type State struct {
+	Eps   []int
+	Edges []Edge
+}
+
+// Edge is a symbol transition labelled by a byte set.
+type Edge struct {
+	Set ByteSet
+	To  int
+}
+
+type builder struct{ states []State }
+
+func (b *builder) newState() int {
+	b.states = append(b.states, State{})
+	return len(b.states) - 1
+}
+
+func (b *builder) eps(from, to int) {
+	b.states[from].Eps = append(b.states[from].Eps, to)
+}
+
+func (b *builder) edge(from int, set ByteSet, to int) {
+	b.states[from].Edges = append(b.states[from].Edges, Edge{Set: set, To: to})
+}
+
+// build returns (start, accept) for the fragment of n.
+func (b *builder) build(n node) (int, int) {
+	switch n := n.(type) {
+	case emptyNode:
+		s, a := b.newState(), b.newState()
+		b.eps(s, a)
+		return s, a
+	case litNode:
+		s, a := b.newState(), b.newState()
+		b.edge(s, n.set, a)
+		return s, a
+	case concatNode:
+		ls, la := b.build(n.l)
+		rs, ra := b.build(n.r)
+		b.eps(la, rs)
+		return ls, ra
+	case altNode:
+		s, a := b.newState(), b.newState()
+		ls, la := b.build(n.l)
+		rs, ra := b.build(n.r)
+		b.eps(s, ls)
+		b.eps(s, rs)
+		b.eps(la, a)
+		b.eps(ra, a)
+		return s, a
+	case starNode:
+		s, a := b.newState(), b.newState()
+		is, ia := b.build(n.n)
+		b.eps(s, is)
+		b.eps(s, a)
+		b.eps(ia, is)
+		b.eps(ia, a)
+		return s, a
+	case plusNode:
+		is, ia := b.build(n.n)
+		a := b.newState()
+		b.eps(ia, is)
+		b.eps(ia, a)
+		return is, a
+	case questNode:
+		s, a := b.newState(), b.newState()
+		is, ia := b.build(n.n)
+		b.eps(s, is)
+		b.eps(s, a)
+		b.eps(ia, a)
+		return s, a
+	default:
+		panic(fmt.Sprintf("pattern: unknown node %T", n))
+	}
+}
+
+func buildNFA(ast node) *NFA {
+	b := &builder{}
+	s, a := b.build(ast)
+	return &NFA{Start: s, Accept: a, States: b.states}
+}
+
+// closure expands a state set by ε-transitions in place and returns it.
+func (n *NFA) closure(set map[int]bool) map[int]bool {
+	stack := make([]int, 0, len(set))
+	for s := range set {
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.States[s].Eps {
+			if !set[t] {
+				set[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return set
+}
+
+// Closure returns the ε-closure of the given states as a sorted slice;
+// exported for the product construction in internal/patdist.
+func (n *NFA) Closure(states ...int) []int {
+	set := make(map[int]bool, len(states))
+	for _, s := range states {
+		set[s] = true
+	}
+	n.closure(set)
+	out := make([]int, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Size returns the number of NFA states.
+func (n *NFA) Size() int { return len(n.States) }
+
+// ---- ByteSet ----
+
+// ByteSet is a set of byte symbols as a 256-bit bitmap.
+type ByteSet [4]uint64
+
+// Add returns the set with b added.
+func (s ByteSet) Add(b byte) ByteSet {
+	s[b>>6] |= 1 << (b & 63)
+	return s
+}
+
+// AddRange returns the set with all of lo..hi (inclusive) added.
+func (s ByteSet) AddRange(lo, hi byte) ByteSet {
+	for c := int(lo); c <= int(hi); c++ {
+		s = s.Add(byte(c))
+	}
+	return s
+}
+
+// Contains reports whether b is in the set.
+func (s ByteSet) Contains(b byte) bool { return s[b>>6]&(1<<(b&63)) != 0 }
+
+// Negate returns the complement of the set.
+func (s ByteSet) Negate() ByteSet {
+	for i := range s {
+		s[i] = ^s[i]
+	}
+	return s
+}
+
+// Union returns the union of two sets.
+func (s ByteSet) Union(o ByteSet) ByteSet {
+	for i := range s {
+		s[i] |= o[i]
+	}
+	return s
+}
+
+// Count returns the number of symbols in the set.
+func (s ByteSet) Count() int {
+	n := 0
+	for c := 0; c < 256; c++ {
+		if s.Contains(byte(c)) {
+			n++
+		}
+	}
+	return n
+}
+
+// Symbols returns the set's members in increasing order.
+func (s ByteSet) Symbols() []byte {
+	var out []byte
+	for c := 0; c < 256; c++ {
+		if s.Contains(byte(c)) {
+			out = append(out, byte(c))
+		}
+	}
+	return out
+}

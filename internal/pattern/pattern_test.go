@@ -1,0 +1,214 @@
+package pattern
+
+import (
+	"math/rand"
+	"regexp"
+	"testing"
+)
+
+func TestMatchBasics(t *testing.T) {
+	for _, tc := range []struct {
+		pat string
+		yes []string
+		no  []string
+	}{
+		{"abc", []string{"abc"}, []string{"", "ab", "abcd", "abd"}},
+		{"a|b", []string{"a", "b"}, []string{"", "ab", "c"}},
+		{"a*", []string{"", "a", "aaaa"}, []string{"b", "ab"}},
+		{"a+", []string{"a", "aa"}, []string{"", "b"}},
+		{"a?b", []string{"b", "ab"}, []string{"", "aab"}},
+		{"(ab)*", []string{"", "ab", "abab"}, []string{"a", "aba"}},
+		{"a(b|c)*d", []string{"ad", "abd", "acd", "abcbd"}, []string{"a", "d", "abc"}},
+		{".", []string{"a", "z", "!"}, []string{"", "ab"}},
+		{".*", []string{"", "anything at all"}, nil},
+		{"[abc]", []string{"a", "b", "c"}, []string{"d", ""}},
+		{"[a-c]+", []string{"a", "abc", "ccc"}, []string{"", "ad"}},
+		{"[^a]", []string{"b", "z"}, []string{"a", ""}},
+		{"a\\*b", []string{"a*b"}, []string{"ab", "aab"}},
+		{"", []string{""}, []string{"a"}},
+		{"x|", []string{"x", ""}, []string{"y"}},
+		{"[a\\]b]", []string{"a", "]", "b"}, []string{"c"}},
+	} {
+		p, err := Compile(tc.pat)
+		if err != nil {
+			t.Errorf("Compile(%q): %v", tc.pat, err)
+			continue
+		}
+		for _, s := range tc.yes {
+			if !p.Match(s) {
+				t.Errorf("pattern %q should match %q", tc.pat, s)
+			}
+		}
+		for _, s := range tc.no {
+			if p.Match(s) {
+				t.Errorf("pattern %q should not match %q", tc.pat, s)
+			}
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	for _, pat := range []string{
+		"(", ")", "(ab", "a)", "*", "+a", "?",
+		"[", "[]", "[a", "a\\", "[z-a]",
+	} {
+		if _, err := Compile(pat); err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", pat)
+		}
+	}
+}
+
+func TestLiteral(t *testing.T) {
+	for _, s := range []string{"", "abc", "a*b", "x|y", "(a)", "[z]", `a\b`, "a.b?c+"} {
+		p := Literal(s)
+		if !p.Match(s) {
+			t.Errorf("Literal(%q) does not match itself", s)
+		}
+		if s != "" && p.Match(s+"x") {
+			t.Errorf("Literal(%q) matches %q", s, s+"x")
+		}
+	}
+}
+
+// TestAgainstStdlib fuzzes our matcher against regexp on a common
+// syntax subset.
+func TestAgainstStdlib(t *testing.T) {
+	pats := []string{
+		"abc", "a*", "(ab)*c", "a(b|c)+d?", "[abc]*", "[a-d][a-d]",
+		"a|bb|ccc", "(a|b)(a|b)(a|b)", "a?b?c?", "(ab|ba)*",
+	}
+	rng := rand.New(rand.NewSource(77))
+	alpha := []byte("abcd")
+	for _, pat := range pats {
+		mine := MustCompile(pat)
+		std := regexp.MustCompile("^(?:" + pat + ")$")
+		for trial := 0; trial < 300; trial++ {
+			n := rng.Intn(8)
+			b := make([]byte, n)
+			for i := range b {
+				b[i] = alpha[rng.Intn(4)]
+			}
+			s := string(b)
+			if got, want := mine.Match(s), std.MatchString(s); got != want {
+				t.Fatalf("pattern %q on %q: got %v, stdlib %v", pat, s, got, want)
+			}
+		}
+	}
+}
+
+func TestEnumerate(t *testing.T) {
+	p := MustCompile("a(b|c)d")
+	got := p.Enumerate(5, 100)
+	want := []string{"abd", "acd"}
+	if len(got) != len(want) {
+		t.Fatalf("Enumerate = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Enumerate = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEnumerateStar(t *testing.T) {
+	p := MustCompile("(ab)*")
+	got := p.Enumerate(6, 100)
+	want := []string{"", "ab", "abab", "ababab"}
+	if len(got) != len(want) {
+		t.Fatalf("Enumerate = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Enumerate[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEnumerateLimit(t *testing.T) {
+	p := MustCompile("[ab]*")
+	got := p.Enumerate(10, 5)
+	if len(got) != 5 {
+		t.Fatalf("Enumerate limit: got %d members", len(got))
+	}
+	for _, s := range got {
+		if !p.Match(s) {
+			t.Errorf("enumerated %q does not match", s)
+		}
+	}
+}
+
+func TestEnumerateMembersMatch(t *testing.T) {
+	for _, pat := range []string{"a(b|c)*d", "[ab]?[cd]+", "x|yy|zzz"} {
+		p := MustCompile(pat)
+		for _, s := range p.Enumerate(6, 200) {
+			if !p.Match(s) {
+				t.Errorf("pattern %q enumerated non-member %q", pat, s)
+			}
+		}
+	}
+}
+
+func TestNFAClosure(t *testing.T) {
+	p := MustCompile("a*")
+	nfa := p.NFA()
+	cl := nfa.Closure(nfa.Start)
+	// Start's closure must include the accept state (ε matches).
+	found := false
+	for _, s := range cl {
+		if s == nfa.Accept {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("closure of start does not reach accept for a*")
+	}
+	if nfa.Size() <= 0 {
+		t.Error("NFA has no states")
+	}
+}
+
+func TestByteSet(t *testing.T) {
+	var s ByteSet
+	s = s.Add('a').Add('z')
+	if !s.Contains('a') || !s.Contains('z') || s.Contains('b') {
+		t.Error("Add/Contains wrong")
+	}
+	if got := s.Count(); got != 2 {
+		t.Errorf("Count = %d, want 2", got)
+	}
+	r := ByteSet{}.AddRange('a', 'd')
+	if r.Count() != 4 || !r.Contains('c') {
+		t.Error("AddRange wrong")
+	}
+	n := s.Negate()
+	if n.Contains('a') || !n.Contains('b') {
+		t.Error("Negate wrong")
+	}
+	if got := n.Count(); got != 254 {
+		t.Errorf("Negate Count = %d, want 254", got)
+	}
+	u := s.Union(r)
+	if u.Count() != 5 { // a-d plus z (a overlaps)
+		t.Errorf("Union Count = %d, want 5", u.Count())
+	}
+	syms := r.Symbols()
+	if string(syms) != "abcd" {
+		t.Errorf("Symbols = %q, want abcd", syms)
+	}
+}
+
+func TestDotMatchesAnyByte(t *testing.T) {
+	p := MustCompile(".")
+	for c := 0; c < 256; c++ {
+		if !p.Match(string([]byte{byte(c)})) {
+			t.Fatalf(". does not match byte %d", c)
+		}
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	p := MustCompile("((((a))))*")
+	if !p.Match("aaa") || p.Match("b") {
+		t.Error("deep nesting broken")
+	}
+}

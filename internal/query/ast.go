@@ -1,0 +1,182 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Query is the root of a parsed statement.
+type Query struct {
+	Explain bool
+	Select  []Column   // empty means '*'
+	From    []TableRef // one (range query) or two (join)
+	Where   Expr       // may be nil
+	Limit   int        // 0 means unlimited
+}
+
+// Column is a projected column, optionally qualified by a table alias.
+type Column struct {
+	Table string // alias, may be empty
+	Name  string // "id", "seq", "dist" or an attribute
+}
+
+// String renders the column.
+func (c Column) String() string {
+	if c.Table == "" {
+		return c.Name
+	}
+	return c.Table + "." + c.Name
+}
+
+// TableRef names a relation with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string // defaults to Name
+}
+
+// Expr is a boolean predicate tree over one tuple binding (or a pair of
+// bindings for joins).
+type Expr interface {
+	fmt.Stringer
+	isExpr()
+}
+
+// AndExpr is conjunction.
+type AndExpr struct{ L, R Expr }
+
+// OrExpr is disjunction.
+type OrExpr struct{ L, R Expr }
+
+// NotExpr is negation.
+type NotExpr struct{ E Expr }
+
+// CmpExpr compares an operand against another with = or !=.
+type CmpExpr struct {
+	L, R Operand
+	Neq  bool
+}
+
+// SimExpr is the framework's similarity predicate
+// "field SIMILAR TO target WITHIN radius USING ruleset": the field's
+// sequence can be transformed into the target (or into a member of the
+// target pattern) at cost at most radius.
+type SimExpr struct {
+	Field   FieldRef
+	Target  Operand // string literal, field reference, or pattern
+	Pattern bool    // target is a pattern expression (string literal)
+	Radius  float64
+	RuleSet string
+}
+
+// NearestExpr selects the K tuples whose sequences are cheapest to
+// transform into the target.
+type NearestExpr struct {
+	Field   FieldRef
+	Target  Operand
+	K       int
+	RuleSet string
+}
+
+func (AndExpr) isExpr()     {}
+func (OrExpr) isExpr()      {}
+func (NotExpr) isExpr()     {}
+func (CmpExpr) isExpr()     {}
+func (SimExpr) isExpr()     {}
+func (NearestExpr) isExpr() {}
+
+// String renders the expression in the concrete syntax.
+func (e AndExpr) String() string { return fmt.Sprintf("(%s AND %s)", e.L, e.R) }
+
+// String renders the expression in the concrete syntax.
+func (e OrExpr) String() string { return fmt.Sprintf("(%s OR %s)", e.L, e.R) }
+
+// String renders the expression in the concrete syntax.
+func (e NotExpr) String() string { return fmt.Sprintf("NOT %s", e.E) }
+
+// String renders the expression in the concrete syntax.
+func (e CmpExpr) String() string {
+	op := "="
+	if e.Neq {
+		op = "!="
+	}
+	return fmt.Sprintf("%s %s %s", e.L, op, e.R)
+}
+
+// String renders the expression in the concrete syntax.
+func (e SimExpr) String() string {
+	pat := ""
+	if e.Pattern {
+		pat = "PATTERN "
+	}
+	return fmt.Sprintf("%s SIMILAR TO %s%s WITHIN %g USING %s", e.Field, pat, e.Target, e.Radius, e.RuleSet)
+}
+
+// String renders the expression in the concrete syntax.
+func (e NearestExpr) String() string {
+	return fmt.Sprintf("%s NEAREST %d TO %s USING %s", e.Field, e.K, e.Target, e.RuleSet)
+}
+
+// Operand is a string literal or a field reference.
+type Operand struct {
+	Lit   string
+	Field FieldRef
+	IsLit bool
+}
+
+// String renders the operand.
+func (o Operand) String() string {
+	if o.IsLit {
+		return fmt.Sprintf("%q", o.Lit)
+	}
+	return o.Field.String()
+}
+
+// FieldRef names a column, optionally qualified.
+type FieldRef struct {
+	Table string
+	Name  string
+}
+
+// String renders the reference.
+func (f FieldRef) String() string {
+	if f.Table == "" {
+		return f.Name
+	}
+	return f.Table + "." + f.Name
+}
+
+// String renders the whole query.
+func (q *Query) String() string {
+	var b strings.Builder
+	if q.Explain {
+		b.WriteString("EXPLAIN ")
+	}
+	b.WriteString("SELECT ")
+	if len(q.Select) == 0 {
+		b.WriteString("*")
+	} else {
+		for i, c := range q.Select {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(c.String())
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, t := range q.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.Name)
+		if t.Alias != t.Name {
+			b.WriteString(" " + t.Alias)
+		}
+	}
+	if q.Where != nil {
+		b.WriteString(" WHERE " + q.Where.String())
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	return b.String()
+}

@@ -1,0 +1,316 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/editdp"
+	"repro/internal/patdist"
+	"repro/internal/pattern"
+	"repro/internal/relation"
+	"repro/internal/rewrite"
+	"repro/internal/transform"
+)
+
+// Engine binds a catalog of relations to a registry of rule sets and
+// executes queries. Safe for concurrent query execution.
+type Engine struct {
+	catalog *relation.Catalog
+
+	mu       sync.RWMutex
+	rulesets map[string]*rewrite.RuleSet
+	calcs    map[string]*editdp.Calculator // edit-like rule sets only
+	generals map[string]*transform.Engine  // everything decidable
+	patterns map[string]*pattern.Pattern   // compiled pattern cache
+}
+
+// NewEngine returns an engine over the catalog with no rule sets
+// registered.
+func NewEngine(cat *relation.Catalog) *Engine {
+	return &Engine{
+		catalog:  cat,
+		rulesets: make(map[string]*rewrite.RuleSet),
+		calcs:    make(map[string]*editdp.Calculator),
+		generals: make(map[string]*transform.Engine),
+		patterns: make(map[string]*pattern.Pattern),
+	}
+}
+
+// Catalog returns the engine's catalog.
+func (e *Engine) Catalog() *relation.Catalog { return e.catalog }
+
+// RegisterRuleSet makes a rule set available to USING clauses under its
+// own name. Edit-like sets get a DP calculator; all sets within the
+// decidable regime get a general search engine.
+func (e *Engine) RegisterRuleSet(rs *rewrite.RuleSet) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rulesets[rs.Name()] = rs
+	if rs.EditLike() {
+		c, err := editdp.New(rs)
+		if err != nil {
+			return err
+		}
+		e.calcs[rs.Name()] = c
+	}
+	g, err := transform.NewEngine(rs)
+	if err != nil {
+		// Zero-cost growth: still allow the DP path if edit-like.
+		if e.calcs[rs.Name()] == nil {
+			return fmt.Errorf("query: rule set %q unusable: %w", rs.Name(), err)
+		}
+		return nil
+	}
+	e.generals[rs.Name()] = g
+	return nil
+}
+
+// RuleSets returns the registered rule set names, sorted.
+func (e *Engine) RuleSets() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.rulesets))
+	for n := range e.rulesets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (e *Engine) ruleset(name string) (*rewrite.RuleSet, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	rs, ok := e.rulesets[name]
+	if !ok {
+		return nil, fmt.Errorf("query: unknown rule set %q", name)
+	}
+	return rs, nil
+}
+
+func (e *Engine) calc(name string) *editdp.Calculator {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.calcs[name]
+}
+
+func (e *Engine) general(name string) *transform.Engine {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.generals[name]
+}
+
+func (e *Engine) compilePattern(src string) (*pattern.Pattern, error) {
+	e.mu.RLock()
+	p, ok := e.patterns[src]
+	e.mu.RUnlock()
+	if ok {
+		return p, nil
+	}
+	p, err := pattern.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.patterns[src] = p
+	e.mu.Unlock()
+	return p, nil
+}
+
+// unitCost reports whether the rule set induces the plain unit edit
+// distance, which licenses the metric indexes.
+func unitCost(rs *rewrite.RuleSet) bool {
+	if !rs.EditLike() || !rs.Symmetric() {
+		return false
+	}
+	for _, r := range rs.Rules() {
+		if r.Cost != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Result is the outcome of a query.
+type Result struct {
+	Columns []string
+	Rows    [][]string
+	Plan    string // access-path description; the whole payload for EXPLAIN
+}
+
+// Execute parses and runs one statement.
+func (e *Engine) Execute(src string) (*Result, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecuteQuery(q)
+}
+
+// ExecuteQuery runs a parsed statement.
+func (e *Engine) ExecuteQuery(q *Query) (*Result, error) {
+	plan, err := e.plan(q)
+	if err != nil {
+		return nil, err
+	}
+	if q.Explain {
+		return &Result{Columns: []string{"plan"}, Rows: [][]string{{plan.describe()}}, Plan: plan.describe()}, nil
+	}
+	return plan.run()
+}
+
+// binding maps table aliases to the tuples of one candidate row, plus
+// the distance produced by the access path (if any).
+type binding struct {
+	aliases map[string]relation.Tuple
+	dist    float64
+	hasDist bool
+}
+
+// evalExpr evaluates a predicate tree against one binding.
+func (e *Engine) evalExpr(ex Expr, b *binding) (bool, error) {
+	switch ex := ex.(type) {
+	case litTrue:
+		return true, nil
+	case AndExpr:
+		l, err := e.evalExpr(ex.L, b)
+		if err != nil || !l {
+			return false, err
+		}
+		return e.evalExpr(ex.R, b)
+	case OrExpr:
+		l, err := e.evalExpr(ex.L, b)
+		if err != nil || l {
+			return l, err
+		}
+		return e.evalExpr(ex.R, b)
+	case NotExpr:
+		v, err := e.evalExpr(ex.E, b)
+		return !v, err
+	case CmpExpr:
+		l, err := operandValue(ex.L, b)
+		if err != nil {
+			return false, err
+		}
+		r, err := operandValue(ex.R, b)
+		if err != nil {
+			return false, err
+		}
+		if ex.Neq {
+			return l != r, nil
+		}
+		return l == r, nil
+	case SimExpr:
+		x, err := fieldValue(ex.Field, b)
+		if err != nil {
+			return false, err
+		}
+		if ex.Pattern {
+			d, ok, err := e.patternWithin(x, ex.Target.Lit, ex.RuleSet, ex.Radius)
+			if err != nil {
+				return false, err
+			}
+			if ok && !b.hasDist {
+				b.dist, b.hasDist = d, true
+			}
+			return ok, nil
+		}
+		target, err := operandValue(ex.Target, b)
+		if err != nil {
+			return false, err
+		}
+		d, ok, err := e.within(x, target, ex.RuleSet, ex.Radius)
+		if err != nil {
+			return false, err
+		}
+		if ok && !b.hasDist {
+			b.dist, b.hasDist = d, true
+		}
+		return ok, nil
+	case NearestExpr:
+		return false, fmt.Errorf("query: NEAREST must be the entire WHERE clause")
+	default:
+		return false, fmt.Errorf("query: unknown expression %T", ex)
+	}
+}
+
+// within tests d(x -> target) <= radius under the named rule set,
+// preferring the DP calculator and falling back to the general engine.
+func (e *Engine) within(x, target, ruleset string, radius float64) (float64, bool, error) {
+	if c := e.calc(ruleset); c != nil {
+		d, ok := c.Within(x, target, radius)
+		return d, ok, nil
+	}
+	if g := e.general(ruleset); g != nil {
+		d, ok, err := g.Distance(x, target, radius)
+		return d, ok, err
+	}
+	_, err := e.ruleset(ruleset)
+	if err != nil {
+		return 0, false, err
+	}
+	return 0, false, fmt.Errorf("query: rule set %q has no usable evaluator", ruleset)
+}
+
+// patternWithin tests d(x -> L(pattern)) <= radius; edit-like rule sets
+// only (the product search requires per-position costs).
+func (e *Engine) patternWithin(x, patSrc, ruleset string, radius float64) (float64, bool, error) {
+	c := e.calc(ruleset)
+	if c == nil {
+		if _, err := e.ruleset(ruleset); err != nil {
+			return 0, false, err
+		}
+		return 0, false, fmt.Errorf("query: pattern similarity requires an edit-like rule set (%q is not)", ruleset)
+	}
+	p, err := e.compilePattern(patSrc)
+	if err != nil {
+		return 0, false, err
+	}
+	d, ok := patdist.Within(c, x, p, radius)
+	return d, ok, nil
+}
+
+func operandValue(o Operand, b *binding) (string, error) {
+	if o.IsLit {
+		return o.Lit, nil
+	}
+	return fieldValue(o.Field, b)
+}
+
+func fieldValue(f FieldRef, b *binding) (string, error) {
+	if f.Name == "dist" {
+		if !b.hasDist {
+			return "", fmt.Errorf("query: dist is not available here")
+		}
+		return formatDist(b.dist), nil
+	}
+	if f.Table != "" {
+		t, ok := b.aliases[f.Table]
+		if !ok {
+			return "", fmt.Errorf("query: unknown alias %q", f.Table)
+		}
+		return t.Attr(f.Name), nil
+	}
+	if len(b.aliases) == 1 {
+		for _, t := range b.aliases {
+			return t.Attr(f.Name), nil
+		}
+	}
+	return "", fmt.Errorf("query: ambiguous field %q; qualify with an alias", f.Name)
+}
+
+func formatDist(d float64) string {
+	if d == math.Trunc(d) {
+		return strconv.FormatFloat(d, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(d, 'g', -1, 64)
+}
+
+// litTrue is the planner's placeholder for a conjunct consumed by the
+// access path.
+type litTrue struct{}
+
+func (litTrue) isExpr()        {}
+func (litTrue) String() string { return "TRUE" }

@@ -1,0 +1,163 @@
+// Package query implements the query language L of the PODS'95
+// similarity-query framework: relational calculus over sequence
+// relations extended with similarity predicates.
+//
+// The concrete syntax is SQL-flavoured:
+//
+//	SELECT * FROM words WHERE seq SIMILAR TO "colour" WITHIN 2 USING edits
+//	SELECT * FROM words WHERE seq SIMILAR TO PATTERN "a(b|c)*d" WITHIN 1 USING edits
+//	SELECT * FROM stocks a, stocks b WHERE a.seq SIMILAR TO b.seq WITHIN 3 USING edits
+//	SELECT * FROM words WHERE seq NEAREST 5 TO "color" USING edits
+//	EXPLAIN SELECT ...
+//
+// The package contains the lexer, parser, logical planner and executor.
+// Planning picks an access path per the rule-set classification: metric
+// indexes (BK-tree, trie) for the unit edit distance, filter+verify for
+// weighted edit-like sets, and scan with the general search engine
+// otherwise.
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokStar
+	tokComma
+	tokDot
+	tokLParen
+	tokRParen
+	tokEq
+	tokNeq
+	tokSemi
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokNumber:
+		return "number"
+	case tokStar:
+		return "'*'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokEq:
+		return "'='"
+	case tokNeq:
+		return "'!='"
+	case tokSemi:
+		return "';'"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex tokenises the query source. Keywords remain tokIdent; the parser
+// matches them case-insensitively.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '.':
+			toks = append(toks, token{tokDot, ".", i})
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == ';':
+			toks = append(toks, token{tokSemi, ";", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokEq, "=", i})
+			i++
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokNeq, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("query: stray '!' at %d", i)
+			}
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\\' && j+1 < len(src) {
+					j++
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("query: unterminated string at %d", i)
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], i})
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < len(src) && isIdentPart(src[j]) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], i})
+			i = j
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+// isIdentPart accepts '-' inside identifiers so rule-set names such as
+// "unit-edits" work in USING clauses; the grammar has no arithmetic, so
+// the dash is unambiguous.
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '-'
+}

@@ -1,0 +1,305 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one statement.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &qparser{toks: toks, src: src}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokSemi {
+		p.next()
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("trailing input starting with %s", p.cur().kind)
+	}
+	return q, nil
+}
+
+type qparser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *qparser) cur() token  { return p.toks[p.pos] }
+func (p *qparser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *qparser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("query: %s (at offset %d in %q)", fmt.Sprintf(format, args...), p.cur().pos, p.src)
+}
+
+// keyword matches a case-insensitive keyword identifier.
+func (p *qparser) keyword(kw string) bool {
+	t := p.cur()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *qparser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return p.errf("expected %s, got %q", strings.ToUpper(kw), p.cur().text)
+	}
+	return nil
+}
+
+func (p *qparser) parseQuery() (*Query, error) {
+	q := &Query{}
+	if p.keyword("explain") {
+		q.Explain = true
+	}
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	// Projection.
+	if p.cur().kind == tokStar {
+		p.next()
+	} else {
+		for {
+			col, err := p.parseColumn()
+			if err != nil {
+				return nil, err
+			}
+			q.Select = append(q.Select, col)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		if p.cur().kind != tokIdent {
+			return nil, p.errf("expected relation name, got %s", p.cur().kind)
+		}
+		name := p.next().text
+		ref := TableRef{Name: name, Alias: name}
+		if p.cur().kind == tokIdent && !isKeyword(p.cur().text) {
+			ref.Alias = p.next().text
+		}
+		q.From = append(q.From, ref)
+		if p.cur().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	if len(q.From) > 2 {
+		return nil, p.errf("at most two relations are supported (got %d)", len(q.From))
+	}
+	if p.keyword("where") {
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+	if p.keyword("limit") {
+		if p.cur().kind != tokNumber {
+			return nil, p.errf("expected limit count")
+		}
+		n, err := strconv.Atoi(p.next().text)
+		if err != nil || n < 0 {
+			return nil, p.errf("bad limit")
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "and": true, "or": true,
+	"not": true, "similar": true, "to": true, "within": true, "using": true,
+	"pattern": true, "nearest": true, "limit": true, "explain": true,
+}
+
+func isKeyword(s string) bool { return keywords[strings.ToLower(s)] }
+
+func (p *qparser) parseColumn() (Column, error) {
+	if p.cur().kind != tokIdent {
+		return Column{}, p.errf("expected column name, got %s", p.cur().kind)
+	}
+	first := p.next().text
+	if p.cur().kind == tokDot {
+		p.next()
+		if p.cur().kind != tokIdent {
+			return Column{}, p.errf("expected column after '.'")
+		}
+		return Column{Table: first, Name: p.next().text}, nil
+	}
+	return Column{Name: first}, nil
+}
+
+func (p *qparser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("or") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = OrExpr{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *qparser) parseAnd() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("and") {
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = AndExpr{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *qparser) parseUnary() (Expr, error) {
+	if p.keyword("not") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return NotExpr{E: e}, nil
+	}
+	if p.cur().kind == tokLParen {
+		p.next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokRParen {
+			return nil, p.errf("missing ')'")
+		}
+		p.next()
+		return e, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *qparser) parsePredicate() (Expr, error) {
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.keyword("similar"):
+		if err := p.expectKeyword("to"); err != nil {
+			return nil, err
+		}
+		if left.IsLit {
+			return nil, p.errf("SIMILAR TO requires a field on the left")
+		}
+		sim := SimExpr{Field: left.Field}
+		if p.keyword("pattern") {
+			sim.Pattern = true
+			if p.cur().kind != tokString {
+				return nil, p.errf("PATTERN requires a string literal")
+			}
+			sim.Target = Operand{Lit: p.next().text, IsLit: true}
+		} else {
+			target, err := p.parseOperand()
+			if err != nil {
+				return nil, err
+			}
+			sim.Target = target
+		}
+		if err := p.expectKeyword("within"); err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokNumber {
+			return nil, p.errf("WITHIN requires a number")
+		}
+		radius, err := strconv.ParseFloat(p.next().text, 64)
+		if err != nil || radius < 0 {
+			return nil, p.errf("bad radius")
+		}
+		sim.Radius = radius
+		if err := p.expectKeyword("using"); err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokIdent {
+			return nil, p.errf("USING requires a rule-set name")
+		}
+		sim.RuleSet = p.next().text
+		return sim, nil
+	case p.keyword("nearest"):
+		if left.IsLit {
+			return nil, p.errf("NEAREST requires a field on the left")
+		}
+		if p.cur().kind != tokNumber {
+			return nil, p.errf("NEAREST requires a count")
+		}
+		k, err := strconv.Atoi(p.next().text)
+		if err != nil || k <= 0 {
+			return nil, p.errf("bad NEAREST count")
+		}
+		if err := p.expectKeyword("to"); err != nil {
+			return nil, err
+		}
+		target, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("using"); err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokIdent {
+			return nil, p.errf("USING requires a rule-set name")
+		}
+		return NearestExpr{Field: left.Field, Target: target, K: k, RuleSet: p.next().text}, nil
+	case p.cur().kind == tokEq || p.cur().kind == tokNeq:
+		neq := p.next().kind == tokNeq
+		right, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		return CmpExpr{L: left, R: right, Neq: neq}, nil
+	default:
+		return nil, p.errf("expected predicate operator, got %q", p.cur().text)
+	}
+}
+
+func (p *qparser) parseOperand() (Operand, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokString:
+		p.next()
+		return Operand{Lit: t.text, IsLit: true}, nil
+	case tokIdent:
+		if isKeyword(t.text) {
+			return Operand{}, p.errf("unexpected keyword %q", t.text)
+		}
+		p.next()
+		if p.cur().kind == tokDot {
+			p.next()
+			if p.cur().kind != tokIdent {
+				return Operand{}, p.errf("expected field after '.'")
+			}
+			return Operand{Field: FieldRef{Table: t.text, Name: p.next().text}}, nil
+		}
+		return Operand{Field: FieldRef{Name: t.text}}, nil
+	default:
+		return Operand{}, p.errf("expected operand, got %s", t.kind)
+	}
+}

@@ -1,0 +1,433 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/index"
+	"repro/internal/relation"
+)
+
+// plan is an executable access path for one query.
+type plan struct {
+	eng  *Engine
+	q    *Query
+	rels []*relation.Relation // aligned with q.From
+
+	// access path, one of:
+	access   string   // "scan", "bktree-range", "nearest-bktree", "nearest-scan", "join-nested", "join-bktree"
+	sim      *SimExpr // the access predicate (range/join paths)
+	nearest  *NearestExpr
+	residual Expr // remaining predicate evaluated per binding (may be nil)
+}
+
+// describe renders the plan for EXPLAIN and Result.Plan.
+func (p *plan) describe() string {
+	var b strings.Builder
+	switch p.access {
+	case "scan":
+		fmt.Fprintf(&b, "Scan(%s)", p.q.From[0].Alias)
+	case "bktree-range":
+		fmt.Fprintf(&b, "IndexRange(%s via bktree, target=%s, radius=%g, ruleset=%s)",
+			p.q.From[0].Alias, p.sim.Target, p.sim.Radius, p.sim.RuleSet)
+	case "nearest-bktree":
+		fmt.Fprintf(&b, "NearestK(%s via bktree, k=%d, ruleset=%s)", p.q.From[0].Alias, p.nearest.K, p.nearest.RuleSet)
+	case "nearest-scan":
+		fmt.Fprintf(&b, "NearestK(%s via scan, k=%d, ruleset=%s)", p.q.From[0].Alias, p.nearest.K, p.nearest.RuleSet)
+	case "join-nested":
+		fmt.Fprintf(&b, "NestedLoopJoin(%s x %s, on %s)", p.q.From[0].Alias, p.q.From[1].Alias, p.sim)
+	case "join-bktree":
+		fmt.Fprintf(&b, "IndexJoin(probe %s into bktree(%s), on %s)", p.q.From[0].Alias, p.q.From[1].Alias, p.sim)
+	}
+	if p.residual != nil {
+		if _, isTrue := p.residual.(litTrue); !isTrue {
+			fmt.Fprintf(&b, " Filter(%s)", p.residual)
+		}
+	}
+	return b.String()
+}
+
+// plan selects the access path for a parsed query.
+func (e *Engine) plan(q *Query) (*plan, error) {
+	if len(q.From) == 0 {
+		return nil, fmt.Errorf("query: FROM clause required")
+	}
+	p := &plan{eng: e, q: q}
+	seen := map[string]bool{}
+	for _, ref := range q.From {
+		r, ok := e.catalog.Get(ref.Name)
+		if !ok {
+			return nil, fmt.Errorf("query: unknown relation %q", ref.Name)
+		}
+		if seen[ref.Alias] {
+			return nil, fmt.Errorf("query: duplicate alias %q", ref.Alias)
+		}
+		seen[ref.Alias] = true
+		p.rels = append(p.rels, r)
+	}
+
+	// Validate rule sets referenced anywhere in WHERE.
+	if err := e.validateExpr(q.Where); err != nil {
+		return nil, err
+	}
+
+	// NEAREST: must be the whole WHERE clause on a single table.
+	if ne, ok := q.Where.(NearestExpr); ok {
+		if len(q.From) != 1 {
+			return nil, fmt.Errorf("query: NEAREST requires a single relation")
+		}
+		if !ne.Target.IsLit {
+			return nil, fmt.Errorf("query: NEAREST requires a literal target")
+		}
+		rs, err := e.ruleset(ne.RuleSet)
+		if err != nil {
+			return nil, err
+		}
+		if e.calc(ne.RuleSet) == nil {
+			return nil, fmt.Errorf("query: NEAREST requires an edit-like rule set (%q is not)", ne.RuleSet)
+		}
+		p.nearest = &ne
+		if unitCost(rs) {
+			p.access = "nearest-bktree"
+		} else {
+			p.access = "nearest-scan"
+		}
+		return p, nil
+	}
+
+	if len(q.From) == 2 {
+		// Join: find a top-level SimExpr conjunct across the two aliases.
+		sim, residual := extractJoinSim(q.Where, q.From[0].Alias, q.From[1].Alias)
+		if sim == nil {
+			return nil, fmt.Errorf("query: joins require a SIMILAR TO predicate between the two relations")
+		}
+		p.sim = sim
+		p.residual = residual
+		rs, err := e.ruleset(sim.RuleSet)
+		if err != nil {
+			return nil, err
+		}
+		if unitCost(rs) {
+			p.access = "join-bktree"
+		} else {
+			p.access = "join-nested"
+		}
+		return p, nil
+	}
+
+	// Single table: look for an indexable SIMILAR TO conjunct.
+	if sim, residual := extractRangeSim(q.Where); sim != nil {
+		rs, err := e.ruleset(sim.RuleSet)
+		if err != nil {
+			return nil, err
+		}
+		if unitCost(rs) && sim.Radius == float64(int(sim.Radius)) {
+			p.access = "bktree-range"
+			p.sim = sim
+			p.residual = residual
+			return p, nil
+		}
+	}
+	p.access = "scan"
+	p.residual = q.Where
+	return p, nil
+}
+
+// validateExpr checks rule-set names and pattern syntax eagerly so bad
+// queries fail before execution.
+func (e *Engine) validateExpr(ex Expr) error {
+	switch ex := ex.(type) {
+	case nil:
+		return nil
+	case AndExpr:
+		if err := e.validateExpr(ex.L); err != nil {
+			return err
+		}
+		return e.validateExpr(ex.R)
+	case OrExpr:
+		if err := e.validateExpr(ex.L); err != nil {
+			return err
+		}
+		return e.validateExpr(ex.R)
+	case NotExpr:
+		return e.validateExpr(ex.E)
+	case SimExpr:
+		if _, err := e.ruleset(ex.RuleSet); err != nil {
+			return err
+		}
+		if ex.Pattern {
+			if _, err := e.compilePattern(ex.Target.Lit); err != nil {
+				return err
+			}
+		}
+		return nil
+	case NearestExpr:
+		_, err := e.ruleset(ex.RuleSet)
+		return err
+	default:
+		return nil
+	}
+}
+
+// extractRangeSim walks the top-level AND chain for a SimExpr with a
+// literal, non-pattern target; returns it and the residual expression
+// with that conjunct replaced by TRUE.
+func extractRangeSim(ex Expr) (*SimExpr, Expr) {
+	switch ex := ex.(type) {
+	case SimExpr:
+		if ex.Target.IsLit && !ex.Pattern {
+			return &ex, litTrue{}
+		}
+	case AndExpr:
+		if s, rl := extractRangeSim(ex.L); s != nil {
+			return s, AndExpr{L: rl, R: ex.R}
+		}
+		if s, rr := extractRangeSim(ex.R); s != nil {
+			return s, AndExpr{L: ex.L, R: rr}
+		}
+	}
+	return nil, ex
+}
+
+// extractJoinSim finds a top-level SimExpr conjunct whose field and
+// target reference the two different aliases.
+func extractJoinSim(ex Expr, leftAlias, rightAlias string) (*SimExpr, Expr) {
+	switch ex := ex.(type) {
+	case SimExpr:
+		if !ex.Target.IsLit && !ex.Pattern {
+			ft, tt := ex.Field.Table, ex.Target.Field.Table
+			if ft == leftAlias && tt == rightAlias || ft == rightAlias && tt == leftAlias {
+				return &ex, litTrue{}
+			}
+		}
+	case AndExpr:
+		if s, rl := extractJoinSim(ex.L, leftAlias, rightAlias); s != nil {
+			return s, AndExpr{L: rl, R: ex.R}
+		}
+		if s, rr := extractJoinSim(ex.R, leftAlias, rightAlias); s != nil {
+			return s, AndExpr{L: ex.L, R: rr}
+		}
+	}
+	return nil, ex
+}
+
+// run executes the plan and assembles the result.
+func (p *plan) run() (*Result, error) {
+	switch p.access {
+	case "scan":
+		return p.runScan()
+	case "bktree-range":
+		return p.runIndexRange()
+	case "nearest-bktree", "nearest-scan":
+		return p.runNearest()
+	case "join-nested", "join-bktree":
+		return p.runJoin()
+	default:
+		return nil, fmt.Errorf("query: unknown access path %q", p.access)
+	}
+}
+
+func (p *plan) runScan() (*Result, error) {
+	rel := p.rels[0]
+	alias := p.q.From[0].Alias
+	res := p.newResult(false)
+	for _, t := range rel.Tuples() {
+		b := &binding{aliases: map[string]relation.Tuple{alias: t}}
+		if p.residual != nil {
+			ok, err := p.eng.evalExpr(p.residual, b)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		if err := p.emit(res, b); err != nil {
+			return nil, err
+		}
+		if p.q.Limit > 0 && len(res.Rows) >= p.q.Limit {
+			break
+		}
+	}
+	return res, nil
+}
+
+func (p *plan) runIndexRange() (*Result, error) {
+	rel := p.rels[0]
+	alias := p.q.From[0].Alias
+	res := p.newResult(false)
+	matches := rel.BKTree().Range(p.sim.Target.Lit, int(p.sim.Radius))
+	sort.Slice(matches, func(i, j int) bool { return matches[i].ID < matches[j].ID })
+	for _, m := range matches {
+		t, ok := rel.Tuple(m.ID)
+		if !ok {
+			return nil, fmt.Errorf("query: index returned unknown id %d", m.ID)
+		}
+		b := &binding{aliases: map[string]relation.Tuple{alias: t}, dist: m.Dist, hasDist: true}
+		if p.residual != nil {
+			keep, err := p.eng.evalExpr(p.residual, b)
+			if err != nil {
+				return nil, err
+			}
+			if !keep {
+				continue
+			}
+		}
+		if err := p.emit(res, b); err != nil {
+			return nil, err
+		}
+		if p.q.Limit > 0 && len(res.Rows) >= p.q.Limit {
+			break
+		}
+	}
+	return res, nil
+}
+
+func (p *plan) runNearest() (*Result, error) {
+	rel := p.rels[0]
+	alias := p.q.From[0].Alias
+	res := p.newResult(false)
+	var matches []index.Match
+	if p.access == "nearest-bktree" {
+		matches = rel.BKTree().NearestK(p.nearest.Target.Lit, p.nearest.K)
+	} else {
+		c := p.eng.calc(p.nearest.RuleSet)
+		for _, t := range rel.Tuples() {
+			if d := c.Distance(t.Seq, p.nearest.Target.Lit); d < infCut {
+				matches = append(matches, index.Match{ID: t.ID, S: t.Seq, Dist: d})
+			}
+		}
+		sort.Slice(matches, func(i, j int) bool {
+			if matches[i].Dist != matches[j].Dist {
+				return matches[i].Dist < matches[j].Dist
+			}
+			return matches[i].ID < matches[j].ID
+		})
+		if len(matches) > p.nearest.K {
+			matches = matches[:p.nearest.K]
+		}
+	}
+	for _, m := range matches {
+		t, _ := rel.Tuple(m.ID)
+		b := &binding{aliases: map[string]relation.Tuple{alias: t}, dist: m.Dist, hasDist: true}
+		if err := p.emit(res, b); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+const infCut = 1e300
+
+func (p *plan) runJoin() (*Result, error) {
+	leftAlias, rightAlias := p.q.From[0].Alias, p.q.From[1].Alias
+	left, right := p.rels[0], p.rels[1]
+	// Normalise: sim.Field on left alias, sim.Target on right alias.
+	sim := *p.sim
+	if sim.Field.Table == rightAlias {
+		sim.Field, sim.Target.Field = sim.Target.Field, sim.Field
+	}
+	res := p.newResult(true)
+	emitPair := func(lt, rt relation.Tuple, d float64, hasDist bool) (bool, error) {
+		b := &binding{aliases: map[string]relation.Tuple{leftAlias: lt, rightAlias: rt}, dist: d, hasDist: hasDist}
+		if p.residual != nil {
+			keep, err := p.eng.evalExpr(p.residual, b)
+			if err != nil || !keep {
+				return false, err
+			}
+		}
+		if err := p.emit(res, b); err != nil {
+			return false, err
+		}
+		return p.q.Limit > 0 && len(res.Rows) >= p.q.Limit, nil
+	}
+
+	if p.access == "join-bktree" {
+		bk := right.BKTree()
+		for _, lt := range left.Tuples() {
+			matches := bk.Range(lt.Attr(sim.Field.Name), int(sim.Radius))
+			sort.Slice(matches, func(i, j int) bool { return matches[i].ID < matches[j].ID })
+			for _, m := range matches {
+				rt, _ := right.Tuple(m.ID)
+				done, err := emitPair(lt, rt, m.Dist, true)
+				if err != nil {
+					return nil, err
+				}
+				if done {
+					return res, nil
+				}
+			}
+		}
+		return res, nil
+	}
+
+	for _, lt := range left.Tuples() {
+		x := lt.Attr(sim.Field.Name)
+		for _, rt := range right.Tuples() {
+			y := rt.Attr(sim.Target.Field.Name)
+			d, ok, err := p.eng.within(x, y, sim.RuleSet, sim.Radius)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			done, err := emitPair(lt, rt, d, true)
+			if err != nil {
+				return nil, err
+			}
+			if done {
+				return res, nil
+			}
+		}
+	}
+	return res, nil
+}
+
+// newResult prepares the result header for the query's projection.
+func (p *plan) newResult(join bool) *Result {
+	res := &Result{Plan: p.describe()}
+	if len(p.q.Select) > 0 {
+		for _, c := range p.q.Select {
+			res.Columns = append(res.Columns, c.String())
+		}
+		return res
+	}
+	// '*': id and seq per alias, then dist.
+	for _, ref := range p.q.From {
+		prefix := ""
+		if join {
+			prefix = ref.Alias + "."
+		}
+		res.Columns = append(res.Columns, prefix+"id", prefix+"seq")
+	}
+	res.Columns = append(res.Columns, "dist")
+	return res
+}
+
+// emit projects one binding into the result.
+func (p *plan) emit(res *Result, b *binding) error {
+	row := make([]string, 0, len(res.Columns))
+	if len(p.q.Select) > 0 {
+		for _, c := range p.q.Select {
+			v, err := fieldValue(FieldRef{Table: c.Table, Name: c.Name}, b)
+			if err != nil {
+				return err
+			}
+			row = append(row, v)
+		}
+	} else {
+		for _, ref := range p.q.From {
+			t := b.aliases[ref.Alias]
+			row = append(row, fmt.Sprintf("%d", t.ID), t.Seq)
+		}
+		if b.hasDist {
+			row = append(row, formatDist(b.dist))
+		} else {
+			row = append(row, "")
+		}
+	}
+	res.Rows = append(res.Rows, row)
+	return nil
+}

@@ -1,0 +1,250 @@
+// Package relation provides the database substrate of the framework:
+// named relations of sequences. Following the paper we treat relations
+// as (essentially) unary — sets of sequences — but tuples may carry
+// auxiliary string attributes (source, date, ...) that queries can
+// filter on with equality predicates.
+//
+// A Relation owns lazily-built similarity indexes so that one loaded
+// data set can serve many query strategies; building is guarded by a
+// mutex, reads of a built index are lock-free.
+package relation
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/index"
+)
+
+// Tuple is one row of a relation.
+type Tuple struct {
+	ID    int
+	Seq   string
+	Attrs map[string]string
+}
+
+// Attr returns the named attribute ("" when absent). The built-in
+// columns "id" and "seq" are also addressable.
+func (t Tuple) Attr(name string) string {
+	switch name {
+	case "id":
+		return strconv.Itoa(t.ID)
+	case "seq":
+		return t.Seq
+	default:
+		return t.Attrs[name]
+	}
+}
+
+// Relation is a named collection of tuples with lazily-built indexes.
+type Relation struct {
+	name   string
+	tuples []Tuple
+
+	mu     sync.Mutex
+	bk     *index.BKTree
+	trie   *index.Trie
+	length *index.LengthIndex
+	qgram  *index.QGramIndex
+}
+
+// New returns an empty relation.
+func New(name string) *Relation { return &Relation{name: name} }
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.name }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Insert appends a tuple and returns its id. Indexes built earlier are
+// invalidated (dropped) — loading precedes querying in this system.
+func (r *Relation) Insert(seq string, attrs map[string]string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := len(r.tuples)
+	r.tuples = append(r.tuples, Tuple{ID: id, Seq: seq, Attrs: attrs})
+	r.bk, r.trie, r.length, r.qgram = nil, nil, nil, nil
+	return id
+}
+
+// Tuples returns the tuples. Callers must not modify the slice.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Tuple returns the tuple with the given id.
+func (r *Relation) Tuple(id int) (Tuple, bool) {
+	if id < 0 || id >= len(r.tuples) {
+		return Tuple{}, false
+	}
+	return r.tuples[id], true
+}
+
+// Entries adapts the tuples for the index package.
+func (r *Relation) Entries() []index.Entry {
+	out := make([]index.Entry, len(r.tuples))
+	for i, t := range r.tuples {
+		out[i] = index.Entry{ID: t.ID, S: t.Seq}
+	}
+	return out
+}
+
+// BKTree returns the relation's BK-tree, building it on first use.
+func (r *Relation) BKTree() *index.BKTree {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.bk == nil {
+		bk := index.NewBKTree()
+		for _, t := range r.tuples {
+			bk.Insert(t.ID, t.Seq)
+		}
+		r.bk = bk
+	}
+	return r.bk
+}
+
+// Trie returns the relation's trie index, building it on first use.
+func (r *Relation) Trie() *index.Trie {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.trie == nil {
+		tr := index.NewTrie()
+		for _, t := range r.tuples {
+			tr.Insert(t.ID, t.Seq)
+		}
+		r.trie = tr
+	}
+	return r.trie
+}
+
+// LengthIndex returns the relation's length index, building it on first
+// use.
+func (r *Relation) LengthIndex() *index.LengthIndex {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.length == nil {
+		li := index.NewLengthIndex()
+		for _, t := range r.tuples {
+			li.Insert(t.ID, t.Seq)
+		}
+		r.length = li
+	}
+	return r.length
+}
+
+// QGramIndex returns the relation's 2-gram index, building it on first
+// use.
+func (r *Relation) QGramIndex() *index.QGramIndex {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.qgram == nil {
+		qg := index.NewQGramIndex(2)
+		for _, t := range r.tuples {
+			qg.Insert(t.ID, t.Seq)
+		}
+		r.qgram = qg
+	}
+	return r.qgram
+}
+
+// Store writes the relation in the text codec: one tuple per line,
+// "seq TAB k=v TAB k=v...". IDs are positional and not stored.
+func (r *Relation) Store(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range r.tuples {
+		if strings.ContainsAny(t.Seq, "\t\n") {
+			return fmt.Errorf("relation: sequence %q contains tab/newline; not representable", t.Seq)
+		}
+		if _, err := bw.WriteString(t.Seq); err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(t.Attrs))
+		for k := range t.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if _, err := fmt.Fprintf(bw, "\t%s=%s", k, t.Attrs[k]); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a relation in the Store codec. Lines starting with '#' and
+// blank lines are skipped.
+func Load(name string, rd io.Reader) (*Relation, error) {
+	r := New(name)
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, "\t")
+		var attrs map[string]string
+		for _, p := range parts[1:] {
+			eq := strings.IndexByte(p, '=')
+			if eq < 0 {
+				return nil, fmt.Errorf("relation %s: line %d: bad attribute %q", name, line, p)
+			}
+			if attrs == nil {
+				attrs = make(map[string]string)
+			}
+			attrs[p[:eq]] = p[eq+1:]
+		}
+		r.Insert(parts[0], attrs)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("relation %s: %w", name, err)
+	}
+	return r, nil
+}
+
+// Catalog is a named set of relations — the database the query engine
+// runs against.
+type Catalog struct {
+	mu   sync.RWMutex
+	rels map[string]*Relation
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog { return &Catalog{rels: make(map[string]*Relation)} }
+
+// Add registers a relation, replacing any previous one with the name.
+func (c *Catalog) Add(r *Relation) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rels[r.Name()] = r
+}
+
+// Get returns the named relation.
+func (c *Catalog) Get(name string) (*Relation, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.rels[name]
+	return r, ok
+}
+
+// Names returns the registered relation names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.rels))
+	for n := range c.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,151 @@
+package rewrite
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseRuleSet reads a rule set in the textual rule language:
+//
+//	# comment
+//	ruleset edits
+//	ab -> ba : 1
+//	a  -> b  : 0.5
+//	a  -> ε  : 1      # deletion; "eps", "ε" and "" all denote epsilon
+//	ε  -> a  : 1      # insertion
+//	swap a b : 1      # sugar: ab -> ba and ba -> ab
+//	edits abc : 1     # sugar: unit edits over alphabet "abc" at cost 1
+//
+// The optional "ruleset NAME" header names the set; otherwise name is
+// used. Blank lines and #-comments are ignored.
+func ParseRuleSet(name string, r io.Reader) (*RuleSet, error) {
+	var rules []Rule
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "ruleset":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("rewrite: line %d: ruleset takes one name", lineNo)
+			}
+			name = fields[1]
+			continue
+		case "swap":
+			cost, err := parseSugar(fields, 4, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			if len(fields[1]) != 1 || len(fields[2]) != 1 {
+				return nil, fmt.Errorf("rewrite: line %d: swap takes two single symbols", lineNo)
+			}
+			c, d := fields[1][0], fields[2][0]
+			rules = append(rules, Swap(c, d, cost), Swap(d, c, cost))
+			continue
+		case "edits":
+			cost, err := parseSugar(fields, 3, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range UnitEdits(fields[1]).Rules() {
+				r.Cost = cost
+				rules = append(rules, r)
+			}
+			continue
+		}
+		rule, err := ParseRule(line)
+		if err != nil {
+			return nil, fmt.Errorf("rewrite: line %d: %w", lineNo, err)
+		}
+		rules = append(rules, rule)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rewrite: reading rules: %w", err)
+	}
+	return NewRuleSet(name, rules)
+}
+
+// parseSugar validates a sugar line "kw arg... : cost" with want fields
+// before the colon-cost suffix and returns the cost.
+func parseSugar(fields []string, want int, lineNo int) (float64, error) {
+	// Accept both "swap a b : 1" (5 fields) and "swap a b :1"-style
+	// joined forms by re-splitting on ':'.
+	joined := strings.Join(fields, " ")
+	parts := strings.SplitN(joined, ":", 2)
+	if len(parts) != 2 {
+		return 0, fmt.Errorf("rewrite: line %d: missing ': cost'", lineNo)
+	}
+	head := strings.Fields(parts[0])
+	if len(head) != want-1 {
+		return 0, fmt.Errorf("rewrite: line %d: want %d tokens before cost, got %d", lineNo, want-1, len(head))
+	}
+	cost, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return 0, fmt.Errorf("rewrite: line %d: bad cost: %w", lineNo, err)
+	}
+	return cost, nil
+}
+
+// ParseRule parses a single "LHS -> RHS : cost" line. "ε" and "eps"
+// denote the empty string on either side.
+func ParseRule(s string) (Rule, error) {
+	arrow := strings.Index(s, "->")
+	if arrow < 0 {
+		return Rule{}, fmt.Errorf("missing '->' in rule %q", s)
+	}
+	rest := s[arrow+2:]
+	colon := strings.LastIndex(rest, ":")
+	if colon < 0 {
+		return Rule{}, fmt.Errorf("missing ': cost' in rule %q", s)
+	}
+	lhs := decodeSide(s[:arrow])
+	rhs := decodeSide(rest[:colon])
+	cost, err := strconv.ParseFloat(strings.TrimSpace(rest[colon+1:]), 64)
+	if err != nil {
+		return Rule{}, fmt.Errorf("bad cost in rule %q: %w", s, err)
+	}
+	r := Rule{LHS: lhs, RHS: rhs, Cost: cost}
+	if err := r.Validate(); err != nil {
+		return Rule{}, err
+	}
+	return r, nil
+}
+
+func decodeSide(s string) string {
+	s = strings.TrimSpace(s)
+	if s == "ε" || s == "eps" || s == `""` {
+		return ""
+	}
+	return s
+}
+
+// FormatRuleSet writes the rule set in the textual rule language, such
+// that ParseRuleSet reads it back equivalently.
+func FormatRuleSet(rs *RuleSet) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ruleset %s\n", rs.Name())
+	for _, r := range rs.Rules() {
+		lhs := r.LHS
+		if lhs == "" {
+			lhs = "ε"
+		}
+		rhs := r.RHS
+		if rhs == "" {
+			rhs = "ε"
+		}
+		fmt.Fprintf(&b, "%s -> %s : %g\n", lhs, rhs, r.Cost)
+	}
+	return b.String()
+}

@@ -1,0 +1,148 @@
+// Package rewrite implements the transformation rule language T of the
+// PODS'95 similarity-query framework for the sequence domain.
+//
+// A transformation rule rewrites an occurrence of a left-hand-side string
+// into a right-hand-side string at a non-negative cost:
+//
+//	ab -> ba : 1      (transpose adjacent a,b)
+//	a  ->    : 1      (delete an a)
+//	   -> a  : 1      (insert an a)
+//	a  -> b  : 0.5    (substitute a by b)
+//
+// Object A is similar to object B under a rule set if B can be reduced to
+// A by a sequence of rule applications; the similarity (transformation)
+// distance is the minimum total cost of such a sequence. The package
+// classifies rule sets into the regimes the paper's complexity analysis
+// distinguishes: edit-like sets (polynomial dynamic programming,
+// internal/editdp), positive-cost sets (decidable cost-bounded search,
+// internal/transform) and zero-cost length-increasing sets (the
+// undecidable regime, which the engine refuses).
+package rewrite
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Rule is a single rewrite rule LHS -> RHS with a non-negative cost.
+// Either side may be empty: an empty LHS is an insertion, an empty RHS a
+// deletion. A rule with both sides empty is invalid.
+type Rule struct {
+	LHS  string
+	RHS  string
+	Cost float64
+}
+
+// Validate reports whether the rule is well formed.
+func (r Rule) Validate() error {
+	if r.LHS == "" && r.RHS == "" {
+		return fmt.Errorf("rewrite: rule %v has empty LHS and RHS", r)
+	}
+	if r.Cost < 0 {
+		return fmt.Errorf("rewrite: rule %v has negative cost", r)
+	}
+	return nil
+}
+
+// String renders the rule in the textual rule syntax.
+func (r Rule) String() string {
+	lhs := r.LHS
+	if lhs == "" {
+		lhs = "ε"
+	}
+	rhs := r.RHS
+	if rhs == "" {
+		rhs = "ε"
+	}
+	return fmt.Sprintf("%s -> %s : %g", lhs, rhs, r.Cost)
+}
+
+// Inverse returns the rule with LHS and RHS swapped, at the same cost.
+func (r Rule) Inverse() Rule { return Rule{LHS: r.RHS, RHS: r.LHS, Cost: r.Cost} }
+
+// LengthDelta returns len(RHS) - len(LHS): how much one application
+// changes the length of the subject string.
+func (r Rule) LengthDelta() int { return len(r.RHS) - len(r.LHS) }
+
+// IsInsert reports whether the rule inserts a single symbol (ε -> c).
+func (r Rule) IsInsert() bool { return r.LHS == "" && len(r.RHS) == 1 }
+
+// IsDelete reports whether the rule deletes a single symbol (c -> ε).
+func (r Rule) IsDelete() bool { return len(r.LHS) == 1 && r.RHS == "" }
+
+// IsSubst reports whether the rule substitutes one symbol for another
+// (c -> d with c != d).
+func (r Rule) IsSubst() bool {
+	return len(r.LHS) == 1 && len(r.RHS) == 1 && r.LHS != r.RHS
+}
+
+// IsEditLike reports whether the rule is a single-symbol insertion,
+// deletion or substitution — the class for which weighted edit distance
+// dynamic programming applies.
+func (r Rule) IsEditLike() bool { return r.IsInsert() || r.IsDelete() || r.IsSubst() }
+
+// Application records one way a rule can fire on a subject string.
+type Application struct {
+	Rule   Rule
+	Pos    int    // byte offset of the match
+	Result string // the rewritten string
+}
+
+// Applications returns every application of r to s, in position order.
+// An insertion rule applies at every gap position 0..len(s); other rules
+// apply at every occurrence of the LHS.
+func (r Rule) Applications(s string) []Application {
+	var apps []Application
+	if r.LHS == "" {
+		for i := 0; i <= len(s); i++ {
+			apps = append(apps, Application{Rule: r, Pos: i, Result: s[:i] + r.RHS + s[i:]})
+		}
+		return apps
+	}
+	for i := 0; i+len(r.LHS) <= len(s); i++ {
+		if s[i:i+len(r.LHS)] == r.LHS {
+			apps = append(apps, Application{Rule: r, Pos: i, Result: s[:i] + r.RHS + s[i+len(r.LHS):]})
+		}
+	}
+	return apps
+}
+
+// CountApplications returns the number of positions where r fires on s
+// without materialising the rewritten strings.
+func (r Rule) CountApplications(s string) int {
+	if r.LHS == "" {
+		return len(s) + 1
+	}
+	n := 0
+	for i := 0; i+len(r.LHS) <= len(s); i++ {
+		if s[i:i+len(r.LHS)] == r.LHS {
+			n++
+		}
+	}
+	return n
+}
+
+// Edit rule constructors. Costs must be non-negative.
+
+// Insert returns the insertion rule ε -> c.
+func Insert(c byte, cost float64) Rule { return Rule{LHS: "", RHS: string(c), Cost: cost} }
+
+// Delete returns the deletion rule c -> ε.
+func Delete(c byte, cost float64) Rule { return Rule{LHS: string(c), RHS: "", Cost: cost} }
+
+// Subst returns the substitution rule c -> d.
+func Subst(c, d byte, cost float64) Rule { return Rule{LHS: string(c), RHS: string(d), Cost: cost} }
+
+// Swap returns the adjacent-transposition rule cd -> dc.
+func Swap(c, d byte, cost float64) Rule {
+	return Rule{LHS: string([]byte{c, d}), RHS: string([]byte{d, c}), Cost: cost}
+}
+
+func ruleKey(r Rule) string {
+	var b strings.Builder
+	b.Grow(len(r.LHS) + len(r.RHS) + 1)
+	b.WriteString(r.LHS)
+	b.WriteByte(0)
+	b.WriteString(r.RHS)
+	return b.String()
+}

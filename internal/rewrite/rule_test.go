@@ -1,0 +1,329 @@
+package rewrite
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRuleValidate(t *testing.T) {
+	for _, tc := range []struct {
+		r  Rule
+		ok bool
+	}{
+		{Rule{LHS: "a", RHS: "b", Cost: 1}, true},
+		{Rule{LHS: "", RHS: "b", Cost: 0}, true},
+		{Rule{LHS: "a", RHS: "", Cost: 2}, true},
+		{Rule{LHS: "", RHS: "", Cost: 1}, false},
+		{Rule{LHS: "a", RHS: "b", Cost: -1}, false},
+	} {
+		err := tc.r.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("Validate(%v) err=%v, want ok=%v", tc.r, err, tc.ok)
+		}
+	}
+}
+
+func TestRulePredicates(t *testing.T) {
+	for _, tc := range []struct {
+		r                       Rule
+		ins, del, sub, editLike bool
+	}{
+		{Insert('a', 1), true, false, false, true},
+		{Delete('a', 1), false, true, false, true},
+		{Subst('a', 'b', 1), false, false, true, true},
+		{Rule{LHS: "a", RHS: "a", Cost: 0}, false, false, false, false},
+		{Swap('a', 'b', 1), false, false, false, false},
+		{Rule{LHS: "ab", RHS: "c", Cost: 1}, false, false, false, false},
+	} {
+		if got := tc.r.IsInsert(); got != tc.ins {
+			t.Errorf("%v IsInsert = %v", tc.r, got)
+		}
+		if got := tc.r.IsDelete(); got != tc.del {
+			t.Errorf("%v IsDelete = %v", tc.r, got)
+		}
+		if got := tc.r.IsSubst(); got != tc.sub {
+			t.Errorf("%v IsSubst = %v", tc.r, got)
+		}
+		if got := tc.r.IsEditLike(); got != tc.editLike {
+			t.Errorf("%v IsEditLike = %v", tc.r, got)
+		}
+	}
+}
+
+func TestRuleApplications(t *testing.T) {
+	r := Swap('a', 'b', 1)
+	apps := r.Applications("abab")
+	if len(apps) != 2 {
+		t.Fatalf("Applications = %d, want 2", len(apps))
+	}
+	if apps[0].Pos != 0 || apps[0].Result != "baab" {
+		t.Errorf("apps[0] = %+v", apps[0])
+	}
+	if apps[1].Pos != 2 || apps[1].Result != "abba" {
+		t.Errorf("apps[1] = %+v", apps[1])
+	}
+}
+
+func TestInsertApplications(t *testing.T) {
+	r := Insert('x', 1)
+	apps := r.Applications("ab")
+	want := []string{"xab", "axb", "abx"}
+	if len(apps) != len(want) {
+		t.Fatalf("Applications = %d, want %d", len(apps), len(want))
+	}
+	for i, w := range want {
+		if apps[i].Result != w {
+			t.Errorf("apps[%d].Result = %q, want %q", i, apps[i].Result, w)
+		}
+	}
+}
+
+func TestCountApplications(t *testing.T) {
+	for _, tc := range []struct {
+		r    Rule
+		s    string
+		want int
+	}{
+		{Insert('x', 1), "ab", 3},
+		{Delete('a', 1), "aba", 2},
+		{Rule{LHS: "aa", RHS: "b", Cost: 1}, "aaa", 2},
+		{Rule{LHS: "z", RHS: "b", Cost: 1}, "aaa", 0},
+	} {
+		if got := tc.r.CountApplications(tc.s); got != tc.want {
+			t.Errorf("CountApplications(%v, %q) = %d, want %d", tc.r, tc.s, got, tc.want)
+		}
+		if got := len(tc.r.Applications(tc.s)); got != tc.want {
+			t.Errorf("len(Applications(%v, %q)) = %d, want %d", tc.r, tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestRuleInverse(t *testing.T) {
+	r := Rule{LHS: "ab", RHS: "c", Cost: 2.5}
+	inv := r.Inverse()
+	if inv.LHS != "c" || inv.RHS != "ab" || inv.Cost != 2.5 {
+		t.Errorf("Inverse = %+v", inv)
+	}
+	if got := inv.Inverse(); got != r {
+		t.Errorf("double Inverse = %+v, want %+v", got, r)
+	}
+}
+
+func TestRuleSetClassification(t *testing.T) {
+	edit := MustRuleSet("e", []Rule{Insert('a', 1), Delete('a', 1), Subst('a', 'b', 1)})
+	if !edit.EditLike() {
+		t.Error("edit set not EditLike")
+	}
+	if edit.Symmetric() {
+		t.Error("asymmetric edit set reported Symmetric (no b->a rule)")
+	}
+	if edit.NonLengthIncreasing() {
+		t.Error("set with insertion reported NonLengthIncreasing")
+	}
+	if edit.HasZeroCost() {
+		t.Error("HasZeroCost = true")
+	}
+	if got := edit.MinPositiveCost(); got != 1 {
+		t.Errorf("MinPositiveCost = %g", got)
+	}
+
+	sym := MustRuleSet("s", []Rule{Subst('a', 'b', 2), Subst('b', 'a', 2)})
+	if !sym.Symmetric() {
+		t.Error("symmetric set not Symmetric")
+	}
+	if !sym.NonLengthIncreasing() {
+		t.Error("substitution-only set not NonLengthIncreasing")
+	}
+
+	grow := MustRuleSet("g", []Rule{{LHS: "a", RHS: "aa", Cost: 0}})
+	if !grow.ZeroCostGrowth() {
+		t.Error("zero-cost growing rule not flagged")
+	}
+	if got := grow.MinPositiveCost(); !math.IsInf(got, 1) {
+		t.Errorf("MinPositiveCost all-zero = %g, want +Inf", got)
+	}
+}
+
+func TestRuleSetDedup(t *testing.T) {
+	rs := MustRuleSet("d", []Rule{Subst('a', 'b', 3), Subst('a', 'b', 1), Subst('a', 'b', 2)})
+	if rs.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", rs.Len())
+	}
+	if got := rs.Rules()[0].Cost; got != 1 {
+		t.Errorf("kept cost %g, want cheapest 1", got)
+	}
+}
+
+func TestRuleSetEmpty(t *testing.T) {
+	if _, err := NewRuleSet("x", nil); err == nil {
+		t.Fatal("empty rule set accepted")
+	}
+}
+
+func TestRuleSetInverse(t *testing.T) {
+	rs := MustRuleSet("r", []Rule{{LHS: "ab", RHS: "c", Cost: 1}, Insert('z', 2)})
+	inv := rs.Inverse()
+	if inv.Len() != 2 {
+		t.Fatalf("inverse Len = %d", inv.Len())
+	}
+	if r := inv.Rules()[0]; r.LHS != "c" || r.RHS != "ab" {
+		t.Errorf("inverse rule 0 = %+v", r)
+	}
+	if r := inv.Rules()[1]; !r.IsDelete() {
+		t.Errorf("inverse of insert not delete: %+v", r)
+	}
+}
+
+func TestUnitEdits(t *testing.T) {
+	rs := UnitEdits("ab")
+	// 2 inserts + 2 deletes + 2 substitutions.
+	if rs.Len() != 6 {
+		t.Fatalf("UnitEdits(ab) Len = %d, want 6", rs.Len())
+	}
+	if !rs.EditLike() {
+		t.Error("UnitEdits not EditLike")
+	}
+	if !rs.Symmetric() {
+		t.Error("UnitEdits not Symmetric")
+	}
+	// Duplicate alphabet symbols must not duplicate rules.
+	if got := UnitEdits("aabb").Len(); got != 6 {
+		t.Errorf("UnitEdits(aabb) Len = %d, want 6", got)
+	}
+}
+
+func TestEditCosts(t *testing.T) {
+	rs := MustRuleSet("w", []Rule{Insert('a', 2), Delete('b', 3), Subst('a', 'b', 0.5)})
+	ec, err := rs.EditCosts()
+	if err != nil {
+		t.Fatalf("EditCosts: %v", err)
+	}
+	if got := ec.Ins('a'); got != 2 {
+		t.Errorf("Ins(a) = %g", got)
+	}
+	if got := ec.Ins('b'); !math.IsInf(got, 1) {
+		t.Errorf("Ins(b) = %g, want +Inf", got)
+	}
+	if got := ec.Del('b'); got != 3 {
+		t.Errorf("Del(b) = %g", got)
+	}
+	if got := ec.Sub('a', 'b'); got != 0.5 {
+		t.Errorf("Sub(a,b) = %g", got)
+	}
+	if got := ec.Sub('a', 'a'); got != 0 {
+		t.Errorf("Sub(a,a) = %g, want 0 (identity)", got)
+	}
+	if got := ec.MinIns(); got != 2 {
+		t.Errorf("MinIns = %g", got)
+	}
+	if got := ec.MinDel(); got != 3 {
+		t.Errorf("MinDel = %g", got)
+	}
+}
+
+func TestEditCostsRejectsNonEditLike(t *testing.T) {
+	rs := MustRuleSet("x", []Rule{Swap('a', 'b', 1)})
+	if _, err := rs.EditCosts(); err == nil {
+		t.Fatal("EditCosts accepted a swap rule")
+	}
+}
+
+func TestParseRule(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Rule
+	}{
+		{"ab -> ba : 1", Swap('a', 'b', 1)},
+		{"a -> ε : 2", Delete('a', 2)},
+		{"eps -> z : 0.25", Insert('z', 0.25)},
+		{"abc -> x : 1.5", Rule{LHS: "abc", RHS: "x", Cost: 1.5}},
+	} {
+		got, err := ParseRule(tc.in)
+		if err != nil {
+			t.Errorf("ParseRule(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseRule(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseRuleErrors(t *testing.T) {
+	for _, in := range []string{
+		"a b : 1",     // no arrow
+		"a -> b",      // no cost
+		"a -> b : x",  // bad cost
+		"ε -> ε : 1",  // both empty
+		"a -> b : -1", // negative cost
+	} {
+		if _, err := ParseRule(in); err == nil {
+			t.Errorf("ParseRule(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseRuleSet(t *testing.T) {
+	src := `
+# a comment
+ruleset demo
+ab -> ba : 1
+a -> ε : 2   # trailing comment
+swap x y : 3
+edits cd : 1
+`
+	rs, err := ParseRuleSet("fallback", strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ParseRuleSet: %v", err)
+	}
+	if rs.Name() != "demo" {
+		t.Errorf("Name = %q, want demo", rs.Name())
+	}
+	// 1 (ab->ba) + 1 (delete) + 2 (swap both ways) + 6 (unit edits on cd).
+	if rs.Len() != 10 {
+		t.Errorf("Len = %d, want 10\n%s", rs.Len(), rs)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	orig := MustRuleSet("rt", []Rule{
+		Swap('a', 'b', 1), Insert('c', 0.5), Delete('d', 2),
+		{LHS: "abc", RHS: "z", Cost: 3},
+	})
+	parsed, err := ParseRuleSet("x", strings.NewReader(FormatRuleSet(orig)))
+	if err != nil {
+		t.Fatalf("round trip parse: %v", err)
+	}
+	if parsed.Name() != "rt" {
+		t.Errorf("round trip name = %q", parsed.Name())
+	}
+	if parsed.Len() != orig.Len() {
+		t.Fatalf("round trip Len = %d, want %d", parsed.Len(), orig.Len())
+	}
+	for i, r := range orig.Rules() {
+		if parsed.Rules()[i] != r {
+			t.Errorf("rule %d = %+v, want %+v", i, parsed.Rules()[i], r)
+		}
+	}
+}
+
+func TestSortRules(t *testing.T) {
+	rules := []Rule{Subst('b', 'a', 1), Insert('a', 1), Subst('a', 'b', 1)}
+	SortRules(rules)
+	if !rules[0].IsInsert() {
+		t.Errorf("sorted[0] = %+v, want insert (empty LHS first)", rules[0])
+	}
+	if rules[1].LHS != "a" || rules[2].LHS != "b" {
+		t.Errorf("sorted order wrong: %+v", rules)
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	if got := Insert('a', 1).String(); got != "ε -> a : 1" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Delete('a', 0.5).String(); got != "a -> ε : 0.5" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,316 @@
+package rewrite
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// RuleSet is an immutable, validated collection of rewrite rules with the
+// classification predicates used by the distance engines to pick an
+// evaluation strategy (and to refuse ill-posed inputs).
+type RuleSet struct {
+	name  string
+	rules []Rule
+
+	// Cached classification, computed once at construction.
+	editLike       bool
+	symmetric      bool
+	lengthBounded  bool // no rule increases length
+	minPosCost     float64
+	maxLengthDelta int
+	hasZeroCost    bool
+	zeroGrowth     bool // some zero-cost rule increases length (undecidable regime)
+}
+
+// NewRuleSet validates the rules and builds a rule set. Duplicate
+// LHS/RHS pairs are collapsed keeping the cheapest cost.
+func NewRuleSet(name string, rules []Rule) (*RuleSet, error) {
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("rewrite: rule set %q has no rules", name)
+	}
+	best := make(map[string]Rule, len(rules))
+	order := make([]string, 0, len(rules))
+	for _, r := range rules {
+		if err := r.Validate(); err != nil {
+			return nil, fmt.Errorf("rewrite: rule set %q: %w", name, err)
+		}
+		k := ruleKey(r)
+		if prev, ok := best[k]; ok {
+			if r.Cost < prev.Cost {
+				best[k] = r
+			}
+			continue
+		}
+		best[k] = r
+		order = append(order, k)
+	}
+	rs := &RuleSet{name: name}
+	for _, k := range order {
+		rs.rules = append(rs.rules, best[k])
+	}
+	rs.classify()
+	return rs, nil
+}
+
+// MustRuleSet is NewRuleSet that panics on error; for tests and fixed
+// literals.
+func MustRuleSet(name string, rules []Rule) *RuleSet {
+	rs, err := NewRuleSet(name, rules)
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}
+
+func (rs *RuleSet) classify() {
+	rs.editLike = true
+	rs.lengthBounded = true
+	rs.minPosCost = math.Inf(1)
+	inv := make(map[string]float64, len(rs.rules))
+	for _, r := range rs.rules {
+		inv[ruleKey(r)] = r.Cost
+	}
+	rs.symmetric = true
+	for _, r := range rs.rules {
+		if !r.IsEditLike() {
+			rs.editLike = false
+		}
+		if d := r.LengthDelta(); d > 0 {
+			rs.lengthBounded = false
+			if d > rs.maxLengthDelta {
+				rs.maxLengthDelta = d
+			}
+		}
+		if r.Cost > 0 {
+			if r.Cost < rs.minPosCost {
+				rs.minPosCost = r.Cost
+			}
+		} else {
+			rs.hasZeroCost = true
+			if r.LengthDelta() > 0 {
+				rs.zeroGrowth = true
+			}
+		}
+		if c, ok := inv[ruleKey(r.Inverse())]; !ok || c != r.Cost {
+			rs.symmetric = false
+		}
+	}
+}
+
+// Name returns the rule set's name.
+func (rs *RuleSet) Name() string { return rs.name }
+
+// Rules returns the rules. The caller must not modify the returned slice.
+func (rs *RuleSet) Rules() []Rule { return rs.rules }
+
+// Len returns the number of rules.
+func (rs *RuleSet) Len() int { return len(rs.rules) }
+
+// EditLike reports whether every rule is a single-symbol insertion,
+// deletion or substitution, so that weighted edit-distance dynamic
+// programming (internal/editdp) computes the exact transformation
+// distance in polynomial time.
+func (rs *RuleSet) EditLike() bool { return rs.editLike }
+
+// Symmetric reports whether for every rule α→β:c the set also contains
+// β→α:c. Symmetric positive sets induce a metric, which licenses
+// metric indexes such as the BK-tree.
+func (rs *RuleSet) Symmetric() bool { return rs.symmetric }
+
+// NonLengthIncreasing reports whether no rule increases the subject's
+// length. Together with HasZeroCost it locates the decidability
+// boundary: zero-cost rules that can grow strings make even
+// cost-bounded similarity undecidable in general.
+func (rs *RuleSet) NonLengthIncreasing() bool { return rs.lengthBounded }
+
+// HasZeroCost reports whether some rule costs zero.
+func (rs *RuleSet) HasZeroCost() bool { return rs.hasZeroCost }
+
+// ZeroCostGrowth reports whether some zero-cost rule increases length —
+// the regime in which the bounded-distance problem embeds the word
+// problem for semi-Thue systems and the engine refuses to search.
+func (rs *RuleSet) ZeroCostGrowth() bool { return rs.zeroGrowth }
+
+// MinPositiveCost returns the smallest strictly positive rule cost, or
+// +Inf if every rule is free. It bounds the search depth of the
+// cost-bounded engine: within budget c at most c/MinPositiveCost
+// positive-cost steps can fire.
+func (rs *RuleSet) MinPositiveCost() float64 { return rs.minPosCost }
+
+// MaxLengthDelta returns the largest length increase any single rule can
+// cause (0 for non-length-increasing sets).
+func (rs *RuleSet) MaxLengthDelta() int { return rs.maxLengthDelta }
+
+// Applications returns every application of every rule to s.
+func (rs *RuleSet) Applications(s string) []Application {
+	var apps []Application
+	for _, r := range rs.rules {
+		apps = append(apps, r.Applications(s)...)
+	}
+	return apps
+}
+
+// Inverse returns the rule set with every rule inverted, named
+// name+"⁻¹". The transformation distance is directional; searching with
+// the inverse set from the target is equivalent to searching with the
+// original set from the source.
+func (rs *RuleSet) Inverse() *RuleSet {
+	inv := make([]Rule, len(rs.rules))
+	for i, r := range rs.rules {
+		inv[i] = r.Inverse()
+	}
+	out, err := NewRuleSet(rs.name+"⁻¹", inv)
+	if err != nil {
+		// Inverting valid rules cannot fail: lengths swap, costs persist.
+		panic(err)
+	}
+	return out
+}
+
+// EditCosts extracts per-operation cost tables from an edit-like rule
+// set for the dynamic-programming engine. Missing operations get +Inf
+// (the DP then never uses them). It returns an error if the set is not
+// edit-like.
+func (rs *RuleSet) EditCosts() (*EditCosts, error) {
+	if !rs.editLike {
+		return nil, fmt.Errorf("rewrite: rule set %q is not edit-like", rs.name)
+	}
+	ec := newEditCosts()
+	for _, r := range rs.rules {
+		switch {
+		case r.IsInsert():
+			ec.setIns(r.RHS[0], r.Cost)
+		case r.IsDelete():
+			ec.setDel(r.LHS[0], r.Cost)
+		case r.IsSubst():
+			ec.setSub(r.LHS[0], r.RHS[0], r.Cost)
+		}
+	}
+	return ec, nil
+}
+
+// String lists the rules, one per line, prefixed by the name and the
+// classification flags. Useful in error messages and the CLI.
+func (rs *RuleSet) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ruleset %s (editlike=%v symmetric=%v nonincreasing=%v)\n",
+		rs.name, rs.editLike, rs.symmetric, rs.lengthBounded)
+	for _, r := range rs.rules {
+		fmt.Fprintf(&b, "  %s\n", r)
+	}
+	return b.String()
+}
+
+// UnitEdits returns the classical unit-cost edit rule set (all single
+// insertions, deletions and substitutions at cost 1) over the given
+// alphabet symbols. The induced distance is Levenshtein distance.
+func UnitEdits(alphabet string) *RuleSet {
+	seen := make(map[byte]bool)
+	var syms []byte
+	for i := 0; i < len(alphabet); i++ {
+		if !seen[alphabet[i]] {
+			seen[alphabet[i]] = true
+			syms = append(syms, alphabet[i])
+		}
+	}
+	var rules []Rule
+	for _, c := range syms {
+		rules = append(rules, Insert(c, 1), Delete(c, 1))
+		for _, d := range syms {
+			if c != d {
+				rules = append(rules, Subst(c, d, 1))
+			}
+		}
+	}
+	return MustRuleSet("unit-edits", rules)
+}
+
+// EditCosts holds per-operation cost tables for edit-like rule sets.
+// Absent operations cost +Inf.
+type EditCosts struct {
+	ins [256]float64
+	del [256]float64
+	sub [256][256]float64
+}
+
+func newEditCosts() *EditCosts {
+	ec := &EditCosts{}
+	inf := math.Inf(1)
+	for i := 0; i < 256; i++ {
+		ec.ins[i] = inf
+		ec.del[i] = inf
+		for j := 0; j < 256; j++ {
+			if i != j {
+				ec.sub[i][j] = inf
+			}
+		}
+	}
+	return ec
+}
+
+func (ec *EditCosts) setIns(c byte, cost float64) {
+	if cost < ec.ins[c] {
+		ec.ins[c] = cost
+	}
+}
+
+func (ec *EditCosts) setDel(c byte, cost float64) {
+	if cost < ec.del[c] {
+		ec.del[c] = cost
+	}
+}
+
+func (ec *EditCosts) setSub(c, d byte, cost float64) {
+	if cost < ec.sub[c][d] {
+		ec.sub[c][d] = cost
+	}
+}
+
+// Ins returns the cost of inserting c (+Inf if no rule allows it).
+func (ec *EditCosts) Ins(c byte) float64 { return ec.ins[c] }
+
+// Del returns the cost of deleting c (+Inf if no rule allows it).
+func (ec *EditCosts) Del(c byte) float64 { return ec.del[c] }
+
+// Sub returns the cost of substituting c by d (0 if c == d, +Inf if no
+// rule allows it).
+func (ec *EditCosts) Sub(c, d byte) float64 { return ec.sub[c][d] }
+
+// MinIns returns the cheapest insertion cost over all symbols, used by
+// admissible search heuristics.
+func (ec *EditCosts) MinIns() float64 {
+	m := math.Inf(1)
+	for i := 0; i < 256; i++ {
+		if ec.ins[i] < m {
+			m = ec.ins[i]
+		}
+	}
+	return m
+}
+
+// MinDel returns the cheapest deletion cost over all symbols.
+func (ec *EditCosts) MinDel() float64 {
+	m := math.Inf(1)
+	for i := 0; i < 256; i++ {
+		if ec.del[i] < m {
+			m = ec.del[i]
+		}
+	}
+	return m
+}
+
+// SortRules orders rules deterministically (by LHS, then RHS, then cost)
+// for stable output in the CLI and golden tests.
+func SortRules(rules []Rule) {
+	sort.Slice(rules, func(i, j int) bool {
+		if rules[i].LHS != rules[j].LHS {
+			return rules[i].LHS < rules[j].LHS
+		}
+		if rules[i].RHS != rules[j].RHS {
+			return rules[i].RHS < rules[j].RHS
+		}
+		return rules[i].Cost < rules[j].Cost
+	})
+}

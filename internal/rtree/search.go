@@ -1,0 +1,167 @@
+package rtree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SearchStats reports traversal effort: the experiments compare node
+// accesses of transformed and plain searches (the companion paper's
+// claim is that they are identical for the identity transformation).
+type SearchStats struct {
+	NodeAccesses int
+	EntryTests   int
+}
+
+// Search returns the IDs of all points inside the query rectangle.
+func (t *Tree) Search(q Rect) ([]int, SearchStats, error) {
+	return t.SearchTransformed(q, nil)
+}
+
+// SearchTransformed searches the *image* of the index under tf: it
+// returns the IDs of all points p with tf(p) inside the query
+// rectangle. Node rectangles are transformed on the fly (Algorithm 1/2
+// of the companion paper); the index itself is untouched, so one index
+// serves any number of safe transformations. tf == nil means identity.
+func (t *Tree) SearchTransformed(q Rect, tf *Affine) ([]int, SearchStats, error) {
+	var st SearchStats
+	if len(q.Min) != t.dim {
+		return nil, st, fmt.Errorf("rtree: query dim %d, want %d", len(q.Min), t.dim)
+	}
+	if tf != nil {
+		if err := tf.Validate(t.dim); err != nil {
+			return nil, st, err
+		}
+	}
+	if t.root == nil {
+		return nil, st, nil
+	}
+	// Scratch buffers keep the transformed traversal allocation-free.
+	var ptBuf, loBuf, hiBuf []float64
+	if tf != nil {
+		ptBuf = make([]float64, t.dim)
+		loBuf = make([]float64, t.dim)
+		hiBuf = make([]float64, t.dim)
+	}
+	var out []int
+	stack := []*node{t.root}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		st.NodeAccesses++
+		if n.leaf {
+			for _, e := range n.entries {
+				st.EntryTests++
+				p := e.Point
+				if tf != nil {
+					p = tf.ApplyInto(p, ptBuf)
+				}
+				if q.Contains(p) {
+					out = append(out, e.ID)
+				}
+			}
+			continue
+		}
+		for _, c := range n.children {
+			r := c.rect
+			if tf != nil {
+				r = tf.ApplyRectInto(r, loBuf, hiBuf)
+			}
+			if q.Overlaps(r) {
+				stack = append(stack, c)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out, st, nil
+}
+
+// Neighbor is one nearest-neighbour result.
+type Neighbor struct {
+	ID   int
+	Dist float64 // Euclidean distance in the (transformed) space
+}
+
+// NearestK returns the k nearest points to the query point, nearest
+// first. With tf non-nil, distances are measured between tf(point) and
+// the query — nearest-neighbour search in the transformed space,
+// pruned by MINDIST on transformed node rectangles.
+func (t *Tree) NearestK(q []float64, k int, tf *Affine) ([]Neighbor, SearchStats, error) {
+	var st SearchStats
+	if len(q) != t.dim {
+		return nil, st, fmt.Errorf("rtree: query dim %d, want %d", len(q), t.dim)
+	}
+	if tf != nil {
+		if err := tf.Validate(t.dim); err != nil {
+			return nil, st, err
+		}
+	}
+	if t.root == nil || k <= 0 {
+		return nil, st, nil
+	}
+	pq := &nnHeap{}
+	push := func(n *node, e *Entry, d float64) {
+		heap.Push(pq, nnItem{node: n, entry: e, dist: d})
+	}
+	push(t.root, nil, t.transformedMinDist(t.root.rect, q, tf))
+	var out []Neighbor
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(nnItem)
+		if len(out) == k && it.dist > out[len(out)-1].Dist {
+			break
+		}
+		if it.entry != nil {
+			if len(out) < k {
+				out = append(out, Neighbor{ID: it.entry.ID, Dist: it.dist})
+			}
+			continue
+		}
+		n := it.node
+		st.NodeAccesses++
+		if n.leaf {
+			for i := range n.entries {
+				st.EntryTests++
+				e := &n.entries[i]
+				p := e.Point
+				if tf != nil {
+					p = tf.Apply(p)
+				}
+				push(nil, e, math.Sqrt(sqDist(p, q)))
+			}
+			continue
+		}
+		for _, c := range n.children {
+			push(c, nil, t.transformedMinDist(c.rect, q, tf))
+		}
+	}
+	return out, st, nil
+}
+
+func (t *Tree) transformedMinDist(r Rect, q []float64, tf *Affine) float64 {
+	if tf != nil {
+		r = tf.ApplyRect(r)
+	}
+	return math.Sqrt(r.MinDist(q))
+}
+
+type nnItem struct {
+	node  *node
+	entry *Entry
+	dist  float64
+}
+
+type nnHeap []nnItem
+
+func (h nnHeap) Len() int            { return len(h) }
+func (h nnHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h nnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x interface{}) { *h = append(*h, x.(nnItem)) }
+func (h *nnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

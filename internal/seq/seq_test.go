@@ -1,0 +1,279 @@
+package seq
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAlphabet(t *testing.T) {
+	a, err := NewAlphabet("abcabc")
+	if err != nil {
+		t.Fatalf("NewAlphabet: %v", err)
+	}
+	if got := a.Size(); got != 3 {
+		t.Errorf("Size = %d, want 3", got)
+	}
+	if got := a.String(); got != "abc" {
+		t.Errorf("String = %q, want %q", got, "abc")
+	}
+	for i, c := range []byte("abc") {
+		if !a.Contains(c) {
+			t.Errorf("Contains(%q) = false", c)
+		}
+		if got := a.Index(c); got != i {
+			t.Errorf("Index(%q) = %d, want %d", c, got, i)
+		}
+	}
+	if a.Contains('z') {
+		t.Error("Contains('z') = true")
+	}
+	if got := a.Index('z'); got != -1 {
+		t.Errorf("Index('z') = %d, want -1", got)
+	}
+}
+
+func TestNewAlphabetEmpty(t *testing.T) {
+	if _, err := NewAlphabet(""); err == nil {
+		t.Fatal("NewAlphabet(\"\") succeeded, want error")
+	}
+}
+
+func TestMustAlphabetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAlphabet(\"\") did not panic")
+		}
+	}()
+	MustAlphabet("")
+}
+
+func TestValidSeq(t *testing.T) {
+	a := MustAlphabet("abc")
+	for _, tc := range []struct {
+		s    string
+		want bool
+	}{
+		{"", true},
+		{"abcabc", true},
+		{"abd", false},
+		{"d", false},
+	} {
+		if got := a.ValidSeq(tc.s); got != tc.want {
+			t.Errorf("ValidSeq(%q) = %v, want %v", tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestRandom(t *testing.T) {
+	a := MustAlphabet("xyz")
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 17, 256} {
+		s := a.Random(rng, n)
+		if len(s) != n {
+			t.Errorf("Random(%d): len = %d", n, len(s))
+		}
+		if !a.ValidSeq(s) {
+			t.Errorf("Random(%d) produced out-of-alphabet symbols: %q", n, s)
+		}
+	}
+}
+
+func TestRandomEditsLengthBound(t *testing.T) {
+	a := MustAlphabet("ab")
+	rng := rand.New(rand.NewSource(7))
+	s := a.Random(rng, 20)
+	for k := 0; k <= 5; k++ {
+		e := a.RandomEdits(rng, s, k)
+		if AbsDiff(len(e), len(s)) > k {
+			t.Errorf("RandomEdits k=%d changed length by %d", k, AbsDiff(len(e), len(s)))
+		}
+		if !a.ValidSeq(e) {
+			t.Errorf("RandomEdits produced invalid sequence %q", e)
+		}
+	}
+}
+
+func TestQGrams(t *testing.T) {
+	g := QGrams("ababa", 2)
+	want := map[string]int{"ab": 2, "ba": 2}
+	if len(g) != len(want) {
+		t.Fatalf("QGrams = %v, want %v", g, want)
+	}
+	for k, v := range want {
+		if g[k] != v {
+			t.Errorf("QGrams[%q] = %d, want %d", k, g[k], v)
+		}
+	}
+	if got := QGrams("a", 2); len(got) != 0 {
+		t.Errorf("QGrams short = %v, want empty", got)
+	}
+	if got := QGrams("abc", 0); len(got) != 0 {
+		t.Errorf("QGrams q=0 = %v, want empty", got)
+	}
+}
+
+func TestQGramOverlap(t *testing.T) {
+	for _, tc := range []struct {
+		x, y string
+		q    int
+		want int
+	}{
+		{"abcd", "abcd", 2, 3},
+		{"abcd", "abce", 2, 2},
+		{"abcd", "wxyz", 2, 0},
+		{"ababa", "ababa", 2, 4},
+	} {
+		if got := QGramOverlap(tc.x, tc.y, tc.q); got != tc.want {
+			t.Errorf("QGramOverlap(%q,%q,%d) = %d, want %d", tc.x, tc.y, tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestQGramOverlapSymmetric(t *testing.T) {
+	a := MustAlphabet("abc")
+	rng := rand.New(rand.NewSource(3))
+	f := func(n1, n2 uint8) bool {
+		x := a.Random(rng, int(n1%32))
+		y := a.Random(rng, int(n2%32))
+		return QGramOverlap(x, y, 2) == QGramOverlap(y, x, 2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram("aabz")
+	if h['a'] != 2 || h['b'] != 1 || h['z'] != 1 || h['c'] != 0 {
+		t.Errorf("NewHistogram wrong: a=%d b=%d z=%d c=%d", h['a'], h['b'], h['z'], h['c'])
+	}
+}
+
+func TestL1Dist(t *testing.T) {
+	x := NewHistogram("aab")
+	y := NewHistogram("abb")
+	if got := x.L1Dist(y); got != 2 {
+		t.Errorf("L1Dist = %d, want 2", got)
+	}
+	if got := x.L1Dist(x); got != 0 {
+		t.Errorf("L1Dist self = %d, want 0", got)
+	}
+}
+
+func TestL1DistSymmetricAndTriangle(t *testing.T) {
+	a := MustAlphabet("abcd")
+	rng := rand.New(rand.NewSource(11))
+	f := func(n1, n2, n3 uint8) bool {
+		x := NewHistogram(a.Random(rng, int(n1%24)))
+		y := NewHistogram(a.Random(rng, int(n2%24)))
+		z := NewHistogram(a.Random(rng, int(n3%24)))
+		return x.L1Dist(y) == y.L1Dist(x) && x.L1Dist(z) <= x.L1Dist(y)+y.L1Dist(z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommonPrefixSuffix(t *testing.T) {
+	for _, tc := range []struct {
+		x, y     string
+		pre, suf int
+	}{
+		{"", "", 0, 0},
+		{"abc", "abc", 3, 3},
+		{"abcx", "abcy", 3, 0},
+		{"xabc", "yabc", 0, 3},
+		{"abc", "", 0, 0},
+	} {
+		if got := CommonPrefix(tc.x, tc.y); got != tc.pre {
+			t.Errorf("CommonPrefix(%q,%q) = %d, want %d", tc.x, tc.y, got, tc.pre)
+		}
+		if got := CommonSuffix(tc.x, tc.y); got != tc.suf {
+			t.Errorf("CommonSuffix(%q,%q) = %d, want %d", tc.x, tc.y, got, tc.suf)
+		}
+	}
+}
+
+func TestReverse(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"", ""},
+		{"a", "a"},
+		{"abc", "cba"},
+		{"abba", "abba"},
+	} {
+		if got := Reverse(tc.in); got != tc.want {
+			t.Errorf("Reverse(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestReverseInvolution(t *testing.T) {
+	a := MustAlphabet("abc")
+	rng := rand.New(rand.NewSource(5))
+	f := func(n uint8) bool {
+		s := a.Random(rng, int(n%64))
+		return Reverse(Reverse(s)) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReplace(t *testing.T) {
+	if got := Replace("abcdef", 2, "cd", "XY"); got != "abXYef" {
+		t.Errorf("Replace = %q, want %q", got, "abXYef")
+	}
+	if got := Replace("abc", 1, "b", ""); got != "ac" {
+		t.Errorf("Replace delete = %q, want %q", got, "ac")
+	}
+	if got := Replace("abc", 3, "", "x"); got != "abcx" {
+		t.Errorf("Replace append = %q, want %q", got, "abcx")
+	}
+}
+
+func TestReplacePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Replace with wrong old did not panic")
+		}
+	}()
+	Replace("abc", 0, "zz", "x")
+}
+
+func TestQGramFilterSoundness(t *testing.T) {
+	// Classic q-gram lower bound: if y is obtained from x by k unit
+	// edits, overlap >= max(|x|,|y|) - q + 1 - k*q.
+	a := MustAlphabet("abcd")
+	rng := rand.New(rand.NewSource(13))
+	const q = 2
+	for trial := 0; trial < 200; trial++ {
+		x := a.Random(rng, 10+rng.Intn(20))
+		k := rng.Intn(4)
+		y := a.RandomEdits(rng, x, k)
+		m := len(x)
+		if len(y) > m {
+			m = len(y)
+		}
+		bound := m - q + 1 - k*q
+		if bound < 0 {
+			bound = 0
+		}
+		if got := QGramOverlap(x, y, q); got < bound {
+			t.Fatalf("q-gram bound violated: x=%q y=%q k=%d overlap=%d bound=%d", x, y, k, got, bound)
+		}
+	}
+}
+
+func TestRandomDistribution(t *testing.T) {
+	// Sanity: all symbols should occur in a long random string.
+	a := MustAlphabet("abcdefgh")
+	rng := rand.New(rand.NewSource(17))
+	s := a.Random(rng, 4096)
+	for _, c := range a.Symbols() {
+		if !strings.ContainsRune(s, rune(c)) {
+			t.Errorf("symbol %q never generated", c)
+		}
+	}
+}

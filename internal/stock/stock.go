@@ -1,0 +1,52 @@
+// Package stock generates the synthetic stock-price workloads used by
+// the companion experiments. The real data the companion paper used
+// (daily closings from ftp.ai.mit.edu/pub/stocks/results/, long gone)
+// is substituted by the random-walk family the same paper used for its
+// synthetic runs:
+//
+//	x_0 = y,              y drawn from [20, 99]
+//	x_i = x_{i-1} + z_i,  z_i drawn from [-4, 4]
+//
+// Random walks concentrate spectral energy in the first DFT
+// coefficients, which is the property all k-index experiments depend
+// on; the substitution therefore preserves the measured behaviour.
+package stock
+
+import "math/rand"
+
+// Walk returns one random-walk price series of the given length.
+func Walk(rng *rand.Rand, length int) []float64 {
+	s := make([]float64, length)
+	if length == 0 {
+		return s
+	}
+	s[0] = 20 + 79*rng.Float64()
+	for i := 1; i < length; i++ {
+		s[i] = s[i-1] + rng.Float64()*8 - 4
+	}
+	return s
+}
+
+// Walks returns count independent series of the given length from a
+// deterministic seed.
+func Walks(seed int64, count, length int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, count)
+	for i := range out {
+		out[i] = Walk(rng, length)
+	}
+	return out
+}
+
+// Example sequences from the companion paper's running examples; used
+// by tests and the stocks example application.
+
+// ExampleS1 is sequence s1 of Example 1.1.
+func ExampleS1() []float64 {
+	return []float64{36, 38, 40, 38, 42, 38, 36, 36, 37, 38, 39, 38, 40, 38, 37}
+}
+
+// ExampleS2 is sequence s2 of Example 1.1.
+func ExampleS2() []float64 {
+	return []float64{40, 37, 37, 42, 41, 35, 40, 35, 34, 42, 38, 35, 45, 36, 34}
+}

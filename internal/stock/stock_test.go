@@ -1,0 +1,71 @@
+package stock
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWalkBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		s := Walk(rng, 128)
+		if len(s) != 128 {
+			t.Fatalf("len = %d", len(s))
+		}
+		if s[0] < 20 || s[0] > 99 {
+			t.Errorf("x0 = %g outside [20,99]", s[0])
+		}
+		for i := 1; i < len(s); i++ {
+			if d := math.Abs(s[i] - s[i-1]); d > 4 {
+				t.Fatalf("step %d = %g > 4", i, d)
+			}
+		}
+	}
+}
+
+func TestWalkEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if got := Walk(rng, 0); len(got) != 0 {
+		t.Errorf("Walk(0) = %v", got)
+	}
+}
+
+func TestWalksDeterministic(t *testing.T) {
+	a := Walks(7, 5, 32)
+	b := Walks(7, 5, 32)
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatal("wrong count")
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("series %d differ at %d", i, j)
+			}
+		}
+	}
+	c := Walks(8, 5, 32)
+	same := true
+	for j := range a[0] {
+		if a[0][j] != c[0][j] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical walks")
+	}
+}
+
+func TestExampleSequences(t *testing.T) {
+	s1, s2 := ExampleS1(), ExampleS2()
+	if len(s1) != 15 || len(s2) != 15 {
+		t.Fatalf("lengths %d, %d; want 15", len(s1), len(s2))
+	}
+	// Spot values from the paper.
+	if s1[0] != 36 || s1[4] != 42 || s1[14] != 37 {
+		t.Errorf("s1 = %v", s1)
+	}
+	if s2[0] != 40 || s2[12] != 45 || s2[14] != 34 {
+		t.Errorf("s2 = %v", s2)
+	}
+}

@@ -1,0 +1,82 @@
+package transform
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rewrite"
+)
+
+// ZeroClosure returns every string reachable from s at zero total cost
+// under the rule set, including s itself, in sorted order. The closure
+// is finite exactly when no zero-cost rule increases length (otherwise
+// ErrUndecidable); limit caps the closure size defensively and yields
+// ErrSearchLimit when exceeded.
+//
+// The closure realises the paper's decidable zero-cost regime: with
+// non-length-increasing free rules, similarity at cost c reduces to
+// similarity between (finite) zero-cost equivalence classes.
+func ZeroClosure(rs *rewrite.RuleSet, s string, limit int) ([]string, error) {
+	if rs.ZeroCostGrowth() {
+		return nil, fmt.Errorf("%w (rule set %q)", ErrUndecidable, rs.Name())
+	}
+	if limit <= 0 {
+		limit = DefaultMaxStates
+	}
+	var free []rewrite.Rule
+	for _, r := range rs.Rules() {
+		if r.Cost == 0 {
+			free = append(free, r)
+		}
+	}
+	seen := map[string]bool{s: true}
+	frontier := []string{s}
+	for len(frontier) > 0 {
+		next := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, r := range free {
+			for _, app := range r.Applications(next) {
+				if seen[app.Result] {
+					continue
+				}
+				if len(seen) >= limit {
+					return nil, fmt.Errorf("%w (zero-closure limit %d)", ErrSearchLimit, limit)
+				}
+				seen[app.Result] = true
+				frontier = append(frontier, app.Result)
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ZeroEquivalent reports whether x and y are mutually reachable at zero
+// cost, i.e. they lie in the same zero-cost equivalence class in both
+// directions. For symmetric rule sets one direction suffices.
+func ZeroEquivalent(rs *rewrite.RuleSet, x, y string, limit int) (bool, error) {
+	fwd, err := ZeroClosure(rs, x, limit)
+	if err != nil {
+		return false, err
+	}
+	if !containsSorted(fwd, y) {
+		return false, nil
+	}
+	if rs.Symmetric() {
+		return true, nil
+	}
+	back, err := ZeroClosure(rs, y, limit)
+	if err != nil {
+		return false, err
+	}
+	return containsSorted(back, x), nil
+}
+
+func containsSorted(xs []string, v string) bool {
+	i := sort.SearchStrings(xs, v)
+	return i < len(xs) && xs[i] == v
+}

@@ -1,0 +1,265 @@
+// Package transform implements the general transformation-distance
+// engine of the PODS'95 similarity-query framework.
+//
+// The transformation distance from A to B under a rule set T is the
+// minimum total cost of a sequence of rule applications rewriting A into
+// B. The engine computes cost-bounded distances by uniform-cost (Dijkstra)
+// search over the implicit rewrite graph, optionally sharpened to A* with
+// an admissible length-based heuristic when the target is known.
+//
+// The paper's complexity analysis shapes the API:
+//
+//   - With a cost budget and strictly positive rule costs the search is
+//     decidable (the budget bounds the number of steps) but can be
+//     exponential; that regime is this package.
+//   - Zero-cost rules that never increase length keep the zero-cost
+//     closure of any string finite; the engine folds such rules into the
+//     search and exposes the closure directly (ZeroClosure).
+//   - Zero-cost rules that can increase length embed the word problem for
+//     semi-Thue systems; NewEngine refuses them with ErrUndecidable.
+//   - Edit-like rule sets admit polynomial dynamic programming; callers
+//     should prefer internal/editdp there (the query planner does).
+package transform
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rewrite"
+)
+
+// ErrUndecidable is returned when a rule set contains zero-cost rules
+// that can increase length, making even cost-bounded similarity
+// undecidable in general.
+var ErrUndecidable = errors.New("transform: rule set has zero-cost length-increasing rules; bounded similarity is undecidable")
+
+// ErrSearchLimit is returned when the search exceeds the configured
+// state limit before resolving the query.
+var ErrSearchLimit = errors.New("transform: search exceeded state limit")
+
+// DefaultMaxStates bounds the number of distinct strings the search may
+// settle before giving up with ErrSearchLimit.
+const DefaultMaxStates = 1 << 20
+
+// Engine computes cost-bounded transformation distances for one rule set.
+// An Engine is safe for concurrent use; each query allocates its own
+// search state.
+type Engine struct {
+	rules     *rewrite.RuleSet
+	maxStates int
+	useAStar  bool
+
+	// minCostPerLen is the cheapest cost per unit of length change over
+	// all length-changing rules (+Inf if no rule changes length). It
+	// yields the admissible A* heuristic h(s) = |len(s)-len(goal)| * minCostPerLen.
+	minCostPerLen float64
+	// minRuleCost is the cheapest rule cost overall; if positive, any
+	// state != goal is at least that far away.
+	minRuleCost float64
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithMaxStates overrides the default search state limit.
+func WithMaxStates(n int) Option {
+	return func(e *Engine) { e.maxStates = n }
+}
+
+// WithoutHeuristic disables the A* heuristic so the search is plain
+// uniform-cost Dijkstra. Used by the ablation benchmarks.
+func WithoutHeuristic() Option {
+	return func(e *Engine) { e.useAStar = false }
+}
+
+// NewEngine validates the rule set against the decidability boundary and
+// builds an engine.
+func NewEngine(rs *rewrite.RuleSet, opts ...Option) (*Engine, error) {
+	if rs.ZeroCostGrowth() {
+		return nil, fmt.Errorf("%w (rule set %q)", ErrUndecidable, rs.Name())
+	}
+	e := &Engine{rules: rs, maxStates: DefaultMaxStates, useAStar: true}
+	e.minCostPerLen = math.Inf(1)
+	e.minRuleCost = math.Inf(1)
+	for _, r := range rs.Rules() {
+		if d := r.LengthDelta(); d != 0 {
+			perLen := r.Cost / math.Abs(float64(d))
+			if perLen < e.minCostPerLen {
+				e.minCostPerLen = perLen
+			}
+		}
+		if r.Cost < e.minRuleCost {
+			e.minRuleCost = r.Cost
+		}
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e, nil
+}
+
+// Rules returns the engine's rule set.
+func (e *Engine) Rules() *rewrite.RuleSet { return e.rules }
+
+// Stats reports search effort for one query; the complexity experiments
+// (F2) plot these against the budget.
+type Stats struct {
+	Expanded  int // states settled (popped with final distance)
+	Generated int // successor states generated (including duplicates)
+	MaxQueue  int // peak size of the priority queue
+}
+
+// Distance returns the transformation distance from `from` to `to` if it
+// is at most budget. ok is false when the distance exceeds the budget
+// (dist is then meaningless). The search is exact: it never
+// underestimates or overestimates the distance.
+func (e *Engine) Distance(from, to string, budget float64) (dist float64, ok bool, err error) {
+	dist, ok, _, err = e.search(from, to, budget, nil)
+	return dist, ok, err
+}
+
+// DistanceStats is Distance but also reports search effort.
+func (e *Engine) DistanceStats(from, to string, budget float64) (dist float64, ok bool, st Stats, err error) {
+	return e.search(from, to, budget, nil)
+}
+
+// Within reports whether the transformation distance from `from` to `to`
+// is at most budget.
+func (e *Engine) Within(from, to string, budget float64) (bool, error) {
+	_, ok, err := e.Distance(from, to, budget)
+	return ok, err
+}
+
+// Step is one rewrite in a witnessing transformation sequence.
+type Step struct {
+	App    rewrite.Application
+	Before string
+}
+
+// Path returns a cheapest witnessing sequence of rule applications from
+// `from` to `to` within budget, or ok=false if none exists.
+func (e *Engine) Path(from, to string, budget float64) (steps []Step, dist float64, ok bool, err error) {
+	parents := make(map[string]Step)
+	dist, ok, _, err = e.search(from, to, budget, parents)
+	if err != nil || !ok {
+		return nil, 0, ok, err
+	}
+	// Walk back from `to`.
+	var rev []Step
+	for cur := to; cur != from; {
+		st, found := parents[cur]
+		if !found {
+			return nil, 0, false, fmt.Errorf("transform: broken parent chain at %q", cur)
+		}
+		rev = append(rev, st)
+		cur = st.Before
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, dist, true, nil
+}
+
+// search runs budgeted Dijkstra/A* from `from` toward `to`. If parents
+// is non-nil it records the search tree for Path.
+func (e *Engine) search(from, to string, budget float64, parents map[string]Step) (float64, bool, Stats, error) {
+	var st Stats
+	if budget < 0 {
+		return 0, false, st, nil
+	}
+	if from == to {
+		return 0, true, st, nil
+	}
+	h := e.heuristic(to)
+	if h0 := h(from); h0 > budget {
+		return 0, false, st, nil
+	}
+	dists := map[string]float64{from: 0}
+	done := make(map[string]bool)
+	pq := &nodeHeap{{s: from, g: 0, f: h(from)}}
+	for pq.Len() > 0 {
+		if pq.Len() > st.MaxQueue {
+			st.MaxQueue = pq.Len()
+		}
+		n := heap.Pop(pq).(node)
+		if done[n.s] {
+			continue
+		}
+		done[n.s] = true
+		st.Expanded++
+		if n.s == to {
+			return n.g, true, st, nil
+		}
+		if st.Expanded > e.maxStates {
+			return 0, false, st, fmt.Errorf("%w (limit %d, budget %g)", ErrSearchLimit, e.maxStates, budget)
+		}
+		for _, r := range e.rules.Rules() {
+			for _, app := range r.Applications(n.s) {
+				g := n.g + r.Cost
+				if g > budget {
+					continue
+				}
+				f := g + h(app.Result)
+				if f > budget {
+					continue
+				}
+				if prev, seen := dists[app.Result]; seen && prev <= g {
+					continue
+				}
+				dists[app.Result] = g
+				st.Generated++
+				if parents != nil {
+					parents[app.Result] = Step{App: app, Before: n.s}
+				}
+				heap.Push(pq, node{s: app.Result, g: g, f: f})
+			}
+		}
+	}
+	return 0, false, st, nil
+}
+
+// heuristic returns an admissible lower bound on the remaining cost from
+// a state to the goal, or the zero function when A* is disabled.
+func (e *Engine) heuristic(goal string) func(string) float64 {
+	if !e.useAStar {
+		return func(string) float64 { return 0 }
+	}
+	goalLen := len(goal)
+	return func(s string) float64 {
+		if s == goal {
+			return 0
+		}
+		h := e.minRuleCost // at least one rule must fire
+		if d := len(s) - goalLen; d != 0 {
+			if math.IsInf(e.minCostPerLen, 1) {
+				return math.Inf(1) // no rule changes length: unreachable
+			}
+			if lb := math.Abs(float64(d)) * e.minCostPerLen; lb > h {
+				h = lb
+			}
+		}
+		return h
+	}
+}
+
+type node struct {
+	s string
+	g float64 // cost so far
+	f float64 // g + heuristic
+}
+
+type nodeHeap []node
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].f < h[j].f }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

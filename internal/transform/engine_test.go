@@ -1,0 +1,376 @@
+package transform
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/rewrite"
+)
+
+func mustEngine(t *testing.T, rs *rewrite.RuleSet, opts ...Option) *Engine {
+	t.Helper()
+	e, err := NewEngine(rs, opts...)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	return e
+}
+
+func TestDistanceIdentity(t *testing.T) {
+	e := mustEngine(t, rewrite.UnitEdits("ab"))
+	d, ok, err := e.Distance("abab", "abab", 0)
+	if err != nil || !ok || d != 0 {
+		t.Fatalf("Distance(x,x,0) = %g,%v,%v; want 0,true,nil", d, ok, err)
+	}
+}
+
+func TestDistanceUnitEdits(t *testing.T) {
+	e := mustEngine(t, rewrite.UnitEdits("abc"))
+	for _, tc := range []struct {
+		from, to string
+		want     float64
+	}{
+		{"a", "b", 1},       // substitute
+		{"ab", "b", 1},      // delete
+		{"b", "ab", 1},      // insert
+		{"abc", "cba", 2},   // two substitutions
+		{"aaa", "bbb", 3},   // three substitutions
+		{"", "abc", 3},      // three inserts
+		{"abc", "", 3},      // three deletes
+		{"abca", "acba", 2}, // swap simulated by 2 substitutions
+	} {
+		d, ok, err := e.Distance(tc.from, tc.to, 10)
+		if err != nil {
+			t.Fatalf("Distance(%q,%q): %v", tc.from, tc.to, err)
+		}
+		if !ok || d != tc.want {
+			t.Errorf("Distance(%q,%q) = %g,%v; want %g,true", tc.from, tc.to, d, ok, tc.want)
+		}
+	}
+}
+
+func TestDistanceBudgetCutoff(t *testing.T) {
+	e := mustEngine(t, rewrite.UnitEdits("ab"))
+	// distance("aaa","bbb") = 3 > budget 2.
+	_, ok, err := e.Distance("aaa", "bbb", 2)
+	if err != nil {
+		t.Fatalf("Distance: %v", err)
+	}
+	if ok {
+		t.Error("distance 3 reported within budget 2")
+	}
+	if within, _ := e.Within("aaa", "bbb", 3); !within {
+		t.Error("distance 3 not within budget 3")
+	}
+}
+
+func TestDistanceNegativeBudget(t *testing.T) {
+	e := mustEngine(t, rewrite.UnitEdits("ab"))
+	_, ok, err := e.Distance("a", "a", -1)
+	if err != nil || ok {
+		t.Fatalf("negative budget: ok=%v err=%v, want false,nil", ok, err)
+	}
+}
+
+func TestSwapRuleDistance(t *testing.T) {
+	// Only adjacent transposition: "ab"->"ba" and back.
+	rs := rewrite.MustRuleSet("swap", []rewrite.Rule{
+		rewrite.Swap('a', 'b', 1), rewrite.Swap('b', 'a', 1),
+	})
+	e := mustEngine(t, rs)
+	// "aabb" -> "abab" -> ... bubble sort distance = #inversions.
+	d, ok, err := e.Distance("aabb", "bbaa", 10)
+	if err != nil || !ok {
+		t.Fatalf("Distance: ok=%v err=%v", ok, err)
+	}
+	if d != 4 {
+		t.Errorf("swap distance = %g, want 4 (inversions)", d)
+	}
+	// Different multiset of symbols: unreachable at any budget.
+	_, ok, err = e.Distance("aa", "ab", 100)
+	if err != nil {
+		t.Fatalf("Distance: %v", err)
+	}
+	if ok {
+		t.Error("swap rules reached a different symbol multiset")
+	}
+}
+
+func TestCheaperMultiSymbolRule(t *testing.T) {
+	// A multi-symbol rule can undercut the edit path: abc -> z in one
+	// 0.5-cost application vs 3 unit substitutions+deletes.
+	rules := append([]rewrite.Rule{{LHS: "abc", RHS: "z", Cost: 0.5}},
+		rewrite.UnitEdits("abcz").Rules()...)
+	rs := rewrite.MustRuleSet("mix", rules)
+	e := mustEngine(t, rs)
+	d, ok, err := e.Distance("abc", "z", 5)
+	if err != nil || !ok {
+		t.Fatalf("Distance: ok=%v err=%v", ok, err)
+	}
+	if d != 0.5 {
+		t.Errorf("distance = %g, want 0.5 via the macro rule", d)
+	}
+}
+
+func TestZeroCostRules(t *testing.T) {
+	// Free case folding a->A plus unit edits on {a,A,b}: distance
+	// ignores case of 'a'.
+	rules := append([]rewrite.Rule{
+		{LHS: "a", RHS: "A", Cost: 0},
+		{LHS: "A", RHS: "a", Cost: 0},
+	}, rewrite.UnitEdits("aAb").Rules()...)
+	rs := rewrite.MustRuleSet("fold", rules)
+	e := mustEngine(t, rs)
+	d, ok, err := e.Distance("aba", "AbA", 5)
+	if err != nil || !ok {
+		t.Fatalf("Distance: ok=%v err=%v", ok, err)
+	}
+	if d != 0 {
+		t.Errorf("case-fold distance = %g, want 0", d)
+	}
+}
+
+func TestUndecidableRejected(t *testing.T) {
+	rs := rewrite.MustRuleSet("grow", []rewrite.Rule{{LHS: "a", RHS: "aa", Cost: 0}})
+	if _, err := NewEngine(rs); !errors.Is(err, ErrUndecidable) {
+		t.Fatalf("NewEngine err = %v, want ErrUndecidable", err)
+	}
+}
+
+func TestSearchLimit(t *testing.T) {
+	e := mustEngine(t, rewrite.UnitEdits("abcdefgh"), WithMaxStates(10))
+	_, _, err := e.Distance("aaaaaaaa", "hhhhhhhh", 8)
+	if !errors.Is(err, ErrSearchLimit) {
+		t.Fatalf("err = %v, want ErrSearchLimit", err)
+	}
+}
+
+func TestPath(t *testing.T) {
+	e := mustEngine(t, rewrite.UnitEdits("abc"))
+	steps, dist, ok, err := e.Path("abc", "cba", 10)
+	if err != nil || !ok {
+		t.Fatalf("Path: ok=%v err=%v", ok, err)
+	}
+	if dist != 2 {
+		t.Errorf("Path dist = %g, want 2", dist)
+	}
+	if len(steps) != 2 {
+		t.Fatalf("Path steps = %d, want 2", len(steps))
+	}
+	// Replay the steps to verify the witness.
+	cur := "abc"
+	total := 0.0
+	for _, st := range steps {
+		if st.Before != cur {
+			t.Fatalf("step Before = %q, cursor %q", st.Before, cur)
+		}
+		cur = st.App.Result
+		total += st.App.Rule.Cost
+	}
+	if cur != "cba" || total != dist {
+		t.Errorf("replay ended at %q cost %g; want %q cost %g", cur, total, "cba", dist)
+	}
+}
+
+func TestPathNotFound(t *testing.T) {
+	e := mustEngine(t, rewrite.UnitEdits("ab"))
+	steps, _, ok, err := e.Path("aaaa", "bbbb", 2)
+	if err != nil {
+		t.Fatalf("Path: %v", err)
+	}
+	if ok || steps != nil {
+		t.Error("Path found a witness beyond the budget")
+	}
+}
+
+func TestHeuristicAgreesWithDijkstra(t *testing.T) {
+	// A* with the admissible heuristic must return exactly the same
+	// distances as plain Dijkstra.
+	rules := append([]rewrite.Rule{rewrite.Swap('a', 'b', 0.5), rewrite.Swap('b', 'a', 0.5)},
+		rewrite.UnitEdits("ab").Rules()...)
+	rs := rewrite.MustRuleSet("mixed", rules)
+	astar := mustEngine(t, rs)
+	dijkstra := mustEngine(t, rs, WithoutHeuristic())
+	rng := rand.New(rand.NewSource(42))
+	alpha := []byte("ab")
+	randStr := func(n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alpha[rng.Intn(2)]
+		}
+		return string(b)
+	}
+	for trial := 0; trial < 60; trial++ {
+		x, y := randStr(rng.Intn(6)), randStr(rng.Intn(6))
+		d1, ok1, err1 := astar.Distance(x, y, 4)
+		d2, ok2, err2 := dijkstra.Distance(x, y, 4)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("errors: %v %v", err1, err2)
+		}
+		if ok1 != ok2 || (ok1 && d1 != d2) {
+			t.Fatalf("A* disagrees with Dijkstra on (%q,%q): %g,%v vs %g,%v", x, y, d1, ok1, d2, ok2)
+		}
+	}
+}
+
+func TestHeuristicPrunesMore(t *testing.T) {
+	rs := rewrite.UnitEdits("ab")
+	astar := mustEngine(t, rs)
+	dijkstra := mustEngine(t, rs, WithoutHeuristic())
+	_, _, s1, err := astar.DistanceStats("aaaa", "aaabbb", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, s2, err := dijkstra.DistanceStats("aaaa", "aaabbb", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Expanded > s2.Expanded {
+		t.Errorf("A* expanded %d > Dijkstra %d", s1.Expanded, s2.Expanded)
+	}
+}
+
+func TestUnreachableLengthHeuristic(t *testing.T) {
+	// Substitution-only rules cannot change length; A* should prove
+	// unreachability instantly for different lengths.
+	rs := rewrite.MustRuleSet("sub", []rewrite.Rule{rewrite.Subst('a', 'b', 1), rewrite.Subst('b', 'a', 1)})
+	e := mustEngine(t, rs)
+	_, ok, st, err := e.DistanceStats("aaa", "aa", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("length-changing goal reported reachable")
+	}
+	if st.Expanded > 0 {
+		t.Errorf("expanded %d states for a length-impossible goal, want 0", st.Expanded)
+	}
+}
+
+func TestStatsGrowWithBudget(t *testing.T) {
+	e := mustEngine(t, rewrite.UnitEdits("ab"), WithoutHeuristic())
+	var prev int
+	for _, budget := range []float64{1, 2, 3} {
+		_, _, st, err := e.DistanceStats("aaaaa", "zzzzz", budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Expanded < prev {
+			t.Errorf("expanded shrank: budget %g -> %d (prev %d)", budget, st.Expanded, prev)
+		}
+		prev = st.Expanded
+	}
+}
+
+func TestZeroClosure(t *testing.T) {
+	rs := rewrite.MustRuleSet("fold", []rewrite.Rule{
+		{LHS: "a", RHS: "A", Cost: 0},
+		{LHS: "A", RHS: "a", Cost: 0},
+		rewrite.Subst('a', 'b', 1),
+	})
+	got, err := ZeroClosure(rs, "aa", 0)
+	if err != nil {
+		t.Fatalf("ZeroClosure: %v", err)
+	}
+	want := []string{"AA", "Aa", "aA", "aa"}
+	if len(got) != len(want) {
+		t.Fatalf("ZeroClosure = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ZeroClosure = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestZeroClosureUndecidable(t *testing.T) {
+	rs := rewrite.MustRuleSet("grow", []rewrite.Rule{{LHS: "a", RHS: "aa", Cost: 0}})
+	if _, err := ZeroClosure(rs, "a", 0); !errors.Is(err, ErrUndecidable) {
+		t.Fatalf("err = %v, want ErrUndecidable", err)
+	}
+}
+
+func TestZeroClosureLimit(t *testing.T) {
+	// Free substitutions over a 4-letter alphabet: closure of a length-8
+	// string has 4^8 = 65536 members; cap below that.
+	var rules []rewrite.Rule
+	alpha := "abcd"
+	for i := 0; i < len(alpha); i++ {
+		for j := 0; j < len(alpha); j++ {
+			if i != j {
+				rules = append(rules, rewrite.Subst(alpha[i], alpha[j], 0))
+			}
+		}
+	}
+	rs := rewrite.MustRuleSet("free-sub", rules)
+	if _, err := ZeroClosure(rs, "aaaaaaaa", 1000); !errors.Is(err, ErrSearchLimit) {
+		t.Fatalf("err = %v, want ErrSearchLimit", err)
+	}
+	got, err := ZeroClosure(rs, "aa", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 16 {
+		t.Errorf("closure size = %d, want 16", len(got))
+	}
+}
+
+func TestZeroEquivalent(t *testing.T) {
+	rs := rewrite.MustRuleSet("fold", []rewrite.Rule{
+		{LHS: "a", RHS: "A", Cost: 0},
+		{LHS: "A", RHS: "a", Cost: 0},
+	})
+	eq, err := ZeroEquivalent(rs, "aA", "Aa", 0)
+	if err != nil || !eq {
+		t.Fatalf("ZeroEquivalent = %v, %v; want true", eq, err)
+	}
+	eq, err = ZeroEquivalent(rs, "aA", "AaA", 0)
+	if err != nil || eq {
+		t.Fatalf("different lengths equivalent: %v, %v", eq, err)
+	}
+}
+
+func TestZeroEquivalentAsymmetric(t *testing.T) {
+	// a->b free but not b->a: "a"~"b" one way only.
+	rs := rewrite.MustRuleSet("oneway", []rewrite.Rule{{LHS: "a", RHS: "b", Cost: 0}})
+	eq, err := ZeroEquivalent(rs, "a", "b", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Error("one-way zero reachability reported as equivalence")
+	}
+}
+
+func TestDirectionality(t *testing.T) {
+	// Deletion only: "ab" reduces to "a" but not vice versa.
+	rs := rewrite.MustRuleSet("del", []rewrite.Rule{rewrite.Delete('b', 1)})
+	e := mustEngine(t, rs)
+	if ok, _ := e.Within("ab", "a", 1); !ok {
+		t.Error("ab -> a not within 1")
+	}
+	if ok, _ := e.Within("a", "ab", 5); ok {
+		t.Error("a -> ab reported reachable with deletion-only rules")
+	}
+	// The inverse rule set reverses reachability.
+	inv := mustEngine(t, rs.Inverse())
+	if ok, _ := inv.Within("a", "ab", 1); !ok {
+		t.Error("inverse rules did not reverse reachability")
+	}
+}
+
+func TestInfiniteMinPositiveCostAllZero(t *testing.T) {
+	rs := rewrite.MustRuleSet("allzero", []rewrite.Rule{
+		{LHS: "a", RHS: "b", Cost: 0}, {LHS: "b", RHS: "a", Cost: 0},
+	})
+	e := mustEngine(t, rs)
+	d, ok, err := e.Distance("aaa", "bbb", 0)
+	if err != nil || !ok || d != 0 {
+		t.Fatalf("all-zero distance = %g,%v,%v; want 0,true,nil", d, ok, err)
+	}
+	if math.IsInf(rs.MinPositiveCost(), 1) != true {
+		t.Error("MinPositiveCost not +Inf")
+	}
+}
