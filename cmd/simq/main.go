@@ -11,7 +11,9 @@
 // Rule files use the textual rule language of internal/rewrite; when no
 // -rules file is given, a default rule set "edits" (unit edits over
 // a-z) is registered. The REPL accepts one statement per line plus the
-// meta commands \tables, \rules and \quit.
+// meta commands \tables, \rules and \quit. Statements may use N-way
+// FROM lists, ORDER BY dist [ASC|DESC] and LIMIT; EXPLAIN prints the
+// physical operator tree the cost-based planner chose.
 package main
 
 import (
@@ -129,8 +131,14 @@ func run(eng *query.Engine, stmt string) error {
 	for _, row := range res.Rows {
 		fmt.Println(strings.Join(row, "\t"))
 	}
-	fmt.Fprintf(os.Stderr, "(%d rows; plan: %s)\n", len(res.Rows), res.Plan)
+	fmt.Fprintf(os.Stderr, "(%d rows; %d candidates, %d verifications; plan:\n%s)\n",
+		len(res.Rows), res.Stats.Candidates, res.Stats.Verifications, indent(res.Plan, "  "))
 	return nil
+}
+
+// indent prefixes every line of a rendered plan tree.
+func indent(s, prefix string) string {
+	return prefix + strings.ReplaceAll(s, "\n", "\n"+prefix)
 }
 
 func fail(err error) {

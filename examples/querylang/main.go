@@ -5,6 +5,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 
 	"repro"
 )
@@ -51,6 +52,7 @@ func main() {
 		for _, row := range res.Rows {
 			fmt.Printf("  %v\n", row)
 		}
-		fmt.Printf("  (%d rows; plan: %s)\n\n", len(res.Rows), res.Plan)
+		fmt.Printf("  (%d rows; plan:\n    %s)\n\n", len(res.Rows),
+			strings.ReplaceAll(res.Plan, "\n", "\n    "))
 	}
 }

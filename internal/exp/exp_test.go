@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -131,52 +132,72 @@ func TestC9(t *testing.T) {
 	}
 }
 
+// retryTiming evaluates a wall-clock claim up to three times before
+// failing: single-shot timing comparisons are flaky on loaded CI boxes,
+// while a claim that holds in any quiet run is established.
+func retryTiming(t *testing.T, claim func() (bool, string)) {
+	t.Helper()
+	var detail string
+	for attempt := 0; attempt < 3; attempt++ {
+		var ok bool
+		if ok, detail = claim(); ok {
+			return
+		}
+	}
+	t.Error(detail)
+}
+
 func TestC10IndexWins(t *testing.T) {
-	tab := runQuick(t, C10)
-	c := col(tab, "speedup")
+	if raceEnabled {
+		t.Skip("wall-clock speedup assertion is unreliable under the race detector")
+	}
 	// As in Fig. 10, the curves may touch at the shortest length where
 	// query preparation dominates; the index must win at the largest.
-	for i, row := range tab.Rows {
+	retryTiming(t, func() (bool, string) {
+		tab := runQuick(t, C10)
+		c := col(tab, "speedup")
+		row := tab.Rows[len(tab.Rows)-1]
 		v, err := strconv.ParseFloat(strings.TrimSuffix(row[c], "x"), 64)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if i == len(tab.Rows)-1 && v < 1 {
-			t.Errorf("scan beat the index at the largest length: %v", row)
-		}
-	}
+		return v >= 1, fmt.Sprintf("scan beat the index at the largest length: %v", row)
+	})
 }
 
 func TestC11IndexWins(t *testing.T) {
-	tab := runQuick(t, C11)
-	c := col(tab, "speedup")
+	if raceEnabled {
+		t.Skip("wall-clock speedup assertion is unreliable under the race detector")
+	}
 	// At the smallest population both strategies are dominated by the
 	// query-DFT cost (the companion's Fig. 11 curves also converge at
 	// the left edge); the shape claim is that the index's margin grows
 	// with the data size and it wins clearly at scale.
-	var prev float64
-	for i, row := range tab.Rows {
-		v, err := strconv.ParseFloat(strings.TrimSuffix(row[c], "x"), 64)
-		if err != nil {
-			t.Fatal(err)
+	retryTiming(t, func() (bool, string) {
+		tab := runQuick(t, C11)
+		c := col(tab, "speedup")
+		ok := true
+		var prev float64
+		for i, row := range tab.Rows {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(row[c], "x"), 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == len(tab.Rows)-1 && v < 1 {
+				ok = false
+			}
+			if i > 0 && v < prev*0.5 {
+				ok = false
+			}
+			prev = v
 		}
-		if i == len(tab.Rows)-1 && v < 1 {
-			t.Errorf("scan beat the index at the largest size: %v", row)
-		}
-		if i > 0 && v < prev*0.5 {
-			t.Errorf("speedup collapsed with size: %v", tab.Rows)
-		}
-		prev = v
-	}
+		return ok, fmt.Sprintf("index did not win (or speedup collapsed) with size: %v", tab.Rows)
+	})
 }
 
 func TestC12(t *testing.T) {
 	tab := runQuick(t, C12)
-	// Small answer sets: index wins.
-	if tab.Rows[0][col(tab, "index_wins")] != "true" {
-		t.Errorf("index lost at the smallest threshold: %v", tab.Rows[0])
-	}
-	// Answers grow with eps.
+	// Answers grow with eps (deterministic, no retry needed).
 	c := col(tab, "answers")
 	prev := -1
 	for _, row := range tab.Rows {
@@ -186,6 +207,15 @@ func TestC12(t *testing.T) {
 		}
 		prev = n
 	}
+	if raceEnabled {
+		return // the index_wins column is a wall-clock comparison
+	}
+	// Small answer sets: index wins.
+	retryTiming(t, func() (bool, string) {
+		tab := runQuick(t, C12)
+		return tab.Rows[0][col(tab, "index_wins")] == "true",
+			fmt.Sprintf("index lost at the smallest threshold: %v", tab.Rows[0])
+	})
 }
 
 func TestCT1(t *testing.T) {

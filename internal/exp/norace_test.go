@@ -1,0 +1,8 @@
+//go:build !race
+
+package exp
+
+// raceEnabled lets timing-sensitive tests skip their wall-clock
+// assertions under the race detector, whose instrumentation slows the
+// measured strategies by different factors.
+const raceEnabled = false

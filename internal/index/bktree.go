@@ -1,6 +1,10 @@
 package index
 
-import "repro/internal/editdp"
+import (
+	"sort"
+
+	"repro/internal/editdp"
+)
 
 // BKTree is a Burkhard–Keller tree over the unit-cost edit distance.
 // Soundness requires a metric (symmetry + triangle inequality), which
@@ -15,6 +19,7 @@ type BKTree struct {
 type bkNode struct {
 	entry    Entry
 	children map[int]*bkNode // edit distance -> subtree
+	keys     []int           // child distances, ascending (maintained on insert)
 }
 
 // NewBKTree returns an empty tree.
@@ -41,6 +46,10 @@ func (t *BKTree) Insert(id int, s string) {
 				cur.children = make(map[int]*bkNode)
 			}
 			cur.children[d] = n
+			i := sort.SearchInts(cur.keys, d)
+			cur.keys = append(cur.keys, 0)
+			copy(cur.keys[i+1:], cur.keys[i:])
+			cur.keys[i] = d
 			return
 		}
 		cur = child
@@ -54,74 +63,97 @@ func (t *BKTree) Range(query string, k int) []Match {
 }
 
 // NearestK returns the k entries closest to the query in unit edit
-// distance, nearest first (ties broken by insertion order encountered).
-// It walks the tree best-first, shrinking the pruning radius to the
-// current kth-best distance.
+// distance, nearest first (ties broken by ascending id).
 func (t *BKTree) NearestK(query string, k int) []Match {
+	m, _ := t.NearestKStats(query, k)
+	return m
+}
+
+// NearestKStats is NearestK with work counters: Verifications counts
+// distance computations, Candidates the nodes visited. The tree is
+// walked best-first, shrinking the pruning radius to the current
+// kth-best distance.
+func (t *BKTree) NearestKStats(query string, k int) ([]Match, Stats) {
+	var st Stats
 	if t.root == nil || k <= 0 {
-		return nil
+		return nil, st
 	}
-	// best holds up to k matches sorted ascending by distance.
+	// best holds up to k matches sorted ascending by (distance, id).
 	var best []Match
-	insert := func(m Match) {
-		i := len(best)
-		for i > 0 && best[i-1].Dist > m.Dist {
-			i--
-		}
-		best = append(best, Match{})
-		copy(best[i+1:], best[i:])
-		best[i] = m
-		if len(best) > k {
-			best = best[:k]
-		}
-	}
 	var walk func(n *bkNode)
 	walk = func(n *bkNode) {
+		st.Candidates++
+		st.Verifications++
 		d := editdp.Levenshtein(query, n.entry.S)
 		if len(best) < k || float64(d) <= best[len(best)-1].Dist {
-			insert(Match{ID: n.entry.ID, S: n.entry.S, Dist: float64(d)})
+			best = PushBestK(best, Match{ID: n.entry.ID, S: n.entry.S, Dist: float64(d)}, k)
 		}
-		for dist, child := range n.children {
+		for _, dist := range n.keys {
 			if len(best) < k {
-				walk(child)
+				walk(n.children[dist])
 				continue
 			}
 			// Triangle inequality: the subtree can only contain entries
 			// at distance >= |d - dist| from the query.
 			r := int(best[len(best)-1].Dist)
 			if dist >= d-r && dist <= d+r {
-				walk(child)
+				walk(n.children[dist])
 			}
 		}
 	}
 	walk(t.root)
-	return best
+	return best, st
 }
 
 // RangeStats is Range with work counters: Verifications counts distance
 // computations (the tree's only cost), Candidates the nodes visited.
 func (t *BKTree) RangeStats(query string, k int) ([]Match, Stats) {
 	var out []Match
-	var st Stats
-	if t.root == nil || k < 0 {
-		return nil, st
+	it := t.RangeIter(query, k)
+	for m, ok := it.Next(); ok; m, ok = it.Next() {
+		out = append(out, m)
 	}
-	stack := []*bkNode{t.root}
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		st.Candidates++
-		st.Verifications++
-		d := editdp.Levenshtein(query, n.entry.S)
-		if d <= k {
-			out = append(out, Match{ID: n.entry.ID, S: n.entry.S, Dist: float64(d)})
-		}
+	return out, it.Stats()
+}
+
+// RangeIter returns an incremental range query: matches stream out in
+// deterministic tree order (children visited by ascending edge
+// distance) and traversal stops as soon as the caller stops pulling.
+func (t *BKTree) RangeIter(query string, k int) Iterator {
+	it := &bkIter{query: query, k: k}
+	if t.root != nil && k >= 0 {
+		it.stack = []*bkNode{t.root}
+	}
+	return it
+}
+
+type bkIter struct {
+	query string
+	k     int
+	stack []*bkNode
+	st    Stats
+}
+
+func (it *bkIter) Stats() Stats { return it.st }
+
+func (it *bkIter) Next() (Match, bool) {
+	for len(it.stack) > 0 {
+		n := it.stack[len(it.stack)-1]
+		it.stack = it.stack[:len(it.stack)-1]
+		it.st.Candidates++
+		it.st.Verifications++
+		d := editdp.Levenshtein(it.query, n.entry.S)
 		// Triangle inequality: answers in child c require |d - c| <= k.
-		for dist, child := range n.children {
-			if dist >= d-k && dist <= d+k {
-				stack = append(stack, child)
+		// Push descending so children pop in ascending distance order.
+		for i := len(n.keys) - 1; i >= 0; i-- {
+			dist := n.keys[i]
+			if dist >= d-it.k && dist <= d+it.k {
+				it.stack = append(it.stack, n.children[dist])
 			}
 		}
+		if d <= it.k {
+			return Match{ID: n.entry.ID, S: n.entry.S, Dist: float64(d)}, true
+		}
 	}
-	return out, st
+	return Match{}, false
 }

@@ -36,6 +36,49 @@ type Match struct {
 	Dist float64
 }
 
+// Iterator is a pull-based stream of range-query matches. Abandoning an
+// iterator early (e.g. a LIMIT above it) stops the underlying index
+// traversal, so work is proportional to the matches actually consumed.
+type Iterator interface {
+	// Next returns the next match; ok is false when the stream is done.
+	Next() (m Match, ok bool)
+	// Stats reports the work performed so far.
+	Stats() Stats
+}
+
+// Index is the planner-facing interface over the metric range indexes:
+// any implementation answers unit-edit-distance range queries and
+// exposes an incremental iterator with deterministic emission order, so
+// the query planner can select BK-tree or trie purely on cost.
+type Index interface {
+	Len() int
+	Range(query string, k int) []Match
+	RangeStats(query string, k int) ([]Match, Stats)
+	RangeIter(query string, k int) Iterator
+}
+
+var (
+	_ Index = (*BKTree)(nil)
+	_ Index = (*Trie)(nil)
+)
+
+// PushBestK inserts m into best — kept sorted ascending by (Dist, ID)
+// — and truncates to at most k entries. The shared best-list of every
+// nearest-k strategy, so tie-breaking stays identical across them.
+func PushBestK(best []Match, m Match, k int) []Match {
+	i := len(best)
+	for i > 0 && (best[i-1].Dist > m.Dist || best[i-1].Dist == m.Dist && best[i-1].ID > m.ID) {
+		i--
+	}
+	best = append(best, Match{})
+	copy(best[i+1:], best[i:])
+	best[i] = m
+	if len(best) > k {
+		best = best[:k]
+	}
+	return best
+}
+
 // Verifier decides whether a candidate is a true answer. The unit
 // verifier wraps editdp.LevenshteinWithin; weighted verifiers wrap
 // Calculator.Within.

@@ -1,5 +1,7 @@
 package index
 
+import "sort"
+
 // Trie is a shared-prefix tree searched with the classic edit-distance
 // row propagation: the DP row for a node is computed once and shared by
 // every word below it, so range search at small radii touches only a
@@ -12,6 +14,7 @@ type Trie struct {
 
 type trieNode struct {
 	children map[byte]*trieNode
+	keys     []byte // child bytes, ascending (maintained on insert)
 	// terminal entries ending at this node (same string, many ids).
 	terminal []Entry
 }
@@ -35,6 +38,10 @@ func (t *Trie) Insert(id int, s string) {
 		if !ok {
 			next = &trieNode{}
 			cur.children[c] = next
+			i := sort.Search(len(cur.keys), func(i int) bool { return cur.keys[i] >= c })
+			cur.keys = append(cur.keys, 0)
+			copy(cur.keys[i+1:], cur.keys[i:])
+			cur.keys[i] = c
 		}
 		cur = next
 	}
@@ -64,57 +71,99 @@ func (t *Trie) Range(query string, k int) []Match {
 // visited, Verifications counts DP row computations.
 func (t *Trie) RangeStats(query string, k int) ([]Match, Stats) {
 	var out []Match
-	var st Stats
-	if k < 0 {
-		return nil, st
+	it := t.RangeIter(query, k)
+	for m, ok := it.Next(); ok; m, ok = it.Next() {
+		out = append(out, m)
 	}
-	m := len(query)
-	row := make([]int, m+1)
-	for j := range row {
-		row[j] = j
-	}
-	st.Candidates++
-	if min(row) <= k && row[m] <= k {
-		for _, e := range t.root.terminal {
-			out = append(out, Match{ID: e.ID, S: e.S, Dist: float64(row[m])})
-		}
-	}
-	var walk func(n *trieNode, prevRow []int)
-	walk = func(n *trieNode, prevRow []int) {
-		for c, child := range n.children {
-			st.Candidates++
-			st.Verifications++
-			cur := make([]int, m+1)
-			cur[0] = prevRow[0] + 1
-			for j := 1; j <= m; j++ {
-				cost := 1
-				if query[j-1] == c {
-					cost = 0
-				}
-				best := prevRow[j-1] + cost
-				if v := prevRow[j] + 1; v < best {
-					best = v
-				}
-				if v := cur[j-1] + 1; v < best {
-					best = v
-				}
-				cur[j] = best
-			}
-			if cur[m] <= k {
-				for _, e := range child.terminal {
-					out = append(out, Match{ID: e.ID, S: e.S, Dist: float64(cur[m])})
-				}
-			}
-			if min(cur) <= k {
-				walk(child, cur)
-			}
-		}
-	}
-	walk(t.root, row)
-	return out, st
+	return out, it.Stats()
 }
 
-func min(xs []int) int {
+// RangeIter returns an incremental range query: matches stream out in
+// deterministic lexicographic prefix order and the traversal stops as
+// soon as the caller stops pulling.
+func (t *Trie) RangeIter(query string, k int) Iterator {
+	it := &trieIter{query: query, k: k}
+	if k >= 0 {
+		m := len(query)
+		row := make([]int, m+1)
+		for j := range row {
+			row[j] = j
+		}
+		it.stack = []trieFrame{{node: t.root, row: row}}
+	}
+	return it
+}
+
+type trieFrame struct {
+	node *trieNode
+	row  []int
+}
+
+type trieIter struct {
+	query   string
+	k       int
+	stack   []trieFrame
+	pending []Match
+	st      Stats
+}
+
+func (it *trieIter) Stats() Stats { return it.st }
+
+func (it *trieIter) Next() (Match, bool) {
+	for {
+		if len(it.pending) > 0 {
+			m := it.pending[0]
+			it.pending = it.pending[1:]
+			return m, true
+		}
+		if len(it.stack) == 0 {
+			return Match{}, false
+		}
+		f := it.stack[len(it.stack)-1]
+		it.stack = it.stack[:len(it.stack)-1]
+		it.st.Candidates++
+		m := len(it.query)
+		if f.row[m] <= it.k {
+			for _, e := range f.node.terminal {
+				it.pending = append(it.pending, Match{ID: e.ID, S: e.S, Dist: float64(f.row[m])})
+			}
+		}
+		if minInt(f.row) > it.k {
+			continue
+		}
+		// Push children in descending byte order so they pop ascending.
+		for i := len(f.node.keys) - 1; i >= 0; i-- {
+			c := f.node.keys[i]
+			it.st.Verifications++
+			cur := nextRow(it.query, f.row, c)
+			it.stack = append(it.stack, trieFrame{node: f.node.children[c], row: cur})
+		}
+	}
+}
+
+// nextRow advances the edit-distance DP by one trie edge labelled c.
+func nextRow(query string, prevRow []int, c byte) []int {
+	m := len(query)
+	cur := make([]int, m+1)
+	cur[0] = prevRow[0] + 1
+	for j := 1; j <= m; j++ {
+		cost := 1
+		if query[j-1] == c {
+			cost = 0
+		}
+		best := prevRow[j-1] + cost
+		if v := prevRow[j] + 1; v < best {
+			best = v
+		}
+		if v := cur[j-1] + 1; v < best {
+			best = v
+		}
+		cur[j] = best
+	}
+	return cur
+}
+
+func minInt(xs []int) int {
 	m := xs[0]
 	for _, x := range xs[1:] {
 		if x < m {

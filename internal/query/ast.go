@@ -9,10 +9,21 @@ import (
 type Query struct {
 	Explain bool
 	Select  []Column   // empty means '*'
-	From    []TableRef // one (range query) or two (join)
+	From    []TableRef // one (range query) or several (N-way join)
 	Where   Expr       // may be nil
+	Order   OrderDir   // ORDER BY dist direction
 	Limit   int        // 0 means unlimited
 }
+
+// OrderDir is the ORDER BY dist direction.
+type OrderDir int
+
+// ORDER BY directions.
+const (
+	OrderNone OrderDir = iota
+	OrderAsc
+	OrderDesc
+)
 
 // Column is a projected column, optionally qualified by a table alias.
 type Column struct {
@@ -174,6 +185,12 @@ func (q *Query) String() string {
 	}
 	if q.Where != nil {
 		b.WriteString(" WHERE " + q.Where.String())
+	}
+	switch q.Order {
+	case OrderAsc:
+		b.WriteString(" ORDER BY dist")
+	case OrderDesc:
+		b.WriteString(" ORDER BY dist DESC")
 	}
 	if q.Limit > 0 {
 		fmt.Fprintf(&b, " LIMIT %d", q.Limit)

@@ -3,6 +3,7 @@ package query
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -25,18 +26,49 @@ type Engine struct {
 	calcs    map[string]*editdp.Calculator // edit-like rule sets only
 	generals map[string]*transform.Engine  // everything decidable
 	patterns map[string]*pattern.Pattern   // compiled pattern cache
+
+	parallelism     int // workers for Parallel plans (<=1 disables)
+	parallelMinRows int // outer-relation size that justifies sharding
 }
+
+// parallelDefaultMinRows is the default outer-relation size below which
+// sharding overhead outweighs the parallel speedup.
+const parallelDefaultMinRows = 4096
 
 // NewEngine returns an engine over the catalog with no rule sets
 // registered.
 func NewEngine(cat *relation.Catalog) *Engine {
 	return &Engine{
-		catalog:  cat,
-		rulesets: make(map[string]*rewrite.RuleSet),
-		calcs:    make(map[string]*editdp.Calculator),
-		generals: make(map[string]*transform.Engine),
-		patterns: make(map[string]*pattern.Pattern),
+		catalog:         cat,
+		rulesets:        make(map[string]*rewrite.RuleSet),
+		calcs:           make(map[string]*editdp.Calculator),
+		generals:        make(map[string]*transform.Engine),
+		patterns:        make(map[string]*pattern.Pattern),
+		parallelism:     runtime.GOMAXPROCS(0),
+		parallelMinRows: parallelDefaultMinRows,
 	}
+}
+
+// SetParallelism sets the worker count for parallel scan/join plans;
+// n <= 1 forces serial execution.
+func (e *Engine) SetParallelism(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.parallelism = n
+}
+
+// SetParallelMinRows sets the outer-relation size from which the
+// planner shards scans and joins across workers.
+func (e *Engine) SetParallelMinRows(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.parallelMinRows = n
+}
+
+func (e *Engine) parallelConfig() (workers, minRows int) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.parallelism, e.parallelMinRows
 }
 
 // Catalog returns the engine's catalog.
@@ -137,7 +169,8 @@ func unitCost(rs *rewrite.RuleSet) bool {
 type Result struct {
 	Columns []string
 	Rows    [][]string
-	Plan    string // access-path description; the whole payload for EXPLAIN
+	Plan    string    // rendered operator tree; the whole payload for EXPLAIN
+	Stats   ExecStats // work counters from the access paths
 }
 
 // Execute parses and runs one statement.
@@ -156,17 +189,20 @@ func (e *Engine) ExecuteQuery(q *Query) (*Result, error) {
 		return nil, err
 	}
 	if q.Explain {
-		return &Result{Columns: []string{"plan"}, Rows: [][]string{{plan.describe()}}, Plan: plan.describe()}, nil
+		tree := plan.describe()
+		return &Result{Columns: []string{"plan"}, Rows: [][]string{{tree}}, Plan: tree}, nil
 	}
 	return plan.run()
 }
 
 // binding maps table aliases to the tuples of one candidate row, plus
-// the distance produced by the access path (if any).
+// the distance produced by the access path (if any) and the projected
+// output row (filled in by the Project operator).
 type binding struct {
 	aliases map[string]relation.Tuple
 	dist    float64
 	hasDist bool
+	row     []string
 }
 
 // evalExpr evaluates a predicate tree against one binding.
@@ -176,19 +212,31 @@ func (e *Engine) evalExpr(ex Expr, b *binding) (bool, error) {
 		return true, nil
 	case AndExpr:
 		l, err := e.evalExpr(ex.L, b)
-		if err != nil || !l {
+		if err != nil {
 			return false, err
+		}
+		if !l {
+			// Short-circuit: a false conjunct decides the AND; errors in
+			// the unevaluated right side are intentionally not surfaced.
+			return false, nil
 		}
 		return e.evalExpr(ex.R, b)
 	case OrExpr:
 		l, err := e.evalExpr(ex.L, b)
-		if err != nil || l {
-			return l, err
+		if err != nil {
+			return false, err
+		}
+		if l {
+			// Short-circuit: a true disjunct decides the OR.
+			return true, nil
 		}
 		return e.evalExpr(ex.R, b)
 	case NotExpr:
 		v, err := e.evalExpr(ex.E, b)
-		return !v, err
+		if err != nil {
+			return false, err
+		}
+		return !v, nil
 	case CmpExpr:
 		l, err := operandValue(ex.L, b)
 		if err != nil {

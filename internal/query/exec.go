@@ -1,0 +1,175 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Operator is the Volcano-style physical operator interface: a pull
+// iterator over tuple bindings. Every access path, filter, join and
+// decorator in the engine implements it, so the planner can compose
+// them freely and EXPLAIN can render any plan as a tree.
+//
+// The protocol is Open -> Next* -> Close. Next returns (nil, nil) at
+// end of stream. Operators must be re-openable after Close (the inner
+// side of a nested-loop join is re-opened per outer binding). Work
+// counters accumulate locally and are flushed into the shared execCtx
+// on Close, so parallel sub-plans never race on the counters.
+type Operator interface {
+	Open() error
+	Next() (*binding, error)
+	Close() error
+	// Describe returns the one-line operator label for EXPLAIN.
+	Describe() string
+	// Children returns the operator's inputs, outer first.
+	Children() []Operator
+}
+
+// ExecStats counts the work one query execution performed; exposed on
+// Result so callers (and the LIMIT-pushdown regression tests) can see
+// how many candidates an access path actually touched.
+type ExecStats struct {
+	Candidates    int // tuples and index nodes examined by access paths
+	Verifications int // distance computations and predicate evaluations
+}
+
+// execCtx is shared by every operator of one executing query.
+type execCtx struct {
+	eng *Engine
+
+	mu    sync.Mutex
+	stats ExecStats
+}
+
+// addStats merges an operator's local counters; safe for concurrent use
+// by parallel shard workers.
+func (c *execCtx) addStats(s ExecStats) {
+	c.mu.Lock()
+	c.stats.Candidates += s.Candidates
+	c.stats.Verifications += s.Verifications
+	c.mu.Unlock()
+}
+
+func (c *execCtx) snapshot() ExecStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// compiledPlan is the planner's output: an operator tree plus the
+// result header it produces.
+type compiledPlan struct {
+	root    Operator
+	ctx     *execCtx
+	columns []string
+}
+
+// describe renders the operator tree for EXPLAIN and Result.Plan.
+func (p *compiledPlan) describe() string { return renderTree(p.root) }
+
+// run drives the operator tree to completion and assembles the result.
+func (p *compiledPlan) run() (*Result, error) {
+	res := &Result{Columns: p.columns, Plan: p.describe()}
+	if err := p.root.Open(); err != nil {
+		p.root.Close()
+		return nil, err
+	}
+	for {
+		b, err := p.root.Next()
+		if err != nil {
+			p.root.Close()
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		res.Rows = append(res.Rows, b.row)
+	}
+	if err := p.root.Close(); err != nil {
+		return nil, err
+	}
+	res.Stats = p.ctx.snapshot()
+	return res, nil
+}
+
+// renderTree renders an operator tree with box-drawing indentation:
+//
+//	Limit(3)
+//	└─ Project(seq, dist)
+//	   └─ Filter(lang = "en")
+//	      └─ IndexRange(words via bktree, target=color, radius=1, ruleset=edits)
+func renderTree(op Operator) string {
+	var b strings.Builder
+	var walk func(op Operator, prefix string, last bool, root bool)
+	walk = func(op Operator, prefix string, last, root bool) {
+		if root {
+			b.WriteString(op.Describe())
+		} else {
+			b.WriteString("\n")
+			b.WriteString(prefix)
+			if last {
+				b.WriteString("└─ ")
+				prefix += "   "
+			} else {
+				b.WriteString("├─ ")
+				prefix += "│  "
+			}
+			b.WriteString(op.Describe())
+		}
+		kids := op.Children()
+		for i, k := range kids {
+			walk(k, prefix, i == len(kids)-1, false)
+		}
+	}
+	walk(op, "", true, true)
+	return b.String()
+}
+
+// projectColumns computes the result header for a query's projection.
+func projectColumns(q *Query) []string {
+	var cols []string
+	if len(q.Select) > 0 {
+		for _, c := range q.Select {
+			cols = append(cols, c.String())
+		}
+		return cols
+	}
+	// '*': id and seq per alias, then dist. Aliases are prefixed as soon
+	// as more than one relation is in scope.
+	for _, ref := range q.From {
+		prefix := ""
+		if len(q.From) > 1 {
+			prefix = ref.Alias + "."
+		}
+		cols = append(cols, prefix+"id", prefix+"seq")
+	}
+	return append(cols, "dist")
+}
+
+// projectRow materialises one output row from a binding.
+func projectRow(eng *Engine, q *Query, b *binding) ([]string, error) {
+	var row []string
+	if len(q.Select) > 0 {
+		row = make([]string, 0, len(q.Select))
+		for _, c := range q.Select {
+			v, err := fieldValue(FieldRef{Table: c.Table, Name: c.Name}, b)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		return row, nil
+	}
+	row = make([]string, 0, 2*len(q.From)+1)
+	for _, ref := range q.From {
+		t := b.aliases[ref.Alias]
+		row = append(row, fmt.Sprintf("%d", t.ID), t.Seq)
+	}
+	if b.hasDist {
+		row = append(row, formatDist(b.dist))
+	} else {
+		row = append(row, "")
+	}
+	return row, nil
+}

@@ -8,13 +8,19 @@
 //	SELECT * FROM words WHERE seq SIMILAR TO PATTERN "a(b|c)*d" WITHIN 1 USING edits
 //	SELECT * FROM stocks a, stocks b WHERE a.seq SIMILAR TO b.seq WITHIN 3 USING edits
 //	SELECT * FROM words WHERE seq NEAREST 5 TO "color" USING edits
+//	SELECT * FROM s a, s b, s c WHERE a.seq SIMILAR TO b.seq WITHIN 1 USING edits
+//	       AND b.seq SIMILAR TO c.seq WITHIN 1 USING edits ORDER BY dist LIMIT 10
 //	EXPLAIN SELECT ...
 //
-// The package contains the lexer, parser, logical planner and executor.
-// Planning picks an access path per the rule-set classification: metric
-// indexes (BK-tree, trie) for the unit edit distance, filter+verify for
-// weighted edit-like sets, and scan with the general search engine
-// otherwise.
+// The package contains the lexer, parser, cost-based planner and a
+// Volcano-style executor: queries compile to trees of physical
+// operators (Scan, IndexRange, NearestK, Filter, Project, Limit,
+// OrderByDist, NestedLoopJoin, IndexJoin, Parallel) behind one pull
+// iterator interface. The planner ranks access paths with relation
+// statistics per the rule-set classification: metric indexes (BK-tree,
+// trie) for the unit edit distance, filter+verify for weighted
+// edit-like sets, and scan with the general search engine otherwise.
+// EXPLAIN renders the chosen operator tree. See DESIGN.md.
 package query
 
 import (

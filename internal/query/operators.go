@@ -1,0 +1,656 @@
+package query
+
+// This file holds the physical operators of the Volcano-style execution
+// pipeline. Each operator pulls bindings from its children, does one
+// job, and counts its own work; the planner in plan.go composes them
+// into trees.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/index"
+	"repro/internal/relation"
+)
+
+// infCut bounds finite distances: +Inf means unreachable.
+const infCut = 1e300
+
+// ---------------------------------------------------------------- scan
+
+// scanOp streams the tuples of one relation shard. Shard (i, n) covers
+// a contiguous tuple range, so concatenating shards 0..n-1 reproduces
+// the serial scan order — the invariant parallel plans rely on.
+type scanOp struct {
+	ctx           *execCtx
+	rel           *relation.Relation
+	alias         string
+	shard, shards int
+
+	tuples []relation.Tuple
+	pos    int
+	local  ExecStats
+}
+
+func newScanOp(ctx *execCtx, rel *relation.Relation, alias string) *scanOp {
+	return &scanOp{ctx: ctx, rel: rel, alias: alias, shards: 1}
+}
+
+func (o *scanOp) Open() error {
+	o.tuples = o.rel.Shard(o.shard, o.shards)
+	o.pos = 0
+	return nil
+}
+
+func (o *scanOp) Next() (*binding, error) {
+	if o.pos >= len(o.tuples) {
+		return nil, nil
+	}
+	t := o.tuples[o.pos]
+	o.pos++
+	o.local.Candidates++
+	return &binding{aliases: map[string]relation.Tuple{o.alias: t}}, nil
+}
+
+func (o *scanOp) Close() error {
+	o.ctx.addStats(o.local)
+	o.local = ExecStats{}
+	return nil
+}
+
+func (o *scanOp) Describe() string {
+	if o.shards > 1 {
+		return fmt.Sprintf("Scan(%s, shard %d/%d)", o.alias, o.shard, o.shards)
+	}
+	return fmt.Sprintf("Scan(%s)", o.alias)
+}
+
+func (o *scanOp) Children() []Operator { return nil }
+
+// --------------------------------------------------------- index range
+
+// indexRangeOp streams matches of "seq SIMILAR TO lit WITHIN k" from a
+// metric index (BK-tree or trie, chosen by the cost model). The
+// underlying iterator is lazy, so a LIMIT above this operator stops the
+// index traversal early instead of post-filtering a full result.
+type indexRangeOp struct {
+	ctx     *execCtx
+	rel     *relation.Relation
+	alias   string
+	via     string // "bktree" or "trie"
+	target  string
+	radius  int
+	ruleSet string
+
+	iter index.Iterator
+}
+
+func (o *indexRangeOp) Open() error {
+	var idx index.Index
+	switch o.via {
+	case "trie":
+		idx = o.rel.Trie()
+	default:
+		idx = o.rel.BKTree()
+	}
+	o.iter = idx.RangeIter(o.target, o.radius)
+	return nil
+}
+
+func (o *indexRangeOp) Next() (*binding, error) {
+	m, ok := o.iter.Next()
+	if !ok {
+		return nil, nil
+	}
+	t, ok := o.rel.Tuple(m.ID)
+	if !ok {
+		return nil, fmt.Errorf("query: index returned unknown id %d", m.ID)
+	}
+	return &binding{
+		aliases: map[string]relation.Tuple{o.alias: t},
+		dist:    m.Dist,
+		hasDist: true,
+	}, nil
+}
+
+func (o *indexRangeOp) Close() error {
+	if o.iter != nil {
+		st := o.iter.Stats()
+		o.ctx.addStats(ExecStats{Candidates: st.Candidates, Verifications: st.Verifications})
+		o.iter = nil
+	}
+	return nil
+}
+
+func (o *indexRangeOp) Describe() string {
+	return fmt.Sprintf("IndexRange(%s via %s, target=%s, radius=%d, ruleset=%s)",
+		o.alias, o.via, o.target, o.radius, o.ruleSet)
+}
+
+func (o *indexRangeOp) Children() []Operator { return nil }
+
+// ----------------------------------------------------------- nearest-k
+
+// nearestKOp answers "seq NEAREST k TO lit". The bktree variant walks
+// the metric tree best-first; the scan variant keeps a bounded
+// best-list and verifies each tuple with the banded DP cut off at the
+// current kth-best distance, so most tuples abort their DP early.
+type nearestKOp struct {
+	ctx     *execCtx
+	rel     *relation.Relation
+	alias   string
+	via     string // "bktree" or "scan"
+	target  string
+	k       int
+	ruleSet string
+
+	matches []index.Match
+	pos     int
+}
+
+func (o *nearestKOp) Open() error {
+	o.pos = 0
+	if o.via == "bktree" {
+		m, st := o.rel.BKTree().NearestKStats(o.target, o.k)
+		o.matches = m
+		o.ctx.addStats(ExecStats{Candidates: st.Candidates, Verifications: st.Verifications})
+		return nil
+	}
+	calc := o.ctx.eng.calc(o.ruleSet)
+	if calc == nil {
+		return fmt.Errorf("query: NEAREST requires an edit-like rule set (%q is not)", o.ruleSet)
+	}
+	var local ExecStats
+	// best holds up to k matches sorted ascending by (dist, id); bound
+	// is the kth-best distance once the list is full, at which point the
+	// banded DP abandons most candidates early.
+	var best []index.Match
+	bound := math.Inf(1)
+	for _, t := range o.rel.Tuples() {
+		local.Candidates++
+		local.Verifications++
+		var d float64
+		var ok bool
+		if math.IsInf(bound, 1) {
+			d = calc.Distance(t.Seq, o.target)
+			ok = d < infCut
+		} else {
+			d, ok = calc.Within(t.Seq, o.target, bound)
+		}
+		if !ok {
+			continue
+		}
+		best = index.PushBestK(best, index.Match{ID: t.ID, S: t.Seq, Dist: d}, o.k)
+		if len(best) == o.k {
+			bound = best[o.k-1].Dist
+		}
+	}
+	o.matches = best
+	o.ctx.addStats(local)
+	return nil
+}
+
+func (o *nearestKOp) Next() (*binding, error) {
+	if o.pos >= len(o.matches) {
+		return nil, nil
+	}
+	m := o.matches[o.pos]
+	o.pos++
+	t, _ := o.rel.Tuple(m.ID)
+	return &binding{
+		aliases: map[string]relation.Tuple{o.alias: t},
+		dist:    m.Dist,
+		hasDist: true,
+	}, nil
+}
+
+func (o *nearestKOp) Close() error {
+	o.matches = nil
+	return nil
+}
+
+func (o *nearestKOp) Describe() string {
+	return fmt.Sprintf("NearestK(%s via %s, k=%d, ruleset=%s)", o.alias, o.via, o.k, o.ruleSet)
+}
+
+func (o *nearestKOp) Children() []Operator { return nil }
+
+// -------------------------------------------------------------- filter
+
+// filterOp keeps bindings satisfying a residual predicate.
+type filterOp struct {
+	ctx   *execCtx
+	child Operator
+	pred  Expr
+
+	local ExecStats
+}
+
+func (o *filterOp) Open() error { return o.child.Open() }
+
+func (o *filterOp) Next() (*binding, error) {
+	for {
+		b, err := o.child.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		o.local.Verifications++
+		ok, err := o.ctx.eng.evalExpr(o.pred, b)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return b, nil
+		}
+	}
+}
+
+func (o *filterOp) Close() error {
+	o.ctx.addStats(o.local)
+	o.local = ExecStats{}
+	return o.child.Close()
+}
+
+func (o *filterOp) Describe() string     { return fmt.Sprintf("Filter(%s)", o.pred) }
+func (o *filterOp) Children() []Operator { return []Operator{o.child} }
+
+// ------------------------------------------------------------- project
+
+// projectOp materialises the output row of each binding.
+type projectOp struct {
+	ctx   *execCtx
+	q     *Query
+	child Operator
+}
+
+func (o *projectOp) Open() error { return o.child.Open() }
+
+func (o *projectOp) Next() (*binding, error) {
+	b, err := o.child.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	row, err := projectRow(o.ctx.eng, o.q, b)
+	if err != nil {
+		return nil, err
+	}
+	b.row = row
+	return b, nil
+}
+
+func (o *projectOp) Close() error { return o.child.Close() }
+
+func (o *projectOp) Describe() string {
+	if len(o.q.Select) == 0 {
+		return "Project(*)"
+	}
+	parts := make([]string, len(o.q.Select))
+	for i, c := range o.q.Select {
+		parts[i] = c.String()
+	}
+	return fmt.Sprintf("Project(%s)", strings.Join(parts, ", "))
+}
+
+func (o *projectOp) Children() []Operator { return []Operator{o.child} }
+
+// --------------------------------------------------------------- limit
+
+// limitOp stops pulling after n bindings. Because the pipeline is
+// pull-based, everything below it — index iterators included — stops
+// working the moment the limit is reached.
+type limitOp struct {
+	child Operator
+	n     int
+	seen  int
+}
+
+func (o *limitOp) Open() error { o.seen = 0; return o.child.Open() }
+
+func (o *limitOp) Next() (*binding, error) {
+	if o.seen >= o.n {
+		return nil, nil
+	}
+	b, err := o.child.Next()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	o.seen++
+	return b, nil
+}
+
+func (o *limitOp) Close() error         { return o.child.Close() }
+func (o *limitOp) Describe() string     { return fmt.Sprintf("Limit(%d)", o.n) }
+func (o *limitOp) Children() []Operator { return []Operator{o.child} }
+
+// ------------------------------------------------------- order by dist
+
+// orderByDistOp is a blocking sort on the binding distance. Bindings
+// without a distance sort last; ties keep the child's deterministic
+// order (stable sort).
+type orderByDistOp struct {
+	child Operator
+	desc  bool
+
+	buf []*binding
+	pos int
+}
+
+func (o *orderByDistOp) Open() error {
+	o.buf, o.pos = nil, 0
+	if err := o.child.Open(); err != nil {
+		return err
+	}
+	for {
+		b, err := o.child.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		o.buf = append(o.buf, b)
+	}
+	key := func(b *binding) float64 {
+		if !b.hasDist {
+			// Dist-less bindings sort last in either direction.
+			if o.desc {
+				return math.Inf(-1)
+			}
+			return math.Inf(1)
+		}
+		return b.dist
+	}
+	sort.SliceStable(o.buf, func(i, j int) bool {
+		if o.desc {
+			return key(o.buf[i]) > key(o.buf[j])
+		}
+		return key(o.buf[i]) < key(o.buf[j])
+	})
+	return nil
+}
+
+func (o *orderByDistOp) Next() (*binding, error) {
+	if o.pos >= len(o.buf) {
+		return nil, nil
+	}
+	b := o.buf[o.pos]
+	o.pos++
+	return b, nil
+}
+
+func (o *orderByDistOp) Close() error {
+	o.buf = nil
+	return o.child.Close()
+}
+
+func (o *orderByDistOp) Describe() string {
+	if o.desc {
+		return "OrderByDist(desc)"
+	}
+	return "OrderByDist(asc)"
+}
+
+func (o *orderByDistOp) Children() []Operator { return []Operator{o.child} }
+
+// --------------------------------------------------- nested-loop join
+
+// nestedLoopJoinOp evaluates a similarity join by re-opening its inner
+// child per outer binding and verifying the join predicate pairwise.
+// It works for any rule set because the distance direction follows the
+// predicate (field -> target), not the join order.
+type nestedLoopJoinOp struct {
+	ctx   *execCtx
+	outer Operator
+	inner Operator
+	sim   *SimExpr
+
+	cur   *binding
+	local ExecStats
+}
+
+func (o *nestedLoopJoinOp) Open() error {
+	o.cur = nil
+	return o.outer.Open()
+}
+
+func (o *nestedLoopJoinOp) Next() (*binding, error) {
+	for {
+		if o.cur == nil {
+			b, err := o.outer.Next()
+			if err != nil || b == nil {
+				return nil, err
+			}
+			o.cur = b
+			if err := o.inner.Open(); err != nil {
+				return nil, err
+			}
+		}
+		ib, err := o.inner.Next()
+		if err != nil {
+			return nil, err
+		}
+		if ib == nil {
+			if err := o.inner.Close(); err != nil {
+				return nil, err
+			}
+			o.cur = nil
+			continue
+		}
+		b := mergeBindings(o.cur, ib)
+		o.local.Candidates++
+		o.local.Verifications++
+		x, err := fieldValue(o.sim.Field, b)
+		if err != nil {
+			return nil, err
+		}
+		y, err := operandValue(o.sim.Target, b)
+		if err != nil {
+			return nil, err
+		}
+		d, ok, err := o.ctx.eng.within(x, y, o.sim.RuleSet, o.sim.Radius)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		if !b.hasDist {
+			b.dist, b.hasDist = d, true
+		}
+		return b, nil
+	}
+}
+
+func (o *nestedLoopJoinOp) Close() error {
+	o.ctx.addStats(o.local)
+	o.local = ExecStats{}
+	if o.cur != nil {
+		o.cur = nil
+		o.inner.Close()
+	}
+	return o.outer.Close()
+}
+
+func (o *nestedLoopJoinOp) Describe() string {
+	return fmt.Sprintf("NestedLoopJoin(on %s)", o.sim)
+}
+
+func (o *nestedLoopJoinOp) Children() []Operator { return []Operator{o.outer, o.inner} }
+
+// --------------------------------------------------------- index join
+
+// indexJoinOp probes each outer binding's join value into the inner
+// relation's BK-tree. Only offered for unit-cost rule sets (the tree
+// requires a metric) with integral radius.
+type indexJoinOp struct {
+	ctx        *execCtx
+	outer      Operator
+	rel        *relation.Relation // inner, indexed side
+	alias      string             // inner alias
+	probeField FieldRef           // outer-side join field
+	sim        *SimExpr
+
+	cur     *binding
+	matches []index.Match
+	pos     int
+	local   ExecStats
+}
+
+func (o *indexJoinOp) Open() error {
+	o.cur, o.matches, o.pos = nil, nil, 0
+	return o.outer.Open()
+}
+
+func (o *indexJoinOp) Next() (*binding, error) {
+	for {
+		if o.cur == nil {
+			b, err := o.outer.Next()
+			if err != nil || b == nil {
+				return nil, err
+			}
+			o.cur = b
+			probe, err := fieldValue(o.probeField, b)
+			if err != nil {
+				return nil, err
+			}
+			m, st := o.rel.BKTree().RangeStats(probe, int(o.sim.Radius))
+			sort.Slice(m, func(i, j int) bool { return m[i].ID < m[j].ID })
+			o.matches, o.pos = m, 0
+			o.local.Candidates += st.Candidates
+			o.local.Verifications += st.Verifications
+		}
+		if o.pos >= len(o.matches) {
+			o.cur = nil
+			continue
+		}
+		m := o.matches[o.pos]
+		o.pos++
+		t, ok := o.rel.Tuple(m.ID)
+		if !ok {
+			return nil, fmt.Errorf("query: index returned unknown id %d", m.ID)
+		}
+		b := mergeBindings(o.cur, &binding{aliases: map[string]relation.Tuple{o.alias: t}})
+		if !b.hasDist {
+			b.dist, b.hasDist = m.Dist, true
+		}
+		return b, nil
+	}
+}
+
+func (o *indexJoinOp) Close() error {
+	o.ctx.addStats(o.local)
+	o.local = ExecStats{}
+	return o.outer.Close()
+}
+
+func (o *indexJoinOp) Describe() string {
+	return fmt.Sprintf("IndexJoin(probe %s into bktree(%s), on %s)", o.probeField, o.alias, o.sim)
+}
+
+func (o *indexJoinOp) Children() []Operator { return []Operator{o.outer} }
+
+// mergeBindings combines the alias maps of two bindings; the left
+// binding's distance (if any) wins, preserving first-predicate-sets-
+// dist semantics across join chains.
+func mergeBindings(l, r *binding) *binding {
+	aliases := make(map[string]relation.Tuple, len(l.aliases)+len(r.aliases))
+	for a, t := range l.aliases {
+		aliases[a] = t
+	}
+	for a, t := range r.aliases {
+		aliases[a] = t
+	}
+	b := &binding{aliases: aliases, dist: l.dist, hasDist: l.hasDist}
+	if !b.hasDist && r.hasDist {
+		b.dist, b.hasDist = r.dist, true
+	}
+	return b
+}
+
+// ------------------------------------------------------------ parallel
+
+// parallelOp shards a pipeline across workers. build(i, n) must return
+// the serial pipeline restricted to shard i of n; because shards are
+// contiguous tuple ranges and each shard pipeline is deterministic, the
+// shard-order merge is byte-identical to the serial plan's output.
+//
+// The operator materialises shard outputs in Open — similarity work
+// (the DP verifications) dominates binding buffering by orders of
+// magnitude, so this trades negligible memory for full parallelism.
+type parallelOp struct {
+	ctx      *execCtx
+	workers  int
+	build    func(shard, shards int) Operator
+	template Operator // shard-0 pipeline, used only for EXPLAIN
+
+	bufs  [][]*binding
+	shard int
+	pos   int
+}
+
+func (o *parallelOp) Open() error {
+	o.bufs = make([][]*binding, o.workers)
+	o.shard, o.pos = 0, 0
+	errs := make([]error, o.workers)
+	var wg sync.WaitGroup
+	for i := 0; i < o.workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			op := o.build(i, o.workers)
+			if err := op.Open(); err != nil {
+				errs[i] = err
+				op.Close()
+				return
+			}
+			for {
+				b, err := op.Next()
+				if err != nil {
+					errs[i] = err
+					break
+				}
+				if b == nil {
+					break
+				}
+				o.bufs[i] = append(o.bufs[i], b)
+			}
+			if err := op.Close(); err != nil && errs[i] == nil {
+				errs[i] = err
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (o *parallelOp) Next() (*binding, error) {
+	for o.shard < len(o.bufs) {
+		if o.pos < len(o.bufs[o.shard]) {
+			b := o.bufs[o.shard][o.pos]
+			o.pos++
+			return b, nil
+		}
+		o.shard++
+		o.pos = 0
+	}
+	return nil, nil
+}
+
+func (o *parallelOp) Close() error {
+	o.bufs = nil
+	return nil
+}
+
+func (o *parallelOp) Describe() string {
+	return fmt.Sprintf("Parallel(workers=%d)", o.workers)
+}
+
+func (o *parallelOp) Children() []Operator { return []Operator{o.template} }

@@ -98,15 +98,28 @@ func (p *qparser) parseQuery() (*Query, error) {
 		}
 		p.next()
 	}
-	if len(q.From) > 2 {
-		return nil, p.errf("at most two relations are supported (got %d)", len(q.From))
-	}
 	if p.keyword("where") {
 		e, err := p.parseOr()
 		if err != nil {
 			return nil, err
 		}
 		q.Where = e
+	}
+	if p.keyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		t := p.cur()
+		if t.kind != tokIdent || !strings.EqualFold(t.text, "dist") {
+			return nil, p.errf("ORDER BY supports only dist")
+		}
+		p.next()
+		q.Order = OrderAsc
+		if p.keyword("desc") {
+			q.Order = OrderDesc
+		} else {
+			p.keyword("asc")
+		}
 	}
 	if p.keyword("limit") {
 		if p.cur().kind != tokNumber {
@@ -125,6 +138,7 @@ var keywords = map[string]bool{
 	"select": true, "from": true, "where": true, "and": true, "or": true,
 	"not": true, "similar": true, "to": true, "within": true, "using": true,
 	"pattern": true, "nearest": true, "limit": true, "explain": true,
+	"order": true, "by": true, "asc": true, "desc": true,
 }
 
 func isKeyword(s string) bool { return keywords[strings.ToLower(s)] }

@@ -73,6 +73,40 @@ func TestParseNearest(t *testing.T) {
 	}
 }
 
+func TestParseNWayFrom(t *testing.T) {
+	q, err := Parse(`SELECT * FROM a, b x, c WHERE a.seq SIMILAR TO x.seq WITHIN 1 USING e AND x.seq SIMILAR TO c.seq WITHIN 1 USING e`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.From) != 3 || q.From[1].Alias != "x" || q.From[2].Alias != "c" {
+		t.Errorf("From = %+v", q.From)
+	}
+}
+
+func TestParseOrderBy(t *testing.T) {
+	q, err := Parse(`SELECT * FROM r WHERE seq SIMILAR TO "x" WITHIN 2 USING e ORDER BY dist LIMIT 5`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Order != OrderAsc || q.Limit != 5 {
+		t.Errorf("Order = %v, Limit = %d", q.Order, q.Limit)
+	}
+	q, err = Parse(`SELECT * FROM r WHERE seq SIMILAR TO "x" WITHIN 2 USING e ORDER BY dist DESC`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Order != OrderDesc {
+		t.Errorf("Order = %v, want desc", q.Order)
+	}
+	q, err = Parse(`SELECT * FROM r WHERE seq SIMILAR TO "x" WITHIN 2 USING e ORDER BY dist ASC`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Order != OrderAsc {
+		t.Errorf("Order = %v, want asc", q.Order)
+	}
+}
+
 func TestParseBooleans(t *testing.T) {
 	q, err := Parse(`SELECT * FROM r WHERE NOT (a = "1" OR b != "2") AND c = "3"`)
 	if err != nil {
@@ -125,7 +159,6 @@ func TestParseErrors(t *testing.T) {
 		``,
 		`SELECT`,
 		`SELECT * FROM`,
-		`SELECT * FROM a, b, c`,
 		`SELECT * FROM r WHERE`,
 		`SELECT * FROM r WHERE seq SIMILAR "x"`,
 		`SELECT * FROM r WHERE seq SIMILAR TO "x" WITHIN`,
@@ -138,6 +171,8 @@ func TestParseErrors(t *testing.T) {
 		`SELECT * FROM r trailing garbage !`,
 		`SELECT * FROM r WHERE seq SIMILAR TO PATTERN x WITHIN 1 USING e`,
 		`SELECT * FROM r LIMIT x`,
+		`SELECT * FROM r ORDER BY seq`,
+		`SELECT * FROM r ORDER dist`,
 	} {
 		if _, err := Parse(src); err == nil {
 			t.Errorf("Parse(%q) succeeded, want error", src)
@@ -151,6 +186,8 @@ func TestQueryStringRoundTrip(t *testing.T) {
 		`SELECT a.id, b.id FROM s a, s b WHERE a.seq SIMILAR TO b.seq WITHIN 3 USING edits AND a.id != b.id`,
 		`SELECT * FROM words WHERE seq NEAREST 5 TO "color" USING edits`,
 		`EXPLAIN SELECT * FROM r WHERE seq SIMILAR TO PATTERN "a(b|c)*" WITHIN 1 USING e`,
+		`SELECT * FROM words WHERE seq SIMILAR TO "color" WITHIN 2 USING edits ORDER BY dist DESC LIMIT 4`,
+		`SELECT * FROM s a, s b, s c WHERE a.seq SIMILAR TO b.seq WITHIN 1 USING e AND b.seq SIMILAR TO c.seq WITHIN 1 USING e`,
 	} {
 		q1, err := Parse(src)
 		if err != nil {

@@ -1,59 +1,32 @@
 package query
 
+// The cost-based planner: translates a parsed Query into a tree of
+// physical operators (operators.go) using the estimates in cost.go.
+//
+// Plan shape, bottom to top:
+//
+//	access path (Scan | IndexRange | NearestK | join chain)
+//	-> Filter(residual)     when a residual predicate remains
+//	-> OrderByDist          when the query has ORDER BY dist
+//	-> Project
+//	-> Limit                when the query has LIMIT
+//
+// Scans and scan-rooted join chains over large relations are wrapped in
+// a Parallel operator that shards the outer relation across workers
+// with a deterministic shard-order merge.
+
 import (
 	"fmt"
-	"sort"
-	"strings"
 
-	"repro/internal/index"
 	"repro/internal/relation"
 )
 
-// plan is an executable access path for one query.
-type plan struct {
-	eng  *Engine
-	q    *Query
-	rels []*relation.Relation // aligned with q.From
-
-	// access path, one of:
-	access   string   // "scan", "bktree-range", "nearest-bktree", "nearest-scan", "join-nested", "join-bktree"
-	sim      *SimExpr // the access predicate (range/join paths)
-	nearest  *NearestExpr
-	residual Expr // remaining predicate evaluated per binding (may be nil)
-}
-
-// describe renders the plan for EXPLAIN and Result.Plan.
-func (p *plan) describe() string {
-	var b strings.Builder
-	switch p.access {
-	case "scan":
-		fmt.Fprintf(&b, "Scan(%s)", p.q.From[0].Alias)
-	case "bktree-range":
-		fmt.Fprintf(&b, "IndexRange(%s via bktree, target=%s, radius=%g, ruleset=%s)",
-			p.q.From[0].Alias, p.sim.Target, p.sim.Radius, p.sim.RuleSet)
-	case "nearest-bktree":
-		fmt.Fprintf(&b, "NearestK(%s via bktree, k=%d, ruleset=%s)", p.q.From[0].Alias, p.nearest.K, p.nearest.RuleSet)
-	case "nearest-scan":
-		fmt.Fprintf(&b, "NearestK(%s via scan, k=%d, ruleset=%s)", p.q.From[0].Alias, p.nearest.K, p.nearest.RuleSet)
-	case "join-nested":
-		fmt.Fprintf(&b, "NestedLoopJoin(%s x %s, on %s)", p.q.From[0].Alias, p.q.From[1].Alias, p.sim)
-	case "join-bktree":
-		fmt.Fprintf(&b, "IndexJoin(probe %s into bktree(%s), on %s)", p.q.From[0].Alias, p.q.From[1].Alias, p.sim)
-	}
-	if p.residual != nil {
-		if _, isTrue := p.residual.(litTrue); !isTrue {
-			fmt.Fprintf(&b, " Filter(%s)", p.residual)
-		}
-	}
-	return b.String()
-}
-
-// plan selects the access path for a parsed query.
-func (e *Engine) plan(q *Query) (*plan, error) {
+// plan compiles a parsed query into an executable operator tree.
+func (e *Engine) plan(q *Query) (*compiledPlan, error) {
 	if len(q.From) == 0 {
 		return nil, fmt.Errorf("query: FROM clause required")
 	}
-	p := &plan{eng: e, q: q}
+	rels := make([]*relation.Relation, 0, len(q.From))
 	seen := map[string]bool{}
 	for _, ref := range q.From {
 		r, ok := e.catalog.Get(ref.Name)
@@ -64,74 +37,258 @@ func (e *Engine) plan(q *Query) (*plan, error) {
 			return nil, fmt.Errorf("query: duplicate alias %q", ref.Alias)
 		}
 		seen[ref.Alias] = true
-		p.rels = append(p.rels, r)
+		rels = append(rels, r)
 	}
 
-	// Validate rule sets referenced anywhere in WHERE.
+	// Validate rule sets and pattern syntax eagerly so bad queries fail
+	// before execution.
 	if err := e.validateExpr(q.Where); err != nil {
 		return nil, err
 	}
+	if q.Order != OrderNone && !exprHasSim(q.Where) {
+		return nil, fmt.Errorf("query: ORDER BY dist requires a similarity predicate")
+	}
 
-	// NEAREST: must be the whole WHERE clause on a single table.
+	ctx := &execCtx{eng: e}
+	cp := &compiledPlan{ctx: ctx, columns: projectColumns(q)}
+
+	var access Operator
+	var err error
 	if ne, ok := q.Where.(NearestExpr); ok {
-		if len(q.From) != 1 {
-			return nil, fmt.Errorf("query: NEAREST requires a single relation")
-		}
-		if !ne.Target.IsLit {
-			return nil, fmt.Errorf("query: NEAREST requires a literal target")
-		}
-		rs, err := e.ruleset(ne.RuleSet)
-		if err != nil {
-			return nil, err
-		}
-		if e.calc(ne.RuleSet) == nil {
-			return nil, fmt.Errorf("query: NEAREST requires an edit-like rule set (%q is not)", ne.RuleSet)
-		}
-		p.nearest = &ne
-		if unitCost(rs) {
-			p.access = "nearest-bktree"
-		} else {
-			p.access = "nearest-scan"
-		}
-		return p, nil
+		access, err = e.planNearest(ctx, q, rels, ne)
+	} else if len(q.From) == 1 {
+		access, err = e.planSingle(ctx, q, rels[0])
+	} else {
+		access, err = e.planJoin(ctx, q, rels)
+	}
+	if err != nil {
+		return nil, err
 	}
 
-	if len(q.From) == 2 {
-		// Join: find a top-level SimExpr conjunct across the two aliases.
-		sim, residual := extractJoinSim(q.Where, q.From[0].Alias, q.From[1].Alias)
-		if sim == nil {
-			return nil, fmt.Errorf("query: joins require a SIMILAR TO predicate between the two relations")
+	top := access
+	if q.Order == OrderDesc {
+		top = &orderByDistOp{child: top, desc: true}
+	} else if q.Order == OrderAsc {
+		top = &orderByDistOp{child: top}
+	}
+	top = &projectOp{ctx: ctx, q: q, child: top}
+	if q.Limit > 0 {
+		top = &limitOp{child: top, n: q.Limit}
+	}
+	cp.root = top
+	return cp, nil
+}
+
+// planNearest builds the access path for a NEAREST query.
+func (e *Engine) planNearest(ctx *execCtx, q *Query, rels []*relation.Relation, ne NearestExpr) (Operator, error) {
+	if len(q.From) != 1 {
+		return nil, fmt.Errorf("query: NEAREST requires a single relation")
+	}
+	if !ne.Target.IsLit {
+		return nil, fmt.Errorf("query: NEAREST requires a literal target")
+	}
+	// The parser rejects K <= 0, but hand-built Query values reach this
+	// path through ExecuteQuery.
+	if ne.K <= 0 {
+		return nil, fmt.Errorf("query: NEAREST requires a positive count")
+	}
+	rs, err := e.ruleset(ne.RuleSet)
+	if err != nil {
+		return nil, err
+	}
+	if e.calc(ne.RuleSet) == nil {
+		return nil, fmt.Errorf("query: NEAREST requires an edit-like rule set (%q is not)", ne.RuleSet)
+	}
+	via := "scan"
+	if unitCost(rs) {
+		via = "bktree"
+	}
+	return &nearestKOp{
+		ctx: ctx, rel: rels[0], alias: q.From[0].Alias,
+		via: via, target: ne.Target.Lit, k: ne.K, ruleSet: ne.RuleSet,
+	}, nil
+}
+
+// planSingle builds the access path for a single-relation query:
+// an indexable SIMILAR TO conjunct over seq becomes an IndexRange on
+// whichever metric index the cost model prefers; everything else is a
+// (possibly parallel) scan with the full predicate as a filter.
+func (e *Engine) planSingle(ctx *execCtx, q *Query, rel *relation.Relation) (Operator, error) {
+	alias := q.From[0].Alias
+	st := rel.Stats()
+
+	// indexable licenses a conjunct for the metric indexes: a literal,
+	// non-pattern target over seq under a unit-cost rule set at an
+	// integral radius (rule-set existence was validated above).
+	indexable := func(sim *SimExpr) bool {
+		if sim.Field.Name != "seq" || sim.Radius != float64(int(sim.Radius)) {
+			return false
 		}
-		p.sim = sim
-		p.residual = residual
 		rs, err := e.ruleset(sim.RuleSet)
-		if err != nil {
-			return nil, err
+		return err == nil && unitCost(rs)
+	}
+	if sim, residual := extractRangeSim(q.Where, indexable); sim != nil {
+		if via := chooseRangeAccess(st, sim.Radius); via != "scan" {
+			var op Operator = &indexRangeOp{
+				ctx: ctx, rel: rel, alias: alias, via: via,
+				target: sim.Target.Lit, radius: int(sim.Radius), ruleSet: sim.RuleSet,
+			}
+			if res := simplifyExpr(residual); !isTrivial(res) {
+				op = &filterOp{ctx: ctx, child: op, pred: res}
+			}
+			return op, nil
 		}
-		if unitCost(rs) {
-			p.access = "join-bktree"
-		} else {
-			p.access = "join-nested"
-		}
-		return p, nil
 	}
 
-	// Single table: look for an indexable SIMILAR TO conjunct.
-	if sim, residual := extractRangeSim(q.Where); sim != nil {
-		rs, err := e.ruleset(sim.RuleSet)
-		if err != nil {
-			return nil, err
+	pred := simplifyExpr(q.Where)
+	build := func(shard, shards int) Operator {
+		sc := newScanOp(ctx, rel, alias)
+		sc.shard, sc.shards = shard, shards
+		var op Operator = sc
+		if !isTrivial(pred) {
+			op = &filterOp{ctx: ctx, child: op, pred: pred}
 		}
-		if unitCost(rs) && sim.Radius == float64(int(sim.Radius)) {
-			p.access = "bktree-range"
-			p.sim = sim
-			p.residual = residual
-			return p, nil
+		return op
+	}
+	// A bare scan has no per-tuple verification work to parallelise.
+	return e.maybeParallel(ctx, q, st.Count, !isTrivial(pred), build), nil
+}
+
+// joinStep is one edge of the greedy join order: the relation to add
+// and how to reach it.
+type joinStep struct {
+	ref        TableRef
+	rel        *relation.Relation
+	sim        *SimExpr
+	index      bool
+	probeField FieldRef // outer-side join field (index joins)
+}
+
+// planJoin builds a left-deep join chain over N relations, greedily
+// ordered by estimated cost; similarity edges come from top-level
+// SIMILAR TO conjuncts between two aliases.
+func (e *Engine) planJoin(ctx *execCtx, q *Query, rels []*relation.Relation) (Operator, error) {
+	relOf := map[string]*relation.Relation{}
+	refOf := map[string]TableRef{}
+	pos := map[string]int{}
+	for i, ref := range q.From {
+		relOf[ref.Alias] = rels[i]
+		refOf[ref.Alias] = ref
+		pos[ref.Alias] = i
+	}
+	edges, residual := extractJoinSims(q.Where, relOf)
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("query: joins require a SIMILAR TO predicate between the relations")
+	}
+
+	// Start from the smallest relation (ties: FROM order).
+	start := q.From[0].Alias
+	for _, ref := range q.From[1:] {
+		if relOf[ref.Alias].Len() < relOf[start].Len() {
+			start = ref.Alias
 		}
 	}
-	p.access = "scan"
-	p.residual = q.Where
-	return p, nil
+
+	bound := map[string]bool{start: true}
+	curRows := float64(relOf[start].Stats().Count)
+	used := make([]bool, len(edges))
+	var steps []joinStep
+	for len(bound) < len(q.From) {
+		bestIdx, bestCost := -1, 0.0
+		var best joinStep
+		for i, edge := range edges {
+			if used[i] {
+				continue
+			}
+			fa, ta := edge.Field.Table, edge.Target.Field.Table
+			var newAlias string
+			var probe FieldRef
+			var innerField string
+			switch {
+			case bound[fa] && !bound[ta]:
+				newAlias, probe, innerField = ta, edge.Field, edge.Target.Field.Name
+			case bound[ta] && !bound[fa]:
+				newAlias, probe, innerField = fa, edge.Target.Field, edge.Field.Name
+			default:
+				continue // cycle edge or not yet reachable
+			}
+			rs, err := e.ruleset(edge.RuleSet)
+			if err != nil {
+				return nil, err
+			}
+			innerStats := relOf[newAlias].Stats()
+			// The BK-tree indexes seq, so index joins additionally need
+			// the inner join field to be seq.
+			indexable := unitCost(rs) && edge.Radius == float64(int(edge.Radius)) && innerField == "seq"
+			cost := nestedLoopJoinCost(curRows, innerStats, edge.Radius)
+			if indexable {
+				cost = indexJoinCost(curRows, innerStats, edge.Radius)
+			}
+			better := bestIdx < 0 || cost < bestCost ||
+				cost == bestCost && pos[newAlias] < pos[best.ref.Alias]
+			if better {
+				bestIdx, bestCost = i, cost
+				best = joinStep{
+					ref: refOf[newAlias], rel: relOf[newAlias], sim: edge,
+					index: indexable, probeField: probe,
+				}
+			}
+		}
+		if bestIdx < 0 {
+			return nil, fmt.Errorf("query: relations are not connected by SIMILAR TO predicates")
+		}
+		used[bestIdx] = true
+		bound[best.ref.Alias] = true
+		curRows = joinOutRows(curRows, best.rel.Stats(), best.sim.Radius)
+		steps = append(steps, best)
+	}
+	// Edges between already-bound relations (cycles) become residual
+	// predicates — they must still hold on each output binding.
+	for i, edge := range edges {
+		if !used[i] {
+			residual = AndExpr{L: residual, R: *edge}
+		}
+	}
+
+	pred := simplifyExpr(residual)
+	build := func(shard, shards int) Operator {
+		sc := newScanOp(ctx, relOf[start], start)
+		sc.shard, sc.shards = shard, shards
+		var op Operator = sc
+		for _, step := range steps {
+			if step.index {
+				op = &indexJoinOp{
+					ctx: ctx, outer: op, rel: step.rel, alias: step.ref.Alias,
+					probeField: step.probeField, sim: step.sim,
+				}
+			} else {
+				op = &nestedLoopJoinOp{
+					ctx: ctx, outer: op,
+					inner: newScanOp(ctx, step.rel, step.ref.Alias),
+					sim:   step.sim,
+				}
+			}
+		}
+		if !isTrivial(pred) {
+			op = &filterOp{ctx: ctx, child: op, pred: pred}
+		}
+		return op
+	}
+	return e.maybeParallel(ctx, q, relOf[start].Stats().Count, true, build), nil
+}
+
+// maybeParallel wraps a scan-rooted pipeline factory in a Parallel
+// operator when the outer relation is large enough to shard and there
+// is per-tuple work to spread. A LIMIT without ORDER BY stays serial:
+// the serial pipeline can stop at the limit, while the parallel plan
+// must drain every shard before merging.
+func (e *Engine) maybeParallel(ctx *execCtx, q *Query, outerRows int, hasWork bool, build func(shard, shards int) Operator) Operator {
+	workers, minRows := e.parallelConfig()
+	limitStopsEarly := q.Limit > 0 && q.Order == OrderNone
+	if workers > 1 && outerRows >= minRows && hasWork && !limitStopsEarly {
+		return &parallelOp{ctx: ctx, workers: workers, build: build, template: build(0, workers)}
+	}
+	return build(0, 1)
 }
 
 // validateExpr checks rule-set names and pattern syntax eagerly so bad
@@ -170,264 +327,92 @@ func (e *Engine) validateExpr(ex Expr) error {
 	}
 }
 
+// exprHasSim reports whether the predicate tree contains a similarity
+// predicate (and therefore produces a distance to order by).
+func exprHasSim(ex Expr) bool {
+	switch ex := ex.(type) {
+	case SimExpr, NearestExpr:
+		return true
+	case AndExpr:
+		return exprHasSim(ex.L) || exprHasSim(ex.R)
+	case OrExpr:
+		return exprHasSim(ex.L) || exprHasSim(ex.R)
+	case NotExpr:
+		return exprHasSim(ex.E)
+	}
+	return false
+}
+
+// isTrivial reports whether a residual predicate can be dropped.
+func isTrivial(ex Expr) bool {
+	if ex == nil {
+		return true
+	}
+	_, ok := ex.(litTrue)
+	return ok
+}
+
+// simplifyExpr removes the planner's TRUE placeholders from AND chains
+// so EXPLAIN output stays readable.
+func simplifyExpr(ex Expr) Expr {
+	switch ex := ex.(type) {
+	case AndExpr:
+		l, r := simplifyExpr(ex.L), simplifyExpr(ex.R)
+		if isTrivial(l) {
+			return r
+		}
+		if isTrivial(r) {
+			return l
+		}
+		return AndExpr{L: l, R: r}
+	case OrExpr:
+		return OrExpr{L: simplifyExpr(ex.L), R: simplifyExpr(ex.R)}
+	case NotExpr:
+		return NotExpr{E: simplifyExpr(ex.E)}
+	}
+	return ex
+}
+
 // extractRangeSim walks the top-level AND chain for a SimExpr with a
-// literal, non-pattern target; returns it and the residual expression
-// with that conjunct replaced by TRUE.
-func extractRangeSim(ex Expr) (*SimExpr, Expr) {
+// literal, non-pattern target that the caller's predicate accepts;
+// returns it and the residual expression with that conjunct replaced
+// by TRUE. Non-qualifying sim conjuncts are skipped, not terminal, so
+// an indexable conjunct is found wherever it sits in the chain.
+func extractRangeSim(ex Expr, ok func(*SimExpr) bool) (*SimExpr, Expr) {
 	switch ex := ex.(type) {
 	case SimExpr:
-		if ex.Target.IsLit && !ex.Pattern {
+		if ex.Target.IsLit && !ex.Pattern && ok(&ex) {
 			return &ex, litTrue{}
 		}
 	case AndExpr:
-		if s, rl := extractRangeSim(ex.L); s != nil {
+		if s, rl := extractRangeSim(ex.L, ok); s != nil {
 			return s, AndExpr{L: rl, R: ex.R}
 		}
-		if s, rr := extractRangeSim(ex.R); s != nil {
+		if s, rr := extractRangeSim(ex.R, ok); s != nil {
 			return s, AndExpr{L: ex.L, R: rr}
 		}
 	}
 	return nil, ex
 }
 
-// extractJoinSim finds a top-level SimExpr conjunct whose field and
-// target reference the two different aliases.
-func extractJoinSim(ex Expr, leftAlias, rightAlias string) (*SimExpr, Expr) {
+// extractJoinSims collects every top-level SimExpr conjunct whose field
+// and target reference two different known aliases; the residual is the
+// predicate with those conjuncts replaced by TRUE.
+func extractJoinSims(ex Expr, known map[string]*relation.Relation) ([]*SimExpr, Expr) {
 	switch ex := ex.(type) {
 	case SimExpr:
 		if !ex.Target.IsLit && !ex.Pattern {
 			ft, tt := ex.Field.Table, ex.Target.Field.Table
-			if ft == leftAlias && tt == rightAlias || ft == rightAlias && tt == leftAlias {
-				return &ex, litTrue{}
+			if ft != tt && known[ft] != nil && known[tt] != nil {
+				return []*SimExpr{&ex}, litTrue{}
 			}
 		}
 	case AndExpr:
-		if s, rl := extractJoinSim(ex.L, leftAlias, rightAlias); s != nil {
-			return s, AndExpr{L: rl, R: ex.R}
-		}
-		if s, rr := extractJoinSim(ex.R, leftAlias, rightAlias); s != nil {
-			return s, AndExpr{L: ex.L, R: rr}
+		ls, rl := extractJoinSims(ex.L, known)
+		rs, rr := extractJoinSims(ex.R, known)
+		if len(ls)+len(rs) > 0 {
+			return append(ls, rs...), AndExpr{L: rl, R: rr}
 		}
 	}
 	return nil, ex
-}
-
-// run executes the plan and assembles the result.
-func (p *plan) run() (*Result, error) {
-	switch p.access {
-	case "scan":
-		return p.runScan()
-	case "bktree-range":
-		return p.runIndexRange()
-	case "nearest-bktree", "nearest-scan":
-		return p.runNearest()
-	case "join-nested", "join-bktree":
-		return p.runJoin()
-	default:
-		return nil, fmt.Errorf("query: unknown access path %q", p.access)
-	}
-}
-
-func (p *plan) runScan() (*Result, error) {
-	rel := p.rels[0]
-	alias := p.q.From[0].Alias
-	res := p.newResult(false)
-	for _, t := range rel.Tuples() {
-		b := &binding{aliases: map[string]relation.Tuple{alias: t}}
-		if p.residual != nil {
-			ok, err := p.eng.evalExpr(p.residual, b)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				continue
-			}
-		}
-		if err := p.emit(res, b); err != nil {
-			return nil, err
-		}
-		if p.q.Limit > 0 && len(res.Rows) >= p.q.Limit {
-			break
-		}
-	}
-	return res, nil
-}
-
-func (p *plan) runIndexRange() (*Result, error) {
-	rel := p.rels[0]
-	alias := p.q.From[0].Alias
-	res := p.newResult(false)
-	matches := rel.BKTree().Range(p.sim.Target.Lit, int(p.sim.Radius))
-	sort.Slice(matches, func(i, j int) bool { return matches[i].ID < matches[j].ID })
-	for _, m := range matches {
-		t, ok := rel.Tuple(m.ID)
-		if !ok {
-			return nil, fmt.Errorf("query: index returned unknown id %d", m.ID)
-		}
-		b := &binding{aliases: map[string]relation.Tuple{alias: t}, dist: m.Dist, hasDist: true}
-		if p.residual != nil {
-			keep, err := p.eng.evalExpr(p.residual, b)
-			if err != nil {
-				return nil, err
-			}
-			if !keep {
-				continue
-			}
-		}
-		if err := p.emit(res, b); err != nil {
-			return nil, err
-		}
-		if p.q.Limit > 0 && len(res.Rows) >= p.q.Limit {
-			break
-		}
-	}
-	return res, nil
-}
-
-func (p *plan) runNearest() (*Result, error) {
-	rel := p.rels[0]
-	alias := p.q.From[0].Alias
-	res := p.newResult(false)
-	var matches []index.Match
-	if p.access == "nearest-bktree" {
-		matches = rel.BKTree().NearestK(p.nearest.Target.Lit, p.nearest.K)
-	} else {
-		c := p.eng.calc(p.nearest.RuleSet)
-		for _, t := range rel.Tuples() {
-			if d := c.Distance(t.Seq, p.nearest.Target.Lit); d < infCut {
-				matches = append(matches, index.Match{ID: t.ID, S: t.Seq, Dist: d})
-			}
-		}
-		sort.Slice(matches, func(i, j int) bool {
-			if matches[i].Dist != matches[j].Dist {
-				return matches[i].Dist < matches[j].Dist
-			}
-			return matches[i].ID < matches[j].ID
-		})
-		if len(matches) > p.nearest.K {
-			matches = matches[:p.nearest.K]
-		}
-	}
-	for _, m := range matches {
-		t, _ := rel.Tuple(m.ID)
-		b := &binding{aliases: map[string]relation.Tuple{alias: t}, dist: m.Dist, hasDist: true}
-		if err := p.emit(res, b); err != nil {
-			return nil, err
-		}
-	}
-	return res, nil
-}
-
-const infCut = 1e300
-
-func (p *plan) runJoin() (*Result, error) {
-	leftAlias, rightAlias := p.q.From[0].Alias, p.q.From[1].Alias
-	left, right := p.rels[0], p.rels[1]
-	// Normalise: sim.Field on left alias, sim.Target on right alias.
-	sim := *p.sim
-	if sim.Field.Table == rightAlias {
-		sim.Field, sim.Target.Field = sim.Target.Field, sim.Field
-	}
-	res := p.newResult(true)
-	emitPair := func(lt, rt relation.Tuple, d float64, hasDist bool) (bool, error) {
-		b := &binding{aliases: map[string]relation.Tuple{leftAlias: lt, rightAlias: rt}, dist: d, hasDist: hasDist}
-		if p.residual != nil {
-			keep, err := p.eng.evalExpr(p.residual, b)
-			if err != nil || !keep {
-				return false, err
-			}
-		}
-		if err := p.emit(res, b); err != nil {
-			return false, err
-		}
-		return p.q.Limit > 0 && len(res.Rows) >= p.q.Limit, nil
-	}
-
-	if p.access == "join-bktree" {
-		bk := right.BKTree()
-		for _, lt := range left.Tuples() {
-			matches := bk.Range(lt.Attr(sim.Field.Name), int(sim.Radius))
-			sort.Slice(matches, func(i, j int) bool { return matches[i].ID < matches[j].ID })
-			for _, m := range matches {
-				rt, _ := right.Tuple(m.ID)
-				done, err := emitPair(lt, rt, m.Dist, true)
-				if err != nil {
-					return nil, err
-				}
-				if done {
-					return res, nil
-				}
-			}
-		}
-		return res, nil
-	}
-
-	for _, lt := range left.Tuples() {
-		x := lt.Attr(sim.Field.Name)
-		for _, rt := range right.Tuples() {
-			y := rt.Attr(sim.Target.Field.Name)
-			d, ok, err := p.eng.within(x, y, sim.RuleSet, sim.Radius)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				continue
-			}
-			done, err := emitPair(lt, rt, d, true)
-			if err != nil {
-				return nil, err
-			}
-			if done {
-				return res, nil
-			}
-		}
-	}
-	return res, nil
-}
-
-// newResult prepares the result header for the query's projection.
-func (p *plan) newResult(join bool) *Result {
-	res := &Result{Plan: p.describe()}
-	if len(p.q.Select) > 0 {
-		for _, c := range p.q.Select {
-			res.Columns = append(res.Columns, c.String())
-		}
-		return res
-	}
-	// '*': id and seq per alias, then dist.
-	for _, ref := range p.q.From {
-		prefix := ""
-		if join {
-			prefix = ref.Alias + "."
-		}
-		res.Columns = append(res.Columns, prefix+"id", prefix+"seq")
-	}
-	res.Columns = append(res.Columns, "dist")
-	return res
-}
-
-// emit projects one binding into the result.
-func (p *plan) emit(res *Result, b *binding) error {
-	row := make([]string, 0, len(res.Columns))
-	if len(p.q.Select) > 0 {
-		for _, c := range p.q.Select {
-			v, err := fieldValue(FieldRef{Table: c.Table, Name: c.Name}, b)
-			if err != nil {
-				return err
-			}
-			row = append(row, v)
-		}
-	} else {
-		for _, ref := range p.q.From {
-			t := b.aliases[ref.Alias]
-			row = append(row, fmt.Sprintf("%d", t.ID), t.Seq)
-		}
-		if b.hasDist {
-			row = append(row, formatDist(b.dist))
-		} else {
-			row = append(row, "")
-		}
-	}
-	res.Rows = append(res.Rows, row)
-	return nil
 }

@@ -51,6 +51,15 @@ type Relation struct {
 	trie   *index.Trie
 	length *index.LengthIndex
 	qgram  *index.QGramIndex
+	stats  *Stats
+}
+
+// Stats summarises a relation for the cost-based query planner.
+type Stats struct {
+	Count     int     // number of tuples
+	AvgSeqLen float64 // mean sequence length
+	MaxSeqLen int     // longest sequence
+	Alphabet  int     // distinct bytes across all sequences (branching estimate)
 }
 
 // New returns an empty relation.
@@ -69,12 +78,54 @@ func (r *Relation) Insert(seq string, attrs map[string]string) int {
 	defer r.mu.Unlock()
 	id := len(r.tuples)
 	r.tuples = append(r.tuples, Tuple{ID: id, Seq: seq, Attrs: attrs})
-	r.bk, r.trie, r.length, r.qgram = nil, nil, nil, nil
+	r.bk, r.trie, r.length, r.qgram, r.stats = nil, nil, nil, nil, nil
 	return id
 }
 
 // Tuples returns the tuples. Callers must not modify the slice.
 func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Shard returns the i-th of n contiguous tuple partitions (i in
+// [0,n)). Concatenating the shards in order reproduces Tuples exactly,
+// which is what makes parallel scans deterministic.
+func (r *Relation) Shard(i, n int) []Tuple {
+	if n <= 0 || i < 0 || i >= n {
+		return nil
+	}
+	lo := i * len(r.tuples) / n
+	hi := (i + 1) * len(r.tuples) / n
+	return r.tuples[lo:hi]
+}
+
+// Stats returns planner statistics, computing them on first use.
+func (r *Relation) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stats == nil {
+		st := Stats{Count: len(r.tuples)}
+		var total int
+		var seen [256]bool
+		for _, t := range r.tuples {
+			total += len(t.Seq)
+			if len(t.Seq) > st.MaxSeqLen {
+				st.MaxSeqLen = len(t.Seq)
+			}
+			for i := 0; i < len(t.Seq); i++ {
+				seen[t.Seq[i]] = true
+			}
+		}
+		if st.Count > 0 {
+			st.AvgSeqLen = float64(total) / float64(st.Count)
+		}
+		for _, s := range seen {
+			if s {
+				st.Alphabet++
+			}
+		}
+		r.stats = &st
+	}
+	return *r.stats
+}
 
 // Tuple returns the tuple with the given id.
 func (r *Relation) Tuple(id int) (Tuple, bool) {
