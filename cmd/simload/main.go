@@ -1,0 +1,291 @@
+// Command simload is a closed-loop load generator for cmd/simqd: N
+// workers each keep exactly one request outstanding against the server
+// and the tool reports latency quantiles and throughput, written as a
+// machine-readable BENCH_serving.json for the CI bench job.
+//
+// Usage:
+//
+//	simload -addr http://127.0.0.1:8077 -c 8 -duration 10s -out BENCH_serving.json
+//
+// By default the workload prepares one parameterized range query and
+// executes it with rotating targets and radii, which exercises the
+// whole serving stack: prepared-statement binding, the planner-decision
+// cache and concurrent execution. -no-prepare switches to ad-hoc
+// statement text per request (plan-cache path) for comparison.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+type listFlag []string
+
+func (l *listFlag) String() string     { return strings.Join(*l, ",") }
+func (l *listFlag) Set(v string) error { *l = append(*l, v); return nil }
+
+// defaultTargets are probe words over the datagen words alphabet
+// (a-j); rotating them keeps the server's per-query work varied without
+// changing the plan shape.
+var defaultTargets = []string{
+	"abcdefgh", "jihgfedc", "aabbccdd", "fghijabc", "cadgbeif",
+	"hhhggffe", "abcabcab", "jjiihhgg", "degijabc", "bdfhjace",
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8077", "simqd base URL")
+	conc := flag.Int("c", 8, "concurrent workers (closed loop: one request in flight each)")
+	duration := flag.Duration("duration", 10*time.Second, "run length (ignored when -n > 0)")
+	count := flag.Int("n", 0, "total request budget (0 = run for -duration)")
+	warmup := flag.Int("warmup", 100, "unrecorded warm-up requests")
+	relName := flag.String("relation", "words", "relation to query")
+	ruleSet := flag.String("ruleset", "edits", "rule set for the similarity predicate")
+	radius := flag.Int("radius", 1, "WITHIN radius bound per request")
+	noPrepare := flag.Bool("no-prepare", false, "send statement text per request instead of a prepared id")
+	out := flag.String("out", "BENCH_serving.json", "result file ('-' for stdout)")
+	var extra listFlag
+	flag.Var(&extra, "query", "extra fixed statement to mix in (repeatable)")
+	flag.Parse()
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *conc * 2}}
+
+	if err := waitHealthy(client, *addr, 10*time.Second); err != nil {
+		fail(err)
+	}
+
+	stmt := fmt.Sprintf("SELECT seq, dist FROM %s WHERE seq SIMILAR TO ? WITHIN ? USING %s LIMIT 20", *relName, *ruleSet)
+	var preparedID string
+	if !*noPrepare {
+		id, err := prepare(client, *addr, stmt)
+		if err != nil {
+			fail(err)
+		}
+		preparedID = id
+	}
+
+	// Warm up (fills the plan and decision caches, warms connections).
+	for i := 0; i < *warmup; i++ {
+		body := requestBody(preparedID, stmt, defaultTargets[i%len(defaultTargets)], *radius, extra, i)
+		if _, err := post(client, *addr+"/query", body); err != nil {
+			fail(fmt.Errorf("warmup request: %w", err))
+		}
+	}
+
+	type workerResult struct {
+		latencies []float64 // milliseconds
+		errors    int
+	}
+	results := make([]workerResult, *conc)
+	deadline := time.Now().Add(*duration)
+	var issued int64
+	var issuedMu sync.Mutex
+	takeTicket := func() (int, bool) {
+		if *count <= 0 {
+			return 0, time.Now().Before(deadline)
+		}
+		issuedMu.Lock()
+		defer issuedMu.Unlock()
+		if issued >= int64(*count) {
+			return 0, false
+		}
+		issued++
+		return int(issued), true
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < *conc; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			r := &results[wkr]
+			for i := 0; ; i++ {
+				seq, ok := takeTicket()
+				if !ok {
+					return
+				}
+				n := wkr*1_000_003 + i + seq
+				body := requestBody(preparedID, stmt, defaultTargets[n%len(defaultTargets)], *radius, extra, n)
+				t0 := time.Now()
+				_, err := post(client, *addr+"/query", body)
+				if err != nil {
+					r.errors++
+					continue
+				}
+				r.latencies = append(r.latencies, float64(time.Since(t0).Microseconds())/1000)
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []float64
+	errors := 0
+	for _, r := range results {
+		all = append(all, r.latencies...)
+		errors += r.errors
+	}
+	if len(all) == 0 {
+		fail(fmt.Errorf("no successful requests (errors=%d)", errors))
+	}
+	sort.Float64s(all)
+	sum := 0.0
+	for _, v := range all {
+		sum += v
+	}
+	report := map[string]any{
+		"config": map[string]any{
+			"addr":        *addr,
+			"concurrency": *conc,
+			"duration_s":  elapsed.Seconds(),
+			"prepared":    !*noPrepare,
+			"statement":   stmt,
+			"radius":      *radius,
+			"warmup":      *warmup,
+		},
+		"total_requests": len(all),
+		"errors":         errors,
+		"throughput_rps": float64(len(all)) / elapsed.Seconds(),
+		"latency_ms": map[string]float64{
+			"mean": sum / float64(len(all)),
+			"p50":  quantile(all, 0.50),
+			"p90":  quantile(all, 0.90),
+			"p99":  quantile(all, 0.99),
+			"max":  all[len(all)-1],
+		},
+	}
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+	} else {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fail(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "simload: %d requests in %.2fs (%.0f req/s), p50=%.3fms p99=%.3fms, %d errors -> %s\n",
+		len(all), elapsed.Seconds(), float64(len(all))/elapsed.Seconds(),
+		quantile(all, 0.5), quantile(all, 0.99), errors, *out)
+	if errors > len(all)/10 {
+		fail(fmt.Errorf("error rate too high: %d errors for %d successes", errors, len(all)))
+	}
+}
+
+// requestBody builds one /query body: usually the prepared statement
+// with rotated bindings; every len(extra)+1-th request (when -query
+// statements were given) sends one of those verbatim instead.
+func requestBody(preparedID, stmt, target string, radius int, extra []string, n int) map[string]any {
+	if len(extra) > 0 && n%(len(extra)+4) < len(extra) {
+		return map[string]any{"query": extra[n%(len(extra)+4)]}
+	}
+	if preparedID != "" {
+		return map[string]any{"id": preparedID, "params": []any{target, radius}}
+	}
+	lit := fmt.Sprintf("SELECT seq, dist FROM %s WHERE seq SIMILAR TO %q WITHIN %d USING %s LIMIT 20",
+		relationOf(stmt), target, radius, rulesetOf(stmt))
+	return map[string]any{"query": lit}
+}
+
+// relationOf / rulesetOf recover the pieces of the canonical statement
+// (simload builds it itself, so positional parsing is safe).
+func relationOf(stmt string) string {
+	fields := strings.Fields(stmt)
+	for i, f := range fields {
+		if strings.EqualFold(f, "FROM") && i+1 < len(fields) {
+			return fields[i+1]
+		}
+	}
+	return "words"
+}
+
+func rulesetOf(stmt string) string {
+	fields := strings.Fields(stmt)
+	for i, f := range fields {
+		if strings.EqualFold(f, "USING") && i+1 < len(fields) {
+			return fields[i+1]
+		}
+	}
+	return "edits"
+}
+
+// quantile reads the q-th quantile from a sorted slice.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := q * float64(len(sorted)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := idx - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+func waitHealthy(client *http.Client, addr string, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	for {
+		resp, err := client.Get(addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not healthy after %s: %v", addr, patience, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func prepare(client *http.Client, addr, stmt string) (string, error) {
+	out, err := post(client, addr+"/prepare", map[string]any{"query": stmt})
+	if err != nil {
+		return "", fmt.Errorf("prepare: %w", err)
+	}
+	id, _ := out["id"].(string)
+	if id == "" {
+		return "", fmt.Errorf("prepare: no id in response %v", out)
+	}
+	return id, nil
+}
+
+func post(client *http.Client, url string, body map[string]any) (map[string]any, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("%s: bad response: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s: %v", url, resp.Status, out["error"])
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "simload: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,457 @@
+// Command simqd is the similarity query server: it loads relations and
+// rule sets once, then serves prepared and ad-hoc queries concurrently
+// over HTTP/JSON. It is the long-lived counterpart of the cmd/simq
+// shell — the process that makes the engine's plan cache and prepared
+// queries pay off under sustained traffic.
+//
+// Usage:
+//
+//	simqd -addr :8077 -load words=words.rel [-rules edits.rules] [-timeout 10s]
+//
+// Endpoints:
+//
+//	POST /query    {"query": "...", "params": [...]}            run a statement
+//	               {"id": "p1", "params": [...]}                run a prepared statement
+//	               {"named": {"k": v}}                          named parameters
+//	               {"timeout_ms": 500}                          per-request deadline override
+//	POST /prepare  {"query": "... ? ..."}                       compile, returns {"id", "params", "names"}
+//	POST /explain  {"query": "...", "params": [...]}            plan without executing
+//	GET  /healthz                                               liveness
+//	GET  /stats                                                 server + plan-cache counters
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: listeners close,
+// in-flight requests get a drain window, then the process exits. Each
+// request runs under a deadline (-timeout, optionally tightened per
+// request); a request that exceeds it gets 504 while its abandoned
+// execution finishes in the background (the engine has no cancellation
+// points — a deliberate trade documented in DESIGN.md).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/rewrite"
+)
+
+type listFlag []string
+
+func (l *listFlag) String() string     { return strings.Join(*l, ",") }
+func (l *listFlag) Set(v string) error { *l = append(*l, v); return nil }
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address")
+	var loads, ruleFiles listFlag
+	flag.Var(&loads, "load", "NAME=FILE relation to load (repeatable)")
+	flag.Var(&ruleFiles, "rules", "rule file to register (repeatable)")
+	timeout := flag.Duration("timeout", 10*time.Second, "default per-request execution deadline")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown drain window")
+	cacheSize := flag.Int("plan-cache", 512, "plan cache capacity (0 disables)")
+	parallelism := flag.Int("parallelism", 0, "worker count for parallel plans (0 = GOMAXPROCS)")
+	maxPrepared := flag.Int("max-prepared", 1024, "prepared-statement registry capacity (oldest evicted past it)")
+	flag.Parse()
+
+	eng, err := buildEngine(loads, ruleFiles)
+	if err != nil {
+		fail(err)
+	}
+	eng.SetPlanCacheSize(*cacheSize)
+	if *parallelism > 0 {
+		eng.SetParallelism(*parallelism)
+	}
+
+	s := &server{
+		eng: eng, timeout: *timeout, started: time.Now(),
+		maxPrepared: *maxPrepared,
+		prepared:    map[string]*query.PreparedQuery{},
+		adhoc:       map[string]*query.PreparedQuery{},
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/prepare", s.handlePrepare)
+	mux.HandleFunc("/explain", s.handleExplain)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "simqd: serving on %s (%d relations, %d rule sets)\n",
+		*addr, len(eng.Catalog().Names()), len(eng.RuleSets()))
+
+	select {
+	case err := <-errc:
+		fail(err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "simqd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "simqd: drain incomplete: %v\n", err)
+	}
+}
+
+// buildEngine loads relations and rule sets the same way cmd/simq does;
+// with no -rules files a default unit-edit set "edits" over a-z is
+// registered.
+func buildEngine(loads, ruleFiles []string) (*query.Engine, error) {
+	cat := relation.NewCatalog()
+	for _, spec := range loads {
+		eq := strings.IndexByte(spec, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("-load wants NAME=FILE, got %q", spec)
+		}
+		name, file := spec[:eq], spec[eq+1:]
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		rel, err := relation.Load(name, f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		cat.Add(rel)
+		fmt.Fprintf(os.Stderr, "simqd: loaded %s: %d tuples\n", name, rel.Len())
+	}
+	eng := query.NewEngine(cat)
+	if len(ruleFiles) == 0 {
+		rs := rewrite.MustRuleSet("edits", rewrite.UnitEdits("abcdefghijklmnopqrstuvwxyz").Rules())
+		if err := eng.RegisterRuleSet(rs); err != nil {
+			return nil, err
+		}
+	}
+	for _, file := range ruleFiles {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := rewrite.ParseRuleSet(strings.TrimSuffix(file, ".rules"), f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		if err := eng.RegisterRuleSet(rs); err != nil {
+			return nil, err
+		}
+	}
+	return eng, nil
+}
+
+// server carries the shared engine plus serving state. The engine is
+// safe for concurrent queries; the prepared-statement registry has its
+// own lock.
+type server struct {
+	eng         *query.Engine
+	timeout     time.Duration
+	started     time.Time
+	maxPrepared int
+
+	mu       sync.RWMutex
+	prepared map[string]*query.PreparedQuery
+	order    []string // prepared ids, oldest first, for eviction
+	nextID   int64
+
+	// adhoc caches PreparedQueries for parameterized /query requests
+	// that arrive as statement text, so repeat senders skip parse+plan
+	// without an explicit /prepare round trip.
+	adhocMu sync.Mutex
+	adhoc   map[string]*query.PreparedQuery
+
+	requests atomic.Int64
+	errors   atomic.Int64
+	timeouts atomic.Int64
+	inFlight atomic.Int64
+}
+
+// adhocCacheMax bounds the ad-hoc statement cache; at capacity it
+// resets wholesale (entries are cheap to rebuild).
+const adhocCacheMax = 256
+
+// request is the body of /query and /explain.
+type request struct {
+	Query     string         `json:"query,omitempty"`
+	ID        string         `json:"id,omitempty"`
+	Params    []any          `json:"params,omitempty"`
+	Named     map[string]any `json:"named,omitempty"`
+	TimeoutMS int            `json:"timeout_ms,omitempty"`
+}
+
+type queryResponse struct {
+	Columns   []string   `json:"columns"`
+	Rows      [][]string `json:"rows"`
+	RowCount  int        `json:"row_count"`
+	Stats     statsBody  `json:"stats"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+}
+
+type statsBody struct {
+	Candidates    int  `json:"candidates"`
+	Verifications int  `json:"verifications"`
+	PlanCacheHit  bool `json:"plan_cache_hit"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decode(w, r)
+	if !ok {
+		return
+	}
+	start := time.Now()
+	res, err := s.execute(r.Context(), req, false)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Columns:  res.Columns,
+		Rows:     res.Rows,
+		RowCount: len(res.Rows),
+		Stats: statsBody{
+			Candidates:    res.Stats.Candidates,
+			Verifications: res.Stats.Verifications,
+			PlanCacheHit:  res.Stats.PlanCacheHit,
+		},
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (s *server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decode(w, r)
+	if !ok {
+		return
+	}
+	if req.Query == "" {
+		s.fail(w, errBad("prepare requires \"query\""))
+		return
+	}
+	pq, err := s.eng.Prepare(req.Query)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("p%d", s.nextID)
+	s.prepared[id] = pq
+	s.order = append(s.order, id)
+	// Bound the registry: evict the oldest statements (their ids then
+	// answer 400 and clients re-prepare), so a /prepare-per-request
+	// client cannot grow server memory without limit.
+	for len(s.order) > s.maxPrepared {
+		delete(s.prepared, s.order[0])
+		s.order = s.order[1:]
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":     id,
+		"params": pq.NumParams(),
+		"names":  pq.ParamNames(),
+	})
+}
+
+func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decode(w, r)
+	if !ok {
+		return
+	}
+	res, err := s.execute(r.Context(), req, true)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"plan": res.Plan})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	preparedCount := len(s.prepared)
+	s.mu.RUnlock()
+	s.adhocMu.Lock()
+	adhocCount := len(s.adhoc)
+	s.adhocMu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_s":         time.Since(s.started).Seconds(),
+		"requests":         s.requests.Load(),
+		"errors":           s.errors.Load(),
+		"timeouts":         s.timeouts.Load(),
+		"in_flight":        s.inFlight.Load(),
+		"prepared":         preparedCount,
+		"adhoc_statements": adhocCount,
+		"plan_cache":       s.eng.CacheStats(),
+	})
+}
+
+// execute runs one request under its deadline: a prepared statement by
+// id, an ad-hoc parameterized statement (prepared on the fly), or plain
+// statement text.
+func (s *server) execute(ctx context.Context, req *request, explain bool) (*query.Result, error) {
+	var run func() (*query.Result, error)
+	switch {
+	case req.ID != "":
+		s.mu.RLock()
+		pq := s.prepared[req.ID]
+		s.mu.RUnlock()
+		if pq == nil {
+			return nil, errBad(fmt.Sprintf("unknown prepared statement %q", req.ID))
+		}
+		run = s.preparedRunner(pq, req, explain)
+	case req.Query == "":
+		return nil, errBad("request needs \"query\" or \"id\"")
+	case len(req.Params) > 0 || len(req.Named) > 0:
+		pq, err := s.adhocPrepared(req.Query)
+		if err != nil {
+			return nil, err
+		}
+		run = s.preparedRunner(pq, req, explain)
+	default:
+		src := req.Query
+		if explain && !strings.HasPrefix(strings.ToUpper(strings.TrimSpace(src)), "EXPLAIN") {
+			src = "EXPLAIN " + src
+		}
+		run = func() (*query.Result, error) { return s.eng.Execute(src) }
+	}
+
+	timeout := s.timeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	s.requests.Add(1)
+	s.inFlight.Add(1)
+	type outcome struct {
+		res *query.Result
+		err error
+	}
+	done := make(chan outcome, 1) // buffered: an abandoned run must not leak its goroutine
+	go func() {
+		defer s.inFlight.Add(-1)
+		res, err := run()
+		done <- outcome{res, err}
+	}()
+	select {
+	case out := <-done:
+		return out.res, out.err
+	case <-ctx.Done():
+		s.timeouts.Add(1)
+		return nil, errTimeout(ctx.Err())
+	}
+}
+
+// adhocPrepared returns a cached PreparedQuery for a parameterized
+// statement sent as text, preparing and caching it on first sight.
+func (s *server) adhocPrepared(src string) (*query.PreparedQuery, error) {
+	s.adhocMu.Lock()
+	pq := s.adhoc[src]
+	s.adhocMu.Unlock()
+	if pq != nil {
+		return pq, nil
+	}
+	pq, err := s.eng.Prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	s.adhocMu.Lock()
+	if len(s.adhoc) >= adhocCacheMax {
+		s.adhoc = make(map[string]*query.PreparedQuery)
+	}
+	s.adhoc[src] = pq
+	s.adhocMu.Unlock()
+	return pq, nil
+}
+
+// preparedRunner adapts a prepared statement plus request params into a
+// runner closure.
+func (s *server) preparedRunner(pq *query.PreparedQuery, req *request, explain bool) func() (*query.Result, error) {
+	return func() (*query.Result, error) {
+		if explain {
+			var plan string
+			var err error
+			if len(req.Named) > 0 {
+				plan, err = pq.ExplainNamed(req.Named)
+			} else {
+				plan, err = pq.Explain(req.Params...)
+			}
+			if err != nil {
+				return nil, err
+			}
+			return &query.Result{Columns: []string{"plan"}, Rows: [][]string{{plan}}, Plan: plan}, nil
+		}
+		if len(req.Named) > 0 {
+			return pq.ExecuteNamed(req.Named)
+		}
+		return pq.Execute(req.Params...)
+	}
+}
+
+func (s *server) decode(w http.ResponseWriter, r *http.Request) (*request, bool) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST required"})
+		return nil, false
+	}
+	var req request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, errBad("bad JSON: "+err.Error()))
+		return nil, false
+	}
+	return &req, true
+}
+
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e httpError) Error() string { return e.msg }
+
+func errBad(msg string) error { return httpError{http.StatusBadRequest, msg} }
+
+func errTimeout(err error) error {
+	return httpError{http.StatusGatewayTimeout, "query deadline exceeded: " + err.Error()}
+}
+
+func (s *server) fail(w http.ResponseWriter, err error) {
+	s.errors.Add(1)
+	status := http.StatusBadRequest
+	var he httpError
+	if errors.As(err, &he) {
+		status = he.status
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "simqd: %v\n", err)
+	os.Exit(1)
+}

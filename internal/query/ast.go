@@ -7,12 +7,30 @@ import (
 
 // Query is the root of a parsed statement.
 type Query struct {
-	Explain bool
-	Select  []Column   // empty means '*'
-	From    []TableRef // one (range query) or several (N-way join)
-	Where   Expr       // may be nil
-	Order   OrderDir   // ORDER BY dist direction
-	Limit   int        // 0 means unlimited
+	Explain    bool
+	Select     []Column   // empty means '*'
+	From       []TableRef // one (range query) or several (N-way join)
+	Where      Expr       // may be nil
+	Order      OrderDir   // ORDER BY dist direction
+	Limit      int        // 0 means unlimited
+	LimitParam *ParamRef  // LIMIT ? — set instead of Limit until bound
+	Params     []ParamRef // every parameter, in order of appearance
+}
+
+// ParamRef is one occurrence of a bind parameter: positional ('?',
+// addressed by Idx) or named (':name', addressed by Name with Idx -1).
+// A statement may use one style or the other, not both.
+type ParamRef struct {
+	Name string // named parameter; empty for positional
+	Idx  int    // 0-based position for positional; -1 for named
+}
+
+// String renders the parameter in the concrete syntax.
+func (p ParamRef) String() string {
+	if p.Name != "" {
+		return ":" + p.Name
+	}
+	return "?"
 }
 
 // OrderDir is the ORDER BY dist direction.
@@ -72,11 +90,12 @@ type CmpExpr struct {
 // sequence can be transformed into the target (or into a member of the
 // target pattern) at cost at most radius.
 type SimExpr struct {
-	Field   FieldRef
-	Target  Operand // string literal, field reference, or pattern
-	Pattern bool    // target is a pattern expression (string literal)
-	Radius  float64
-	RuleSet string
+	Field       FieldRef
+	Target      Operand // string literal, field reference, or pattern
+	Pattern     bool    // target is a pattern expression (string literal)
+	Radius      float64
+	RadiusParam *ParamRef // WITHIN ? — set instead of Radius until bound
+	RuleSet     string
 }
 
 // NearestExpr selects the K tuples whose sequences are cheapest to
@@ -119,7 +138,11 @@ func (e SimExpr) String() string {
 	if e.Pattern {
 		pat = "PATTERN "
 	}
-	return fmt.Sprintf("%s SIMILAR TO %s%s WITHIN %g USING %s", e.Field, pat, e.Target, e.Radius, e.RuleSet)
+	radius := fmt.Sprintf("%g", e.Radius)
+	if e.RadiusParam != nil {
+		radius = e.RadiusParam.String()
+	}
+	return fmt.Sprintf("%s SIMILAR TO %s%s WITHIN %s USING %s", e.Field, pat, e.Target, radius, e.RuleSet)
 }
 
 // String renders the expression in the concrete syntax.
@@ -127,15 +150,20 @@ func (e NearestExpr) String() string {
 	return fmt.Sprintf("%s NEAREST %d TO %s USING %s", e.Field, e.K, e.Target, e.RuleSet)
 }
 
-// Operand is a string literal or a field reference.
+// Operand is a string literal, a field reference, or an unbound
+// parameter (which binds to a string literal at execution time).
 type Operand struct {
 	Lit   string
 	Field FieldRef
 	IsLit bool
+	Param *ParamRef // set until bound; binding replaces it with a literal
 }
 
 // String renders the operand.
 func (o Operand) String() string {
+	if o.Param != nil {
+		return o.Param.String()
+	}
 	if o.IsLit {
 		return fmt.Sprintf("%q", o.Lit)
 	}
@@ -192,7 +220,9 @@ func (q *Query) String() string {
 	case OrderDesc:
 		b.WriteString(" ORDER BY dist DESC")
 	}
-	if q.Limit > 0 {
+	if q.LimitParam != nil {
+		b.WriteString(" LIMIT " + q.LimitParam.String())
+	} else if q.Limit > 0 {
 		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
 	}
 	return b.String()

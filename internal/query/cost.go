@@ -41,9 +41,17 @@ func selRange(st relation.Stats, k float64) float64 {
 	return f * f
 }
 
-// verifyCost is the banded-DP cost of verifying one candidate.
+// verifyCost is the banded-DP cost of verifying one candidate. The
+// band never grows past the full DP matrix, so the per-candidate cost
+// saturates once 2k+1 exceeds the sequence length — beyond that point a
+// wider radius buys no additional work.
 func verifyCost(st relation.Stats, k float64) float64 {
-	return math.Max(1, st.AvgSeqLen) * (2*k + 1)
+	rows := math.Max(1, st.AvgSeqLen)
+	band := 2*k + 1
+	if band > rows+1 {
+		band = rows + 1
+	}
+	return rows * band
 }
 
 // scanCost: verify every tuple.
@@ -51,22 +59,31 @@ func scanCost(st relation.Stats, k float64) float64 {
 	return float64(st.Count) * verifyCost(st, k)
 }
 
-// bkTreeCost: visited-node fraction grows ~linearly with the radius.
+// bkTreeCost: visited-node fraction grows ~linearly with the radius,
+// and every visited node pays a traversal surcharge on top of its DP
+// verification — pointer-chasing through the tree has none of the
+// locality of a linear scan. The surcharge is what makes the scan win
+// once pruning collapses (frac = 1): visiting the whole tree is then
+// strictly worse than scanning the same tuples in order, which is the
+// selectivity crossover the THRESHOLD-parameter tests pin down.
 func bkTreeCost(st relation.Stats, k float64) float64 {
 	frac := 0.25 * (k + 1)
 	if frac > 1 {
 		frac = 1
 	}
-	return float64(st.Count) * frac * verifyCost(st, k)
+	return float64(st.Count) * frac * (verifyCost(st, k) + 1)
 }
 
 // trieCost: the band of prefixes within distance k, capped by the total
-// node count; each visited node costs one DP row update (O(len)).
+// node count; each visited node costs one DP row update (O(len)) plus
+// the same unit traversal surcharge as a BK-tree node, so a saturated
+// trie walk never undercuts the scan it degenerates into.
 func trieCost(st relation.Stats, k float64) float64 {
-	totalNodes := float64(st.Count) * math.Max(1, st.AvgSeqLen)
+	rows := math.Max(1, st.AvgSeqLen)
+	totalNodes := float64(st.Count) * rows
 	branch := math.Max(2, float64(st.Alphabet))
 	band := math.Pow(branch, k+1) * (st.AvgSeqLen + k + 1)
-	return math.Min(totalNodes, band) * math.Max(1, st.AvgSeqLen)
+	return math.Min(totalNodes, band) * (rows + 1)
 }
 
 // chooseRangeAccess ranks the physical access paths for an indexable

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/editdp"
@@ -21,11 +22,13 @@ import (
 type Engine struct {
 	catalog *relation.Catalog
 
-	mu       sync.RWMutex
-	rulesets map[string]*rewrite.RuleSet
-	calcs    map[string]*editdp.Calculator // edit-like rule sets only
-	generals map[string]*transform.Engine  // everything decidable
-	patterns map[string]*pattern.Pattern   // compiled pattern cache
+	mu        sync.RWMutex
+	rulesets  map[string]*rewrite.RuleSet
+	calcs     map[string]*editdp.Calculator // edit-like rule sets only
+	generals  map[string]*transform.Engine  // everything decidable
+	patterns  map[string]*pattern.Pattern   // compiled pattern cache
+	rsVersion uint64                        // bumped per RegisterRuleSet; part of cache keys
+	plans     *planCache                    // statement text -> (query, decision); nil disables
 
 	parallelism     int // workers for Parallel plans (<=1 disables)
 	parallelMinRows int // outer-relation size that justifies sharding
@@ -44,14 +47,20 @@ func NewEngine(cat *relation.Catalog) *Engine {
 		calcs:           make(map[string]*editdp.Calculator),
 		generals:        make(map[string]*transform.Engine),
 		patterns:        make(map[string]*pattern.Pattern),
+		plans:           newPlanCache(defaultPlanCacheSize),
 		parallelism:     runtime.GOMAXPROCS(0),
 		parallelMinRows: parallelDefaultMinRows,
 	}
 }
 
 // SetParallelism sets the worker count for parallel scan/join plans;
-// n <= 1 forces serial execution.
+// n = 1 forces serial execution. Zero and negative values clamp to 1
+// rather than being stored verbatim, so no plan ever computes with a
+// nonsensical worker count.
 func (e *Engine) SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.parallelism = n
@@ -80,6 +89,7 @@ func (e *Engine) Catalog() *relation.Catalog { return e.catalog }
 func (e *Engine) RegisterRuleSet(rs *rewrite.RuleSet) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.rsVersion++ // invalidates cached plans whose costing saw the old registry
 	e.rulesets[rs.Name()] = rs
 	if rs.EditLike() {
 		c, err := editdp.New(rs)
@@ -173,21 +183,153 @@ type Result struct {
 	Stats   ExecStats // work counters from the access paths
 }
 
-// Execute parses and runs one statement.
+// rulesetVersion returns the rule-set registry mutation counter.
+func (e *Engine) rulesetVersion() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.rsVersion
+}
+
+// planCacheRef returns the current plan cache (nil when disabled).
+func (e *Engine) planCacheRef() *planCache {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.plans
+}
+
+// SetPlanCacheSize resizes the plan cache to hold n entries, dropping
+// the current contents; n <= 0 disables plan caching entirely.
+func (e *Engine) SetPlanCacheSize(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n <= 0 {
+		e.plans = nil
+		return
+	}
+	e.plans = newPlanCache(n)
+}
+
+// CacheStats snapshots the plan cache's hit/miss counters; all zero
+// when caching is disabled.
+func (e *Engine) CacheStats() CacheStats {
+	if c := e.planCacheRef(); c != nil {
+		return c.Stats()
+	}
+	return CacheStats{}
+}
+
+// cacheEpoch is the part of every plan-cache key that tracks engine
+// state: catalog statistics, the rule-set registry and the parallel
+// configuration. Any change to these may change a costing decision, so
+// it must start a fresh key space.
+func (e *Engine) cacheEpoch() string {
+	workers, minRows := e.parallelConfig()
+	return fmt.Sprintf("%d|%d|%d|%d", e.catalog.StatsVersion(), e.rulesetVersion(), workers, minRows)
+}
+
+// normalizeQueryText canonicalises statement text for cache keying:
+// runs of whitespace outside string literals collapse to one space.
+// Literal contents are preserved byte-for-byte (including escapes), so
+// two statements that differ only inside a quoted string never share a
+// key. Case is preserved — rule-set names and literals are
+// case-sensitive.
+func normalizeQueryText(src string) string {
+	var b strings.Builder
+	b.Grow(len(src))
+	inStr := false
+	pendingSpace := false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if inStr {
+			b.WriteByte(c)
+			switch {
+			case c == '\\' && i+1 < len(src):
+				i++
+				b.WriteByte(src[i])
+			case c == '"':
+				inStr = false
+			}
+			continue
+		}
+		switch c {
+		case ' ', '\t', '\n', '\r':
+			pendingSpace = b.Len() > 0
+		default:
+			if pendingSpace {
+				b.WriteByte(' ')
+				pendingSpace = false
+			}
+			if c == '"' {
+				inStr = true
+			}
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// Execute parses and runs one statement. Statements are looked up in
+// the plan cache first: a hit skips the lexer, the parser and the
+// cost-based planner and goes straight to operator-tree construction.
+// Parameterized statements cannot run here — use Prepare.
 func (e *Engine) Execute(src string) (*Result, error) {
+	cache := e.planCacheRef()
+	if cache == nil {
+		q, err := Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		return e.ExecuteQuery(q)
+	}
+	key := e.cacheEpoch() + "|" + normalizeQueryText(src)
+	if ent, ok := cache.get(key); ok {
+		// Only a failure to *build* the tree (a stale or poisoned entry)
+		// falls through to the uncached path; once a tree builds, its
+		// execution outcome — including runtime errors — is final, so an
+		// erroring statement is never executed twice.
+		if plan, err := e.buildPlan(ent.q, ent.d); err == nil {
+			res, err := e.finishPlan(ent.q, plan)
+			if err == nil {
+				res.Stats.PlanCacheHit = true
+			}
+			return res, err
+		}
+	}
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.ExecuteQuery(q)
-}
-
-// ExecuteQuery runs a parsed statement.
-func (e *Engine) ExecuteQuery(q *Query) (*Result, error) {
-	plan, err := e.plan(q)
+	d, err := e.decide(q)
 	if err != nil {
 		return nil, err
 	}
+	cache.put(key, q, d)
+	return e.runDecided(q, d)
+}
+
+// ExecuteQuery runs a parsed (or hand-built) statement, planning from
+// scratch.
+func (e *Engine) ExecuteQuery(q *Query) (*Result, error) {
+	d, err := e.decide(q)
+	if err != nil {
+		return nil, err
+	}
+	return e.runDecided(q, d)
+}
+
+// runDecided builds the operator tree for a decided query and drives
+// it (or renders it, for EXPLAIN).
+func (e *Engine) runDecided(q *Query, d *planDecision) (*Result, error) {
+	plan, err := e.buildPlan(q, d)
+	if err != nil {
+		return nil, err
+	}
+	return e.finishPlan(q, plan)
+}
+
+// finishPlan drives a built plan to completion, or renders it for
+// EXPLAIN.
+func (e *Engine) finishPlan(q *Query, plan *compiledPlan) (*Result, error) {
 	if q.Explain {
 		tree := plan.describe()
 		return &Result{Columns: []string{"plan"}, Rows: [][]string{{tree}}, Plan: tree}, nil

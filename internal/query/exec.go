@@ -30,8 +30,9 @@ type Operator interface {
 // Result so callers (and the LIMIT-pushdown regression tests) can see
 // how many candidates an access path actually touched.
 type ExecStats struct {
-	Candidates    int // tuples and index nodes examined by access paths
-	Verifications int // distance computations and predicate evaluations
+	Candidates    int  // tuples and index nodes examined by access paths
+	Verifications int  // distance computations and predicate evaluations
+	PlanCacheHit  bool // this execution reused a cached plan (skipped parse+plan)
 }
 
 // execCtx is shared by every operator of one executing query.

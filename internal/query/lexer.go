@@ -10,7 +10,13 @@
 //	SELECT * FROM words WHERE seq NEAREST 5 TO "color" USING edits
 //	SELECT * FROM s a, s b, s c WHERE a.seq SIMILAR TO b.seq WITHIN 1 USING edits
 //	       AND b.seq SIMILAR TO c.seq WITHIN 1 USING edits ORDER BY dist LIMIT 10
+//	SELECT * FROM words WHERE seq SIMILAR TO ? WITHIN ? USING edits LIMIT ?
+//	SELECT * FROM words WHERE seq SIMILAR TO :target WITHIN :radius USING edits
 //	EXPLAIN SELECT ...
+//
+// '?' and ':name' are bind parameters: such statements cannot be run
+// directly but are compiled once with Engine.Prepare and executed many
+// times with different bound values (see prepared.go).
 //
 // The package contains the lexer, parser, cost-based planner and a
 // Volcano-style executor: queries compile to trees of physical
@@ -43,6 +49,8 @@ const (
 	tokEq
 	tokNeq
 	tokSemi
+	tokQMark      // '?'  positional parameter
+	tokNamedParam // ':name' named parameter (text holds the name)
 )
 
 func (k tokenKind) String() string {
@@ -71,6 +79,10 @@ func (k tokenKind) String() string {
 		return "'!='"
 	case tokSemi:
 		return "';'"
+	case tokQMark:
+		return "'?'"
+	case tokNamedParam:
+		return "named parameter"
 	default:
 		return fmt.Sprintf("token(%d)", int(k))
 	}
@@ -120,6 +132,19 @@ func lex(src string) ([]token, error) {
 			} else {
 				return nil, fmt.Errorf("query: stray '!' at %d", i)
 			}
+		case c == '?':
+			toks = append(toks, token{tokQMark, "?", i})
+			i++
+		case c == ':':
+			if i+1 >= len(src) || !isIdentStart(src[i+1]) {
+				return nil, fmt.Errorf("query: ':' must introduce a named parameter at %d", i)
+			}
+			j := i + 1
+			for j < len(src) && isIdentPart(src[j]) {
+				j++
+			}
+			toks = append(toks, token{tokNamedParam, src[i+1 : j], i})
+			i = j
 		case c == '"':
 			j := i + 1
 			var sb strings.Builder

@@ -23,6 +23,10 @@ func Parse(src string) (*Query, error) {
 	if p.cur().kind != tokEOF {
 		return nil, p.errf("trailing input starting with %s", p.cur().kind)
 	}
+	if p.named && p.npos > 0 {
+		return nil, fmt.Errorf("query: cannot mix positional '?' and named ':name' parameters (in %q)", src)
+	}
+	q.Params = p.params
 	return q, nil
 }
 
@@ -30,6 +34,31 @@ type qparser struct {
 	toks []token
 	pos  int
 	src  string
+
+	params []ParamRef // parameters in order of appearance
+	npos   int        // count of positional '?' parameters
+	named  bool       // a ':name' parameter was seen
+}
+
+// atParam reports whether the current token starts a bind parameter.
+func (p *qparser) atParam() bool {
+	k := p.cur().kind
+	return k == tokQMark || k == tokNamedParam
+}
+
+// takeParam consumes a parameter token and registers the reference.
+func (p *qparser) takeParam() *ParamRef {
+	t := p.next()
+	ref := ParamRef{Idx: -1}
+	if t.kind == tokNamedParam {
+		ref.Name = t.text
+		p.named = true
+	} else {
+		ref.Idx = p.npos
+		p.npos++
+	}
+	p.params = append(p.params, ref)
+	return &ref
 }
 
 func (p *qparser) cur() token  { return p.toks[p.pos] }
@@ -122,14 +151,18 @@ func (p *qparser) parseQuery() (*Query, error) {
 		}
 	}
 	if p.keyword("limit") {
-		if p.cur().kind != tokNumber {
-			return nil, p.errf("expected limit count")
+		if p.atParam() {
+			q.LimitParam = p.takeParam()
+		} else {
+			if p.cur().kind != tokNumber {
+				return nil, p.errf("expected limit count")
+			}
+			n, err := strconv.Atoi(p.next().text)
+			if err != nil || n < 0 {
+				return nil, p.errf("bad limit")
+			}
+			q.Limit = n
 		}
-		n, err := strconv.Atoi(p.next().text)
-		if err != nil || n < 0 {
-			return nil, p.errf("bad limit")
-		}
-		q.Limit = n
 	}
 	return q, nil
 }
@@ -241,14 +274,18 @@ func (p *qparser) parsePredicate() (Expr, error) {
 		if err := p.expectKeyword("within"); err != nil {
 			return nil, err
 		}
-		if p.cur().kind != tokNumber {
-			return nil, p.errf("WITHIN requires a number")
+		if p.atParam() {
+			sim.RadiusParam = p.takeParam()
+		} else {
+			if p.cur().kind != tokNumber {
+				return nil, p.errf("WITHIN requires a number")
+			}
+			radius, err := strconv.ParseFloat(p.next().text, 64)
+			if err != nil || radius < 0 {
+				return nil, p.errf("bad radius")
+			}
+			sim.Radius = radius
 		}
-		radius, err := strconv.ParseFloat(p.next().text, 64)
-		if err != nil || radius < 0 {
-			return nil, p.errf("bad radius")
-		}
-		sim.Radius = radius
 		if err := p.expectKeyword("using"); err != nil {
 			return nil, err
 		}
@@ -297,6 +334,8 @@ func (p *qparser) parsePredicate() (Expr, error) {
 func (p *qparser) parseOperand() (Operand, error) {
 	t := p.cur()
 	switch t.kind {
+	case tokQMark, tokNamedParam:
+		return Operand{Param: p.takeParam()}, nil
 	case tokString:
 		p.next()
 		return Operand{Lit: t.text, IsLit: true}, nil

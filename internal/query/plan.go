@@ -21,8 +21,63 @@ import (
 	"repro/internal/relation"
 )
 
+// Planning is split into two phases so prepared queries and the plan
+// cache can skip the expensive half:
+//
+//   - decide: validate the query and make every cost-based choice
+//     (access path, index structure, join order, parallelism). The
+//     result is a planDecision — plain bind-independent data.
+//   - build: construct the operator tree from a query plus a decision.
+//     Conjunct extraction is deterministic, so a decision recorded once
+//     rebuilds the same tree shape for any binding that shares the
+//     decision's cost inputs (radii, statistics version, parallelism).
+//
+// Engine.plan = decide + build; cached paths call build alone.
+
+// accessKind is the decided access-path family.
+type accessKind int
+
+const (
+	accessScan accessKind = iota
+	accessRange
+	accessNearest
+	accessJoin
+)
+
+// planDecision captures the planner's choices for one query. It holds
+// no operators and no bound values, only choices, so it is immutable
+// and safely shared across concurrent executions.
+type planDecision struct {
+	kind     accessKind
+	via      string       // accessNearest: bktree|scan; accessRange: bktree|trie
+	start    string       // accessJoin: starting alias
+	steps    []stepChoice // accessJoin: greedy join order
+	parallel bool         // shard the scan-rooted pipeline
+	workers  int          // worker count when parallel
+}
+
+// stepChoice is one edge of the decided join order. The edge is named
+// by its position in extractJoinSims' deterministic output so build can
+// recover the SimExpr from the (re-extracted) predicate.
+type stepChoice struct {
+	alias      string
+	edge       int
+	index      bool
+	probeField FieldRef
+}
+
 // plan compiles a parsed query into an executable operator tree.
 func (e *Engine) plan(q *Query) (*compiledPlan, error) {
+	d, err := e.decide(q)
+	if err != nil {
+		return nil, err
+	}
+	return e.buildPlan(q, d)
+}
+
+// resolveFrom maps the FROM clause to catalog relations, rejecting
+// unknown names and duplicate aliases.
+func (e *Engine) resolveFrom(q *Query) ([]*relation.Relation, error) {
 	if len(q.From) == 0 {
 		return nil, fmt.Errorf("query: FROM clause required")
 	}
@@ -39,6 +94,19 @@ func (e *Engine) plan(q *Query) (*compiledPlan, error) {
 		seen[ref.Alias] = true
 		rels = append(rels, r)
 	}
+	return rels, nil
+}
+
+// decide validates the query and makes every cost-based planning
+// choice. The query must be fully bound (no parameters).
+func (e *Engine) decide(q *Query) (*planDecision, error) {
+	if hasUnboundParams(q) {
+		return nil, fmt.Errorf("query: statement has bind parameters; use Engine.Prepare")
+	}
+	rels, err := e.resolveFrom(q)
+	if err != nil {
+		return nil, err
+	}
 
 	// Validate rule sets and pattern syntax eagerly so bad queries fail
 	// before execution.
@@ -49,38 +117,18 @@ func (e *Engine) plan(q *Query) (*compiledPlan, error) {
 		return nil, fmt.Errorf("query: ORDER BY dist requires a similarity predicate")
 	}
 
-	ctx := &execCtx{eng: e}
-	cp := &compiledPlan{ctx: ctx, columns: projectColumns(q)}
-
-	var access Operator
-	var err error
 	if ne, ok := q.Where.(NearestExpr); ok {
-		access, err = e.planNearest(ctx, q, rels, ne)
-	} else if len(q.From) == 1 {
-		access, err = e.planSingle(ctx, q, rels[0])
-	} else {
-		access, err = e.planJoin(ctx, q, rels)
+		return e.decideNearest(q, ne)
 	}
-	if err != nil {
-		return nil, err
+	if len(q.From) == 1 {
+		return e.decideSingle(q, rels[0])
 	}
-
-	top := access
-	if q.Order == OrderDesc {
-		top = &orderByDistOp{child: top, desc: true}
-	} else if q.Order == OrderAsc {
-		top = &orderByDistOp{child: top}
-	}
-	top = &projectOp{ctx: ctx, q: q, child: top}
-	if q.Limit > 0 {
-		top = &limitOp{child: top, n: q.Limit}
-	}
-	cp.root = top
-	return cp, nil
+	return e.decideJoin(q, rels)
 }
 
-// planNearest builds the access path for a NEAREST query.
-func (e *Engine) planNearest(ctx *execCtx, q *Query, rels []*relation.Relation, ne NearestExpr) (Operator, error) {
+// decideNearest validates a NEAREST query and picks the access
+// structure.
+func (e *Engine) decideNearest(q *Query, ne NearestExpr) (*planDecision, error) {
 	if len(q.From) != 1 {
 		return nil, fmt.Errorf("query: NEAREST requires a single relation")
 	}
@@ -103,80 +151,49 @@ func (e *Engine) planNearest(ctx *execCtx, q *Query, rels []*relation.Relation, 
 	if unitCost(rs) {
 		via = "bktree"
 	}
-	return &nearestKOp{
-		ctx: ctx, rel: rels[0], alias: q.From[0].Alias,
-		via: via, target: ne.Target.Lit, k: ne.K, ruleSet: ne.RuleSet,
-	}, nil
+	return &planDecision{kind: accessNearest, via: via}, nil
 }
 
-// planSingle builds the access path for a single-relation query:
-// an indexable SIMILAR TO conjunct over seq becomes an IndexRange on
+// rangeIndexable licenses a conjunct for the metric indexes: a literal,
+// non-pattern target over seq under a unit-cost rule set at an integral
+// radius.
+func (e *Engine) rangeIndexable(sim *SimExpr) bool {
+	if sim.Field.Name != "seq" || sim.Radius != float64(int(sim.Radius)) {
+		return false
+	}
+	rs, err := e.ruleset(sim.RuleSet)
+	return err == nil && unitCost(rs)
+}
+
+// decideSingle picks the access path for a single-relation query: an
+// indexable SIMILAR TO conjunct over seq becomes an IndexRange on
 // whichever metric index the cost model prefers; everything else is a
 // (possibly parallel) scan with the full predicate as a filter.
-func (e *Engine) planSingle(ctx *execCtx, q *Query, rel *relation.Relation) (Operator, error) {
-	alias := q.From[0].Alias
+func (e *Engine) decideSingle(q *Query, rel *relation.Relation) (*planDecision, error) {
 	st := rel.Stats()
-
-	// indexable licenses a conjunct for the metric indexes: a literal,
-	// non-pattern target over seq under a unit-cost rule set at an
-	// integral radius (rule-set existence was validated above).
-	indexable := func(sim *SimExpr) bool {
-		if sim.Field.Name != "seq" || sim.Radius != float64(int(sim.Radius)) {
-			return false
-		}
-		rs, err := e.ruleset(sim.RuleSet)
-		return err == nil && unitCost(rs)
-	}
-	if sim, residual := extractRangeSim(q.Where, indexable); sim != nil {
+	if sim, _ := extractRangeSim(q.Where, e.rangeIndexable); sim != nil {
 		if via := chooseRangeAccess(st, sim.Radius); via != "scan" {
-			var op Operator = &indexRangeOp{
-				ctx: ctx, rel: rel, alias: alias, via: via,
-				target: sim.Target.Lit, radius: int(sim.Radius), ruleSet: sim.RuleSet,
-			}
-			if res := simplifyExpr(residual); !isTrivial(res) {
-				op = &filterOp{ctx: ctx, child: op, pred: res}
-			}
-			return op, nil
+			return &planDecision{kind: accessRange, via: via}, nil
 		}
-	}
-
-	pred := simplifyExpr(q.Where)
-	build := func(shard, shards int) Operator {
-		sc := newScanOp(ctx, rel, alias)
-		sc.shard, sc.shards = shard, shards
-		var op Operator = sc
-		if !isTrivial(pred) {
-			op = &filterOp{ctx: ctx, child: op, pred: pred}
-		}
-		return op
 	}
 	// A bare scan has no per-tuple verification work to parallelise.
-	return e.maybeParallel(ctx, q, st.Count, !isTrivial(pred), build), nil
+	hasWork := !isTrivial(simplifyExpr(q.Where))
+	d := &planDecision{kind: accessScan}
+	d.parallel, d.workers = e.decideParallel(q, st.Count, hasWork)
+	return d, nil
 }
 
-// joinStep is one edge of the greedy join order: the relation to add
-// and how to reach it.
-type joinStep struct {
-	ref        TableRef
-	rel        *relation.Relation
-	sim        *SimExpr
-	index      bool
-	probeField FieldRef // outer-side join field (index joins)
-}
-
-// planJoin builds a left-deep join chain over N relations, greedily
-// ordered by estimated cost; similarity edges come from top-level
-// SIMILAR TO conjuncts between two aliases.
-func (e *Engine) planJoin(ctx *execCtx, q *Query, rels []*relation.Relation) (Operator, error) {
+// decideJoin greedily orders a left-deep join chain over N relations by
+// estimated cost; similarity edges come from top-level SIMILAR TO
+// conjuncts between two aliases.
+func (e *Engine) decideJoin(q *Query, rels []*relation.Relation) (*planDecision, error) {
 	relOf := map[string]*relation.Relation{}
-	refOf := map[string]TableRef{}
 	pos := map[string]int{}
 	for i, ref := range q.From {
 		relOf[ref.Alias] = rels[i]
-		refOf[ref.Alias] = ref
 		pos[ref.Alias] = i
 	}
-	edges, residual := extractJoinSims(q.Where, relOf)
+	edges, _ := extractJoinSims(q.Where, relOf)
 	if len(edges) == 0 {
 		return nil, fmt.Errorf("query: joins require a SIMILAR TO predicate between the relations")
 	}
@@ -192,10 +209,10 @@ func (e *Engine) planJoin(ctx *execCtx, q *Query, rels []*relation.Relation) (Op
 	bound := map[string]bool{start: true}
 	curRows := float64(relOf[start].Stats().Count)
 	used := make([]bool, len(edges))
-	var steps []joinStep
+	var steps []stepChoice
 	for len(bound) < len(q.From) {
 		bestIdx, bestCost := -1, 0.0
-		var best joinStep
+		var best stepChoice
 		for i, edge := range edges {
 			if used[i] {
 				continue
@@ -225,25 +242,138 @@ func (e *Engine) planJoin(ctx *execCtx, q *Query, rels []*relation.Relation) (Op
 				cost = indexJoinCost(curRows, innerStats, edge.Radius)
 			}
 			better := bestIdx < 0 || cost < bestCost ||
-				cost == bestCost && pos[newAlias] < pos[best.ref.Alias]
+				cost == bestCost && pos[newAlias] < pos[best.alias]
 			if better {
 				bestIdx, bestCost = i, cost
-				best = joinStep{
-					ref: refOf[newAlias], rel: relOf[newAlias], sim: edge,
-					index: indexable, probeField: probe,
-				}
+				best = stepChoice{alias: newAlias, edge: i, index: indexable, probeField: probe}
 			}
 		}
 		if bestIdx < 0 {
 			return nil, fmt.Errorf("query: relations are not connected by SIMILAR TO predicates")
 		}
 		used[bestIdx] = true
-		bound[best.ref.Alias] = true
-		curRows = joinOutRows(curRows, best.rel.Stats(), best.sim.Radius)
+		bound[best.alias] = true
+		curRows = joinOutRows(curRows, relOf[best.alias].Stats(), edges[best.edge].Radius)
 		steps = append(steps, best)
 	}
-	// Edges between already-bound relations (cycles) become residual
-	// predicates — they must still hold on each output binding.
+
+	d := &planDecision{kind: accessJoin, start: start, steps: steps}
+	d.parallel, d.workers = e.decideParallel(q, relOf[start].Stats().Count, true)
+	return d, nil
+}
+
+// decideParallel reports whether a scan-rooted pipeline should shard
+// across workers: the outer relation must be large enough and there
+// must be per-tuple work to spread. A LIMIT without ORDER BY stays
+// serial: the serial pipeline can stop at the limit, while the parallel
+// plan must drain every shard before merging.
+func (e *Engine) decideParallel(q *Query, outerRows int, hasWork bool) (bool, int) {
+	workers, minRows := e.parallelConfig()
+	limitStopsEarly := q.Limit > 0 && q.Order == OrderNone
+	if workers > 1 && outerRows >= minRows && hasWork && !limitStopsEarly {
+		return true, workers
+	}
+	return false, 1
+}
+
+// buildPlan constructs the operator tree for a query under a decision.
+// It performs no validation and no costing: the decision is trusted, so
+// a cached decision turns text into an executable plan with nothing but
+// map lookups and tree construction.
+func (e *Engine) buildPlan(q *Query, d *planDecision) (*compiledPlan, error) {
+	rels, err := e.resolveFrom(q)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &execCtx{eng: e}
+	cp := &compiledPlan{ctx: ctx, columns: projectColumns(q)}
+
+	var access Operator
+	switch d.kind {
+	case accessNearest:
+		ne := q.Where.(NearestExpr)
+		access = &nearestKOp{
+			ctx: ctx, rel: rels[0], alias: q.From[0].Alias,
+			via: d.via, target: ne.Target.Lit, k: ne.K, ruleSet: ne.RuleSet,
+		}
+	case accessRange:
+		access, err = e.buildRange(ctx, q, rels[0], d)
+	case accessScan:
+		access = e.buildScan(ctx, q, rels[0], d)
+	case accessJoin:
+		access, err = e.buildJoin(ctx, q, rels, d)
+	default:
+		err = fmt.Errorf("query: unknown access kind %d", d.kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	top := access
+	if q.Order == OrderDesc {
+		top = &orderByDistOp{child: top, desc: true}
+	} else if q.Order == OrderAsc {
+		top = &orderByDistOp{child: top}
+	}
+	top = &projectOp{ctx: ctx, q: q, child: top}
+	if q.Limit > 0 {
+		top = &limitOp{child: top, n: q.Limit}
+	}
+	cp.root = top
+	return cp, nil
+}
+
+// buildRange reconstructs the IndexRange pipeline; extraction is
+// deterministic, so the same conjunct the decision was made for is
+// found again.
+func (e *Engine) buildRange(ctx *execCtx, q *Query, rel *relation.Relation, d *planDecision) (Operator, error) {
+	sim, residual := extractRangeSim(q.Where, e.rangeIndexable)
+	if sim == nil {
+		return nil, fmt.Errorf("query: stale plan: no indexable conjunct")
+	}
+	var op Operator = &indexRangeOp{
+		ctx: ctx, rel: rel, alias: q.From[0].Alias, via: d.via,
+		target: sim.Target.Lit, radius: int(sim.Radius), ruleSet: sim.RuleSet,
+	}
+	if res := simplifyExpr(residual); !isTrivial(res) {
+		op = &filterOp{ctx: ctx, child: op, pred: res}
+	}
+	return op, nil
+}
+
+// buildScan constructs the (possibly parallel) scan+filter pipeline.
+func (e *Engine) buildScan(ctx *execCtx, q *Query, rel *relation.Relation, d *planDecision) Operator {
+	alias := q.From[0].Alias
+	pred := simplifyExpr(q.Where)
+	build := func(shard, shards int) Operator {
+		sc := newScanOp(ctx, rel, alias)
+		sc.shard, sc.shards = shard, shards
+		var op Operator = sc
+		if !isTrivial(pred) {
+			op = &filterOp{ctx: ctx, child: op, pred: pred}
+		}
+		return op
+	}
+	return wrapParallel(ctx, d, build)
+}
+
+// buildJoin reconstructs the decided join chain. Edges are recovered by
+// position from extractJoinSims' deterministic output; edges not used
+// by any step (cycles) become residual predicates — they must still
+// hold on each output binding.
+func (e *Engine) buildJoin(ctx *execCtx, q *Query, rels []*relation.Relation, d *planDecision) (Operator, error) {
+	relOf := map[string]*relation.Relation{}
+	for i, ref := range q.From {
+		relOf[ref.Alias] = rels[i]
+	}
+	edges, residual := extractJoinSims(q.Where, relOf)
+	used := make([]bool, len(edges))
+	for _, step := range d.steps {
+		if step.edge < 0 || step.edge >= len(edges) {
+			return nil, fmt.Errorf("query: stale plan: join edge %d out of range", step.edge)
+		}
+		used[step.edge] = true
+	}
 	for i, edge := range edges {
 		if !used[i] {
 			residual = AndExpr{L: residual, R: *edge}
@@ -251,21 +381,22 @@ func (e *Engine) planJoin(ctx *execCtx, q *Query, rels []*relation.Relation) (Op
 	}
 
 	pred := simplifyExpr(residual)
+	steps := d.steps
 	build := func(shard, shards int) Operator {
-		sc := newScanOp(ctx, relOf[start], start)
+		sc := newScanOp(ctx, relOf[d.start], d.start)
 		sc.shard, sc.shards = shard, shards
 		var op Operator = sc
 		for _, step := range steps {
 			if step.index {
 				op = &indexJoinOp{
-					ctx: ctx, outer: op, rel: step.rel, alias: step.ref.Alias,
-					probeField: step.probeField, sim: step.sim,
+					ctx: ctx, outer: op, rel: relOf[step.alias], alias: step.alias,
+					probeField: step.probeField, sim: edges[step.edge],
 				}
 			} else {
 				op = &nestedLoopJoinOp{
 					ctx: ctx, outer: op,
-					inner: newScanOp(ctx, step.rel, step.ref.Alias),
-					sim:   step.sim,
+					inner: newScanOp(ctx, relOf[step.alias], step.alias),
+					sim:   edges[step.edge],
 				}
 			}
 		}
@@ -274,19 +405,14 @@ func (e *Engine) planJoin(ctx *execCtx, q *Query, rels []*relation.Relation) (Op
 		}
 		return op
 	}
-	return e.maybeParallel(ctx, q, relOf[start].Stats().Count, true, build), nil
+	return wrapParallel(ctx, d, build), nil
 }
 
-// maybeParallel wraps a scan-rooted pipeline factory in a Parallel
-// operator when the outer relation is large enough to shard and there
-// is per-tuple work to spread. A LIMIT without ORDER BY stays serial:
-// the serial pipeline can stop at the limit, while the parallel plan
-// must drain every shard before merging.
-func (e *Engine) maybeParallel(ctx *execCtx, q *Query, outerRows int, hasWork bool, build func(shard, shards int) Operator) Operator {
-	workers, minRows := e.parallelConfig()
-	limitStopsEarly := q.Limit > 0 && q.Order == OrderNone
-	if workers > 1 && outerRows >= minRows && hasWork && !limitStopsEarly {
-		return &parallelOp{ctx: ctx, workers: workers, build: build, template: build(0, workers)}
+// wrapParallel applies the decision's parallelism choice to a pipeline
+// factory.
+func wrapParallel(ctx *execCtx, d *planDecision, build func(shard, shards int) Operator) Operator {
+	if d.parallel && d.workers > 1 {
+		return &parallelOp{ctx: ctx, workers: d.workers, build: build, template: build(0, d.workers)}
 	}
 	return build(0, 1)
 }

@@ -1,0 +1,434 @@
+package query
+
+// Prepared queries: parse once, bind many times. A PreparedQuery keeps
+// the parsed template plus a small cache of planner decisions keyed by
+// the bind-dependent cost inputs (radii, catalog statistics version,
+// parallel configuration), so repeated executions skip both the parser
+// and the cost-based planner — binding a value that moves an access
+// path across its selectivity crossover is the only thing that triggers
+// a re-plan. A PreparedQuery is safe for concurrent use: every
+// execution binds into a fresh Query value and builds its own operator
+// tree.
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// PreparedQuery is a reusable compiled statement with bind parameters.
+type PreparedQuery struct {
+	eng  *Engine
+	src  string
+	tmpl *Query
+
+	mu        sync.Mutex
+	decisions map[string]*planDecision
+	stats     PreparedStats
+}
+
+// PreparedStats counts how a prepared query has been used.
+type PreparedStats struct {
+	Executions int64 // completed bind+execute calls
+	Plans      int64 // cost-based planning runs (decision-cache misses)
+	PlanReuses int64 // executions that reused a cached decision
+}
+
+// maxDecisionCacheEntries bounds the per-statement decision cache; an
+// adversarial stream of distinct radii would otherwise grow it without
+// limit. The cache resets wholesale — decisions are cheap to recompute.
+const maxDecisionCacheEntries = 64
+
+// Prepare parses a statement into a reusable PreparedQuery. Rule sets,
+// relation names and pattern syntax are validated eagerly; bind values
+// are supplied per execution via Execute/ExecuteNamed.
+func (e *Engine) Prepare(src string) (*PreparedQuery, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := e.resolveFrom(q); err != nil {
+		return nil, err
+	}
+	// validateExpr never looks at radii, so it works on the template.
+	if err := e.validateExpr(q.Where); err != nil {
+		return nil, err
+	}
+	return &PreparedQuery{
+		eng: e, src: src, tmpl: q,
+		decisions: make(map[string]*planDecision),
+	}, nil
+}
+
+// Text returns the statement the query was prepared from.
+func (pq *PreparedQuery) Text() string { return pq.src }
+
+// NumParams returns the number of parameters the statement takes:
+// the count of '?' markers, or the number of distinct names for named
+// parameters.
+func (pq *PreparedQuery) NumParams() int {
+	if names := pq.ParamNames(); names != nil {
+		return len(names)
+	}
+	n := 0
+	for _, p := range pq.tmpl.Params {
+		if p.Idx >= n {
+			n = p.Idx + 1
+		}
+	}
+	return n
+}
+
+// ParamNames returns the distinct named parameters in order of first
+// appearance, or nil for a positional (or parameterless) statement.
+func (pq *PreparedQuery) ParamNames() []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, p := range pq.tmpl.Params {
+		if p.Name != "" && !seen[p.Name] {
+			seen[p.Name] = true
+			names = append(names, p.Name)
+		}
+	}
+	return names
+}
+
+// Stats returns usage counters; the Plans counter staying flat across
+// executions is the observable proof that re-binding skipped the
+// planner.
+func (pq *PreparedQuery) Stats() PreparedStats {
+	pq.mu.Lock()
+	defer pq.mu.Unlock()
+	return pq.stats
+}
+
+// Execute binds positional arguments and runs the statement.
+func (pq *PreparedQuery) Execute(args ...any) (*Result, error) {
+	return pq.run(pq.positionalLookup(args), false)
+}
+
+// ExecuteNamed binds named arguments and runs the statement.
+func (pq *PreparedQuery) ExecuteNamed(args map[string]any) (*Result, error) {
+	return pq.run(pq.namedLookup(args), false)
+}
+
+// Explain binds positional arguments and returns the plan the engine
+// would execute, without running it.
+func (pq *PreparedQuery) Explain(args ...any) (string, error) {
+	res, err := pq.run(pq.positionalLookup(args), true)
+	if err != nil {
+		return "", err
+	}
+	return res.Plan, nil
+}
+
+// ExplainNamed is Explain with named arguments.
+func (pq *PreparedQuery) ExplainNamed(args map[string]any) (string, error) {
+	res, err := pq.run(pq.namedLookup(args), true)
+	if err != nil {
+		return "", err
+	}
+	return res.Plan, nil
+}
+
+func (pq *PreparedQuery) positionalLookup(args []any) func(ParamRef) (any, error) {
+	return func(p ParamRef) (any, error) {
+		if p.Name != "" {
+			return nil, fmt.Errorf("query: statement uses named parameters; call ExecuteNamed")
+		}
+		if p.Idx < 0 || p.Idx >= len(args) {
+			return nil, fmt.Errorf("query: missing argument for parameter %d (got %d args)", p.Idx+1, len(args))
+		}
+		return args[p.Idx], nil
+	}
+}
+
+func (pq *PreparedQuery) namedLookup(args map[string]any) func(ParamRef) (any, error) {
+	return func(p ParamRef) (any, error) {
+		if p.Name == "" {
+			return nil, fmt.Errorf("query: statement uses positional parameters; call Execute")
+		}
+		v, ok := args[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("query: missing argument for parameter :%s", p.Name)
+		}
+		return v, nil
+	}
+}
+
+// run binds, plans (or reuses a cached decision) and executes.
+func (pq *PreparedQuery) run(lookup func(ParamRef) (any, error), explain bool) (*Result, error) {
+	q, err := bindQuery(pq.tmpl, lookup)
+	if err != nil {
+		return nil, err
+	}
+	q.Explain = q.Explain || explain
+
+	key := pq.eng.decisionKey(q)
+	pq.mu.Lock()
+	d, reused := pq.decisions[key]
+	pq.mu.Unlock()
+	if !reused {
+		if d, err = pq.eng.decide(q); err != nil {
+			return nil, err
+		}
+		pq.mu.Lock()
+		if len(pq.decisions) >= maxDecisionCacheEntries {
+			pq.decisions = make(map[string]*planDecision)
+		}
+		pq.decisions[key] = d
+		pq.mu.Unlock()
+	}
+
+	res, err := pq.eng.runDecided(q, d)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.PlanCacheHit = reused
+	pq.mu.Lock()
+	pq.stats.Executions++
+	if reused {
+		pq.stats.PlanReuses++
+	} else {
+		pq.stats.Plans++
+	}
+	pq.mu.Unlock()
+	return res, nil
+}
+
+// decisionKey summarises every bind-dependent input to decide():
+// catalog statistics, rule-set registry, parallel configuration, the
+// LIMIT-without-ORDER early-exit flag, and each similarity radius in
+// predicate order. Two bindings with equal keys provably take the same
+// planner choices, so the decision is reusable.
+func (e *Engine) decisionKey(q *Query) string {
+	workers, minRows := e.parallelConfig()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|%d|%d|%d|%t|%d",
+		e.catalog.StatsVersion(), e.rulesetVersion(), workers, minRows,
+		q.Limit > 0 && q.Order == OrderNone, q.Order)
+	appendRadii(&b, q.Where)
+	return b.String()
+}
+
+// appendRadii walks the predicate in deterministic order, recording the
+// cost-relevant shape of each similarity conjunct.
+func appendRadii(b *strings.Builder, ex Expr) {
+	switch ex := ex.(type) {
+	case AndExpr:
+		appendRadii(b, ex.L)
+		appendRadii(b, ex.R)
+	case OrExpr:
+		appendRadii(b, ex.L)
+		appendRadii(b, ex.R)
+	case NotExpr:
+		appendRadii(b, ex.E)
+	case SimExpr:
+		fmt.Fprintf(b, "|s:%g:%s:%t", ex.Radius, ex.RuleSet, ex.Target.IsLit)
+	case NearestExpr:
+		fmt.Fprintf(b, "|n:%s", ex.RuleSet)
+	}
+}
+
+// ------------------------------------------------------------- binding
+
+// hasUnboundParams reports whether any parameter slot is still open.
+func hasUnboundParams(q *Query) bool {
+	if q.LimitParam != nil || len(q.Params) > 0 {
+		return true
+	}
+	return exprHasParams(q.Where)
+}
+
+func exprHasParams(ex Expr) bool {
+	switch ex := ex.(type) {
+	case AndExpr:
+		return exprHasParams(ex.L) || exprHasParams(ex.R)
+	case OrExpr:
+		return exprHasParams(ex.L) || exprHasParams(ex.R)
+	case NotExpr:
+		return exprHasParams(ex.E)
+	case CmpExpr:
+		return ex.L.Param != nil || ex.R.Param != nil
+	case SimExpr:
+		return ex.Target.Param != nil || ex.RadiusParam != nil
+	case NearestExpr:
+		return ex.Target.Param != nil
+	}
+	return false
+}
+
+// bindQuery substitutes every parameter of the template, returning a
+// fresh, fully-bound Query. The template is never mutated.
+func bindQuery(tmpl *Query, lookup func(ParamRef) (any, error)) (*Query, error) {
+	q := *tmpl
+	q.Params = nil
+	if tmpl.Where != nil {
+		w, err := bindExpr(tmpl.Where, lookup)
+		if err != nil {
+			return nil, err
+		}
+		q.Where = w
+	}
+	if tmpl.LimitParam != nil {
+		v, err := lookup(*tmpl.LimitParam)
+		if err != nil {
+			return nil, err
+		}
+		n, err := paramInt(v)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("query: bad LIMIT argument %v", v)
+		}
+		q.Limit, q.LimitParam = n, nil
+	}
+	return &q, nil
+}
+
+// bindExpr rebuilds the predicate tree with parameters substituted.
+func bindExpr(ex Expr, lookup func(ParamRef) (any, error)) (Expr, error) {
+	switch ex := ex.(type) {
+	case AndExpr:
+		l, err := bindExpr(ex.L, lookup)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindExpr(ex.R, lookup)
+		if err != nil {
+			return nil, err
+		}
+		return AndExpr{L: l, R: r}, nil
+	case OrExpr:
+		l, err := bindExpr(ex.L, lookup)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindExpr(ex.R, lookup)
+		if err != nil {
+			return nil, err
+		}
+		return OrExpr{L: l, R: r}, nil
+	case NotExpr:
+		e, err := bindExpr(ex.E, lookup)
+		if err != nil {
+			return nil, err
+		}
+		return NotExpr{E: e}, nil
+	case CmpExpr:
+		l, err := bindOperand(ex.L, lookup)
+		if err != nil {
+			return nil, err
+		}
+		r, err := bindOperand(ex.R, lookup)
+		if err != nil {
+			return nil, err
+		}
+		return CmpExpr{L: l, R: r, Neq: ex.Neq}, nil
+	case SimExpr:
+		out := ex
+		t, err := bindOperand(ex.Target, lookup)
+		if err != nil {
+			return nil, err
+		}
+		out.Target = t
+		if ex.RadiusParam != nil {
+			v, err := lookup(*ex.RadiusParam)
+			if err != nil {
+				return nil, err
+			}
+			r, err := paramFloat(v)
+			if err != nil || r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+				return nil, fmt.Errorf("query: bad WITHIN argument %v", v)
+			}
+			out.Radius, out.RadiusParam = r, nil
+		}
+		return out, nil
+	case NearestExpr:
+		out := ex
+		t, err := bindOperand(ex.Target, lookup)
+		if err != nil {
+			return nil, err
+		}
+		out.Target = t
+		return out, nil
+	}
+	return ex, nil
+}
+
+func bindOperand(o Operand, lookup func(ParamRef) (any, error)) (Operand, error) {
+	if o.Param == nil {
+		return o, nil
+	}
+	v, err := lookup(*o.Param)
+	if err != nil {
+		return Operand{}, err
+	}
+	s, err := paramString(v)
+	if err != nil {
+		return Operand{}, fmt.Errorf("query: parameter %s: %w", o.Param, err)
+	}
+	return Operand{Lit: s, IsLit: true}, nil
+}
+
+// ------------------------------------------------------- value coercion
+
+// paramString coerces an argument to a sequence value. Numbers are
+// accepted (JSON clients send them) and formatted the way dist values
+// render.
+func paramString(v any) (string, error) {
+	switch v := v.(type) {
+	case string:
+		return v, nil
+	case []byte:
+		return string(v), nil
+	case float64:
+		return formatDist(v), nil
+	case float32:
+		return formatDist(float64(v)), nil
+	case int:
+		return strconv.Itoa(v), nil
+	case int64:
+		return strconv.FormatInt(v, 10), nil
+	default:
+		return "", fmt.Errorf("cannot bind %T as a string", v)
+	}
+}
+
+// paramFloat coerces an argument to a radius.
+func paramFloat(v any) (float64, error) {
+	switch v := v.(type) {
+	case float64:
+		return v, nil
+	case float32:
+		return float64(v), nil
+	case int:
+		return float64(v), nil
+	case int64:
+		return float64(v), nil
+	case string:
+		return strconv.ParseFloat(v, 64)
+	default:
+		return 0, fmt.Errorf("cannot bind %T as a number", v)
+	}
+}
+
+// paramInt coerces an argument to a count (LIMIT). Floats are accepted
+// when integral — JSON has no integer type.
+func paramInt(v any) (int, error) {
+	switch v := v.(type) {
+	case int:
+		return v, nil
+	case int64:
+		return int(v), nil
+	case float64:
+		if v != math.Trunc(v) {
+			return 0, fmt.Errorf("cannot bind non-integral %v as a count", v)
+		}
+		return int(v), nil
+	case string:
+		return strconv.Atoi(v)
+	default:
+		return 0, fmt.Errorf("cannot bind %T as a count", v)
+	}
+}

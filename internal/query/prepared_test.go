@@ -1,0 +1,549 @@
+package query
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/rewrite"
+)
+
+func TestParseParameters(t *testing.T) {
+	q, err := Parse(`SELECT seq FROM words WHERE seq SIMILAR TO ? WITHIN ? USING unit-edits LIMIT ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Params) != 3 {
+		t.Fatalf("params = %v, want 3 positional", q.Params)
+	}
+	for i, p := range q.Params {
+		if p.Idx != i || p.Name != "" {
+			t.Errorf("param %d = %+v, want positional index %d", i, p, i)
+		}
+	}
+	if q.LimitParam == nil || q.Limit != 0 {
+		t.Errorf("LIMIT parameter not captured: limit=%d param=%v", q.Limit, q.LimitParam)
+	}
+	sim, ok := q.Where.(SimExpr)
+	if !ok {
+		t.Fatalf("where = %T", q.Where)
+	}
+	if sim.Target.Param == nil || sim.RadiusParam == nil {
+		t.Errorf("sim params not captured: %+v", sim)
+	}
+
+	named, err := Parse(`SELECT seq FROM words WHERE seq SIMILAR TO :target WITHIN :radius USING unit-edits`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(named.Params) != 2 || named.Params[0].Name != "target" || named.Params[1].Name != "radius" {
+		t.Fatalf("named params = %v", named.Params)
+	}
+
+	if _, err := Parse(`SELECT seq FROM words WHERE seq SIMILAR TO ? WITHIN :radius USING unit-edits`); err == nil {
+		t.Error("mixing positional and named parameters parsed")
+	}
+	if _, err := Parse(`SELECT seq FROM words WHERE seq SIMILAR TO "x" WITHIN : USING unit-edits`); err == nil {
+		t.Error("bare ':' lexed")
+	}
+}
+
+func TestExecuteRejectsUnboundParameters(t *testing.T) {
+	e := testEngine(t)
+	_, err := e.Execute(`SELECT seq FROM words WHERE seq SIMILAR TO ? WITHIN 1 USING unit-edits`)
+	if err == nil || !strings.Contains(err.Error(), "Prepare") {
+		t.Errorf("Execute on parameterized statement: err = %v, want prepare hint", err)
+	}
+}
+
+func TestPreparedPositional(t *testing.T) {
+	e := testEngine(t)
+	pq, err := e.Prepare(`SELECT seq, dist FROM words WHERE seq SIMILAR TO ? WITHIN ? USING unit-edits ORDER BY dist LIMIT ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := pq.NumParams(); n != 3 {
+		t.Fatalf("NumParams = %d, want 3", n)
+	}
+	res, err := pq.Execute("color", 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := e.Execute(`SELECT seq, dist FROM words WHERE seq SIMILAR TO "color" WITHIN 1 USING unit-edits ORDER BY dist LIMIT 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Rows, direct.Rows) {
+		t.Errorf("prepared rows %v != direct rows %v", res.Rows, direct.Rows)
+	}
+
+	// JSON-style float arguments must bind too.
+	res2, err := pq.Execute("color", 1.0, 10.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res2.Rows, res.Rows) {
+		t.Errorf("float-bound rows differ: %v vs %v", res2.Rows, res.Rows)
+	}
+
+	if _, err := pq.Execute("color"); err == nil {
+		t.Error("missing arguments accepted")
+	}
+	if _, err := pq.Execute("color", -1, 10); err == nil {
+		t.Error("negative radius accepted")
+	}
+	if _, err := pq.Execute("color", 1, -2); err == nil {
+		t.Error("negative limit accepted")
+	}
+	if _, err := pq.ExecuteNamed(map[string]any{"x": 1}); err == nil {
+		t.Error("ExecuteNamed on positional statement accepted")
+	}
+}
+
+func TestPreparedNamed(t *testing.T) {
+	e := testEngine(t)
+	pq, err := e.Prepare(`SELECT seq FROM words WHERE seq SIMILAR TO :target WITHIN :radius USING unit-edits`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := pq.ParamNames(); !reflect.DeepEqual(names, []string{"target", "radius"}) {
+		t.Fatalf("ParamNames = %v", names)
+	}
+	res, err := pq.ExecuteNamed(map[string]any{"target": "color", "radius": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Error("no rows")
+	}
+	if _, err := pq.ExecuteNamed(map[string]any{"target": "color"}); err == nil {
+		t.Error("missing named argument accepted")
+	}
+	if _, err := pq.Execute("color", 1); err == nil {
+		t.Error("positional Execute on named statement accepted")
+	}
+}
+
+// TestPreparedSkipsReplanning pins the headline property: re-executing
+// with bindings that do not move any access-path choice reuses the
+// cached decision (Plans stays at 1), and a binding that does move it
+// triggers exactly one re-plan.
+func TestPreparedSkipsReplanning(t *testing.T) {
+	e := bigEngine(t)
+	pq, err := e.Prepare(`SELECT seq FROM dict WHERE seq SIMILAR TO ? WITHIN ? USING unit-edits`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := pq.Execute(fmt.Sprintf("word%02d", i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := pq.Stats()
+	if st.Executions != 5 || st.Plans != 1 || st.PlanReuses != 4 {
+		t.Errorf("after 5 same-radius executions: %+v, want 1 plan / 4 reuses", st)
+	}
+
+	// A different radius is a different cost regime: one more plan.
+	if _, err := pq.Execute("wordxx", 2); err != nil {
+		t.Fatal(err)
+	}
+	if st := pq.Stats(); st.Plans != 2 {
+		t.Errorf("after radius change: %+v, want 2 plans", st)
+	}
+
+	// Catalog mutation invalidates decisions (stats version changed).
+	rel, _ := e.Catalog().Get("dict")
+	rel.Insert("freshword", nil)
+	if _, err := pq.Execute("wordyy", 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := pq.Stats(); st.Plans != 3 {
+		t.Errorf("after catalog mutation: %+v, want 3 plans", st)
+	}
+}
+
+// TestPreparedConcurrent exercises N goroutines sharing one
+// PreparedQuery (run under -race in CI).
+func TestPreparedConcurrent(t *testing.T) {
+	e := bigEngine(t)
+	pq, err := e.Prepare(`SELECT seq, dist FROM dict WHERE seq SIMILAR TO ? WITHIN ? USING unit-edits ORDER BY dist`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pq.Execute("abcdef", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const iters = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				res, err := pq.Execute("abcdef", 2)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(res.Rows, want.Rows) {
+					errs <- fmt.Errorf("rows diverged: %v vs %v", res.Rows, want.Rows)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := pq.Stats(); st.Executions != goroutines*iters+1 {
+		t.Errorf("executions = %d, want %d", st.Executions, goroutines*iters+1)
+	}
+}
+
+// TestPlanCacheHitSkipsParse: the second Execute of the same statement
+// must be served from the plan cache, observable through Result.Stats
+// and Engine.CacheStats, and must return identical rows.
+func TestPlanCacheHitSkipsParse(t *testing.T) {
+	e := testEngine(t)
+	const stmt = `SELECT seq FROM words WHERE seq SIMILAR TO "color" WITHIN 1 USING unit-edits`
+	first, err := e.Execute(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.PlanCacheHit {
+		t.Error("first execution reported a cache hit")
+	}
+	// Whitespace differences normalize to the same key.
+	second, err := e.Execute("SELECT seq  FROM words\n WHERE seq SIMILAR TO \"color\" WITHIN 1 USING unit-edits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Stats.PlanCacheHit {
+		t.Error("second execution missed the plan cache")
+	}
+	if !reflect.DeepEqual(first.Rows, second.Rows) {
+		t.Errorf("cached rows differ: %v vs %v", first.Rows, second.Rows)
+	}
+	cs := e.CacheStats()
+	if cs.Hits != 1 || cs.Misses < 1 || cs.Entries < 1 {
+		t.Errorf("CacheStats = %+v, want 1 hit and >=1 miss/entry", cs)
+	}
+}
+
+// TestPlanCacheLiteralWhitespaceDistinct: normalization must never
+// collapse whitespace inside string literals — two statements that
+// differ only there are different queries and must not share a cache
+// entry.
+func TestPlanCacheLiteralWhitespaceDistinct(t *testing.T) {
+	e := testEngine(t)
+	rel, _ := e.Catalog().Get("words")
+	rel.Insert("a b", nil)
+	rel.Insert("a  b", nil)
+	one, err := e.Execute(`SELECT seq FROM words WHERE seq = "a b"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := e.Execute(`SELECT seq FROM words WHERE seq = "a  b"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.Stats.PlanCacheHit {
+		t.Error("statements differing inside a literal shared a cache entry")
+	}
+	if len(one.Rows) != 1 || one.Rows[0][0] != "a b" {
+		t.Errorf("single-space query rows = %v", one.Rows)
+	}
+	if len(two.Rows) != 1 || two.Rows[0][0] != "a  b" {
+		t.Errorf("double-space query rows = %v", two.Rows)
+	}
+	// Escaped quotes inside literals must not derail the scanner.
+	esc, err := e.Execute("SELECT seq FROM words WHERE seq = \"a\\\"  b\"")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(esc.Rows) != 0 {
+		t.Errorf("escaped-quote query rows = %v, want none", esc.Rows)
+	}
+}
+
+// TestPlanCacheHitErrorNotRetried: once a cached plan builds, a runtime
+// error is final — the engine must not fall back and execute the whole
+// statement a second time.
+func TestPlanCacheHitErrorNotRetried(t *testing.T) {
+	e := testEngine(t)
+	// dist is unavailable without a similarity predicate, so this errors
+	// during execution (not planning) on the first matching row.
+	const stmt = `SELECT dist FROM words WHERE lang = "en"`
+	if _, err := e.Execute(stmt); err == nil {
+		t.Fatal("statement unexpectedly succeeded")
+	}
+	before, err := e.Execute(`SELECT seq FROM words LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = before
+	base := e.CacheStats()
+	if _, err := e.Execute(stmt); err == nil {
+		t.Fatal("cached statement unexpectedly succeeded")
+	}
+	after := e.CacheStats()
+	if hits := after.Hits - base.Hits; hits != 1 {
+		t.Errorf("cache hits for erroring statement = %d, want exactly 1 (no fall-through retry)", hits)
+	}
+	if misses := after.Misses - base.Misses; misses != 0 {
+		t.Errorf("cache misses after hit = %d, want 0 (error must not re-enter the uncached path)", misses)
+	}
+}
+
+// TestPlanCacheInvalidation: mutating the catalog or registering a rule
+// set must change the cache epoch so stale plans are never served.
+func TestPlanCacheInvalidation(t *testing.T) {
+	e := testEngine(t)
+	const stmt = `SELECT seq FROM words WHERE seq SIMILAR TO "zzzap" WITHIN 0 USING unit-edits`
+	if _, err := e.Execute(stmt); err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := e.Catalog().Get("words")
+	rel.Insert("zzzap", nil)
+	res, err := e.Execute(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PlanCacheHit {
+		t.Error("cache hit across a catalog mutation")
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("rows = %v, want the freshly inserted tuple", res.Rows)
+	}
+
+	if _, err := e.Execute(stmt); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RegisterRuleSet(rewrite.UnitEdits("xyz")); err != nil {
+		t.Fatal(err)
+	}
+	res, err = e.Execute(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PlanCacheHit {
+		t.Error("cache hit across a rule-set registration")
+	}
+}
+
+// TestPlanCacheDisabled: SetPlanCacheSize(0) must turn caching off.
+func TestPlanCacheDisabled(t *testing.T) {
+	e := testEngine(t)
+	e.SetPlanCacheSize(0)
+	const stmt = `SELECT seq FROM words`
+	for i := 0; i < 3; i++ {
+		res, err := e.Execute(stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.PlanCacheHit {
+			t.Error("cache hit with caching disabled")
+		}
+	}
+	if cs := e.CacheStats(); cs != (CacheStats{}) {
+		t.Errorf("CacheStats with caching disabled = %+v, want zero", cs)
+	}
+}
+
+// TestPlanCacheLRUEviction: a capacity-1 cache must evict.
+func TestPlanCacheLRUEviction(t *testing.T) {
+	c := newPlanCache(1)
+	q := &Query{}
+	d := &planDecision{}
+	// Find two keys in the same shard so the per-shard capacity bites.
+	keyA := "a"
+	keyB := ""
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("b%d", i)
+		if c.shard(k) == c.shard(keyA) {
+			keyB = k
+			break
+		}
+	}
+	c.put(keyA, q, d)
+	c.put(keyB, q, d)
+	if _, ok := c.get(keyA); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	if _, ok := c.get(keyB); !ok {
+		t.Error("fresh entry evicted")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+// TestSetParallelismClamps is the regression test for non-positive
+// worker counts: they must clamp to 1, not be stored verbatim.
+func TestSetParallelismClamps(t *testing.T) {
+	e := testEngine(t)
+	for _, n := range []int{0, -1, -100} {
+		e.SetParallelism(n)
+		if w, _ := e.parallelConfig(); w != 1 {
+			t.Errorf("SetParallelism(%d) stored %d, want clamp to 1", n, w)
+		}
+	}
+	e.SetParallelism(4)
+	if w, _ := e.parallelConfig(); w != 4 {
+		t.Errorf("SetParallelism(4) stored %d", w)
+	}
+}
+
+// TestPreparedExplain: the prepared path supports EXPLAIN with bound
+// values.
+func TestPreparedExplain(t *testing.T) {
+	e := testEngine(t)
+	pq, err := e.Prepare(`SELECT seq FROM words WHERE seq SIMILAR TO ? WITHIN ? USING unit-edits`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := pq.Explain("color", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "IndexRange") {
+		t.Errorf("plan = %q, want IndexRange", plan)
+	}
+}
+
+// TestPrepareValidatesEagerly: unknown relations and rule sets fail at
+// Prepare, not at first execution.
+func TestPrepareValidatesEagerly(t *testing.T) {
+	e := testEngine(t)
+	if _, err := e.Prepare(`SELECT seq FROM nosuch WHERE seq SIMILAR TO ? WITHIN 1 USING unit-edits`); err == nil {
+		t.Error("unknown relation prepared")
+	}
+	if _, err := e.Prepare(`SELECT seq FROM words WHERE seq SIMILAR TO ? WITHIN 1 USING nosuch`); err == nil {
+		t.Error("unknown rule set prepared")
+	}
+}
+
+// TestPreparedJoinAndNearest: parameters work beyond the single-table
+// range path.
+func TestPreparedJoinAndNearest(t *testing.T) {
+	e := testEngine(t)
+	join, err := e.Prepare(`SELECT a.seq, b.seq FROM words a, words b WHERE a.seq SIMILAR TO b.seq WITHIN ? USING unit-edits AND a.id != b.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := join.Execute(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := e.Execute(`SELECT a.seq, b.seq FROM words a, words b WHERE a.seq SIMILAR TO b.seq WITHIN 1 USING unit-edits AND a.id != b.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Rows, direct.Rows) {
+		t.Errorf("prepared join rows differ: %v vs %v", res.Rows, direct.Rows)
+	}
+
+	near, err := e.Prepare(`SELECT seq FROM words WHERE seq NEAREST 3 TO ? USING unit-edits`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nres, err := near.Execute("color")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nres.Rows) != 3 {
+		t.Errorf("nearest rows = %d, want 3", len(nres.Rows))
+	}
+}
+
+// TestPreparedDecisionCacheBounded: an unbounded stream of distinct
+// radii must not grow the decision cache past its cap.
+func TestPreparedDecisionCacheBounded(t *testing.T) {
+	e := testEngine(t)
+	pq, err := e.Prepare(`SELECT seq FROM words WHERE seq SIMILAR TO ? WITHIN ? USING cheap_vowels`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3*maxDecisionCacheEntries; i++ {
+		if _, err := pq.Execute("color", float64(i)/10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pq.mu.Lock()
+	n := len(pq.decisions)
+	pq.mu.Unlock()
+	if n > maxDecisionCacheEntries {
+		t.Errorf("decision cache grew to %d entries, cap is %d", n, maxDecisionCacheEntries)
+	}
+}
+
+// TestConcurrentExecuteSharedEngine: the Execute plan-cache path under
+// concurrency (run with -race); results must match the serial answer.
+func TestConcurrentExecuteSharedEngine(t *testing.T) {
+	e := bigEngine(t)
+	const stmt = `SELECT seq, dist FROM dict WHERE seq SIMILAR TO "abcdef" WITHIN 2 USING unit-edits ORDER BY dist`
+	want, err := e.Execute(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				res, err := e.Execute(stmt)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(res.Rows, want.Rows) {
+					errs <- fmt.Errorf("rows diverged under concurrency")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if cs := e.CacheStats(); cs.Hits == 0 {
+		t.Error("no cache hits across 80 identical executions")
+	}
+}
+
+// TestBindQueryDoesNotMutateTemplate: binding must leave the template
+// reusable.
+func TestBindQueryDoesNotMutateTemplate(t *testing.T) {
+	e := testEngine(t)
+	pq, err := e.Prepare(`SELECT seq FROM words WHERE seq SIMILAR TO ? WITHIN ? USING unit-edits LIMIT ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pq.Execute("color", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	sim := pq.tmpl.Where.(SimExpr)
+	if sim.Target.Param == nil || sim.RadiusParam == nil || pq.tmpl.LimitParam == nil {
+		t.Error("template parameters were overwritten by binding")
+	}
+	// And a second execution with different values sees them.
+	res, err := pq.Execute("velour", 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != "velour" {
+		t.Errorf("rebind rows = %v, want velour only", res.Rows)
+	}
+}

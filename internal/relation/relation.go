@@ -17,6 +17,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/index"
 )
@@ -46,12 +47,13 @@ type Relation struct {
 	name   string
 	tuples []Tuple
 
-	mu     sync.Mutex
-	bk     *index.BKTree
-	trie   *index.Trie
-	length *index.LengthIndex
-	qgram  *index.QGramIndex
-	stats  *Stats
+	mu      sync.Mutex
+	version atomic.Uint64 // bumped on every mutation; feeds Catalog.StatsVersion
+	bk      *index.BKTree
+	trie    *index.Trie
+	length  *index.LengthIndex
+	qgram   *index.QGramIndex
+	stats   *Stats
 }
 
 // Stats summarises a relation for the cost-based query planner.
@@ -79,8 +81,15 @@ func (r *Relation) Insert(seq string, attrs map[string]string) int {
 	id := len(r.tuples)
 	r.tuples = append(r.tuples, Tuple{ID: id, Seq: seq, Attrs: attrs})
 	r.bk, r.trie, r.length, r.qgram, r.stats = nil, nil, nil, nil, nil
+	r.version.Add(1)
 	return id
 }
+
+// Version is a mutation counter: it changes whenever the relation's
+// contents (and therefore its statistics) change. Plan caches read it
+// on every query, so it is a lock-free atomic — the serving hot path
+// must never take a relation's exclusive mutex.
+func (r *Relation) Version() uint64 { return r.version.Load() }
 
 // Tuples returns the tuples. Callers must not modify the slice.
 func (r *Relation) Tuples() []Tuple { return r.tuples }
@@ -266,8 +275,9 @@ func Load(name string, rd io.Reader) (*Relation, error) {
 // Catalog is a named set of relations — the database the query engine
 // runs against.
 type Catalog struct {
-	mu   sync.RWMutex
-	rels map[string]*Relation
+	mu      sync.RWMutex
+	version atomic.Uint64 // bumped on Add/replace
+	rels    map[string]*Relation
 }
 
 // NewCatalog returns an empty catalog.
@@ -277,7 +287,26 @@ func NewCatalog() *Catalog { return &Catalog{rels: make(map[string]*Relation)} }
 func (c *Catalog) Add(r *Relation) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.version.Add(1)
 	c.rels[r.Name()] = r
+}
+
+// StatsVersion summarises the mutation state of the catalog and every
+// registered relation. Any Add and any Insert into a registered
+// relation changes the value, so cached query plans keyed on it are
+// invalidated the moment the statistics they were costed against go
+// stale. The combination is order-independent (relation versions are
+// summed) because map iteration order is not deterministic. It runs on
+// every query, so it takes only the catalog's shared lock plus atomic
+// loads — no per-relation mutexes.
+func (c *Catalog) StatsVersion() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v := c.version.Load() << 32
+	for _, r := range c.rels {
+		v += r.Version()
+	}
+	return v
 }
 
 // Get returns the named relation.

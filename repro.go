@@ -139,6 +139,15 @@ type (
 	QueryEngine = query.Engine
 	// Result is a query result (columns, rows, chosen plan).
 	Result = query.Result
+	// PreparedQuery is a reusable compiled statement with '?'/':name'
+	// bind parameters (Engine.Prepare); safe for concurrent execution.
+	PreparedQuery = query.PreparedQuery
+	// PreparedStats counts executions and planner (re)runs of a
+	// prepared statement.
+	PreparedStats = query.PreparedStats
+	// QueryCacheStats snapshots the engine's plan-cache counters
+	// (Engine.CacheStats).
+	QueryCacheStats = query.CacheStats
 )
 
 var (
