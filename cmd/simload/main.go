@@ -6,12 +6,18 @@
 // Usage:
 //
 //	simload -addr http://127.0.0.1:8077 -c 8 -duration 10s -out BENCH_serving.json
+//	simload -write-frac 0.2 ...   # 20% of requests are single-row /ingest writes
 //
 // By default the workload prepares one parameterized range query and
 // executes it with rotating targets and radii, which exercises the
 // whole serving stack: prepared-statement binding, the planner-decision
 // cache and concurrent execution. -no-prepare switches to ad-hoc
 // statement text per request (plan-cache path) for comparison.
+// -write-frac > 0 turns the run into a mixed read/write workload:
+// the chosen fraction of requests become POST /ingest single-row
+// inserts, and the report carries separate read and write throughput
+// and latency quantiles — the ingest-vs-query numbers in
+// EXPERIMENTS.md come from this mode.
 package main
 
 import (
@@ -51,10 +57,14 @@ func main() {
 	ruleSet := flag.String("ruleset", "edits", "rule set for the similarity predicate")
 	radius := flag.Int("radius", 1, "WITHIN radius bound per request")
 	noPrepare := flag.Bool("no-prepare", false, "send statement text per request instead of a prepared id")
+	writeFrac := flag.Float64("write-frac", 0, "fraction of requests that are /ingest writes (0..1)")
 	out := flag.String("out", "BENCH_serving.json", "result file ('-' for stdout)")
 	var extra listFlag
 	flag.Var(&extra, "query", "extra fixed statement to mix in (repeatable)")
 	flag.Parse()
+	if *writeFrac < 0 || *writeFrac > 1 {
+		fail(fmt.Errorf("-write-frac must be in [0,1], got %g", *writeFrac))
+	}
 
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *conc * 2}}
 
@@ -81,8 +91,10 @@ func main() {
 	}
 
 	type workerResult struct {
-		latencies []float64 // milliseconds
-		errors    int
+		latencies   []float64 // read latencies, milliseconds
+		writeLats   []float64 // write latencies, milliseconds
+		errors      int
+		writeErrors int
 	}
 	results := make([]workerResult, *conc)
 	deadline := time.Now().Add(*duration)
@@ -114,6 +126,22 @@ func main() {
 					return
 				}
 				n := wkr*1_000_003 + i + seq
+				// Deterministic read/write interleave: the stride 997 is
+				// coprime to 1000, so write tickets spread evenly through
+				// the sequence instead of forming contiguous bursts —
+				// the quantiles then measure reads *under* concurrent
+				// writes, not alternating single-mode phases.
+				if *writeFrac > 0 && float64(n*997%1000) < *writeFrac*1000 {
+					body := ingestBody(*relName, n)
+					t0 := time.Now()
+					_, err := post(client, *addr+"/ingest", body)
+					if err != nil {
+						r.writeErrors++
+						continue
+					}
+					r.writeLats = append(r.writeLats, float64(time.Since(t0).Microseconds())/1000)
+					continue
+				}
 				body := requestBody(preparedID, stmt, defaultTargets[n%len(defaultTargets)], *radius, extra, n)
 				t0 := time.Now()
 				_, err := post(client, *addr+"/query", body)
@@ -128,20 +156,19 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var all []float64
-	errors := 0
+	var all, writes []float64
+	errors, writeErrors := 0, 0
 	for _, r := range results {
 		all = append(all, r.latencies...)
+		writes = append(writes, r.writeLats...)
 		errors += r.errors
+		writeErrors += r.writeErrors
 	}
-	if len(all) == 0 {
-		fail(fmt.Errorf("no successful requests (errors=%d)", errors))
+	if len(all) == 0 && len(writes) == 0 {
+		fail(fmt.Errorf("no successful requests (errors=%d)", errors+writeErrors))
 	}
 	sort.Float64s(all)
-	sum := 0.0
-	for _, v := range all {
-		sum += v
-	}
+	sort.Float64s(writes)
 	report := map[string]any{
 		"config": map[string]any{
 			"addr":        *addr,
@@ -151,17 +178,30 @@ func main() {
 			"statement":   stmt,
 			"radius":      *radius,
 			"warmup":      *warmup,
+			"write_frac":  *writeFrac,
 		},
-		"total_requests": len(all),
-		"errors":         errors,
+		"total_requests": len(all) + len(writes),
+		"errors":         errors + writeErrors,
+		// Back-compat top-level fields describe the read side.
 		"throughput_rps": float64(len(all)) / elapsed.Seconds(),
-		"latency_ms": map[string]float64{
-			"mean": sum / float64(len(all)),
-			"p50":  quantile(all, 0.50),
-			"p90":  quantile(all, 0.90),
-			"p99":  quantile(all, 0.99),
-			"max":  all[len(all)-1],
+		"latency_ms":     latencySummary(all),
+		"reads": map[string]any{
+			"count":          len(all),
+			"errors":         errors,
+			"throughput_rps": float64(len(all)) / elapsed.Seconds(),
+			"latency_ms":     latencySummary(all),
 		},
+	}
+	if *writeFrac > 0 {
+		w := map[string]any{
+			"count":  len(writes),
+			"errors": writeErrors,
+		}
+		if len(writes) > 0 {
+			w["throughput_rps"] = float64(len(writes)) / elapsed.Seconds()
+			w["latency_ms"] = latencySummary(writes)
+		}
+		report["writes"] = w
 	}
 
 	enc, err := json.MarshalIndent(report, "", "  ")
@@ -176,11 +216,49 @@ func main() {
 			fail(err)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "simload: %d requests in %.2fs (%.0f req/s), p50=%.3fms p99=%.3fms, %d errors -> %s\n",
+	fmt.Fprintf(os.Stderr, "simload: %d reads in %.2fs (%.0f req/s), p50=%.3fms p99=%.3fms, %d errors -> %s\n",
 		len(all), elapsed.Seconds(), float64(len(all))/elapsed.Seconds(),
 		quantile(all, 0.5), quantile(all, 0.99), errors, *out)
-	if errors > len(all)/10 {
-		fail(fmt.Errorf("error rate too high: %d errors for %d successes", errors, len(all)))
+	if len(writes) > 0 {
+		fmt.Fprintf(os.Stderr, "simload: %d writes (%.0f req/s), p50=%.3fms p99=%.3fms, %d errors\n",
+			len(writes), float64(len(writes))/elapsed.Seconds(),
+			quantile(writes, 0.5), quantile(writes, 0.99), writeErrors)
+	}
+	if errors+writeErrors > (len(all)+len(writes))/10 {
+		fail(fmt.Errorf("error rate too high: %d errors for %d successes", errors+writeErrors, len(all)+len(writes)))
+	}
+}
+
+// latencySummary renders the standard quantile block over a sorted
+// latency slice.
+func latencySummary(sorted []float64) map[string]float64 {
+	if len(sorted) == 0 {
+		return map[string]float64{}
+	}
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	return map[string]float64{
+		"mean": sum / float64(len(sorted)),
+		"p50":  quantile(sorted, 0.50),
+		"p90":  quantile(sorted, 0.90),
+		"p99":  quantile(sorted, 0.99),
+		"max":  sorted[len(sorted)-1],
+	}
+}
+
+// ingestBody builds one /ingest write: a unique single row derived from
+// the request counter, over the datagen words alphabet.
+func ingestBody(rel string, n int) map[string]any {
+	b := make([]byte, 0, 10)
+	b = append(b, 'w')
+	for v := n; v > 0; v /= 10 {
+		b = append(b, byte('a'+v%10))
+	}
+	return map[string]any{
+		"relation": rel,
+		"rows":     []map[string]any{{"seq": string(b), "attrs": map[string]string{"src": "simload"}}},
 	}
 }
 

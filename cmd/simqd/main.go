@@ -1,30 +1,41 @@
 // Command simqd is the similarity query server: it loads relations and
-// rule sets once, then serves prepared and ad-hoc queries concurrently
-// over HTTP/JSON. It is the long-lived counterpart of the cmd/simq
-// shell — the process that makes the engine's plan cache and prepared
-// queries pay off under sustained traffic.
+// rule sets once, then serves prepared and ad-hoc queries — and, with a
+// WAL attached, concurrent writes — over HTTP/JSON. It is the
+// long-lived counterpart of the cmd/simq shell — the process that makes
+// the engine's plan cache, prepared queries and MVCC snapshots pay off
+// under sustained mixed traffic.
 //
 // Usage:
 //
-//	simqd -addr :8077 -load words=words.rel [-rules edits.rules] [-timeout 10s]
+//	simqd -addr :8077 -load words=words.rel [-rules edits.rules]
+//	      [-wal data.wal] [-wal-sync=false] [-timeout 10s]
 //
-// Endpoints:
+// Endpoints (wrong-method requests on any of them answer 405):
 //
-//	POST /query    {"query": "...", "params": [...]}            run a statement
+//	POST /query    {"query": "...", "params": [...]}            run a statement (SELECT or DML)
 //	               {"id": "p1", "params": [...]}                run a prepared statement
 //	               {"named": {"k": v}}                          named parameters
 //	               {"timeout_ms": 500}                          per-request deadline override
 //	POST /prepare  {"query": "... ? ..."}                       compile, returns {"id", "params", "names"}
 //	POST /explain  {"query": "...", "params": [...]}            plan without executing
+//	POST /ingest   {"relation": "words", "rows": [{"seq": "...", "attrs": {...}}]}
+//	                                                            batch insert (one WAL commit)
 //	GET  /healthz                                               liveness
-//	GET  /stats                                                 server + plan-cache counters
+//	GET  /stats                                                 server, plan-cache and write counters
+//
+// With -wal every mutation (DML through /query and batches through
+// /ingest) is logged before it is applied, and a restarted server
+// replays the log over the -load base state. Without -wal mutations are
+// in-memory only.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: listeners close,
 // in-flight requests get a drain window, then the process exits. Each
-// request runs under a deadline (-timeout, optionally tightened per
-// request); a request that exceeds it gets 504 while its abandoned
+// read request runs under a deadline (-timeout, optionally tightened
+// per request); a request that exceeds it gets 504 while its abandoned
 // execution finishes in the background (the engine has no cancellation
-// points — a deliberate trade documented in DESIGN.md).
+// points — a deliberate trade documented in DESIGN.md). DML requests
+// are exempt: a write runs to completion so the response always tells
+// the truth about whether the commit happened.
 package main
 
 import (
@@ -45,6 +56,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/relation"
 	"repro/internal/rewrite"
+	"repro/internal/storage"
 )
 
 type listFlag []string
@@ -62,6 +74,8 @@ func main() {
 	cacheSize := flag.Int("plan-cache", 512, "plan cache capacity (0 disables)")
 	parallelism := flag.Int("parallelism", 0, "worker count for parallel plans (0 = GOMAXPROCS)")
 	maxPrepared := flag.Int("max-prepared", 1024, "prepared-statement registry capacity (oldest evicted past it)")
+	walPath := flag.String("wal", "", "write-ahead log file (empty = in-memory mutations only)")
+	walSync := flag.Bool("wal-sync", true, "fsync the WAL on every commit")
 	flag.Parse()
 
 	eng, err := buildEngine(loads, ruleFiles)
@@ -72,21 +86,26 @@ func main() {
 	if *parallelism > 0 {
 		eng.SetParallelism(*parallelism)
 	}
+	var st *storage.Store
+	if *walPath != "" {
+		st, err = storage.Open(*walPath, eng.Catalog())
+		if err != nil {
+			fail(err)
+		}
+		st.SetSync(*walSync)
+		eng.SetStore(st)
+		m := st.Metrics()
+		fmt.Fprintf(os.Stderr, "simqd: WAL %s replayed %d tx / %d ops\n", *walPath, m.ReplayedTx, m.ReplayedOp)
+	}
 
 	s := &server{
-		eng: eng, timeout: *timeout, started: time.Now(),
+		eng: eng, store: st, timeout: *timeout, started: time.Now(),
 		maxPrepared: *maxPrepared,
 		prepared:    map[string]*query.PreparedQuery{},
 		adhoc:       map[string]*query.PreparedQuery{},
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/query", s.handleQuery)
-	mux.HandleFunc("/prepare", s.handlePrepare)
-	mux.HandleFunc("/explain", s.handleExplain)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/stats", s.handleStats)
 
-	srv := &http.Server{Addr: *addr, Handler: mux}
+	srv := &http.Server{Addr: *addr, Handler: s.routes()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -105,6 +124,11 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "simqd: drain incomplete: %v\n", err)
+	}
+	if st != nil {
+		if err := st.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "simqd: WAL close: %v\n", err)
+		}
 	}
 }
 
@@ -156,10 +180,11 @@ func buildEngine(loads, ruleFiles []string) (*query.Engine, error) {
 }
 
 // server carries the shared engine plus serving state. The engine is
-// safe for concurrent queries; the prepared-statement registry has its
-// own lock.
+// safe for concurrent queries and mutations; the prepared-statement
+// registry has its own lock.
 type server struct {
 	eng         *query.Engine
+	store       *storage.Store // nil when running without a WAL
 	timeout     time.Duration
 	started     time.Time
 	maxPrepared int
@@ -179,6 +204,22 @@ type server struct {
 	errors   atomic.Int64
 	timeouts atomic.Int64
 	inFlight atomic.Int64
+	writes   atomic.Int64 // /ingest requests served
+	ingested atomic.Int64 // rows inserted through /ingest
+}
+
+// routes registers every endpoint with Go 1.22 method patterns, so a
+// wrong-method request on a registered path answers 405 Method Not
+// Allowed (with an Allow header) instead of 404.
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /prepare", s.handlePrepare)
+	mux.HandleFunc("POST /explain", s.handleExplain)
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
 }
 
 // adhocCacheMax bounds the ad-hoc statement cache; at capacity it
@@ -279,6 +320,57 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"plan": res.Plan})
 }
 
+// ingestRequest is the body of /ingest: a batch of rows for one
+// relation, committed as a single WAL transaction.
+type ingestRequest struct {
+	Relation string `json:"relation"`
+	Rows     []struct {
+		Seq   string            `json:"seq"`
+		Attrs map[string]string `json:"attrs,omitempty"`
+	} `json:"rows"`
+}
+
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, errBad("bad JSON: "+err.Error()))
+		return
+	}
+	if req.Relation == "" || len(req.Rows) == 0 {
+		s.fail(w, errBad(`ingest requires "relation" and at least one row`))
+		return
+	}
+	if _, ok := s.eng.Catalog().Get(req.Relation); !ok {
+		s.fail(w, errBad(fmt.Sprintf("unknown relation %q", req.Relation)))
+		return
+	}
+	start := time.Now()
+	ops := make([]storage.Op, len(req.Rows))
+	for i, row := range req.Rows {
+		ops[i] = storage.Op{Kind: storage.OpInsert, Rel: req.Relation, Seq: row.Seq, Attrs: row.Attrs}
+	}
+	var res storage.CommitResult
+	var err error
+	if s.store != nil {
+		res, err = s.store.Commit(ops)
+	} else {
+		res, err = storage.Apply(s.eng.Catalog(), ops)
+	}
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	ids := res.InsertedIDs
+	s.writes.Add(1)
+	s.ingested.Add(int64(len(ids)))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"inserted":   len(ids),
+		"ids":        ids,
+		"elapsed_ms": float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
@@ -290,7 +382,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.adhocMu.Lock()
 	adhocCount := len(s.adhoc)
 	s.adhocMu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"uptime_s":         time.Since(s.started).Seconds(),
 		"requests":         s.requests.Load(),
 		"errors":           s.errors.Load(),
@@ -299,14 +391,25 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"prepared":         preparedCount,
 		"adhoc_statements": adhocCount,
 		"plan_cache":       s.eng.CacheStats(),
-	})
+		"ingest_requests":  s.writes.Load(),
+		"ingested_rows":    s.ingested.Load(),
+	}
+	if s.store != nil {
+		body["store"] = s.store.Metrics()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // execute runs one request under its deadline: a prepared statement by
 // id, an ad-hoc parameterized statement (prepared on the fly), or plain
-// statement text.
+// statement text. DML requests are exempt from the abandon-on-timeout
+// pattern: a write runs to completion on the request goroutine, so the
+// response always reflects whether the commit happened — answering 504
+// while a detached goroutine commits anyway would tell the client a
+// durable write failed.
 func (s *server) execute(ctx context.Context, req *request, explain bool) (*query.Result, error) {
 	var run func() (*query.Result, error)
+	write := false
 	switch {
 	case req.ID != "":
 		s.mu.RLock()
@@ -315,6 +418,7 @@ func (s *server) execute(ctx context.Context, req *request, explain bool) (*quer
 		if pq == nil {
 			return nil, errBad(fmt.Sprintf("unknown prepared statement %q", req.ID))
 		}
+		write = pq.IsMutation()
 		run = s.preparedRunner(pq, req, explain)
 	case req.Query == "":
 		return nil, errBad("request needs \"query\" or \"id\"")
@@ -323,13 +427,22 @@ func (s *server) execute(ctx context.Context, req *request, explain bool) (*quer
 		if err != nil {
 			return nil, err
 		}
+		write = pq.IsMutation()
 		run = s.preparedRunner(pq, req, explain)
 	default:
 		src := req.Query
 		if explain && !strings.HasPrefix(strings.ToUpper(strings.TrimSpace(src)), "EXPLAIN") {
 			src = "EXPLAIN " + src
 		}
+		write = query.IsDML(src)
 		run = func() (*query.Result, error) { return s.eng.Execute(src) }
+	}
+
+	if write && !explain {
+		s.requests.Add(1)
+		s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
+		return run()
 	}
 
 	timeout := s.timeout

@@ -1,0 +1,229 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/relation"
+	"repro/internal/rewrite"
+	"repro/internal/storage"
+)
+
+// newTestServer builds a server over a small in-memory engine; walDir
+// non-empty attaches a WAL-backed store.
+func newTestServer(t *testing.T, walDir string) *server {
+	t.Helper()
+	cat := relation.NewCatalog()
+	words := relation.New("words")
+	for _, w := range []string{"color", "colour", "colon", "cool"} {
+		words.Insert(w, nil)
+	}
+	cat.Add(words)
+	eng := query.NewEngine(cat)
+	rs := rewrite.MustRuleSet("edits", rewrite.UnitEdits("abcdefghijklmnopqrstuvwxyz").Rules())
+	if err := eng.RegisterRuleSet(rs); err != nil {
+		t.Fatal(err)
+	}
+	s := &server{
+		eng: eng, timeout: 5 * time.Second, started: time.Now(),
+		maxPrepared: 16,
+		prepared:    map[string]*query.PreparedQuery{},
+		adhoc:       map[string]*query.PreparedQuery{},
+	}
+	if walDir != "" {
+		st, err := storage.Open(filepath.Join(walDir, "test.wal"), cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.SetSync(false)
+		eng.SetStore(st)
+		s.store = st
+		t.Cleanup(func() { st.Close() })
+	}
+	return s
+}
+
+func do(t *testing.T, mux *http.ServeMux, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestWrongMethodIs405 pins the routing fix: a wrong-method request on
+// a registered route must answer 405 Method Not Allowed (with an Allow
+// header), not 404.
+func TestWrongMethodIs405(t *testing.T) {
+	mux := newTestServer(t, "").routes()
+	cases := []struct{ method, path string }{
+		{http.MethodGet, "/query"},
+		{http.MethodGet, "/prepare"},
+		{http.MethodGet, "/explain"},
+		{http.MethodGet, "/ingest"},
+		{http.MethodDelete, "/query"},
+		{http.MethodPost, "/healthz"},
+		{http.MethodPost, "/stats"},
+	}
+	for _, c := range cases {
+		rec := do(t, mux, c.method, c.path, nil)
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s = %d, want 405", c.method, c.path, rec.Code)
+		}
+		if rec.Header().Get("Allow") == "" {
+			t.Errorf("%s %s: missing Allow header", c.method, c.path)
+		}
+	}
+	// Unregistered paths still 404.
+	if rec := do(t, mux, http.MethodGet, "/nosuch", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("GET /nosuch = %d, want 404", rec.Code)
+	}
+}
+
+func TestIngestQueryRoundTrip(t *testing.T) {
+	s := newTestServer(t, t.TempDir())
+	mux := s.routes()
+
+	rec := do(t, mux, http.MethodPost, "/ingest", map[string]any{
+		"relation": "words",
+		"rows": []map[string]any{
+			{"seq": "couleur", "attrs": map[string]string{"lang": "fr"}},
+			{"seq": "kolor", "attrs": map[string]string{"lang": "pl"}},
+		},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/ingest = %d: %s", rec.Code, rec.Body)
+	}
+	var ing struct {
+		Inserted int   `json:"inserted"`
+		IDs      []int `json:"ids"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &ing); err != nil {
+		t.Fatal(err)
+	}
+	if ing.Inserted != 2 || len(ing.IDs) != 2 {
+		t.Fatalf("ingest response = %+v", ing)
+	}
+
+	rec = do(t, mux, http.MethodPost, "/query", map[string]any{
+		"query": `SELECT seq FROM words WHERE lang = "pl"`,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/query = %d: %s", rec.Code, rec.Body)
+	}
+	var qres struct {
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &qres); err != nil {
+		t.Fatal(err)
+	}
+	if len(qres.Rows) != 1 || qres.Rows[0][0] != "kolor" {
+		t.Fatalf("query rows = %v", qres.Rows)
+	}
+
+	// DML through /query.
+	rec = do(t, mux, http.MethodPost, "/query", map[string]any{
+		"query": `DELETE FROM words WHERE seq SIMILAR TO "kolor" WITHIN 1 USING edits`,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("DML /query = %d: %s", rec.Code, rec.Body)
+	}
+	var dres struct {
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &dres); err != nil {
+		t.Fatal(err)
+	}
+	if len(dres.Rows) != 1 || dres.Rows[0][0] != "2" { // kolor + color
+		t.Fatalf("delete count rows = %v", dres.Rows)
+	}
+
+	// Write metrics surface in /stats.
+	rec = do(t, mux, http.MethodGet, "/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/stats = %d", rec.Code)
+	}
+	var stats map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["ingest_requests"].(float64) != 1 || stats["ingested_rows"].(float64) != 2 {
+		t.Errorf("stats write counters = %v / %v", stats["ingest_requests"], stats["ingested_rows"])
+	}
+	store, ok := stats["store"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats missing store section: %v", stats)
+	}
+	if store["commits"].(float64) < 2 || store["wal_bytes"].(float64) <= 0 {
+		t.Errorf("store metrics = %v", store)
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	mux := newTestServer(t, "").routes()
+	for _, body := range []map[string]any{
+		{},
+		{"relation": "words"},
+		{"relation": "nosuch", "rows": []map[string]any{{"seq": "x"}}},
+	} {
+		if rec := do(t, mux, http.MethodPost, "/ingest", body); rec.Code != http.StatusBadRequest {
+			t.Errorf("ingest %v = %d, want 400", body, rec.Code)
+		}
+	}
+}
+
+// TestPreparedDMLOverHTTP drives a parameterized INSERT through
+// /prepare + /query by id.
+func TestPreparedDMLOverHTTP(t *testing.T) {
+	mux := newTestServer(t, "").routes()
+	rec := do(t, mux, http.MethodPost, "/prepare", map[string]any{
+		"query": `INSERT INTO words (seq, lang) VALUES (?, ?)`,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/prepare = %d: %s", rec.Code, rec.Body)
+	}
+	var prep struct {
+		ID     string `json:"id"`
+		Params int    `json:"params"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &prep); err != nil {
+		t.Fatal(err)
+	}
+	if prep.Params != 2 {
+		t.Fatalf("prepare params = %d", prep.Params)
+	}
+	rec = do(t, mux, http.MethodPost, "/query", map[string]any{
+		"id": prep.ID, "params": []any{"farbe", "de"},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("prepared DML exec = %d: %s", rec.Code, rec.Body)
+	}
+	rec = do(t, mux, http.MethodPost, "/query", map[string]any{
+		"query": `SELECT seq FROM words WHERE lang = "de"`,
+	})
+	var qres struct {
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &qres); err != nil {
+		t.Fatal(err)
+	}
+	if len(qres.Rows) != 1 || qres.Rows[0][0] != "farbe" {
+		t.Fatalf("prepared insert rows = %v", qres.Rows)
+	}
+}

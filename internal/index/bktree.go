@@ -2,6 +2,7 @@ package index
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/editdp"
 )
@@ -9,47 +10,87 @@ import (
 // BKTree is a Burkhard–Keller tree over the unit-cost edit distance.
 // Soundness requires a metric (symmetry + triangle inequality), which
 // Levenshtein distance satisfies; the query planner therefore only
-// offers BK-trees for unit-cost rule sets. Not safe for concurrent
-// mutation; reads may proceed concurrently once building is done.
+// offers BK-trees for unit-cost rule sets.
+//
+// Concurrency contract (the storage engine's online maintenance relies
+// on it): at most one writer may Insert at a time — callers serialize
+// mutation, the relation layer under its commit lock — while any number
+// of readers traverse concurrently. Every node's child list is an
+// immutable slice behind an atomic pointer, replaced wholesale on
+// insert, so a reader sees either the old list or the new one, never a
+// half-built edge. A reader racing an insert may or may not see the new
+// entry; the MVCC visibility filter above the index decides, so the
+// index itself only ever needs to be a superset of any snapshot.
+// Deletion is not an index operation: rows are tombstoned in the
+// relation arena and filtered on read; compaction rebuilds a fresh
+// tree.
 type BKTree struct {
-	root *bkNode
-	size int
+	root atomic.Pointer[bkNode]
+	size atomic.Int64
 }
 
 type bkNode struct {
-	entry    Entry
-	children map[int]*bkNode // edit distance -> subtree
-	keys     []int           // child distances, ascending (maintained on insert)
+	entry Entry
+	edges atomic.Pointer[[]bkEdge] // ascending by dist; copy-on-write
+}
+
+type bkEdge struct {
+	dist int
+	node *bkNode
+}
+
+// loadEdges returns the node's current child list (nil when leaf).
+func (n *bkNode) loadEdges() []bkEdge {
+	if p := n.edges.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// child returns the subtree along the edge labelled d, if any.
+func (n *bkNode) child(d int) *bkNode {
+	es := n.loadEdges()
+	i := sort.Search(len(es), func(i int) bool { return es[i].dist >= d })
+	if i < len(es) && es[i].dist == d {
+		return es[i].node
+	}
+	return nil
+}
+
+// addEdge publishes a new child list containing the edge d -> c.
+// Single-writer only.
+func (n *bkNode) addEdge(d int, c *bkNode) {
+	old := n.loadEdges()
+	i := sort.Search(len(old), func(i int) bool { return old[i].dist >= d })
+	es := make([]bkEdge, 0, len(old)+1)
+	es = append(es, old[:i]...)
+	es = append(es, bkEdge{dist: d, node: c})
+	es = append(es, old[i:]...)
+	n.edges.Store(&es)
 }
 
 // NewBKTree returns an empty tree.
 func NewBKTree() *BKTree { return &BKTree{} }
 
 // Len returns the number of indexed entries.
-func (t *BKTree) Len() int { return t.size }
+func (t *BKTree) Len() int { return int(t.size.Load()) }
 
 // Insert adds an entry. Duplicate strings are fine; they stack along
-// zero-distance edges.
+// zero-distance edges. Single-writer only; see the type comment.
 func (t *BKTree) Insert(id int, s string) {
-	t.size++
 	n := &bkNode{entry: Entry{ID: id, S: s}}
-	if t.root == nil {
-		t.root = n
+	if t.root.Load() == nil {
+		t.root.Store(n)
+		t.size.Add(1)
 		return
 	}
-	cur := t.root
+	cur := t.root.Load()
 	for {
 		d := editdp.Levenshtein(s, cur.entry.S)
-		child, ok := cur.children[d]
-		if !ok {
-			if cur.children == nil {
-				cur.children = make(map[int]*bkNode)
-			}
-			cur.children[d] = n
-			i := sort.SearchInts(cur.keys, d)
-			cur.keys = append(cur.keys, 0)
-			copy(cur.keys[i+1:], cur.keys[i:])
-			cur.keys[i] = d
+		child := cur.child(d)
+		if child == nil {
+			cur.addEdge(d, n)
+			t.size.Add(1)
 			return
 		}
 		cur = child
@@ -74,8 +115,18 @@ func (t *BKTree) NearestK(query string, k int) []Match {
 // walked best-first, shrinking the pruning radius to the current
 // kth-best distance.
 func (t *BKTree) NearestKStats(query string, k int) ([]Match, Stats) {
+	return t.NearestKFilterStats(query, k, nil)
+}
+
+// NearestKFilterStats is NearestKStats restricted to entries the accept
+// function admits (nil accepts everything). The filter is applied
+// before an entry can enter the best list or shrink the pruning radius,
+// which is how MVCC snapshots exclude tombstoned rows without losing
+// true answers.
+func (t *BKTree) NearestKFilterStats(query string, k int, accept func(id int) bool) ([]Match, Stats) {
 	var st Stats
-	if t.root == nil || k <= 0 {
+	root := t.root.Load()
+	if root == nil || k <= 0 {
 		return nil, st
 	}
 	// best holds up to k matches sorted ascending by (distance, id).
@@ -85,23 +136,25 @@ func (t *BKTree) NearestKStats(query string, k int) ([]Match, Stats) {
 		st.Candidates++
 		st.Verifications++
 		d := editdp.Levenshtein(query, n.entry.S)
-		if len(best) < k || float64(d) <= best[len(best)-1].Dist {
-			best = PushBestK(best, Match{ID: n.entry.ID, S: n.entry.S, Dist: float64(d)}, k)
+		if accept == nil || accept(n.entry.ID) {
+			if len(best) < k || float64(d) <= best[len(best)-1].Dist {
+				best = PushBestK(best, Match{ID: n.entry.ID, S: n.entry.S, Dist: float64(d)}, k)
+			}
 		}
-		for _, dist := range n.keys {
+		for _, e := range n.loadEdges() {
 			if len(best) < k {
-				walk(n.children[dist])
+				walk(e.node)
 				continue
 			}
 			// Triangle inequality: the subtree can only contain entries
 			// at distance >= |d - dist| from the query.
 			r := int(best[len(best)-1].Dist)
-			if dist >= d-r && dist <= d+r {
-				walk(n.children[dist])
+			if e.dist >= d-r && e.dist <= d+r {
+				walk(e.node)
 			}
 		}
 	}
-	walk(t.root)
+	walk(root)
 	return best, st
 }
 
@@ -121,8 +174,8 @@ func (t *BKTree) RangeStats(query string, k int) ([]Match, Stats) {
 // distance) and traversal stops as soon as the caller stops pulling.
 func (t *BKTree) RangeIter(query string, k int) Iterator {
 	it := &bkIter{query: query, k: k}
-	if t.root != nil && k >= 0 {
-		it.stack = []*bkNode{t.root}
+	if root := t.root.Load(); root != nil && k >= 0 {
+		it.stack = []*bkNode{root}
 	}
 	return it
 }
@@ -145,10 +198,10 @@ func (it *bkIter) Next() (Match, bool) {
 		d := editdp.Levenshtein(it.query, n.entry.S)
 		// Triangle inequality: answers in child c require |d - c| <= k.
 		// Push descending so children pop in ascending distance order.
-		for i := len(n.keys) - 1; i >= 0; i-- {
-			dist := n.keys[i]
-			if dist >= d-it.k && dist <= d+it.k {
-				it.stack = append(it.stack, n.children[dist])
+		edges := n.loadEdges()
+		for i := len(edges) - 1; i >= 0; i-- {
+			if edges[i].dist >= d-it.k && edges[i].dist <= d+it.k {
+				it.stack = append(it.stack, edges[i].node)
 			}
 		}
 		if d <= it.k {

@@ -1,64 +1,109 @@
 package index
 
-import "sort"
+import (
+	"sort"
+	"sync/atomic"
+)
 
 // Trie is a shared-prefix tree searched with the classic edit-distance
 // row propagation: the DP row for a node is computed once and shared by
 // every word below it, so range search at small radii touches only a
 // thin band of the dictionary. Unit costs only (the same metric caveat
-// as BKTree). Not safe for concurrent mutation.
+// as BKTree).
+//
+// Concurrency contract: same as BKTree — a single serialized writer may
+// Insert while any number of readers traverse. Child lists and terminal
+// entry lists are immutable slices behind atomic pointers, swapped
+// wholesale on insert. Deletes are handled above the index by MVCC
+// tombstones; compaction rebuilds a fresh trie.
 type Trie struct {
 	root *trieNode
-	size int
+	size atomic.Int64
 }
 
 type trieNode struct {
-	children map[byte]*trieNode
-	keys     []byte // child bytes, ascending (maintained on insert)
+	edges atomic.Pointer[[]trieEdge] // ascending by byte; copy-on-write
 	// terminal entries ending at this node (same string, many ids).
-	terminal []Entry
+	terminal atomic.Pointer[[]Entry]
+}
+
+type trieEdge struct {
+	c    byte
+	node *trieNode
+}
+
+func (n *trieNode) loadEdges() []trieEdge {
+	if p := n.edges.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (n *trieNode) loadTerminal() []Entry {
+	if p := n.terminal.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// child returns the subtree along the byte c, if any.
+func (n *trieNode) child(c byte) *trieNode {
+	es := n.loadEdges()
+	i := sort.Search(len(es), func(i int) bool { return es[i].c >= c })
+	if i < len(es) && es[i].c == c {
+		return es[i].node
+	}
+	return nil
+}
+
+// addEdge publishes a new child list containing c -> t. Single-writer.
+func (n *trieNode) addEdge(c byte, t *trieNode) {
+	old := n.loadEdges()
+	i := sort.Search(len(old), func(i int) bool { return old[i].c >= c })
+	es := make([]trieEdge, 0, len(old)+1)
+	es = append(es, old[:i]...)
+	es = append(es, trieEdge{c: c, node: t})
+	es = append(es, old[i:]...)
+	n.edges.Store(&es)
 }
 
 // NewTrie returns an empty trie.
 func NewTrie() *Trie { return &Trie{root: &trieNode{}} }
 
 // Len returns the number of indexed entries.
-func (t *Trie) Len() int { return t.size }
+func (t *Trie) Len() int { return int(t.size.Load()) }
 
-// Insert adds an entry.
+// Insert adds an entry. Single-writer only; see the type comment.
 func (t *Trie) Insert(id int, s string) {
-	t.size++
 	cur := t.root
 	for i := 0; i < len(s); i++ {
 		c := s[i]
-		if cur.children == nil {
-			cur.children = make(map[byte]*trieNode)
-		}
-		next, ok := cur.children[c]
-		if !ok {
+		next := cur.child(c)
+		if next == nil {
 			next = &trieNode{}
-			cur.children[c] = next
-			i := sort.Search(len(cur.keys), func(i int) bool { return cur.keys[i] >= c })
-			cur.keys = append(cur.keys, 0)
-			copy(cur.keys[i+1:], cur.keys[i:])
-			cur.keys[i] = c
+			cur.addEdge(c, next)
 		}
 		cur = next
 	}
-	cur.terminal = append(cur.terminal, Entry{ID: id, S: s})
+	old := cur.loadTerminal()
+	term := make([]Entry, 0, len(old)+1)
+	term = append(term, old...)
+	term = append(term, Entry{ID: id, S: s})
+	cur.terminal.Store(&term)
+	t.size.Add(1)
 }
 
 // Contains reports whether some entry equals s.
 func (t *Trie) Contains(s string) bool {
 	cur := t.root
 	for i := 0; i < len(s); i++ {
-		next, ok := cur.children[s[i]]
-		if !ok {
+		next := cur.child(s[i])
+		if next == nil {
 			return false
 		}
 		cur = next
 	}
-	return len(cur.terminal) > 0
+	return len(cur.loadTerminal()) > 0
 }
 
 // Range returns every entry within unit edit distance k of the query.
@@ -124,7 +169,7 @@ func (it *trieIter) Next() (Match, bool) {
 		it.st.Candidates++
 		m := len(it.query)
 		if f.row[m] <= it.k {
-			for _, e := range f.node.terminal {
+			for _, e := range f.node.loadTerminal() {
 				it.pending = append(it.pending, Match{ID: e.ID, S: e.S, Dist: float64(f.row[m])})
 			}
 		}
@@ -132,11 +177,11 @@ func (it *trieIter) Next() (Match, bool) {
 			continue
 		}
 		// Push children in descending byte order so they pop ascending.
-		for i := len(f.node.keys) - 1; i >= 0; i-- {
-			c := f.node.keys[i]
+		edges := f.node.loadEdges()
+		for i := len(edges) - 1; i >= 0; i-- {
 			it.st.Verifications++
-			cur := nextRow(it.query, f.row, c)
-			it.stack = append(it.stack, trieFrame{node: f.node.children[c], row: cur})
+			cur := nextRow(it.query, f.row, edges[i].c)
+			it.stack = append(it.stack, trieFrame{node: edges[i].node, row: cur})
 		}
 	}
 }

@@ -165,9 +165,28 @@ func (o Operand) String() string {
 		return o.Param.String()
 	}
 	if o.IsLit {
-		return fmt.Sprintf("%q", o.Lit)
+		return quoteLit(o.Lit)
 	}
 	return o.Field.String()
+}
+
+// quoteLit renders a string literal with exactly the lexer's escape
+// rules: a backslash escapes the next byte, so only '"' and '\\' need
+// escaping and every other byte is emitted raw. (fmt's %q would escape
+// control bytes as \xNN, which the lexer does not interpret — the
+// rendering would not round-trip.)
+func quoteLit(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' || s[i] == '\\' {
+			b.WriteByte('\\')
+		}
+		b.WriteByte(s[i])
+	}
+	b.WriteByte('"')
+	return b.String()
 }
 
 // FieldRef names a column, optionally qualified.

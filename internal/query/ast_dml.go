@@ -1,0 +1,126 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Statement is one parsed statement: a *Query (SELECT) or a *Mutation
+// (INSERT/DELETE/UPDATE). ParseStatement returns it; Engine.Execute and
+// Engine.Prepare accept both kinds.
+type Statement interface {
+	fmt.Stringer
+	stmt()
+}
+
+func (*Query) stmt()    {}
+func (*Mutation) stmt() {}
+
+// MutKind enumerates the DML statement kinds.
+type MutKind int
+
+// Mutation kinds.
+const (
+	MutInsert MutKind = iota
+	MutDelete
+	MutUpdate
+)
+
+func (k MutKind) String() string {
+	switch k {
+	case MutInsert:
+		return "insert"
+	case MutDelete:
+		return "delete"
+	case MutUpdate:
+		return "update"
+	default:
+		return fmt.Sprintf("mutkind(%d)", int(k))
+	}
+}
+
+// Mutation is the root of a parsed DML statement.
+//
+//	INSERT INTO words VALUES ("colour")
+//	INSERT INTO words (seq, lang) VALUES ("colour", "en"), (?, ?)
+//	DELETE FROM words WHERE seq SIMILAR TO "tmp" WITHIN 1 USING edits
+//	UPDATE words SET lang = "en" WHERE id = "3"
+//	EXPLAIN DELETE FROM words WHERE ...
+//
+// The WHERE clause of DELETE and UPDATE is the full predicate language
+// of SELECT — similarity predicates included — and is planned by the
+// same cost-based planner, so an indexable conjunct drives the read
+// phase through a metric index.
+type Mutation struct {
+	Explain bool
+	Kind    MutKind
+	Table   string
+	Columns []string    // INSERT column list; defaults to ["seq"]
+	Rows    [][]Operand // INSERT VALUES tuples (literals or parameters)
+	Set     []SetClause // UPDATE assignments
+	Where   Expr        // DELETE/UPDATE; nil means every visible tuple
+	Params  []ParamRef  // every parameter, in order of appearance
+}
+
+// SetClause is one UPDATE assignment: a column ("seq" or an attribute
+// name) and its replacement value (literal or parameter).
+type SetClause struct {
+	Name  string
+	Value Operand
+}
+
+// String renders the statement in the concrete syntax.
+func (m *Mutation) String() string {
+	var b strings.Builder
+	if m.Explain {
+		b.WriteString("EXPLAIN ")
+	}
+	switch m.Kind {
+	case MutInsert:
+		b.WriteString("INSERT INTO ")
+		b.WriteString(m.Table)
+		if len(m.Columns) > 0 {
+			b.WriteString(" (")
+			b.WriteString(strings.Join(m.Columns, ", "))
+			b.WriteString(")")
+		}
+		b.WriteString(" VALUES ")
+		for i, row := range m.Rows {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString("(")
+			for j, v := range row {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(v.String())
+			}
+			b.WriteString(")")
+		}
+	case MutDelete:
+		b.WriteString("DELETE FROM ")
+		b.WriteString(m.Table)
+		if m.Where != nil {
+			b.WriteString(" WHERE ")
+			b.WriteString(m.Where.String())
+		}
+	case MutUpdate:
+		b.WriteString("UPDATE ")
+		b.WriteString(m.Table)
+		b.WriteString(" SET ")
+		for i, sc := range m.Set {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(sc.Name)
+			b.WriteString(" = ")
+			b.WriteString(sc.Value.String())
+		}
+		if m.Where != nil {
+			b.WriteString(" WHERE ")
+			b.WriteString(m.Where.String())
+		}
+	}
+	return b.String()
+}

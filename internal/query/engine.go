@@ -14,6 +14,7 @@ import (
 	"repro/internal/pattern"
 	"repro/internal/relation"
 	"repro/internal/rewrite"
+	"repro/internal/storage"
 	"repro/internal/transform"
 )
 
@@ -29,6 +30,7 @@ type Engine struct {
 	patterns  map[string]*pattern.Pattern   // compiled pattern cache
 	rsVersion uint64                        // bumped per RegisterRuleSet; part of cache keys
 	plans     *planCache                    // statement text -> (query, decision); nil disables
+	store     *storage.Store                // durable write path; nil = direct catalog mutation
 
 	parallelism     int // workers for Parallel plans (<=1 disables)
 	parallelMinRows int // outer-relation size that justifies sharding
@@ -268,18 +270,26 @@ func normalizeQueryText(src string) string {
 	return b.String()
 }
 
-// Execute parses and runs one statement. Statements are looked up in
-// the plan cache first: a hit skips the lexer, the parser and the
-// cost-based planner and goes straight to operator-tree construction.
+// Execute parses and runs one statement — SELECT or DML. SELECTs are
+// looked up in the plan cache first: a hit skips the lexer, the parser
+// and the cost-based planner and goes straight to operator-tree
+// construction. DML bypasses the cache (its read phase is planned per
+// execution) and, by committing, bumps Catalog.StatsVersion so every
+// cached plan keyed on the old statistics is invalidated.
 // Parameterized statements cannot run here — use Prepare.
 func (e *Engine) Execute(src string) (*Result, error) {
 	cache := e.planCacheRef()
-	if cache == nil {
-		q, err := Parse(src)
+	if cache == nil || isDMLText(src) {
+		stmt, err := ParseStatement(src)
 		if err != nil {
 			return nil, err
 		}
-		return e.ExecuteQuery(q)
+		switch s := stmt.(type) {
+		case *Mutation:
+			return e.ExecuteMutation(s)
+		default:
+			return e.ExecuteQuery(stmt.(*Query))
+		}
 	}
 	key := e.cacheEpoch() + "|" + normalizeQueryText(src)
 	if ent, ok := cache.get(key); ok {
@@ -295,10 +305,17 @@ func (e *Engine) Execute(src string) (*Result, error) {
 			return res, err
 		}
 	}
-	q, err := Parse(src)
+	stmt, err := ParseStatement(src)
 	if err != nil {
 		return nil, err
 	}
+	m, ok := stmt.(*Mutation)
+	if ok {
+		// Defensive: a DML statement that slipped past the text sniff
+		// still executes correctly, just without the cache bypass.
+		return e.ExecuteMutation(m)
+	}
+	q := stmt.(*Query)
 	d, err := e.decide(q)
 	if err != nil {
 		return nil, err

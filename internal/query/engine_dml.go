@@ -1,0 +1,291 @@
+package query
+
+// DML execution. INSERT/DELETE/UPDATE statements share the read stack
+// with SELECT: the WHERE clause of DELETE and UPDATE is planned by the
+// cost-based planner (index access paths included) over an MVCC
+// snapshot, matched ids are collected, and the write batch is applied
+// through the attached storage.Store — WAL first, then memory — or
+// directly to the catalog's relations when no store is attached.
+// Either way the relations bump their versions, Catalog.StatsVersion
+// moves, and every cached plan and memoised prepared-query decision
+// keyed on it is invalidated.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/storage"
+)
+
+// SetStore attaches a durable store. Once attached, every mutation the
+// engine executes flows through it (WAL then memory); pass nil to
+// return to direct in-memory mutation. The store must wrap the same
+// catalog the engine queries.
+func (e *Engine) SetStore(st *storage.Store) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.store = st
+}
+
+func (e *Engine) storeRef() *storage.Store {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.store
+}
+
+// ExecuteMutation runs a parsed (or hand-built) DML statement. The
+// statement must be fully bound — parameterized DML goes through
+// Engine.Prepare.
+func (e *Engine) ExecuteMutation(m *Mutation) (*Result, error) {
+	if mutationHasParams(m) {
+		return nil, fmt.Errorf("query: statement has bind parameters; use Engine.Prepare")
+	}
+	if _, ok := e.catalog.Get(m.Table); !ok {
+		return nil, fmt.Errorf("query: unknown relation %q", m.Table)
+	}
+	switch m.Kind {
+	case MutInsert:
+		return e.execInsert(m)
+	case MutDelete, MutUpdate:
+		return e.execDeleteOrUpdate(m)
+	default:
+		return nil, fmt.Errorf("query: unknown mutation kind %d", m.Kind)
+	}
+}
+
+// execInsert builds one op per VALUES row and commits the batch.
+func (e *Engine) execInsert(m *Mutation) (*Result, error) {
+	seqCol := -1
+	for i, c := range m.Columns {
+		if c == "seq" {
+			seqCol = i
+		}
+	}
+	if seqCol < 0 {
+		return nil, fmt.Errorf("query: INSERT into %q lacks a seq column", m.Table)
+	}
+	ops := make([]storage.Op, 0, len(m.Rows))
+	for _, row := range m.Rows {
+		if len(row) != len(m.Columns) {
+			return nil, fmt.Errorf("query: INSERT row has %d values, want %d", len(row), len(m.Columns))
+		}
+		op := storage.Op{Kind: storage.OpInsert, Rel: m.Table}
+		for i, v := range row {
+			if !v.IsLit {
+				return nil, fmt.Errorf("query: INSERT values must be literals (got %s)", v)
+			}
+			if i == seqCol {
+				op.Seq = v.Lit
+				continue
+			}
+			if op.Attrs == nil {
+				op.Attrs = make(map[string]string, len(row)-1)
+			}
+			op.Attrs[m.Columns[i]] = v.Lit
+		}
+		ops = append(ops, op)
+	}
+	root := fmt.Sprintf("Mutate(insert %d rows into %s)", len(ops), m.Table)
+	if m.Explain {
+		return mutationExplain(root, ""), nil
+	}
+	applied, err := e.applyOps(ops)
+	if err != nil {
+		return nil, err
+	}
+	return mutationResult(applied, ExecStats{}, root), nil
+}
+
+// execDeleteOrUpdate plans the WHERE clause as an internal SELECT id
+// query, collects the matching ids from a snapshot, and commits the
+// write batch.
+func (e *Engine) execDeleteOrUpdate(m *Mutation) (*Result, error) {
+	iq := &Query{
+		Select: []Column{{Name: "id"}},
+		From:   []TableRef{{Name: m.Table, Alias: m.Table}},
+		Where:  m.Where,
+	}
+	d, err := e.decide(iq)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := e.buildPlan(iq, d)
+	if err != nil {
+		return nil, err
+	}
+	verb := "delete from"
+	if m.Kind == MutUpdate {
+		verb = "update"
+	}
+	root := fmt.Sprintf("Mutate(%s %s)", verb, m.Table)
+	if m.Explain {
+		return mutationExplain(root, plan.describe()), nil
+	}
+	ids, stats, err := collectIDs(plan, m.Table)
+	if err != nil {
+		return nil, err
+	}
+
+	rel, _ := e.catalog.Get(m.Table)
+	// One snapshot for the whole merge loop — per-id rel.Tuple would
+	// allocate a snapshot and re-load the head for every matched row.
+	cur := rel.Snapshot()
+	ops := make([]storage.Op, 0, len(ids))
+	for _, id := range ids {
+		if m.Kind == MutDelete {
+			ops = append(ops, storage.Op{Kind: storage.OpDelete, Rel: m.Table, ID: id})
+			continue
+		}
+		// UPDATE: merge the SET assignments over the current tuple. A
+		// tuple deleted since the read phase is skipped here (and again,
+		// defensively, at apply time).
+		t, ok := cur.Tuple(id)
+		if !ok {
+			continue
+		}
+		seq := t.Seq
+		var attrs map[string]string
+		if len(t.Attrs) > 0 {
+			attrs = make(map[string]string, len(t.Attrs))
+			for k, v := range t.Attrs {
+				attrs[k] = v
+			}
+		}
+		for _, sc := range m.Set {
+			if !sc.Value.IsLit {
+				return nil, fmt.Errorf("query: SET values must be literals (got %s)", sc.Value)
+			}
+			if sc.Name == "seq" {
+				seq = sc.Value.Lit
+				continue
+			}
+			if attrs == nil {
+				attrs = make(map[string]string, len(m.Set))
+			}
+			attrs[sc.Name] = sc.Value.Lit
+		}
+		ops = append(ops, storage.Op{Kind: storage.OpUpdate, Rel: m.Table, ID: id, Seq: seq, Attrs: attrs})
+	}
+	applied, err := e.applyOps(ops)
+	if err != nil {
+		return nil, err
+	}
+	return mutationResult(applied, stats, mutationExplain(root, plan.describe()).Plan), nil
+}
+
+// collectIDs drives a read plan and pulls each matched tuple id
+// straight from the binding — no result-row materialisation, no
+// int -> string -> int round trip.
+func collectIDs(plan *compiledPlan, alias string) ([]int, ExecStats, error) {
+	if err := plan.root.Open(); err != nil {
+		plan.root.Close()
+		return nil, ExecStats{}, err
+	}
+	var ids []int
+	for {
+		b, err := plan.root.Next()
+		if err != nil {
+			plan.root.Close()
+			return nil, ExecStats{}, err
+		}
+		if b == nil {
+			break
+		}
+		ids = append(ids, b.aliases[alias].ID)
+	}
+	if err := plan.root.Close(); err != nil {
+		return nil, ExecStats{}, err
+	}
+	return ids, plan.ctx.snapshot(), nil
+}
+
+// applyOps commits a write batch through the attached store, or
+// directly to the catalog (storage.Apply — same algorithm, no WAL)
+// when none is attached.
+func (e *Engine) applyOps(ops []storage.Op) (int, error) {
+	if st := e.storeRef(); st != nil {
+		res, err := st.Commit(ops)
+		return res.Applied, err
+	}
+	res, err := storage.Apply(e.catalog, ops)
+	return res.Applied, err
+}
+
+// mutationResult is the uniform DML result: a one-row count relation
+// plus the read-phase work counters and the executed plan tree.
+func mutationResult(count int, stats ExecStats, plan string) *Result {
+	return &Result{
+		Columns: []string{"count"},
+		Rows:    [][]string{{strconv.Itoa(count)}},
+		Stats:   stats,
+		Plan:    plan,
+	}
+}
+
+// mutationExplain renders a Mutate root over the (optional) read plan.
+func mutationExplain(root, readPlan string) *Result {
+	tree := root
+	if readPlan != "" {
+		lines := strings.Split(readPlan, "\n")
+		tree += "\n└─ " + lines[0]
+		for _, l := range lines[1:] {
+			tree += "\n   " + l
+		}
+	}
+	return &Result{Columns: []string{"plan"}, Rows: [][]string{{tree}}, Plan: tree}
+}
+
+// mutationHasParams reports whether any parameter slot is still open.
+func mutationHasParams(m *Mutation) bool {
+	if len(m.Params) > 0 {
+		return true
+	}
+	for _, row := range m.Rows {
+		for _, v := range row {
+			if v.Param != nil {
+				return true
+			}
+		}
+	}
+	for _, sc := range m.Set {
+		if sc.Value.Param != nil {
+			return true
+		}
+	}
+	return exprHasParams(m.Where)
+}
+
+// IsDML cheaply reports whether statement text is a mutation
+// (optionally prefixed with EXPLAIN) without parsing it. Servers use it
+// to route writes onto a no-abandon execution path: a write must never
+// be reported failed while its commit proceeds.
+func IsDML(src string) bool { return isDMLText(src) }
+
+// IsMutation reports whether the prepared statement is DML.
+func (pq *PreparedQuery) IsMutation() bool { return pq.mut != nil }
+
+// isDMLText cheaply detects DML statement text (optionally prefixed
+// with EXPLAIN) so Engine.Execute can bypass the plan cache without
+// parsing. Allocation-free: the serving read path calls it per query.
+func isDMLText(src string) bool {
+	w, rest := firstWord(src)
+	if strings.EqualFold(w, "explain") {
+		w, _ = firstWord(rest)
+	}
+	return strings.EqualFold(w, "insert") ||
+		strings.EqualFold(w, "delete") ||
+		strings.EqualFold(w, "update")
+}
+
+func firstWord(s string) (word, rest string) {
+	i := 0
+	for i < len(s) && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r') {
+		i++
+	}
+	j := i
+	for j < len(s) && isIdentPart(s[j]) {
+		j++
+	}
+	return s[i:j], s[j:]
+}

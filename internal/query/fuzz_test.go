@@ -1,0 +1,76 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds covers every statement family, the DML grammar included, so
+// the fuzzers start from the interesting corners of the language.
+var fuzzSeeds = []string{
+	`SELECT * FROM words WHERE seq SIMILAR TO "colour" WITHIN 2 USING edits`,
+	`SELECT a.seq, dist FROM s a, s b WHERE a.seq SIMILAR TO b.seq WITHIN 1 USING e ORDER BY dist DESC LIMIT 3`,
+	`SELECT * FROM words WHERE seq NEAREST 5 TO "color" USING edits`,
+	`SELECT * FROM w WHERE seq SIMILAR TO PATTERN "a(b|c)*d" WITHIN 1 USING edits`,
+	`SELECT * FROM w WHERE seq SIMILAR TO ? WITHIN ? USING e LIMIT ?`,
+	`SELECT * FROM w WHERE seq SIMILAR TO :t WITHIN :r USING e`,
+	`EXPLAIN SELECT * FROM w WHERE NOT (a = "x" OR b != "y")`,
+	`INSERT INTO words VALUES ("abc")`,
+	`INSERT INTO words (seq, lang) VALUES ("abc", "en"), (?, ?)`,
+	`DELETE FROM words WHERE seq SIMILAR TO "tmp" WITHIN 1 USING edits`,
+	`DELETE FROM words`,
+	`UPDATE words SET seq = :s, lang = "en" WHERE id = :id`,
+	`EXPLAIN UPDATE w SET seq = "x" WHERE seq NEAREST 3 TO "y" USING e`,
+	`;`, `"unterminated`, `:`, `INSERT INTO`, `UPDATE SET`,
+	"SELECT * FROM w WHERE a = \"\\\"esc\\\"\"",
+}
+
+// FuzzLex asserts the lexer never panics and that every token it emits
+// stays inside the input's bounds.
+func FuzzLex(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].kind != tokEOF {
+			t.Fatalf("lex(%q): missing EOF token", src)
+		}
+		for _, tok := range toks {
+			if tok.pos < 0 || tok.pos > len(src) {
+				t.Fatalf("lex(%q): token %v out of bounds", src, tok)
+			}
+		}
+	})
+}
+
+// FuzzParse asserts the parser never panics, and that every statement
+// it accepts round-trips: rendering it and parsing the rendering yields
+// the same rendering (a fixpoint after at most one normalisation step).
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := ParseStatement(src)
+		if err != nil {
+			return
+		}
+		first := stmt.String()
+		re, err := ParseStatement(first)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its own rendering %q: %v", src, first, err)
+		}
+		if second := re.String(); second != first {
+			t.Fatalf("rendering not a fixpoint: %q -> %q", first, second)
+		}
+		// The DML text sniffer must agree with the parser's verdict.
+		_, isMut := stmt.(*Mutation)
+		if isDMLText(src) != isMut && !strings.EqualFold(strings.TrimSpace(src), "") {
+			t.Fatalf("isDMLText(%q) = %v, parser says %v", src, isDMLText(src), isMut)
+		}
+	})
+}

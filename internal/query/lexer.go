@@ -14,9 +14,23 @@
 //	SELECT * FROM words WHERE seq SIMILAR TO :target WITHIN :radius USING edits
 //	EXPLAIN SELECT ...
 //
+// The language also has DML, threaded through the same lexer, parser,
+// planner and executor (see ast_dml.go, engine_dml.go):
+//
+//	INSERT INTO words VALUES ("colour")
+//	INSERT INTO words (seq, lang) VALUES (?, ?), ("color", "en")
+//	DELETE FROM words WHERE seq SIMILAR TO "tmp" WITHIN 1 USING edits
+//	UPDATE words SET lang = "en" WHERE id = "3"
+//	EXPLAIN DELETE FROM ...
+//
 // '?' and ':name' are bind parameters: such statements cannot be run
 // directly but are compiled once with Engine.Prepare and executed many
 // times with different bound values (see prepared.go).
+//
+// INSERT, INTO, VALUES, DELETE, UPDATE and SET are reserved words as
+// of the DML grammar (alongside SELECT, FROM, WHERE, ...): attributes
+// or aliases with those names can no longer be referenced bare in
+// statements — the usual cost of growing a SQL grammar.
 //
 // The package contains the lexer, parser, cost-based planner and a
 // Volcano-style executor: queries compile to trees of physical

@@ -21,36 +21,35 @@ const infCut = 1e300
 
 // ---------------------------------------------------------------- scan
 
-// scanOp streams the tuples of one relation shard. Shard (i, n) covers
-// a contiguous tuple range, so concatenating shards 0..n-1 reproduces
-// the serial scan order — the invariant parallel plans rely on.
+// scanOp streams the visible tuples of one snapshot shard. Shard (i, n)
+// covers a contiguous arena range, so concatenating shards 0..n-1
+// reproduces the serial scan order — the invariant parallel plans rely
+// on. Reading through the snapshot gives every query a consistent view
+// while concurrent commits land.
 type scanOp struct {
 	ctx           *execCtx
-	rel           *relation.Relation
+	snap          *relation.Snapshot
 	alias         string
 	shard, shards int
 
-	tuples []relation.Tuple
-	pos    int
-	local  ExecStats
+	cur   *relation.Cursor
+	local ExecStats
 }
 
-func newScanOp(ctx *execCtx, rel *relation.Relation, alias string) *scanOp {
-	return &scanOp{ctx: ctx, rel: rel, alias: alias, shards: 1}
+func newScanOp(ctx *execCtx, snap *relation.Snapshot, alias string) *scanOp {
+	return &scanOp{ctx: ctx, snap: snap, alias: alias, shards: 1}
 }
 
 func (o *scanOp) Open() error {
-	o.tuples = o.rel.Shard(o.shard, o.shards)
-	o.pos = 0
+	o.cur = o.snap.Shard(o.shard, o.shards)
 	return nil
 }
 
 func (o *scanOp) Next() (*binding, error) {
-	if o.pos >= len(o.tuples) {
+	t, ok := o.cur.Next()
+	if !ok {
 		return nil, nil
 	}
-	t := o.tuples[o.pos]
-	o.pos++
 	o.local.Candidates++
 	return &binding{aliases: map[string]relation.Tuple{o.alias: t}}, nil
 }
@@ -75,10 +74,13 @@ func (o *scanOp) Children() []Operator { return nil }
 // indexRangeOp streams matches of "seq SIMILAR TO lit WITHIN k" from a
 // metric index (BK-tree or trie, chosen by the cost model). The
 // underlying iterator is lazy, so a LIMIT above this operator stops the
-// index traversal early instead of post-filtering a full result.
+// index traversal early instead of post-filtering a full result. The
+// online-maintained index is a superset of the snapshot, so every match
+// passes through the snapshot's visibility filter: tombstoned rows and
+// post-snapshot inserts are skipped.
 type indexRangeOp struct {
 	ctx     *execCtx
-	rel     *relation.Relation
+	snap    *relation.Snapshot
 	alias   string
 	via     string // "bktree" or "trie"
 	target  string
@@ -92,28 +94,30 @@ func (o *indexRangeOp) Open() error {
 	var idx index.Index
 	switch o.via {
 	case "trie":
-		idx = o.rel.Trie()
+		idx = o.snap.Trie()
 	default:
-		idx = o.rel.BKTree()
+		idx = o.snap.BKTree()
 	}
 	o.iter = idx.RangeIter(o.target, o.radius)
 	return nil
 }
 
 func (o *indexRangeOp) Next() (*binding, error) {
-	m, ok := o.iter.Next()
-	if !ok {
-		return nil, nil
+	for {
+		m, ok := o.iter.Next()
+		if !ok {
+			return nil, nil
+		}
+		t, ok := o.snap.Tuple(m.ID)
+		if !ok {
+			continue // invisible at this snapshot (tombstone or later insert)
+		}
+		return &binding{
+			aliases: map[string]relation.Tuple{o.alias: t},
+			dist:    m.Dist,
+			hasDist: true,
+		}, nil
 	}
-	t, ok := o.rel.Tuple(m.ID)
-	if !ok {
-		return nil, fmt.Errorf("query: index returned unknown id %d", m.ID)
-	}
-	return &binding{
-		aliases: map[string]relation.Tuple{o.alias: t},
-		dist:    m.Dist,
-		hasDist: true,
-	}, nil
 }
 
 func (o *indexRangeOp) Close() error {
@@ -129,7 +133,6 @@ func (o *indexRangeOp) Describe() string {
 	return fmt.Sprintf("IndexRange(%s via %s, target=%s, radius=%d, ruleset=%s)",
 		o.alias, o.via, o.target, o.radius, o.ruleSet)
 }
-
 func (o *indexRangeOp) Children() []Operator { return nil }
 
 // ----------------------------------------------------------- nearest-k
@@ -140,7 +143,7 @@ func (o *indexRangeOp) Children() []Operator { return nil }
 // current kth-best distance, so most tuples abort their DP early.
 type nearestKOp struct {
 	ctx     *execCtx
-	rel     *relation.Relation
+	snap    *relation.Snapshot
 	alias   string
 	via     string // "bktree" or "scan"
 	target  string
@@ -154,7 +157,10 @@ type nearestKOp struct {
 func (o *nearestKOp) Open() error {
 	o.pos = 0
 	if o.via == "bktree" {
-		m, st := o.rel.BKTree().NearestKStats(o.target, o.k)
+		// The shared tree may hold tombstoned or post-snapshot entries;
+		// the visibility filter keeps them out of the best list without
+		// losing true answers.
+		m, st := o.snap.BKTree().NearestKFilterStats(o.target, o.k, o.snap.Visible)
 		o.matches = m
 		o.ctx.addStats(ExecStats{Candidates: st.Candidates, Verifications: st.Verifications})
 		return nil
@@ -169,18 +175,19 @@ func (o *nearestKOp) Open() error {
 	// banded DP abandons most candidates early.
 	var best []index.Match
 	bound := math.Inf(1)
-	for _, t := range o.rel.Tuples() {
+	cur := o.snap.Shard(0, 1)
+	for t, ok := cur.Next(); ok; t, ok = cur.Next() {
 		local.Candidates++
 		local.Verifications++
 		var d float64
-		var ok bool
+		var within bool
 		if math.IsInf(bound, 1) {
 			d = calc.Distance(t.Seq, o.target)
-			ok = d < infCut
+			within = d < infCut
 		} else {
-			d, ok = calc.Within(t.Seq, o.target, bound)
+			d, within = calc.Within(t.Seq, o.target, bound)
 		}
-		if !ok {
+		if !within {
 			continue
 		}
 		best = index.PushBestK(best, index.Match{ID: t.ID, S: t.Seq, Dist: d}, o.k)
@@ -199,7 +206,7 @@ func (o *nearestKOp) Next() (*binding, error) {
 	}
 	m := o.matches[o.pos]
 	o.pos++
-	t, _ := o.rel.Tuple(m.ID)
+	t, _ := o.snap.Tuple(m.ID)
 	return &binding{
 		aliases: map[string]relation.Tuple{o.alias: t},
 		dist:    m.Dist,
@@ -488,7 +495,7 @@ func (o *nestedLoopJoinOp) Children() []Operator { return []Operator{o.outer, o.
 type indexJoinOp struct {
 	ctx        *execCtx
 	outer      Operator
-	rel        *relation.Relation // inner, indexed side
+	snap       *relation.Snapshot // inner, indexed side
 	alias      string             // inner alias
 	probeField FieldRef           // outer-side join field
 	sim        *SimExpr
@@ -516,7 +523,7 @@ func (o *indexJoinOp) Next() (*binding, error) {
 			if err != nil {
 				return nil, err
 			}
-			m, st := o.rel.BKTree().RangeStats(probe, int(o.sim.Radius))
+			m, st := o.snap.BKTree().RangeStats(probe, int(o.sim.Radius))
 			sort.Slice(m, func(i, j int) bool { return m[i].ID < m[j].ID })
 			o.matches, o.pos = m, 0
 			o.local.Candidates += st.Candidates
@@ -528,9 +535,9 @@ func (o *indexJoinOp) Next() (*binding, error) {
 		}
 		m := o.matches[o.pos]
 		o.pos++
-		t, ok := o.rel.Tuple(m.ID)
+		t, ok := o.snap.Tuple(m.ID)
 		if !ok {
-			return nil, fmt.Errorf("query: index returned unknown id %d", m.ID)
+			continue // invisible at this snapshot (tombstone or later insert)
 		}
 		b := mergeBindings(o.cur, &binding{aliases: map[string]relation.Tuple{o.alias: t}})
 		if !b.hasDist {

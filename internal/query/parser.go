@@ -6,16 +6,45 @@ import (
 	"strings"
 )
 
-// Parse parses one statement.
+// Parse parses one SELECT statement. DML statements are rejected here;
+// use ParseStatement (Engine.Execute and Engine.Prepare do).
 func Parse(src string) (*Query, error) {
+	stmt, err := ParseStatement(src)
+	if err != nil {
+		return nil, err
+	}
+	q, ok := stmt.(*Query)
+	if !ok {
+		return nil, fmt.Errorf("query: Parse handles SELECT only; use ParseStatement for %q", src)
+	}
+	return q, nil
+}
+
+// ParseStatement parses one statement of any kind: SELECT, INSERT,
+// DELETE or UPDATE, each optionally prefixed with EXPLAIN.
+func ParseStatement(src string) (Statement, error) {
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err
 	}
 	p := &qparser{toks: toks, src: src}
-	q, err := p.parseQuery()
-	if err != nil {
-		return nil, err
+	lead := p.leadKeyword()
+	var stmt Statement
+	switch lead {
+	case "insert", "delete", "update":
+		m, err := p.parseMutation()
+		if err != nil {
+			return nil, err
+		}
+		m.Params = p.params
+		stmt = m
+	default:
+		q, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		q.Params = p.params
+		stmt = q
 	}
 	if p.cur().kind == tokSemi {
 		p.next()
@@ -26,8 +55,20 @@ func Parse(src string) (*Query, error) {
 	if p.named && p.npos > 0 {
 		return nil, fmt.Errorf("query: cannot mix positional '?' and named ':name' parameters (in %q)", src)
 	}
-	q.Params = p.params
-	return q, nil
+	return stmt, nil
+}
+
+// leadKeyword peeks the statement-dispatching keyword, skipping an
+// EXPLAIN prefix, without consuming anything.
+func (p *qparser) leadKeyword() string {
+	i := p.pos
+	if i < len(p.toks) && p.toks[i].kind == tokIdent && strings.EqualFold(p.toks[i].text, "explain") {
+		i++
+	}
+	if i < len(p.toks) && p.toks[i].kind == tokIdent {
+		return strings.ToLower(p.toks[i].text)
+	}
+	return ""
 }
 
 type qparser struct {
@@ -172,9 +213,187 @@ var keywords = map[string]bool{
 	"not": true, "similar": true, "to": true, "within": true, "using": true,
 	"pattern": true, "nearest": true, "limit": true, "explain": true,
 	"order": true, "by": true, "asc": true, "desc": true,
+	"insert": true, "into": true, "values": true,
+	"delete": true, "update": true, "set": true,
 }
 
 func isKeyword(s string) bool { return keywords[strings.ToLower(s)] }
+
+// parseMutation parses one INSERT, DELETE or UPDATE statement.
+func (p *qparser) parseMutation() (*Mutation, error) {
+	m := &Mutation{}
+	if p.keyword("explain") {
+		m.Explain = true
+	}
+	switch {
+	case p.keyword("insert"):
+		m.Kind = MutInsert
+		if err := p.expectKeyword("into"); err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokIdent {
+			return nil, p.errf("expected relation name, got %s", p.cur().kind)
+		}
+		m.Table = p.next().text
+		if p.cur().kind == tokLParen {
+			p.next()
+			for {
+				if p.cur().kind != tokIdent {
+					return nil, p.errf("expected column name, got %s", p.cur().kind)
+				}
+				m.Columns = append(m.Columns, p.next().text)
+				if p.cur().kind != tokComma {
+					break
+				}
+				p.next()
+			}
+			if p.cur().kind != tokRParen {
+				return nil, p.errf("missing ')' after column list")
+			}
+			p.next()
+			seen := map[string]bool{}
+			hasSeq := false
+			for _, c := range m.Columns {
+				if seen[c] {
+					return nil, p.errf("duplicate column %q", c)
+				}
+				seen[c] = true
+				if c == "seq" {
+					hasSeq = true
+				}
+				if c == "id" || c == "dist" {
+					return nil, p.errf("column %q cannot be inserted", c)
+				}
+			}
+			if !hasSeq {
+				return nil, p.errf("INSERT column list must include seq")
+			}
+		} else {
+			m.Columns = []string{"seq"}
+		}
+		if err := p.expectKeyword("values"); err != nil {
+			return nil, err
+		}
+		for {
+			row, err := p.parseValueRow(len(m.Columns))
+			if err != nil {
+				return nil, err
+			}
+			m.Rows = append(m.Rows, row)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+	case p.keyword("delete"):
+		m.Kind = MutDelete
+		if err := p.expectKeyword("from"); err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokIdent {
+			return nil, p.errf("expected relation name, got %s", p.cur().kind)
+		}
+		m.Table = p.next().text
+		if p.keyword("where") {
+			e, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			m.Where = e
+		}
+	case p.keyword("update"):
+		m.Kind = MutUpdate
+		if p.cur().kind != tokIdent {
+			return nil, p.errf("expected relation name, got %s", p.cur().kind)
+		}
+		m.Table = p.next().text
+		if err := p.expectKeyword("set"); err != nil {
+			return nil, err
+		}
+		seen := map[string]bool{}
+		for {
+			if p.cur().kind != tokIdent {
+				return nil, p.errf("expected column name, got %s", p.cur().kind)
+			}
+			name := p.next().text
+			if name == "id" || name == "dist" {
+				return nil, p.errf("column %q cannot be assigned", name)
+			}
+			if seen[name] {
+				return nil, p.errf("duplicate SET column %q", name)
+			}
+			seen[name] = true
+			if p.cur().kind != tokEq {
+				return nil, p.errf("expected '=' after SET column")
+			}
+			p.next()
+			v, err := p.parseValue()
+			if err != nil {
+				return nil, err
+			}
+			m.Set = append(m.Set, SetClause{Name: name, Value: v})
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.next()
+		}
+		if p.keyword("where") {
+			e, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			m.Where = e
+		}
+	default:
+		return nil, p.errf("expected INSERT, DELETE or UPDATE, got %q", p.cur().text)
+	}
+	return m, nil
+}
+
+// parseValueRow parses one parenthesised VALUES tuple of exactly want
+// values.
+func (p *qparser) parseValueRow(want int) ([]Operand, error) {
+	if p.cur().kind != tokLParen {
+		return nil, p.errf("expected '(' to open a VALUES row")
+	}
+	p.next()
+	var row []Operand
+	for {
+		v, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, v)
+		if p.cur().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	if p.cur().kind != tokRParen {
+		return nil, p.errf("missing ')' after VALUES row")
+	}
+	p.next()
+	if len(row) != want {
+		return nil, p.errf("VALUES row has %d values, want %d", len(row), want)
+	}
+	return row, nil
+}
+
+// parseValue parses one DML value: a string or number literal, or a
+// bind parameter. Field references are not values — DML assigns
+// constants.
+func (p *qparser) parseValue() (Operand, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokString, tokNumber:
+		p.next()
+		return Operand{Lit: t.text, IsLit: true}, nil
+	case tokQMark, tokNamedParam:
+		return Operand{Param: p.takeParam()}, nil
+	default:
+		return Operand{}, p.errf("expected a literal or parameter, got %s", t.kind)
+	}
+}
 
 func (p *qparser) parseColumn() (Column, error) {
 	if p.cur().kind != tokIdent {

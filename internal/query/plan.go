@@ -280,10 +280,51 @@ func (e *Engine) decideParallel(q *Query, outerRows int, hasWork bool) (bool, in
 // It performs no validation and no costing: the decision is trusted, so
 // a cached decision turns text into an executable plan with nothing but
 // map lookups and tree construction.
+//
+// Every execution reads through MVCC snapshots taken here, one per
+// distinct relation (self-joins share a snapshot), so the query sees a
+// consistent version of each relation while concurrent commits land.
+// Consistency is per relation: snapshots of different relations are
+// taken at slightly different instants, so a query joining two
+// relations can observe a multi-relation Store.Commit half-applied
+// (epochs are per relation; see DESIGN.md). When the decision uses an
+// index the shared online-maintained structure is ensured *before*
+// snapshotting, so the snapshot's head carries it and no per-query
+// build happens.
 func (e *Engine) buildPlan(q *Query, d *planDecision) (*compiledPlan, error) {
 	rels, err := e.resolveFrom(q)
 	if err != nil {
 		return nil, err
+	}
+	// Ensure shared index structures ahead of the snapshots.
+	switch d.kind {
+	case accessRange:
+		if d.via == "trie" {
+			rels[0].Trie()
+		} else {
+			rels[0].BKTree()
+		}
+	case accessNearest:
+		if d.via == "bktree" {
+			rels[0].BKTree()
+		}
+	case accessJoin:
+		for i, ref := range q.From {
+			for _, step := range d.steps {
+				if step.index && step.alias == ref.Alias {
+					rels[i].BKTree()
+				}
+			}
+		}
+	}
+	snaps := make(map[*relation.Relation]*relation.Snapshot, len(rels))
+	snapOf := func(r *relation.Relation) *relation.Snapshot {
+		if s, ok := snaps[r]; ok {
+			return s
+		}
+		s := r.Snapshot()
+		snaps[r] = s
+		return s
 	}
 	ctx := &execCtx{eng: e}
 	cp := &compiledPlan{ctx: ctx, columns: projectColumns(q)}
@@ -293,15 +334,15 @@ func (e *Engine) buildPlan(q *Query, d *planDecision) (*compiledPlan, error) {
 	case accessNearest:
 		ne := q.Where.(NearestExpr)
 		access = &nearestKOp{
-			ctx: ctx, rel: rels[0], alias: q.From[0].Alias,
+			ctx: ctx, snap: snapOf(rels[0]), alias: q.From[0].Alias,
 			via: d.via, target: ne.Target.Lit, k: ne.K, ruleSet: ne.RuleSet,
 		}
 	case accessRange:
-		access, err = e.buildRange(ctx, q, rels[0], d)
+		access, err = e.buildRange(ctx, q, snapOf(rels[0]), d)
 	case accessScan:
-		access = e.buildScan(ctx, q, rels[0], d)
+		access = e.buildScan(ctx, q, snapOf(rels[0]), d)
 	case accessJoin:
-		access, err = e.buildJoin(ctx, q, rels, d)
+		access, err = e.buildJoin(ctx, q, rels, snapOf, d)
 	default:
 		err = fmt.Errorf("query: unknown access kind %d", d.kind)
 	}
@@ -326,13 +367,13 @@ func (e *Engine) buildPlan(q *Query, d *planDecision) (*compiledPlan, error) {
 // buildRange reconstructs the IndexRange pipeline; extraction is
 // deterministic, so the same conjunct the decision was made for is
 // found again.
-func (e *Engine) buildRange(ctx *execCtx, q *Query, rel *relation.Relation, d *planDecision) (Operator, error) {
+func (e *Engine) buildRange(ctx *execCtx, q *Query, snap *relation.Snapshot, d *planDecision) (Operator, error) {
 	sim, residual := extractRangeSim(q.Where, e.rangeIndexable)
 	if sim == nil {
 		return nil, fmt.Errorf("query: stale plan: no indexable conjunct")
 	}
 	var op Operator = &indexRangeOp{
-		ctx: ctx, rel: rel, alias: q.From[0].Alias, via: d.via,
+		ctx: ctx, snap: snap, alias: q.From[0].Alias, via: d.via,
 		target: sim.Target.Lit, radius: int(sim.Radius), ruleSet: sim.RuleSet,
 	}
 	if res := simplifyExpr(residual); !isTrivial(res) {
@@ -342,11 +383,11 @@ func (e *Engine) buildRange(ctx *execCtx, q *Query, rel *relation.Relation, d *p
 }
 
 // buildScan constructs the (possibly parallel) scan+filter pipeline.
-func (e *Engine) buildScan(ctx *execCtx, q *Query, rel *relation.Relation, d *planDecision) Operator {
+func (e *Engine) buildScan(ctx *execCtx, q *Query, snap *relation.Snapshot, d *planDecision) Operator {
 	alias := q.From[0].Alias
 	pred := simplifyExpr(q.Where)
 	build := func(shard, shards int) Operator {
-		sc := newScanOp(ctx, rel, alias)
+		sc := newScanOp(ctx, snap, alias)
 		sc.shard, sc.shards = shard, shards
 		var op Operator = sc
 		if !isTrivial(pred) {
@@ -361,7 +402,7 @@ func (e *Engine) buildScan(ctx *execCtx, q *Query, rel *relation.Relation, d *pl
 // position from extractJoinSims' deterministic output; edges not used
 // by any step (cycles) become residual predicates — they must still
 // hold on each output binding.
-func (e *Engine) buildJoin(ctx *execCtx, q *Query, rels []*relation.Relation, d *planDecision) (Operator, error) {
+func (e *Engine) buildJoin(ctx *execCtx, q *Query, rels []*relation.Relation, snapOf func(*relation.Relation) *relation.Snapshot, d *planDecision) (Operator, error) {
 	relOf := map[string]*relation.Relation{}
 	for i, ref := range q.From {
 		relOf[ref.Alias] = rels[i]
@@ -382,20 +423,27 @@ func (e *Engine) buildJoin(ctx *execCtx, q *Query, rels []*relation.Relation, d 
 
 	pred := simplifyExpr(residual)
 	steps := d.steps
+	// Resolve snapshots eagerly: the build closure runs concurrently in
+	// parallel shard workers and must not touch the snapshot map.
+	startSnap := snapOf(relOf[d.start])
+	stepSnaps := make([]*relation.Snapshot, len(steps))
+	for i, step := range steps {
+		stepSnaps[i] = snapOf(relOf[step.alias])
+	}
 	build := func(shard, shards int) Operator {
-		sc := newScanOp(ctx, relOf[d.start], d.start)
+		sc := newScanOp(ctx, startSnap, d.start)
 		sc.shard, sc.shards = shard, shards
 		var op Operator = sc
-		for _, step := range steps {
+		for i, step := range steps {
 			if step.index {
 				op = &indexJoinOp{
-					ctx: ctx, outer: op, rel: relOf[step.alias], alias: step.alias,
+					ctx: ctx, outer: op, snap: stepSnaps[i], alias: step.alias,
 					probeField: step.probeField, sim: edges[step.edge],
 				}
 			} else {
 				op = &nestedLoopJoinOp{
 					ctx: ctx, outer: op,
-					inner: newScanOp(ctx, relOf[step.alias], step.alias),
+					inner: newScanOp(ctx, stepSnaps[i], step.alias),
 					sim:   edges[step.edge],
 				}
 			}

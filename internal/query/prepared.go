@@ -18,11 +18,15 @@ import (
 	"sync"
 )
 
-// PreparedQuery is a reusable compiled statement with bind parameters.
+// PreparedQuery is a reusable compiled statement with bind parameters —
+// a SELECT template (decision-cached) or a DML template (its read phase
+// is planned per execution against fresh statistics).
 type PreparedQuery struct {
-	eng  *Engine
-	src  string
-	tmpl *Query
+	eng    *Engine
+	src    string
+	tmpl   *Query     // SELECT template; nil for DML
+	mut    *Mutation  // DML template; nil for SELECT
+	params []ParamRef // every parameter, in order of appearance
 
 	mu        sync.Mutex
 	decisions map[string]*planDecision
@@ -41,14 +45,25 @@ type PreparedStats struct {
 // limit. The cache resets wholesale — decisions are cheap to recompute.
 const maxDecisionCacheEntries = 64
 
-// Prepare parses a statement into a reusable PreparedQuery. Rule sets,
-// relation names and pattern syntax are validated eagerly; bind values
-// are supplied per execution via Execute/ExecuteNamed.
+// Prepare parses a statement — SELECT or DML — into a reusable
+// PreparedQuery. Rule sets, relation names and pattern syntax are
+// validated eagerly; bind values are supplied per execution via
+// Execute/ExecuteNamed.
 func (e *Engine) Prepare(src string) (*PreparedQuery, error) {
-	q, err := Parse(src)
+	stmt, err := ParseStatement(src)
 	if err != nil {
 		return nil, err
 	}
+	if m, ok := stmt.(*Mutation); ok {
+		if _, ok := e.catalog.Get(m.Table); !ok {
+			return nil, fmt.Errorf("query: unknown relation %q", m.Table)
+		}
+		if err := e.validateExpr(m.Where); err != nil {
+			return nil, err
+		}
+		return &PreparedQuery{eng: e, src: src, mut: m, params: m.Params}, nil
+	}
+	q := stmt.(*Query)
 	if _, err := e.resolveFrom(q); err != nil {
 		return nil, err
 	}
@@ -57,7 +72,7 @@ func (e *Engine) Prepare(src string) (*PreparedQuery, error) {
 		return nil, err
 	}
 	return &PreparedQuery{
-		eng: e, src: src, tmpl: q,
+		eng: e, src: src, tmpl: q, params: q.Params,
 		decisions: make(map[string]*planDecision),
 	}, nil
 }
@@ -73,7 +88,7 @@ func (pq *PreparedQuery) NumParams() int {
 		return len(names)
 	}
 	n := 0
-	for _, p := range pq.tmpl.Params {
+	for _, p := range pq.params {
 		if p.Idx >= n {
 			n = p.Idx + 1
 		}
@@ -86,7 +101,7 @@ func (pq *PreparedQuery) NumParams() int {
 func (pq *PreparedQuery) ParamNames() []string {
 	var names []string
 	seen := map[string]bool{}
-	for _, p := range pq.tmpl.Params {
+	for _, p := range pq.params {
 		if p.Name != "" && !seen[p.Name] {
 			seen[p.Name] = true
 			names = append(names, p.Name)
@@ -160,6 +175,9 @@ func (pq *PreparedQuery) namedLookup(args map[string]any) func(ParamRef) (any, e
 
 // run binds, plans (or reuses a cached decision) and executes.
 func (pq *PreparedQuery) run(lookup func(ParamRef) (any, error), explain bool) (*Result, error) {
+	if pq.mut != nil {
+		return pq.runMutation(lookup, explain)
+	}
 	q, err := bindQuery(pq.tmpl, lookup)
 	if err != nil {
 		return nil, err
@@ -192,6 +210,33 @@ func (pq *PreparedQuery) run(lookup func(ParamRef) (any, error), explain bool) (
 	if reused {
 		pq.stats.PlanReuses++
 	} else {
+		pq.stats.Plans++
+	}
+	pq.mu.Unlock()
+	return res, nil
+}
+
+// runMutation binds a DML template and executes it. Unlike SELECT there
+// is no decision cache: the read phase of DELETE/UPDATE re-plans
+// against the statistics current at execution (the relation is mutating
+// under this very statement, so memoised decisions would go stale
+// immediately).
+func (pq *PreparedQuery) runMutation(lookup func(ParamRef) (any, error), explain bool) (*Result, error) {
+	m, err := bindMutation(pq.mut, lookup)
+	if err != nil {
+		return nil, err
+	}
+	m.Explain = m.Explain || explain
+	res, err := pq.eng.ExecuteMutation(m)
+	if err != nil {
+		return nil, err
+	}
+	pq.mu.Lock()
+	pq.stats.Executions++
+	if m.Kind != MutInsert {
+		// Only DELETE/UPDATE run the cost-based planner (for their read
+		// phase); INSERT performs no planning, so it must not inflate
+		// the Plans counter that signals decision-cache misses.
 		pq.stats.Plans++
 	}
 	pq.mu.Unlock()
@@ -354,6 +399,44 @@ func bindExpr(ex Expr, lookup func(ParamRef) (any, error)) (Expr, error) {
 		return out, nil
 	}
 	return ex, nil
+}
+
+// bindMutation substitutes every parameter of a DML template, returning
+// a fresh, fully-bound Mutation. The template is never mutated.
+func bindMutation(tmpl *Mutation, lookup func(ParamRef) (any, error)) (*Mutation, error) {
+	m := *tmpl
+	m.Params = nil
+	if tmpl.Where != nil {
+		w, err := bindExpr(tmpl.Where, lookup)
+		if err != nil {
+			return nil, err
+		}
+		m.Where = w
+	}
+	if len(tmpl.Rows) > 0 {
+		m.Rows = make([][]Operand, len(tmpl.Rows))
+		for i, row := range tmpl.Rows {
+			m.Rows[i] = make([]Operand, len(row))
+			for j, v := range row {
+				b, err := bindOperand(v, lookup)
+				if err != nil {
+					return nil, err
+				}
+				m.Rows[i][j] = b
+			}
+		}
+	}
+	if len(tmpl.Set) > 0 {
+		m.Set = make([]SetClause, len(tmpl.Set))
+		for i, sc := range tmpl.Set {
+			b, err := bindOperand(sc.Value, lookup)
+			if err != nil {
+				return nil, err
+			}
+			m.Set[i] = SetClause{Name: sc.Name, Value: b}
+		}
+	}
+	return &m, nil
 }
 
 func bindOperand(o Operand, lookup func(ParamRef) (any, error)) (Operand, error) {

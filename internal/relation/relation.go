@@ -4,9 +4,25 @@
 // auxiliary string attributes (source, date, ...) that queries can
 // filter on with equality predicates.
 //
-// A Relation owns lazily-built similarity indexes so that one loaded
-// data set can serve many query strategies; building is guarded by a
-// mutex, reads of a built index are lock-free.
+// Relations are mutable with MVCC snapshot isolation. Each relation
+// keeps an append-only arena of row versions plus a tombstone epoch per
+// row; all other per-relation state (statistics, index references, the
+// arena slice header itself) lives in an immutable head published
+// through an atomic pointer. A Snapshot captures one head: readers pay
+// a single atomic load, never take a lock, and never block writers.
+// Writers serialize on the relation's mutex, build a successor head and
+// publish it — a committed mutation is one pointer swap, so a reader
+// sees either all of a commit or none of it.
+//
+// Visibility: a row is visible to a snapshot at epoch e iff it sits
+// inside the snapshot's arena prefix (inserts after the snapshot lie
+// beyond its slice length) and its tombstone epoch is > e (deletes at
+// or before e hide it). Updates are delete+insert in one commit.
+//
+// The BK-tree and trie indexes are maintained online: inserts extend
+// the shared index (safe for concurrent readers; see package index),
+// deletes rely on the visibility filter, and compaction rebuilds both
+// the arena and the indexes once enough tombstones accumulate.
 package relation
 
 import (
@@ -42,18 +58,85 @@ func (t Tuple) Attr(name string) string {
 	}
 }
 
-// Relation is a named collection of tuples with lazily-built indexes.
-type Relation struct {
-	name   string
-	tuples []Tuple
+// aliveEpoch marks a row version that has not been deleted.
+const aliveEpoch = ^uint64(0)
 
-	mu      sync.Mutex
+// Row is one immutable tuple version in the arena plus its tombstone
+// epoch. The tuple fields never change after publication; died is the
+// only mutable word and is written exactly once (alive -> epoch).
+type Row struct {
+	Tuple
+	died atomic.Uint64
+}
+
+// head is a relation's published state. A head is immutable once
+// published; every mutation (and every lazy index build) installs a
+// successor. Copying the struct is cheap: the arena is a slice header
+// and the alphabet histogram is 2KB.
+type head struct {
+	epoch    uint64 // commit counter; snapshots are keyed by it
+	rows     []*Row // arena, ascending ID; shared tail-extended across heads
+	nextID   int
+	live     int      // visible rows at this epoch
+	dead     int      // tombstoned rows still in the arena
+	seqBytes int      // total sequence bytes across live rows
+	maxLen   int      // upper bound on live sequence length (exact after compaction)
+	byteRows [256]int // live rows containing each byte (alphabet histogram)
+
+	bk     *index.BKTree
+	trie   *index.Trie
+	length *index.LengthIndex
+	qgram  *index.QGramIndex
+}
+
+// find returns the arena row with the given id, tombstoned or not.
+func (h *head) find(id int) *Row {
+	rows := h.rows
+	i := sort.Search(len(rows), func(i int) bool { return rows[i].ID >= id })
+	if i < len(rows) && rows[i].ID == id {
+		return rows[i]
+	}
+	return nil
+}
+
+// addStats folds one live sequence into the head's statistics.
+func (h *head) addStats(seq string) {
+	h.live++
+	h.seqBytes += len(seq)
+	if len(seq) > h.maxLen {
+		h.maxLen = len(seq)
+	}
+	var seen [256]bool
+	for i := 0; i < len(seq); i++ {
+		if !seen[seq[i]] {
+			seen[seq[i]] = true
+			h.byteRows[seq[i]]++
+		}
+	}
+}
+
+// dropStats removes one live sequence from the statistics. maxLen is
+// left as an upper bound; compaction restores it exactly.
+func (h *head) dropStats(seq string) {
+	h.live--
+	h.dead++
+	h.seqBytes -= len(seq)
+	var seen [256]bool
+	for i := 0; i < len(seq); i++ {
+		if !seen[seq[i]] {
+			seen[seq[i]] = true
+			h.byteRows[seq[i]]--
+		}
+	}
+}
+
+// Relation is a named collection of tuples with MVCC snapshots and
+// online-maintained indexes.
+type Relation struct {
+	name    string
+	mu      sync.Mutex // serializes mutations, compaction and index builds
+	head    atomic.Pointer[head]
 	version atomic.Uint64 // bumped on every mutation; feeds Catalog.StatsVersion
-	bk      *index.BKTree
-	trie    *index.Trie
-	length  *index.LengthIndex
-	qgram   *index.QGramIndex
-	stats   *Stats
 }
 
 // Stats summarises a relation for the cost-based query planner.
@@ -64,26 +147,27 @@ type Stats struct {
 	Alphabet  int     // distinct bytes across all sequences (branching estimate)
 }
 
+// Compaction policy: rebuild the arena and indexes once at least
+// compactMinDead rows are tombstoned AND tombstones make up more than
+// compactDeadFrac of the arena. The floor keeps small churn cheap; the
+// fraction bounds wasted index traversal on large relations.
+const (
+	compactMinDead  = 64
+	compactDeadFrac = 0.25
+)
+
 // New returns an empty relation.
-func New(name string) *Relation { return &Relation{name: name} }
+func New(name string) *Relation {
+	r := &Relation{name: name}
+	r.head.Store(&head{})
+	return r
+}
 
 // Name returns the relation's name.
 func (r *Relation) Name() string { return r.name }
 
-// Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.tuples) }
-
-// Insert appends a tuple and returns its id. Indexes built earlier are
-// invalidated (dropped) — loading precedes querying in this system.
-func (r *Relation) Insert(seq string, attrs map[string]string) int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	id := len(r.tuples)
-	r.tuples = append(r.tuples, Tuple{ID: id, Seq: seq, Attrs: attrs})
-	r.bk, r.trie, r.length, r.qgram, r.stats = nil, nil, nil, nil, nil
-	r.version.Add(1)
-	return id
-}
+// Len returns the number of visible tuples.
+func (r *Relation) Len() int { return r.head.Load().live }
 
 // Version is a mutation counter: it changes whenever the relation's
 // contents (and therefore its statistics) change. Plan caches read it
@@ -91,131 +175,467 @@ func (r *Relation) Insert(seq string, attrs map[string]string) int {
 // must never take a relation's exclusive mutex.
 func (r *Relation) Version() uint64 { return r.version.Load() }
 
-// Tuples returns the tuples. Callers must not modify the slice.
-func (r *Relation) Tuples() []Tuple { return r.tuples }
-
-// Shard returns the i-th of n contiguous tuple partitions (i in
-// [0,n)). Concatenating the shards in order reproduces Tuples exactly,
-// which is what makes parallel scans deterministic.
-func (r *Relation) Shard(i, n int) []Tuple {
-	if n <= 0 || i < 0 || i >= n {
-		return nil
-	}
-	lo := i * len(r.tuples) / n
-	hi := (i + 1) * len(r.tuples) / n
-	return r.tuples[lo:hi]
+// publish installs a successor head and bumps the mutation counter.
+// Caller holds mu.
+func (r *Relation) publish(h *head) {
+	r.head.Store(h)
+	r.version.Add(1)
 }
 
-// Stats returns planner statistics, computing them on first use.
-func (r *Relation) Stats() Stats {
+// Insert appends a tuple and returns its id. Built indexes are
+// maintained online; the new entry becomes visible to snapshots taken
+// after the commit.
+func (r *Relation) Insert(seq string, attrs map[string]string) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.stats == nil {
-		st := Stats{Count: len(r.tuples)}
-		var total int
-		var seen [256]bool
-		for _, t := range r.tuples {
-			total += len(t.Seq)
-			if len(t.Seq) > st.MaxSeqLen {
-				st.MaxSeqLen = len(t.Seq)
-			}
-			for i := 0; i < len(t.Seq); i++ {
-				seen[t.Seq[i]] = true
-			}
-		}
-		if st.Count > 0 {
-			st.AvgSeqLen = float64(total) / float64(st.Count)
-		}
-		for _, s := range seen {
-			if s {
-				st.Alphabet++
-			}
-		}
-		r.stats = &st
+	h := r.head.Load()
+	nh := *h
+	id := nh.nextID
+	row := &Row{Tuple: Tuple{ID: id, Seq: seq, Attrs: attrs}}
+	row.died.Store(aliveEpoch)
+	nh.rows = append(nh.rows, row)
+	nh.nextID++
+	nh.epoch++
+	nh.addStats(seq)
+	if nh.bk != nil {
+		nh.bk.Insert(id, seq)
 	}
-	return *r.stats
+	if nh.trie != nil {
+		nh.trie.Insert(id, seq)
+	}
+	nh.length, nh.qgram = nil, nil
+	r.publish(&nh)
+	return id
 }
 
-// Tuple returns the tuple with the given id.
-func (r *Relation) Tuple(id int) (Tuple, bool) {
-	if id < 0 || id >= len(r.tuples) {
-		return Tuple{}, false
-	}
-	return r.tuples[id], true
+// InsertRow is one input row of InsertBatch.
+type InsertRow struct {
+	Seq   string
+	Attrs map[string]string
 }
 
-// Entries adapts the tuples for the index package.
+// InsertBatch appends several tuples in ONE commit: a single successor
+// head carries every row, so the batch becomes visible atomically and
+// the per-commit costs (head copy, histogram copy, publish, version
+// bump) are paid once instead of per row. Returns the assigned ids.
+func (r *Relation) InsertBatch(rows []InsertRow) []int {
+	if len(rows) == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.head.Load()
+	nh := *h
+	ids := make([]int, len(rows))
+	for i, in := range rows {
+		id := nh.nextID
+		row := &Row{Tuple: Tuple{ID: id, Seq: in.Seq, Attrs: in.Attrs}}
+		row.died.Store(aliveEpoch)
+		nh.rows = append(nh.rows, row)
+		nh.nextID++
+		nh.addStats(in.Seq)
+		if nh.bk != nil {
+			nh.bk.Insert(id, in.Seq)
+		}
+		if nh.trie != nil {
+			nh.trie.Insert(id, in.Seq)
+		}
+		ids[i] = id
+	}
+	nh.epoch++
+	nh.length, nh.qgram = nil, nil
+	r.publish(&nh)
+	return ids
+}
+
+// Delete tombstones the row with the given id; false when no visible
+// row has it. The index entries stay behind (filtered by visibility)
+// until compaction rebuilds the structures.
+func (r *Relation) Delete(id int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.head.Load()
+	row := h.find(id)
+	if row == nil || row.died.Load() != aliveEpoch {
+		return false
+	}
+	nh := *h
+	nh.epoch++
+	// Store the tombstone before publishing the head: a snapshot of the
+	// new head must already see the row dead.
+	row.died.Store(nh.epoch)
+	nh.dropStats(row.Seq)
+	nh.length, nh.qgram = nil, nil
+	r.publish(&nh)
+	r.maybeCompact()
+	return true
+}
+
+// Update replaces the row with the given id in one commit: the old
+// version is tombstoned and a fresh version (new id) inserted, so
+// every snapshot sees either the old row or the new one, never both.
+// Returns the new id; false when no visible row has the old id.
+func (r *Relation) Update(id int, seq string, attrs map[string]string) (int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.head.Load()
+	row := h.find(id)
+	if row == nil || row.died.Load() != aliveEpoch {
+		return 0, false
+	}
+	nh := *h
+	nh.epoch++
+	row.died.Store(nh.epoch)
+	nh.dropStats(row.Seq)
+	newID := nh.nextID
+	nrow := &Row{Tuple: Tuple{ID: newID, Seq: seq, Attrs: attrs}}
+	nrow.died.Store(aliveEpoch)
+	nh.rows = append(nh.rows, nrow)
+	nh.nextID++
+	nh.addStats(seq)
+	if nh.bk != nil {
+		nh.bk.Insert(newID, seq)
+	}
+	if nh.trie != nil {
+		nh.trie.Insert(newID, seq)
+	}
+	nh.length, nh.qgram = nil, nil
+	r.publish(&nh)
+	r.maybeCompact()
+	return newID, true
+}
+
+// maybeCompact runs compaction when the tombstone policy triggers.
+// Caller holds mu.
+func (r *Relation) maybeCompact() {
+	h := r.head.Load()
+	if h.dead < compactMinDead || float64(h.dead) < compactDeadFrac*float64(h.live+h.dead) {
+		return
+	}
+	r.compactLocked()
+}
+
+// Compact forces a tombstone compaction: dead rows leave the arena and
+// any built indexes are rebuilt from the survivors. Snapshots taken
+// earlier keep the pre-compaction head (arena and indexes), so their
+// results are unaffected.
+func (r *Relation) Compact() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.compactLocked()
+}
+
+func (r *Relation) compactLocked() {
+	h := r.head.Load()
+	nh := head{epoch: h.epoch, nextID: h.nextID}
+	nh.rows = make([]*Row, 0, h.live)
+	for _, row := range h.rows {
+		// Every tombstone epoch is <= the current epoch, so any dead row
+		// is invisible to all future snapshots and can be dropped; old
+		// snapshots hold the old head.
+		if row.died.Load() == aliveEpoch {
+			nh.rows = append(nh.rows, row)
+			nh.addStats(row.Seq)
+		}
+	}
+	if h.bk != nil {
+		nh.bk = index.NewBKTree()
+		for _, row := range nh.rows {
+			nh.bk.Insert(row.ID, row.Seq)
+		}
+	}
+	if h.trie != nil {
+		nh.trie = index.NewTrie()
+		for _, row := range nh.rows {
+			nh.trie.Insert(row.ID, row.Seq)
+		}
+	}
+	// Publish without a version bump when nothing was dropped? Keep the
+	// bump: compaction changes MaxSeqLen back to exact, which is a
+	// statistics change the planner may care about.
+	r.publish(&nh)
+}
+
+// Tombstones returns the number of dead rows still in the arena (for
+// metrics and compaction tests).
+func (r *Relation) Tombstones() int { return r.head.Load().dead }
+
+// Snapshot returns a consistent read view of the relation. Snapshots
+// are cheap (one atomic load), never expire, and need no release — the
+// garbage collector reclaims superseded heads once the last snapshot
+// referencing them is gone.
+func (r *Relation) Snapshot() *Snapshot {
+	return &Snapshot{h: r.head.Load()}
+}
+
+// Tuples returns the visible tuples in id order. O(n) materialisation —
+// convenience for loading, storing and tests; query execution iterates
+// snapshots instead.
+func (r *Relation) Tuples() []Tuple { return r.Snapshot().Tuples() }
+
+// Shard materialises the i-th of n contiguous arena partitions (i in
+// [0,n)). Concatenating the shards in order reproduces Tuples exactly.
+func (r *Relation) Shard(i, n int) []Tuple {
+	var out []Tuple
+	c := r.Snapshot().Shard(i, n)
+	for t, ok := c.Next(); ok; t, ok = c.Next() {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Stats returns planner statistics; maintained incrementally, so this
+// is lock-free and O(alphabet).
+func (r *Relation) Stats() Stats { return r.Snapshot().Stats() }
+
+// Tuple returns the visible tuple with the given id.
+func (r *Relation) Tuple(id int) (Tuple, bool) { return r.Snapshot().Tuple(id) }
+
+// Entries adapts the visible tuples for the index package.
 func (r *Relation) Entries() []index.Entry {
-	out := make([]index.Entry, len(r.tuples))
-	for i, t := range r.tuples {
+	ts := r.Tuples()
+	out := make([]index.Entry, len(ts))
+	for i, t := range ts {
 		out[i] = index.Entry{ID: t.ID, S: t.Seq}
 	}
 	return out
 }
 
-// BKTree returns the relation's BK-tree, building it on first use.
-func (r *Relation) BKTree() *index.BKTree {
+// ensureIndex installs a lazily-built index into a successor head.
+// build receives the full arena (tombstoned rows included — visibility
+// is filtered at read time) and must return the new head field values.
+func (r *Relation) ensureBKTree() *index.BKTree {
+	if h := r.head.Load(); h.bk != nil {
+		return h.bk
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.bk == nil {
-		bk := index.NewBKTree()
-		for _, t := range r.tuples {
-			bk.Insert(t.ID, t.Seq)
-		}
-		r.bk = bk
+	h := r.head.Load()
+	if h.bk != nil {
+		return h.bk
 	}
-	return r.bk
+	bk := buildBKTree(h.rows)
+	nh := *h
+	nh.bk = bk
+	// Publish without a version bump: building an index changes no
+	// statistics and must not invalidate cached plans.
+	r.head.Store(&nh)
+	return bk
 }
 
-// Trie returns the relation's trie index, building it on first use.
-func (r *Relation) Trie() *index.Trie {
+func (r *Relation) ensureTrie() *index.Trie {
+	if h := r.head.Load(); h.trie != nil {
+		return h.trie
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.trie == nil {
-		tr := index.NewTrie()
-		for _, t := range r.tuples {
-			tr.Insert(t.ID, t.Seq)
-		}
-		r.trie = tr
+	h := r.head.Load()
+	if h.trie != nil {
+		return h.trie
 	}
-	return r.trie
+	tr := buildTrie(h.rows)
+	nh := *h
+	nh.trie = tr
+	r.head.Store(&nh)
+	return tr
 }
 
-// LengthIndex returns the relation's length index, building it on first
-// use.
+func buildBKTree(rows []*Row) *index.BKTree {
+	bk := index.NewBKTree()
+	for _, row := range rows {
+		bk.Insert(row.ID, row.Seq)
+	}
+	return bk
+}
+
+func buildTrie(rows []*Row) *index.Trie {
+	tr := index.NewTrie()
+	for _, row := range rows {
+		tr.Insert(row.ID, row.Seq)
+	}
+	return tr
+}
+
+// BKTree returns the relation's BK-tree, building it on first use; once
+// built it is maintained online by Insert/Update and rebuilt by
+// compaction.
+func (r *Relation) BKTree() *index.BKTree { return r.ensureBKTree() }
+
+// Trie returns the relation's trie index, building it on first use;
+// maintained online like the BK-tree.
+func (r *Relation) Trie() *index.Trie { return r.ensureTrie() }
+
+// LengthIndex returns a length index over the currently visible tuples,
+// building it on first use; mutations drop it (rebuilt lazily).
 func (r *Relation) LengthIndex() *index.LengthIndex {
+	if h := r.head.Load(); h.length != nil {
+		return h.length
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.length == nil {
-		li := index.NewLengthIndex()
-		for _, t := range r.tuples {
-			li.Insert(t.ID, t.Seq)
-		}
-		r.length = li
+	h := r.head.Load()
+	if h.length != nil {
+		return h.length
 	}
-	return r.length
+	li := index.NewLengthIndex()
+	for _, row := range h.rows {
+		if row.died.Load() > h.epoch {
+			li.Insert(row.ID, row.Seq)
+		}
+	}
+	nh := *h
+	nh.length = li
+	r.head.Store(&nh)
+	return li
 }
 
-// QGramIndex returns the relation's 2-gram index, building it on first
-// use.
+// QGramIndex returns a 2-gram index over the currently visible tuples,
+// building it on first use; mutations drop it (rebuilt lazily).
 func (r *Relation) QGramIndex() *index.QGramIndex {
+	if h := r.head.Load(); h.qgram != nil {
+		return h.qgram
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.qgram == nil {
-		qg := index.NewQGramIndex(2)
-		for _, t := range r.tuples {
-			qg.Insert(t.ID, t.Seq)
-		}
-		r.qgram = qg
+	h := r.head.Load()
+	if h.qgram != nil {
+		return h.qgram
 	}
-	return r.qgram
+	qg := index.NewQGramIndex(2)
+	for _, row := range h.rows {
+		if row.died.Load() > h.epoch {
+			qg.Insert(row.ID, row.Seq)
+		}
+	}
+	nh := *h
+	nh.qgram = qg
+	r.head.Store(&nh)
+	return qg
 }
+
+// ------------------------------------------------------------ snapshot
+
+// Snapshot is a consistent, immutable read view of a relation: the head
+// at one commit epoch. All reads through a snapshot see exactly the
+// rows committed at its epoch, no matter how many commits land
+// concurrently.
+type Snapshot struct {
+	h *head
+}
+
+// Epoch returns the commit epoch the snapshot reads at.
+func (s *Snapshot) Epoch() uint64 { return s.h.epoch }
+
+// Len returns the number of visible tuples.
+func (s *Snapshot) Len() int { return s.h.live }
+
+// visible reports whether the arena row is visible at this snapshot.
+func (s *Snapshot) visible(row *Row) bool { return row.died.Load() > s.h.epoch }
+
+// Tuple returns the visible tuple with the given id. Ids of rows
+// inserted after the snapshot, tombstoned before it, or compacted away
+// all miss.
+func (s *Snapshot) Tuple(id int) (Tuple, bool) {
+	row := s.h.find(id)
+	if row == nil || !s.visible(row) {
+		return Tuple{}, false
+	}
+	return row.Tuple, true
+}
+
+// Tuples materialises the visible tuples in id order.
+func (s *Snapshot) Tuples() []Tuple {
+	out := make([]Tuple, 0, s.h.live)
+	for _, row := range s.h.rows {
+		if s.visible(row) {
+			out = append(out, row.Tuple)
+		}
+	}
+	return out
+}
+
+// Stats returns the planner statistics at this snapshot.
+func (s *Snapshot) Stats() Stats {
+	h := s.h
+	st := Stats{Count: h.live, MaxSeqLen: h.maxLen}
+	if h.live > 0 {
+		st.AvgSeqLen = float64(h.seqBytes) / float64(h.live)
+	}
+	for _, n := range h.byteRows {
+		if n > 0 {
+			st.Alphabet++
+		}
+	}
+	return st
+}
+
+// Shard returns a cursor over the i-th of n contiguous arena partitions
+// (i in [0,n)). Partition bounds are arena positions, so concatenating
+// the shards in order reproduces the full visible scan order — the
+// invariant deterministic parallel scans rely on.
+func (s *Snapshot) Shard(i, n int) *Cursor {
+	if n <= 0 || i < 0 || i >= n {
+		return &Cursor{}
+	}
+	lo := i * len(s.h.rows) / n
+	hi := (i + 1) * len(s.h.rows) / n
+	return &Cursor{rows: s.h.rows[lo:hi], epoch: s.h.epoch}
+}
+
+// BKTree returns a BK-tree whose entries form a superset of the rows
+// visible at this snapshot; callers must filter matches through
+// Tuple/visibility. Usually this is the relation's shared online-
+// maintained tree; when no tree was built at snapshot time a private
+// one is built over the snapshot's own arena (correct even if the
+// relation compacted since).
+func (s *Snapshot) BKTree() *index.BKTree {
+	if s.h.bk != nil {
+		return s.h.bk
+	}
+	return buildBKTree(s.h.rows)
+}
+
+// Trie is the trie analogue of BKTree.
+func (s *Snapshot) Trie() *index.Trie {
+	if s.h.trie != nil {
+		return s.h.trie
+	}
+	return buildTrie(s.h.rows)
+}
+
+// Visible reports whether the given id is visible at this snapshot —
+// the filter index-backed access paths apply to their matches.
+func (s *Snapshot) Visible(id int) bool {
+	row := s.h.find(id)
+	return row != nil && s.visible(row)
+}
+
+// Cursor iterates the visible tuples of one snapshot shard.
+type Cursor struct {
+	rows  []*Row
+	epoch uint64
+	pos   int
+}
+
+// Next returns the next visible tuple; ok is false at the end.
+func (c *Cursor) Next() (Tuple, bool) {
+	for c.pos < len(c.rows) {
+		row := c.rows[c.pos]
+		c.pos++
+		if row.died.Load() > c.epoch {
+			return row.Tuple, true
+		}
+	}
+	return Tuple{}, false
+}
+
+// ------------------------------------------------------------- storage
 
 // Store writes the relation in the text codec: one tuple per line,
 // "seq TAB k=v TAB k=v...". IDs are positional and not stored.
 func (r *Relation) Store(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	for _, t := range r.tuples {
+	for _, t := range r.Tuples() {
 		if strings.ContainsAny(t.Seq, "\t\n") {
 			return fmt.Errorf("relation: sequence %q contains tab/newline; not representable", t.Seq)
 		}
@@ -272,6 +692,8 @@ func Load(name string, rd io.Reader) (*Relation, error) {
 	return r, nil
 }
 
+// ------------------------------------------------------------- catalog
+
 // Catalog is a named set of relations — the database the query engine
 // runs against.
 type Catalog struct {
@@ -292,10 +714,10 @@ func (c *Catalog) Add(r *Relation) {
 }
 
 // StatsVersion summarises the mutation state of the catalog and every
-// registered relation. Any Add and any Insert into a registered
-// relation changes the value, so cached query plans keyed on it are
-// invalidated the moment the statistics they were costed against go
-// stale. The combination is order-independent (relation versions are
+// registered relation. Any Add and any committed mutation of a
+// registered relation changes the value, so cached query plans keyed on
+// it are invalidated the moment the statistics they were costed against
+// go stale. The combination is order-independent (relation versions are
 // summed) because map iteration order is not deterministic. It runs on
 // every query, so it takes only the catalog's shared lock plus atomic
 // loads — no per-relation mutexes.

@@ -100,17 +100,23 @@ func TestIndexesAgree(t *testing.T) {
 	}
 }
 
-func TestInsertInvalidatesIndexes(t *testing.T) {
+func TestInsertMaintainsIndexes(t *testing.T) {
 	r := New("inv")
 	r.Insert("aaa", nil)
 	bk1 := r.BKTree()
+	tr1 := r.Trie()
 	r.Insert("bbb", nil)
-	bk2 := r.BKTree()
-	if bk1 == bk2 {
-		t.Error("insert did not invalidate BK-tree")
+	if bk2 := r.BKTree(); bk2 != bk1 {
+		t.Error("insert rebuilt the BK-tree instead of maintaining it online")
 	}
-	if len(bk2.Range("bbb", 0)) != 1 {
-		t.Error("rebuilt index misses new tuple")
+	if len(r.BKTree().Range("bbb", 0)) != 1 {
+		t.Error("online-maintained BK-tree misses new tuple")
+	}
+	if tr2 := r.Trie(); tr2 != tr1 {
+		t.Error("insert rebuilt the trie instead of maintaining it online")
+	}
+	if len(r.Trie().Range("bbb", 0)) != 1 {
+		t.Error("online-maintained trie misses new tuple")
 	}
 }
 

@@ -1,0 +1,72 @@
+package storage
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func benchStore(b *testing.B) *Store {
+	b.Helper()
+	cat := relation.NewCatalog()
+	cat.Add(relation.New("w"))
+	st, err := Open(filepath.Join(b.TempDir(), "wal.log"), cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st.SetSync(false) // measure the engine, not the disk's fsync latency
+	b.Cleanup(func() { st.Close() })
+	return st
+}
+
+// BenchmarkCommitInsert — one WAL commit per row: frame + flush + MVCC
+// head publish + online index upkeep (indexes unbuilt here, so this is
+// the write-path floor).
+func BenchmarkCommitInsert(b *testing.B) {
+	st := benchStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Insert("w", fmt.Sprintf("seq%08d", i), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCommitBatch100 — 100 rows per WAL transaction; the per-row
+// cost shows what batching (POST /ingest) amortises.
+func BenchmarkCommitBatch100(b *testing.B) {
+	st := benchStore(b)
+	ops := make([]Op, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range ops {
+			ops[j] = Op{Kind: OpInsert, Rel: "w", Seq: fmt.Sprintf("seq%08d", i*100+j)}
+		}
+		if _, err := st.Commit(ops); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCommitInsertIndexed — the same single-row commit while the
+// relation's BK-tree and trie are live, so every commit pays online
+// index maintenance.
+func BenchmarkCommitInsertIndexed(b *testing.B) {
+	st := benchStore(b)
+	for i := 0; i < 1000; i++ {
+		if _, err := st.Insert("w", fmt.Sprintf("seq%08d", i), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	w, _ := st.Catalog().Get("w")
+	w.BKTree()
+	w.Trie()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Insert("w", fmt.Sprintf("idx%08d", i), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

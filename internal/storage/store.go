@@ -1,0 +1,315 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/relation"
+)
+
+// OpKind enumerates the mutations a Store applies.
+type OpKind int
+
+// Mutation kinds.
+const (
+	OpInsert OpKind = iota
+	OpDelete
+	OpUpdate
+)
+
+// Op is one mutation against a named relation. Insert uses Seq/Attrs;
+// Delete uses ID; Update uses ID plus the replacement Seq/Attrs.
+type Op struct {
+	Kind  OpKind
+	Rel   string
+	ID    int
+	Seq   string
+	Attrs map[string]string
+}
+
+// CommitResult reports what a committed transaction did.
+type CommitResult struct {
+	Tx          uint64 // WAL transaction id (0 when the commit was a no-op)
+	Applied     int    // operations that took effect
+	InsertedIDs []int  // ids assigned to inserts/updates, in op order
+	Inserts     int    // applied ops by kind
+	Deletes     int
+	Updates     int
+}
+
+// applyBatch is the one implementation of "apply a batch of ops to
+// relations", shared by the WAL-backed commit path and the storeless
+// Apply fallback so the two can never drift. Runs of consecutive
+// inserts into one relation apply as a single InsertBatch commit: one
+// head copy and publish for the whole run, and the run becomes visible
+// atomically (the common shapes — DML INSERT and /ingest — are exactly
+// one such run).
+func applyBatch(resolve func(string) (*relation.Relation, error), ops []Op) (CommitResult, error) {
+	var res CommitResult
+	for i := 0; i < len(ops); {
+		op := ops[i]
+		r, err := resolve(op.Rel)
+		if err != nil {
+			return res, err
+		}
+		if op.Kind == OpInsert {
+			j := i
+			for j < len(ops) && ops[j].Kind == OpInsert && ops[j].Rel == op.Rel {
+				j++
+			}
+			rows := make([]relation.InsertRow, j-i)
+			for k := i; k < j; k++ {
+				rows[k-i] = relation.InsertRow{Seq: ops[k].Seq, Attrs: ops[k].Attrs}
+			}
+			ids := r.InsertBatch(rows)
+			res.InsertedIDs = append(res.InsertedIDs, ids...)
+			res.Applied += len(ids)
+			res.Inserts += len(ids)
+			i = j
+			continue
+		}
+		switch op.Kind {
+		case OpDelete:
+			if r.Delete(op.ID) {
+				res.Applied++
+				res.Deletes++
+			}
+		case OpUpdate:
+			if id, ok := r.Update(op.ID, op.Seq, op.Attrs); ok {
+				res.InsertedIDs = append(res.InsertedIDs, id)
+				res.Applied++
+				res.Updates++
+			}
+		default:
+			return res, fmt.Errorf("storage: unknown op kind %d", op.Kind)
+		}
+		i++
+	}
+	return res, nil
+}
+
+// Apply applies a batch directly to a catalog with no WAL — the
+// storeless fallback used by the query engine and servers running
+// without durability. Unknown relations error (nothing will replay to
+// recreate them, so silent autocreation would hide typos).
+func Apply(cat *relation.Catalog, ops []Op) (CommitResult, error) {
+	return applyBatch(func(name string) (*relation.Relation, error) {
+		r, ok := cat.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("storage: unknown relation %q", name)
+		}
+		return r, nil
+	}, ops)
+}
+
+// Metrics is a snapshot of a store's write-side counters.
+type Metrics struct {
+	Commits    int64 `json:"commits"`
+	Inserts    int64 `json:"inserts"`
+	Deletes    int64 `json:"deletes"`
+	Updates    int64 `json:"updates"`
+	WALBytes   int64 `json:"wal_bytes"`
+	ReplayedTx int   `json:"replayed_tx"`
+	ReplayedOp int   `json:"replayed_ops"`
+}
+
+// Store gives a catalog of MVCC relations a durable write path: every
+// commit is framed into the WAL (flushed, optionally fsynced) before it
+// is applied in memory, so reopening the store replays the log to the
+// identical committed state. Writers serialize on the store's mutex;
+// readers never touch it — they read relation snapshots.
+//
+// Replay determinism: insert records carry no tuple id — ids are
+// re-assigned by replay order — so the store must be opened over the
+// same base catalog (e.g. the same -load files) every time, and once a
+// store is attached all mutations must flow through it, never through
+// direct relation calls.
+type Store struct {
+	mu  sync.Mutex
+	cat *relation.Catalog
+	wal *wal
+
+	commits    atomic.Int64
+	inserts    atomic.Int64
+	deletes    atomic.Int64
+	updates    atomic.Int64
+	replayedTx int
+	replayedOp int
+}
+
+// Open opens (creating if needed) the WAL at path and replays every
+// committed transaction into the catalog. Relations named by the log
+// that are missing from the catalog are created and registered.
+func Open(path string, cat *relation.Catalog) (*Store, error) {
+	w, txs, err := openWAL(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{cat: cat, wal: w}
+	for _, ops := range txs {
+		for i := range ops {
+			s.applyRecord(&ops[i])
+			s.replayedOp++
+		}
+		s.replayedTx++
+	}
+	return s, nil
+}
+
+// SetSync toggles fsync-per-commit (default on). With it off a commit
+// still survives process death — the buffer is flushed to the OS — but
+// not machine death.
+func (s *Store) SetSync(sync bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wal.sync = sync
+}
+
+// Catalog returns the catalog the store writes into.
+func (s *Store) Catalog() *relation.Catalog { return s.cat }
+
+// relFor returns the named relation, creating and registering it on
+// first use (the WAL may define relations the base catalog does not).
+func (s *Store) relFor(name string) *relation.Relation {
+	if r, ok := s.cat.Get(name); ok {
+		return r
+	}
+	r := relation.New(name)
+	s.cat.Add(r)
+	return r
+}
+
+// applyRecord applies one replayed WAL record to the catalog. Replay
+// is tracked by ReplayedTx/ReplayedOp alone — the live write counters
+// describe this process's traffic, not recovered history.
+func (s *Store) applyRecord(rec *walRecord) {
+	r := s.relFor(rec.Rel)
+	switch rec.Kind {
+	case recInsert:
+		r.Insert(rec.Seq, rec.Attrs)
+	case recDelete:
+		r.Delete(rec.ID)
+	case recUpdate:
+		r.Update(rec.ID, rec.Seq, rec.Attrs)
+	}
+}
+
+// Commit durably applies a batch of operations: the surviving ops are
+// framed into the WAL as one transaction (log first), then applied to
+// the relations. Deletes and updates whose target id is not currently
+// visible are dropped before logging, so the log never carries no-ops
+// and replay can apply every record blindly.
+//
+// Ops in one batch must reference pre-batch state: validation runs
+// before any op applies, so a delete/update of a row inserted earlier
+// in the same batch is dropped as a no-op (its id cannot be known when
+// the batch is built anyway), and a delete/update naming a relation
+// only created by an earlier insert in the batch errors. The query
+// layer never produces such batches — each DML statement is single-
+// kind — but direct Store users should commit dependent ops
+// separately.
+func (s *Store) Commit(ops []Op) (CommitResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var res CommitResult
+	recs := make([]walRecord, 0, len(ops))
+	kept := make([]Op, 0, len(ops))
+	for _, op := range ops {
+		switch op.Kind {
+		case OpInsert:
+			recs = append(recs, walRecord{Kind: recInsert, Rel: op.Rel, Seq: op.Seq, Attrs: op.Attrs})
+		case OpDelete, OpUpdate:
+			r, ok := s.cat.Get(op.Rel)
+			if !ok {
+				return res, fmt.Errorf("storage: unknown relation %q", op.Rel)
+			}
+			if _, visible := r.Tuple(op.ID); !visible {
+				continue
+			}
+			kind := recDelete
+			if op.Kind == OpUpdate {
+				kind = recUpdate
+			}
+			recs = append(recs, walRecord{Kind: kind, Rel: op.Rel, ID: op.ID, Seq: op.Seq, Attrs: op.Attrs})
+		default:
+			return res, fmt.Errorf("storage: unknown op kind %d", op.Kind)
+		}
+		kept = append(kept, op)
+	}
+	if len(recs) == 0 {
+		return res, nil
+	}
+
+	tx, err := s.wal.appendTx(recs)
+	if err != nil {
+		return res, fmt.Errorf("storage: WAL append: %w", err)
+	}
+
+	res, err = applyBatch(func(name string) (*relation.Relation, error) {
+		return s.relFor(name), nil
+	}, kept)
+	res.Tx = tx
+	if err != nil {
+		// Cannot happen with validated kept ops; surface it loudly if a
+		// future op kind slips past validation after logging.
+		return res, fmt.Errorf("storage: apply after WAL commit: %w", err)
+	}
+	s.inserts.Add(int64(res.Inserts))
+	s.deletes.Add(int64(res.Deletes))
+	s.updates.Add(int64(res.Updates))
+	s.commits.Add(1)
+	return res, nil
+}
+
+// Insert is a single-op Commit convenience; returns the assigned id.
+func (s *Store) Insert(rel, seq string, attrs map[string]string) (int, error) {
+	res, err := s.Commit([]Op{{Kind: OpInsert, Rel: rel, Seq: seq, Attrs: attrs}})
+	if err != nil {
+		return 0, err
+	}
+	return res.InsertedIDs[0], nil
+}
+
+// Delete is a single-op Commit convenience; false when id was not
+// visible.
+func (s *Store) Delete(rel string, id int) (bool, error) {
+	res, err := s.Commit([]Op{{Kind: OpDelete, Rel: rel, ID: id}})
+	if err != nil {
+		return false, err
+	}
+	return res.Applied == 1, nil
+}
+
+// Update is a single-op Commit convenience; returns the replacement id.
+func (s *Store) Update(rel string, id int, seq string, attrs map[string]string) (int, bool, error) {
+	res, err := s.Commit([]Op{{Kind: OpUpdate, Rel: rel, ID: id, Seq: seq, Attrs: attrs}})
+	if err != nil || res.Applied == 0 {
+		return 0, false, err
+	}
+	return res.InsertedIDs[0], true, nil
+}
+
+// Metrics snapshots the write-side counters.
+func (s *Store) Metrics() Metrics {
+	s.mu.Lock()
+	bytes := s.wal.bytes
+	s.mu.Unlock()
+	return Metrics{
+		Commits:    s.commits.Load(),
+		Inserts:    s.inserts.Load(),
+		Deletes:    s.deletes.Load(),
+		Updates:    s.updates.Load(),
+		WALBytes:   bytes,
+		ReplayedTx: s.replayedTx,
+		ReplayedOp: s.replayedOp,
+	}
+}
+
+// Close flushes and closes the WAL. The store must not be used after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.close()
+}

@@ -1,0 +1,236 @@
+// Package storage is the mutation subsystem of the engine: a write-
+// ahead log plus a Store that applies committed operations to the MVCC
+// relations of a catalog.
+//
+// WAL format (documented in DESIGN.md): the log is a sequence of
+// frames, each
+//
+//	uint32 payload length (little-endian)
+//	uint32 CRC32-IEEE of the payload
+//	payload bytes
+//
+// where the payload is one JSON-encoded record. Records carry a
+// monotonically increasing LSN and a transaction id; a transaction is a
+// run of operation records closed by a commit record. Recovery reads
+// frames until the first torn or corrupt one, truncates the file there,
+// and applies only transactions whose commit record survived — an
+// interrupted append can therefore never surface a half-applied batch.
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Record kinds. Operation records precede their transaction's commit.
+const (
+	recInsert = "insert"
+	recDelete = "delete"
+	recUpdate = "update"
+	recCommit = "commit"
+)
+
+// walRecord is one WAL entry. Insert records intentionally carry no
+// tuple id: ids are assigned deterministically by replay order, which
+// keeps the log identical across the original run and every recovery.
+type walRecord struct {
+	LSN   uint64            `json:"lsn"`
+	Tx    uint64            `json:"tx"`
+	Kind  string            `json:"op"`
+	Rel   string            `json:"rel,omitempty"`
+	ID    int               `json:"id,omitempty"`
+	Seq   string            `json:"seq,omitempty"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+	N     int               `json:"n,omitempty"` // commit: operation count of the tx
+}
+
+// wal is the append side of the log. Writers are serialized by the
+// owning Store.
+type wal struct {
+	f      *os.File
+	w      *bufio.Writer
+	path   string
+	lsn    uint64
+	nextTx uint64
+	bytes  int64
+	sync   bool // fsync after every commit
+	broken bool // a failed append could not be rolled back; fail-stop
+}
+
+// frame overhead per record: length + crc.
+const frameHeader = 8
+
+// maxRecordLen bounds one record's payload. Recovery treats any longer
+// frame as a corrupt tail, so the append side must reject it up front —
+// otherwise an acknowledged oversized commit would poison the log and
+// truncate away every transaction after it at the next open.
+const maxRecordLen = 1 << 24
+
+// openWAL opens (creating if needed) the log at path, replays every
+// complete frame and returns the committed transactions in order. A
+// torn or corrupt tail is truncated away.
+func openWAL(path string) (*wal, [][]walRecord, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := &wal{f: f, path: path, sync: true}
+
+	var (
+		txs     [][]walRecord
+		pending = map[uint64][]walRecord{}
+		good    int64
+		rd      = bufio.NewReader(f)
+		hdr     [frameHeader]byte
+	)
+	for {
+		if _, err := io.ReadFull(rd, hdr[:]); err != nil {
+			break // clean EOF or torn header — stop either way
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		if n == 0 || n > maxRecordLen {
+			break // absurd frame length: corrupt tail
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(rd, payload); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			break
+		}
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			break
+		}
+		if rec.Kind == recCommit {
+			ops := pending[rec.Tx]
+			delete(pending, rec.Tx)
+			if len(ops) != rec.N {
+				// A commit that doesn't match its operations cannot happen
+				// with sequential appends; treat the log as ending before
+				// it (the frame is truncated away, not preserved).
+				break
+			}
+			txs = append(txs, ops)
+		} else {
+			pending[rec.Tx] = append(pending[rec.Tx], rec)
+		}
+		good += frameHeader + int64(n)
+		if rec.LSN > w.lsn {
+			w.lsn = rec.LSN
+		}
+		if rec.Tx > w.nextTx {
+			w.nextTx = rec.Tx
+		}
+	}
+	// Truncate anything past the last fully-readable frame (drops torn
+	// tails; uncommitted pending records stay in the file but are dead —
+	// replay ignores them, and new appends go after them).
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("storage: truncate torn WAL tail: %w", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	w.bytes = good
+	w.w = bufio.NewWriter(f)
+	return w, txs, nil
+}
+
+// appendTx frames and writes one transaction: the operation records
+// followed by a commit record. The buffer is always flushed to the OS
+// (crash-of-process safe); fsync (crash-of-machine safe) is applied
+// when sync is on. On any error the log rolls back to the pre-call
+// state: the buffer is reset AND the file is truncated to its previous
+// size — frames larger than the bufio buffer flush implicitly
+// mid-write, so discarding the buffer alone could leave orphaned
+// frames in the file whose tx id, once reused, would corrupt recovery.
+// If even the truncate fails the wal turns fail-stop (broken): every
+// later append errors rather than risk acknowledging writes a recovery
+// could drop.
+func (w *wal) appendTx(ops []walRecord) (tx uint64, err error) {
+	if w.broken {
+		return 0, fmt.Errorf("storage: WAL is fail-stopped after an unrecoverable append error")
+	}
+	lsn0, tx0, bytes0 := w.lsn, w.nextTx, w.bytes
+	defer func() {
+		if err != nil {
+			w.w.Reset(w.f)
+			w.lsn, w.nextTx, w.bytes = lsn0, tx0, bytes0
+			if terr := w.f.Truncate(bytes0); terr != nil {
+				w.broken = true
+				return
+			}
+			if _, serr := w.f.Seek(bytes0, io.SeekStart); serr != nil {
+				w.broken = true
+			}
+		}
+	}()
+	w.nextTx++
+	tx = w.nextTx
+	for i := range ops {
+		w.lsn++
+		ops[i].LSN = w.lsn
+		ops[i].Tx = tx
+		if err := w.writeRecord(&ops[i]); err != nil {
+			return 0, err
+		}
+	}
+	w.lsn++
+	commit := walRecord{LSN: w.lsn, Tx: tx, Kind: recCommit, N: len(ops)}
+	if err := w.writeRecord(&commit); err != nil {
+		return 0, err
+	}
+	if err := w.w.Flush(); err != nil {
+		return 0, err
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	return tx, nil
+}
+
+func (w *wal) writeRecord(rec *walRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if len(payload) > maxRecordLen {
+		return fmt.Errorf("storage: record of %d bytes exceeds the WAL frame limit (%d)", len(payload), maxRecordLen)
+	}
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		return err
+	}
+	w.bytes += frameHeader + int64(len(payload))
+	return nil
+}
+
+func (w *wal) close() error {
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			w.f.Close()
+			return err
+		}
+	}
+	return w.f.Close()
+}
