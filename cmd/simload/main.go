@@ -58,12 +58,19 @@ func main() {
 	radius := flag.Int("radius", 1, "WITHIN radius bound per request")
 	noPrepare := flag.Bool("no-prepare", false, "send statement text per request instead of a prepared id")
 	writeFrac := flag.Float64("write-frac", 0, "fraction of requests that are /ingest writes (0..1)")
+	nearestFrac := flag.Float64("nearest-frac", 0, "fraction of read requests that are NEAREST top-k queries (0..1)")
+	nearestK := flag.Int("nearest-k", 10, "k for the NEAREST fraction of the workload")
+	label := flag.String("label", "", "workload label embedded in the report (e.g. sharded-4)")
+	baseline := flag.String("baseline", "", "earlier report to compare against (adds baseline + speedup blocks)")
 	out := flag.String("out", "BENCH_serving.json", "result file ('-' for stdout)")
 	var extra listFlag
 	flag.Var(&extra, "query", "extra fixed statement to mix in (repeatable)")
 	flag.Parse()
 	if *writeFrac < 0 || *writeFrac > 1 {
 		fail(fmt.Errorf("-write-frac must be in [0,1], got %g", *writeFrac))
+	}
+	if *nearestFrac < 0 || *nearestFrac > 1 {
+		fail(fmt.Errorf("-nearest-frac must be in [0,1], got %g", *nearestFrac))
 	}
 
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *conc * 2}}
@@ -73,18 +80,27 @@ func main() {
 	}
 
 	stmt := fmt.Sprintf("SELECT seq, dist FROM %s WHERE seq SIMILAR TO ? WITHIN ? USING %s LIMIT 20", *relName, *ruleSet)
-	var preparedID string
+	nearestStmt := fmt.Sprintf("SELECT seq, dist FROM %s WHERE seq NEAREST %d TO ? USING %s", *relName, *nearestK, *ruleSet)
+	var preparedID, nearestID string
 	if !*noPrepare {
 		id, err := prepare(client, *addr, stmt)
 		if err != nil {
 			fail(err)
 		}
 		preparedID = id
+		if *nearestFrac > 0 {
+			if nearestID, err = prepare(client, *addr, nearestStmt); err != nil {
+				fail(err)
+			}
+		}
 	}
 
 	// Warm up (fills the plan and decision caches, warms connections).
 	for i := 0; i < *warmup; i++ {
 		body := requestBody(preparedID, stmt, defaultTargets[i%len(defaultTargets)], *radius, extra, i)
+		if *nearestFrac > 0 && i%2 == 1 {
+			body = nearestBody(nearestID, nearestStmt, defaultTargets[i%len(defaultTargets)])
+		}
 		if _, err := post(client, *addr+"/query", body); err != nil {
 			fail(fmt.Errorf("warmup request: %w", err))
 		}
@@ -143,6 +159,11 @@ func main() {
 					continue
 				}
 				body := requestBody(preparedID, stmt, defaultTargets[n%len(defaultTargets)], *radius, extra, n)
+				// Deterministic WITHIN/NEAREST interleave (stride 991 is
+				// coprime to 1000, like the write stride below).
+				if *nearestFrac > 0 && float64(n*991%1000) < *nearestFrac*1000 {
+					body = nearestBody(nearestID, nearestStmt, defaultTargets[n%len(defaultTargets)])
+				}
 				t0 := time.Now()
 				_, err := post(client, *addr+"/query", body)
 				if err != nil {
@@ -171,14 +192,16 @@ func main() {
 	sort.Float64s(writes)
 	report := map[string]any{
 		"config": map[string]any{
-			"addr":        *addr,
-			"concurrency": *conc,
-			"duration_s":  elapsed.Seconds(),
-			"prepared":    !*noPrepare,
-			"statement":   stmt,
-			"radius":      *radius,
-			"warmup":      *warmup,
-			"write_frac":  *writeFrac,
+			"addr":         *addr,
+			"concurrency":  *conc,
+			"duration_s":   elapsed.Seconds(),
+			"prepared":     !*noPrepare,
+			"statement":    stmt,
+			"radius":       *radius,
+			"warmup":       *warmup,
+			"write_frac":   *writeFrac,
+			"nearest_frac": *nearestFrac,
+			"nearest_k":    *nearestK,
 		},
 		"total_requests": len(all) + len(writes),
 		"errors":         errors + writeErrors,
@@ -192,6 +215,9 @@ func main() {
 			"latency_ms":     latencySummary(all),
 		},
 	}
+	if *label != "" {
+		report["label"] = *label
+	}
 	if *writeFrac > 0 {
 		w := map[string]any{
 			"count":  len(writes),
@@ -202,6 +228,16 @@ func main() {
 			w["latency_ms"] = latencySummary(writes)
 		}
 		report["writes"] = w
+	}
+	if *baseline != "" {
+		cmp, err := compareBaseline(*baseline, float64(len(all))/elapsed.Seconds(), all)
+		if err != nil {
+			fail(err)
+		}
+		report["baseline"] = cmp.base
+		report["speedup"] = cmp.speedup
+		fmt.Fprintf(os.Stderr, "simload: vs %s: p50 ×%.2f, p99 ×%.2f, throughput ×%.2f\n",
+			*baseline, cmp.speedup["p50"], cmp.speedup["p99"], cmp.speedup["throughput"])
 	}
 
 	enc, err := json.MarshalIndent(report, "", "  ")
@@ -229,6 +265,66 @@ func main() {
 	}
 }
 
+// baselineComparison pairs the baseline's read-side numbers with the
+// speedup ratios of the current run; >1 means this run is faster.
+type baselineComparison struct {
+	base    map[string]any
+	speedup map[string]float64
+}
+
+// compareBaseline loads an earlier report (e.g. the unsharded run) and
+// computes sharded-vs-unsharded style ratios for the read side: latency
+// speedups are baseline/current (lower latency ⇒ ratio above 1),
+// throughput is current/baseline.
+func compareBaseline(path string, rps float64, sorted []float64) (baselineComparison, error) {
+	var cmp baselineComparison
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return cmp, fmt.Errorf("baseline: %w", err)
+	}
+	var report struct {
+		Label      string             `json:"label"`
+		Throughput float64            `json:"throughput_rps"`
+		Latency    map[string]float64 `json:"latency_ms"`
+	}
+	if err := json.Unmarshal(raw, &report); err != nil {
+		return cmp, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	cmp.base = map[string]any{
+		"file":           path,
+		"label":          report.Label,
+		"throughput_rps": report.Throughput,
+		"latency_ms":     report.Latency,
+	}
+	cmp.speedup = map[string]float64{}
+	if report.Throughput > 0 {
+		cmp.speedup["throughput"] = rps / report.Throughput
+	}
+	for _, q := range []string{"p50", "p90", "p99", "mean"} {
+		base := report.Latency[q]
+		var cur float64
+		switch q {
+		case "p50":
+			cur = quantile(sorted, 0.50)
+		case "p90":
+			cur = quantile(sorted, 0.90)
+		case "p99":
+			cur = quantile(sorted, 0.99)
+		case "mean":
+			for _, v := range sorted {
+				cur += v
+			}
+			if len(sorted) > 0 {
+				cur /= float64(len(sorted))
+			}
+		}
+		if base > 0 && cur > 0 {
+			cmp.speedup[q] = base / cur
+		}
+	}
+	return cmp, nil
+}
+
 // latencySummary renders the standard quantile block over a sorted
 // latency slice.
 func latencySummary(sorted []float64) map[string]float64 {
@@ -246,6 +342,15 @@ func latencySummary(sorted []float64) map[string]float64 {
 		"p99":  quantile(sorted, 0.99),
 		"max":  sorted[len(sorted)-1],
 	}
+}
+
+// nearestBody builds one NEAREST top-k request: the prepared statement
+// when available, literal text otherwise.
+func nearestBody(preparedID, stmt, target string) map[string]any {
+	if preparedID != "" {
+		return map[string]any{"id": preparedID, "params": []any{target}}
+	}
+	return map[string]any{"query": strings.Replace(stmt, "?", fmt.Sprintf("%q", target), 1)}
 }
 
 // ingestBody builds one /ingest write: a unique single row derived from

@@ -106,7 +106,7 @@ func main() {
 			return
 		case line == `\tables`:
 			for _, n := range cat.Names() {
-				r, _ := cat.Get(n)
+				r, _ := cat.Lookup(n)
 				fmt.Printf("%s (%d tuples)\n", n, r.Len())
 			}
 			continue

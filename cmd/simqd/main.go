@@ -8,7 +8,12 @@
 // Usage:
 //
 //	simqd -addr :8077 -load words=words.rel [-rules edits.rules]
-//	      [-wal data.wal] [-wal-sync=false] [-timeout 10s]
+//	      [-wal data.wal] [-wal-sync=false] [-timeout 10s] [-shards 4]
+//
+// With -shards N every loaded relation is hash-partitioned across N
+// MVCC shards: queries scatter per-shard subplans across workers and
+// gather-merge the results, DML routes rows by hash, and with -wal each
+// shard keeps its own WAL segment. /stats reports per-shard counters.
 //
 // Endpoints (wrong-method requests on any of them answer 405):
 //
@@ -76,9 +81,13 @@ func main() {
 	maxPrepared := flag.Int("max-prepared", 1024, "prepared-statement registry capacity (oldest evicted past it)")
 	walPath := flag.String("wal", "", "write-ahead log file (empty = in-memory mutations only)")
 	walSync := flag.Bool("wal-sync", true, "fsync the WAL on every commit")
+	shards := flag.Int("shards", 1, "hash-partition each loaded relation across N shards (scatter-gather execution)")
 	flag.Parse()
+	if *shards < 1 {
+		*shards = 1
+	}
 
-	eng, err := buildEngine(loads, ruleFiles)
+	eng, err := buildEngine(loads, ruleFiles, *shards)
 	if err != nil {
 		fail(err)
 	}
@@ -88,14 +97,22 @@ func main() {
 	}
 	var st *storage.Store
 	if *walPath != "" {
-		st, err = storage.Open(*walPath, eng.Catalog())
+		if *shards > 1 {
+			// One WAL segment per shard; replay routes rows by the same
+			// hash partitioner, so the shard count must stay stable across
+			// restarts of the same log.
+			st, err = storage.OpenSegmented(*walPath, eng.Catalog(), *shards)
+		} else {
+			st, err = storage.Open(*walPath, eng.Catalog())
+		}
 		if err != nil {
 			fail(err)
 		}
 		st.SetSync(*walSync)
 		eng.SetStore(st)
 		m := st.Metrics()
-		fmt.Fprintf(os.Stderr, "simqd: WAL %s replayed %d tx / %d ops\n", *walPath, m.ReplayedTx, m.ReplayedOp)
+		fmt.Fprintf(os.Stderr, "simqd: WAL %s (%d segments) replayed %d tx / %d ops\n",
+			*walPath, st.Segments(), m.ReplayedTx, m.ReplayedOp)
 	}
 
 	s := &server{
@@ -134,8 +151,10 @@ func main() {
 
 // buildEngine loads relations and rule sets the same way cmd/simq does;
 // with no -rules files a default unit-edit set "edits" over a-z is
-// registered.
-func buildEngine(loads, ruleFiles []string) (*query.Engine, error) {
+// registered. With shards > 1 every loaded relation is hash-partitioned
+// into a ShardedRelation (ids stay identical to the unsharded load —
+// rows are inserted in file order under a global id allocator).
+func buildEngine(loads, ruleFiles []string, shards int) (*query.Engine, error) {
 	cat := relation.NewCatalog()
 	for _, spec := range loads {
 		eq := strings.IndexByte(spec, '=')
@@ -151,6 +170,18 @@ func buildEngine(loads, ruleFiles []string) (*query.Engine, error) {
 		f.Close()
 		if err != nil {
 			return nil, err
+		}
+		if shards > 1 {
+			tuples := rel.Tuples()
+			rows := make([]relation.InsertRow, len(tuples))
+			for i, t := range tuples {
+				rows[i] = relation.InsertRow{Seq: t.Seq, Attrs: t.Attrs}
+			}
+			sh := relation.NewSharded(name, shards)
+			sh.InsertBatch(rows)
+			cat.Add(sh)
+			fmt.Fprintf(os.Stderr, "simqd: loaded %s: %d tuples across %d shards\n", name, sh.Len(), shards)
+			continue
 		}
 		cat.Add(rel)
 		fmt.Fprintf(os.Stderr, "simqd: loaded %s: %d tuples\n", name, rel.Len())
@@ -341,7 +372,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, errBad(`ingest requires "relation" and at least one row`))
 		return
 	}
-	if _, ok := s.eng.Catalog().Get(req.Relation); !ok {
+	if _, ok := s.eng.Catalog().Lookup(req.Relation); !ok {
 		s.fail(w, errBad(fmt.Sprintf("unknown relation %q", req.Relation)))
 		return
 	}
@@ -397,7 +428,31 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		body["store"] = s.store.Metrics()
 	}
+	if shards := s.shardStats(); len(shards) > 0 {
+		body["shards"] = shards
+	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// shardTableStats is the per-relation shard block of /stats.
+type shardTableStats struct {
+	Shards int                  `json:"shards"`
+	Rows   int                  `json:"rows"`
+	Per    []relation.ShardStat `json:"per_shard"`
+}
+
+// shardStats collects per-shard row/tombstone counters for every
+// sharded relation in the catalog.
+func (s *server) shardStats() map[string]shardTableStats {
+	out := map[string]shardTableStats{}
+	cat := s.eng.Catalog()
+	for _, name := range cat.Names() {
+		t, _ := cat.Lookup(name)
+		if sh, ok := t.(*relation.ShardedRelation); ok {
+			out[name] = shardTableStats{Shards: sh.NumShards(), Rows: sh.Len(), Per: sh.ShardStats()}
+		}
+	}
+	return out
 }
 
 // execute runs one request under its deadline: a prepared statement by

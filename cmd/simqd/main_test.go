@@ -227,3 +227,112 @@ func TestPreparedDMLOverHTTP(t *testing.T) {
 		t.Fatalf("prepared insert rows = %v", qres.Rows)
 	}
 }
+
+// newShardedTestServer is newTestServer over a sharded "words" relation
+// with a segmented WAL when walDir is set.
+func newShardedTestServer(t *testing.T, walDir string, shards int) *server {
+	t.Helper()
+	cat := relation.NewCatalog()
+	words := relation.NewSharded("words", shards)
+	for _, w := range []string{"color", "colour", "colon", "cool", "dolor", "clamor"} {
+		words.Insert(w, nil)
+	}
+	cat.Add(words)
+	eng := query.NewEngine(cat)
+	rs := rewrite.MustRuleSet("edits", rewrite.UnitEdits("abcdefghijklmnopqrstuvwxyz").Rules())
+	if err := eng.RegisterRuleSet(rs); err != nil {
+		t.Fatal(err)
+	}
+	s := &server{
+		eng: eng, timeout: 5 * time.Second, started: time.Now(),
+		maxPrepared: 16,
+		prepared:    map[string]*query.PreparedQuery{},
+		adhoc:       map[string]*query.PreparedQuery{},
+	}
+	if walDir != "" {
+		st, err := storage.OpenSegmented(filepath.Join(walDir, "test.wal"), cat, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.SetSync(false)
+		eng.SetStore(st)
+		s.store = st
+		t.Cleanup(func() { st.Close() })
+	}
+	return s
+}
+
+// TestShardedServerRoundTrip: queries, DML and /ingest work against a
+// sharded engine over HTTP, and /stats reports per-shard counters.
+func TestShardedServerRoundTrip(t *testing.T) {
+	s := newShardedTestServer(t, t.TempDir(), 4)
+	mux := s.routes()
+
+	rec := do(t, mux, http.MethodPost, "/query", map[string]any{
+		"query": `SELECT seq, dist FROM words WHERE seq SIMILAR TO "color" WITHIN 1 USING edits`,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query: %d %s", rec.Code, rec.Body)
+	}
+	var qres struct {
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &qres); err != nil {
+		t.Fatal(err)
+	}
+	if len(qres.Rows) != 4 { // color, colour, colon, dolor
+		t.Fatalf("query rows = %v", qres.Rows)
+	}
+
+	rec = do(t, mux, http.MethodPost, "/explain", map[string]any{
+		"query": `SELECT * FROM words WHERE seq NEAREST 2 TO "color" USING edits`,
+	})
+	if rec.Code != http.StatusOK || !bytes.Contains(rec.Body.Bytes(), []byte("GatherMerge")) {
+		t.Fatalf("explain over sharded relation lacks GatherMerge: %d %s", rec.Code, rec.Body)
+	}
+
+	rec = do(t, mux, http.MethodPost, "/ingest", map[string]any{
+		"relation": "words",
+		"rows":     []map[string]any{{"seq": "pallor"}, {"seq": "sailor"}},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ingest: %d %s", rec.Code, rec.Body)
+	}
+
+	rec = do(t, mux, http.MethodPost, "/query", map[string]any{
+		"query": `DELETE FROM words WHERE seq = "cool"`,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delete: %d %s", rec.Code, rec.Body)
+	}
+
+	rec = do(t, mux, http.MethodGet, "/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d %s", rec.Code, rec.Body)
+	}
+	var stats struct {
+		Shards map[string]struct {
+			Shards int `json:"shards"`
+			Rows   int `json:"rows"`
+			Per    []struct {
+				Rows       int `json:"rows"`
+				Tombstones int `json:"tombstones"`
+			} `json:"per_shard"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	ws, ok := stats.Shards["words"]
+	if !ok || ws.Shards != 4 || len(ws.Per) != 4 {
+		t.Fatalf("/stats shards block = %+v", stats.Shards)
+	}
+	rows, tombs := 0, 0
+	for _, p := range ws.Per {
+		rows += p.Rows
+		tombs += p.Tombstones
+	}
+	if rows != ws.Rows || rows != 7 || tombs != 1 {
+		t.Fatalf("per-shard counters inconsistent: rows=%d (want %d=7), tombstones=%d (want 1)", rows, ws.Rows, tombs)
+	}
+}

@@ -221,12 +221,15 @@ func (e *Engine) CacheStats() CacheStats {
 }
 
 // cacheEpoch is the part of every plan-cache key that tracks engine
-// state: catalog statistics, the rule-set registry and the parallel
-// configuration. Any change to these may change a costing decision, so
-// it must start a fresh key space.
+// state: catalog statistics, the shard topology, the rule-set registry
+// and the parallel configuration. Any change to these may change a
+// costing decision — or, for the shard signature, the physical shape of
+// every plan over the re-registered table — so it must start a fresh
+// key space.
 func (e *Engine) cacheEpoch() string {
 	workers, minRows := e.parallelConfig()
-	return fmt.Sprintf("%d|%d|%d|%d", e.catalog.StatsVersion(), e.rulesetVersion(), workers, minRows)
+	return fmt.Sprintf("%d|%d|%d|%d|%s", e.catalog.StatsVersion(), e.rulesetVersion(), workers, minRows,
+		e.catalog.ShardSignature())
 }
 
 // normalizeQueryText canonicalises statement text for cache keying:
@@ -357,11 +360,50 @@ func (e *Engine) finishPlan(q *Query, plan *compiledPlan) (*Result, error) {
 // binding maps table aliases to the tuples of one candidate row, plus
 // the distance produced by the access path (if any) and the projected
 // output row (filled in by the Project operator).
+//
+// Single-relation queries — the overwhelming majority of candidates a
+// scan or index probe produces — use the inline alias/tuple pair and
+// never allocate a map; access paths verify millions of candidates per
+// second, and one map allocation per candidate was the engine's single
+// largest source of GC pressure. Joins promote to the aliases map.
 type binding struct {
-	aliases map[string]relation.Tuple
+	alias   string                    // inline fast path (aliases == nil)
+	tuple   relation.Tuple            // tuple bound to alias
+	aliases map[string]relation.Tuple // multi-alias bindings (joins)
 	dist    float64
 	hasDist bool
 	row     []string
+}
+
+// newBinding returns a map-free single-alias binding.
+func newBinding(alias string, t relation.Tuple) *binding {
+	return &binding{alias: alias, tuple: t}
+}
+
+// tupleFor resolves an alias against either representation.
+func (b *binding) tupleFor(alias string) (relation.Tuple, bool) {
+	if b.aliases != nil {
+		t, ok := b.aliases[alias]
+		return t, ok
+	}
+	if alias == b.alias {
+		return b.tuple, true
+	}
+	return relation.Tuple{}, false
+}
+
+// soleTuple returns the binding's tuple when exactly one alias is
+// bound.
+func (b *binding) soleTuple() (relation.Tuple, bool) {
+	if b.aliases == nil {
+		return b.tuple, true
+	}
+	if len(b.aliases) == 1 {
+		for _, t := range b.aliases {
+			return t, true
+		}
+	}
+	return relation.Tuple{}, false
 }
 
 // evalExpr evaluates a predicate tree against one binding.
@@ -494,16 +536,14 @@ func fieldValue(f FieldRef, b *binding) (string, error) {
 		return formatDist(b.dist), nil
 	}
 	if f.Table != "" {
-		t, ok := b.aliases[f.Table]
+		t, ok := b.tupleFor(f.Table)
 		if !ok {
 			return "", fmt.Errorf("query: unknown alias %q", f.Table)
 		}
 		return t.Attr(f.Name), nil
 	}
-	if len(b.aliases) == 1 {
-		for _, t := range b.aliases {
-			return t.Attr(f.Name), nil
-		}
+	if t, ok := b.soleTuple(); ok {
+		return t.Attr(f.Name), nil
 	}
 	return "", fmt.Errorf("query: ambiguous field %q; qualify with an alias", f.Name)
 }

@@ -12,9 +12,11 @@ package query
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
+	"repro/internal/relation"
 	"repro/internal/storage"
 )
 
@@ -41,7 +43,7 @@ func (e *Engine) ExecuteMutation(m *Mutation) (*Result, error) {
 	if mutationHasParams(m) {
 		return nil, fmt.Errorf("query: statement has bind parameters; use Engine.Prepare")
 	}
-	if _, ok := e.catalog.Get(m.Table); !ok {
+	if _, ok := e.catalog.Lookup(m.Table); !ok {
 		return nil, fmt.Errorf("query: unknown relation %q", m.Table)
 	}
 	switch m.Kind {
@@ -126,11 +128,25 @@ func (e *Engine) execDeleteOrUpdate(m *Mutation) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Apply in ascending id order no matter which access path produced
+	// the ids (index traversal order is plan-dependent): UPDATE assigns
+	// replacement ids in application order, and that assignment must be
+	// identical across physical plans — sharded and unsharded engines
+	// running the same statement stream must converge to the same ids.
+	sort.Ints(ids)
 
-	rel, _ := e.catalog.Get(m.Table)
-	// One snapshot for the whole merge loop — per-id rel.Tuple would
-	// allocate a snapshot and re-load the head for every matched row.
-	cur := rel.Snapshot()
+	tab, _ := e.catalog.Lookup(m.Table)
+	// One read view for the whole merge loop — per-id Table.Tuple would
+	// re-load the head (or shard view) for every matched row.
+	var read func(int) (relation.Tuple, bool)
+	switch t := tab.(type) {
+	case *relation.Relation:
+		read = t.Snapshot().Tuple
+	case *relation.ShardedRelation:
+		read = t.View().Tuple
+	default:
+		read = tab.Tuple
+	}
 	ops := make([]storage.Op, 0, len(ids))
 	for _, id := range ids {
 		if m.Kind == MutDelete {
@@ -140,7 +156,7 @@ func (e *Engine) execDeleteOrUpdate(m *Mutation) (*Result, error) {
 		// UPDATE: merge the SET assignments over the current tuple. A
 		// tuple deleted since the read phase is skipped here (and again,
 		// defensively, at apply time).
-		t, ok := cur.Tuple(id)
+		t, ok := read(id)
 		if !ok {
 			continue
 		}
@@ -192,7 +208,8 @@ func collectIDs(plan *compiledPlan, alias string) ([]int, ExecStats, error) {
 		if b == nil {
 			break
 		}
-		ids = append(ids, b.aliases[alias].ID)
+		t, _ := b.tupleFor(alias)
+		ids = append(ids, t.ID)
 	}
 	if err := plan.root.Close(); err != nil {
 		return nil, ExecStats{}, err

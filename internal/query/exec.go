@@ -164,7 +164,7 @@ func projectRow(eng *Engine, q *Query, b *binding) ([]string, error) {
 	}
 	row = make([]string, 0, 2*len(q.From)+1)
 	for _, ref := range q.From {
-		t := b.aliases[ref.Alias]
+		t, _ := b.tupleFor(ref.Alias)
 		row = append(row, fmt.Sprintf("%d", t.ID), t.Seq)
 	}
 	if b.hasDist {

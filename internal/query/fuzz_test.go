@@ -23,6 +23,15 @@ var fuzzSeeds = []string{
 	`EXPLAIN UPDATE w SET seq = "x" WHERE seq NEAREST 3 TO "y" USING e`,
 	`;`, `"unterminated`, `:`, `INSERT INTO`, `UPDATE SET`,
 	"SELECT * FROM w WHERE a = \"\\\"esc\\\"\"",
+	// The -shards DML paths: statements the sharded oracle and the
+	// segmented-WAL ingest route through hash partitioning. Parsing is
+	// topology-agnostic, but these shapes seed the corpus with the
+	// id-addressed and batch forms sharded routing must handle.
+	`INSERT INTO words (seq, tag) VALUES ("abcj", "1"), ("jihg", "2"), ("aaaa", "0")`,
+	`DELETE FROM words WHERE id = "17"`,
+	`UPDATE words SET seq = "bdfh" WHERE seq SIMILAR TO "bdfg" WITHIN 1 USING edits`,
+	`UPDATE words SET seq = "moved" WHERE id = "3"`,
+	`EXPLAIN SELECT id, seq, dist FROM words WHERE seq NEAREST 7 TO "cadgbeif" USING edits`,
 }
 
 // FuzzLex asserts the lexer never panics and that every token it emits

@@ -21,6 +21,15 @@ const infCut = 1e300
 
 // ---------------------------------------------------------------- scan
 
+// recycler is implemented by operators that can reuse a binding their
+// consumer rejected. A scan allocates one binding per visible tuple and
+// a selective filter discards nearly all of them; handing the rejects
+// back turns millions of per-candidate allocations into one scratch
+// binding per pipeline, which is a large share of a scan-bound query's
+// GC bill. Only safe when the rejected binding has not escaped — the
+// filter rejects before anything else sees it.
+type recycler interface{ recycle(*binding) }
+
 // scanOp streams the visible tuples of one snapshot shard. Shard (i, n)
 // covers a contiguous arena range, so concatenating shards 0..n-1
 // reproduces the serial scan order — the invariant parallel plans rely
@@ -33,6 +42,7 @@ type scanOp struct {
 	shard, shards int
 
 	cur   *relation.Cursor
+	free  *binding // last recycled binding, reused by the next Next
 	local ExecStats
 }
 
@@ -42,6 +52,7 @@ func newScanOp(ctx *execCtx, snap *relation.Snapshot, alias string) *scanOp {
 
 func (o *scanOp) Open() error {
 	o.cur = o.snap.Shard(o.shard, o.shards)
+	o.free = nil
 	return nil
 }
 
@@ -51,8 +62,15 @@ func (o *scanOp) Next() (*binding, error) {
 		return nil, nil
 	}
 	o.local.Candidates++
-	return &binding{aliases: map[string]relation.Tuple{o.alias: t}}, nil
+	if b := o.free; b != nil {
+		o.free = nil
+		*b = binding{alias: o.alias, tuple: t}
+		return b, nil
+	}
+	return newBinding(o.alias, t), nil
 }
+
+func (o *scanOp) recycle(b *binding) { o.free = b }
 
 func (o *scanOp) Close() error {
 	o.ctx.addStats(o.local)
@@ -112,11 +130,9 @@ func (o *indexRangeOp) Next() (*binding, error) {
 		if !ok {
 			continue // invisible at this snapshot (tombstone or later insert)
 		}
-		return &binding{
-			aliases: map[string]relation.Tuple{o.alias: t},
-			dist:    m.Dist,
-			hasDist: true,
-		}, nil
+		b := newBinding(o.alias, t)
+		b.dist, b.hasDist = m.Dist, true
+		return b, nil
 	}
 }
 
@@ -207,11 +223,9 @@ func (o *nearestKOp) Next() (*binding, error) {
 	m := o.matches[o.pos]
 	o.pos++
 	t, _ := o.snap.Tuple(m.ID)
-	return &binding{
-		aliases: map[string]relation.Tuple{o.alias: t},
-		dist:    m.Dist,
-		hasDist: true,
-	}, nil
+	b := newBinding(o.alias, t)
+	b.dist, b.hasDist = m.Dist, true
+	return b, nil
 }
 
 func (o *nearestKOp) Close() error {
@@ -227,16 +241,22 @@ func (o *nearestKOp) Children() []Operator { return nil }
 
 // -------------------------------------------------------------- filter
 
-// filterOp keeps bindings satisfying a residual predicate.
+// filterOp keeps bindings satisfying a residual predicate. Rejected
+// bindings are handed back to a recycling child (see recycler) — they
+// have escaped nowhere, so the scan below can reuse the allocation.
 type filterOp struct {
 	ctx   *execCtx
 	child Operator
 	pred  Expr
 
+	rec   recycler // non-nil when child recycles rejected bindings
 	local ExecStats
 }
 
-func (o *filterOp) Open() error { return o.child.Open() }
+func (o *filterOp) Open() error {
+	o.rec, _ = o.child.(recycler)
+	return o.child.Open()
+}
 
 func (o *filterOp) Next() (*binding, error) {
 	for {
@@ -251,6 +271,9 @@ func (o *filterOp) Next() (*binding, error) {
 		}
 		if ok {
 			return b, nil
+		}
+		if o.rec != nil {
+			o.rec.recycle(b)
 		}
 	}
 }
@@ -539,7 +562,7 @@ func (o *indexJoinOp) Next() (*binding, error) {
 		if !ok {
 			continue // invisible at this snapshot (tombstone or later insert)
 		}
-		b := mergeBindings(o.cur, &binding{aliases: map[string]relation.Tuple{o.alias: t}})
+		b := mergeBindings(o.cur, newBinding(o.alias, t))
 		if !b.hasDist {
 			b.dist, b.hasDist = m.Dist, true
 		}
@@ -563,13 +586,18 @@ func (o *indexJoinOp) Children() []Operator { return []Operator{o.outer} }
 // binding's distance (if any) wins, preserving first-predicate-sets-
 // dist semantics across join chains.
 func mergeBindings(l, r *binding) *binding {
-	aliases := make(map[string]relation.Tuple, len(l.aliases)+len(r.aliases))
-	for a, t := range l.aliases {
-		aliases[a] = t
+	aliases := make(map[string]relation.Tuple, 4)
+	put := func(src *binding) {
+		if src.aliases == nil {
+			aliases[src.alias] = src.tuple
+			return
+		}
+		for a, t := range src.aliases {
+			aliases[a] = t
+		}
 	}
-	for a, t := range r.aliases {
-		aliases[a] = t
-	}
+	put(l)
+	put(r)
 	b := &binding{aliases: aliases, dist: l.dist, hasDist: l.hasDist}
 	if !b.hasDist && r.hasDist {
 		b.dist, b.hasDist = r.dist, true

@@ -53,7 +53,8 @@ type planDecision struct {
 	start    string       // accessJoin: starting alias
 	steps    []stepChoice // accessJoin: greedy join order
 	parallel bool         // shard the scan-rooted pipeline
-	workers  int          // worker count when parallel
+	workers  int          // worker count when parallel (or gather fan-out)
+	shards   int          // > 0: scatter-gather plan over a ShardedRelation
 }
 
 // stepChoice is one edge of the decided join order. The edge is named
@@ -75,16 +76,16 @@ func (e *Engine) plan(q *Query) (*compiledPlan, error) {
 	return e.buildPlan(q, d)
 }
 
-// resolveFrom maps the FROM clause to catalog relations, rejecting
-// unknown names and duplicate aliases.
-func (e *Engine) resolveFrom(q *Query) ([]*relation.Relation, error) {
+// resolveFrom maps the FROM clause to catalog tables (plain or
+// sharded), rejecting unknown names and duplicate aliases.
+func (e *Engine) resolveFrom(q *Query) ([]relation.Table, error) {
 	if len(q.From) == 0 {
 		return nil, fmt.Errorf("query: FROM clause required")
 	}
-	rels := make([]*relation.Relation, 0, len(q.From))
+	tabs := make([]relation.Table, 0, len(q.From))
 	seen := map[string]bool{}
 	for _, ref := range q.From {
-		r, ok := e.catalog.Get(ref.Name)
+		t, ok := e.catalog.Lookup(ref.Name)
 		if !ok {
 			return nil, fmt.Errorf("query: unknown relation %q", ref.Name)
 		}
@@ -92,9 +93,9 @@ func (e *Engine) resolveFrom(q *Query) ([]*relation.Relation, error) {
 			return nil, fmt.Errorf("query: duplicate alias %q", ref.Alias)
 		}
 		seen[ref.Alias] = true
-		rels = append(rels, r)
+		tabs = append(tabs, t)
 	}
-	return rels, nil
+	return tabs, nil
 }
 
 // decide validates the query and makes every cost-based planning
@@ -118,7 +119,7 @@ func (e *Engine) decide(q *Query) (*planDecision, error) {
 	}
 
 	if ne, ok := q.Where.(NearestExpr); ok {
-		return e.decideNearest(q, ne)
+		return e.decideNearest(q, ne, rels[0])
 	}
 	if len(q.From) == 1 {
 		return e.decideSingle(q, rels[0])
@@ -127,8 +128,9 @@ func (e *Engine) decide(q *Query) (*planDecision, error) {
 }
 
 // decideNearest validates a NEAREST query and picks the access
-// structure.
-func (e *Engine) decideNearest(q *Query, ne NearestExpr) (*planDecision, error) {
+// structure. Over a sharded relation the same via choice applies per
+// shard and a rank-aware gather merges the shard top-k lists.
+func (e *Engine) decideNearest(q *Query, ne NearestExpr, tab relation.Table) (*planDecision, error) {
 	if len(q.From) != 1 {
 		return nil, fmt.Errorf("query: NEAREST requires a single relation")
 	}
@@ -151,7 +153,25 @@ func (e *Engine) decideNearest(q *Query, ne NearestExpr) (*planDecision, error) 
 	if unitCost(rs) {
 		via = "bktree"
 	}
-	return &planDecision{kind: accessNearest, via: via}, nil
+	d := &planDecision{kind: accessNearest, via: via}
+	if sh, ok := tab.(*relation.ShardedRelation); ok {
+		d.shards = sh.NumShards()
+		d.workers = e.gatherWorkers(d.shards)
+	}
+	return d, nil
+}
+
+// gatherWorkers caps the scatter-gather fan-out at the engine's
+// parallelism (at least one worker).
+func (e *Engine) gatherWorkers(shards int) int {
+	workers, _ := e.parallelConfig()
+	if workers > shards {
+		workers = shards
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
 }
 
 // rangeIndexable licenses a conjunct for the metric indexes: a literal,
@@ -168,17 +188,39 @@ func (e *Engine) rangeIndexable(sim *SimExpr) bool {
 // decideSingle picks the access path for a single-relation query: an
 // indexable SIMILAR TO conjunct over seq becomes an IndexRange on
 // whichever metric index the cost model prefers; everything else is a
-// (possibly parallel) scan with the full predicate as a filter.
-func (e *Engine) decideSingle(q *Query, rel *relation.Relation) (*planDecision, error) {
-	st := rel.Stats()
+// (possibly parallel) scan with the full predicate as a filter. Over a
+// sharded relation the same choice is made on per-shard statistics and
+// the decision becomes a scatter-gather plan: every shard runs the
+// chosen access path on its own snapshot and an id-ordered gather
+// restores the serial scan order.
+func (e *Engine) decideSingle(q *Query, tab relation.Table) (*planDecision, error) {
+	st := tab.Stats()
+	shards := 0
+	if sh, ok := tab.(*relation.ShardedRelation); ok {
+		shards = sh.NumShards()
+	}
+	costStats := st
+	if shards > 1 {
+		// Each shard holds ~1/N of the rows; the per-shard access choice
+		// must be costed against what one shard actually scans or probes.
+		costStats.Count = (st.Count + shards - 1) / shards
+	}
 	if sim, _ := extractRangeSim(q.Where, e.rangeIndexable); sim != nil {
-		if via := chooseRangeAccess(st, sim.Radius); via != "scan" {
-			return &planDecision{kind: accessRange, via: via}, nil
+		if via := chooseRangeAccess(costStats, sim.Radius); via != "scan" {
+			d := &planDecision{kind: accessRange, via: via, shards: shards}
+			if shards > 0 {
+				d.workers = e.gatherWorkers(shards)
+			}
+			return d, nil
 		}
 	}
-	// A bare scan has no per-tuple verification work to parallelise.
 	hasWork := !isTrivial(simplifyExpr(q.Where))
-	d := &planDecision{kind: accessScan}
+	d := &planDecision{kind: accessScan, shards: shards}
+	if shards > 0 {
+		d.workers = e.gatherWorkers(shards)
+		return d, nil
+	}
+	// A bare scan has no per-tuple verification work to parallelise.
 	d.parallel, d.workers = e.decideParallel(q, st.Count, hasWork)
 	return d, nil
 }
@@ -186,10 +228,16 @@ func (e *Engine) decideSingle(q *Query, rel *relation.Relation) (*planDecision, 
 // decideJoin greedily orders a left-deep join chain over N relations by
 // estimated cost; similarity edges come from top-level SIMILAR TO
 // conjuncts between two aliases.
-func (e *Engine) decideJoin(q *Query, rels []*relation.Relation) (*planDecision, error) {
-	relOf := map[string]*relation.Relation{}
+func (e *Engine) decideJoin(q *Query, rels []relation.Table) (*planDecision, error) {
+	relOf := map[string]relation.Table{}
 	pos := map[string]int{}
 	for i, ref := range q.From {
+		if _, ok := rels[i].(*relation.ShardedRelation); ok {
+			// Sharded joins need either a shard-aligned co-partitioning or
+			// a broadcast of the inner side; neither is built yet. Fail
+			// loudly rather than silently merging shards.
+			return nil, fmt.Errorf("query: relation %q is sharded; joins over sharded relations are not supported yet", q.From[i].Name)
+		}
 		relOf[ref.Alias] = rels[i]
 		pos[ref.Alias] = i
 	}
@@ -292,9 +340,22 @@ func (e *Engine) decideParallel(q *Query, outerRows int, hasWork bool) (bool, in
 // snapshotting, so the snapshot's head carries it and no per-query
 // build happens.
 func (e *Engine) buildPlan(q *Query, d *planDecision) (*compiledPlan, error) {
-	rels, err := e.resolveFrom(q)
+	tabs, err := e.resolveFrom(q)
 	if err != nil {
 		return nil, err
+	}
+	if d.shards > 0 {
+		return e.buildShardedPlan(q, d, tabs[0])
+	}
+	rels := make([]*relation.Relation, len(tabs))
+	for i, t := range tabs {
+		r, ok := t.(*relation.Relation)
+		if !ok {
+			// The table was re-registered with a sharded layout after this
+			// decision was made; Execute re-plans on this error.
+			return nil, fmt.Errorf("query: stale plan: relation %q is now sharded", q.From[i].Name)
+		}
+		rels[i] = r
 	}
 	// Ensure shared index structures ahead of the snapshots.
 	switch d.kind {
@@ -403,9 +464,11 @@ func (e *Engine) buildScan(ctx *execCtx, q *Query, snap *relation.Snapshot, d *p
 // by any step (cycles) become residual predicates — they must still
 // hold on each output binding.
 func (e *Engine) buildJoin(ctx *execCtx, q *Query, rels []*relation.Relation, snapOf func(*relation.Relation) *relation.Snapshot, d *planDecision) (Operator, error) {
-	relOf := map[string]*relation.Relation{}
+	relOf := map[string]relation.Table{}
+	relPlain := map[string]*relation.Relation{}
 	for i, ref := range q.From {
 		relOf[ref.Alias] = rels[i]
+		relPlain[ref.Alias] = rels[i]
 	}
 	edges, residual := extractJoinSims(q.Where, relOf)
 	used := make([]bool, len(edges))
@@ -425,10 +488,10 @@ func (e *Engine) buildJoin(ctx *execCtx, q *Query, rels []*relation.Relation, sn
 	steps := d.steps
 	// Resolve snapshots eagerly: the build closure runs concurrently in
 	// parallel shard workers and must not touch the snapshot map.
-	startSnap := snapOf(relOf[d.start])
+	startSnap := snapOf(relPlain[d.start])
 	stepSnaps := make([]*relation.Snapshot, len(steps))
 	for i, step := range steps {
-		stepSnaps[i] = snapOf(relOf[step.alias])
+		stepSnaps[i] = snapOf(relPlain[step.alias])
 	}
 	build := func(shard, shards int) Operator {
 		sc := newScanOp(ctx, startSnap, d.start)
@@ -572,7 +635,7 @@ func extractRangeSim(ex Expr, ok func(*SimExpr) bool) (*SimExpr, Expr) {
 // extractJoinSims collects every top-level SimExpr conjunct whose field
 // and target reference two different known aliases; the residual is the
 // predicate with those conjuncts replaced by TRUE.
-func extractJoinSims(ex Expr, known map[string]*relation.Relation) ([]*SimExpr, Expr) {
+func extractJoinSims(ex Expr, known map[string]relation.Table) ([]*SimExpr, Expr) {
 	switch ex := ex.(type) {
 	case SimExpr:
 		if !ex.Target.IsLit && !ex.Pattern {

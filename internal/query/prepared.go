@@ -55,7 +55,7 @@ func (e *Engine) Prepare(src string) (*PreparedQuery, error) {
 		return nil, err
 	}
 	if m, ok := stmt.(*Mutation); ok {
-		if _, ok := e.catalog.Get(m.Table); !ok {
+		if _, ok := e.catalog.Lookup(m.Table); !ok {
 			return nil, fmt.Errorf("query: unknown relation %q", m.Table)
 		}
 		if err := e.validateExpr(m.Where); err != nil {
@@ -244,16 +244,16 @@ func (pq *PreparedQuery) runMutation(lookup func(ParamRef) (any, error), explain
 }
 
 // decisionKey summarises every bind-dependent input to decide():
-// catalog statistics, rule-set registry, parallel configuration, the
-// LIMIT-without-ORDER early-exit flag, and each similarity radius in
-// predicate order. Two bindings with equal keys provably take the same
-// planner choices, so the decision is reusable.
+// catalog statistics, shard topology, rule-set registry, parallel
+// configuration, the LIMIT-without-ORDER early-exit flag, and each
+// similarity radius in predicate order. Two bindings with equal keys
+// provably take the same planner choices, so the decision is reusable.
 func (e *Engine) decisionKey(q *Query) string {
 	workers, minRows := e.parallelConfig()
 	var b strings.Builder
-	fmt.Fprintf(&b, "%d|%d|%d|%d|%t|%d",
+	fmt.Fprintf(&b, "%d|%d|%d|%d|%t|%d|%s",
 		e.catalog.StatsVersion(), e.rulesetVersion(), workers, minRows,
-		q.Limit > 0 && q.Order == OrderNone, q.Order)
+		q.Limit > 0 && q.Order == OrderNone, q.Order, e.catalog.ShardSignature())
 	appendRadii(&b, q.Where)
 	return b.String()
 }

@@ -1,0 +1,367 @@
+package query
+
+// Scatter-gather execution over sharded relations. The planner turns a
+// single-relation query over a ShardedRelation into one subplan per
+// shard — each reading one shard snapshot of a consistent ShardView —
+// plus a GatherMerge root that runs the subplans through a bounded
+// worker pool and merges their outputs:
+//
+//   - merge=id (WITHIN / scans): shard streams are merged in ascending
+//     global tuple id, which reconstructs exactly the serial scan order
+//     of the unsharded relation (ids are global and each arena is
+//     id-ascending).
+//   - merge=bestk (NEAREST): each shard produces its own k-best list
+//     sorted by (dist, id); the gather is a rank-aware bounded merge
+//     that repeatedly takes the smallest (dist, id) frontier entry and
+//     terminates after k results — once the global k-th best is fixed,
+//     no shard's remaining (worse) entries are ever examined. The
+//     (dist, id) order makes equal-distance ties deterministic by row
+//     key no matter which shard finished first.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// buildShardedPlan constructs the scatter-gather operator tree for a
+// decided single-relation query over a sharded relation.
+func (e *Engine) buildShardedPlan(q *Query, d *planDecision, tab relation.Table) (*compiledPlan, error) {
+	sh, ok := tab.(*relation.ShardedRelation)
+	if !ok {
+		return nil, fmt.Errorf("query: stale plan: relation %q is no longer sharded", q.From[0].Name)
+	}
+	if sh.NumShards() != d.shards {
+		return nil, fmt.Errorf("query: stale plan: relation %q has %d shards, plan wants %d",
+			q.From[0].Name, sh.NumShards(), d.shards)
+	}
+	// Ensure the shared per-shard index structures ahead of the view
+	// capture, so every shard snapshot carries its online-maintained
+	// index instead of building a private one per query.
+	switch d.kind {
+	case accessRange:
+		if d.via == "trie" {
+			sh.EnsureTries()
+		} else {
+			sh.EnsureBKTrees()
+		}
+	case accessNearest:
+		if d.via == "bktree" {
+			sh.EnsureBKTrees()
+		}
+	}
+	view := sh.View()
+	n := view.NumShards()
+	alias := q.From[0].Alias
+	ctx := &execCtx{eng: e}
+	cp := &compiledPlan{ctx: ctx, columns: projectColumns(q)}
+
+	children := make([]Operator, n)
+	var access Operator
+	switch d.kind {
+	case accessNearest:
+		ne := q.Where.(NearestExpr)
+		for i := range children {
+			children[i] = &shardNearestKOp{
+				nearestKOp: nearestKOp{
+					ctx: ctx, snap: view.Snap(i), alias: alias,
+					via: d.via, target: ne.Target.Lit, k: ne.K, ruleSet: ne.RuleSet,
+				},
+				idx: i, of: n,
+			}
+		}
+		access = &gatherMergeOp{ctx: ctx, children: children, workers: d.workers,
+			alias: alias, mode: gatherBestK, k: ne.K}
+	case accessRange:
+		sim, residual := extractRangeSim(q.Where, e.rangeIndexable)
+		if sim == nil {
+			return nil, fmt.Errorf("query: stale plan: no indexable conjunct")
+		}
+		pred := simplifyExpr(residual)
+		for i := range children {
+			var op Operator = &indexRangeOp{
+				ctx: ctx, snap: view.Snap(i), alias: alias, via: d.via,
+				target: sim.Target.Lit, radius: int(sim.Radius), ruleSet: sim.RuleSet,
+			}
+			if !isTrivial(pred) {
+				op = &filterOp{ctx: ctx, child: op, pred: pred}
+			}
+			if q.Limit > 0 && q.Order == OrderNone {
+				// LIMIT without ORDER BY returns an arbitrary valid subset
+				// (already true of the unsharded lazy index scan), so each
+				// shard needs at most LIMIT matches: the pushed limit stops
+				// the per-shard index traversal early instead of draining
+				// the whole radius ball on every shard.
+				op = &limitOp{child: op, n: q.Limit}
+			}
+			children[i] = op
+		}
+		access = &gatherMergeOp{ctx: ctx, children: children, workers: d.workers,
+			alias: alias, mode: gatherByID}
+	case accessScan:
+		pred := simplifyExpr(q.Where)
+		for i := range children {
+			var op Operator = &shardScanOp{scanOp: *newScanOp(ctx, view.Snap(i), alias), idx: i, of: n}
+			if !isTrivial(pred) {
+				op = &filterOp{ctx: ctx, child: op, pred: pred}
+			}
+			if q.Limit > 0 && q.Order == OrderNone {
+				// Shard scan streams are id-ascending, so the first LIMIT
+				// rows of the id-merged union draw at most LIMIT rows from
+				// any one shard — the limit pushes into every subplan.
+				op = &limitOp{child: op, n: q.Limit}
+			}
+			children[i] = op
+		}
+		access = &gatherMergeOp{ctx: ctx, children: children, workers: d.workers,
+			alias: alias, mode: gatherByID}
+	default:
+		return nil, fmt.Errorf("query: access kind %d has no sharded build", d.kind)
+	}
+
+	top := access
+	if q.Order == OrderDesc {
+		top = &orderByDistOp{child: top, desc: true}
+	} else if q.Order == OrderAsc {
+		top = &orderByDistOp{child: top}
+	}
+	top = &projectOp{ctx: ctx, q: q, child: top}
+	if q.Limit > 0 {
+		top = &limitOp{child: top, n: q.Limit}
+	}
+	cp.root = top
+	return cp, nil
+}
+
+// ----------------------------------------------------------- shard scan
+
+// shardScanOp is a scanOp over one shard's snapshot (the per-shard
+// leaf of a scatter-gather scan, streaming ascending global ids); it
+// exists so EXPLAIN shows which shard each stream comes from.
+type shardScanOp struct {
+	scanOp
+	idx, of int
+}
+
+func (o *shardScanOp) Describe() string {
+	return fmt.Sprintf("ShardScan(%s, shard %d/%d)", o.alias, o.idx, o.of)
+}
+
+// ------------------------------------------------------ shard nearest-k
+
+// shardNearestKOp is a nearestKOp over one shard snapshot; it exists so
+// EXPLAIN shows which shard each k-best list comes from.
+type shardNearestKOp struct {
+	nearestKOp
+	idx, of int
+}
+
+func (o *shardNearestKOp) Describe() string {
+	return fmt.Sprintf("ShardNearestK(%s, shard %d/%d, via %s, k=%d, ruleset=%s)",
+		o.alias, o.idx, o.of, o.via, o.k, o.ruleSet)
+}
+
+// --------------------------------------------------------- gather merge
+
+// gatherMode selects the merge discipline of a gatherMergeOp.
+type gatherMode int
+
+const (
+	gatherByID  gatherMode = iota // ascending global tuple id (scan order)
+	gatherBestK                   // rank-aware (dist, id) bounded merge
+)
+
+// gatherMergeOp fans one subplan per shard out across a bounded worker
+// pool, materialises their outputs, and merges. Like parallelOp it
+// trades binding buffering for full parallelism — the per-tuple
+// similarity work inside the subplans dominates by orders of magnitude.
+type gatherMergeOp struct {
+	ctx      *execCtx
+	children []Operator // one subplan per shard
+	workers  int
+	alias    string
+	mode     gatherMode
+	k        int // gatherBestK: result bound
+
+	out []*binding
+	pos int
+}
+
+func (o *gatherMergeOp) Open() error {
+	bufs := make([][]*binding, len(o.children))
+	errs := make([]error, len(o.children))
+	workers := o.workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(o.children) {
+		workers = len(o.children)
+	}
+	drain := func(i int) {
+		op := o.children[i]
+		if err := op.Open(); err != nil {
+			errs[i] = err
+			op.Close()
+			return
+		}
+		for {
+			b, err := op.Next()
+			if err != nil {
+				errs[i] = err
+				break
+			}
+			if b == nil {
+				break
+			}
+			bufs[i] = append(bufs[i], b)
+		}
+		if err := op.Close(); err != nil && errs[i] == nil {
+			errs[i] = err
+		}
+	}
+	if workers == 1 {
+		// Single-worker gather (one core, or SetParallelism(1)): run the
+		// shard subplans inline — goroutine and channel overhead buys
+		// nothing without parallelism.
+		for i := range o.children {
+			drain(i)
+		}
+	} else {
+		idxc := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idxc {
+					drain(i)
+				}
+			}()
+		}
+		for i := range o.children {
+			idxc <- i
+		}
+		close(idxc)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	o.pos = 0
+	switch o.mode {
+	case gatherBestK:
+		o.out = mergeBestK(bufs, o.alias, o.k)
+	default:
+		o.out = mergeByID(bufs, o.alias)
+	}
+	return nil
+}
+
+func (o *gatherMergeOp) Next() (*binding, error) {
+	if o.pos >= len(o.out) {
+		return nil, nil
+	}
+	b := o.out[o.pos]
+	o.pos++
+	return b, nil
+}
+
+func (o *gatherMergeOp) Close() error {
+	o.out = nil
+	return nil
+}
+
+func (o *gatherMergeOp) Describe() string {
+	if o.mode == gatherBestK {
+		return fmt.Sprintf("GatherMerge(shards=%d, workers=%d, merge=bestk k=%d)",
+			len(o.children), o.workers, o.k)
+	}
+	return fmt.Sprintf("GatherMerge(shards=%d, workers=%d, merge=id)", len(o.children), o.workers)
+}
+
+// Children returns the shard-0 subplan as the representative subtree
+// (all shards share the same shape, like Parallel's template).
+func (o *gatherMergeOp) Children() []Operator {
+	if len(o.children) == 0 {
+		return nil
+	}
+	return []Operator{o.children[0]}
+}
+
+// bindingID is the merge key: the tuple id bound under the gather's
+// alias.
+func bindingID(b *binding, alias string) int {
+	t, _ := b.tupleFor(alias)
+	return t.ID
+}
+
+// mergeByID merges shard outputs into ascending global id order. Scan
+// streams arrive already sorted; index-range streams arrive in index
+// traversal order, so each buffer is sorted first (ids are unique —
+// no tie to break).
+func mergeByID(bufs [][]*binding, alias string) []*binding {
+	total := 0
+	for _, buf := range bufs {
+		total += len(buf)
+		sort.Slice(buf, func(i, j int) bool { return bindingID(buf[i], alias) < bindingID(buf[j], alias) })
+	}
+	out := make([]*binding, 0, total)
+	pos := make([]int, len(bufs))
+	for {
+		best := -1
+		for i, buf := range bufs {
+			if pos[i] >= len(buf) {
+				continue
+			}
+			if best < 0 || bindingID(buf[pos[i]], alias) < bindingID(bufs[best][pos[best]], alias) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, bufs[best][pos[best]])
+		pos[best]++
+	}
+}
+
+// mergeBestK merges per-shard k-best lists (each ascending by
+// (dist, id)) into the global k-best. The merge is rank-aware: it
+// compares only the shards' frontier entries and stops the moment k
+// results are fixed, so once the k-th best distance beats every shard
+// frontier the remaining entries are never touched. Ties on distance
+// resolve by ascending tuple id — a total order over rows — which makes
+// the output independent of shard completion order.
+func mergeBestK(bufs [][]*binding, alias string, k int) []*binding {
+	out := make([]*binding, 0, k)
+	pos := make([]int, len(bufs))
+	for len(out) < k {
+		best := -1
+		for i, buf := range bufs {
+			if pos[i] >= len(buf) {
+				continue
+			}
+			if best < 0 || lessDistID(buf[pos[i]], bufs[best][pos[best]], alias) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out = append(out, bufs[best][pos[best]])
+		pos[best]++
+	}
+	return out
+}
+
+// lessDistID orders bindings by (dist, id) ascending.
+func lessDistID(a, b *binding, alias string) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return bindingID(a, alias) < bindingID(b, alias)
+}

@@ -1,0 +1,455 @@
+package query
+
+// The sharding oracle: for randomized datasets, statements and shard
+// counts, a sharded engine must be indistinguishable from (a) the
+// unsharded engine and (b) a brute-force model of the query semantics.
+//
+// Identity is byte-level. NEAREST results and full-table dumps have an
+// engine-defined total order ((dist, id) and ascending id), so they are
+// compared positionally, byte for byte. WITHIN result order is
+// plan-dependent (an index traversal emits matches in tree order, a
+// scan in id order — true already for the unsharded engine), so WITHIN
+// results are compared as canonically-encoded row sets: sorted rows
+// joined into one byte string, equal iff the encodings are identical.
+// DML must leave both engines with byte-identical table contents —
+// including assigned tuple ids — after every statement batch.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/editdp"
+	"repro/internal/index"
+	"repro/internal/relation"
+	"repro/internal/rewrite"
+)
+
+// oracleAlphabet keeps distances small and collisions (interesting
+// ties) frequent.
+const oracleAlphabet = "abcdefghij"
+
+// oracleRow is the brute-force model's tuple.
+type oracleRow struct {
+	id  int
+	seq string
+	tag string
+}
+
+// oracleDB models the engine's DML semantics exactly: ascending-id
+// application order, updates tombstone + reinsert under fresh ids.
+type oracleDB struct {
+	rows   []oracleRow // ascending id
+	nextID int
+}
+
+func (o *oracleDB) insert(seq, tag string) {
+	o.rows = append(o.rows, oracleRow{id: o.nextID, seq: seq, tag: tag})
+	o.nextID++
+}
+
+func (o *oracleDB) matchWithin(target string, r int) []int {
+	var ids []int
+	for _, row := range o.rows {
+		if _, ok := editdp.LevenshteinWithin(row.seq, target, r); ok {
+			ids = append(ids, row.id)
+		}
+	}
+	return ids
+}
+
+func (o *oracleDB) deleteIDs(ids []int) {
+	dead := map[int]bool{}
+	for _, id := range ids {
+		dead[id] = true
+	}
+	kept := o.rows[:0]
+	for _, row := range o.rows {
+		if !dead[row.id] {
+			kept = append(kept, row)
+		}
+	}
+	o.rows = kept
+}
+
+// updateIDs mirrors execDeleteOrUpdate: matched ids ascending, each
+// update removes the old row and appends the new one under the next
+// fresh id.
+func (o *oracleDB) updateIDs(ids []int, newSeq string) {
+	sort.Ints(ids)
+	for _, id := range ids {
+		var tag string
+		found := false
+		for _, row := range o.rows {
+			if row.id == id {
+				tag, found = row.tag, true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		o.deleteIDs([]int{id})
+		o.insert(newSeq, tag)
+	}
+}
+
+// oraclePair is one unsharded/sharded engine pair over the same logical
+// relation plus the brute-force model.
+type oraclePair struct {
+	plain   *Engine
+	sharded *Engine
+	model   *oracleDB
+}
+
+func newOraclePair(t *testing.T, shards int) *oraclePair {
+	t.Helper()
+	mk := func(tab relation.Table) *Engine {
+		cat := relation.NewCatalog()
+		cat.Add(tab)
+		e := NewEngine(cat)
+		rs := rewrite.MustRuleSet("edits", rewrite.UnitEdits(oracleAlphabet).Rules())
+		if err := e.RegisterRuleSet(rs); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	return &oraclePair{
+		plain:   mk(relation.New("words")),
+		sharded: mk(relation.NewSharded("words", shards)),
+		model:   &oracleDB{},
+	}
+}
+
+// exec runs one statement on both engines and keeps the model in sync
+// via the apply callback.
+func (p *oraclePair) exec(t *testing.T, stmt string, apply func(*oracleDB)) {
+	t.Helper()
+	a, err := p.plain.Execute(stmt)
+	if err != nil {
+		t.Fatalf("unsharded %q: %v", stmt, err)
+	}
+	b, err := p.sharded.Execute(stmt)
+	if err != nil {
+		t.Fatalf("sharded %q: %v", stmt, err)
+	}
+	if isDMLText(stmt) && a.Rows[0][0] != b.Rows[0][0] {
+		t.Fatalf("%q: affected-count diverges: %s vs %s", stmt, a.Rows[0][0], b.Rows[0][0])
+	}
+	if apply != nil {
+		apply(p.model)
+	}
+}
+
+// checkTableParity asserts byte-identical table contents across both
+// engines and the model.
+func (p *oraclePair) checkTableParity(t *testing.T) {
+	t.Helper()
+	dump := func(e *Engine) string {
+		tab, _ := e.Catalog().Lookup("words")
+		var b strings.Builder
+		for _, tup := range tab.Tuples() {
+			fmt.Fprintf(&b, "%d\x1f%s\x1f%s\n", tup.ID, tup.Seq, tup.Attr("tag"))
+		}
+		return b.String()
+	}
+	var mb strings.Builder
+	for _, row := range p.model.rows {
+		fmt.Fprintf(&mb, "%d\x1f%s\x1f%s\n", row.id, row.seq, row.tag)
+	}
+	plain, sharded, model := dump(p.plain), dump(p.sharded), mb.String()
+	if plain != sharded {
+		t.Fatalf("table contents diverge:\nunsharded:\n%s\nsharded:\n%s", plain, sharded)
+	}
+	if plain != model {
+		t.Fatalf("engines diverge from oracle:\nengine:\n%s\noracle:\n%s", plain, model)
+	}
+}
+
+// canonical encodes a result's rows as a sorted byte string; two result
+// sets are equal iff their canonical encodings are byte-identical.
+func canonical(res *Result) string {
+	rows := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		rows[i] = strings.Join(r, "\x1f")
+	}
+	sort.Strings(rows)
+	return strings.Join(rows, "\n")
+}
+
+// positional encodes a result's rows in emitted order.
+func positional(res *Result) string {
+	rows := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		rows[i] = strings.Join(r, "\x1f")
+	}
+	return strings.Join(rows, "\n")
+}
+
+func randOracleSeq(rng *rand.Rand) string {
+	b := make([]byte, 2+rng.Intn(7))
+	for i := range b {
+		b[i] = oracleAlphabet[rng.Intn(len(oracleAlphabet))]
+	}
+	return string(b)
+}
+
+// TestShardOracleParity is the main oracle property test: randomized
+// datasets, queries and DML over shard counts 1, 2, 4 and 7, with the
+// sharded engine checked byte-for-byte against the unsharded engine and
+// the brute-force model after every batch.
+func TestShardOracleParity(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 7} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(42 + shards)))
+			p := newOraclePair(t, shards)
+
+			// Seed rows.
+			var values []string
+			var applies []func(*oracleDB)
+			for i := 0; i < 150; i++ {
+				seq := randOracleSeq(rng)
+				tag := string(oracleAlphabet[rng.Intn(3)])
+				values = append(values, fmt.Sprintf("(%q, %q)", seq, tag))
+				applies = append(applies, func(o *oracleDB) { o.insert(seq, tag) })
+			}
+			p.exec(t, "INSERT INTO words (seq, tag) VALUES "+strings.Join(values, ", "),
+				func(o *oracleDB) {
+					for _, f := range applies {
+						f(o)
+					}
+				})
+			p.checkTableParity(t)
+
+			for gen := 0; gen < 6; gen++ {
+				// A batch of random DML.
+				for i := 0; i < 10; i++ {
+					switch rng.Intn(4) {
+					case 0: // insert
+						seq := randOracleSeq(rng)
+						tag := string(oracleAlphabet[rng.Intn(3)])
+						p.exec(t, fmt.Sprintf("INSERT INTO words (seq, tag) VALUES (%q, %q)", seq, tag),
+							func(o *oracleDB) { o.insert(seq, tag) })
+					case 1: // predicate delete (exercises the read plan)
+						target := randOracleSeq(rng)
+						p.exec(t, fmt.Sprintf(`DELETE FROM words WHERE seq SIMILAR TO %q WITHIN 1 USING edits`, target),
+							func(o *oracleDB) { o.deleteIDs(o.matchWithin(target, 1)) })
+					case 2: // delete by id
+						if len(p.model.rows) == 0 {
+							continue
+						}
+						id := p.model.rows[rng.Intn(len(p.model.rows))].id
+						p.exec(t, fmt.Sprintf(`DELETE FROM words WHERE id = "%d"`, id),
+							func(o *oracleDB) { o.deleteIDs([]int{id}) })
+					case 3: // predicate update (fresh-id assignment parity)
+						target := randOracleSeq(rng)
+						repl := randOracleSeq(rng)
+						p.exec(t, fmt.Sprintf(`UPDATE words SET seq = %q WHERE seq SIMILAR TO %q WITHIN 1 USING edits`, repl, target),
+							func(o *oracleDB) { o.updateIDs(o.matchWithin(target, 1), repl) })
+					}
+				}
+				p.checkTableParity(t)
+
+				// WITHIN queries: canonical set identity across both engines
+				// and the brute-force oracle.
+				for i := 0; i < 4; i++ {
+					target := randOracleSeq(rng)
+					radius := rng.Intn(3)
+					stmt := fmt.Sprintf(`SELECT id, seq, dist FROM words WHERE seq SIMILAR TO %q WITHIN %d USING edits`, target, radius)
+					a, err := p.plain.Execute(stmt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					b, err := p.sharded.Execute(stmt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if canonical(a) != canonical(b) {
+						t.Fatalf("WITHIN diverges for %q:\nunsharded:\n%s\nsharded:\n%s", stmt, canonical(a), canonical(b))
+					}
+					var want []string
+					for _, row := range p.model.rows {
+						if d, ok := editdp.LevenshteinWithin(row.seq, target, radius); ok {
+							want = append(want, fmt.Sprintf("%d\x1f%s\x1f%d", row.id, row.seq, d))
+						}
+					}
+					sort.Strings(want)
+					if got := canonical(b); got != strings.Join(want, "\n") {
+						t.Fatalf("WITHIN diverges from oracle for %q:\ngot:\n%s\nwant:\n%s", stmt, got, strings.Join(want, "\n"))
+					}
+
+					// ORDER BY dist: both engines must agree canonically and
+					// emit non-decreasing distances.
+					ores, err := p.sharded.Execute(stmt + " ORDER BY dist")
+					if err != nil {
+						t.Fatal(err)
+					}
+					if canonical(ores) != canonical(b) {
+						t.Fatalf("ORDER BY changed the result set for %q", stmt)
+					}
+					last := -1.0
+					for _, row := range ores.Rows {
+						d, _ := strconv.ParseFloat(row[2], 64)
+						if d < last {
+							t.Fatalf("ORDER BY dist not sorted: %v", ores.Rows)
+						}
+						last = d
+					}
+
+					// LIMIT: a plan-dependent subset, but always a subset of
+					// the oracle's match set at the right cardinality.
+					lim := 1 + rng.Intn(4)
+					lres, err := p.sharded.Execute(fmt.Sprintf("%s LIMIT %d", stmt, lim))
+					if err != nil {
+						t.Fatal(err)
+					}
+					wantN := lim
+					if len(want) < lim {
+						wantN = len(want)
+					}
+					if len(lres.Rows) != wantN {
+						t.Fatalf("LIMIT %d returned %d rows, want %d", lim, len(lres.Rows), wantN)
+					}
+					valid := map[string]bool{}
+					for _, w := range want {
+						valid[w] = true
+					}
+					for _, row := range lres.Rows {
+						if !valid[strings.Join(row, "\x1f")] {
+							t.Fatalf("LIMIT row %v not in oracle match set", row)
+						}
+					}
+				}
+
+				// NEAREST: positional byte identity — the (dist, id) order is
+				// engine-defined, so sharded, unsharded and oracle must agree
+				// on every byte including order.
+				for i := 0; i < 4; i++ {
+					target := randOracleSeq(rng)
+					k := 1 + rng.Intn(8)
+					stmt := fmt.Sprintf(`SELECT id, seq, dist FROM words WHERE seq NEAREST %d TO %q USING edits`, k, target)
+					a, err := p.plain.Execute(stmt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					b, err := p.sharded.Execute(stmt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if positional(a) != positional(b) {
+						t.Fatalf("NEAREST diverges for %q:\nunsharded:\n%s\nsharded:\n%s", stmt, positional(a), positional(b))
+					}
+					var best []index.Match
+					for _, row := range p.model.rows {
+						best = index.PushBestK(best, index.Match{ID: row.id, S: row.seq,
+							Dist: float64(editdp.Levenshtein(row.seq, target))}, k)
+					}
+					want := make([]string, len(best))
+					for i, m := range best {
+						want[i] = fmt.Sprintf("%d\x1f%s\x1f%d", m.ID, m.S, int(m.Dist))
+					}
+					if positional(b) != strings.Join(want, "\n") {
+						t.Fatalf("NEAREST diverges from oracle for %q:\ngot:\n%s\nwant:\n%s",
+							stmt, positional(b), strings.Join(want, "\n"))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardOracleInterleavedWrites runs the same deterministic write
+// stream through each engine's single writer while concurrent readers
+// hammer snapshot queries, then asserts the engines and the oracle
+// converge to byte-identical state. Under -race this also proves the
+// scatter-gather path is data-race free against live mutation.
+func TestShardOracleInterleavedWrites(t *testing.T) {
+	for _, shards := range []int{2, 7} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(7 * shards)))
+			p := newOraclePair(t, shards)
+
+			// Deterministic statement stream + oracle applications.
+			type step struct {
+				stmt  string
+				apply func(*oracleDB)
+			}
+			var steps []step
+			for i := 0; i < 120; i++ {
+				switch rng.Intn(3) {
+				case 0, 1:
+					seq := randOracleSeq(rng)
+					tag := string(oracleAlphabet[rng.Intn(3)])
+					steps = append(steps, step{
+						stmt:  fmt.Sprintf("INSERT INTO words (seq, tag) VALUES (%q, %q)", seq, tag),
+						apply: func(o *oracleDB) { o.insert(seq, tag) },
+					})
+				case 2:
+					target := randOracleSeq(rng)
+					steps = append(steps, step{
+						stmt:  fmt.Sprintf(`DELETE FROM words WHERE seq SIMILAR TO %q WITHIN 1 USING edits`, target),
+						apply: func(o *oracleDB) { o.deleteIDs(o.matchWithin(target, 1)) },
+					})
+				}
+			}
+
+			var wg sync.WaitGroup
+			writeErr := make(chan error, 2)
+			for _, eng := range []*Engine{p.plain, p.sharded} {
+				eng := eng
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for _, s := range steps {
+						if _, err := eng.Execute(s.stmt); err != nil {
+							writeErr <- fmt.Errorf("%q: %w", s.stmt, err)
+							return
+						}
+					}
+				}()
+			}
+			queries := []string{
+				`SELECT id, seq, dist FROM words WHERE seq SIMILAR TO "abab" WITHIN 2 USING edits`,
+				`SELECT id, seq, dist FROM words WHERE seq NEAREST 5 TO "cdcd" USING edits`,
+				`SELECT id, seq FROM words`,
+			}
+			readErr := make(chan error, 4)
+			for r := 0; r < 4; r++ {
+				r := r
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					eng := p.sharded
+					if r%2 == 0 {
+						eng = p.plain
+					}
+					for i := 0; i < 60; i++ {
+						if _, err := eng.Execute(queries[i%len(queries)]); err != nil {
+							readErr <- err
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(writeErr)
+			close(readErr)
+			if err := <-writeErr; err != nil {
+				t.Fatal(err)
+			}
+			if err := <-readErr; err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range steps {
+				s.apply(p.model)
+			}
+			p.checkTableParity(t)
+		})
+	}
+}

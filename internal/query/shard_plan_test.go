@@ -1,0 +1,236 @@
+package query
+
+// Planner and plan-cache behaviour over sharded relations: EXPLAIN
+// shapes, the shard-count/StatsVersion cache-invalidation regression
+// pins, prepared-query re-decision, per-shard LIMIT pushdown and the
+// sharded-join rejection.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/rewrite"
+)
+
+// shardTestEngine builds an engine over one sharded relation "words"
+// holding enough distinct rows to exercise every access path.
+func shardTestEngine(t *testing.T, shards, rows int) *Engine {
+	t.Helper()
+	cat := relation.NewCatalog()
+	sh := relation.NewSharded("words", shards)
+	ins := make([]relation.InsertRow, rows)
+	for i := range ins {
+		ins[i] = relation.InsertRow{
+			Seq:   fmt.Sprintf("%c%c%c%c", 'a'+i%7, 'a'+(i/7)%7, 'a'+(i/49)%7, 'a'+i%5),
+			Attrs: map[string]string{"tag": fmt.Sprint(i % 3)},
+		}
+	}
+	sh.InsertBatch(ins)
+	cat.Add(sh)
+	e := NewEngine(cat)
+	rs := rewrite.MustRuleSet("edits", rewrite.UnitEdits("abcdefghij").Rules())
+	if err := e.RegisterRuleSet(rs); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestShardedExplainShapes: every sharded access path plans under a
+// GatherMerge root with shard-labelled leaves.
+func TestShardedExplainShapes(t *testing.T) {
+	e := shardTestEngine(t, 4, 200)
+	cases := []struct {
+		stmt string
+		want []string
+	}{
+		{
+			`EXPLAIN SELECT * FROM words WHERE tag = "1"`,
+			[]string{"GatherMerge(shards=4", "merge=id", "ShardScan(words, shard 0/4)", "Filter("},
+		},
+		{
+			`EXPLAIN SELECT * FROM words WHERE seq NEAREST 3 TO "abc" USING edits`,
+			[]string{"GatherMerge(shards=4", "merge=bestk k=3", "ShardNearestK(words, shard 0/4, via bktree, k=3"},
+		},
+		{
+			`EXPLAIN SELECT * FROM words WHERE seq SIMILAR TO "abcd" WITHIN 1 USING edits`,
+			[]string{"GatherMerge(shards=4", "merge=id", "IndexRange(words via"},
+		},
+	}
+	for _, c := range cases {
+		res, err := e.Execute(c.stmt)
+		if err != nil {
+			t.Fatalf("%s: %v", c.stmt, err)
+		}
+		for _, frag := range c.want {
+			if !strings.Contains(res.Plan, frag) {
+				t.Errorf("%s:\nplan lacks %q:\n%s", c.stmt, frag, res.Plan)
+			}
+		}
+	}
+}
+
+// TestShardedJoinRejected: joins over sharded relations fail loudly at
+// plan time rather than producing silently wrong merges.
+func TestShardedJoinRejected(t *testing.T) {
+	e := shardTestEngine(t, 2, 50)
+	e.Catalog().Add(relation.New("other"))
+	_, err := e.Execute(`SELECT a.seq, b.seq FROM words a, other b WHERE a.seq SIMILAR TO b.seq WITHIN 1 USING edits`)
+	if err == nil || !strings.Contains(err.Error(), "sharded") {
+		t.Fatalf("sharded join error = %v, want a sharded-join rejection", err)
+	}
+}
+
+// TestShardedLimitPushdown: with LIMIT and no ORDER BY, each shard
+// subplan stops at the limit — the scatter never drains whole shards
+// for a 2-row answer.
+func TestShardedLimitPushdown(t *testing.T) {
+	e := shardTestEngine(t, 4, 2000)
+	res, err := e.Execute(`SELECT * FROM words WHERE tag != "9" LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("LIMIT 2 returned %d rows", len(res.Rows))
+	}
+	// Every tuple matches the filter, so each of the 4 shards buffers at
+	// most 2 bindings: the scan should touch far fewer than all rows.
+	if res.Stats.Candidates > 100 {
+		t.Fatalf("LIMIT 2 scanned %d candidates; per-shard limit not pushed down", res.Stats.Candidates)
+	}
+}
+
+// TestPlanCacheShardCountChange pins the regression: a cached plan must
+// never be served across a shard-count change, even though the
+// statement text is identical.
+func TestPlanCacheShardCountChange(t *testing.T) {
+	e := shardTestEngine(t, 2, 100)
+	stmt := `SELECT * FROM words WHERE tag = "1"`
+
+	if _, err := e.Execute(stmt); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Execute(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.PlanCacheHit {
+		t.Fatal("second execution should hit the plan cache")
+	}
+	if !strings.Contains(res.Plan, "GatherMerge(shards=2") {
+		t.Fatalf("cached plan is not the 2-shard plan:\n%s", res.Plan)
+	}
+
+	// Re-register the same name with a different shard count. The old
+	// 2-shard plan must not be served: the very next execution re-plans
+	// against the new topology.
+	old, _ := e.Catalog().Lookup("words")
+	resharded := relation.NewSharded("words", 4)
+	rows := make([]relation.InsertRow, 0, old.Len())
+	for _, tup := range old.Tuples() {
+		rows = append(rows, relation.InsertRow{Seq: tup.Seq, Attrs: tup.Attrs})
+	}
+	resharded.InsertBatch(rows)
+	e.Catalog().Add(resharded)
+
+	res, err = e.Execute(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PlanCacheHit {
+		t.Fatal("plan cache served a plan across a shard-count change")
+	}
+	if !strings.Contains(res.Plan, "GatherMerge(shards=4") {
+		t.Fatalf("re-planned query did not adopt the new topology:\n%s", res.Plan)
+	}
+
+	// Going back to unsharded must also start a fresh key space.
+	plain := relation.New("words")
+	for _, tup := range resharded.Tuples() {
+		plain.Insert(tup.Seq, tup.Attrs)
+	}
+	e.Catalog().Add(plain)
+	res, err = e.Execute(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PlanCacheHit {
+		t.Fatal("plan cache served a sharded plan to an unsharded relation")
+	}
+	if strings.Contains(res.Plan, "GatherMerge") {
+		t.Fatalf("unsharded relation still executes a gather plan:\n%s", res.Plan)
+	}
+}
+
+// TestPlanCacheShardedStatsVersionChange pins that DML against a
+// sharded relation bumps StatsVersion and invalidates cached sharded
+// plans, exactly like the unsharded regression tests.
+func TestPlanCacheShardedStatsVersionChange(t *testing.T) {
+	e := shardTestEngine(t, 4, 100)
+	stmt := `SELECT * FROM words WHERE tag = "1"`
+	if _, err := e.Execute(stmt); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Execute(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.PlanCacheHit {
+		t.Fatal("warm execution should hit the plan cache")
+	}
+	if _, err := e.Execute(`INSERT INTO words (seq, tag) VALUES ("abcj", "1")`); err != nil {
+		t.Fatal(err)
+	}
+	res, err = e.Execute(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PlanCacheHit {
+		t.Fatal("plan cache served a plan across a StatsVersion change on a sharded relation")
+	}
+}
+
+// TestPreparedShardedRedecision: a prepared query's memoised decision
+// is keyed on the shard signature — resharding forces a re-decide, and
+// the new decision builds gather plans for the new topology.
+func TestPreparedShardedRedecision(t *testing.T) {
+	e := shardTestEngine(t, 2, 100)
+	pq, err := e.Prepare(`SELECT seq, dist FROM words WHERE seq SIMILAR TO ? WITHIN ? USING edits`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pq.Execute("abcd", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pq.Execute("abce", 1); err != nil {
+		t.Fatal(err)
+	}
+	st := pq.Stats()
+	if st.Plans != 1 || st.PlanReuses != 1 {
+		t.Fatalf("decision cache not reused before reshard: %+v", st)
+	}
+
+	resharded := relation.NewSharded("words", 4)
+	old, _ := e.Catalog().Lookup("words")
+	rows := make([]relation.InsertRow, 0, old.Len())
+	for _, tup := range old.Tuples() {
+		rows = append(rows, relation.InsertRow{Seq: tup.Seq, Attrs: tup.Attrs})
+	}
+	resharded.InsertBatch(rows)
+	e.Catalog().Add(resharded)
+
+	plan, err := pq.Explain("abcd", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "shards=4") && !strings.Contains(plan, "GatherMerge") {
+		t.Fatalf("prepared plan did not adopt the new topology:\n%s", plan)
+	}
+	if _, err := pq.Execute("abcd", 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := pq.Stats(); st.Plans < 2 {
+		t.Fatalf("reshard did not force a re-decision: %+v", st)
+	}
+}

@@ -130,6 +130,35 @@ func (h *head) dropStats(seq string) {
 	}
 }
 
+// Table is the mutable relation API shared by Relation (a single MVCC
+// arena) and ShardedRelation (a hash-partitioned set of arenas). The
+// query engine and the storage layer address catalog entries through
+// this interface so the same plans, DML statements and WAL records work
+// against either physical layout.
+//
+// InsertAt and UpdateAt are storage-layer primitives: they install rows
+// under caller-assigned ids (segmented-WAL replay and reserved-id
+// commits need them) and expect globally fresh ids.
+type Table interface {
+	Name() string
+	Len() int
+	Stats() Stats
+	Version() uint64
+	Tuple(id int) (Tuple, bool)
+	Tuples() []Tuple
+	Insert(seq string, attrs map[string]string) int
+	InsertBatch(rows []InsertRow) []int
+	InsertAt(id int, seq string, attrs map[string]string) bool
+	Delete(id int) bool
+	Update(id int, seq string, attrs map[string]string) (int, bool)
+	UpdateAt(id, newID int, seq string, attrs map[string]string) bool
+}
+
+var (
+	_ Table = (*Relation)(nil)
+	_ Table = (*ShardedRelation)(nil)
+)
+
 // Relation is a named collection of tuples with MVCC snapshots and
 // online-maintained indexes.
 type Relation struct {
@@ -248,6 +277,116 @@ func (r *Relation) InsertBatch(rows []InsertRow) []int {
 	return ids
 }
 
+// InsertAt appends a tuple under a caller-assigned id; false when the
+// arena already holds the id. Sharded relations route rows here with
+// globally-assigned ids, and segmented-WAL replay re-installs rows
+// under their logged ids. Ids normally arrive in ascending order (the
+// id allocator is monotonic); an out-of-order id falls back to a
+// copy-and-sort of the arena so find()'s binary search stays valid.
+func (r *Relation) InsertAt(id int, seq string, attrs map[string]string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.insertAtLocked(id, seq, attrs)
+}
+
+func (r *Relation) insertAtLocked(id int, seq string, attrs map[string]string) bool {
+	h := r.head.Load()
+	if h.find(id) != nil {
+		return false
+	}
+	nh := *h
+	row := &Row{Tuple: Tuple{ID: id, Seq: seq, Attrs: attrs}}
+	row.died.Store(aliveEpoch)
+	if n := len(nh.rows); n > 0 && nh.rows[n-1].ID > id {
+		// Out-of-order id: older heads share the arena backing array, so
+		// re-sorting must copy rather than mutate in place.
+		rows := make([]*Row, 0, n+1)
+		rows = append(rows, nh.rows...)
+		rows = append(rows, row)
+		sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+		nh.rows = rows
+	} else {
+		nh.rows = append(nh.rows, row)
+	}
+	if id >= nh.nextID {
+		nh.nextID = id + 1
+	}
+	nh.epoch++
+	nh.addStats(seq)
+	if nh.bk != nil {
+		nh.bk.Insert(id, seq)
+	}
+	if nh.trie != nil {
+		nh.trie.Insert(id, seq)
+	}
+	nh.length, nh.qgram = nil, nil
+	r.publish(&nh)
+	return true
+}
+
+// InsertBatchAt is InsertAt over several rows in ONE commit: ids[i]
+// names rows[i]. Rows whose id is already taken — in the arena or
+// earlier in the same batch — are skipped, matching InsertAt's
+// single-row contract; the installed ids are returned in batch order.
+// Like InsertBatch the whole batch becomes visible atomically.
+func (r *Relation) InsertBatchAt(ids []int, rows []InsertRow) []int {
+	if len(rows) == 0 || len(ids) != len(rows) {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.head.Load()
+	nh := *h
+	sorted := true
+	last := -1
+	if n := len(nh.rows); n > 0 {
+		last = nh.rows[n-1].ID
+	}
+	installed := make([]int, 0, len(rows))
+	var inBatch map[int]bool
+	for i, in := range rows {
+		id := ids[i]
+		if inBatch[id] || h.find(id) != nil {
+			continue
+		}
+		if inBatch == nil {
+			inBatch = make(map[int]bool, len(rows))
+		}
+		inBatch[id] = true
+		installed = append(installed, id)
+		if id <= last {
+			sorted = false
+		}
+		last = id
+		row := &Row{Tuple: Tuple{ID: id, Seq: in.Seq, Attrs: in.Attrs}}
+		row.died.Store(aliveEpoch)
+		nh.rows = append(nh.rows, row)
+		if id >= nh.nextID {
+			nh.nextID = id + 1
+		}
+		nh.addStats(in.Seq)
+		if nh.bk != nil {
+			nh.bk.Insert(id, in.Seq)
+		}
+		if nh.trie != nil {
+			nh.trie.Insert(id, in.Seq)
+		}
+	}
+	if len(installed) == 0 {
+		return nil
+	}
+	if !sorted {
+		rows := make([]*Row, 0, len(nh.rows))
+		rows = append(rows, nh.rows...)
+		sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+		nh.rows = rows
+	}
+	nh.epoch++
+	nh.length, nh.qgram = nil, nil
+	r.publish(&nh)
+	return installed
+}
+
 // Delete tombstones the row with the given id; false when no visible
 // row has it. The index entries stay behind (filtered by visibility)
 // until compaction rebuilds the structures.
@@ -303,6 +442,49 @@ func (r *Relation) Update(id int, seq string, attrs map[string]string) (int, boo
 	r.publish(&nh)
 	r.maybeCompact()
 	return newID, true
+}
+
+// UpdateAt is Update with a caller-assigned replacement id: the old
+// version is tombstoned and the new version installed under newID in
+// one commit. Sharded relations allocate newID globally; segmented-WAL
+// replay re-applies updates under their logged ids.
+func (r *Relation) UpdateAt(id, newID int, seq string, attrs map[string]string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.head.Load()
+	row := h.find(id)
+	if row == nil || row.died.Load() != aliveEpoch || h.find(newID) != nil {
+		return false
+	}
+	nh := *h
+	nh.epoch++
+	row.died.Store(nh.epoch)
+	nh.dropStats(row.Seq)
+	nrow := &Row{Tuple: Tuple{ID: newID, Seq: seq, Attrs: attrs}}
+	nrow.died.Store(aliveEpoch)
+	if n := len(nh.rows); n > 0 && nh.rows[n-1].ID > newID {
+		rows := make([]*Row, 0, n+1)
+		rows = append(rows, nh.rows...)
+		rows = append(rows, nrow)
+		sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+		nh.rows = rows
+	} else {
+		nh.rows = append(nh.rows, nrow)
+	}
+	if newID >= nh.nextID {
+		nh.nextID = newID + 1
+	}
+	nh.addStats(seq)
+	if nh.bk != nil {
+		nh.bk.Insert(newID, seq)
+	}
+	if nh.trie != nil {
+		nh.trie.Insert(newID, seq)
+	}
+	nh.length, nh.qgram = nil, nil
+	r.publish(&nh)
+	r.maybeCompact()
+	return true
 }
 
 // maybeCompact runs compaction when the tombstone policy triggers.
@@ -694,23 +876,32 @@ func Load(name string, rd io.Reader) (*Relation, error) {
 
 // ------------------------------------------------------------- catalog
 
-// Catalog is a named set of relations — the database the query engine
-// runs against.
+// Catalog is a named set of tables — the database the query engine
+// runs against. Entries are plain Relations or ShardedRelations; both
+// are addressed through the Table interface.
 type Catalog struct {
 	mu      sync.RWMutex
 	version atomic.Uint64 // bumped on Add/replace
-	rels    map[string]*Relation
+	rels    map[string]Table
+
+	// Shard-signature cache: the signature only changes when the
+	// catalog's membership does (version bump), and the serving hot
+	// path reads it on every query, so it is computed once per catalog
+	// version instead of per request.
+	sigMu      sync.Mutex
+	sigVersion uint64
+	sig        string
 }
 
 // NewCatalog returns an empty catalog.
-func NewCatalog() *Catalog { return &Catalog{rels: make(map[string]*Relation)} }
+func NewCatalog() *Catalog { return &Catalog{rels: make(map[string]Table)} }
 
-// Add registers a relation, replacing any previous one with the name.
-func (c *Catalog) Add(r *Relation) {
+// Add registers a table, replacing any previous one with the name.
+func (c *Catalog) Add(t Table) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.version.Add(1)
-	c.rels[r.Name()] = r
+	c.rels[t.Name()] = t
 }
 
 // StatsVersion summarises the mutation state of the catalog and every
@@ -731,12 +922,60 @@ func (c *Catalog) StatsVersion() uint64 {
 	return v
 }
 
-// Get returns the named relation.
+// Lookup returns the named table — plain or sharded.
+func (c *Catalog) Lookup(name string) (Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.rels[name]
+	return t, ok
+}
+
+// Get returns the named table when it is a plain (unsharded) Relation;
+// callers that can serve any physical layout use Lookup instead.
 func (c *Catalog) Get(name string) (*Relation, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	r, ok := c.rels[name]
+	r, ok := c.rels[name].(*Relation)
 	return r, ok
+}
+
+// ShardSignature summarises the shard topology of the catalog as
+// "name=shards" pairs, sorted by name (plain relations count as one
+// shard). Plan-cache keys and prepared-query decision keys embed it, so
+// replacing a table with a differently-sharded layout — which changes
+// every physical plan over it — can never be served a stale plan, even
+// if the statistics version were to collide.
+func (c *Catalog) ShardSignature() string {
+	c.sigMu.Lock()
+	defer c.sigMu.Unlock()
+	// Version 0 means no Add ever ran: the empty signature the zero
+	// value carries is already correct.
+	if c.sigVersion == c.version.Load() {
+		return c.sig
+	}
+	c.mu.RLock()
+	// Re-read under the catalog lock: Add bumps the version while
+	// holding it, so this (version, membership) pair is consistent.
+	v := c.version.Load()
+	names := make([]string, 0, len(c.rels))
+	for n := range c.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		shards := 1
+		if sh, ok := c.rels[n].(*ShardedRelation); ok {
+			shards = sh.NumShards()
+		}
+		fmt.Fprintf(&b, "%s=%d", n, shards)
+	}
+	c.mu.RUnlock()
+	c.sigVersion, c.sig = v, b.String()
+	return c.sig
 }
 
 // Names returns the registered relation names, sorted.

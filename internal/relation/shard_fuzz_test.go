@@ -1,0 +1,81 @@
+package relation
+
+import "testing"
+
+// FuzzShardRoute fuzzes the hash partitioner plus the sharded
+// relation's routing invariants: ShardOf stays in range and
+// deterministic for arbitrary byte sequences and shard counts, a
+// sharded insert lands on exactly the shard ShardOf names, and the
+// row remains reachable by id afterwards (the -shards DML paths —
+// INSERT/DELETE/UPDATE routed by hash — stand on these invariants).
+func FuzzShardRoute(f *testing.F) {
+	// Seed corpus: the sequence shapes the -shards DML paths see —
+	// datagen words, simload ingest rows, attr-bearing updates, empty
+	// and non-ASCII sequences — across the tested shard counts.
+	for _, seed := range []struct {
+		seq string
+		n   int
+	}{
+		{"", 1}, {"color", 2}, {"colour", 4}, {"wabcj", 7},
+		{"abcdefgh", 4}, {"jihgfedc", 7}, {"b0r0", 2},
+		{"seq with spaces", 4}, {"\x00\xff\xfe", 7}, {"über", 4},
+		{"tmp", 1}, {"fresh", 16},
+	} {
+		f.Add(seed.seq, seed.n)
+	}
+	f.Fuzz(func(t *testing.T, seq string, n int) {
+		// Normalise the fuzzed shard count into the supported range the
+		// way NewSharded does (clamp), capped so a fuzzed huge n cannot
+		// allocate unbounded shards.
+		if n < 1 {
+			n = 1
+		}
+		if n > 64 {
+			n = n%64 + 1
+		}
+		sh := ShardOf(seq, n)
+		if sh < 0 || sh >= n {
+			t.Fatalf("ShardOf(%q, %d) = %d out of range", seq, n, sh)
+		}
+		if again := ShardOf(seq, n); again != sh {
+			t.Fatalf("ShardOf(%q, %d) unstable: %d then %d", seq, n, sh, again)
+		}
+		if n == 1 && sh != 0 {
+			t.Fatalf("ShardOf(%q, 1) = %d, want 0", seq, sh)
+		}
+
+		rel := NewSharded("f", n)
+		id := rel.Insert(seq, nil)
+		stats := rel.ShardStats()
+		for i, st := range stats {
+			want := 0
+			if i == sh {
+				want = 1
+			}
+			if st.Rows != want {
+				t.Fatalf("row %q landed on shard %d (rows=%v), ShardOf says %d", seq, i, stats, sh)
+			}
+		}
+		if got, ok := rel.Tuple(id); !ok || got.Seq != seq {
+			t.Fatalf("inserted row unreachable by id: (%+v, %v)", got, ok)
+		}
+		if rel.ShardOfID(id) != sh {
+			t.Fatalf("ShardOfID(%d) = %d, want %d", id, rel.ShardOfID(id), sh)
+		}
+		// Updating to the same sequence keeps the row on its shard; the
+		// old id must vanish and the new one resolve.
+		nid, ok := rel.Update(id, seq+"x", nil)
+		if !ok {
+			t.Fatalf("update of fresh row %d refused", id)
+		}
+		if _, stillThere := rel.Tuple(id); stillThere {
+			t.Fatalf("old id %d visible after update", id)
+		}
+		if rel.ShardOfID(nid) != ShardOf(seq+"x", n) {
+			t.Fatalf("updated row on shard %d, want %d", rel.ShardOfID(nid), ShardOf(seq+"x", n))
+		}
+		if !rel.Delete(nid) || rel.Len() != 0 {
+			t.Fatalf("delete(%d) failed or left rows (len=%d)", nid, rel.Len())
+		}
+	})
+}

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -11,19 +12,25 @@ import (
 // OpKind enumerates the mutations a Store applies.
 type OpKind int
 
-// Mutation kinds.
+// Mutation kinds. The *At kinds carry caller-assigned ids: the
+// segmented commit path reserves global ids up front so each WAL
+// segment can be replayed independently of the others.
 const (
 	OpInsert OpKind = iota
 	OpDelete
 	OpUpdate
+	OpInsertAt // insert under the explicit ID
+	OpUpdateAt // update ID, installing the new version under NewID
 )
 
 // Op is one mutation against a named relation. Insert uses Seq/Attrs;
-// Delete uses ID; Update uses ID plus the replacement Seq/Attrs.
+// Delete uses ID; Update uses ID plus the replacement Seq/Attrs;
+// InsertAt additionally pins ID and UpdateAt pins NewID.
 type Op struct {
 	Kind  OpKind
 	Rel   string
 	ID    int
+	NewID int
 	Seq   string
 	Attrs map[string]string
 }
@@ -45,7 +52,7 @@ type CommitResult struct {
 // head copy and publish for the whole run, and the run becomes visible
 // atomically (the common shapes — DML INSERT and /ingest — are exactly
 // one such run).
-func applyBatch(resolve func(string) (*relation.Relation, error), ops []Op) (CommitResult, error) {
+func applyBatch(resolve func(string) (relation.Table, error), ops []Op) (CommitResult, error) {
 	var res CommitResult
 	for i := 0; i < len(ops); {
 		op := ops[i]
@@ -81,6 +88,44 @@ func applyBatch(resolve func(string) (*relation.Relation, error), ops []Op) (Com
 				res.Applied++
 				res.Updates++
 			}
+		case OpInsertAt:
+			// Batch a run of explicit-id inserts into one commit, mirroring
+			// the OpInsert run optimisation (and keeping /ingest batches
+			// atomically visible on sharded relations).
+			j := i
+			for j < len(ops) && ops[j].Kind == OpInsertAt && ops[j].Rel == op.Rel {
+				j++
+			}
+			if j-i > 1 {
+				ids := make([]int, j-i)
+				rows := make([]relation.InsertRow, j-i)
+				for k := i; k < j; k++ {
+					ids[k-i] = ops[k].ID
+					rows[k-i] = relation.InsertRow{Seq: ops[k].Seq, Attrs: ops[k].Attrs}
+				}
+				type batchInserter interface {
+					InsertBatchAt(ids []int, rows []relation.InsertRow) []int
+				}
+				if bi, ok := r.(batchInserter); ok {
+					installed := bi.InsertBatchAt(ids, rows)
+					res.InsertedIDs = append(res.InsertedIDs, installed...)
+					res.Applied += len(installed)
+					res.Inserts += len(installed)
+					i = j
+					continue
+				}
+			}
+			if r.InsertAt(op.ID, op.Seq, op.Attrs) {
+				res.InsertedIDs = append(res.InsertedIDs, op.ID)
+				res.Applied++
+				res.Inserts++
+			}
+		case OpUpdateAt:
+			if r.UpdateAt(op.ID, op.NewID, op.Seq, op.Attrs) {
+				res.InsertedIDs = append(res.InsertedIDs, op.NewID)
+				res.Applied++
+				res.Updates++
+			}
 		default:
 			return res, fmt.Errorf("storage: unknown op kind %d", op.Kind)
 		}
@@ -94,8 +139,8 @@ func applyBatch(resolve func(string) (*relation.Relation, error), ops []Op) (Com
 // without durability. Unknown relations error (nothing will replay to
 // recreate them, so silent autocreation would hide typos).
 func Apply(cat *relation.Catalog, ops []Op) (CommitResult, error) {
-	return applyBatch(func(name string) (*relation.Relation, error) {
-		r, ok := cat.Get(name)
+	return applyBatch(func(name string) (relation.Table, error) {
+		r, ok := cat.Lookup(name)
 		if !ok {
 			return nil, fmt.Errorf("storage: unknown relation %q", name)
 		}
@@ -125,10 +170,24 @@ type Metrics struct {
 // same base catalog (e.g. the same -load files) every time, and once a
 // store is attached all mutations must flow through it, never through
 // direct relation calls.
+//
+// A segmented store (OpenSegmented) keeps one WAL file per shard:
+// records targeting a ShardedRelation route to the segment of the shard
+// that owns the row, and carry explicit global ids (reserved before
+// logging) so each segment replays independently of the others'
+// interleaving. Records for plain relations always land in segment 0.
+// The atomicity trade: a commit spanning several shards appends one
+// transaction per touched segment, so a crash between segment appends
+// can surface a partially-durable cross-shard batch — in-memory
+// visibility stays atomic (the shard view publishes once), and each
+// single-kind DML statement rarely spans segments. A global commit
+// record (2PC) would close the gap at the cost of a second fsync; see
+// DESIGN.md.
 type Store struct {
-	mu  sync.Mutex
-	cat *relation.Catalog
-	wal *wal
+	mu   sync.Mutex
+	cat  *relation.Catalog
+	wals []*wal // len >= 1; segment 0 is the default route
+	lsn  uint64 // store-wide LSN counter shared by every segment
 
 	commits    atomic.Int64
 	inserts    atomic.Int64
@@ -142,12 +201,57 @@ type Store struct {
 // committed transaction into the catalog. Relations named by the log
 // that are missing from the catalog are created and registered.
 func Open(path string, cat *relation.Catalog) (*Store, error) {
-	w, txs, err := openWAL(path)
-	if err != nil {
-		return nil, err
+	return openSegments([]string{path}, cat)
+}
+
+// OpenSegmented opens a store with one WAL segment per shard:
+// "path.0" … "path.N-1". The catalog's sharded relations must already
+// be registered (replay routes rows by the same hash partitioner that
+// logged them, so the shard count must match the one the log was
+// written under).
+func OpenSegmented(path string, cat *relation.Catalog, segments int) (*Store, error) {
+	if segments < 1 {
+		segments = 1
 	}
-	s := &Store{cat: cat, wal: w}
-	for _, ops := range txs {
+	paths := make([]string, segments)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("%s.%d", path, i)
+	}
+	return openSegments(paths, cat)
+}
+
+func openSegments(paths []string, cat *relation.Catalog) (*Store, error) {
+	s := &Store{cat: cat}
+	var all [][]walRecord
+	for _, p := range paths {
+		w, txs, err := openWAL(p)
+		if err != nil {
+			for _, open := range s.wals {
+				open.close()
+			}
+			return nil, err
+		}
+		s.wals = append(s.wals, w)
+		for _, tx := range txs {
+			// A committed zero-op transaction (valid but vacuous) has no
+			// first record to sort on; replaying it is a no-op either way.
+			if len(tx) > 0 {
+				all = append(all, tx)
+			}
+		}
+		if w.maxLSN > s.lsn {
+			s.lsn = w.maxLSN
+		}
+	}
+	// Every segment appends under the shared store-wide LSN counter, so
+	// sorting the recovered transactions by their first record's LSN
+	// reconstructs the original commit order across segments — the order
+	// replay must follow when one commit's effects span shards.
+	for _, w := range s.wals {
+		w.lsn = &s.lsn
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i][0].LSN < all[j][0].LSN })
+	for _, ops := range all {
 		for i := range ops {
 			s.applyRecord(&ops[i])
 			s.replayedOp++
@@ -163,16 +267,19 @@ func Open(path string, cat *relation.Catalog) (*Store, error) {
 func (s *Store) SetSync(sync bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.wal.sync = sync
+	for _, w := range s.wals {
+		w.sync = sync
+	}
 }
 
 // Catalog returns the catalog the store writes into.
 func (s *Store) Catalog() *relation.Catalog { return s.cat }
 
-// relFor returns the named relation, creating and registering it on
-// first use (the WAL may define relations the base catalog does not).
-func (s *Store) relFor(name string) *relation.Relation {
-	if r, ok := s.cat.Get(name); ok {
+// relFor returns the named table, creating and registering a plain
+// relation on first use (the WAL may define relations the base catalog
+// does not; sharded relations must be registered before replay).
+func (s *Store) relFor(name string) relation.Table {
+	if r, ok := s.cat.Lookup(name); ok {
 		return r
 	}
 	r := relation.New(name)
@@ -192,6 +299,10 @@ func (s *Store) applyRecord(rec *walRecord) {
 		r.Delete(rec.ID)
 	case recUpdate:
 		r.Update(rec.ID, rec.Seq, rec.Attrs)
+	case recInsertAt:
+		r.InsertAt(rec.ID, rec.Seq, rec.Attrs)
+	case recUpdateAt:
+		r.UpdateAt(rec.ID, rec.NewID, rec.Seq, rec.Attrs)
 	}
 }
 
@@ -214,40 +325,76 @@ func (s *Store) Commit(ops []Op) (CommitResult, error) {
 	defer s.mu.Unlock()
 
 	var res CommitResult
-	recs := make([]walRecord, 0, len(ops))
+	nseg := len(s.wals)
+	segRecs := make([][]walRecord, nseg)
 	kept := make([]Op, 0, len(ops))
 	for _, op := range ops {
+		var sh *relation.ShardedRelation
+		if t, ok := s.cat.Lookup(op.Rel); ok {
+			sh, _ = t.(*relation.ShardedRelation)
+		}
+		seg := 0
+		var rec walRecord
 		switch op.Kind {
 		case OpInsert:
-			recs = append(recs, walRecord{Kind: recInsert, Rel: op.Rel, Seq: op.Seq, Attrs: op.Attrs})
+			rec = walRecord{Kind: recInsert, Rel: op.Rel, Seq: op.Seq, Attrs: op.Attrs}
+			if sh != nil && nseg > 1 {
+				// Segmented: reserve the global id now so the record can
+				// carry it and land in the owning shard's segment.
+				id := sh.ReserveIDs(1)[0]
+				op = Op{Kind: OpInsertAt, Rel: op.Rel, ID: id, Seq: op.Seq, Attrs: op.Attrs}
+				rec = walRecord{Kind: recInsertAt, Rel: op.Rel, ID: id, Seq: op.Seq, Attrs: op.Attrs}
+				seg = relation.ShardOf(op.Seq, sh.NumShards()) % nseg
+			}
 		case OpDelete, OpUpdate:
-			r, ok := s.cat.Get(op.Rel)
+			t, ok := s.cat.Lookup(op.Rel)
 			if !ok {
 				return res, fmt.Errorf("storage: unknown relation %q", op.Rel)
 			}
-			if _, visible := r.Tuple(op.ID); !visible {
+			if _, visible := t.Tuple(op.ID); !visible {
 				continue
 			}
 			kind := recDelete
 			if op.Kind == OpUpdate {
 				kind = recUpdate
 			}
-			recs = append(recs, walRecord{Kind: kind, Rel: op.Rel, ID: op.ID, Seq: op.Seq, Attrs: op.Attrs})
+			rec = walRecord{Kind: kind, Rel: op.Rel, ID: op.ID, Seq: op.Seq, Attrs: op.Attrs}
+			if sh != nil && nseg > 1 {
+				seg = sh.ShardOfID(op.ID) % nseg
+				if op.Kind == OpUpdate {
+					newID := sh.ReserveIDs(1)[0]
+					op = Op{Kind: OpUpdateAt, Rel: op.Rel, ID: op.ID, NewID: newID, Seq: op.Seq, Attrs: op.Attrs}
+					rec = walRecord{Kind: recUpdateAt, Rel: op.Rel, ID: op.ID, NewID: newID, Seq: op.Seq, Attrs: op.Attrs}
+				}
+			}
 		default:
 			return res, fmt.Errorf("storage: unknown op kind %d", op.Kind)
 		}
+		segRecs[seg] = append(segRecs[seg], rec)
 		kept = append(kept, op)
 	}
-	if len(recs) == 0 {
+	if len(kept) == 0 {
 		return res, nil
 	}
 
-	tx, err := s.wal.appendTx(recs)
-	if err != nil {
-		return res, fmt.Errorf("storage: WAL append: %w", err)
+	var tx uint64
+	for seg, recs := range segRecs {
+		if len(recs) == 0 {
+			continue
+		}
+		// One transaction per touched segment. A failed append here can
+		// leave earlier segments' transactions durable while this one is
+		// not — the commit is reported failed and nothing applies in
+		// memory, but a later replay will surface the partial batch (the
+		// cross-shard durability trade documented in DESIGN.md).
+		t, err := s.wals[seg].appendTx(recs)
+		if err != nil {
+			return res, fmt.Errorf("storage: WAL append (segment %d): %w", seg, err)
+		}
+		tx = t
 	}
 
-	res, err = applyBatch(func(name string) (*relation.Relation, error) {
+	res, err := applyBatch(func(name string) (relation.Table, error) {
 		return s.relFor(name), nil
 	}, kept)
 	res.Tx = tx
@@ -291,10 +438,16 @@ func (s *Store) Update(rel string, id int, seq string, attrs map[string]string) 
 	return res.InsertedIDs[0], true, nil
 }
 
+// Segments returns the number of WAL segments the store writes.
+func (s *Store) Segments() int { return len(s.wals) }
+
 // Metrics snapshots the write-side counters.
 func (s *Store) Metrics() Metrics {
 	s.mu.Lock()
-	bytes := s.wal.bytes
+	var bytes int64
+	for _, w := range s.wals {
+		bytes += w.bytes
+	}
 	s.mu.Unlock()
 	return Metrics{
 		Commits:    s.commits.Load(),
@@ -307,9 +460,16 @@ func (s *Store) Metrics() Metrics {
 	}
 }
 
-// Close flushes and closes the WAL. The store must not be used after.
+// Close flushes and closes every WAL segment. The store must not be
+// used after.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.wal.close()
+	var first error
+	for _, w := range s.wals {
+		if err := w.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }

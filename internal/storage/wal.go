@@ -28,34 +28,46 @@ import (
 )
 
 // Record kinds. Operation records precede their transaction's commit.
+// The *at kinds carry explicit tuple ids — segmented stores log them so
+// every segment replays to the same state regardless of how commits
+// interleaved across segments.
 const (
-	recInsert = "insert"
-	recDelete = "delete"
-	recUpdate = "update"
-	recCommit = "commit"
+	recInsert   = "insert"
+	recDelete   = "delete"
+	recUpdate   = "update"
+	recInsertAt = "insertat"
+	recUpdateAt = "updateat"
+	recCommit   = "commit"
 )
 
-// walRecord is one WAL entry. Insert records intentionally carry no
-// tuple id: ids are assigned deterministically by replay order, which
-// keeps the log identical across the original run and every recovery.
+// walRecord is one WAL entry. Plain insert records intentionally carry
+// no tuple id: ids are assigned deterministically by replay order,
+// which keeps the log identical across the original run and every
+// recovery. Segmented stores use the explicit-id kinds instead.
 type walRecord struct {
 	LSN   uint64            `json:"lsn"`
 	Tx    uint64            `json:"tx"`
 	Kind  string            `json:"op"`
 	Rel   string            `json:"rel,omitempty"`
 	ID    int               `json:"id,omitempty"`
+	NewID int               `json:"nid,omitempty"` // updateat: replacement tuple id
 	Seq   string            `json:"seq,omitempty"`
 	Attrs map[string]string `json:"attrs,omitempty"`
 	N     int               `json:"n,omitempty"` // commit: operation count of the tx
 }
 
-// wal is the append side of the log. Writers are serialized by the
-// owning Store.
+// wal is the append side of one log segment. Writers are serialized by
+// the owning Store. The LSN counter is shared across every segment of a
+// store (the Store wires it after open), so sorting all segments'
+// transactions by LSN reconstructs the store-wide commit order —
+// that is what lets a segmented store replay cross-shard mutations in
+// the order they happened.
 type wal struct {
 	f      *os.File
 	w      *bufio.Writer
 	path   string
-	lsn    uint64
+	lsn    *uint64 // shared store-wide LSN counter
+	maxLSN uint64  // highest LSN seen during open (feeds the shared counter)
 	nextTx uint64
 	bytes  int64
 	sync   bool // fsync after every commit
@@ -122,8 +134,8 @@ func openWAL(path string) (*wal, [][]walRecord, error) {
 			pending[rec.Tx] = append(pending[rec.Tx], rec)
 		}
 		good += frameHeader + int64(n)
-		if rec.LSN > w.lsn {
-			w.lsn = rec.LSN
+		if rec.LSN > w.maxLSN {
+			w.maxLSN = rec.LSN
 		}
 		if rec.Tx > w.nextTx {
 			w.nextTx = rec.Tx
@@ -160,11 +172,11 @@ func (w *wal) appendTx(ops []walRecord) (tx uint64, err error) {
 	if w.broken {
 		return 0, fmt.Errorf("storage: WAL is fail-stopped after an unrecoverable append error")
 	}
-	lsn0, tx0, bytes0 := w.lsn, w.nextTx, w.bytes
+	lsn0, tx0, bytes0 := *w.lsn, w.nextTx, w.bytes
 	defer func() {
 		if err != nil {
 			w.w.Reset(w.f)
-			w.lsn, w.nextTx, w.bytes = lsn0, tx0, bytes0
+			*w.lsn, w.nextTx, w.bytes = lsn0, tx0, bytes0
 			if terr := w.f.Truncate(bytes0); terr != nil {
 				w.broken = true
 				return
@@ -177,15 +189,15 @@ func (w *wal) appendTx(ops []walRecord) (tx uint64, err error) {
 	w.nextTx++
 	tx = w.nextTx
 	for i := range ops {
-		w.lsn++
-		ops[i].LSN = w.lsn
+		*w.lsn++
+		ops[i].LSN = *w.lsn
 		ops[i].Tx = tx
 		if err := w.writeRecord(&ops[i]); err != nil {
 			return 0, err
 		}
 	}
-	w.lsn++
-	commit := walRecord{LSN: w.lsn, Tx: tx, Kind: recCommit, N: len(ops)}
+	*w.lsn++
+	commit := walRecord{LSN: *w.lsn, Tx: tx, Kind: recCommit, N: len(ops)}
 	if err := w.writeRecord(&commit); err != nil {
 		return 0, err
 	}
