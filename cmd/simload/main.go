@@ -66,11 +66,11 @@ func main() {
 	var extra listFlag
 	flag.Var(&extra, "query", "extra fixed statement to mix in (repeatable)")
 	flag.Parse()
-	if *writeFrac < 0 || *writeFrac > 1 {
-		fail(fmt.Errorf("-write-frac must be in [0,1], got %g", *writeFrac))
+	if err := validateFrac("-write-frac", *writeFrac); err != nil {
+		failUsage(err)
 	}
-	if *nearestFrac < 0 || *nearestFrac > 1 {
-		fail(fmt.Errorf("-nearest-frac must be in [0,1], got %g", *nearestFrac))
+	if err := validateFrac("-nearest-frac", *nearestFrac); err != nil {
+		failUsage(err)
 	}
 
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: *conc * 2}}
@@ -466,6 +466,26 @@ func post(client *http.Client, url string, body map[string]any) (map[string]any,
 		return nil, fmt.Errorf("%s: %s: %v", url, resp.Status, out["error"])
 	}
 	return out, nil
+}
+
+// validateFrac checks that a workload-mix fraction lies in [0,1]. NaN
+// is rejected explicitly: it slips through a plain `< 0 || > 1` range
+// check (every comparison with NaN is false) and would silently skew
+// the read/write interleave arithmetic.
+func validateFrac(name string, v float64) error {
+	if math.IsNaN(v) || v < 0 || v > 1 {
+		return fmt.Errorf("%s must be in [0,1], got %g", name, v)
+	}
+	return nil
+}
+
+// failUsage reports a flag-validation error with the usage text and
+// exits non-zero (2, matching flag.Parse's own exit code for bad
+// flags).
+func failUsage(err error) {
+	fmt.Fprintf(os.Stderr, "simload: %v\n", err)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func fail(err error) {

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+// TestValidateFrac pins the workload-fraction validation: the open
+// bug was that out-of-range (and NaN) values for -write-frac /
+// -nearest-frac sailed through and silently produced a nonsense
+// interleave, so the generator "ran" a workload nobody asked for.
+func TestValidateFrac(t *testing.T) {
+	cases := []struct {
+		v  float64
+		ok bool
+	}{
+		{0, true},
+		{0.2, true},
+		{1, true},
+		{1.5, false},
+		{-0.1, false},
+		{math.NaN(), false},
+		{math.Inf(1), false},
+		{math.Inf(-1), false},
+	}
+	for _, tc := range cases {
+		err := validateFrac("-write-frac", tc.v)
+		if (err == nil) != tc.ok {
+			t.Errorf("validateFrac(%v): err = %v, want ok=%t", tc.v, err, tc.ok)
+		}
+	}
+}
+
+// TestQuantile guards the report arithmetic the CI bench job consumes.
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4}
+	if q := quantile(sorted, 0); q != 1 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := quantile(sorted, 1); q != 4 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := quantile(sorted, 0.5); q != 2.5 {
+		t.Errorf("q50 = %v", q)
+	}
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Errorf("empty quantile = %v", q)
+	}
+}

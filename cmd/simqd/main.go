@@ -82,6 +82,7 @@ func main() {
 	walPath := flag.String("wal", "", "write-ahead log file (empty = in-memory mutations only)")
 	walSync := flag.Bool("wal-sync", true, "fsync the WAL on every commit")
 	shards := flag.Int("shards", 1, "hash-partition each loaded relation across N shards (scatter-gather execution)")
+	batchSize := flag.Int("batch-size", 256, "vectorized execution block size (0 = row-at-a-time pipeline)")
 	flag.Parse()
 	if *shards < 1 {
 		*shards = 1
@@ -95,6 +96,7 @@ func main() {
 	if *parallelism > 0 {
 		eng.SetParallelism(*parallelism)
 	}
+	eng.SetBatchSize(*batchSize)
 	var st *storage.Store
 	if *walPath != "" {
 		if *shards > 1 {
@@ -422,6 +424,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"prepared":         preparedCount,
 		"adhoc_statements": adhocCount,
 		"plan_cache":       s.eng.CacheStats(),
+		"batch_size":       s.eng.BatchSize(),
 		"ingest_requests":  s.writes.Load(),
 		"ingested_rows":    s.ingested.Load(),
 	}

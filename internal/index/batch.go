@@ -1,0 +1,50 @@
+package index
+
+// Batch iteration over the metric indexes. The vectorized execution
+// engine (internal/query) pulls matches a block at a time instead of
+// one per call: NextBatch fills a caller-owned slice, so the per-match
+// interface dispatch of Iterator.Next is paid once per block and the
+// caller's match buffer is reused across blocks.
+
+// BatchIterator is an Iterator that can also fill a block of matches
+// per call. Both range iterators (BK-tree and trie) implement it.
+type BatchIterator interface {
+	Iterator
+	// NextBatch fills dst from the front and returns how many matches it
+	// produced; fewer than len(dst) — including 0 — means the stream is
+	// done. Traversal state is shared with Next, so the two can be mixed.
+	NextBatch(dst []Match) int
+}
+
+var (
+	_ BatchIterator = (*bkIter)(nil)
+	_ BatchIterator = (*trieIter)(nil)
+)
+
+// NextBatch fills dst with the next matches of the BK-tree traversal.
+func (it *bkIter) NextBatch(dst []Match) int {
+	n := 0
+	for n < len(dst) {
+		m, ok := it.Next()
+		if !ok {
+			break
+		}
+		dst[n] = m
+		n++
+	}
+	return n
+}
+
+// NextBatch fills dst with the next matches of the trie traversal.
+func (it *trieIter) NextBatch(dst []Match) int {
+	n := 0
+	for n < len(dst) {
+		m, ok := it.Next()
+		if !ok {
+			break
+		}
+		dst[n] = m
+		n++
+	}
+	return n
+}

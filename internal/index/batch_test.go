@@ -1,0 +1,109 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func randSeqs(seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, n)
+	for i := range out {
+		b := make([]byte, 3+rng.Intn(6))
+		for j := range b {
+			b[j] = byte('a' + rng.Intn(6))
+		}
+		out[i] = string(b)
+	}
+	return out
+}
+
+// TestBatchIteratorMatchesNext: NextBatch must reproduce the Next
+// stream exactly — same matches, same deterministic order, same work
+// counters — for both metric indexes, at every block size, including
+// mixed Next/NextBatch pulls.
+func TestBatchIteratorMatchesNext(t *testing.T) {
+	seqs := randSeqs(11, 300)
+	bk, tr := NewBKTree(), NewTrie()
+	for i, s := range seqs {
+		bk.Insert(i, s)
+		tr.Insert(i, s)
+	}
+	for _, idx := range []Index{bk, tr} {
+		for _, k := range []int{0, 1, 2} {
+			name := fmt.Sprintf("%T/k=%d", idx, k)
+			var want []Match
+			it := idx.RangeIter("abcd", k)
+			for m, ok := it.Next(); ok; m, ok = it.Next() {
+				want = append(want, m)
+			}
+			wantStats := it.Stats()
+			for _, size := range []int{1, 7, 64} {
+				bit, ok := idx.RangeIter("abcd", k).(BatchIterator)
+				if !ok {
+					t.Fatalf("%s: iterator does not implement BatchIterator", name)
+				}
+				var got []Match
+				dst := make([]Match, size)
+				for {
+					n := bit.NextBatch(dst)
+					if n == 0 {
+						break
+					}
+					got = append(got, dst[:n]...)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s size=%d: batch stream diverges (%d vs %d matches)", name, size, len(got), len(want))
+				}
+				if bit.Stats() != wantStats {
+					t.Fatalf("%s size=%d: stats diverge: %+v vs %+v", name, size, bit.Stats(), wantStats)
+				}
+			}
+			// Mixed pulls share traversal state.
+			mixed, _ := idx.RangeIter("abcd", k).(BatchIterator)
+			var got []Match
+			if m, ok := mixed.Next(); ok {
+				got = append(got, m)
+			}
+			dst := make([]Match, 5)
+			for {
+				n := mixed.NextBatch(dst)
+				if n == 0 {
+					break
+				}
+				got = append(got, dst[:n]...)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: mixed Next/NextBatch stream diverges", name)
+			}
+		}
+	}
+}
+
+// TestNearestKIntoReusesBuffer: the Into form must equal the
+// allocating form and actually write into the caller's backing array.
+func TestNearestKIntoReusesBuffer(t *testing.T) {
+	seqs := randSeqs(5, 200)
+	bk := NewBKTree()
+	for i, s := range seqs {
+		bk.Insert(i, s)
+	}
+	want, wantStats := bk.NearestKFilterStats("abcd", 7, nil)
+	buf := make([]Match, 0, 16)
+	got, gotStats := bk.NearestKFilterStatsInto(buf, "abcd", 7, nil)
+	if !reflect.DeepEqual(got, want) || gotStats != wantStats {
+		t.Fatalf("Into form diverges: %v/%+v vs %v/%+v", got, gotStats, want, wantStats)
+	}
+	if cap(got) > 0 && cap(buf) > 0 && &got[:1][0] != &buf[:1][0] {
+		t.Fatal("Into form did not reuse the caller's buffer")
+	}
+	// Filtered variant agrees too.
+	accept := func(id int) bool { return id%2 == 0 }
+	want, _ = bk.NearestKFilterStats("abcd", 5, accept)
+	got, _ = bk.NearestKFilterStatsInto(got[:0], "abcd", 5, accept)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("filtered Into form diverges: %v vs %v", got, want)
+	}
+}

@@ -124,13 +124,21 @@ func (t *BKTree) NearestKStats(query string, k int) ([]Match, Stats) {
 // which is how MVCC snapshots exclude tombstoned rows without losing
 // true answers.
 func (t *BKTree) NearestKFilterStats(query string, k int, accept func(id int) bool) ([]Match, Stats) {
+	return t.NearestKFilterStatsInto(nil, query, k, accept)
+}
+
+// NearestKFilterStatsInto is NearestKFilterStats writing the best list
+// into dst's backing array (the nearest-k answer is inherently a batch,
+// so reusing the caller's buffer makes the NN access path allocation-
+// free across queries). dst may be nil.
+func (t *BKTree) NearestKFilterStatsInto(dst []Match, query string, k int, accept func(id int) bool) ([]Match, Stats) {
 	var st Stats
 	root := t.root.Load()
 	if root == nil || k <= 0 {
-		return nil, st
+		return dst[:0], st
 	}
 	// best holds up to k matches sorted ascending by (distance, id).
-	var best []Match
+	best := dst[:0]
 	var walk func(n *bkNode)
 	walk = func(n *bkNode) {
 		st.Candidates++

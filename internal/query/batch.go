@@ -1,0 +1,290 @@
+package query
+
+// Batch-at-a-time execution. The row pipeline (operators.go) pulls one
+// binding per Next call; for the scan/filter-heavy workloads the paper's
+// similarity queries are dominated by, the per-row costs — interface
+// dispatch, cursor stepping, predicate-tree walking, rule-set registry
+// lookups — rival the distance computations themselves. The batch
+// pipeline amortizes all of them across a block of tuples:
+//
+//	BatchOperator: OpenBatch -> NextBatch* -> CloseBatch
+//
+// with NextBatch returning a column-oriented Batch (parallel tuple-id /
+// sequence / attribute / distance slices). Both engines share the
+// planner: a decision's `vectorize` flag (recorded in plan-cache and
+// prepared-decision keys, rendered as the Vectorize root in EXPLAIN)
+// selects which build runs, and the two builds produce byte-identical
+// results — the batch/row parity oracle pins that.
+//
+// Ownership and recycling rules (DESIGN.md has the full story):
+//
+//   - A batch returned by NextBatch is valid until the next NextBatch
+//     or CloseBatch call on the same operator. Leaves allocate one
+//     batch from the shared pool at OpenBatch, refill it per call, and
+//     release it at CloseBatch.
+//   - In-place decorators (Filter, Limit, Project) mutate and forward
+//     the child's batch; they own nothing.
+//   - Materializing operators (OrderByDist, Parallel, GatherMerge) copy
+//     what they keep into buffers of their own before the next pull.
+//   - Operators that cannot run columnar (joins) are bridged with the
+//     row adapters below; their batches carry bindings instead of
+//     columns and every batch operator accepts either layout.
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// Batch is one block of tuples flowing through the batch pipeline, in
+// one of two layouts:
+//
+//   - columnar (binds == nil): the embedded relation.Block plus the
+//     parallel dist/has columns. The layout every converted operator
+//     works on directly.
+//   - bindings (binds != nil): a block of row-pipeline bindings, as
+//     produced by the RowToBatch adapter above unconverted operators
+//     (joins). The columnar slices are unused in this layout.
+//
+// rows holds the projected output rows once a Project has run; row i of
+// rows corresponds to row i of the active layout.
+type Batch struct {
+	relation.Block
+	alias string // alias the columnar tuples are bound under
+	dist  []float64
+	has   []bool
+	rows  [][]string
+	binds []*binding
+}
+
+// Len returns the number of rows in the batch under either layout.
+func (b *Batch) Len() int {
+	if b.binds != nil {
+		return len(b.binds)
+	}
+	return b.Block.Len()
+}
+
+// reset empties the batch (keeping capacity) and selects the columnar
+// layout.
+func (b *Batch) reset() {
+	b.Block.Reset()
+	b.alias = ""
+	b.dist = b.dist[:0]
+	b.has = b.has[:0]
+	b.rows = b.rows[:0]
+	b.binds = nil
+}
+
+// syncCols resizes the dist/has columns to match the block after a leaf
+// filled it, clearing the distance state of every row.
+func (b *Batch) syncCols() {
+	n := b.Block.Len()
+	// Check both capacities: dist and has grow through independent
+	// appends elsewhere (appendMatch, copyFrom) and float64 vs bool hit
+	// different allocator size classes, so a pooled batch can come back
+	// with diverged capacities.
+	if cap(b.dist) < n {
+		b.dist = make([]float64, n)
+	} else {
+		b.dist = b.dist[:n]
+	}
+	if cap(b.has) < n {
+		b.has = make([]bool, n)
+	} else {
+		b.has = b.has[:n]
+	}
+	for i := range b.dist {
+		b.dist[i] = 0
+	}
+	for i := range b.has {
+		b.has[i] = false
+	}
+}
+
+// appendMatch adds one (tuple, distance) row in the columnar layout.
+func (b *Batch) appendMatch(t relation.Tuple, dist float64, has bool) {
+	b.Block.Append(t.ID, t.Seq, t.Attrs)
+	b.dist = append(b.dist, dist)
+	b.has = append(b.has, has)
+}
+
+// truncate keeps the first n rows of the active layout.
+func (b *Batch) truncate(n int) {
+	if b.binds != nil {
+		b.binds = b.binds[:n]
+	} else {
+		b.IDs, b.Seqs, b.Attrs = b.IDs[:n], b.Seqs[:n], b.Attrs[:n]
+		b.dist, b.has = b.dist[:n], b.has[:n]
+	}
+	if len(b.rows) > n {
+		b.rows = b.rows[:n]
+	}
+}
+
+// binding materialises row i as a fresh row-pipeline binding (the
+// BatchToRow adapter's job); the bindings layout hands out its rows
+// directly.
+func (b *Batch) binding(i int) *binding {
+	if b.binds != nil {
+		return b.binds[i]
+	}
+	nb := newBinding(b.alias, relation.Tuple{ID: b.IDs[i], Seq: b.Seqs[i], Attrs: b.Attrs[i]})
+	nb.dist, nb.hasDist = b.dist[i], b.has[i]
+	return nb
+}
+
+// scratch loads row i into a reusable binding without allocating —
+// the in-place decorators' view of a columnar row.
+func (b *Batch) scratch(i int, alias string, dst *binding) {
+	*dst = binding{alias: alias, tuple: relation.Tuple{ID: b.IDs[i], Seq: b.Seqs[i], Attrs: b.Attrs[i]},
+		dist: b.dist[i], hasDist: b.has[i]}
+}
+
+// copyFrom deep-copies another batch's row references (slice contents,
+// not the sequences themselves — those are immutable) so the copy
+// survives the source being refilled. Used by materializing operators.
+func (b *Batch) copyFrom(src *Batch) {
+	b.reset()
+	b.alias = src.alias
+	if src.binds != nil {
+		b.binds = append([]*binding(nil), src.binds...)
+	} else {
+		b.IDs = append(b.IDs[:0], src.IDs...)
+		b.Seqs = append(b.Seqs[:0], src.Seqs...)
+		b.Attrs = append(b.Attrs[:0], src.Attrs...)
+		b.dist = append(b.dist[:0], src.dist...)
+		b.has = append(b.has[:0], src.has...)
+	}
+	b.rows = append(b.rows[:0], src.rows...)
+}
+
+// batchPool recycles Batch buffers across queries. Leaves take a batch
+// at OpenBatch and return it at CloseBatch; materializing operators
+// take batches for their output streams. The pool is the only
+// cross-query allocation amortization — within one pipeline a leaf
+// refills the same batch every NextBatch call.
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+func getBatch() *Batch {
+	b := batchPool.Get().(*Batch)
+	b.reset()
+	return b
+}
+
+func putBatch(b *Batch) {
+	if b != nil {
+		b.binds = nil
+		batchPool.Put(b)
+	}
+}
+
+// BatchOperator is the batch-at-a-time physical operator interface,
+// the Volcano protocol lifted to blocks: OpenBatch -> NextBatch* ->
+// CloseBatch, with NextBatch returning nil at end of stream. Work
+// counters accumulate locally and flush into the shared execCtx on
+// CloseBatch, exactly like the row pipeline.
+type BatchOperator interface {
+	OpenBatch() error
+	NextBatch() (*Batch, error)
+	CloseBatch() error
+	// Describe returns the one-line operator label for EXPLAIN.
+	Describe() string
+	// childNodes returns the operator's inputs (batch or row) for the
+	// EXPLAIN tree walk.
+	childNodes() []any
+}
+
+// ------------------------------------------------------- row adapters
+
+// rowToBatchOp lifts an unconverted row operator (a join chain) into a
+// batched plan: it pulls bindings from the child and blocks them into
+// bindings-layout batches, so the batch decorators above keep working
+// unchanged.
+type rowToBatchOp struct {
+	child Operator
+	size  int
+
+	buf *Batch
+	// binds is the operator-owned bindings buffer, reused across pulls
+	// (reset() drops the batch's binds reference — it doubles as the
+	// layout discriminator — so capacity has to live here).
+	binds []*binding
+}
+
+func (o *rowToBatchOp) OpenBatch() error {
+	o.buf = getBatch()
+	return o.child.Open()
+}
+
+func (o *rowToBatchOp) NextBatch() (*Batch, error) {
+	b := o.buf
+	b.reset()
+	binds := o.binds[:0]
+	for len(binds) < o.size {
+		rb, err := o.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if rb == nil {
+			break
+		}
+		binds = append(binds, rb)
+	}
+	o.binds = binds
+	if len(binds) == 0 {
+		return nil, nil
+	}
+	b.binds = binds
+	return b, nil
+}
+
+func (o *rowToBatchOp) CloseBatch() error {
+	putBatch(o.buf)
+	o.buf = nil
+	return o.child.Close()
+}
+
+func (o *rowToBatchOp) Describe() string  { return fmt.Sprintf("RowToBatch(size=%d)", o.size) }
+func (o *rowToBatchOp) childNodes() []any { return []any{o.child} }
+
+// batchToRowOp drives a batch subtree from a row consumer: the other
+// adapter direction, used where a row operator (a join input) reads
+// from a converted access path. Bindings handed out must survive the
+// consumer holding them, so columnar rows materialize fresh bindings.
+type batchToRowOp struct {
+	child BatchOperator
+
+	cur *Batch
+	pos int
+}
+
+func (o *batchToRowOp) Open() error {
+	o.cur, o.pos = nil, 0
+	return o.child.OpenBatch()
+}
+
+func (o *batchToRowOp) Next() (*binding, error) {
+	for {
+		if o.cur != nil && o.pos < o.cur.Len() {
+			b := o.cur.binding(o.pos)
+			o.pos++
+			return b, nil
+		}
+		nb, err := o.child.NextBatch()
+		if err != nil || nb == nil {
+			return nil, err
+		}
+		o.cur, o.pos = nb, 0
+	}
+}
+
+func (o *batchToRowOp) Close() error {
+	o.cur = nil
+	return o.child.CloseBatch()
+}
+
+func (o *batchToRowOp) Describe() string     { return "BatchToRow" }
+func (o *batchToRowOp) Children() []Operator { return nil }
+func (o *batchToRowOp) childNodes() []any    { return []any{o.child} }

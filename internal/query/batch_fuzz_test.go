@@ -1,0 +1,111 @@
+package query
+
+// FuzzBatchParity: arbitrary statement text must never make the
+// vectorized engine diverge from the row engine — same error or
+// byte-identical rows in byte-identical order. This is the fuzz-shaped
+// face of the batch/row parity oracle, seeded with every statement
+// family; the CI fuzz job runs it next to the lexer/parser fuzzers.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/rewrite"
+)
+
+// fuzzParityEngines builds a fresh row/batch engine pair over a small
+// fixed dataset. Fresh per call: DML inputs mutate state, and corpus
+// entries must reproduce independently of execution order.
+func fuzzParityEngines() (row, batch *Engine) {
+	mk := func() *Engine {
+		cat := relation.NewCatalog()
+		rel := relation.New("words")
+		for _, s := range []string{
+			"abcd", "abce", "abde", "acbd", "bcda", "cadb",
+			"jihg", "jihf", "aaaa", "aaab", "bbbb", "dcba",
+			"abcdefgh", "abcdefgi", "hgfedcba",
+		} {
+			rel.Insert(s, map[string]string{"tag": s[:1]})
+		}
+		cat.Add(rel)
+		e := NewEngine(cat)
+		_ = e.RegisterRuleSet(rewrite.MustRuleSet("edits", rewrite.UnitEdits("abcdefghij").Rules()))
+		return e
+	}
+	row, batch = mk(), mk()
+	row.SetBatchSize(0)
+	batch.SetBatchSize(13) // odd block size: exercises partial-block edges
+	return row, batch
+}
+
+func FuzzBatchParity(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Add(`SELECT seq, dist FROM words WHERE seq SIMILAR TO "abcd" WITHIN 2 USING edits ORDER BY dist DESC LIMIT 5`)
+	f.Add(`SELECT * FROM words WHERE seq NEAREST 4 TO "abcd" USING edits`)
+	f.Add(`SELECT * FROM words WHERE NOT (tag = "a") AND seq SIMILAR TO "abcd" WITHIN 3 USING edits`)
+	f.Add(`DELETE FROM words WHERE seq SIMILAR TO "abcd" WITHIN 1 USING edits`)
+	f.Add(`UPDATE words SET tag = "z" WHERE seq SIMILAR TO "jihg" WITHIN 1 USING edits`)
+	// Error-order parity: the field error (dist unavailable) must win
+	// over a hoisted evaluator error in both engines.
+	f.Add(`SELECT seq FROM words WHERE dist SIMILAR TO PATTERN "c*" WITHIN 1 USING nosuch`)
+	f.Add(`SELECT seq FROM words WHERE dist SIMILAR TO "x" WITHIN 1 USING nosuch`)
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 512 {
+			return // long inputs only stress the lexer, which FuzzLex owns
+		}
+		stmt, err := ParseStatement(src)
+		if err != nil {
+			return
+		}
+		// EXPLAIN output differs by design (the batch plan carries the
+		// Vectorize root), so only execution results are compared.
+		explain := false
+		switch s := stmt.(type) {
+		case *Query:
+			explain = s.Explain
+		case *Mutation:
+			explain = s.Explain
+		}
+		row, batch := fuzzParityEngines()
+		r, rerr := row.Execute(src)
+		b, berr := batch.Execute(src)
+		if (rerr == nil) != (berr == nil) {
+			t.Fatalf("error parity broken for %q: row=%v batch=%v", src, rerr, berr)
+		}
+		if rerr != nil {
+			if rerr.Error() != berr.Error() {
+				t.Fatalf("error text diverges for %q:\nrow:   %v\nbatch: %v", src, rerr, berr)
+			}
+			return
+		}
+		if explain {
+			return
+		}
+		if strings.Join(r.Columns, "\x1f") != strings.Join(b.Columns, "\x1f") {
+			t.Fatalf("columns diverge for %q: %v vs %v", src, r.Columns, b.Columns)
+		}
+		if positional(r) != positional(b) {
+			t.Fatalf("rows diverge for %q:\nrow:\n%s\nbatch:\n%s", src, positional(r), positional(b))
+		}
+		// DML: both engines must leave identical table contents.
+		if isDMLText(src) {
+			dump := func(e *Engine) string {
+				tab, _ := e.Catalog().Lookup("words")
+				var sb strings.Builder
+				for _, tup := range tab.Tuples() {
+					sb.WriteString(tup.Seq)
+					sb.WriteByte('\x1f')
+					sb.WriteString(tup.Attr("tag"))
+					sb.WriteByte('\n')
+				}
+				return sb.String()
+			}
+			if dump(row) != dump(batch) {
+				t.Fatalf("table contents diverge after %q", src)
+			}
+		}
+	})
+}

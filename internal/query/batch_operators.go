@@ -1,0 +1,656 @@
+package query
+
+// The batch-at-a-time physical operators: block-granular twins of the
+// row operators in operators.go. Each one carries the same EXPLAIN
+// label and produces the same rows in the same order as its row twin —
+// the batch/row parity oracle pins that equivalence — while paying its
+// per-row costs once per block.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/index"
+	"repro/internal/relation"
+)
+
+// ---------------------------------------------------------------- scan
+
+// batchScanOp streams the visible tuples of one snapshot shard a block
+// at a time through relation.Cursor.NextBlock, which amortizes the
+// visibility filtering across whole arena runs.
+type batchScanOp struct {
+	ctx           *execCtx
+	snap          *relation.Snapshot
+	alias         string
+	shard, shards int
+	size          int
+
+	cur   *relation.Cursor
+	buf   *Batch
+	local ExecStats
+}
+
+func newBatchScanOp(ctx *execCtx, snap *relation.Snapshot, alias string, size int) *batchScanOp {
+	return &batchScanOp{ctx: ctx, snap: snap, alias: alias, shards: 1, size: size}
+}
+
+func (o *batchScanOp) OpenBatch() error {
+	o.cur = o.snap.Shard(o.shard, o.shards)
+	o.buf = getBatch()
+	return nil
+}
+
+func (o *batchScanOp) NextBatch() (*Batch, error) {
+	b := o.buf
+	b.alias = o.alias
+	b.rows = b.rows[:0]
+	b.binds = nil
+	n := o.cur.NextBlock(&b.Block, o.size)
+	if n == 0 {
+		return nil, nil
+	}
+	b.syncCols()
+	o.local.Candidates += n
+	return b, nil
+}
+
+func (o *batchScanOp) CloseBatch() error {
+	o.ctx.addStats(o.local)
+	o.local = ExecStats{}
+	putBatch(o.buf)
+	o.buf = nil
+	return nil
+}
+
+func (o *batchScanOp) Describe() string {
+	if o.shards > 1 {
+		return fmt.Sprintf("Scan(%s, shard %d/%d)", o.alias, o.shard, o.shards)
+	}
+	return fmt.Sprintf("Scan(%s)", o.alias)
+}
+
+func (o *batchScanOp) childNodes() []any { return nil }
+
+// --------------------------------------------------------- index range
+
+// batchIndexRangeOp streams index matches in blocks through the metric
+// indexes' BatchIterator, applying the snapshot visibility filter per
+// block. Emission order is the iterator's deterministic traversal
+// order — identical to the row operator's.
+type batchIndexRangeOp struct {
+	ctx     *execCtx
+	snap    *relation.Snapshot
+	alias   string
+	via     string // "bktree" or "trie"
+	target  string
+	radius  int
+	ruleSet string
+	size    int
+
+	iter index.BatchIterator
+	mbuf []index.Match
+	buf  *Batch
+}
+
+func (o *batchIndexRangeOp) OpenBatch() error {
+	var idx index.Index
+	switch o.via {
+	case "trie":
+		idx = o.snap.Trie()
+	default:
+		idx = o.snap.BKTree()
+	}
+	it := idx.RangeIter(o.target, o.radius)
+	bi, ok := it.(index.BatchIterator)
+	if !ok {
+		bi = &iterBatcher{Iterator: it}
+	}
+	o.iter = bi
+	if cap(o.mbuf) < o.size {
+		o.mbuf = make([]index.Match, o.size)
+	}
+	o.buf = getBatch()
+	return nil
+}
+
+func (o *batchIndexRangeOp) NextBatch() (*Batch, error) {
+	b := o.buf
+	for {
+		n := o.iter.NextBatch(o.mbuf[:o.size])
+		if n == 0 {
+			return nil, nil
+		}
+		b.reset()
+		b.alias = o.alias
+		for _, m := range o.mbuf[:n] {
+			t, ok := o.snap.Tuple(m.ID)
+			if !ok {
+				continue // invisible at this snapshot (tombstone or later insert)
+			}
+			b.appendMatch(t, m.Dist, true)
+		}
+		if b.Len() > 0 {
+			return b, nil
+		}
+	}
+}
+
+func (o *batchIndexRangeOp) CloseBatch() error {
+	if o.iter != nil {
+		st := o.iter.Stats()
+		o.ctx.addStats(ExecStats{Candidates: st.Candidates, Verifications: st.Verifications})
+		o.iter = nil
+	}
+	putBatch(o.buf)
+	o.buf = nil
+	return nil
+}
+
+func (o *batchIndexRangeOp) Describe() string {
+	return fmt.Sprintf("IndexRange(%s via %s, target=%s, radius=%d, ruleset=%s)",
+		o.alias, o.via, o.target, o.radius, o.ruleSet)
+}
+
+func (o *batchIndexRangeOp) childNodes() []any { return nil }
+
+// iterBatcher adapts a plain Iterator to the batch protocol (defensive:
+// both metric indexes implement BatchIterator natively).
+type iterBatcher struct{ index.Iterator }
+
+func (it *iterBatcher) NextBatch(dst []index.Match) int {
+	n := 0
+	for n < len(dst) {
+		m, ok := it.Next()
+		if !ok {
+			break
+		}
+		dst[n] = m
+		n++
+	}
+	return n
+}
+
+// ----------------------------------------------------------- nearest-k
+
+// batchNearestKOp answers NEAREST k with the best list maintained over
+// whole blocks: the scan variant pulls tuple blocks and folds each one
+// into the bounded best list, the bktree variant reuses the metric
+// tree's best-first walk with the buffer-reusing Into form.
+type batchNearestKOp struct {
+	ctx     *execCtx
+	snap    *relation.Snapshot
+	alias   string
+	via     string // "bktree" or "scan"
+	target  string
+	k       int
+	ruleSet string
+	size    int
+
+	matches []index.Match
+	pos     int
+	blk     relation.Block
+	buf     *Batch
+}
+
+func (o *batchNearestKOp) OpenBatch() error {
+	o.pos = 0
+	o.buf = getBatch()
+	if o.via == "bktree" {
+		m, st := o.snap.BKTree().NearestKFilterStatsInto(o.matches[:0], o.target, o.k, o.snap.Visible)
+		o.matches = m
+		o.ctx.addStats(ExecStats{Candidates: st.Candidates, Verifications: st.Verifications})
+		return nil
+	}
+	calc := o.ctx.eng.calc(o.ruleSet)
+	if calc == nil {
+		return fmt.Errorf("query: NEAREST requires an edit-like rule set (%q is not)", o.ruleSet)
+	}
+	// The target is fixed for the whole scan: run the vectorized
+	// distance kernel (dense cost tables, reused DP rows, bit-identical
+	// results — see editdp.TargetDP).
+	dp := calc.NewTargetDP(o.target)
+	var local ExecStats
+	best := o.matches[:0]
+	bound := math.Inf(1)
+	cur := o.snap.Shard(0, 1)
+	for {
+		n := cur.NextBlock(&o.blk, o.size)
+		if n == 0 {
+			break
+		}
+		local.Candidates += n
+		local.Verifications += n
+		for i := 0; i < n; i++ {
+			s := o.blk.Seqs[i]
+			var d float64
+			var within bool
+			if math.IsInf(bound, 1) {
+				d = dp.Distance(s)
+				within = d < infCut
+			} else {
+				d, within = dp.Within(s, bound)
+			}
+			if !within {
+				continue
+			}
+			best = index.PushBestK(best, index.Match{ID: o.blk.IDs[i], S: s, Dist: d}, o.k)
+			if len(best) == o.k {
+				bound = best[o.k-1].Dist
+			}
+		}
+	}
+	o.matches = best
+	o.ctx.addStats(local)
+	return nil
+}
+
+func (o *batchNearestKOp) NextBatch() (*Batch, error) {
+	if o.pos >= len(o.matches) {
+		return nil, nil
+	}
+	b := o.buf
+	b.reset()
+	b.alias = o.alias
+	for b.Len() < o.size && o.pos < len(o.matches) {
+		m := o.matches[o.pos]
+		o.pos++
+		t, _ := o.snap.Tuple(m.ID)
+		b.appendMatch(t, m.Dist, true)
+	}
+	return b, nil
+}
+
+func (o *batchNearestKOp) CloseBatch() error {
+	o.matches = o.matches[:0]
+	putBatch(o.buf)
+	o.buf = nil
+	return nil
+}
+
+func (o *batchNearestKOp) Describe() string {
+	return fmt.Sprintf("NearestK(%s via %s, k=%d, ruleset=%s)", o.alias, o.via, o.k, o.ruleSet)
+}
+
+func (o *batchNearestKOp) childNodes() []any { return nil }
+
+// -------------------------------------------------------------- filter
+
+// batchFilterOp keeps the rows satisfying a residual predicate,
+// compacting each block in place. Single-alias predicates run through
+// the compiled evaluator (batch_pred.go); binding-layout blocks and
+// uncompilable shapes fall back to the row evaluator on a scratch
+// binding — same semantics, fewer hoisted costs.
+type batchFilterOp struct {
+	ctx   *execCtx
+	child BatchOperator
+	pred  Expr
+	alias string
+
+	fn      predFn
+	scratch binding
+	local   ExecStats
+}
+
+func (o *batchFilterOp) OpenBatch() error {
+	o.fn = o.ctx.eng.compilePred(o.pred, o.alias)
+	return o.child.OpenBatch()
+}
+
+func (o *batchFilterOp) NextBatch() (*Batch, error) {
+	for {
+		b, err := o.child.NextBatch()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		if b.binds != nil {
+			keep := b.binds[:0]
+			for _, rb := range b.binds {
+				o.local.Verifications++
+				ok, err := o.ctx.eng.evalExpr(o.pred, rb)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					keep = append(keep, rb)
+				}
+			}
+			b.binds = keep
+			if len(keep) > 0 {
+				return b, nil
+			}
+			continue
+		}
+		n := b.Block.Len()
+		w := 0
+		for i := 0; i < n; i++ {
+			o.local.Verifications++
+			var ok bool
+			if o.fn != nil {
+				t := relation.Tuple{ID: b.IDs[i], Seq: b.Seqs[i], Attrs: b.Attrs[i]}
+				ok, err = o.fn(&t, &b.dist[i], &b.has[i])
+			} else {
+				b.scratch(i, o.alias, &o.scratch)
+				ok, err = o.ctx.eng.evalExpr(o.pred, &o.scratch)
+				b.dist[i], b.has[i] = o.scratch.dist, o.scratch.hasDist
+			}
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			if w != i {
+				b.IDs[w], b.Seqs[w], b.Attrs[w] = b.IDs[i], b.Seqs[i], b.Attrs[i]
+				b.dist[w], b.has[w] = b.dist[i], b.has[i]
+			}
+			w++
+		}
+		b.truncate(w)
+		if w > 0 {
+			return b, nil
+		}
+	}
+}
+
+func (o *batchFilterOp) CloseBatch() error {
+	o.ctx.addStats(o.local)
+	o.local = ExecStats{}
+	return o.child.CloseBatch()
+}
+
+func (o *batchFilterOp) Describe() string  { return fmt.Sprintf("Filter(%s)", o.pred) }
+func (o *batchFilterOp) childNodes() []any { return []any{o.child} }
+
+// ------------------------------------------------------------- project
+
+// batchProjectOp materialises the output rows of each block.
+type batchProjectOp struct {
+	ctx   *execCtx
+	q     *Query
+	child BatchOperator
+	alias string
+
+	scratch binding
+}
+
+func (o *batchProjectOp) OpenBatch() error { return o.child.OpenBatch() }
+
+func (o *batchProjectOp) NextBatch() (*Batch, error) {
+	b, err := o.child.NextBatch()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	rows := b.rows[:0]
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		rb := b.binds
+		var src *binding
+		if rb != nil {
+			src = rb[i]
+		} else {
+			b.scratch(i, o.alias, &o.scratch)
+			src = &o.scratch
+		}
+		row, err := projectRow(o.ctx.eng, o.q, src)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	b.rows = rows
+	return b, nil
+}
+
+func (o *batchProjectOp) CloseBatch() error { return o.child.CloseBatch() }
+
+func (o *batchProjectOp) Describe() string {
+	return (&projectOp{q: o.q}).Describe()
+}
+
+func (o *batchProjectOp) childNodes() []any { return []any{o.child} }
+
+// --------------------------------------------------------------- limit
+
+// batchLimitOp truncates the stream after n rows.
+type batchLimitOp struct {
+	child BatchOperator
+	n     int
+	seen  int
+}
+
+func (o *batchLimitOp) OpenBatch() error { o.seen = 0; return o.child.OpenBatch() }
+
+func (o *batchLimitOp) NextBatch() (*Batch, error) {
+	if o.seen >= o.n {
+		return nil, nil
+	}
+	b, err := o.child.NextBatch()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	if rest := o.n - o.seen; b.Len() > rest {
+		b.truncate(rest)
+	}
+	o.seen += b.Len()
+	return b, nil
+}
+
+func (o *batchLimitOp) CloseBatch() error { return o.child.CloseBatch() }
+func (o *batchLimitOp) Describe() string  { return fmt.Sprintf("Limit(%d)", o.n) }
+func (o *batchLimitOp) childNodes() []any { return []any{o.child} }
+
+// ------------------------------------------------------- order by dist
+
+// batchOrderByDistOp is the blocking sort: it drains the child into
+// column buffers of its own, stably sorts a row permutation by the same
+// key as the row operator, and re-emits blocks in sorted order.
+type batchOrderByDistOp struct {
+	child BatchOperator
+	desc  bool
+	size  int
+
+	ids   []int
+	seqs  []string
+	attrs []map[string]string
+	dist  []float64
+	has   []bool
+	binds []*binding
+
+	perm []int
+	pos  int
+	out  *Batch
+}
+
+func (o *batchOrderByDistOp) OpenBatch() error {
+	o.ids, o.seqs, o.attrs = o.ids[:0], o.seqs[:0], o.attrs[:0]
+	o.dist, o.has, o.binds = o.dist[:0], o.has[:0], nil
+	o.perm, o.pos = o.perm[:0], 0
+	o.out = getBatch()
+	if err := o.child.OpenBatch(); err != nil {
+		return err
+	}
+	for {
+		b, err := o.child.NextBatch()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		if b.binds != nil {
+			o.binds = append(o.binds, b.binds...)
+			continue
+		}
+		o.ids = append(o.ids, b.IDs...)
+		o.seqs = append(o.seqs, b.Seqs...)
+		o.attrs = append(o.attrs, b.Attrs...)
+		o.dist = append(o.dist, b.dist...)
+		o.has = append(o.has, b.has...)
+	}
+	n := len(o.ids)
+	if o.binds != nil {
+		n = len(o.binds)
+	}
+	key := func(i int) float64 {
+		var d float64
+		var h bool
+		if o.binds != nil {
+			d, h = o.binds[i].dist, o.binds[i].hasDist
+		} else {
+			d, h = o.dist[i], o.has[i]
+		}
+		if !h {
+			// Dist-less rows sort last in either direction.
+			if o.desc {
+				return math.Inf(-1)
+			}
+			return math.Inf(1)
+		}
+		return d
+	}
+	o.perm = o.perm[:0]
+	for i := 0; i < n; i++ {
+		o.perm = append(o.perm, i)
+	}
+	sort.SliceStable(o.perm, func(i, j int) bool {
+		if o.desc {
+			return key(o.perm[i]) > key(o.perm[j])
+		}
+		return key(o.perm[i]) < key(o.perm[j])
+	})
+	return nil
+}
+
+func (o *batchOrderByDistOp) NextBatch() (*Batch, error) {
+	if o.pos >= len(o.perm) {
+		return nil, nil
+	}
+	b := o.out
+	b.reset()
+	if o.binds != nil {
+		binds := b.binds[:0]
+		for b2 := 0; b2 < o.size && o.pos < len(o.perm); b2++ {
+			binds = append(binds, o.binds[o.perm[o.pos]])
+			o.pos++
+		}
+		b.binds = binds
+		return b, nil
+	}
+	for b.Len() < o.size && o.pos < len(o.perm) {
+		i := o.perm[o.pos]
+		o.pos++
+		b.Block.Append(o.ids[i], o.seqs[i], o.attrs[i])
+		b.dist = append(b.dist, o.dist[i])
+		b.has = append(b.has, o.has[i])
+	}
+	return b, nil
+}
+
+func (o *batchOrderByDistOp) CloseBatch() error {
+	o.ids, o.seqs, o.attrs = nil, nil, nil
+	o.dist, o.has, o.binds, o.perm = nil, nil, nil, nil
+	putBatch(o.out)
+	o.out = nil
+	return o.child.CloseBatch()
+}
+
+func (o *batchOrderByDistOp) Describe() string {
+	if o.desc {
+		return "OrderByDist(desc)"
+	}
+	return "OrderByDist(asc)"
+}
+
+func (o *batchOrderByDistOp) childNodes() []any { return []any{o.child} }
+
+// ------------------------------------------------------------ parallel
+
+// batchParallelOp shards a batch pipeline across workers, exactly like
+// parallelOp: build(i, n) returns the pipeline restricted to shard i of
+// n, shard outputs are materialised concurrently (copied — a leaf
+// refills its batch every pull) and re-emitted in shard order, which
+// reproduces the serial plan's output byte for byte.
+type batchParallelOp struct {
+	ctx      *execCtx
+	workers  int
+	build    func(shard, shards int) BatchOperator
+	template BatchOperator // shard-0 pipeline, used only for EXPLAIN
+
+	bufs  [][]*Batch
+	shard int
+	pos   int
+}
+
+func (o *batchParallelOp) OpenBatch() error {
+	o.bufs = make([][]*Batch, o.workers)
+	o.shard, o.pos = 0, 0
+	errs := make([]error, o.workers)
+	var wg sync.WaitGroup
+	for i := 0; i < o.workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			op := o.build(i, o.workers)
+			if err := op.OpenBatch(); err != nil {
+				errs[i] = err
+				op.CloseBatch()
+				return
+			}
+			for {
+				b, err := op.NextBatch()
+				if err != nil {
+					errs[i] = err
+					break
+				}
+				if b == nil {
+					break
+				}
+				own := getBatch()
+				own.copyFrom(b)
+				o.bufs[i] = append(o.bufs[i], own)
+			}
+			if err := op.CloseBatch(); err != nil && errs[i] == nil {
+				errs[i] = err
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (o *batchParallelOp) NextBatch() (*Batch, error) {
+	for o.shard < len(o.bufs) {
+		if o.pos < len(o.bufs[o.shard]) {
+			b := o.bufs[o.shard][o.pos]
+			o.pos++
+			return b, nil
+		}
+		o.shard++
+		o.pos = 0
+	}
+	return nil, nil
+}
+
+func (o *batchParallelOp) CloseBatch() error {
+	for _, shard := range o.bufs {
+		for _, b := range shard {
+			putBatch(b)
+		}
+	}
+	o.bufs = nil
+	return nil
+}
+
+func (o *batchParallelOp) Describe() string {
+	return fmt.Sprintf("Parallel(workers=%d)", o.workers)
+}
+
+func (o *batchParallelOp) childNodes() []any { return []any{o.template} }

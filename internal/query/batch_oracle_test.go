@@ -1,0 +1,309 @@
+package query
+
+// The batch/row parity oracle: for randomized datasets, statements,
+// shard counts and block sizes, the vectorized engine must be
+// indistinguishable from the row-at-a-time engine — byte-identical
+// result rows in byte-identical order (both pipelines execute the same
+// physical decision, so even plan-dependent WITHIN emission order must
+// match positionally), and byte-identical table contents (including
+// assigned tuple ids) after every interleaved DML batch.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/rewrite"
+)
+
+// batchPair is one row-engine/batch-engine pair over the same logical
+// relation; the row engine is the oracle.
+type batchPair struct {
+	row   *Engine // SetBatchSize(0): every plan is row-at-a-time
+	batch *Engine // vectorized with the configured block size
+}
+
+func newBatchPair(t testing.TB, shards, batchSize int) *batchPair {
+	t.Helper()
+	mk := func() *Engine {
+		var tab relation.Table
+		if shards > 1 {
+			tab = relation.NewSharded("words", shards)
+		} else {
+			tab = relation.New("words")
+		}
+		cat := relation.NewCatalog()
+		cat.Add(tab)
+		e := NewEngine(cat)
+		rs := rewrite.MustRuleSet("edits", rewrite.UnitEdits(oracleAlphabet).Rules())
+		if err := e.RegisterRuleSet(rs); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	p := &batchPair{row: mk(), batch: mk()}
+	p.row.SetBatchSize(0)
+	p.batch.SetBatchSize(batchSize)
+	return p
+}
+
+// exec runs one statement on both engines, asserts positional
+// byte-identity of the results, and returns the row engine's result.
+func (p *batchPair) exec(t *testing.T, stmt string) *Result {
+	t.Helper()
+	r, rerr := p.row.Execute(stmt)
+	b, berr := p.batch.Execute(stmt)
+	if (rerr == nil) != (berr == nil) {
+		t.Fatalf("%q: error parity broken: row=%v batch=%v", stmt, rerr, berr)
+	}
+	if rerr != nil {
+		if rerr.Error() != berr.Error() {
+			t.Fatalf("%q: error text diverges:\nrow:   %v\nbatch: %v", stmt, rerr, berr)
+		}
+		return nil
+	}
+	if strings.Join(r.Columns, "\x1f") != strings.Join(b.Columns, "\x1f") {
+		t.Fatalf("%q: columns diverge: %v vs %v", stmt, r.Columns, b.Columns)
+	}
+	if positional(r) != positional(b) {
+		t.Fatalf("%q: rows diverge:\nrow:\n%s\nbatch:\n%s\nrow plan:\n%s\nbatch plan:\n%s",
+			stmt, positional(r), positional(b), r.Plan, b.Plan)
+	}
+	return r
+}
+
+// checkDump asserts byte-identical table contents (ids included).
+func (p *batchPair) checkDump(t *testing.T) {
+	t.Helper()
+	dump := func(e *Engine) string {
+		tab, _ := e.Catalog().Lookup("words")
+		var sb strings.Builder
+		for _, tup := range tab.Tuples() {
+			fmt.Fprintf(&sb, "%d\x1f%s\x1f%s\n", tup.ID, tup.Seq, tup.Attr("tag"))
+		}
+		return sb.String()
+	}
+	if r, b := dump(p.row), dump(p.batch); r != b {
+		t.Fatalf("table contents diverge after DML:\nrow:\n%s\nbatch:\n%s", r, b)
+	}
+}
+
+// seedRows inserts the same random rows into both engines in one batch.
+func (p *batchPair) seedRows(t *testing.T, rng *rand.Rand, n int) {
+	t.Helper()
+	values := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		values = append(values, fmt.Sprintf("(%q, %q)", randOracleSeq(rng), string(oracleAlphabet[rng.Intn(3)])))
+	}
+	p.exec(t, "INSERT INTO words (seq, tag) VALUES "+strings.Join(values, ", "))
+	p.checkDump(t)
+}
+
+// randBatchStmt draws one random read statement covering every access
+// family and decorator the batch engine implements: WITHIN at the
+// radii that cross the index/scan cost boundary, NEAREST, residual
+// equality filters, OR/NOT shapes, pattern similarity, the dist
+// pseudo-field, ORDER BY in both directions and LIMIT with and without
+// it.
+func randBatchStmt(rng *rand.Rand) string {
+	target := randOracleSeq(rng)
+	tag := string(oracleAlphabet[rng.Intn(3)])
+	switch rng.Intn(10) {
+	case 0:
+		return "SELECT * FROM words"
+	case 1:
+		return fmt.Sprintf(`SELECT * FROM words WHERE seq SIMILAR TO %q WITHIN %d USING edits`, target, rng.Intn(4))
+	case 2:
+		return fmt.Sprintf(`SELECT seq, dist FROM words WHERE seq SIMILAR TO %q WITHIN %d USING edits AND tag = %q`,
+			target, rng.Intn(4), tag)
+	case 3:
+		dir := "ASC"
+		if rng.Intn(2) == 0 {
+			dir = "DESC"
+		}
+		return fmt.Sprintf(`SELECT id, seq, dist FROM words WHERE seq SIMILAR TO %q WITHIN %d USING edits ORDER BY dist %s LIMIT %d`,
+			target, 1+rng.Intn(3), dir, 1+rng.Intn(20))
+	case 4:
+		return fmt.Sprintf(`SELECT * FROM words WHERE seq SIMILAR TO %q WITHIN %d USING edits LIMIT %d`,
+			target, rng.Intn(4), 1+rng.Intn(8))
+	case 5:
+		return fmt.Sprintf(`SELECT seq, dist FROM words WHERE seq NEAREST %d TO %q USING edits`, 1+rng.Intn(12), target)
+	case 6:
+		return fmt.Sprintf(`SELECT * FROM words WHERE tag != %q LIMIT %d`, tag, 1+rng.Intn(10))
+	case 7:
+		return fmt.Sprintf(`SELECT * FROM words WHERE NOT (tag = %q) OR seq SIMILAR TO %q WITHIN 1 USING edits`, tag, target)
+	case 8:
+		return fmt.Sprintf(`SELECT seq FROM words WHERE seq SIMILAR TO PATTERN "a(b|c)*d" WITHIN %d USING edits`, rng.Intn(3))
+	default:
+		return fmt.Sprintf(`SELECT seq, dist FROM words WHERE seq SIMILAR TO %q WITHIN 3 USING edits AND dist != "2"`, target)
+	}
+}
+
+// applyRandomDML runs one random mutation through both engines.
+func (p *batchPair) applyRandomDML(t *testing.T, rng *rand.Rand) {
+	t.Helper()
+	target := randOracleSeq(rng)
+	switch rng.Intn(4) {
+	case 0:
+		p.exec(t, fmt.Sprintf("INSERT INTO words (seq, tag) VALUES (%q, %q)",
+			randOracleSeq(rng), string(oracleAlphabet[rng.Intn(3)])))
+	case 1:
+		p.exec(t, fmt.Sprintf(`DELETE FROM words WHERE seq SIMILAR TO %q WITHIN 1 USING edits`, target))
+	case 2:
+		tab, _ := p.row.Catalog().Lookup("words")
+		tups := tab.Tuples()
+		if len(tups) == 0 {
+			return
+		}
+		p.exec(t, fmt.Sprintf(`DELETE FROM words WHERE id = "%d"`, tups[rng.Intn(len(tups))].ID))
+	case 3:
+		p.exec(t, fmt.Sprintf(`UPDATE words SET seq = %q WHERE seq SIMILAR TO %q WITHIN 1 USING edits`,
+			randOracleSeq(rng), target))
+	}
+}
+
+// TestBatchRowParityOracle is the main property test: shard counts 1
+// and 4 crossed with block sizes 1, 64 and 256, random reads against
+// the row oracle with interleaved DML, table dumps compared after every
+// mutation generation.
+func TestBatchRowParityOracle(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		for _, size := range []int{1, 64, 256} {
+			shards, size := shards, size
+			t.Run(fmt.Sprintf("shards=%d/batch=%d", shards, size), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(1000*shards + size)))
+				p := newBatchPair(t, shards, size)
+				p.seedRows(t, rng, 150)
+				for gen := 0; gen < 5; gen++ {
+					for i := 0; i < 8; i++ {
+						p.applyRandomDML(t, rng)
+					}
+					p.checkDump(t)
+					for i := 0; i < 10; i++ {
+						p.exec(t, randBatchStmt(rng))
+					}
+					// Repeat one statement so the second run exercises the
+					// plan-cache hit path's decision -> batch-tree rebuild.
+					stmt := randBatchStmt(rng)
+					p.exec(t, stmt)
+					p.exec(t, stmt)
+				}
+			})
+		}
+	}
+}
+
+// TestBatchParityParallel crosses the vectorized path with the
+// parallel-scan machinery: both engines shard their scan pipelines
+// across 4 workers (Parallel for unsharded plans, the gather pool for
+// sharded ones) and must still match positionally.
+func TestBatchParityParallel(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(77 + shards)))
+			p := newBatchPair(t, shards, 32)
+			for _, e := range []*Engine{p.row, p.batch} {
+				e.SetParallelism(4)
+				e.SetParallelMinRows(1)
+			}
+			p.seedRows(t, rng, 200)
+			for i := 0; i < 30; i++ {
+				p.exec(t, randBatchStmt(rng))
+			}
+		})
+	}
+}
+
+// TestBatchParityPrepared drives both engines through the prepared-
+// statement path: one template, many bindings, with the memoised
+// decision (vectorize recorded) reused across executions.
+func TestBatchParityPrepared(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := newBatchPair(t, 1, 64)
+	p.seedRows(t, rng, 120)
+
+	const tmpl = `SELECT seq, dist FROM words WHERE seq SIMILAR TO ? WITHIN ? USING edits ORDER BY dist LIMIT ?`
+	rq, err := p.row.Prepare(tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bq, err := p.batch.Prepare(tmpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		target, radius, limit := randOracleSeq(rng), rng.Intn(4), 1+rng.Intn(10)
+		rr, err := rq.Execute(target, radius, limit)
+		if err != nil {
+			t.Fatalf("row prepared: %v", err)
+		}
+		br, err := bq.Execute(target, radius, limit)
+		if err != nil {
+			t.Fatalf("batch prepared: %v", err)
+		}
+		if positional(rr) != positional(br) {
+			t.Fatalf("prepared (%q, %d, %d) diverges:\nrow:\n%s\nbatch:\n%s",
+				target, radius, limit, positional(rr), positional(br))
+		}
+	}
+	if st := bq.Stats(); st.PlanReuses == 0 {
+		t.Fatalf("batch prepared query never reused a decision: %+v", st)
+	}
+}
+
+// TestBatchParityConcurrentDML runs vectorized reads against live
+// concurrent writers — the serving pattern — primarily for the race
+// detector (the targeted -race CI step runs 'Batch' tests); once the
+// writers quiesce, both engines must agree byte for byte again.
+func TestBatchParityConcurrentDML(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	p := newBatchPair(t, 4, 64)
+	p.seedRows(t, rng, 150)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Mirror every write on both engines so they converge.
+			stmt := fmt.Sprintf("INSERT INTO words (seq, tag) VALUES (%q, %q)",
+				fmt.Sprintf("w%daceb", i), "1")
+			if _, err := p.row.Execute(stmt); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := p.batch.Execute(stmt); err != nil {
+				t.Error(err)
+				return
+			}
+			i++
+		}
+	}()
+	queries := []string{
+		`SELECT * FROM words WHERE seq SIMILAR TO "acebd" WITHIN 2 USING edits`,
+		`SELECT seq, dist FROM words WHERE seq NEAREST 5 TO "acebd" USING edits`,
+		`SELECT * FROM words WHERE tag != "1" LIMIT 4`,
+	}
+	for i := 0; i < 60; i++ {
+		if _, err := p.batch.Execute(queries[i%len(queries)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	p.checkDump(t)
+	for _, q := range queries {
+		p.exec(t, q)
+	}
+}

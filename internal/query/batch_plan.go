@@ -1,0 +1,130 @@
+package query
+
+// Batch plan construction. The planner's decide phase owns the
+// `vectorize` choice (recorded in planDecision and therefore in
+// plan-cache and prepared-decision keys); this file is the build half:
+// given a vectorized decision it assembles the BatchOperator tree that
+// mirrors the row plan shape node for node. Joins are the one
+// unconverted access path — they run as row operators bridged by the
+// adapters in batch.go, with the once-per-query start scan still
+// reading through a batch cursor.
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// batchLeafSize resolves the block size for a plan's leaf operators:
+// the engine's configured batch size, capped by a LIMIT-without-ORDER
+// so the pull-based limit pushdown keeps working at block granularity —
+// a LIMIT 3 plan must not drag a 256-row block through the pipeline per
+// pull. The cap is what bounds a vectorized plan's overshoot to at most
+// one block beyond the row plan's candidate count.
+func (e *Engine) batchLeafSize(q *Query) int {
+	size := e.batchConfig()
+	if size <= 0 {
+		// Defensive: a vectorized decision is only made while batching is
+		// enabled, and changing the knob starts a fresh cache-key space.
+		size = defaultBatchSize
+	}
+	if q.Limit > 0 && q.Order == OrderNone && q.Limit < size {
+		size = q.Limit
+	}
+	return size
+}
+
+// buildBatchTree constructs the vectorized operator tree for a decided
+// unsharded query; the structure mirrors buildPlan's row build exactly.
+func (e *Engine) buildBatchTree(q *Query, d *planDecision, rels []*relation.Relation, snapOf func(*relation.Relation) *relation.Snapshot, ctx *execCtx, cp *compiledPlan) (*compiledPlan, error) {
+	alias := q.From[0].Alias
+	size := e.batchLeafSize(q)
+	cp.batchSize = size
+
+	var access BatchOperator
+	switch d.kind {
+	case accessNearest:
+		ne := q.Where.(NearestExpr)
+		access = &batchNearestKOp{
+			ctx: ctx, snap: snapOf(rels[0]), alias: alias,
+			via: d.via, target: ne.Target.Lit, k: ne.K, ruleSet: ne.RuleSet, size: size,
+		}
+	case accessRange:
+		sim, residual := extractRangeSim(q.Where, e.rangeIndexable)
+		if sim == nil {
+			return nil, fmt.Errorf("query: stale plan: no indexable conjunct")
+		}
+		var op BatchOperator = &batchIndexRangeOp{
+			ctx: ctx, snap: snapOf(rels[0]), alias: alias, via: d.via,
+			target: sim.Target.Lit, radius: int(sim.Radius), ruleSet: sim.RuleSet, size: size,
+		}
+		if res := simplifyExpr(residual); !isTrivial(res) {
+			op = &batchFilterOp{ctx: ctx, child: op, pred: res, alias: alias}
+		}
+		access = op
+	case accessScan:
+		snap := snapOf(rels[0])
+		pred := simplifyExpr(q.Where)
+		build := func(shard, shards int) BatchOperator {
+			sc := newBatchScanOp(ctx, snap, alias, size)
+			sc.shard, sc.shards = shard, shards
+			var op BatchOperator = sc
+			if !isTrivial(pred) {
+				op = &batchFilterOp{ctx: ctx, child: op, pred: pred, alias: alias}
+			}
+			return op
+		}
+		access = wrapBatchParallel(ctx, d, build)
+	case accessJoin:
+		// Joins are not converted: the decided row join chain (with a
+		// batch cursor under its start scan) runs as-is and the RowToBatch
+		// adapter lifts its bindings into the batched decorators above.
+		rowAccess, err := e.buildJoin(ctx, q, rels, snapOf, d)
+		if err != nil {
+			return nil, err
+		}
+		access = &rowToBatchOp{child: rowAccess, size: size}
+	default:
+		return nil, fmt.Errorf("query: unknown access kind %d", d.kind)
+	}
+
+	cp.broot = e.wrapBatchTop(q, access, alias, size, ctx)
+	return cp, nil
+}
+
+// wrapBatchTop applies the shared decorator stack — OrderByDist,
+// Project, Limit — above a batch access path, in the same order as the
+// row build.
+func (e *Engine) wrapBatchTop(q *Query, access BatchOperator, alias string, size int, ctx *execCtx) BatchOperator {
+	top := access
+	if q.Order == OrderDesc {
+		top = &batchOrderByDistOp{child: top, desc: true, size: size}
+	} else if q.Order == OrderAsc {
+		top = &batchOrderByDistOp{child: top, size: size}
+	}
+	top = &batchProjectOp{ctx: ctx, q: q, child: top, alias: alias}
+	if q.Limit > 0 {
+		top = &batchLimitOp{child: top, n: q.Limit}
+	}
+	return top
+}
+
+// wrapBatchParallel applies the decision's parallelism choice to a
+// batch pipeline factory.
+func wrapBatchParallel(ctx *execCtx, d *planDecision, build func(shard, shards int) BatchOperator) BatchOperator {
+	if d.parallel && d.workers > 1 {
+		return &batchParallelOp{ctx: ctx, workers: d.workers, build: build, template: build(0, d.workers)}
+	}
+	return build(0, 1)
+}
+
+// vectorizeNode is the EXPLAIN pseudo-root of a vectorized plan: it
+// surfaces the planner's vectorize decision and the leaf block size at
+// the top of the rendered tree.
+type vectorizeNode struct {
+	child any
+	size  int
+}
+
+func (v *vectorizeNode) Describe() string  { return fmt.Sprintf("Vectorize(batch=%d)", v.size) }
+func (v *vectorizeNode) childNodes() []any { return []any{v.child} }

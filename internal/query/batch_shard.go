@@ -1,0 +1,308 @@
+package query
+
+// Vectorized scatter-gather over sharded relations: the batch twin of
+// shard_operators.go. Shard subplans are batch pipelines drained by the
+// same bounded worker pool into per-shard column buffers; the merges
+// (id-ordered for scans and ranges, rank-aware (dist, id) bounded for
+// NEAREST) are identical to the row gather's, so a vectorized sharded
+// plan emits byte-identical rows in byte-identical order.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// buildShardedBatchTree constructs the vectorized scatter-gather
+// operator tree for a decided single-relation query over a sharded
+// relation; the structure (per-shard filters, per-shard pushed limits,
+// gather mode) mirrors buildShardedPlan exactly.
+func (e *Engine) buildShardedBatchTree(q *Query, d *planDecision, view *relation.ShardView, ctx *execCtx, cp *compiledPlan) (*compiledPlan, error) {
+	n := view.NumShards()
+	alias := q.From[0].Alias
+	size := e.batchLeafSize(q)
+	cp.batchSize = size
+
+	children := make([]BatchOperator, n)
+	var access BatchOperator
+	switch d.kind {
+	case accessNearest:
+		ne := q.Where.(NearestExpr)
+		for i := range children {
+			children[i] = &batchShardNearestKOp{
+				batchNearestKOp: batchNearestKOp{
+					ctx: ctx, snap: view.Snap(i), alias: alias,
+					via: d.via, target: ne.Target.Lit, k: ne.K, ruleSet: ne.RuleSet, size: size,
+				},
+				idx: i, of: n,
+			}
+		}
+		access = &batchGatherMergeOp{ctx: ctx, children: children, workers: d.workers,
+			mode: gatherBestK, k: ne.K, size: size}
+	case accessRange:
+		sim, residual := extractRangeSim(q.Where, e.rangeIndexable)
+		if sim == nil {
+			return nil, fmt.Errorf("query: stale plan: no indexable conjunct")
+		}
+		pred := simplifyExpr(residual)
+		for i := range children {
+			var op BatchOperator = &batchIndexRangeOp{
+				ctx: ctx, snap: view.Snap(i), alias: alias, via: d.via,
+				target: sim.Target.Lit, radius: int(sim.Radius), ruleSet: sim.RuleSet, size: size,
+			}
+			if !isTrivial(pred) {
+				op = &batchFilterOp{ctx: ctx, child: op, pred: pred, alias: alias}
+			}
+			if q.Limit > 0 && q.Order == OrderNone {
+				// Same per-shard pushdown as the row gather: each shard needs
+				// at most LIMIT matches, so the index traversal stops early.
+				op = &batchLimitOp{child: op, n: q.Limit}
+			}
+			children[i] = op
+		}
+		access = &batchGatherMergeOp{ctx: ctx, children: children, workers: d.workers,
+			mode: gatherByID, size: size}
+	case accessScan:
+		pred := simplifyExpr(q.Where)
+		for i := range children {
+			sc := newBatchScanOp(ctx, view.Snap(i), alias, size)
+			var op BatchOperator = &batchShardScanOp{batchScanOp: *sc, idx: i, of: n}
+			if !isTrivial(pred) {
+				op = &batchFilterOp{ctx: ctx, child: op, pred: pred, alias: alias}
+			}
+			if q.Limit > 0 && q.Order == OrderNone {
+				op = &batchLimitOp{child: op, n: q.Limit}
+			}
+			children[i] = op
+		}
+		access = &batchGatherMergeOp{ctx: ctx, children: children, workers: d.workers,
+			mode: gatherByID, size: size}
+	default:
+		return nil, fmt.Errorf("query: access kind %d has no sharded build", d.kind)
+	}
+
+	cp.broot = e.wrapBatchTop(q, access, alias, size, ctx)
+	return cp, nil
+}
+
+// ----------------------------------------------------------- shard scan
+
+// batchShardScanOp is a batchScanOp over one shard's snapshot; it
+// exists so EXPLAIN shows which shard each stream comes from.
+type batchShardScanOp struct {
+	batchScanOp
+	idx, of int
+}
+
+func (o *batchShardScanOp) Describe() string {
+	return fmt.Sprintf("ShardScan(%s, shard %d/%d)", o.alias, o.idx, o.of)
+}
+
+// ------------------------------------------------------ shard nearest-k
+
+// batchShardNearestKOp is a batchNearestKOp over one shard snapshot.
+type batchShardNearestKOp struct {
+	batchNearestKOp
+	idx, of int
+}
+
+func (o *batchShardNearestKOp) Describe() string {
+	return fmt.Sprintf("ShardNearestK(%s, shard %d/%d, via %s, k=%d, ruleset=%s)",
+		o.alias, o.idx, o.of, o.via, o.k, o.ruleSet)
+}
+
+// --------------------------------------------------------- gather merge
+
+// shardCols is one shard's drained output in column form.
+type shardCols struct {
+	ids   []int
+	seqs  []string
+	attrs []map[string]string
+	dist  []float64
+	has   []bool
+	perm  []int // merge order over the columns (id-sorted for gatherByID)
+}
+
+func (c *shardCols) appendBatch(b *Batch) {
+	c.ids = append(c.ids, b.IDs...)
+	c.seqs = append(c.seqs, b.Seqs...)
+	c.attrs = append(c.attrs, b.Attrs...)
+	c.dist = append(c.dist, b.dist...)
+	c.has = append(c.has, b.has...)
+}
+
+// batchGatherMergeOp drains one batch subplan per shard through a
+// bounded worker pool and merges the column buffers. Shard subplans of
+// a sharded single-relation query are always columnar (joins are
+// rejected at decide time), so the merge never sees a bindings-layout
+// batch.
+type batchGatherMergeOp struct {
+	ctx      *execCtx
+	children []BatchOperator
+	workers  int
+	mode     gatherMode
+	k        int // gatherBestK: result bound
+	size     int
+
+	cols []shardCols
+	pos  []int // per-shard frontier position into perm
+	done int   // rows emitted (gatherBestK stops at k)
+	out  *Batch
+}
+
+func (o *batchGatherMergeOp) OpenBatch() error {
+	o.cols = make([]shardCols, len(o.children))
+	o.pos = make([]int, len(o.children))
+	o.done = 0
+	o.out = getBatch()
+	errs := make([]error, len(o.children))
+	workers := o.workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(o.children) {
+		workers = len(o.children)
+	}
+	drain := func(i int) {
+		op := o.children[i]
+		if err := op.OpenBatch(); err != nil {
+			errs[i] = err
+			op.CloseBatch()
+			return
+		}
+		for {
+			b, err := op.NextBatch()
+			if err != nil {
+				errs[i] = err
+				break
+			}
+			if b == nil {
+				break
+			}
+			o.cols[i].appendBatch(b)
+		}
+		if err := op.CloseBatch(); err != nil && errs[i] == nil {
+			errs[i] = err
+		}
+	}
+	if workers == 1 {
+		// Single-worker gather: run the shard subplans inline — goroutine
+		// overhead buys nothing without parallelism.
+		for i := range o.children {
+			drain(i)
+		}
+	} else {
+		idxc := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idxc {
+					drain(i)
+				}
+			}()
+		}
+		for i := range o.children {
+			idxc <- i
+		}
+		close(idxc)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for i := range o.cols {
+		c := &o.cols[i]
+		c.perm = c.perm[:0]
+		for j := range c.ids {
+			c.perm = append(c.perm, j)
+		}
+		if o.mode == gatherByID {
+			// Scan streams arrive id-sorted already; index-range streams
+			// arrive in traversal order, so sort the merge permutation (ids
+			// are unique — no tie to break).
+			sort.Slice(c.perm, func(a, b int) bool { return c.ids[c.perm[a]] < c.ids[c.perm[b]] })
+		}
+		// gatherBestK frontiers consume each shard's k-best list in its
+		// native (dist, id)-ascending order.
+	}
+	return nil
+}
+
+func (o *batchGatherMergeOp) NextBatch() (*Batch, error) {
+	if o.mode == gatherBestK && o.done >= o.k {
+		return nil, nil
+	}
+	b := o.out
+	b.reset()
+	for b.Len() < o.size {
+		if o.mode == gatherBestK && o.done >= o.k {
+			break
+		}
+		best := -1
+		for i := range o.cols {
+			c := &o.cols[i]
+			if o.pos[i] >= len(c.perm) {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			bi, bb := &o.cols[best], c.perm[o.pos[i]]
+			bj := bi.perm[o.pos[best]]
+			if o.mode == gatherBestK {
+				// Rank-aware frontier: smallest (dist, id) wins; ties on
+				// distance resolve by ascending tuple id, a total order.
+				if c.dist[bb] < bi.dist[bj] || c.dist[bb] == bi.dist[bj] && c.ids[bb] < bi.ids[bj] {
+					best = i
+				}
+			} else if c.ids[bb] < bi.ids[bj] {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		c := &o.cols[best]
+		j := c.perm[o.pos[best]]
+		o.pos[best]++
+		b.Block.Append(c.ids[j], c.seqs[j], c.attrs[j])
+		b.dist = append(b.dist, c.dist[j])
+		b.has = append(b.has, c.has[j])
+		o.done++
+	}
+	if b.Len() == 0 {
+		return nil, nil
+	}
+	return b, nil
+}
+
+func (o *batchGatherMergeOp) CloseBatch() error {
+	o.cols, o.pos = nil, nil
+	putBatch(o.out)
+	o.out = nil
+	return nil
+}
+
+func (o *batchGatherMergeOp) Describe() string {
+	if o.mode == gatherBestK {
+		return fmt.Sprintf("GatherMerge(shards=%d, workers=%d, merge=bestk k=%d)",
+			len(o.children), o.workers, o.k)
+	}
+	return fmt.Sprintf("GatherMerge(shards=%d, workers=%d, merge=id)", len(o.children), o.workers)
+}
+
+// childNodes returns the shard-0 subplan as the representative subtree
+// (all shards share the same shape, like the row gather's template).
+func (o *batchGatherMergeOp) childNodes() []any {
+	if len(o.children) == 0 {
+		return nil
+	}
+	return []any{o.children[0]}
+}

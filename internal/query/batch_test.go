@@ -1,0 +1,190 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestVectorizeDecisionInExplain pins the EXPLAIN surface of the
+// vectorize decision: batched plans carry the Vectorize pseudo-root
+// with the leaf block size, row plans do not, and joins inside a
+// batched plan render both adapters around the row chain.
+func TestVectorizeDecisionInExplain(t *testing.T) {
+	e := bigEngine(t)
+	res, err := e.Execute(`EXPLAIN SELECT * FROM dict LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(res.Plan, "Vectorize(batch=3)") {
+		t.Fatalf("vectorized plan lacks the Vectorize root (limit-capped):\n%s", res.Plan)
+	}
+
+	res, err = e.Execute(`EXPLAIN SELECT seq FROM dict WHERE seq SIMILAR TO "abcdef" WITHIN 1 USING unit-edits`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(res.Plan, "Vectorize(batch=256)") {
+		t.Fatalf("vectorized plan lacks the default-size Vectorize root:\n%s", res.Plan)
+	}
+
+	res, err = e.Execute(`EXPLAIN SELECT a.seq FROM dna a, dna b WHERE a.seq SIMILAR TO b.seq WITHIN 1 USING unit-edits`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"Vectorize(", "RowToBatch(", "BatchToRow", "IndexJoin("} {
+		if !strings.Contains(res.Plan, frag) {
+			t.Fatalf("vectorized join plan lacks %q:\n%s", frag, res.Plan)
+		}
+	}
+
+	e.SetBatchSize(0)
+	res, err = e.Execute(`EXPLAIN SELECT * FROM dict LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(res.Plan, "Vectorize(") || strings.Contains(res.Plan, "Batch") {
+		t.Fatalf("row plan leaked batch operators:\n%s", res.Plan)
+	}
+}
+
+// TestSetBatchSizeInvalidatesPlanCache pins that flipping the
+// execution mode starts a fresh plan-cache key space: a plan built for
+// one mode is never served to the other.
+func TestSetBatchSizeInvalidatesPlanCache(t *testing.T) {
+	e := bigEngine(t)
+	const stmt = `SELECT seq FROM dict WHERE seq SIMILAR TO "abcdef" WITHIN 1 USING unit-edits`
+	if _, err := e.Execute(stmt); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Execute(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.PlanCacheHit {
+		t.Fatal("second execution should hit the plan cache")
+	}
+	if !strings.Contains(res.Plan, "Vectorize(") {
+		t.Fatalf("cached plan is not vectorized:\n%s", res.Plan)
+	}
+
+	e.SetBatchSize(0)
+	res, err = e.Execute(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PlanCacheHit {
+		t.Fatal("plan cache served a vectorized plan after batching was disabled")
+	}
+	if strings.Contains(res.Plan, "Vectorize(") {
+		t.Fatalf("row-mode execution ran a vectorized plan:\n%s", res.Plan)
+	}
+
+	e.SetBatchSize(64)
+	res, err = e.Execute(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PlanCacheHit {
+		t.Fatal("plan cache served a row plan after batching was re-enabled")
+	}
+	if !strings.Contains(res.Plan, "Vectorize(batch=64)") {
+		t.Fatalf("re-enabled batching did not adopt the new size:\n%s", res.Plan)
+	}
+}
+
+// TestBatchPreparedRedecidesOnBatchSizeChange pins the prepared-
+// statement analogue: the memoised decision keys on the batch size, so
+// flipping the knob forces exactly one re-plan.
+func TestBatchPreparedRedecidesOnBatchSizeChange(t *testing.T) {
+	e := bigEngine(t)
+	pq, err := e.Prepare(`SELECT seq FROM dict WHERE seq SIMILAR TO ? WITHIN ? USING unit-edits`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pq.Execute("abcdef", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pq.Execute("abcdeg", 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := pq.Stats(); st.Plans != 1 || st.PlanReuses != 1 {
+		t.Fatalf("warm prepared stats = %+v, want 1 plan + 1 reuse", st)
+	}
+	e.SetBatchSize(0)
+	if _, err := pq.Execute("abcdef", 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := pq.Stats(); st.Plans != 2 {
+		t.Fatalf("stats after SetBatchSize(0) = %+v, want a re-plan", st)
+	}
+}
+
+// TestBatchLimitPushdownCandidates is the vectorized LIMIT-pushdown
+// regression test: the leaf block size is capped by a LIMIT without
+// ORDER BY, so a LIMIT 1 plan must touch far fewer candidates than the
+// full query — the batch analogue of TestLimitPushdownIndexCandidates.
+func TestBatchLimitPushdownCandidates(t *testing.T) {
+	e := bigEngine(t)
+	full, err := e.Execute(`SELECT seq FROM dict`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := e.Execute(`SELECT seq FROM dict LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Stats.Candidates >= full.Stats.Candidates {
+		t.Errorf("batch scan LIMIT 1 touched %d candidates, full scan %d", one.Stats.Candidates, full.Stats.Candidates)
+	}
+	idxOne, err := e.Execute(`SELECT seq FROM clust WHERE seq SIMILAR TO "abcdefgh" WITHIN 1 USING unit-edits LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxFull, err := e.Execute(`SELECT seq FROM clust WHERE seq SIMILAR TO "abcdefgh" WITHIN 1 USING unit-edits`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idxOne.Stats.Candidates >= idxFull.Stats.Candidates {
+		t.Errorf("batch index LIMIT 1 touched %d candidates, full range %d",
+			idxOne.Stats.Candidates, idxFull.Stats.Candidates)
+	}
+}
+
+// TestBatchSyncColsDivergedCapacities is the regression test for a
+// pooled-batch crash: dist ([]float64) and has ([]bool) grow through
+// independent appends and land in different allocator size classes, so
+// a recycled batch can carry cap(has) < n <= cap(dist); syncCols must
+// resize each column by its own capacity instead of assuming they
+// moved in lockstep.
+func TestBatchSyncColsDivergedCapacities(t *testing.T) {
+	b := &Batch{}
+	b.dist = make([]float64, 0, 64)
+	b.has = make([]bool, 0, 8)
+	for i := 0; i < 20; i++ {
+		b.Block.Append(i, "s", nil)
+	}
+	b.syncCols() // panicked before the fix: has[:20] with capacity 8
+	if len(b.dist) != 20 || len(b.has) != 20 {
+		t.Fatalf("syncCols lengths = %d/%d, want 20/20", len(b.dist), len(b.has))
+	}
+	for i := range b.has {
+		if b.has[i] || b.dist[i] != 0 {
+			t.Fatalf("syncCols left stale distance state at row %d", i)
+		}
+	}
+}
+
+// TestBatchDMLReadPlan pins that DELETE/UPDATE read phases run through
+// the vectorized plan (the id column feeds collectIDsBatch) and affect
+// the same rows as the row engine — covered broadly by the oracle, but
+// this is the minimal deterministic repro.
+func TestBatchDMLReadPlan(t *testing.T) {
+	p := newBatchPair(t, 1, 16)
+	p.exec(t, `INSERT INTO words (seq, tag) VALUES ("abc", "1"), ("abd", "1"), ("xyz", "2"), ("abe", "2")`)
+	res := p.exec(t, `DELETE FROM words WHERE seq SIMILAR TO "abc" WITHIN 1 USING edits`)
+	if res.Rows[0][0] != "3" {
+		t.Fatalf("delete count = %s, want 3", res.Rows[0][0])
+	}
+	p.exec(t, `UPDATE words SET tag = "9" WHERE seq = "xyz"`)
+	p.checkDump(t)
+}

@@ -34,11 +34,18 @@ type Engine struct {
 
 	parallelism     int // workers for Parallel plans (<=1 disables)
 	parallelMinRows int // outer-relation size that justifies sharding
+	batchSize       int // rows per block for vectorized plans (<=0 disables)
 }
 
 // parallelDefaultMinRows is the default outer-relation size below which
 // sharding overhead outweighs the parallel speedup.
 const parallelDefaultMinRows = 4096
+
+// defaultBatchSize is the default vectorized block size: large enough
+// to amortize per-block costs across the pipeline, small enough that a
+// block of tuple references stays cache-resident (see EXPERIMENTS.md
+// for the 1/64/256/1024 sweep).
+const defaultBatchSize = 256
 
 // NewEngine returns an engine over the catalog with no rule sets
 // registered.
@@ -52,7 +59,32 @@ func NewEngine(cat *relation.Catalog) *Engine {
 		plans:           newPlanCache(defaultPlanCacheSize),
 		parallelism:     runtime.GOMAXPROCS(0),
 		parallelMinRows: parallelDefaultMinRows,
+		batchSize:       defaultBatchSize,
 	}
+}
+
+// SetBatchSize sets the block size for vectorized (batch-at-a-time)
+// plans; n <= 0 disables vectorization entirely and every plan builds
+// the row-at-a-time pipeline. The knob is part of every plan-cache and
+// prepared-decision key, so changing it can never serve a plan built
+// for the other execution mode.
+func (e *Engine) SetBatchSize(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.batchSize = n
+}
+
+// BatchSize returns the configured vectorized block size (0 when the
+// batch path is disabled).
+func (e *Engine) BatchSize() int { return e.batchConfig() }
+
+func (e *Engine) batchConfig() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.batchSize
 }
 
 // SetParallelism sets the worker count for parallel scan/join plans;
@@ -221,15 +253,17 @@ func (e *Engine) CacheStats() CacheStats {
 }
 
 // cacheEpoch is the part of every plan-cache key that tracks engine
-// state: catalog statistics, the shard topology, the rule-set registry
-// and the parallel configuration. Any change to these may change a
-// costing decision — or, for the shard signature, the physical shape of
-// every plan over the re-registered table — so it must start a fresh
-// key space.
-func (e *Engine) cacheEpoch() string {
+// state: catalog statistics, the shard topology, the rule-set registry,
+// the parallel configuration and the vectorized block size. Any change
+// to these may change a costing decision — or, for the shard signature
+// and the batch size, the physical shape of every plan — so it must
+// start a fresh key space. batchSize is passed in rather than read
+// here so the caller keys and decides against one consistent read of
+// the knob (see decideWith).
+func (e *Engine) cacheEpoch(batchSize int) string {
 	workers, minRows := e.parallelConfig()
-	return fmt.Sprintf("%d|%d|%d|%d|%s", e.catalog.StatsVersion(), e.rulesetVersion(), workers, minRows,
-		e.catalog.ShardSignature())
+	return fmt.Sprintf("%d|%d|%d|%d|%d|%s", e.catalog.StatsVersion(), e.rulesetVersion(), workers, minRows,
+		batchSize, e.catalog.ShardSignature())
 }
 
 // normalizeQueryText canonicalises statement text for cache keying:
@@ -294,7 +328,8 @@ func (e *Engine) Execute(src string) (*Result, error) {
 			return e.ExecuteQuery(stmt.(*Query))
 		}
 	}
-	key := e.cacheEpoch() + "|" + normalizeQueryText(src)
+	batchSize := e.batchConfig()
+	key := e.cacheEpoch(batchSize) + "|" + normalizeQueryText(src)
 	if ent, ok := cache.get(key); ok {
 		// Only a failure to *build* the tree (a stale or poisoned entry)
 		// falls through to the uncached path; once a tree builds, its
@@ -319,7 +354,10 @@ func (e *Engine) Execute(src string) (*Result, error) {
 		return e.ExecuteMutation(m)
 	}
 	q := stmt.(*Query)
-	d, err := e.decide(q)
+	// Decide with the same batch-size read the key was built from: the
+	// cached decision's vectorize flag must belong to the key's epoch
+	// even if SetBatchSize lands concurrently.
+	d, err := e.decideWith(q, batchSize)
 	if err != nil {
 		return nil, err
 	}

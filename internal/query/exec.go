@@ -58,19 +58,32 @@ func (c *execCtx) snapshot() ExecStats {
 	return c.stats
 }
 
-// compiledPlan is the planner's output: an operator tree plus the
-// result header it produces.
+// compiledPlan is the planner's output: an operator tree — row (root)
+// or batch (broot), depending on the decision's vectorize flag — plus
+// the result header it produces.
 type compiledPlan struct {
-	root    Operator
-	ctx     *execCtx
-	columns []string
+	root      Operator
+	broot     BatchOperator
+	batchSize int // leaf block size when broot is set (EXPLAIN)
+	ctx       *execCtx
+	columns   []string
 }
 
-// describe renders the operator tree for EXPLAIN and Result.Plan.
-func (p *compiledPlan) describe() string { return renderTree(p.root) }
+// describe renders the operator tree for EXPLAIN and Result.Plan; a
+// vectorized plan carries the Vectorize pseudo-root so the planner's
+// decision is visible at the top of the tree.
+func (p *compiledPlan) describe() string {
+	if p.broot != nil {
+		return renderTree(&vectorizeNode{child: p.broot, size: p.batchSize})
+	}
+	return renderTree(p.root)
+}
 
 // run drives the operator tree to completion and assembles the result.
 func (p *compiledPlan) run() (*Result, error) {
+	if p.broot != nil {
+		return p.runBatch()
+	}
 	res := &Result{Columns: p.columns, Plan: p.describe()}
 	if err := p.root.Open(); err != nil {
 		p.root.Close()
@@ -94,18 +107,47 @@ func (p *compiledPlan) run() (*Result, error) {
 	return res, nil
 }
 
+// runBatch drives a batch operator tree, appending each block's
+// projected rows to the result.
+func (p *compiledPlan) runBatch() (*Result, error) {
+	res := &Result{Columns: p.columns, Plan: p.describe()}
+	if err := p.broot.OpenBatch(); err != nil {
+		p.broot.CloseBatch()
+		return nil, err
+	}
+	for {
+		b, err := p.broot.NextBatch()
+		if err != nil {
+			p.broot.CloseBatch()
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		res.Rows = append(res.Rows, b.rows...)
+	}
+	if err := p.broot.CloseBatch(); err != nil {
+		return nil, err
+	}
+	res.Stats = p.ctx.snapshot()
+	return res, nil
+}
+
 // renderTree renders an operator tree with box-drawing indentation:
 //
 //	Limit(3)
 //	└─ Project(seq, dist)
 //	   └─ Filter(lang = "en")
 //	      └─ IndexRange(words via bktree, target=color, radius=1, ruleset=edits)
-func renderTree(op Operator) string {
+//
+// Nodes may be row operators, batch operators or the adapters bridging
+// them; mixed trees render seamlessly.
+func renderTree(node any) string {
 	var b strings.Builder
-	var walk func(op Operator, prefix string, last bool, root bool)
-	walk = func(op Operator, prefix string, last, root bool) {
+	var walk func(node any, prefix string, last bool, root bool)
+	walk = func(node any, prefix string, last, root bool) {
 		if root {
-			b.WriteString(op.Describe())
+			b.WriteString(describeNode(node))
 		} else {
 			b.WriteString("\n")
 			b.WriteString(prefix)
@@ -116,15 +158,41 @@ func renderTree(op Operator) string {
 				b.WriteString("├─ ")
 				prefix += "│  "
 			}
-			b.WriteString(op.Describe())
+			b.WriteString(describeNode(node))
 		}
-		kids := op.Children()
+		kids := childNodesOf(node)
 		for i, k := range kids {
 			walk(k, prefix, i == len(kids)-1, false)
 		}
 	}
-	walk(op, "", true, true)
+	walk(node, "", true, true)
 	return b.String()
+}
+
+// describeNode returns a node's EXPLAIN label.
+func describeNode(n any) string {
+	if d, ok := n.(interface{ Describe() string }); ok {
+		return d.Describe()
+	}
+	return fmt.Sprintf("%T", n)
+}
+
+// childNodesOf returns a node's inputs for the tree walk. Batch
+// operators and adapters report mixed-kind children via childNodes;
+// plain row operators lift their Children slice.
+func childNodesOf(n any) []any {
+	if cn, ok := n.(interface{ childNodes() []any }); ok {
+		return cn.childNodes()
+	}
+	if op, ok := n.(Operator); ok {
+		kids := op.Children()
+		out := make([]any, len(kids))
+		for i, k := range kids {
+			out[i] = k
+		}
+		return out
+	}
+	return nil
 }
 
 // projectColumns computes the result header for a query's projection.

@@ -48,13 +48,14 @@ const (
 // no operators and no bound values, only choices, so it is immutable
 // and safely shared across concurrent executions.
 type planDecision struct {
-	kind     accessKind
-	via      string       // accessNearest: bktree|scan; accessRange: bktree|trie
-	start    string       // accessJoin: starting alias
-	steps    []stepChoice // accessJoin: greedy join order
-	parallel bool         // shard the scan-rooted pipeline
-	workers  int          // worker count when parallel (or gather fan-out)
-	shards   int          // > 0: scatter-gather plan over a ShardedRelation
+	kind      accessKind
+	via       string       // accessNearest: bktree|scan; accessRange: bktree|trie
+	start     string       // accessJoin: starting alias
+	steps     []stepChoice // accessJoin: greedy join order
+	parallel  bool         // shard the scan-rooted pipeline
+	workers   int          // worker count when parallel (or gather fan-out)
+	shards    int          // > 0: scatter-gather plan over a ShardedRelation
+	vectorize bool         // build the batch-at-a-time pipeline
 }
 
 // stepChoice is one edge of the decided join order. The edge is named
@@ -101,6 +102,16 @@ func (e *Engine) resolveFrom(q *Query) ([]relation.Table, error) {
 // decide validates the query and makes every cost-based planning
 // choice. The query must be fully bound (no parameters).
 func (e *Engine) decide(q *Query) (*planDecision, error) {
+	return e.decideWith(q, e.batchConfig())
+}
+
+// decideWith is decide with the vectorized block size pinned by the
+// caller: paths that key a cache on the engine configuration
+// (Engine.Execute, PreparedQuery.run) read the knob exactly once and
+// pass the same value here, so a concurrent SetBatchSize can never
+// produce a decision whose vectorize flag belongs to a different
+// epoch than the key it is stored under.
+func (e *Engine) decideWith(q *Query, batchSize int) (*planDecision, error) {
 	if hasUnboundParams(q) {
 		return nil, fmt.Errorf("query: statement has bind parameters; use Engine.Prepare")
 	}
@@ -118,13 +129,23 @@ func (e *Engine) decide(q *Query) (*planDecision, error) {
 		return nil, fmt.Errorf("query: ORDER BY dist requires a similarity predicate")
 	}
 
+	var d *planDecision
 	if ne, ok := q.Where.(NearestExpr); ok {
-		return e.decideNearest(q, ne, rels[0])
+		d, err = e.decideNearest(q, ne, rels[0])
+	} else if len(q.From) == 1 {
+		d, err = e.decideSingle(q, rels[0])
+	} else {
+		d, err = e.decideJoin(q, rels)
 	}
-	if len(q.From) == 1 {
-		return e.decideSingle(q, rels[0])
+	if err != nil {
+		return nil, err
 	}
-	return e.decideJoin(q, rels)
+	// The vectorize choice is part of the decision so cached plans and
+	// memoised prepared decisions key on it (SetBatchSize starts a fresh
+	// key space). Every access family has a batch build; joins run their
+	// row chain behind the adapters.
+	d.vectorize = batchSize > 0
+	return d, nil
 }
 
 // decideNearest validates a NEAREST query and picks the access
@@ -389,6 +410,9 @@ func (e *Engine) buildPlan(q *Query, d *planDecision) (*compiledPlan, error) {
 	}
 	ctx := &execCtx{eng: e}
 	cp := &compiledPlan{ctx: ctx, columns: projectColumns(q)}
+	if d.vectorize {
+		return e.buildBatchTree(q, d, rels, snapOf, ctx, cp)
+	}
 
 	var access Operator
 	switch d.kind {
@@ -493,10 +517,26 @@ func (e *Engine) buildJoin(ctx *execCtx, q *Query, rels []*relation.Relation, sn
 	for i, step := range steps {
 		stepSnaps[i] = snapOf(relPlain[step.alias])
 	}
-	build := func(shard, shards int) Operator {
+	// In a vectorized plan the join chain itself stays row-at-a-time,
+	// but the START scan — opened once per query — reads through a
+	// batch cursor behind a BatchToRow adapter, the other direction of
+	// the adapter pair. Nested-loop INNER scans stay plain row scans:
+	// they are re-opened once per outer binding, so adapter and block
+	// overhead there would multiply by the outer cardinality with
+	// nothing to amortize it.
+	size := e.batchLeafSize(q)
+	startScan := func(shard, shards int) Operator {
+		if d.vectorize {
+			bs := newBatchScanOp(ctx, startSnap, d.start, size)
+			bs.shard, bs.shards = shard, shards
+			return &batchToRowOp{child: bs}
+		}
 		sc := newScanOp(ctx, startSnap, d.start)
 		sc.shard, sc.shards = shard, shards
-		var op Operator = sc
+		return sc
+	}
+	build := func(shard, shards int) Operator {
+		op := startScan(shard, shards)
 		for i, step := range steps {
 			if step.index {
 				op = &indexJoinOp{

@@ -184,12 +184,15 @@ func (pq *PreparedQuery) run(lookup func(ParamRef) (any, error), explain bool) (
 	}
 	q.Explain = q.Explain || explain
 
-	key := pq.eng.decisionKey(q)
+	// One read of the batch-size knob covers both the decision key and
+	// the decision itself (see decideWith).
+	batchSize := pq.eng.batchConfig()
+	key := pq.eng.decisionKey(q, batchSize)
 	pq.mu.Lock()
 	d, reused := pq.decisions[key]
 	pq.mu.Unlock()
 	if !reused {
-		if d, err = pq.eng.decide(q); err != nil {
+		if d, err = pq.eng.decideWith(q, batchSize); err != nil {
 			return nil, err
 		}
 		pq.mu.Lock()
@@ -245,14 +248,15 @@ func (pq *PreparedQuery) runMutation(lookup func(ParamRef) (any, error), explain
 
 // decisionKey summarises every bind-dependent input to decide():
 // catalog statistics, shard topology, rule-set registry, parallel
-// configuration, the LIMIT-without-ORDER early-exit flag, and each
-// similarity radius in predicate order. Two bindings with equal keys
-// provably take the same planner choices, so the decision is reusable.
-func (e *Engine) decisionKey(q *Query) string {
+// configuration, the vectorized block size, the LIMIT-without-ORDER
+// early-exit flag, and each similarity radius in predicate order. Two
+// bindings with equal keys provably take the same planner choices, so
+// the decision is reusable.
+func (e *Engine) decisionKey(q *Query, batchSize int) string {
 	workers, minRows := e.parallelConfig()
 	var b strings.Builder
-	fmt.Fprintf(&b, "%d|%d|%d|%d|%t|%d|%s",
-		e.catalog.StatsVersion(), e.rulesetVersion(), workers, minRows,
+	fmt.Fprintf(&b, "%d|%d|%d|%d|%d|%t|%d|%s",
+		e.catalog.StatsVersion(), e.rulesetVersion(), workers, minRows, batchSize,
 		q.Limit > 0 && q.Order == OrderNone, q.Order, e.catalog.ShardSignature())
 	appendRadii(&b, q.Where)
 	return b.String()

@@ -57,6 +57,9 @@ func (e *Engine) buildShardedPlan(q *Query, d *planDecision, tab relation.Table)
 	alias := q.From[0].Alias
 	ctx := &execCtx{eng: e}
 	cp := &compiledPlan{ctx: ctx, columns: projectColumns(q)}
+	if d.vectorize {
+		return e.buildShardedBatchTree(q, d, view, ctx, cp)
+	}
 
 	children := make([]Operator, n)
 	var access Operator

@@ -761,7 +761,11 @@ func (s *Snapshot) Shard(i, n int) *Cursor {
 	}
 	lo := i * len(s.h.rows) / n
 	hi := (i + 1) * len(s.h.rows) / n
-	return &Cursor{rows: s.h.rows[lo:hi], epoch: s.h.epoch}
+	// dead == 0 means no arena row carries a tombstone at this head, and
+	// tombstones written by later commits get epochs above ours — so the
+	// whole cursor range is visible and NextBlock can skip the per-row
+	// epoch check for the entire run.
+	return &Cursor{rows: s.h.rows[lo:hi], epoch: s.h.epoch, allLive: s.h.dead == 0}
 }
 
 // BKTree returns a BK-tree whose entries form a superset of the rows
@@ -794,9 +798,10 @@ func (s *Snapshot) Visible(id int) bool {
 
 // Cursor iterates the visible tuples of one snapshot shard.
 type Cursor struct {
-	rows  []*Row
-	epoch uint64
-	pos   int
+	rows    []*Row
+	epoch   uint64
+	allLive bool // no tombstones in the arena at this epoch: skip checks
+	pos     int
 }
 
 // Next returns the next visible tuple; ok is false at the end.
@@ -809,6 +814,65 @@ func (c *Cursor) Next() (Tuple, bool) {
 		}
 	}
 	return Tuple{}, false
+}
+
+// Block is a column-oriented batch of visible tuples — the unit the
+// vectorized execution engine pulls. The three slices are parallel:
+// row i is (IDs[i], Seqs[i], Attrs[i]).
+type Block struct {
+	IDs   []int
+	Seqs  []string
+	Attrs []map[string]string
+}
+
+// Reset empties the block, keeping capacity.
+func (b *Block) Reset() {
+	b.IDs, b.Seqs, b.Attrs = b.IDs[:0], b.Seqs[:0], b.Attrs[:0]
+}
+
+// Append adds one tuple to the block.
+func (b *Block) Append(id int, seq string, attrs map[string]string) {
+	b.IDs = append(b.IDs, id)
+	b.Seqs = append(b.Seqs, seq)
+	b.Attrs = append(b.Attrs, attrs)
+}
+
+// Len returns the number of rows in the block.
+func (b *Block) Len() int { return len(b.IDs) }
+
+// NextBlock fills the block with up to max visible tuples and returns
+// how many it produced (0 at the end of the shard). The batch engine's
+// leaf: one call amortizes the per-row cursor overhead across the whole
+// block, and when the snapshot carries no tombstones at all (the common
+// append-only regime) the visibility check is skipped for the entire
+// arena run instead of being paid per row.
+func (c *Cursor) NextBlock(b *Block, max int) int {
+	b.Reset()
+	if max <= 0 {
+		return 0
+	}
+	if c.allLive {
+		end := c.pos + max
+		if end > len(c.rows) {
+			end = len(c.rows)
+		}
+		for _, row := range c.rows[c.pos:end] {
+			b.Append(row.ID, row.Seq, row.Attrs)
+		}
+		n := end - c.pos
+		c.pos = end
+		return n
+	}
+	n := 0
+	for c.pos < len(c.rows) && n < max {
+		row := c.rows[c.pos]
+		c.pos++
+		if row.died.Load() > c.epoch {
+			b.Append(row.ID, row.Seq, row.Attrs)
+			n++
+		}
+	}
+	return n
 }
 
 // ------------------------------------------------------------- storage
