@@ -1,0 +1,65 @@
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/editdp"
+)
+
+// kernelWords is the shared workload for the kernel gate: one fixed
+// 32-byte query verified against 512 random words of 8..64 bytes — the
+// single-word regime every BK-tree/trie traversal and compiled filter
+// lives in. Random words share almost no affixes, so the scalar DP
+// cannot hide behind its prefix/suffix stripping.
+func kernelWords() (string, []string) {
+	rng := rand.New(rand.NewSource(99))
+	const alpha = "abcdefgh"
+	gen := func(n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alpha[rng.Intn(len(alpha))]
+		}
+		return string(b)
+	}
+	query := gen(32)
+	words := make([]string, 512)
+	for i := range words {
+		words[i] = gen(8 + rng.Intn(57))
+	}
+	return query, words
+}
+
+// BenchmarkKernelScalarLevenshtein — the scalar two-row DP over the
+// kernel workload; the denominator of the KernelMyersVsScalar gate.
+func BenchmarkKernelScalarLevenshtein(b *testing.B) {
+	query, words := kernelWords()
+	sink := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, w := range words {
+			sink += editdp.Levenshtein(query, w)
+		}
+	}
+	benchSink = sink
+}
+
+// BenchmarkKernelMyersVsScalar — the query-scoped bit-parallel kernel
+// on the identical workload (PEQ built once per query, as the indexes
+// and compiled filters use it). BENCH_baseline.json gates this at
+// max_ratio 0.5 of KernelScalarLevenshtein: at least 2x faster on
+// <=64-byte words, with zero tolerance — the ceiling is policy.
+func BenchmarkKernelMyersVsScalar(b *testing.B) {
+	query, words := kernelWords()
+	sink := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dp := editdp.NewQueryDP(query)
+		for _, w := range words {
+			sink += dp.Distance(w)
+		}
+	}
+	benchSink = sink
+}
+
+var benchSink int

@@ -58,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/editdp"
 	"repro/internal/query"
 	"repro/internal/relation"
 	"repro/internal/rewrite"
@@ -83,10 +84,14 @@ func main() {
 	walSync := flag.Bool("wal-sync", true, "fsync the WAL on every commit")
 	shards := flag.Int("shards", 1, "hash-partition each loaded relation across N shards (scatter-gather execution)")
 	batchSize := flag.Int("batch-size", 256, "vectorized execution block size (0 = row-at-a-time pipeline)")
+	myersKernel := flag.Bool("myers-kernel", true, "serve unit-cost distances from the bit-parallel (Myers) kernel (false = scalar DP; identical results)")
 	flag.Parse()
 	if *shards < 1 {
 		*shards = 1
 	}
+	// Set before the engine serves anything: query-scoped kernels capture
+	// the toggle at construction and the planner keys its cache on it.
+	editdp.SetBitParallel(*myersKernel)
 
 	eng, err := buildEngine(loads, ruleFiles, *shards)
 	if err != nil {

@@ -35,6 +35,12 @@ type Calculator struct {
 	// used by the banded Within and by admissible filters.
 	minIns float64
 	minDel float64
+	// unit records that the closed tables coincide with the classical
+	// unit edit distance over the mentioned symbols; covered is the
+	// 256-bit membership bitmap of those symbols. Together they license
+	// dispatching a conjunct to the bit-parallel Myers kernel.
+	unit    bool
+	covered [4]uint64
 }
 
 // New builds a Calculator from an edit-like rule set, closing the cost
@@ -130,7 +136,51 @@ func New(rs *rewrite.RuleSet) (*Calculator, error) {
 			c.minDel = c.del[i]
 		}
 	}
+
+	// Detect the classical unit-distance special case on the CLOSED
+	// tables: every mentioned symbol inserts and deletes for exactly 1
+	// and every mentioned pair substitutes for exactly 1. Rule sets that
+	// look unit-cost rule by rule can still fail this (e.g. insert/delete
+	// only, where a↔b costs 2 via delete+insert), so the check is what
+	// keeps the Myers dispatch bit-identical to the weighted DP.
+	c.unit = len(syms) > 0
+	for _, a := range syms {
+		if c.ins[a] != 1 || c.del[a] != 1 {
+			c.unit = false
+			break
+		}
+		for _, b := range syms {
+			if a != b && c.SubCost(a, b) != 1 {
+				c.unit = false
+				break
+			}
+		}
+		if !c.unit {
+			break
+		}
+	}
+	for _, a := range syms {
+		c.covered[a>>6] |= 1 << (a & 63)
+	}
 	return c, nil
+}
+
+// Unit reports whether the closed cost tables realise the classical
+// unit edit distance over the mentioned symbols: distances between
+// strings the alphabet Covers equal editdp.Levenshtein exactly, so the
+// engine may serve them from the bit-parallel kernel.
+func (c *Calculator) Unit() bool { return c.unit }
+
+// Covers reports whether every byte of s is a mentioned symbol — the
+// per-string guard for the unit-distance fast path (bytes outside the
+// alphabet carry +Inf costs and must go through the weighted DP).
+func (c *Calculator) Covers(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if c.covered[s[i]>>6]&(1<<(s[i]&63)) == 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Rules returns the underlying rule set.

@@ -55,6 +55,12 @@ func LevenshteinWithin(x, y string, k int) (int, bool) {
 	if k < 0 {
 		return 0, false
 	}
+	// Length skew alone is a lower bound on the distance; reject before
+	// any DP (or even affix-stripping) work. Affix stripping preserves
+	// the length difference, so this subsumes the post-strip check.
+	if d := len(x) - len(y); d > k || -d > k {
+		return 0, false
+	}
 	for len(x) > 0 && len(y) > 0 && x[0] == y[0] {
 		x, y = x[1:], y[1:]
 	}
@@ -65,9 +71,6 @@ func LevenshteinWithin(x, y string, k int) (int, bool) {
 		x, y = y, x
 	}
 	n, m := len(x), len(y)
-	if n-m > k {
-		return 0, false
-	}
 	if m == 0 {
 		return n, n <= k
 	}

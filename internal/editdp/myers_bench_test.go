@@ -1,0 +1,100 @@
+package editdp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchWords returns 256 random words of exactly n bytes over an
+// 8-symbol alphabet; random words defeat affix stripping, so the
+// scalar and bit-parallel kernels run their full inner loops.
+func benchWords(n int) (string, []string) {
+	rng := rand.New(rand.NewSource(int64(n)))
+	const alpha = "abcdefgh"
+	gen := func() string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alpha[rng.Intn(len(alpha))]
+		}
+		return string(b)
+	}
+	query := gen()
+	words := make([]string, 256)
+	for i := range words {
+		words[i] = gen()
+	}
+	return query, words
+}
+
+var sinkInt int
+
+// BenchmarkMyersKernels sweeps word lengths 8/16/32/64/256 (the last
+// exercising the block variant) over scalar Levenshtein, the one-shot
+// MyersDistance and the query-scoped QueryDP — the EXPERIMENTS.md
+// scalar-vs-bit-parallel table comes from this sweep.
+func BenchmarkMyersKernels(b *testing.B) {
+	for _, n := range []int{8, 16, 32, 64, 256} {
+		query, words := benchWords(n)
+		b.Run(fmt.Sprintf("scalar/len%d", n), func(b *testing.B) {
+			s := 0
+			for i := 0; i < b.N; i++ {
+				for _, w := range words {
+					s += Levenshtein(query, w)
+				}
+			}
+			sinkInt = s
+		})
+		b.Run(fmt.Sprintf("myers/len%d", n), func(b *testing.B) {
+			s := 0
+			for i := 0; i < b.N; i++ {
+				for _, w := range words {
+					s += MyersDistance(query, w)
+				}
+			}
+			sinkInt = s
+		})
+		b.Run(fmt.Sprintf("querydp/len%d", n), func(b *testing.B) {
+			s := 0
+			for i := 0; i < b.N; i++ {
+				dp := NewQueryDP(query)
+				for _, w := range words {
+					s += dp.Distance(w)
+				}
+			}
+			sinkInt = s
+		})
+	}
+}
+
+// BenchmarkMyersWithin compares the budgeted kernels at a tight radius
+// (k=2): the scalar banded DP vs the bit-parallel early-abandon path —
+// the regime of every WITHIN range query.
+func BenchmarkMyersWithin(b *testing.B) {
+	for _, n := range []int{32, 64, 256} {
+		query, words := benchWords(n)
+		b.Run(fmt.Sprintf("scalar/len%d", n), func(b *testing.B) {
+			s := 0
+			for i := 0; i < b.N; i++ {
+				for _, w := range words {
+					if d, ok := LevenshteinWithin(query, w, 2); ok {
+						s += d
+					}
+				}
+			}
+			sinkInt = s
+		})
+		b.Run(fmt.Sprintf("querydp/len%d", n), func(b *testing.B) {
+			s := 0
+			for i := 0; i < b.N; i++ {
+				dp := NewQueryDP(query)
+				for _, w := range words {
+					if d, ok := dp.Within(w, 2); ok {
+						s += d
+					}
+				}
+			}
+			sinkInt = s
+		})
+	}
+}

@@ -1,0 +1,238 @@
+package editdp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// refLevenshtein is an independent textbook DP (full matrix, no affix
+// stripping, no banding) so the parity tests do not compare the Myers
+// kernel against optimizations that share code with it.
+func refLevenshtein(x, y string) int {
+	n, m := len(x), len(y)
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = i
+		for j := 1; j <= m; j++ {
+			cost := 1
+			if x[i-1] == y[j-1] {
+				cost = 0
+			}
+			best := prev[j-1] + cost
+			if v := prev[j] + 1; v < best {
+				best = v
+			}
+			if v := cur[j-1] + 1; v < best {
+				best = v
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+func TestMyersDistanceTable(t *testing.T) {
+	long := strings.Repeat("abcdefgh", 12)  // 96 chars: block variant
+	longSub := long[:40] + "X" + long[41:]  // one substitution
+	longIns := long[:50] + "zz" + long[50:] // two insertions
+	nonASCII := "na\xffve\x00caf\xe9"       // high and zero bytes
+	cases := []struct{ x, y string }{
+		{"", ""},
+		{"", "abc"},
+		{"abc", ""},
+		{"abc", "abc"},
+		{"kitten", "sitting"},
+		{"flaw", "lawn"},
+		{"a", "b"},
+		{"ab", "ba"},
+		{"abcdefgh", "abcdxfgh"},
+		{nonASCII, "naive caf"},
+		{long, long},
+		{long, longSub},
+		{long, longIns},
+		{long, "short"},
+		{strings.Repeat("x", 64), strings.Repeat("x", 63) + "y"},
+		{strings.Repeat("x", 65), strings.Repeat("y", 65)},
+	}
+	for _, c := range cases {
+		want := refLevenshtein(c.x, c.y)
+		if got := MyersDistance(c.x, c.y); got != want {
+			t.Errorf("MyersDistance(%q, %q) = %d, want %d", c.x, c.y, got, want)
+		}
+		if got := NewQueryDP(c.x).Distance(c.y); got != want {
+			t.Errorf("QueryDP(%q).Distance(%q) = %d, want %d", c.x, c.y, got, want)
+		}
+		for _, k := range []int{0, 1, 2, want - 1, want, want + 1, len(c.x) + len(c.y)} {
+			wd, wok := 0, false
+			if k >= 0 && want <= k {
+				wd, wok = want, true
+			}
+			if gd, gok := MyersWithin(c.x, c.y, k); gd != wd || gok != wok {
+				t.Errorf("MyersWithin(%q, %q, %d) = (%d, %v), want (%d, %v)", c.x, c.y, k, gd, gok, wd, wok)
+			}
+			if gd, gok := NewQueryDP(c.x).Within(c.y, k); gd != wd || gok != wok {
+				t.Errorf("QueryDP(%q).Within(%q, %d) = (%d, %v), want (%d, %v)", c.x, c.y, k, gd, gok, wd, wok)
+			}
+			if gd, gok := LevenshteinWithin(c.x, c.y, k); gd != wd || gok != wok {
+				t.Errorf("LevenshteinWithin(%q, %q, %d) = (%d, %v), want (%d, %v)", c.x, c.y, k, gd, gok, wd, wok)
+			}
+		}
+	}
+}
+
+// TestQueryDPScalarFallback pins that the kernel toggle changes only
+// the implementation, never a result.
+func TestQueryDPScalarFallback(t *testing.T) {
+	defer SetBitParallel(true)
+	words := []string{"", "color", "colour", "colonel", strings.Repeat("colour", 20), "c\xf8l\xf8r"}
+	for _, q := range words {
+		SetBitParallel(true)
+		on := NewQueryDP(q)
+		if !BitParallelEnabled() {
+			t.Fatal("BitParallelEnabled() = false after SetBitParallel(true)")
+		}
+		SetBitParallel(false)
+		off := NewQueryDP(q)
+		if BitParallelEnabled() {
+			t.Fatal("BitParallelEnabled() = true after SetBitParallel(false)")
+		}
+		if off.SingleWord() {
+			t.Errorf("QueryDP(%q).SingleWord() = true with kernel disabled", q)
+		}
+		for _, w := range words {
+			if a, b := on.Distance(w), off.Distance(w); a != b {
+				t.Errorf("QueryDP(%q).Distance(%q): kernel %d vs scalar %d", q, w, a, b)
+			}
+			for k := 0; k <= 8; k++ {
+				ad, aok := on.Within(w, k)
+				bd, bok := off.Within(w, k)
+				if ad != bd || aok != bok {
+					t.Errorf("QueryDP(%q).Within(%q, %d): kernel (%d,%v) vs scalar (%d,%v)", q, w, k, ad, aok, bd, bok)
+				}
+			}
+		}
+	}
+}
+
+// TestMyersStateStepping drives the incremental single-word stepper the
+// trie uses and checks Score and RowMin against the textbook DP row.
+func TestMyersStateStepping(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alpha := "abcd\xff"
+	for trial := 0; trial < 200; trial++ {
+		qlen := 1 + rng.Intn(64)
+		q := randString(rng, alpha, qlen)
+		text := randString(rng, alpha, rng.Intn(30))
+		dp := NewQueryDP(q)
+		if !dp.SingleWord() {
+			t.Fatalf("QueryDP(%q).SingleWord() = false", q)
+		}
+		// Textbook row: row[j] = D[j][depth] for pattern prefix... we track
+		// the column over the pattern: row[j] = dist(q[:j], text[:depth]).
+		row := make([]int, len(q)+1)
+		for j := range row {
+			row[j] = j
+		}
+		st := dp.Start()
+		checkState(t, dp, st, row, 0, q, "")
+		for i := 0; i < len(text); i++ {
+			st = dp.Step(st, text[i])
+			prevDiag := row[0]
+			row[0] = i + 1
+			for j := 1; j <= len(q); j++ {
+				cost := 1
+				if q[j-1] == text[i] {
+					cost = 0
+				}
+				best := prevDiag + cost
+				if v := row[j] + 1; v < best {
+					best = v
+				}
+				if v := row[j-1] + 1; v < best {
+					best = v
+				}
+				prevDiag, row[j] = row[j], best
+			}
+			checkState(t, dp, st, row, i+1, q, text[:i+1])
+		}
+	}
+}
+
+func checkState(t *testing.T, dp *QueryDP, st MyersState, row []int, depth int, q, text string) {
+	t.Helper()
+	if st.Score != row[len(row)-1] {
+		t.Fatalf("Step(%q over %q): Score = %d, want %d", q, text, st.Score, row[len(row)-1])
+	}
+	min := row[0]
+	for _, v := range row {
+		if v < min {
+			min = v
+		}
+	}
+	if got := dp.RowMin(st, depth); got != min {
+		t.Fatalf("RowMin(%q over %q) = %d, want %d (row %v)", q, text, got, min, row)
+	}
+}
+
+func randString(rng *rand.Rand, alpha string, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alpha[rng.Intn(len(alpha))]
+	}
+	return string(b)
+}
+
+// FuzzMyersParity pins the bit-parallel kernels to the scalar DP on
+// arbitrary byte strings — including >64-byte block inputs and
+// non-ASCII bytes — across MyersDistance, MyersWithin, QueryDP and the
+// banded LevenshteinWithin.
+func FuzzMyersParity(f *testing.F) {
+	f.Add("", "", 0)
+	f.Add("kitten", "sitting", 2)
+	f.Add("abcdefgh", "abcdxfgh", 1)
+	f.Add("na\xffve", "naive", 3)
+	f.Add(strings.Repeat("abcdefgh", 12), strings.Repeat("abcdefgi", 12), 15)
+	f.Add(strings.Repeat("\xfe\x00", 40), strings.Repeat("\xfe", 90), 70)
+	f.Add(strings.Repeat("x", 64), strings.Repeat("x", 65), 1)
+	f.Fuzz(func(t *testing.T, x, y string, k int) {
+		if len(x) > 512 || len(y) > 512 {
+			return
+		}
+		if k < -1 {
+			k = -k
+		}
+		if k > 1024 {
+			k %= 1024
+		}
+		want := refLevenshtein(x, y)
+		if got := Levenshtein(x, y); got != want {
+			t.Fatalf("Levenshtein(%q, %q) = %d, want %d", x, y, got, want)
+		}
+		if got := MyersDistance(x, y); got != want {
+			t.Fatalf("MyersDistance(%q, %q) = %d, want %d", x, y, got, want)
+		}
+		dp := NewQueryDP(x)
+		if got := dp.Distance(y); got != want {
+			t.Fatalf("QueryDP(%q).Distance(%q) = %d, want %d", x, y, got, want)
+		}
+		wd, wok := 0, false
+		if k >= 0 && want <= k {
+			wd, wok = want, true
+		}
+		if gd, gok := MyersWithin(x, y, k); gd != wd || gok != wok {
+			t.Fatalf("MyersWithin(%q, %q, %d) = (%d, %v), want (%d, %v)", x, y, k, gd, gok, wd, wok)
+		}
+		if gd, gok := dp.Within(y, k); gd != wd || gok != wok {
+			t.Fatalf("QueryDP(%q).Within(%q, %d) = (%d, %v), want (%d, %v)", x, y, k, gd, gok, wd, wok)
+		}
+		if gd, gok := LevenshteinWithin(x, y, k); gd != wd || gok != wok {
+			t.Fatalf("LevenshteinWithin(%q, %q, %d) = (%d, %v), want (%d, %v)", x, y, k, gd, gok, wd, wok)
+		}
+	})
+}

@@ -84,9 +84,11 @@ func (t *BKTree) Insert(id int, s string) {
 		t.size.Add(1)
 		return
 	}
+	// One PEQ build serves every node on the insertion path.
+	dp := editdp.NewQueryDP(s)
 	cur := t.root.Load()
 	for {
-		d := editdp.Levenshtein(s, cur.entry.S)
+		d := dp.Distance(cur.entry.S)
 		child := cur.child(d)
 		if child == nil {
 			cur.addEdge(d, n)
@@ -139,17 +141,42 @@ func (t *BKTree) NearestKFilterStatsInto(dst []Match, query string, k int, accep
 	}
 	// best holds up to k matches sorted ascending by (distance, id).
 	best := dst[:0]
+	dp := editdp.NewQueryDP(query)
 	var walk func(n *bkNode)
 	walk = func(n *bkNode) {
 		st.Candidates++
-		st.Verifications++
-		d := editdp.Levenshtein(query, n.entry.S)
+		edges := n.loadEdges()
+		var d int
+		if len(best) == k {
+			// Frontier full: distances beyond maxEdge+r can neither enter
+			// the best list (needs d <= r) nor admit any child (needs
+			// e.dist >= d-r), so the verification is budget-bounded — and
+			// when length skew alone exceeds the budget, skipped outright.
+			r := int(best[len(best)-1].Dist)
+			budget := r
+			if len(edges) > 0 {
+				budget = edges[len(edges)-1].dist + r
+			}
+			if ld := len(query) - len(n.entry.S); ld > budget || -ld > budget {
+				return
+			}
+			st.Verifications++
+			var ok bool
+			if d, ok = dp.Within(n.entry.S, budget); !ok {
+				return
+			}
+		} else {
+			// Frontier not yet full: every node enters the list and every
+			// child is visited, so the exact distance is required.
+			st.Verifications++
+			d = dp.Distance(n.entry.S)
+		}
 		if accept == nil || accept(n.entry.ID) {
 			if len(best) < k || float64(d) <= best[len(best)-1].Dist {
 				best = PushBestK(best, Match{ID: n.entry.ID, S: n.entry.S, Dist: float64(d)}, k)
 			}
 		}
-		for _, e := range n.loadEdges() {
+		for _, e := range edges {
 			if len(best) < k {
 				walk(e.node)
 				continue
@@ -184,6 +211,7 @@ func (t *BKTree) RangeIter(query string, k int) Iterator {
 	it := &bkIter{query: query, k: k}
 	if root := t.root.Load(); root != nil && k >= 0 {
 		it.stack = []*bkNode{root}
+		it.dp = editdp.NewQueryDP(query)
 	}
 	return it
 }
@@ -193,6 +221,7 @@ type bkIter struct {
 	k     int
 	stack []*bkNode
 	st    Stats
+	dp    *editdp.QueryDP
 }
 
 func (it *bkIter) Stats() Stats { return it.st }
@@ -202,11 +231,25 @@ func (it *bkIter) Next() (Match, bool) {
 		n := it.stack[len(it.stack)-1]
 		it.stack = it.stack[:len(it.stack)-1]
 		it.st.Candidates++
+		edges := n.loadEdges()
+		// Distances beyond maxEdge+k can neither match (needs d <= k) nor
+		// admit any child (needs e.dist >= d-k), so the verification is
+		// budget-bounded — and when length skew alone exceeds the budget,
+		// skipped outright. On leaves the budget collapses to k itself.
+		budget := it.k
+		if len(edges) > 0 {
+			budget = edges[len(edges)-1].dist + it.k
+		}
+		if ld := len(it.query) - len(n.entry.S); ld > budget || -ld > budget {
+			continue
+		}
 		it.st.Verifications++
-		d := editdp.Levenshtein(it.query, n.entry.S)
+		d, ok := it.dp.Within(n.entry.S, budget)
+		if !ok {
+			continue
+		}
 		// Triangle inequality: answers in child c require |d - c| <= k.
 		// Push descending so children pop in ascending distance order.
-		edges := n.loadEdges()
 		for i := len(edges) - 1; i >= 0; i-- {
 			if edges[i].dist >= d-it.k && edges[i].dist <= d+it.k {
 				it.stack = append(it.stack, edges[i].node)

@@ -3,6 +3,8 @@ package index
 import (
 	"sort"
 	"sync/atomic"
+
+	"repro/internal/editdp"
 )
 
 // Trie is a shared-prefix tree searched with the classic edit-distance
@@ -129,19 +131,30 @@ func (t *Trie) RangeStats(query string, k int) ([]Match, Stats) {
 func (t *Trie) RangeIter(query string, k int) Iterator {
 	it := &trieIter{query: query, k: k}
 	if k >= 0 {
-		m := len(query)
-		row := make([]int, m+1)
-		for j := range row {
-			row[j] = j
+		if dp := editdp.NewQueryDP(query); dp.SingleWord() {
+			// Bit-parallel row propagation: one 17-byte MyersState per
+			// frame instead of an O(|query|) integer row per edge.
+			it.dp = dp
+			it.stack = []trieFrame{{node: t.root, ms: dp.Start()}}
+		} else {
+			// Scalar fallback: query longer than one word (or the kernel
+			// is disabled), keep the classic row frames.
+			m := len(query)
+			row := make([]int, m+1)
+			for j := range row {
+				row[j] = j
+			}
+			it.stack = []trieFrame{{node: t.root, row: row}}
 		}
-		it.stack = []trieFrame{{node: t.root, row: row}}
 	}
 	return it
 }
 
 type trieFrame struct {
-	node *trieNode
-	row  []int
+	node  *trieNode
+	row   []int             // scalar DP row (dp == nil)
+	ms    editdp.MyersState // bit-parallel column (dp != nil)
+	depth int               // trie depth of node, for RowMin
 }
 
 type trieIter struct {
@@ -150,6 +163,7 @@ type trieIter struct {
 	stack   []trieFrame
 	pending []Match
 	st      Stats
+	dp      *editdp.QueryDP // non-nil: bit-parallel traversal
 }
 
 func (it *trieIter) Stats() Stats { return it.st }
@@ -167,6 +181,10 @@ func (it *trieIter) Next() (Match, bool) {
 		f := it.stack[len(it.stack)-1]
 		it.stack = it.stack[:len(it.stack)-1]
 		it.st.Candidates++
+		if it.dp != nil {
+			it.nextBitParallel(f)
+			continue
+		}
 		m := len(it.query)
 		if f.row[m] <= it.k {
 			for _, e := range f.node.loadTerminal() {
@@ -183,6 +201,30 @@ func (it *trieIter) Next() (Match, bool) {
 			cur := nextRow(it.query, f.row, edges[i].c)
 			it.stack = append(it.stack, trieFrame{node: edges[i].node, row: cur})
 		}
+	}
+}
+
+// nextBitParallel expands one frame of the Myers traversal: identical
+// visit order, match set and distances to the scalar row walk.
+func (it *trieIter) nextBitParallel(f trieFrame) {
+	if f.ms.Score <= it.k {
+		for _, e := range f.node.loadTerminal() {
+			it.pending = append(it.pending, Match{ID: e.ID, S: e.S, Dist: float64(f.ms.Score)})
+		}
+	}
+	// Prune when even the cheapest row cell exceeds k; when the score is
+	// already within k the minimum cannot exceed it, so skip the fold.
+	if f.ms.Score > it.k && it.dp.RowMin(f.ms, f.depth) > it.k {
+		return
+	}
+	edges := f.node.loadEdges()
+	for i := len(edges) - 1; i >= 0; i-- {
+		it.st.Verifications++
+		it.stack = append(it.stack, trieFrame{
+			node:  edges[i].node,
+			ms:    it.dp.Step(f.ms, edges[i].c),
+			depth: f.depth + 1,
+		})
 	}
 }
 

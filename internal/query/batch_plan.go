@@ -40,6 +40,7 @@ func (e *Engine) buildBatchTree(q *Query, d *planDecision, rels []*relation.Rela
 	alias := q.From[0].Alias
 	size := e.batchLeafSize(q)
 	cp.batchSize = size
+	cp.kernel = d.kernel
 
 	var access BatchOperator
 	switch d.kind {
@@ -119,12 +120,19 @@ func wrapBatchParallel(ctx *execCtx, d *planDecision, build func(shard, shards i
 }
 
 // vectorizeNode is the EXPLAIN pseudo-root of a vectorized plan: it
-// surfaces the planner's vectorize decision and the leaf block size at
-// the top of the rendered tree.
+// surfaces the planner's vectorize decision, the leaf block size and —
+// when the plan has an edit-distance conjunct — which distance kernel
+// serves it (bit-parallel Myers vs the weighted TargetDP).
 type vectorizeNode struct {
-	child any
-	size  int
+	child  any
+	size   int
+	kernel string
 }
 
-func (v *vectorizeNode) Describe() string  { return fmt.Sprintf("Vectorize(batch=%d)", v.size) }
+func (v *vectorizeNode) Describe() string {
+	if v.kernel != "" {
+		return fmt.Sprintf("Vectorize(batch=%d, kernel=%s)", v.size, v.kernel)
+	}
+	return fmt.Sprintf("Vectorize(batch=%d)", v.size)
+}
 func (v *vectorizeNode) childNodes() []any { return []any{v.child} }

@@ -18,7 +18,9 @@ package query
 
 import (
 	"fmt"
+	"math"
 
+	"repro/internal/editdp"
 	"repro/internal/patdist"
 	"repro/internal/relation"
 )
@@ -140,6 +142,34 @@ func (e *Engine) compileSim(ex SimExpr, alias string) predFn {
 
 	if ex.Target.IsLit {
 		if c := e.calc(ex.RuleSet); c != nil {
+			if myersEligible(c, ex.Target.Lit, radius) {
+				// Unit-cost conjunct: the bit-parallel Myers kernel, with the
+				// target's PEQ table hoisted once per compiled pipeline. Rows
+				// containing bytes the rule set never mentions carry +Inf
+				// costs under the weighted semantics, so they take the
+				// TargetDP fallback — results stay bit-identical to it.
+				qdp := editdp.NewQueryDP(ex.Target.Lit)
+				fall := c.NewTargetDP(ex.Target.Lit)
+				k := int(radius) // exact for integer distances: d <= radius iff d <= floor(radius)
+				return func(t *relation.Tuple, dist *float64, has *bool) (bool, error) {
+					x, err := field(t, dist, has)
+					if err != nil {
+						return false, err
+					}
+					var d float64
+					var ok bool
+					if c.Covers(x) {
+						di, okd := qdp.Within(x, k)
+						d, ok = float64(di), okd
+					} else {
+						d, ok = fall.Within(x, radius)
+					}
+					if ok && !*has {
+						*dist, *has = d, true
+					}
+					return ok, nil
+				}
+			}
 			// The hot path of every scan+filter plan: a literal target under
 			// an edit-like rule set runs the vectorized distance kernel —
 			// dense per-target cost tables, reused DP rows, bit-identical
@@ -179,6 +209,52 @@ func (e *Engine) compileSim(ex SimExpr, alias string) predFn {
 		}
 		return ok, nil
 	}
+}
+
+// myersEligible reports whether a literal-target similarity conjunct
+// may be served by the bit-parallel Myers kernel: the closed cost
+// tables must realise the classical unit distance, the target must be
+// covered by the rule alphabet, and the radius must be a usable
+// integer budget. compileSim and the planner's kernel record share
+// this predicate so EXPLAIN never claims a kernel the filter does not
+// run.
+func myersEligible(c *editdp.Calculator, target string, radius float64) bool {
+	return editdp.BitParallelEnabled() && c.Unit() && c.Covers(target) &&
+		radius >= 0 && radius <= math.MaxInt32
+}
+
+// filterKernel reports which distance kernel the compiled filter path
+// will run for the predicate's first literal-target edit conjunct in
+// evaluation order: "myers", "targetdp", or "" when no such conjunct
+// exists. Recorded in the plan decision for EXPLAIN.
+func (e *Engine) filterKernel(ex Expr) string {
+	switch ex := ex.(type) {
+	case SimExpr:
+		if ex.Pattern || !ex.Target.IsLit {
+			return ""
+		}
+		c := e.calc(ex.RuleSet)
+		if c == nil {
+			return ""
+		}
+		if myersEligible(c, ex.Target.Lit, ex.Radius) {
+			return "myers"
+		}
+		return "targetdp"
+	case AndExpr:
+		if k := e.filterKernel(ex.L); k != "" {
+			return k
+		}
+		return e.filterKernel(ex.R)
+	case OrExpr:
+		if k := e.filterKernel(ex.L); k != "" {
+			return k
+		}
+		return e.filterKernel(ex.R)
+	case NotExpr:
+		return e.filterKernel(ex.E)
+	}
+	return ""
 }
 
 // compileWithin hoists Engine.within's evaluator resolution (two

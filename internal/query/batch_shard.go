@@ -24,6 +24,7 @@ func (e *Engine) buildShardedBatchTree(q *Query, d *planDecision, view *relation
 	alias := q.From[0].Alias
 	size := e.batchLeafSize(q)
 	cp.batchSize = size
+	cp.kernel = d.kernel
 
 	children := make([]BatchOperator, n)
 	var access BatchOperator

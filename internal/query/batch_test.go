@@ -23,8 +23,10 @@ func TestVectorizeDecisionInExplain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(res.Plan, "Vectorize(batch=256)") {
-		t.Fatalf("vectorized plan lacks the default-size Vectorize root:\n%s", res.Plan)
+	// The index-served range plan also surfaces the decided distance
+	// kernel (bit-parallel Myers inside the BK-tree traversal).
+	if !strings.HasPrefix(res.Plan, "Vectorize(batch=256, kernel=myers)") {
+		t.Fatalf("vectorized plan lacks the default-size Vectorize root with the kernel:\n%s", res.Plan)
 	}
 
 	res, err = e.Execute(`EXPLAIN SELECT a.seq FROM dna a, dna b WHERE a.seq SIMILAR TO b.seq WITHIN 1 USING unit-edits`)
@@ -87,7 +89,7 @@ func TestSetBatchSizeInvalidatesPlanCache(t *testing.T) {
 	if res.Stats.PlanCacheHit {
 		t.Fatal("plan cache served a row plan after batching was re-enabled")
 	}
-	if !strings.Contains(res.Plan, "Vectorize(batch=64)") {
+	if !strings.Contains(res.Plan, "Vectorize(batch=64,") {
 		t.Fatalf("re-enabled batching did not adopt the new size:\n%s", res.Plan)
 	}
 }

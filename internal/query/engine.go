@@ -262,8 +262,15 @@ func (e *Engine) CacheStats() CacheStats {
 // the knob (see decideWith).
 func (e *Engine) cacheEpoch(batchSize int) string {
 	workers, minRows := e.parallelConfig()
-	return fmt.Sprintf("%d|%d|%d|%d|%d|%s", e.catalog.StatsVersion(), e.rulesetVersion(), workers, minRows,
-		batchSize, e.catalog.ShardSignature())
+	// The bit-parallel kernel toggle is part of the epoch: decisions
+	// record which kernel serves the plan, so flipping the knob must
+	// start a fresh key space rather than surface stale kernel labels.
+	kernel := 0
+	if editdp.BitParallelEnabled() {
+		kernel = 1
+	}
+	return fmt.Sprintf("%d|%d|%d|%d|%d|%d|%s", e.catalog.StatsVersion(), e.rulesetVersion(), workers, minRows,
+		batchSize, kernel, e.catalog.ShardSignature())
 }
 
 // normalizeQueryText canonicalises statement text for cache keying:

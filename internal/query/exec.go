@@ -64,7 +64,8 @@ func (c *execCtx) snapshot() ExecStats {
 type compiledPlan struct {
 	root      Operator
 	broot     BatchOperator
-	batchSize int // leaf block size when broot is set (EXPLAIN)
+	batchSize int    // leaf block size when broot is set (EXPLAIN)
+	kernel    string // decided distance kernel when broot is set (EXPLAIN)
 	ctx       *execCtx
 	columns   []string
 }
@@ -74,7 +75,7 @@ type compiledPlan struct {
 // decision is visible at the top of the tree.
 func (p *compiledPlan) describe() string {
 	if p.broot != nil {
-		return renderTree(&vectorizeNode{child: p.broot, size: p.batchSize})
+		return renderTree(&vectorizeNode{child: p.broot, size: p.batchSize, kernel: p.kernel})
 	}
 	return renderTree(p.root)
 }

@@ -1,0 +1,105 @@
+package query
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/editdp"
+)
+
+// TestExplainShowsKernelDispatch pins the plan-decision kernel record:
+// unit-cost conjuncts dispatch to the bit-parallel Myers kernel,
+// weighted rule sets stay on TargetDP, targets outside the rule
+// alphabet fall back to TargetDP, and disabling the kernel relabels
+// (and re-keys) every plan.
+func TestExplainShowsKernelDispatch(t *testing.T) {
+	e := testEngine(t)
+
+	// Non-integral radius forces a scan, so the compiled filter serves
+	// the conjunct; unit-edits is unit-cost and covers the target.
+	res, err := e.Execute(`EXPLAIN SELECT * FROM words WHERE seq SIMILAR TO "color" WITHIN 1.5 USING unit-edits`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Plan, "kernel=myers") || !strings.Contains(res.Plan, "Scan(") {
+		t.Errorf("unit-cost scan filter should dispatch to myers:\n%s", res.Plan)
+	}
+
+	// Weighted rule set: the vectorized weighted kernel serves it.
+	res, err = e.Execute(`EXPLAIN SELECT * FROM words WHERE seq SIMILAR TO "color" WITHIN 1.5 USING cheap_vowels`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Plan, "kernel=targetdp") {
+		t.Errorf("weighted rule set should stay on targetdp:\n%s", res.Plan)
+	}
+
+	// Target byte outside the rule alphabet: +Inf costs under the
+	// weighted semantics, so Myers must not serve it.
+	res, err = e.Execute(`EXPLAIN SELECT * FROM words WHERE seq SIMILAR TO "c0lor" WITHIN 1.5 USING unit-edits`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Plan, "kernel=targetdp") {
+		t.Errorf("uncovered target should fall back to targetdp:\n%s", res.Plan)
+	}
+
+	// Index-served range plan: the BK-tree traversal runs the
+	// query-scoped Myers kernel.
+	res, err = e.Execute(`EXPLAIN SELECT * FROM words WHERE seq SIMILAR TO "color" WITHIN 1 USING unit-edits`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Plan, "kernel=myers") || !strings.Contains(res.Plan, "IndexRange") {
+		t.Errorf("index range plan should record the myers kernel:\n%s", res.Plan)
+	}
+
+	// Kernel disabled: fresh cache epoch, honest labels.
+	editdp.SetBitParallel(false)
+	defer editdp.SetBitParallel(true)
+	res, err = e.Execute(`EXPLAIN SELECT * FROM words WHERE seq SIMILAR TO "color" WITHIN 1 USING unit-edits`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Plan, "kernel=scalar") {
+		t.Errorf("disabled kernel should relabel the index plan scalar:\n%s", res.Plan)
+	}
+	res, err = e.Execute(`EXPLAIN SELECT * FROM words WHERE seq SIMILAR TO "color" WITHIN 1.5 USING unit-edits`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Plan, "kernel=targetdp") {
+		t.Errorf("disabled kernel should send scan filters to targetdp:\n%s", res.Plan)
+	}
+}
+
+// TestKernelToggleResultParity pins that flipping the bit-parallel
+// kernel never changes a result row: the same statements run with the
+// kernel on and off must agree byte for byte, across index-served,
+// compiled-filter and fallback shapes.
+func TestKernelToggleResultParity(t *testing.T) {
+	defer editdp.SetBitParallel(true)
+	stmts := []string{
+		`SELECT * FROM words WHERE seq SIMILAR TO "color" WITHIN 1 USING unit-edits`,
+		`SELECT * FROM words WHERE seq SIMILAR TO "color" WITHIN 1.5 USING unit-edits ORDER BY dist`,
+		`SELECT * FROM words WHERE seq SIMILAR TO "c0lor" WITHIN 2.5 USING unit-edits`,
+		`SELECT * FROM words WHERE seq SIMILAR TO "colour" WITHIN 0.4 USING cheap_vowels`,
+		`SELECT * FROM words WHERE seq NEAREST 3 TO "colr" USING unit-edits`,
+	}
+	for _, stmt := range stmts {
+		editdp.SetBitParallel(true)
+		on, err := testEngine(t).Execute(stmt)
+		if err != nil {
+			t.Fatalf("%s (kernel on): %v", stmt, err)
+		}
+		editdp.SetBitParallel(false)
+		off, err := testEngine(t).Execute(stmt)
+		if err != nil {
+			t.Fatalf("%s (kernel off): %v", stmt, err)
+		}
+		if !reflect.DeepEqual(on.Rows, off.Rows) {
+			t.Errorf("%s: kernel on/off rows differ:\non:  %v\noff: %v", stmt, on.Rows, off.Rows)
+		}
+	}
+}

@@ -18,6 +18,7 @@ package query
 import (
 	"fmt"
 
+	"repro/internal/editdp"
 	"repro/internal/relation"
 )
 
@@ -56,6 +57,8 @@ type planDecision struct {
 	workers   int          // worker count when parallel (or gather fan-out)
 	shards    int          // > 0: scatter-gather plan over a ShardedRelation
 	vectorize bool         // build the batch-at-a-time pipeline
+	kernel    string       // distance kernel serving the primary edit conjunct
+	// ("myers", "targetdp", "scalar", or "" when none)
 }
 
 // stepChoice is one edge of the decided join order. The edge is named
@@ -145,7 +148,32 @@ func (e *Engine) decideWith(q *Query, batchSize int) (*planDecision, error) {
 	// key space). Every access family has a batch build; joins run their
 	// row chain behind the adapters.
 	d.vectorize = batchSize > 0
+	d.kernel = e.kernelFor(q, d)
 	return d, nil
+}
+
+// kernelFor records which distance kernel serves the plan's primary
+// edit conjunct, for EXPLAIN. Index-served plans (BK-tree, trie) run
+// the query-scoped bit-parallel kernel inside the index traversal;
+// scan and join plans are classified by the compiled filter's own
+// dispatch predicate. The record is advisory — the filter re-checks
+// eligibility at compile time — and the bit-parallel toggle is part of
+// the plan-cache epoch, so a cached label never goes stale.
+func (e *Engine) kernelFor(q *Query, d *planDecision) string {
+	indexKernel := "scalar"
+	if editdp.BitParallelEnabled() {
+		indexKernel = "myers"
+	}
+	switch d.kind {
+	case accessNearest:
+		if d.via == "bktree" {
+			return indexKernel
+		}
+		return "targetdp" // scan nearest: TargetDP with a shrinking bound
+	case accessRange:
+		return indexKernel
+	}
+	return e.filterKernel(q.Where)
 }
 
 // decideNearest validates a NEAREST query and picks the access

@@ -83,6 +83,10 @@ type (
 	// TransformEngine computes exact cost-bounded transformation
 	// distances for arbitrary decidable rule sets.
 	TransformEngine = transform.Engine
+	// EditQueryDP is a query-scoped bit-parallel (Myers) unit-cost
+	// kernel: the pattern's PEQ bitmaps are built once, then Distance /
+	// Within stream candidates in O(len/64) words each.
+	EditQueryDP = editdp.QueryDP
 )
 
 var (
@@ -95,6 +99,15 @@ var (
 	Levenshtein = editdp.Levenshtein
 	// LevenshteinWithin is the banded thresholded variant.
 	LevenshteinWithin = editdp.LevenshteinWithin
+	// MyersDistance is the bit-parallel unit-cost edit distance
+	// (Myers 1999 / Hyyrö blocks); bit-identical to Levenshtein.
+	MyersDistance = editdp.MyersDistance
+	// MyersWithin is the thresholded bit-parallel variant with early
+	// abandon; bit-identical verdicts to LevenshteinWithin.
+	MyersWithin = editdp.MyersWithin
+	// NewEditQueryDP builds a query-scoped bit-parallel kernel for one
+	// pattern, amortising the PEQ tables across many candidates.
+	NewEditQueryDP = editdp.NewQueryDP
 )
 
 // Pattern language P.
