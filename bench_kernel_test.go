@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/editdp"
+	"repro/internal/metric"
 )
 
 // kernelWords is the shared workload for the kernel gate: one fixed
@@ -63,3 +64,96 @@ func BenchmarkKernelMyersVsScalar(b *testing.B) {
 }
 
 var benchSink int
+
+// kernelVecs is the shared workload for the vector kernel gates: one
+// fixed query against 512 random candidates, all of the given
+// dimension. Components are uniform in [-1,1), so distances
+// concentrate around sqrt(2d/3) — far above the tight radius the
+// early-abandon benchmark probes with.
+func kernelVecs(dim int) (metric.Vector, []metric.Vector) {
+	rng := rand.New(rand.NewSource(7))
+	gen := func() metric.Vector {
+		v := make(metric.Vector, dim)
+		for i := range v {
+			v[i] = float32(rng.Float64()*2 - 1)
+		}
+		return v
+	}
+	q := gen()
+	cands := make([]metric.Vector, 512)
+	for i := range cands {
+		cands[i] = gen()
+	}
+	return q, cands
+}
+
+// BenchmarkKernelVecL2 — the batch L2 kernel over 512 64-dimensional
+// candidates, the column shape the vectorized filter and nearest-k
+// operators feed it. Informational ns_per_op plus the denominator of
+// the KernelVecL2Abandon gate's sibling workload.
+func BenchmarkKernelVecL2(b *testing.B) {
+	m, _ := metric.Lookup("l2")
+	q, cands := kernelVecs(64)
+	out := make([]float64, len(cands))
+	sink := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metric.DistBatch(m, q, cands, out)
+		sink += out[0]
+	}
+	benchSinkF = sink
+}
+
+// BenchmarkKernelVecCosine — the batch cosine kernel on the identical
+// workload. Cosine has no early-abandon form, so the batch kernel is
+// its entire fast path; the entry is informational (warn-only).
+func BenchmarkKernelVecCosine(b *testing.B) {
+	m, _ := metric.Lookup("cosine")
+	q, cands := kernelVecs(64)
+	out := make([]float64, len(cands))
+	sink := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metric.DistBatch(m, q, cands, out)
+		sink += out[0]
+	}
+	benchSinkF = sink
+}
+
+// BenchmarkKernelVecL2Full — full 384-dimensional L2 distances, the
+// denominator of the early-abandon gate.
+func BenchmarkKernelVecL2Full(b *testing.B) {
+	m, _ := metric.Lookup("l2")
+	q, cands := kernelVecs(384)
+	out := make([]float64, len(cands))
+	sink := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metric.DistBatch(m, q, cands, out)
+		sink += out[0]
+	}
+	benchSinkF = sink
+}
+
+// BenchmarkKernelVecL2Abandon — the early-abandoning Within test on
+// the identical 384-dimensional workload with a radius nothing
+// matches: partial sums cross the squared budget at the first 64-lane
+// block check, so each candidate does ~1/6 of the full work.
+// BENCH_baseline.json gates this as a ratio of KernelVecL2Full — the
+// abandon path must stay meaningfully cheaper than computing full
+// distances, else the WITHIN scan path has silently lost its pruning.
+func BenchmarkKernelVecL2Abandon(b *testing.B) {
+	m, _ := metric.Lookup("l2")
+	q, cands := kernelVecs(384)
+	sink := 0.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range cands {
+			d, _ := metric.Within(m, q, c, 0.5)
+			sink += d
+		}
+	}
+	benchSinkF = sink
+}
+
+var benchSinkF float64

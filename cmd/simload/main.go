@@ -18,6 +18,14 @@
 // inserts, and the report carries separate read and write throughput
 // and latency quantiles — the ingest-vs-query numbers in
 // EXPERIMENTS.md come from this mode.
+//
+// -vec-dim > 0 switches the read workload from string similarity to
+// vector similarity over the vec column: WITHIN requests carry rotating
+// d-dimensional vector-literal targets with the -vec-radius bound,
+// NEAREST requests (per -nearest-frac) rotate the same targets, and
+// -write-frac writes ingest vector rows. -vec-metric picks the distance
+// (l2 or cosine). The vector serving numbers in EXPERIMENTS.md and the
+// nightly BENCH_nightly_vector.json come from this mode.
 package main
 
 import (
@@ -26,12 +34,15 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/metric"
 )
 
 type listFlag []string
@@ -60,16 +71,24 @@ func main() {
 	writeFrac := flag.Float64("write-frac", 0, "fraction of requests that are /ingest writes (0..1)")
 	nearestFrac := flag.Float64("nearest-frac", 0, "fraction of read requests that are NEAREST top-k queries (0..1)")
 	nearestK := flag.Int("nearest-k", 10, "k for the NEAREST fraction of the workload")
+	vecDim := flag.Int("vec-dim", 0, "vector dimension: > 0 switches to a vector-similarity workload over the vec column")
+	vecMetric := flag.String("vec-metric", "l2", "distance metric for the vector workload (l2 | cosine)")
+	vecRadius := flag.Float64("vec-radius", 1.0, "WITHIN bound for the vector workload")
 	label := flag.String("label", "", "workload label embedded in the report (e.g. sharded-4)")
 	baseline := flag.String("baseline", "", "earlier report to compare against (adds baseline + speedup blocks)")
 	out := flag.String("out", "BENCH_serving.json", "result file ('-' for stdout)")
 	var extra listFlag
 	flag.Var(&extra, "query", "extra fixed statement to mix in (repeatable)")
 	flag.Parse()
-	if err := validateFrac("-write-frac", *writeFrac); err != nil {
-		failUsage(err)
+	cfg := flagConfig{
+		writeFrac:   *writeFrac,
+		nearestFrac: *nearestFrac,
+		nearestK:    *nearestK,
+		vecDim:      *vecDim,
+		vecMetric:   *vecMetric,
+		vecRadius:   *vecRadius,
 	}
-	if err := validateFrac("-nearest-frac", *nearestFrac); err != nil {
+	if err := cfg.validate(); err != nil {
 		failUsage(err)
 	}
 
@@ -79,8 +98,17 @@ func main() {
 		fail(err)
 	}
 
+	vec := *vecDim > 0
 	stmt := fmt.Sprintf("SELECT seq, dist FROM %s WHERE seq SIMILAR TO ? WITHIN ? USING %s LIMIT 20", *relName, *ruleSet)
 	nearestStmt := fmt.Sprintf("SELECT seq, dist FROM %s WHERE seq NEAREST %d TO ? USING %s", *relName, *nearestK, *ruleSet)
+	targets := defaultTargets
+	var radiusArg any = *radius
+	if vec {
+		stmt = fmt.Sprintf("SELECT id, dist FROM %s WHERE vec SIMILAR TO ? WITHIN ? USING %s LIMIT 20", *relName, *vecMetric)
+		nearestStmt = fmt.Sprintf("SELECT id, dist FROM %s WHERE vec NEAREST %d TO ? USING %s", *relName, *nearestK, *vecMetric)
+		targets = vecTargets(*vecDim)
+		radiusArg = *vecRadius
+	}
 	var preparedID, nearestID string
 	if !*noPrepare {
 		id, err := prepare(client, *addr, stmt)
@@ -97,9 +125,9 @@ func main() {
 
 	// Warm up (fills the plan and decision caches, warms connections).
 	for i := 0; i < *warmup; i++ {
-		body := requestBody(preparedID, stmt, defaultTargets[i%len(defaultTargets)], *radius, extra, i)
+		body := requestBody(preparedID, stmt, targets[i%len(targets)], radiusArg, vec, extra, i)
 		if *nearestFrac > 0 && i%2 == 1 {
-			body = nearestBody(nearestID, nearestStmt, defaultTargets[i%len(defaultTargets)])
+			body = nearestBody(nearestID, nearestStmt, targets[i%len(targets)], vec)
 		}
 		if _, err := post(client, *addr+"/query", body); err != nil {
 			fail(fmt.Errorf("warmup request: %w", err))
@@ -149,6 +177,9 @@ func main() {
 				// writes, not alternating single-mode phases.
 				if *writeFrac > 0 && float64(n*997%1000) < *writeFrac*1000 {
 					body := ingestBody(*relName, n)
+					if vec {
+						body = ingestVecBody(*relName, *vecDim, n)
+					}
 					t0 := time.Now()
 					_, err := post(client, *addr+"/ingest", body)
 					if err != nil {
@@ -158,11 +189,11 @@ func main() {
 					r.writeLats = append(r.writeLats, float64(time.Since(t0).Microseconds())/1000)
 					continue
 				}
-				body := requestBody(preparedID, stmt, defaultTargets[n%len(defaultTargets)], *radius, extra, n)
+				body := requestBody(preparedID, stmt, targets[n%len(targets)], radiusArg, vec, extra, n)
 				// Deterministic WITHIN/NEAREST interleave (stride 991 is
 				// coprime to 1000, like the write stride below).
 				if *nearestFrac > 0 && float64(n*991%1000) < *nearestFrac*1000 {
-					body = nearestBody(nearestID, nearestStmt, defaultTargets[n%len(defaultTargets)])
+					body = nearestBody(nearestID, nearestStmt, targets[n%len(targets)], vec)
 				}
 				t0 := time.Now()
 				_, err := post(client, *addr+"/query", body)
@@ -202,6 +233,9 @@ func main() {
 			"write_frac":   *writeFrac,
 			"nearest_frac": *nearestFrac,
 			"nearest_k":    *nearestK,
+			"vec_dim":      *vecDim,
+			"vec_metric":   *vecMetric,
+			"vec_radius":   *vecRadius,
 		},
 		"total_requests": len(all) + len(writes),
 		"errors":         errors + writeErrors,
@@ -344,13 +378,30 @@ func latencySummary(sorted []float64) map[string]float64 {
 	}
 }
 
+// vecTargets builds the rotating probe vectors of the vector workload:
+// ten deterministic d-dimensional points in [-1,1)^d (fixed seed, so
+// every run and every baseline comparison probes the same targets),
+// rendered in the canonical vector-literal syntax.
+func vecTargets(dim int) []string {
+	rng := rand.New(rand.NewSource(42))
+	out := make([]string, 10)
+	for i := range out {
+		v := make(metric.Vector, dim)
+		for j := range v {
+			v[j] = float32(rng.Float64()*2 - 1)
+		}
+		out[i] = metric.Format(v)
+	}
+	return out
+}
+
 // nearestBody builds one NEAREST top-k request: the prepared statement
 // when available, literal text otherwise.
-func nearestBody(preparedID, stmt, target string) map[string]any {
+func nearestBody(preparedID, stmt, target string, vec bool) map[string]any {
 	if preparedID != "" {
 		return map[string]any{"id": preparedID, "params": []any{target}}
 	}
-	return map[string]any{"query": strings.Replace(stmt, "?", fmt.Sprintf("%q", target), 1)}
+	return map[string]any{"query": literalStatement(stmt, target, nil, vec)}
 }
 
 // ingestBody builds one /ingest write: a unique single row derived from
@@ -367,41 +418,47 @@ func ingestBody(rel string, n int) map[string]any {
 	}
 }
 
+// ingestVecBody builds one vector-row /ingest write, the vector derived
+// deterministically from the request counter.
+func ingestVecBody(rel string, dim, n int) map[string]any {
+	rng := rand.New(rand.NewSource(int64(n)))
+	v := make(metric.Vector, dim)
+	for j := range v {
+		v[j] = float32(rng.Float64()*2 - 1)
+	}
+	return map[string]any{
+		"relation": rel,
+		"rows":     []map[string]any{{"vec": metric.Format(v), "attrs": map[string]string{"src": "simload"}}},
+	}
+}
+
 // requestBody builds one /query body: usually the prepared statement
 // with rotated bindings; every len(extra)+1-th request (when -query
 // statements were given) sends one of those verbatim instead.
-func requestBody(preparedID, stmt, target string, radius int, extra []string, n int) map[string]any {
+func requestBody(preparedID, stmt, target string, radius any, vec bool, extra []string, n int) map[string]any {
 	if len(extra) > 0 && n%(len(extra)+4) < len(extra) {
 		return map[string]any{"query": extra[n%(len(extra)+4)]}
 	}
 	if preparedID != "" {
 		return map[string]any{"id": preparedID, "params": []any{target, radius}}
 	}
-	lit := fmt.Sprintf("SELECT seq, dist FROM %s WHERE seq SIMILAR TO %q WITHIN %d USING %s LIMIT 20",
-		relationOf(stmt), target, radius, rulesetOf(stmt))
-	return map[string]any{"query": lit}
+	return map[string]any{"query": literalStatement(stmt, target, radius, vec)}
 }
 
-// relationOf / rulesetOf recover the pieces of the canonical statement
-// (simload builds it itself, so positional parsing is safe).
-func relationOf(stmt string) string {
-	fields := strings.Fields(stmt)
-	for i, f := range fields {
-		if strings.EqualFold(f, "FROM") && i+1 < len(fields) {
-			return fields[i+1]
-		}
+// literalStatement substitutes the rotating bindings into the canonical
+// parameterized statement for the -no-prepare path: the target (quoted
+// for string workloads, raw vector-literal syntax for vector ones) then
+// the radius, when the statement has a second slot.
+func literalStatement(stmt, target string, radius any, vec bool) string {
+	t := fmt.Sprintf("%q", target)
+	if vec {
+		t = target
 	}
-	return "words"
-}
-
-func rulesetOf(stmt string) string {
-	fields := strings.Fields(stmt)
-	for i, f := range fields {
-		if strings.EqualFold(f, "USING") && i+1 < len(fields) {
-			return fields[i+1]
-		}
+	s := strings.Replace(stmt, "?", t, 1)
+	if radius != nil {
+		s = strings.Replace(s, "?", fmt.Sprint(radius), 1)
 	}
-	return "edits"
+	return s
 }
 
 // quantile reads the q-th quantile from a sorted slice.
@@ -466,6 +523,49 @@ func post(client *http.Client, url string, body map[string]any) (map[string]any,
 		return nil, fmt.Errorf("%s: %s: %v", url, resp.Status, out["error"])
 	}
 	return out, nil
+}
+
+// flagConfig gathers the workload-shape flags for validation; every
+// combination the generator would silently mangle is rejected up front.
+type flagConfig struct {
+	writeFrac   float64
+	nearestFrac float64
+	nearestK    int
+	vecDim      int
+	vecMetric   string
+	vecRadius   float64
+}
+
+// validate rejects the flag combinations that would otherwise produce a
+// nonsense workload: out-of-range or NaN fractions, a non-positive
+// NEAREST k (the server rejects k < 1 per request, so every read would
+// 400), a negative vector dimension, an unregistered metric name, and a
+// non-finite or non-positive vector radius (NaN slips through plain
+// range checks — every comparison with NaN is false — and ±Inf turns
+// WITHIN into a full-table dump or a constant miss).
+func (c flagConfig) validate() error {
+	if err := validateFrac("-write-frac", c.writeFrac); err != nil {
+		return err
+	}
+	if err := validateFrac("-nearest-frac", c.nearestFrac); err != nil {
+		return err
+	}
+	if c.nearestK <= 0 {
+		return fmt.Errorf("-nearest-k must be >= 1, got %d", c.nearestK)
+	}
+	if c.vecDim < 0 {
+		return fmt.Errorf("-vec-dim must be >= 0, got %d", c.vecDim)
+	}
+	if c.vecDim > 0 {
+		if _, ok := metric.Lookup(c.vecMetric); !ok {
+			return fmt.Errorf("-vec-metric %q is not a registered metric (have: %s)",
+				c.vecMetric, strings.Join(metric.Names(), ", "))
+		}
+		if math.IsNaN(c.vecRadius) || math.IsInf(c.vecRadius, 0) || c.vecRadius <= 0 {
+			return fmt.Errorf("-vec-radius must be a finite positive number, got %g", c.vecRadius)
+		}
+	}
+	return nil
 }
 
 // validateFrac checks that a workload-mix fraction lies in [0,1]. NaN

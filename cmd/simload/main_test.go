@@ -31,6 +31,64 @@ func TestValidateFrac(t *testing.T) {
 	}
 }
 
+// TestValidateFlags pins the full flag-matrix validation: every
+// combination that would silently mangle the workload — non-positive
+// NEAREST k, negative vector dimension, unknown metric, non-finite or
+// non-positive vector radius — must be rejected up front, and the
+// string-workload defaults must not start tripping over vector-only
+// rules (vec-metric/vec-radius are ignored while -vec-dim is 0).
+func TestValidateFlags(t *testing.T) {
+	ok := flagConfig{writeFrac: 0.2, nearestFrac: 0.1, nearestK: 10, vecDim: 0, vecMetric: "l2", vecRadius: 1}
+	cases := []struct {
+		name string
+		mut  func(c flagConfig) flagConfig
+		ok   bool
+	}{
+		{"defaults", func(c flagConfig) flagConfig { return c }, true},
+		{"vec-l2", func(c flagConfig) flagConfig { c.vecDim = 64; return c }, true},
+		{"vec-cosine", func(c flagConfig) flagConfig { c.vecDim = 8; c.vecMetric = "cosine"; return c }, true},
+		{"write-frac-nan", func(c flagConfig) flagConfig { c.writeFrac = math.NaN(); return c }, false},
+		{"write-frac-high", func(c flagConfig) flagConfig { c.writeFrac = 1.5; return c }, false},
+		{"nearest-frac-inf", func(c flagConfig) flagConfig { c.nearestFrac = math.Inf(1); return c }, false},
+		{"nearest-k-zero", func(c flagConfig) flagConfig { c.nearestK = 0; return c }, false},
+		{"nearest-k-negative", func(c flagConfig) flagConfig { c.nearestK = -3; return c }, false},
+		{"vec-dim-negative", func(c flagConfig) flagConfig { c.vecDim = -1; return c }, false},
+		{"vec-bad-metric", func(c flagConfig) flagConfig { c.vecDim = 8; c.vecMetric = "nosuch"; return c }, false},
+		{"vec-radius-nan", func(c flagConfig) flagConfig { c.vecDim = 8; c.vecRadius = math.NaN(); return c }, false},
+		{"vec-radius-inf", func(c flagConfig) flagConfig { c.vecDim = 8; c.vecRadius = math.Inf(1); return c }, false},
+		{"vec-radius-neg-inf", func(c flagConfig) flagConfig { c.vecDim = 8; c.vecRadius = math.Inf(-1); return c }, false},
+		{"vec-radius-zero", func(c flagConfig) flagConfig { c.vecDim = 8; c.vecRadius = 0; return c }, false},
+		{"vec-radius-negative", func(c flagConfig) flagConfig { c.vecDim = 8; c.vecRadius = -1; return c }, false},
+		// Vector-only rules must not fire while the workload is strings.
+		{"string-ignores-vec-metric", func(c flagConfig) flagConfig { c.vecMetric = "nosuch"; return c }, true},
+		{"string-ignores-vec-radius", func(c flagConfig) flagConfig { c.vecRadius = math.NaN(); return c }, true},
+	}
+	for _, tc := range cases {
+		err := tc.mut(ok).validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: err = %v, want ok=%t", tc.name, err, tc.ok)
+		}
+	}
+}
+
+// TestLiteralStatement pins the -no-prepare substitution for both
+// workload shapes: string targets are quoted, vector targets pass
+// through raw, and the radius fills the second slot when present.
+func TestLiteralStatement(t *testing.T) {
+	got := literalStatement("SELECT seq FROM w WHERE seq SIMILAR TO ? WITHIN ? USING edits", "abc", 2, false)
+	if want := `SELECT seq FROM w WHERE seq SIMILAR TO "abc" WITHIN 2 USING edits`; got != want {
+		t.Errorf("string: %q, want %q", got, want)
+	}
+	got = literalStatement("SELECT id FROM w WHERE vec SIMILAR TO ? WITHIN ? USING l2", "[0.5,-1]", 1.5, true)
+	if want := `SELECT id FROM w WHERE vec SIMILAR TO [0.5,-1] WITHIN 1.5 USING l2`; got != want {
+		t.Errorf("vec: %q, want %q", got, want)
+	}
+	got = literalStatement("SELECT id FROM w WHERE vec NEAREST 5 TO ? USING l2", "[1,2]", nil, true)
+	if want := `SELECT id FROM w WHERE vec NEAREST 5 TO [1,2] USING l2`; got != want {
+		t.Errorf("nearest: %q, want %q", got, want)
+	}
+}
+
 // TestQuantile guards the report arithmetic the CI bench job consumes.
 func TestQuantile(t *testing.T) {
 	sorted := []float64{1, 2, 3, 4}

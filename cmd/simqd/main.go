@@ -23,7 +23,7 @@
 //	               {"timeout_ms": 500}                          per-request deadline override
 //	POST /prepare  {"query": "... ? ..."}                       compile, returns {"id", "params", "names"}
 //	POST /explain  {"query": "...", "params": [...]}            plan without executing
-//	POST /ingest   {"relation": "words", "rows": [{"seq": "...", "attrs": {...}}]}
+//	POST /ingest   {"relation": "words", "rows": [{"seq": "...", "vec": "[0.1,0.2]", "attrs": {...}}]}
 //	                                                            batch insert (one WAL commit)
 //	GET  /healthz                                               liveness
 //	GET  /stats                                                 server, plan-cache and write counters
@@ -59,6 +59,7 @@ import (
 	"time"
 
 	"repro/internal/editdp"
+	"repro/internal/metric"
 	"repro/internal/query"
 	"repro/internal/relation"
 	"repro/internal/rewrite"
@@ -182,7 +183,7 @@ func buildEngine(loads, ruleFiles []string, shards int) (*query.Engine, error) {
 			tuples := rel.Tuples()
 			rows := make([]relation.InsertRow, len(tuples))
 			for i, t := range tuples {
-				rows[i] = relation.InsertRow{Seq: t.Seq, Attrs: t.Attrs}
+				rows[i] = relation.InsertRow{Seq: t.Seq, Vec: t.Vec, Attrs: t.Attrs}
 			}
 			sh := relation.NewSharded(name, shards)
 			sh.InsertBatch(rows)
@@ -359,11 +360,14 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 }
 
 // ingestRequest is the body of /ingest: a batch of rows for one
-// relation, committed as a single WAL transaction.
+// relation, committed as a single WAL transaction. A row may carry a
+// seq, a vec (canonical vector-literal text, e.g. "[0.1,0.2]"), or
+// both.
 type ingestRequest struct {
 	Relation string `json:"relation"`
 	Rows     []struct {
 		Seq   string            `json:"seq"`
+		Vec   string            `json:"vec,omitempty"`
 		Attrs map[string]string `json:"attrs,omitempty"`
 	} `json:"rows"`
 }
@@ -387,6 +391,14 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	ops := make([]storage.Op, len(req.Rows))
 	for i, row := range req.Rows {
 		ops[i] = storage.Op{Kind: storage.OpInsert, Rel: req.Relation, Seq: row.Seq, Attrs: row.Attrs}
+		if row.Vec != "" {
+			v, err := metric.Parse(row.Vec)
+			if err != nil {
+				s.fail(w, errBad(fmt.Sprintf("row %d: %v", i, err)))
+				return
+			}
+			ops[i].Vec = v
+		}
 	}
 	var res storage.CommitResult
 	var err error

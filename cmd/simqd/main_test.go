@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -181,10 +182,92 @@ func TestIngestValidation(t *testing.T) {
 		{},
 		{"relation": "words"},
 		{"relation": "nosuch", "rows": []map[string]any{{"seq": "x"}}},
+		{"relation": "words", "rows": []map[string]any{{"vec": "not a vector"}}},
+		{"relation": "words", "rows": []map[string]any{{"vec": "[]"}}},
 	} {
 		if rec := do(t, mux, http.MethodPost, "/ingest", body); rec.Code != http.StatusBadRequest {
 			t.Errorf("ingest %v = %d, want 400", body, rec.Code)
 		}
+	}
+}
+
+// TestVecIngestQueryRoundTrip drives vector rows through /ingest (WAL
+// attached) and runs NEAREST and WITHIN over them, prepared and ad hoc.
+func TestVecIngestQueryRoundTrip(t *testing.T) {
+	s := newTestServer(t, t.TempDir())
+	mux := s.routes()
+
+	rec := do(t, mux, http.MethodPost, "/ingest", map[string]any{
+		"relation": "words",
+		"rows": []map[string]any{
+			{"vec": "[0,0]"},
+			{"vec": "[1,0]"},
+			{"vec": "[0,3]"},
+		},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/ingest = %d: %s", rec.Code, rec.Body)
+	}
+
+	rec = do(t, mux, http.MethodPost, "/query", map[string]any{
+		"query": `SELECT id, dist FROM words WHERE vec NEAREST 2 TO [0, 0] USING l2`,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/query = %d: %s", rec.Code, rec.Body)
+	}
+	var qres struct {
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &qres); err != nil {
+		t.Fatal(err)
+	}
+	// The string rows (ids 0-3) have no vector, so the nearest are the
+	// ingested vector rows 4 and 5.
+	if len(qres.Rows) != 2 || qres.Rows[0][0] != "4" || qres.Rows[1][0] != "5" {
+		t.Fatalf("NEAREST rows = %v", qres.Rows)
+	}
+
+	// Prepared vector query with a string-encoded vector parameter.
+	rec = do(t, mux, http.MethodPost, "/prepare", map[string]any{
+		"query": `SELECT id FROM words WHERE vec SIMILAR TO ? WITHIN ? USING l2`,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/prepare = %d: %s", rec.Code, rec.Body)
+	}
+	var prep struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &prep); err != nil {
+		t.Fatal(err)
+	}
+	rec = do(t, mux, http.MethodPost, "/query", map[string]any{
+		"id": prep.ID, "params": []any{"[0,0]", 1.5},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("prepared vec /query = %d: %s", rec.Code, rec.Body)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &qres); err != nil {
+		t.Fatal(err)
+	}
+	if len(qres.Rows) != 2 {
+		t.Fatalf("prepared WITHIN rows = %v", qres.Rows)
+	}
+
+	// EXPLAIN surfaces the metric and access path.
+	rec = do(t, mux, http.MethodPost, "/explain", map[string]any{
+		"query": `SELECT id FROM words WHERE vec NEAREST 2 TO [0, 0] USING l2`,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/explain = %d: %s", rec.Code, rec.Body)
+	}
+	var eres struct {
+		Plan string `json:"plan"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &eres); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(eres.Plan, "metric=l2") {
+		t.Fatalf("explain plan lacks metric: %q", eres.Plan)
 	}
 }
 

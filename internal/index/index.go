@@ -19,9 +19,19 @@
 // (directional), so the planner admits BKTree and Trie only for the
 // unit-cost edit distance; the filters and scan work for any edit-like
 // set via a Verifier.
+//
+// The continuous domain mirrors the discrete one: VPTree is the
+// vantage-point tree over any pluggable metric.Distance that carries
+// the triangle-inequality capability (L2, but not cosine), answering
+// NEAREST and WITHIN over float-vector columns behind the same
+// Iterator/Stats contracts. VectorIndex is its planner-facing
+// interface.
 package index
 
-import "repro/internal/editdp"
+import (
+	"repro/internal/editdp"
+	"repro/internal/metric"
+)
 
 // Entry is one indexed sequence.
 type Entry struct {
@@ -61,6 +71,20 @@ var (
 	_ Index = (*BKTree)(nil)
 	_ Index = (*Trie)(nil)
 )
+
+// VectorIndex is the planner-facing interface over continuous-domain
+// metric indexes: range queries by a float radius over an embedding
+// column, with the same deterministic-order Iterator contract as Index.
+// Matches carry an empty S — vector entries are fetched by ID from the
+// relation arena above the index.
+type VectorIndex interface {
+	Len() int
+	Range(q metric.Vector, r float64) []Match
+	RangeStats(q metric.Vector, r float64) ([]Match, Stats)
+	RangeIter(q metric.Vector, r float64) Iterator
+}
+
+var _ VectorIndex = (*VPTree)(nil)
 
 // PushBestK inserts m into best — kept sorted ascending by (Dist, ID)
 // — and truncates to at most k entries. The shared best-list of every

@@ -1,0 +1,97 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/metric"
+)
+
+// benchVPData builds a clustered dataset (16 Gaussian clusters, the
+// datagen -kind vectors shape) so the VP-tree has real pruning
+// structure to exploit — uniform data would understate the tree at
+// every dimension.
+func benchVPData(dim, n int) []metric.Vector {
+	rng := rand.New(rand.NewSource(int64(dim)*1000 + int64(n)))
+	centroids := make([]metric.Vector, 16)
+	for k := range centroids {
+		c := make(metric.Vector, dim)
+		for j := range c {
+			c[j] = float32(rng.Float64()*2 - 1)
+		}
+		centroids[k] = c
+	}
+	vecs := make([]metric.Vector, n)
+	for i := range vecs {
+		c := centroids[rng.Intn(len(centroids))]
+		v := make(metric.Vector, dim)
+		for j := range v {
+			v[j] = c[j] + float32(rng.NormFloat64()*0.1)
+		}
+		vecs[i] = v
+	}
+	return vecs
+}
+
+// BenchmarkVPTreeVsScan ranges the same clustered 4096-vector dataset
+// through the VP-tree and through the scan path (one DistBatch over
+// the whole column, the batch pipeline's brute force) at a radius that
+// selects roughly one cluster. One op is 16 queries. The dimension
+// sweep exhibits the crossover the cost model has to respect: metric
+// trees prune well in low dimensions and lose their advantage as
+// distance concentration sets in.
+func BenchmarkVPTreeVsScan(b *testing.B) {
+	l2, ok := metric.Lookup("l2")
+	if !ok {
+		b.Fatal("l2 metric not registered")
+	}
+	batcher := l2.(metric.Batcher)
+	for _, dim := range []int{8, 64, 384} {
+		vecs := benchVPData(dim, 4096)
+		tree := NewVPTree(l2)
+		for i, v := range vecs {
+			tree.Insert(i, v)
+		}
+		queries := vecs[:16]
+		// ~0.25·sqrt(dim): scales with the within-cluster distance
+		// spread (noise std 0.1 per component), so each query selects
+		// roughly its own cluster at every dimension.
+		radius := 0.25 * float64(intSqrt(dim))
+		b.Run(fmt.Sprintf("dim=%d/vptree", dim), func(b *testing.B) {
+			hits := 0
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					hits += len(tree.Range(q, radius))
+				}
+			}
+			benchSink = hits
+		})
+		b.Run(fmt.Sprintf("dim=%d/scan", dim), func(b *testing.B) {
+			out := make([]float64, len(vecs))
+			hits := 0
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					batcher.DistBatch(q, vecs, out)
+					for _, d := range out {
+						if d <= radius {
+							hits++
+						}
+					}
+				}
+			}
+			benchSink = hits
+		})
+	}
+}
+
+// intSqrt is floor(sqrt(n)) for small positive n.
+func intSqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+var benchSink int

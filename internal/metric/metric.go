@@ -1,0 +1,165 @@
+// Package metric defines the pluggable distance layer for continuous
+// (float-vector) similarity: the Distance interface, its optional
+// capability interfaces, and a process-wide registry the query planner
+// resolves USING clauses against.
+//
+// The paper's framework is metric-agnostic — similarity is "reducible
+// within cost budget" over an arbitrary domain — but six PRs of this
+// reproduction hard-wired every kernel and index to string edit
+// distance. This package is the seam that opens the engine to other
+// domains: a Distance measures dissimilarity between float32 vectors,
+// and the capability interfaces tell the planner what each metric
+// licenses:
+//
+//   - Triangular marks metrics satisfying the triangle inequality,
+//     which licenses metric-tree indexes (the VP-tree, exactly as
+//     unit-cost edit distance licenses the BK-tree).
+//   - Abandoner exposes an early-abandoning Within, the vector twin of
+//     the banded edit DP's budget cutoff.
+//   - Batcher exposes a block evaluator feeding the vectorized
+//     execution pipeline, the vector twin of editdp.QueryDP.
+//
+// Determinism contract: for one metric, Dist, Within (when within) and
+// DistBatch MUST produce bitwise-identical float64 results for the
+// same operand pair. Every execution path — row pipeline, batch
+// pipeline, VP-tree traversal, brute-force oracle, any shard count —
+// funnels through the same blocked accumulation core, so query results
+// are byte-identical across plans (the property the vector parity
+// oracle pins). Implementations added through Register must preserve
+// this or the parity guarantees of the query layer break.
+package metric
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Distance is a dissimilarity measure over float32 vectors. d(a, b)
+// must be symmetric, non-negative, finite for finite inputs, and zero
+// for identical vectors. Vectors of different dimensionality are
+// compared as if the shorter were zero-padded, so a Distance is total
+// over all vector pairs.
+type Distance interface {
+	// Name is the registry key the query language's USING clause
+	// resolves (e.g. "l2", "cosine").
+	Name() string
+	// Dist returns the distance between a and b.
+	Dist(a, b Vector) float64
+}
+
+// Triangular marks a Distance that satisfies the triangle inequality
+// d(a, c) <= d(a, b) + d(b, c). Only triangular metrics may back a
+// metric-tree index (VP-tree): the tree's pruning bound is unsound
+// without it, which is why cosine distance — not triangular — always
+// runs the scan + batch-kernel path.
+type Triangular interface {
+	Distance
+	// Triangle is a marker method; implementations guarantee the
+	// triangle inequality holds exactly (not just approximately).
+	Triangle()
+}
+
+// Abandoner is a Distance with an early-abandoning threshold test:
+// Within(a, b, r) returns (d, true) with d bitwise-equal to
+// Dist(a, b) when d <= r, and (_, false) — possibly without finishing
+// the computation — when the distance exceeds r.
+type Abandoner interface {
+	Distance
+	Within(a, b Vector, r float64) (float64, bool)
+}
+
+// Batcher is a Distance with a block evaluator for the vectorized
+// execution pipeline: DistBatch fills out[i] with Dist(q, cands[i])
+// (bitwise-identical to per-pair Dist calls) for a whole column of
+// candidates. A nil candidate yields +Inf — rows without a vector can
+// never be within any radius.
+type Batcher interface {
+	Distance
+	DistBatch(q Vector, cands []Vector, out []float64)
+}
+
+// Within tests d(a, b) <= r under any metric, using the metric's
+// early-abandoning path when it has one. The distance returned on
+// success is bitwise-identical to Dist(a, b).
+func Within(m Distance, a, b Vector, r float64) (float64, bool) {
+	if ab, ok := m.(Abandoner); ok {
+		return ab.Within(a, b, r)
+	}
+	d := m.Dist(a, b)
+	return d, d <= r
+}
+
+// DistBatch evaluates Dist(q, cands[i]) into out under any metric,
+// using the metric's block evaluator when it has one. out must have
+// len(cands) capacity; nil candidates yield +Inf.
+func DistBatch(m Distance, q Vector, cands []Vector, out []float64) {
+	if b, ok := m.(Batcher); ok {
+		b.DistBatch(q, cands, out)
+		return
+	}
+	for i, c := range cands {
+		if c == nil {
+			out[i] = inf
+			continue
+		}
+		out[i] = m.Dist(q, c)
+	}
+}
+
+// IsTriangular reports whether the metric carries the triangle-
+// inequality capability (and therefore licenses the VP-tree).
+func IsTriangular(m Distance) bool {
+	_, ok := m.(Triangular)
+	return ok
+}
+
+// ------------------------------------------------------------ registry
+
+var (
+	regMu      sync.RWMutex
+	registry   = map[string]Distance{}
+	regVersion atomic.Uint64
+)
+
+// Register adds a metric to the process-wide registry under its Name,
+// replacing any previous metric of that name, and bumps the registry
+// version (part of every plan-cache epoch, so cached plans costed
+// against the old registry are invalidated). The built-in metrics
+// ("l2", "cosine") register themselves at init.
+func Register(m Distance) error {
+	if m == nil || m.Name() == "" {
+		return fmt.Errorf("metric: Register requires a named metric")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[m.Name()] = m
+	regVersion.Add(1)
+	return nil
+}
+
+// Lookup resolves a registered metric by name.
+func Lookup(name string) (Distance, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	m, ok := registry[name]
+	return m, ok
+}
+
+// Names returns the registered metric names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Version is the registry mutation counter. The query engine folds it
+// into its plan-cache epoch: registering a metric starts a fresh key
+// space exactly like registering a rule set does.
+func Version() uint64 { return regVersion.Load() }

@@ -3,6 +3,8 @@ package query
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/metric"
 )
 
 // Query is the root of a parsed statement.
@@ -150,12 +152,15 @@ func (e NearestExpr) String() string {
 	return fmt.Sprintf("%s NEAREST %d TO %s USING %s", e.Field, e.K, e.Target, e.RuleSet)
 }
 
-// Operand is a string literal, a field reference, or an unbound
-// parameter (which binds to a string literal at execution time).
+// Operand is a string literal, a vector literal, a field reference, or
+// an unbound parameter (which binds to a literal at execution time; a
+// string bound against the vec column is parsed as a vector literal).
 type Operand struct {
 	Lit   string
+	Vec   metric.Vector // vector literal ([0.1, -2, ...])
 	Field FieldRef
 	IsLit bool
+	IsVec bool
 	Param *ParamRef // set until bound; binding replaces it with a literal
 }
 
@@ -163,6 +168,9 @@ type Operand struct {
 func (o Operand) String() string {
 	if o.Param != nil {
 		return o.Param.String()
+	}
+	if o.IsVec {
+		return metric.Format(o.Vec)
 	}
 	if o.IsLit {
 		return quoteLit(o.Lit)

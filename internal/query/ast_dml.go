@@ -26,6 +26,7 @@ const (
 	MutUpdate
 )
 
+// String names the mutation kind in lower-case statement-verb form.
 func (k MutKind) String() string {
 	switch k {
 	case MutInsert:

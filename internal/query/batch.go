@@ -105,7 +105,7 @@ func (b *Batch) syncCols() {
 
 // appendMatch adds one (tuple, distance) row in the columnar layout.
 func (b *Batch) appendMatch(t relation.Tuple, dist float64, has bool) {
-	b.Block.Append(t.ID, t.Seq, t.Attrs)
+	b.Block.Append(t.ID, t.Seq, t.Vec, t.Attrs)
 	b.dist = append(b.dist, dist)
 	b.has = append(b.has, has)
 }
@@ -115,7 +115,7 @@ func (b *Batch) truncate(n int) {
 	if b.binds != nil {
 		b.binds = b.binds[:n]
 	} else {
-		b.IDs, b.Seqs, b.Attrs = b.IDs[:n], b.Seqs[:n], b.Attrs[:n]
+		b.IDs, b.Seqs, b.Vecs, b.Attrs = b.IDs[:n], b.Seqs[:n], b.Vecs[:n], b.Attrs[:n]
 		b.dist, b.has = b.dist[:n], b.has[:n]
 	}
 	if len(b.rows) > n {
@@ -130,7 +130,7 @@ func (b *Batch) binding(i int) *binding {
 	if b.binds != nil {
 		return b.binds[i]
 	}
-	nb := newBinding(b.alias, relation.Tuple{ID: b.IDs[i], Seq: b.Seqs[i], Attrs: b.Attrs[i]})
+	nb := newBinding(b.alias, relation.Tuple{ID: b.IDs[i], Seq: b.Seqs[i], Vec: b.Vecs[i], Attrs: b.Attrs[i]})
 	nb.dist, nb.hasDist = b.dist[i], b.has[i]
 	return nb
 }
@@ -138,7 +138,7 @@ func (b *Batch) binding(i int) *binding {
 // scratch loads row i into a reusable binding without allocating —
 // the in-place decorators' view of a columnar row.
 func (b *Batch) scratch(i int, alias string, dst *binding) {
-	*dst = binding{alias: alias, tuple: relation.Tuple{ID: b.IDs[i], Seq: b.Seqs[i], Attrs: b.Attrs[i]},
+	*dst = binding{alias: alias, tuple: relation.Tuple{ID: b.IDs[i], Seq: b.Seqs[i], Vec: b.Vecs[i], Attrs: b.Attrs[i]},
 		dist: b.dist[i], hasDist: b.has[i]}
 }
 
@@ -153,6 +153,7 @@ func (b *Batch) copyFrom(src *Batch) {
 	} else {
 		b.IDs = append(b.IDs[:0], src.IDs...)
 		b.Seqs = append(b.Seqs[:0], src.Seqs...)
+		b.Vecs = append(b.Vecs[:0], src.Vecs...)
 		b.Attrs = append(b.Attrs[:0], src.Attrs...)
 		b.dist = append(b.dist[:0], src.dist...)
 		b.has = append(b.has[:0], src.has...)

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/index"
+	"repro/internal/metric"
 	"repro/internal/relation"
 )
 
@@ -329,7 +330,7 @@ func (o *batchFilterOp) NextBatch() (*Batch, error) {
 			o.local.Verifications++
 			var ok bool
 			if o.fn != nil {
-				t := relation.Tuple{ID: b.IDs[i], Seq: b.Seqs[i], Attrs: b.Attrs[i]}
+				t := relation.Tuple{ID: b.IDs[i], Seq: b.Seqs[i], Vec: b.Vecs[i], Attrs: b.Attrs[i]}
 				ok, err = o.fn(&t, &b.dist[i], &b.has[i])
 			} else {
 				b.scratch(i, o.alias, &o.scratch)
@@ -343,7 +344,7 @@ func (o *batchFilterOp) NextBatch() (*Batch, error) {
 				continue
 			}
 			if w != i {
-				b.IDs[w], b.Seqs[w], b.Attrs[w] = b.IDs[i], b.Seqs[i], b.Attrs[i]
+				b.IDs[w], b.Seqs[w], b.Vecs[w], b.Attrs[w] = b.IDs[i], b.Seqs[i], b.Vecs[i], b.Attrs[i]
 				b.dist[w], b.has[w] = b.dist[i], b.has[i]
 			}
 			w++
@@ -454,6 +455,7 @@ type batchOrderByDistOp struct {
 
 	ids   []int
 	seqs  []string
+	vecs  []metric.Vector
 	attrs []map[string]string
 	dist  []float64
 	has   []bool
@@ -465,7 +467,7 @@ type batchOrderByDistOp struct {
 }
 
 func (o *batchOrderByDistOp) OpenBatch() error {
-	o.ids, o.seqs, o.attrs = o.ids[:0], o.seqs[:0], o.attrs[:0]
+	o.ids, o.seqs, o.vecs, o.attrs = o.ids[:0], o.seqs[:0], o.vecs[:0], o.attrs[:0]
 	o.dist, o.has, o.binds = o.dist[:0], o.has[:0], nil
 	o.perm, o.pos = o.perm[:0], 0
 	o.out = getBatch()
@@ -486,6 +488,7 @@ func (o *batchOrderByDistOp) OpenBatch() error {
 		}
 		o.ids = append(o.ids, b.IDs...)
 		o.seqs = append(o.seqs, b.Seqs...)
+		o.vecs = append(o.vecs, b.Vecs...)
 		o.attrs = append(o.attrs, b.Attrs...)
 		o.dist = append(o.dist, b.dist...)
 		o.has = append(o.has, b.has...)
@@ -542,7 +545,7 @@ func (o *batchOrderByDistOp) NextBatch() (*Batch, error) {
 	for b.Len() < o.size && o.pos < len(o.perm) {
 		i := o.perm[o.pos]
 		o.pos++
-		b.Block.Append(o.ids[i], o.seqs[i], o.attrs[i])
+		b.Block.Append(o.ids[i], o.seqs[i], o.vecs[i], o.attrs[i])
 		b.dist = append(b.dist, o.dist[i])
 		b.has = append(b.has, o.has[i])
 	}
@@ -550,7 +553,7 @@ func (o *batchOrderByDistOp) NextBatch() (*Batch, error) {
 }
 
 func (o *batchOrderByDistOp) CloseBatch() error {
-	o.ids, o.seqs, o.attrs = nil, nil, nil
+	o.ids, o.seqs, o.vecs, o.attrs = nil, nil, nil, nil
 	o.dist, o.has, o.binds, o.perm = nil, nil, nil, nil
 	putBatch(o.out)
 	o.out = nil

@@ -46,11 +46,33 @@ func (e *Engine) buildBatchTree(q *Query, d *planDecision, rels []*relation.Rela
 	switch d.kind {
 	case accessNearest:
 		ne := q.Where.(NearestExpr)
-		access = &batchNearestKOp{
-			ctx: ctx, snap: snapOf(rels[0]), alias: alias,
-			via: d.via, target: ne.Target.Lit, k: ne.K, ruleSet: ne.RuleSet, size: size,
+		if isVecNearest(&ne) {
+			access = &batchVecNearestKOp{
+				ctx: ctx, snap: snapOf(rels[0]), alias: alias,
+				via: d.via, target: ne.Target.Vec, k: ne.K, metricName: ne.RuleSet, size: size,
+			}
+		} else {
+			access = &batchNearestKOp{
+				ctx: ctx, snap: snapOf(rels[0]), alias: alias,
+				via: d.via, target: ne.Target.Lit, k: ne.K, ruleSet: ne.RuleSet, size: size,
+			}
 		}
 	case accessRange:
+		if d.via == "vptree" {
+			sim, residual := extractVecRangeSim(q.Where)
+			if sim == nil {
+				return nil, fmt.Errorf("query: stale plan: no vector range conjunct")
+			}
+			var op BatchOperator = &batchVecRangeOp{
+				ctx: ctx, snap: snapOf(rels[0]), alias: alias,
+				target: sim.Target.Vec, radius: sim.Radius, metricName: sim.RuleSet, size: size,
+			}
+			if res := simplifyExpr(residual); !isTrivial(res) {
+				op = &batchFilterOp{ctx: ctx, child: op, pred: res, alias: alias}
+			}
+			access = op
+			break
+		}
 		sim, residual := extractRangeSim(q.Where, e.rangeIndexable)
 		if sim == nil {
 			return nil, fmt.Errorf("query: stale plan: no indexable conjunct")

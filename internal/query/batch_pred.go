@@ -21,6 +21,7 @@ import (
 	"math"
 
 	"repro/internal/editdp"
+	"repro/internal/metric"
 	"repro/internal/patdist"
 	"repro/internal/relation"
 )
@@ -109,6 +110,9 @@ func (e *Engine) compilePred(ex Expr, alias string) predFn {
 // compileSim compiles one similarity conjunct with its evaluator — DP
 // calculator, general engine, or compiled pattern — resolved up front.
 func (e *Engine) compileSim(ex SimExpr, alias string) predFn {
+	if isVecSim(&ex) {
+		return e.compileVecSim(ex, alias)
+	}
 	field := compileField(ex.Field, alias)
 	radius := ex.Radius
 
@@ -211,6 +215,44 @@ func (e *Engine) compileSim(ex SimExpr, alias string) predFn {
 	}
 }
 
+// compileVecSim compiles a vector similarity conjunct with the metric
+// resolved up front. Distance comes from metric.Within — the same
+// shared kernel core as the row evaluator, the VP-tree and the oracle —
+// with the target vector first, matching the tree's operand order, so
+// all paths agree bitwise. Error precedence mirrors evalVecSim: the
+// alias resolution fails per row before any hoisted shape error.
+func (e *Engine) compileVecSim(ex SimExpr, alias string) predFn {
+	var aliasErr error
+	if ex.Field.Table != "" && ex.Field.Table != alias {
+		aliasErr = fmt.Errorf("query: unknown alias %q", ex.Field.Table)
+	}
+	var hoisted error
+	if !ex.Target.IsVec {
+		hoisted = fmt.Errorf("query: vec similarity requires a vector literal target")
+	}
+	m, ok := metric.Lookup(ex.RuleSet)
+	if hoisted == nil && !ok {
+		hoisted = fmt.Errorf("query: unknown metric %q", ex.RuleSet)
+	}
+	target, radius := ex.Target.Vec, ex.Radius
+	return func(t *relation.Tuple, dist *float64, has *bool) (bool, error) {
+		if aliasErr != nil {
+			return false, aliasErr
+		}
+		if hoisted != nil {
+			return false, hoisted
+		}
+		if t.Vec == nil {
+			return false, nil
+		}
+		d, within := metric.Within(m, target, t.Vec, radius)
+		if within && !*has {
+			*dist, *has = d, true
+		}
+		return within, nil
+	}
+}
+
 // myersEligible reports whether a literal-target similarity conjunct
 // may be served by the bit-parallel Myers kernel: the closed cost
 // tables must realise the classical unit distance, the target must be
@@ -230,6 +272,14 @@ func myersEligible(c *editdp.Calculator, target string, radius float64) bool {
 func (e *Engine) filterKernel(ex Expr) string {
 	switch ex := ex.(type) {
 	case SimExpr:
+		if isVecSim(&ex) {
+			if ex.Field.Name == "vec" && ex.Target.IsVec {
+				if _, ok := metric.Lookup(ex.RuleSet); ok {
+					return "vec-" + ex.RuleSet
+				}
+			}
+			return ""
+		}
 		if ex.Pattern || !ex.Target.IsLit {
 			return ""
 		}

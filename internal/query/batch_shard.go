@@ -12,6 +12,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/metric"
 	"repro/internal/relation"
 )
 
@@ -31,18 +32,53 @@ func (e *Engine) buildShardedBatchTree(q *Query, d *planDecision, view *relation
 	switch d.kind {
 	case accessNearest:
 		ne := q.Where.(NearestExpr)
-		for i := range children {
-			children[i] = &batchShardNearestKOp{
-				batchNearestKOp: batchNearestKOp{
-					ctx: ctx, snap: view.Snap(i), alias: alias,
-					via: d.via, target: ne.Target.Lit, k: ne.K, ruleSet: ne.RuleSet, size: size,
-				},
-				idx: i, of: n,
+		if isVecNearest(&ne) {
+			for i := range children {
+				children[i] = &batchShardVecNearestKOp{
+					batchVecNearestKOp: batchVecNearestKOp{
+						ctx: ctx, snap: view.Snap(i), alias: alias,
+						via: d.via, target: ne.Target.Vec, k: ne.K, metricName: ne.RuleSet, size: size,
+					},
+					idx: i, of: n,
+				}
+			}
+		} else {
+			for i := range children {
+				children[i] = &batchShardNearestKOp{
+					batchNearestKOp: batchNearestKOp{
+						ctx: ctx, snap: view.Snap(i), alias: alias,
+						via: d.via, target: ne.Target.Lit, k: ne.K, ruleSet: ne.RuleSet, size: size,
+					},
+					idx: i, of: n,
+				}
 			}
 		}
 		access = &batchGatherMergeOp{ctx: ctx, children: children, workers: d.workers,
 			mode: gatherBestK, k: ne.K, size: size}
 	case accessRange:
+		if d.via == "vptree" {
+			sim, residual := extractVecRangeSim(q.Where)
+			if sim == nil {
+				return nil, fmt.Errorf("query: stale plan: no vector range conjunct")
+			}
+			pred := simplifyExpr(residual)
+			for i := range children {
+				var op BatchOperator = &batchVecRangeOp{
+					ctx: ctx, snap: view.Snap(i), alias: alias,
+					target: sim.Target.Vec, radius: sim.Radius, metricName: sim.RuleSet, size: size,
+				}
+				if !isTrivial(pred) {
+					op = &batchFilterOp{ctx: ctx, child: op, pred: pred, alias: alias}
+				}
+				if q.Limit > 0 && q.Order == OrderNone {
+					op = &batchLimitOp{child: op, n: q.Limit}
+				}
+				children[i] = op
+			}
+			access = &batchGatherMergeOp{ctx: ctx, children: children, workers: d.workers,
+				mode: gatherByID, size: size}
+			break
+		}
 		sim, residual := extractRangeSim(q.Where, e.rangeIndexable)
 		if sim == nil {
 			return nil, fmt.Errorf("query: stale plan: no indexable conjunct")
@@ -120,6 +156,7 @@ func (o *batchShardNearestKOp) Describe() string {
 type shardCols struct {
 	ids   []int
 	seqs  []string
+	vecs  []metric.Vector
 	attrs []map[string]string
 	dist  []float64
 	has   []bool
@@ -129,6 +166,7 @@ type shardCols struct {
 func (c *shardCols) appendBatch(b *Batch) {
 	c.ids = append(c.ids, b.IDs...)
 	c.seqs = append(c.seqs, b.Seqs...)
+	c.vecs = append(c.vecs, b.Vecs...)
 	c.attrs = append(c.attrs, b.Attrs...)
 	c.dist = append(c.dist, b.dist...)
 	c.has = append(c.has, b.has...)
@@ -273,7 +311,7 @@ func (o *batchGatherMergeOp) NextBatch() (*Batch, error) {
 		c := &o.cols[best]
 		j := c.perm[o.pos[best]]
 		o.pos[best]++
-		b.Block.Append(c.ids[j], c.seqs[j], c.attrs[j])
+		b.Block.Append(c.ids[j], c.seqs[j], c.vecs[j], c.attrs[j])
 		b.dist = append(b.dist, c.dist[j])
 		b.has = append(b.has, c.has[j])
 		o.done++

@@ -163,7 +163,7 @@ func TestBatchSyncColsDivergedCapacities(t *testing.T) {
 	b.dist = make([]float64, 0, 64)
 	b.has = make([]bool, 0, 8)
 	for i := 0; i < 20; i++ {
-		b.Block.Append(i, "s", nil)
+		b.Block.Append(i, "s", nil, nil)
 	}
 	b.syncCols() // panicked before the fix: has[:20] with capacity 8
 	if len(b.dist) != 20 || len(b.has) != 20 {

@@ -101,6 +101,43 @@ func chooseRangeAccess(st relation.Stats, k float64) string {
 	return best
 }
 
+// vecVerifyCost is the cost of one metric distance evaluation: linear
+// in the dimension (both L2 and cosine are single-pass kernels).
+func vecVerifyCost(st relation.Stats) float64 {
+	return math.Max(1, float64(st.VecDim))
+}
+
+// vecScanCost: evaluate the metric against every vector-bearing tuple.
+func vecScanCost(st relation.Stats) float64 {
+	return float64(st.VecCount) * vecVerifyCost(st)
+}
+
+// vpTreeCost mirrors bkTreeCost: the visited fraction of a VP-tree
+// grows with the radius and collapses entirely once the radius
+// approaches the spread of the data, and every visited node pays the
+// same unit traversal surcharge as a BK-tree node. Radii are
+// continuous here, so the fraction ramp is the same 0.25*(r+1) shape
+// the BK-tree uses — coarse, but it ranks the tree against the scan
+// with the crossover in the right place (small radius: tree; large
+// radius: scan).
+func vpTreeCost(st relation.Stats, r float64) float64 {
+	frac := 0.25 * (r + 1)
+	if frac > 1 {
+		frac = 1
+	}
+	return float64(st.VecCount) * frac * (vecVerifyCost(st) + 1)
+}
+
+// chooseVecAccess ranks the access paths for a vector range predicate
+// under a triangular metric: "vptree" or "scan". Ties go to the tree,
+// matching chooseRangeAccess.
+func chooseVecAccess(st relation.Stats, r float64) string {
+	if vpTreeCost(st, r) <= vecScanCost(st) {
+		return "vptree"
+	}
+	return "scan"
+}
+
 // indexJoinCost: probe the inner BK-tree once per outer row.
 func indexJoinCost(outerRows float64, inner relation.Stats, k float64) float64 {
 	return outerRows * bkTreeCost(inner, k)

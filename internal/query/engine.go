@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/editdp"
+	"repro/internal/metric"
 	"repro/internal/patdist"
 	"repro/internal/pattern"
 	"repro/internal/relation"
@@ -269,8 +270,11 @@ func (e *Engine) cacheEpoch(batchSize int) string {
 	if editdp.BitParallelEnabled() {
 		kernel = 1
 	}
-	return fmt.Sprintf("%d|%d|%d|%d|%d|%d|%s", e.catalog.StatsVersion(), e.rulesetVersion(), workers, minRows,
-		batchSize, kernel, e.catalog.ShardSignature())
+	// metric.Version() tracks the distance-metric registry the same way
+	// rsVersion tracks rule sets: registering a metric may change which
+	// USING names resolve, so it starts a fresh key space too.
+	return fmt.Sprintf("%d|%d|%d|%d|%d|%d|%d|%s", e.catalog.StatsVersion(), e.rulesetVersion(), workers, minRows,
+		batchSize, kernel, metric.Version(), e.catalog.ShardSignature())
 }
 
 // normalizeQueryText canonicalises statement text for cache keying:
@@ -497,6 +501,9 @@ func (e *Engine) evalExpr(ex Expr, b *binding) (bool, error) {
 		}
 		return l == r, nil
 	case SimExpr:
+		if isVecSim(&ex) {
+			return e.evalVecSim(ex, b)
+		}
 		x, err := fieldValue(ex.Field, b)
 		if err != nil {
 			return false, err
@@ -528,6 +535,59 @@ func (e *Engine) evalExpr(ex Expr, b *binding) (bool, error) {
 	default:
 		return false, fmt.Errorf("query: unknown expression %T", ex)
 	}
+}
+
+// isVecSim reports whether a similarity conjunct is a vector predicate:
+// the field is the vec column, or the target is a vector literal. The
+// USING clause of a vector predicate names a distance metric (l2,
+// cosine) instead of a rule set.
+func isVecSim(ex *SimExpr) bool {
+	return ex.Field.Name == "vec" || ex.Target.IsVec
+}
+
+// evalVecSim evaluates "vec SIMILAR TO [..] WITHIN r USING metric" on
+// one binding. Rows without a vector never match (their distance is
+// undefined, not zero). The distance comes from metric.Within, the same
+// shared kernel core every other vector path uses, so row, batch and
+// index evaluation agree bitwise.
+func (e *Engine) evalVecSim(ex SimExpr, b *binding) (bool, error) {
+	t, err := vecTupleFor(ex.Field, b)
+	if err != nil {
+		return false, err
+	}
+	if !ex.Target.IsVec {
+		return false, fmt.Errorf("query: vec similarity requires a vector literal target")
+	}
+	m, ok := metric.Lookup(ex.RuleSet)
+	if !ok {
+		return false, fmt.Errorf("query: unknown metric %q", ex.RuleSet)
+	}
+	if t.Vec == nil {
+		return false, nil
+	}
+	// Target vector first, matching the VP-tree's and batch kernel's
+	// operand order, so every path agrees bitwise.
+	d, within := metric.Within(m, ex.Target.Vec, t.Vec, ex.Radius)
+	if within && !b.hasDist {
+		b.dist, b.hasDist = d, true
+	}
+	return within, nil
+}
+
+// vecTupleFor resolves the tuple a vector predicate's field binds to,
+// with the same alias rules as fieldValue.
+func vecTupleFor(f FieldRef, b *binding) (relation.Tuple, error) {
+	if f.Table != "" {
+		t, ok := b.tupleFor(f.Table)
+		if !ok {
+			return relation.Tuple{}, fmt.Errorf("query: unknown alias %q", f.Table)
+		}
+		return t, nil
+	}
+	if t, ok := b.soleTuple(); ok {
+		return t, nil
+	}
+	return relation.Tuple{}, fmt.Errorf("query: ambiguous field %q; qualify with an alias", f.Name)
 }
 
 // within tests d(x -> target) <= radius under the named rule set,

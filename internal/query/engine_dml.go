@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/metric"
 	"repro/internal/relation"
 	"repro/internal/storage"
 )
@@ -56,16 +57,21 @@ func (e *Engine) ExecuteMutation(m *Mutation) (*Result, error) {
 	}
 }
 
-// execInsert builds one op per VALUES row and commits the batch.
+// execInsert builds one op per VALUES row and commits the batch. A row
+// may carry a seq, a vec, or both — vector-only relations insert rows
+// with an empty sequence.
 func (e *Engine) execInsert(m *Mutation) (*Result, error) {
-	seqCol := -1
+	seqCol, vecCol := -1, -1
 	for i, c := range m.Columns {
-		if c == "seq" {
+		switch c {
+		case "seq":
 			seqCol = i
+		case "vec":
+			vecCol = i
 		}
 	}
-	if seqCol < 0 {
-		return nil, fmt.Errorf("query: INSERT into %q lacks a seq column", m.Table)
+	if seqCol < 0 && vecCol < 0 {
+		return nil, fmt.Errorf("query: INSERT into %q lacks a seq or vec column", m.Table)
 	}
 	ops := make([]storage.Op, 0, len(m.Rows))
 	for _, row := range m.Rows {
@@ -74,6 +80,14 @@ func (e *Engine) execInsert(m *Mutation) (*Result, error) {
 		}
 		op := storage.Op{Kind: storage.OpInsert, Rel: m.Table}
 		for i, v := range row {
+			if i == vecCol {
+				vec, err := vecValue(v)
+				if err != nil {
+					return nil, err
+				}
+				op.Vec = vec
+				continue
+			}
 			if !v.IsLit {
 				return nil, fmt.Errorf("query: INSERT values must be literals (got %s)", v)
 			}
@@ -160,7 +174,7 @@ func (e *Engine) execDeleteOrUpdate(m *Mutation) (*Result, error) {
 		if !ok {
 			continue
 		}
-		seq := t.Seq
+		seq, vec := t.Seq, t.Vec
 		var attrs map[string]string
 		if len(t.Attrs) > 0 {
 			attrs = make(map[string]string, len(t.Attrs))
@@ -169,6 +183,14 @@ func (e *Engine) execDeleteOrUpdate(m *Mutation) (*Result, error) {
 			}
 		}
 		for _, sc := range m.Set {
+			if sc.Name == "vec" {
+				v, err := vecValue(sc.Value)
+				if err != nil {
+					return nil, err
+				}
+				vec = v
+				continue
+			}
 			if !sc.Value.IsLit {
 				return nil, fmt.Errorf("query: SET values must be literals (got %s)", sc.Value)
 			}
@@ -181,13 +203,30 @@ func (e *Engine) execDeleteOrUpdate(m *Mutation) (*Result, error) {
 			}
 			attrs[sc.Name] = sc.Value.Lit
 		}
-		ops = append(ops, storage.Op{Kind: storage.OpUpdate, Rel: m.Table, ID: id, Seq: seq, Attrs: attrs})
+		ops = append(ops, storage.Op{Kind: storage.OpUpdate, Rel: m.Table, ID: id, Seq: seq, Vec: vec, Attrs: attrs})
 	}
 	applied, err := e.applyOps(ops)
 	if err != nil {
 		return nil, err
 	}
 	return mutationResult(applied, stats, mutationExplain(root, plan.describe()).Plan), nil
+}
+
+// vecValue resolves a vec-column DML value: a vector literal directly,
+// or a string literal (typically a bound parameter) parsed in the
+// canonical vector-literal form.
+func vecValue(v Operand) (metric.Vector, error) {
+	if v.IsVec {
+		return v.Vec, nil
+	}
+	if v.IsLit {
+		vec, err := metric.Parse(v.Lit)
+		if err != nil {
+			return nil, fmt.Errorf("query: bad vec value: %w", err)
+		}
+		return vec, nil
+	}
+	return nil, fmt.Errorf("query: vec values must be vector literals (got %s)", v)
 }
 
 // collectIDs drives a read plan and pulls each matched tuple id

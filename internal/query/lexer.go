@@ -65,6 +65,8 @@ const (
 	tokSemi
 	tokQMark      // '?'  positional parameter
 	tokNamedParam // ':name' named parameter (text holds the name)
+	tokLBracket   // '[' opens a vector literal
+	tokRBracket   // ']' closes a vector literal
 )
 
 func (k tokenKind) String() string {
@@ -97,6 +99,10 @@ func (k tokenKind) String() string {
 		return "'?'"
 	case tokNamedParam:
 		return "named parameter"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
 	default:
 		return fmt.Sprintf("token(%d)", int(k))
 	}
@@ -132,6 +138,12 @@ func lex(src string) ([]token, error) {
 			i++
 		case c == ')':
 			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '[':
+			toks = append(toks, token{tokLBracket, "[", i})
+			i++
+		case c == ']':
+			toks = append(toks, token{tokRBracket, "]", i})
 			i++
 		case c == ';':
 			toks = append(toks, token{tokSemi, ";", i})
@@ -174,11 +186,11 @@ func lex(src string) ([]token, error) {
 			}
 			toks = append(toks, token{tokString, sb.String(), i})
 			i = j + 1
-		case c >= '0' && c <= '9':
-			j := i
-			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
-				j++
-			}
+		case c >= '0' && c <= '9' || c == '-' && i+1 < len(src) && (src[i+1] >= '0' && src[i+1] <= '9' || src[i+1] == '.'):
+			// A leading '-' lexes as part of the number (vector literals
+			// carry negative components; the grammar has no subtraction, so
+			// the sign is unambiguous).
+			j := scanNumber(src, i)
 			toks = append(toks, token{tokNumber, src[i:j], i})
 			i = j
 		case isIdentStart(c):
@@ -194,6 +206,36 @@ func lex(src string) ([]token, error) {
 	}
 	toks = append(toks, token{tokEOF, "", len(src)})
 	return toks, nil
+}
+
+// scanNumber scans a number starting at i: an optional leading '-',
+// digits and '.', then an optional exponent ('e' or 'E' with optional
+// sign). The exponent is consumed only when digits follow, so an
+// identifier after a number never merges into it. Exponents matter
+// because the canonical vector-literal rendering (metric.Format) uses
+// Go's shortest float form, which produces "1e-09"-style components —
+// the lexer must round-trip what Operand.String emits.
+func scanNumber(src string, i int) int {
+	j := i
+	if src[j] == '-' {
+		j++
+	}
+	for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+		j++
+	}
+	if j < len(src) && (src[j] == 'e' || src[j] == 'E') {
+		k := j + 1
+		if k < len(src) && (src[k] == '+' || src[k] == '-') {
+			k++
+		}
+		if k < len(src) && src[k] >= '0' && src[k] <= '9' {
+			for k < len(src) && src[k] >= '0' && src[k] <= '9' {
+				k++
+			}
+			j = k
+		}
+	}
+	return j
 }
 
 func isIdentStart(c byte) bool {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"repro/internal/metric"
 )
 
 // Parse parses one SELECT statement. DML statements are rejected here;
@@ -252,7 +254,7 @@ func (p *qparser) parseMutation() (*Mutation, error) {
 			}
 			p.next()
 			seen := map[string]bool{}
-			hasSeq := false
+			hasSeq, hasVec := false, false
 			for _, c := range m.Columns {
 				if seen[c] {
 					return nil, p.errf("duplicate column %q", c)
@@ -261,12 +263,15 @@ func (p *qparser) parseMutation() (*Mutation, error) {
 				if c == "seq" {
 					hasSeq = true
 				}
+				if c == "vec" {
+					hasVec = true
+				}
 				if c == "id" || c == "dist" {
 					return nil, p.errf("column %q cannot be inserted", c)
 				}
 			}
-			if !hasSeq {
-				return nil, p.errf("INSERT column list must include seq")
+			if !hasSeq && !hasVec {
+				return nil, p.errf("INSERT column list must include seq or vec")
 			}
 		} else {
 			m.Columns = []string{"seq"}
@@ -379,8 +384,8 @@ func (p *qparser) parseValueRow(want int) ([]Operand, error) {
 	return row, nil
 }
 
-// parseValue parses one DML value: a string or number literal, or a
-// bind parameter. Field references are not values — DML assigns
+// parseValue parses one DML value: a string, number or vector literal,
+// or a bind parameter. Field references are not values — DML assigns
 // constants.
 func (p *qparser) parseValue() (Operand, error) {
 	t := p.cur()
@@ -388,11 +393,45 @@ func (p *qparser) parseValue() (Operand, error) {
 	case tokString, tokNumber:
 		p.next()
 		return Operand{Lit: t.text, IsLit: true}, nil
+	case tokLBracket:
+		return p.parseVecLiteral()
 	case tokQMark, tokNamedParam:
 		return Operand{Param: p.takeParam()}, nil
 	default:
 		return Operand{}, p.errf("expected a literal or parameter, got %s", t.kind)
 	}
+}
+
+// parseVecLiteral parses a bracketed vector literal: [n, n, ...]. Every
+// component must be a finite number; an empty vector [] is rejected —
+// it denotes nothing the metrics can measure.
+func (p *qparser) parseVecLiteral() (Operand, error) {
+	p.next() // consume '['
+	var vec metric.Vector
+	for {
+		t := p.cur()
+		if t.kind != tokNumber {
+			return Operand{}, p.errf("expected a number in vector literal, got %s", t.kind)
+		}
+		f, err := strconv.ParseFloat(p.next().text, 32)
+		if err != nil {
+			return Operand{}, p.errf("bad vector component %q", t.text)
+		}
+		vec = append(vec, float32(f))
+		if p.cur().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.cur().kind != tokRBracket {
+		return Operand{}, p.errf("missing ']' after vector literal")
+	}
+	p.next()
+	if !metric.Valid(vec) {
+		return Operand{}, p.errf("vector literal must be non-empty with finite components")
+	}
+	return Operand{Vec: vec, IsVec: true}, nil
 }
 
 func (p *qparser) parseColumn() (Column, error) {
@@ -558,6 +597,8 @@ func (p *qparser) parseOperand() (Operand, error) {
 	case tokString:
 		p.next()
 		return Operand{Lit: t.text, IsLit: true}, nil
+	case tokLBracket:
+		return p.parseVecLiteral()
 	case tokIdent:
 		if isKeyword(t.text) {
 			return Operand{}, p.errf("unexpected keyword %q", t.text)

@@ -17,8 +17,10 @@ package query
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/editdp"
+	"repro/internal/metric"
 	"repro/internal/relation"
 )
 
@@ -166,14 +168,29 @@ func (e *Engine) kernelFor(q *Query, d *planDecision) string {
 	}
 	switch d.kind {
 	case accessNearest:
+		if ne, ok := q.Where.(NearestExpr); ok && isVecNearest(&ne) {
+			return "vec-" + ne.RuleSet
+		}
 		if d.via == "bktree" {
 			return indexKernel
 		}
 		return "targetdp" // scan nearest: TargetDP with a shrinking bound
 	case accessRange:
+		if d.via == "vptree" {
+			if sim, _ := extractVecRangeSim(q.Where); sim != nil {
+				return "vec-" + sim.RuleSet
+			}
+			return ""
+		}
 		return indexKernel
 	}
 	return e.filterKernel(q.Where)
+}
+
+// isVecNearest reports whether a NEAREST predicate targets the vector
+// column (its USING clause then names a distance metric).
+func isVecNearest(ne *NearestExpr) bool {
+	return ne.Field.Name == "vec" || ne.Target.IsVec
 }
 
 // decideNearest validates a NEAREST query and picks the access
@@ -182,6 +199,9 @@ func (e *Engine) kernelFor(q *Query, d *planDecision) string {
 func (e *Engine) decideNearest(q *Query, ne NearestExpr, tab relation.Table) (*planDecision, error) {
 	if len(q.From) != 1 {
 		return nil, fmt.Errorf("query: NEAREST requires a single relation")
+	}
+	if isVecNearest(&ne) {
+		return e.decideVecNearest(q, ne, tab)
 	}
 	if !ne.Target.IsLit {
 		return nil, fmt.Errorf("query: NEAREST requires a literal target")
@@ -201,6 +221,33 @@ func (e *Engine) decideNearest(q *Query, ne NearestExpr, tab relation.Table) (*p
 	via := "scan"
 	if unitCost(rs) {
 		via = "bktree"
+	}
+	d := &planDecision{kind: accessNearest, via: via}
+	if sh, ok := tab.(*relation.ShardedRelation); ok {
+		d.shards = sh.NumShards()
+		d.workers = e.gatherWorkers(d.shards)
+	}
+	return d, nil
+}
+
+// decideVecNearest picks the access structure for NEAREST over the
+// vector column: a VP-tree when the metric satisfies the triangle
+// inequality (the tree's pruning invariant), a bounded scan otherwise
+// (cosine). Sharded relations get the same per-shard choice under a
+// rank-aware gather, exactly like the string path.
+func (e *Engine) decideVecNearest(q *Query, ne NearestExpr, tab relation.Table) (*planDecision, error) {
+	// The parser rejects K <= 0, but hand-built Query values reach this
+	// path through ExecuteQuery.
+	if ne.K <= 0 {
+		return nil, fmt.Errorf("query: NEAREST requires a positive count")
+	}
+	m, ok := metric.Lookup(ne.RuleSet)
+	if !ok {
+		return nil, fmt.Errorf("query: unknown metric %q", ne.RuleSet)
+	}
+	via := "scan"
+	if metric.IsTriangular(m) {
+		via = "vptree"
 	}
 	d := &planDecision{kind: accessNearest, via: via}
 	if sh, ok := tab.(*relation.ShardedRelation); ok {
@@ -253,10 +300,21 @@ func (e *Engine) decideSingle(q *Query, tab relation.Table) (*planDecision, erro
 		// Each shard holds ~1/N of the rows; the per-shard access choice
 		// must be costed against what one shard actually scans or probes.
 		costStats.Count = (st.Count + shards - 1) / shards
+		costStats.VecCount = (st.VecCount + shards - 1) / shards
 	}
 	if sim, _ := extractRangeSim(q.Where, e.rangeIndexable); sim != nil {
 		if via := chooseRangeAccess(costStats, sim.Radius); via != "scan" {
 			d := &planDecision{kind: accessRange, via: via, shards: shards}
+			if shards > 0 {
+				d.workers = e.gatherWorkers(shards)
+			}
+			return d, nil
+		}
+	}
+	if sim, _ := extractVecRangeSim(q.Where); sim != nil {
+		m, ok := metric.Lookup(sim.RuleSet)
+		if ok && metric.IsTriangular(m) && chooseVecAccess(costStats, sim.Radius) == "vptree" {
+			d := &planDecision{kind: accessRange, via: "vptree", shards: shards}
 			if shards > 0 {
 				d.workers = e.gatherWorkers(shards)
 			}
@@ -409,14 +467,26 @@ func (e *Engine) buildPlan(q *Query, d *planDecision) (*compiledPlan, error) {
 	// Ensure shared index structures ahead of the snapshots.
 	switch d.kind {
 	case accessRange:
-		if d.via == "trie" {
+		switch d.via {
+		case "trie":
 			rels[0].Trie()
-		} else {
+		case "vptree":
+			if m := vecRangeMetric(q.Where); m != nil {
+				rels[0].VPTree(m)
+			}
+		default:
 			rels[0].BKTree()
 		}
 	case accessNearest:
-		if d.via == "bktree" {
+		switch d.via {
+		case "bktree":
 			rels[0].BKTree()
+		case "vptree":
+			if ne, ok := q.Where.(NearestExpr); ok {
+				if m, ok := metric.Lookup(ne.RuleSet); ok {
+					rels[0].VPTree(m)
+				}
+			}
 		}
 	case accessJoin:
 		for i, ref := range q.From {
@@ -446,12 +516,23 @@ func (e *Engine) buildPlan(q *Query, d *planDecision) (*compiledPlan, error) {
 	switch d.kind {
 	case accessNearest:
 		ne := q.Where.(NearestExpr)
-		access = &nearestKOp{
-			ctx: ctx, snap: snapOf(rels[0]), alias: q.From[0].Alias,
-			via: d.via, target: ne.Target.Lit, k: ne.K, ruleSet: ne.RuleSet,
+		if isVecNearest(&ne) {
+			access = &vecNearestKOp{
+				ctx: ctx, snap: snapOf(rels[0]), alias: q.From[0].Alias,
+				via: d.via, target: ne.Target.Vec, k: ne.K, metricName: ne.RuleSet,
+			}
+		} else {
+			access = &nearestKOp{
+				ctx: ctx, snap: snapOf(rels[0]), alias: q.From[0].Alias,
+				via: d.via, target: ne.Target.Lit, k: ne.K, ruleSet: ne.RuleSet,
+			}
 		}
 	case accessRange:
-		access, err = e.buildRange(ctx, q, snapOf(rels[0]), d)
+		if d.via == "vptree" {
+			access, err = e.buildVecRange(ctx, q, snapOf(rels[0]), d)
+		} else {
+			access, err = e.buildRange(ctx, q, snapOf(rels[0]), d)
+		}
 	case accessScan:
 		access = e.buildScan(ctx, q, snapOf(rels[0]), d)
 	case accessJoin:
@@ -615,6 +696,9 @@ func (e *Engine) validateExpr(ex Expr) error {
 	case NotExpr:
 		return e.validateExpr(ex.E)
 	case SimExpr:
+		if isVecSim(&ex) {
+			return validateVecSim(&ex)
+		}
 		if _, err := e.ruleset(ex.RuleSet); err != nil {
 			return err
 		}
@@ -625,11 +709,51 @@ func (e *Engine) validateExpr(ex Expr) error {
 		}
 		return nil
 	case NearestExpr:
+		if isVecNearest(&ex) {
+			return validateVecNearest(&ex)
+		}
 		_, err := e.ruleset(ex.RuleSet)
 		return err
 	default:
 		return nil
 	}
+}
+
+// validateVecSim checks the shape of a vector similarity conjunct: the
+// field must be the vec column, the target a vector literal, PATTERN
+// does not apply, and USING must name a registered metric.
+func validateVecSim(ex *SimExpr) error {
+	if ex.Pattern {
+		return fmt.Errorf("query: PATTERN does not apply to the vec column")
+	}
+	if ex.Field.Name != "vec" {
+		return fmt.Errorf("query: a vector literal target requires the vec column, not %q", ex.Field.Name)
+	}
+	// An unbound parameter target is validated again after binding, when
+	// the string argument has been parsed into a vector literal.
+	if !ex.Target.IsVec && ex.Target.Param == nil {
+		return fmt.Errorf("query: vec SIMILAR TO requires a vector literal target (joins on vec are not supported)")
+	}
+	return validateMetricName(ex.RuleSet)
+}
+
+// validateVecNearest is validateVecSim for the NEAREST form.
+func validateVecNearest(ex *NearestExpr) error {
+	if ex.Field.Name != "vec" {
+		return fmt.Errorf("query: a vector literal target requires the vec column, not %q", ex.Field.Name)
+	}
+	if !ex.Target.IsVec && ex.Target.Param == nil {
+		return fmt.Errorf("query: vec NEAREST requires a vector literal target")
+	}
+	return validateMetricName(ex.RuleSet)
+}
+
+// validateMetricName resolves a USING name against the metric registry.
+func validateMetricName(name string) error {
+	if _, ok := metric.Lookup(name); !ok {
+		return fmt.Errorf("query: unknown metric %q (registered: %s)", name, strings.Join(metric.Names(), ", "))
+	}
+	return nil
 }
 
 // exprHasSim reports whether the predicate tree contains a similarity
@@ -698,6 +822,40 @@ func extractRangeSim(ex Expr, ok func(*SimExpr) bool) (*SimExpr, Expr) {
 		}
 	}
 	return nil, ex
+}
+
+// extractVecRangeSim walks the top-level AND chain for a vector
+// similarity conjunct (vec against a vector literal); returns it and
+// the residual with that conjunct replaced by TRUE.
+func extractVecRangeSim(ex Expr) (*SimExpr, Expr) {
+	switch ex := ex.(type) {
+	case SimExpr:
+		if ex.Field.Name == "vec" && ex.Target.IsVec && !ex.Pattern {
+			return &ex, litTrue{}
+		}
+	case AndExpr:
+		if s, rl := extractVecRangeSim(ex.L); s != nil {
+			return s, AndExpr{L: rl, R: ex.R}
+		}
+		if s, rr := extractVecRangeSim(ex.R); s != nil {
+			return s, AndExpr{L: ex.L, R: rr}
+		}
+	}
+	return nil, ex
+}
+
+// vecRangeMetric resolves the metric of the predicate's vector range
+// conjunct, nil when there is none.
+func vecRangeMetric(ex Expr) metric.Distance {
+	sim, _ := extractVecRangeSim(ex)
+	if sim == nil {
+		return nil
+	}
+	m, ok := metric.Lookup(sim.RuleSet)
+	if !ok {
+		return nil
+	}
+	return m
 }
 
 // extractJoinSims collects every top-level SimExpr conjunct whose field

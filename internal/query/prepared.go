@@ -16,6 +16,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"repro/internal/metric"
 )
 
 // PreparedQuery is a reusable compiled statement with bind parameters —
@@ -255,9 +257,9 @@ func (pq *PreparedQuery) runMutation(lookup func(ParamRef) (any, error), explain
 func (e *Engine) decisionKey(q *Query, batchSize int) string {
 	workers, minRows := e.parallelConfig()
 	var b strings.Builder
-	fmt.Fprintf(&b, "%d|%d|%d|%d|%d|%t|%d|%s",
+	fmt.Fprintf(&b, "%d|%d|%d|%d|%d|%d|%t|%d|%s",
 		e.catalog.StatsVersion(), e.rulesetVersion(), workers, minRows, batchSize,
-		q.Limit > 0 && q.Order == OrderNone, q.Order, e.catalog.ShardSignature())
+		metric.Version(), q.Limit > 0 && q.Order == OrderNone, q.Order, e.catalog.ShardSignature())
 	appendRadii(&b, q.Where)
 	return b.String()
 }
@@ -275,9 +277,9 @@ func appendRadii(b *strings.Builder, ex Expr) {
 	case NotExpr:
 		appendRadii(b, ex.E)
 	case SimExpr:
-		fmt.Fprintf(b, "|s:%g:%s:%t", ex.Radius, ex.RuleSet, ex.Target.IsLit)
+		fmt.Fprintf(b, "|s:%g:%s:%t:%t", ex.Radius, ex.RuleSet, ex.Target.IsLit, ex.Target.IsVec)
 	case NearestExpr:
-		fmt.Fprintf(b, "|n:%s", ex.RuleSet)
+		fmt.Fprintf(b, "|n:%s:%t", ex.RuleSet, ex.Target.IsVec)
 	}
 }
 
@@ -380,6 +382,9 @@ func bindExpr(ex Expr, lookup func(ParamRef) (any, error)) (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
+		if t, err = coerceVecTarget(ex.Field, t); err != nil {
+			return nil, err
+		}
 		out.Target = t
 		if ex.RadiusParam != nil {
 			v, err := lookup(*ex.RadiusParam)
@@ -399,10 +404,28 @@ func bindExpr(ex Expr, lookup func(ParamRef) (any, error)) (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
+		if t, err = coerceVecTarget(ex.Field, t); err != nil {
+			return nil, err
+		}
 		out.Target = t
 		return out, nil
 	}
 	return ex, nil
+}
+
+// coerceVecTarget re-parses a string bound against the vec column as a
+// vector literal — clients pass vectors through bind parameters in
+// their canonical text form ("[0.1, -2]", see metric.Format), which
+// round-trips each float32 component bit-exactly.
+func coerceVecTarget(f FieldRef, o Operand) (Operand, error) {
+	if f.Name != "vec" || !o.IsLit {
+		return o, nil
+	}
+	v, err := metric.Parse(o.Lit)
+	if err != nil {
+		return Operand{}, fmt.Errorf("query: bad vector argument: %w", err)
+	}
+	return Operand{Vec: v, IsVec: true}, nil
 }
 
 // bindMutation substitutes every parameter of a DML template, returning

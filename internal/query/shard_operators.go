@@ -23,6 +23,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/metric"
 	"repro/internal/relation"
 )
 
@@ -42,14 +43,26 @@ func (e *Engine) buildShardedPlan(q *Query, d *planDecision, tab relation.Table)
 	// index instead of building a private one per query.
 	switch d.kind {
 	case accessRange:
-		if d.via == "trie" {
+		switch d.via {
+		case "trie":
 			sh.EnsureTries()
-		} else {
+		case "vptree":
+			if m := vecRangeMetric(q.Where); m != nil {
+				sh.EnsureVPTrees(m)
+			}
+		default:
 			sh.EnsureBKTrees()
 		}
 	case accessNearest:
-		if d.via == "bktree" {
+		switch d.via {
+		case "bktree":
 			sh.EnsureBKTrees()
+		case "vptree":
+			if ne, ok := q.Where.(NearestExpr); ok {
+				if m, ok := metric.Lookup(ne.RuleSet); ok {
+					sh.EnsureVPTrees(m)
+				}
+			}
 		}
 	}
 	view := sh.View()
@@ -66,18 +79,54 @@ func (e *Engine) buildShardedPlan(q *Query, d *planDecision, tab relation.Table)
 	switch d.kind {
 	case accessNearest:
 		ne := q.Where.(NearestExpr)
-		for i := range children {
-			children[i] = &shardNearestKOp{
-				nearestKOp: nearestKOp{
-					ctx: ctx, snap: view.Snap(i), alias: alias,
-					via: d.via, target: ne.Target.Lit, k: ne.K, ruleSet: ne.RuleSet,
-				},
-				idx: i, of: n,
+		if isVecNearest(&ne) {
+			for i := range children {
+				children[i] = &shardVecNearestKOp{
+					vecNearestKOp: vecNearestKOp{
+						ctx: ctx, snap: view.Snap(i), alias: alias,
+						via: d.via, target: ne.Target.Vec, k: ne.K, metricName: ne.RuleSet,
+					},
+					idx: i, of: n,
+				}
+			}
+		} else {
+			for i := range children {
+				children[i] = &shardNearestKOp{
+					nearestKOp: nearestKOp{
+						ctx: ctx, snap: view.Snap(i), alias: alias,
+						via: d.via, target: ne.Target.Lit, k: ne.K, ruleSet: ne.RuleSet,
+					},
+					idx: i, of: n,
+				}
 			}
 		}
 		access = &gatherMergeOp{ctx: ctx, children: children, workers: d.workers,
 			alias: alias, mode: gatherBestK, k: ne.K}
 	case accessRange:
+		if d.via == "vptree" {
+			sim, residual := extractVecRangeSim(q.Where)
+			if sim == nil {
+				return nil, fmt.Errorf("query: stale plan: no vector range conjunct")
+			}
+			pred := simplifyExpr(residual)
+			for i := range children {
+				var op Operator = &vecRangeOp{
+					ctx: ctx, snap: view.Snap(i), alias: alias,
+					target: sim.Target.Vec, radius: sim.Radius, metricName: sim.RuleSet,
+				}
+				if !isTrivial(pred) {
+					op = &filterOp{ctx: ctx, child: op, pred: pred}
+				}
+				if q.Limit > 0 && q.Order == OrderNone {
+					// Same per-shard pushdown as the string index range below.
+					op = &limitOp{child: op, n: q.Limit}
+				}
+				children[i] = op
+			}
+			access = &gatherMergeOp{ctx: ctx, children: children, workers: d.workers,
+				alias: alias, mode: gatherByID}
+			break
+		}
 		sim, residual := extractRangeSim(q.Where, e.rangeIndexable)
 		if sim == nil {
 			return nil, fmt.Errorf("query: stale plan: no indexable conjunct")

@@ -1,0 +1,374 @@
+package query
+
+// The vector access-path operators: continuous-metric twins of the
+// string operators in operators.go and batch_operators.go. VecNearestK
+// and VecRange serve NEAREST / SIMILAR TO ... WITHIN over the vec
+// column, backed by the relation's VP-tree when the metric satisfies
+// the triangle inequality and by a metric scan otherwise (cosine).
+//
+// Determinism: every path — row scan, batch scan, VP-tree walk — calls
+// the metric with the query vector as the first operand and admits
+// candidates through the same (dist, id)-ordered best list, so row,
+// batch, tree and brute-force executions produce byte-identical
+// results (the property the vector parity oracle pins).
+
+import (
+	"fmt"
+
+	"repro/internal/index"
+	"repro/internal/metric"
+	"repro/internal/relation"
+)
+
+// ----------------------------------------------------- row nearest-k
+
+// vecNearestKOp answers "vec NEAREST k TO [..]". The vptree variant
+// walks the metric tree depth-first with a shrinking pruning radius;
+// the scan variant keeps the same bounded (dist, id) best list over a
+// full pass. Rows without a vector never qualify.
+type vecNearestKOp struct {
+	ctx        *execCtx
+	snap       *relation.Snapshot
+	alias      string
+	via        string // "vptree" or "scan"
+	target     metric.Vector
+	k          int
+	metricName string
+
+	matches []index.Match
+	pos     int
+}
+
+func (o *vecNearestKOp) Open() error {
+	o.pos = 0
+	m, ok := metric.Lookup(o.metricName)
+	if !ok {
+		return fmt.Errorf("query: unknown metric %q", o.metricName)
+	}
+	if o.via == "vptree" {
+		// The shared tree may hold tombstoned or post-snapshot entries;
+		// the visibility filter keeps them out of the best list without
+		// losing true answers.
+		ms, st := o.snap.VPTree(m).NearestKFilterStats(o.target, o.k, o.snap.Visible)
+		o.matches = ms
+		o.ctx.addStats(ExecStats{Candidates: st.Candidates, Verifications: st.Verifications})
+		return nil
+	}
+	var local ExecStats
+	var best []index.Match
+	cur := o.snap.Shard(0, 1)
+	for t, ok := cur.Next(); ok; t, ok = cur.Next() {
+		local.Candidates++
+		if t.Vec == nil {
+			continue
+		}
+		local.Verifications++
+		// Full distance always (no early-abandon): the admission test
+		// below then sees the exact same float64 the VP-tree walk and the
+		// batch kernel compute, keeping every path bitwise-aligned.
+		d := m.Dist(o.target, t.Vec)
+		if len(best) < o.k || d <= best[len(best)-1].Dist {
+			best = index.PushBestK(best, index.Match{ID: t.ID, Dist: d}, o.k)
+		}
+	}
+	o.matches = best
+	o.ctx.addStats(local)
+	return nil
+}
+
+func (o *vecNearestKOp) Next() (*binding, error) {
+	if o.pos >= len(o.matches) {
+		return nil, nil
+	}
+	m := o.matches[o.pos]
+	o.pos++
+	t, _ := o.snap.Tuple(m.ID)
+	b := newBinding(o.alias, t)
+	b.dist, b.hasDist = m.Dist, true
+	return b, nil
+}
+
+func (o *vecNearestKOp) Close() error {
+	o.matches = nil
+	return nil
+}
+
+func (o *vecNearestKOp) Describe() string {
+	return fmt.Sprintf("VecNearestK(%s via %s, k=%d, metric=%s)", o.alias, o.via, o.k, o.metricName)
+}
+
+func (o *vecNearestKOp) Children() []Operator { return nil }
+
+// --------------------------------------------------------- row range
+
+// vecRangeOp streams matches of "vec SIMILAR TO [..] WITHIN r" from
+// the VP-tree. The iterator is lazy, so a LIMIT above this operator
+// stops the tree traversal early. As with the string indexes, the
+// shared tree is a superset of the snapshot, so every match passes
+// through the visibility filter.
+type vecRangeOp struct {
+	ctx        *execCtx
+	snap       *relation.Snapshot
+	alias      string
+	target     metric.Vector
+	radius     float64
+	metricName string
+
+	iter index.Iterator
+}
+
+func (o *vecRangeOp) Open() error {
+	m, ok := metric.Lookup(o.metricName)
+	if !ok {
+		return fmt.Errorf("query: unknown metric %q", o.metricName)
+	}
+	o.iter = o.snap.VPTree(m).RangeIter(o.target, o.radius)
+	return nil
+}
+
+func (o *vecRangeOp) Next() (*binding, error) {
+	for {
+		m, ok := o.iter.Next()
+		if !ok {
+			return nil, nil
+		}
+		t, ok := o.snap.Tuple(m.ID)
+		if !ok {
+			continue // invisible at this snapshot (tombstone or later insert)
+		}
+		b := newBinding(o.alias, t)
+		b.dist, b.hasDist = m.Dist, true
+		return b, nil
+	}
+}
+
+func (o *vecRangeOp) Close() error {
+	if o.iter != nil {
+		st := o.iter.Stats()
+		o.ctx.addStats(ExecStats{Candidates: st.Candidates, Verifications: st.Verifications})
+		o.iter = nil
+	}
+	return nil
+}
+
+func (o *vecRangeOp) Describe() string {
+	return fmt.Sprintf("VecRange(%s via vptree, radius=%g, metric=%s)", o.alias, o.radius, o.metricName)
+}
+
+func (o *vecRangeOp) Children() []Operator { return nil }
+
+// buildVecRange reconstructs the VP-tree range pipeline; extraction is
+// deterministic, so the conjunct the decision was made for is found
+// again.
+func (e *Engine) buildVecRange(ctx *execCtx, q *Query, snap *relation.Snapshot, d *planDecision) (Operator, error) {
+	sim, residual := extractVecRangeSim(q.Where)
+	if sim == nil {
+		return nil, fmt.Errorf("query: stale plan: no vector range conjunct")
+	}
+	var op Operator = &vecRangeOp{
+		ctx: ctx, snap: snap, alias: q.From[0].Alias,
+		target: sim.Target.Vec, radius: sim.Radius, metricName: sim.RuleSet,
+	}
+	if res := simplifyExpr(residual); !isTrivial(res) {
+		op = &filterOp{ctx: ctx, child: op, pred: res}
+	}
+	return op, nil
+}
+
+// --------------------------------------------------- batch nearest-k
+
+// batchVecNearestKOp is vecNearestKOp at block granularity: the scan
+// variant pulls tuple blocks and evaluates the metric's block kernel
+// (metric.DistBatch) over each vector column before folding the
+// distances into the same bounded best list, the vptree variant reuses
+// the tree's walk with the buffer-reusing Into form.
+type batchVecNearestKOp struct {
+	ctx        *execCtx
+	snap       *relation.Snapshot
+	alias      string
+	via        string // "vptree" or "scan"
+	target     metric.Vector
+	k          int
+	metricName string
+	size       int
+
+	matches []index.Match
+	pos     int
+	blk     relation.Block
+	dbuf    []float64
+	buf     *Batch
+}
+
+func (o *batchVecNearestKOp) OpenBatch() error {
+	o.pos = 0
+	o.buf = getBatch()
+	m, ok := metric.Lookup(o.metricName)
+	if !ok {
+		return fmt.Errorf("query: unknown metric %q", o.metricName)
+	}
+	if o.via == "vptree" {
+		ms, st := o.snap.VPTree(m).NearestKFilterStatsInto(o.matches[:0], o.target, o.k, o.snap.Visible)
+		o.matches = ms
+		o.ctx.addStats(ExecStats{Candidates: st.Candidates, Verifications: st.Verifications})
+		return nil
+	}
+	var local ExecStats
+	best := o.matches[:0]
+	cur := o.snap.Shard(0, 1)
+	for {
+		n := cur.NextBlock(&o.blk, o.size)
+		if n == 0 {
+			break
+		}
+		if cap(o.dbuf) < n {
+			o.dbuf = make([]float64, n)
+		}
+		out := o.dbuf[:n]
+		metric.DistBatch(m, o.target, o.blk.Vecs[:n], out)
+		local.Candidates += n
+		for i := 0; i < n; i++ {
+			if o.blk.Vecs[i] == nil {
+				continue // DistBatch yields +Inf; never admissible
+			}
+			local.Verifications++
+			d := out[i]
+			if len(best) < o.k || d <= best[len(best)-1].Dist {
+				best = index.PushBestK(best, index.Match{ID: o.blk.IDs[i], Dist: d}, o.k)
+			}
+		}
+	}
+	o.matches = best
+	o.ctx.addStats(local)
+	return nil
+}
+
+func (o *batchVecNearestKOp) NextBatch() (*Batch, error) {
+	if o.pos >= len(o.matches) {
+		return nil, nil
+	}
+	b := o.buf
+	b.reset()
+	b.alias = o.alias
+	for b.Len() < o.size && o.pos < len(o.matches) {
+		m := o.matches[o.pos]
+		o.pos++
+		t, _ := o.snap.Tuple(m.ID)
+		b.appendMatch(t, m.Dist, true)
+	}
+	return b, nil
+}
+
+func (o *batchVecNearestKOp) CloseBatch() error {
+	o.matches = o.matches[:0]
+	putBatch(o.buf)
+	o.buf = nil
+	return nil
+}
+
+func (o *batchVecNearestKOp) Describe() string {
+	return fmt.Sprintf("VecNearestK(%s via %s, k=%d, metric=%s)", o.alias, o.via, o.k, o.metricName)
+}
+
+func (o *batchVecNearestKOp) childNodes() []any { return nil }
+
+// ------------------------------------------------------- batch range
+
+// batchVecRangeOp streams VP-tree range matches in blocks, applying
+// the snapshot visibility filter per block; emission order is the
+// tree's deterministic traversal order — identical to the row twin's.
+type batchVecRangeOp struct {
+	ctx        *execCtx
+	snap       *relation.Snapshot
+	alias      string
+	target     metric.Vector
+	radius     float64
+	metricName string
+	size       int
+
+	iter index.BatchIterator
+	mbuf []index.Match
+	buf  *Batch
+}
+
+func (o *batchVecRangeOp) OpenBatch() error {
+	m, ok := metric.Lookup(o.metricName)
+	if !ok {
+		return fmt.Errorf("query: unknown metric %q", o.metricName)
+	}
+	it := o.snap.VPTree(m).RangeIter(o.target, o.radius)
+	bi, ok := it.(index.BatchIterator)
+	if !ok {
+		bi = &iterBatcher{Iterator: it}
+	}
+	o.iter = bi
+	if cap(o.mbuf) < o.size {
+		o.mbuf = make([]index.Match, o.size)
+	}
+	o.buf = getBatch()
+	return nil
+}
+
+func (o *batchVecRangeOp) NextBatch() (*Batch, error) {
+	b := o.buf
+	for {
+		n := o.iter.NextBatch(o.mbuf[:o.size])
+		if n == 0 {
+			return nil, nil
+		}
+		b.reset()
+		b.alias = o.alias
+		for _, m := range o.mbuf[:n] {
+			t, ok := o.snap.Tuple(m.ID)
+			if !ok {
+				continue // invisible at this snapshot (tombstone or later insert)
+			}
+			b.appendMatch(t, m.Dist, true)
+		}
+		if b.Len() > 0 {
+			return b, nil
+		}
+	}
+}
+
+func (o *batchVecRangeOp) CloseBatch() error {
+	if o.iter != nil {
+		st := o.iter.Stats()
+		o.ctx.addStats(ExecStats{Candidates: st.Candidates, Verifications: st.Verifications})
+		o.iter = nil
+	}
+	putBatch(o.buf)
+	o.buf = nil
+	return nil
+}
+
+func (o *batchVecRangeOp) Describe() string {
+	return fmt.Sprintf("VecRange(%s via vptree, radius=%g, metric=%s)", o.alias, o.radius, o.metricName)
+}
+
+func (o *batchVecRangeOp) childNodes() []any { return nil }
+
+// ------------------------------------------------------ shard leaves
+
+// shardVecNearestKOp is a vecNearestKOp over one shard snapshot; it
+// exists so EXPLAIN shows which shard each k-best list comes from.
+type shardVecNearestKOp struct {
+	vecNearestKOp
+	idx, of int
+}
+
+func (o *shardVecNearestKOp) Describe() string {
+	return fmt.Sprintf("ShardVecNearestK(%s, shard %d/%d, via %s, k=%d, metric=%s)",
+		o.alias, o.idx, o.of, o.via, o.k, o.metricName)
+}
+
+// batchShardVecNearestKOp is a batchVecNearestKOp over one shard
+// snapshot.
+type batchShardVecNearestKOp struct {
+	batchVecNearestKOp
+	idx, of int
+}
+
+func (o *batchShardVecNearestKOp) Describe() string {
+	return fmt.Sprintf("ShardVecNearestK(%s, shard %d/%d, via %s, k=%d, metric=%s)",
+		o.alias, o.idx, o.of, o.via, o.k, o.metricName)
+}

@@ -19,10 +19,18 @@
 // beyond its slice length) and its tombstone epoch is > e (deletes at
 // or before e hide it). Updates are delete+insert in one commit.
 //
-// The BK-tree and trie indexes are maintained online: inserts extend
-// the shared index (safe for concurrent readers; see package index),
-// deletes rely on the visibility filter, and compaction rebuilds both
-// the arena and the indexes once enough tombstones accumulate.
+// The BK-tree, trie and VP-tree indexes are maintained online: inserts
+// extend the shared index (safe for concurrent readers; see package
+// index), deletes rely on the visibility filter, and compaction
+// rebuilds both the arena and the indexes once enough tombstones
+// accumulate.
+//
+// Beyond the string sequence, tuples may carry a dense float-vector
+// embedding (the "vec" column, a metric.Vector). Vectors ride the same
+// MVCC arena, WAL records and text codec as sequences; continuous
+// metrics (L2, cosine) query them through the same planner that serves
+// edit distances, with VP-trees as the continuous analogue of the
+// BK-tree.
 package relation
 
 import (
@@ -36,23 +44,31 @@ import (
 	"sync/atomic"
 
 	"repro/internal/index"
+	"repro/internal/metric"
 )
 
 // Tuple is one row of a relation.
 type Tuple struct {
 	ID    int
 	Seq   string
+	Vec   metric.Vector // optional embedding; nil when the row has none
 	Attrs map[string]string
 }
 
 // Attr returns the named attribute ("" when absent). The built-in
-// columns "id" and "seq" are also addressable.
+// columns "id", "seq" and "vec" are also addressable; a vector renders
+// in its canonical literal syntax.
 func (t Tuple) Attr(name string) string {
 	switch name {
 	case "id":
 		return strconv.Itoa(t.ID)
 	case "seq":
 		return t.Seq
+	case "vec":
+		if t.Vec == nil {
+			return ""
+		}
+		return metric.Format(t.Vec)
 	default:
 		return t.Attrs[name]
 	}
@@ -81,12 +97,36 @@ type head struct {
 	dead     int      // tombstoned rows still in the arena
 	seqBytes int      // total sequence bytes across live rows
 	maxLen   int      // upper bound on live sequence length (exact after compaction)
+	vecRows  int      // visible rows carrying a vector
+	vecDim   int      // upper bound on live vector dimension (exact after compaction)
 	byteRows [256]int // live rows containing each byte (alphabet histogram)
 
 	bk     *index.BKTree
 	trie   *index.Trie
 	length *index.LengthIndex
 	qgram  *index.QGramIndex
+	// vps maps metric name to the online-maintained VP-tree over that
+	// metric. Like bk/trie the trees are shared tail-extended across
+	// heads; the map itself is immutable once published (lazy builds
+	// install a copied map into a successor head).
+	vps map[string]*index.VPTree
+}
+
+// indexRow inserts a freshly-installed row into every online index.
+// Caller holds the relation mutex (single-writer contract of the
+// trees).
+func (h *head) indexRow(t Tuple) {
+	if h.bk != nil {
+		h.bk.Insert(t.ID, t.Seq)
+	}
+	if h.trie != nil {
+		h.trie.Insert(t.ID, t.Seq)
+	}
+	if t.Vec != nil {
+		for _, vp := range h.vps {
+			vp.Insert(t.ID, t.Vec)
+		}
+	}
 }
 
 // find returns the arena row with the given id, tombstoned or not.
@@ -99,12 +139,19 @@ func (h *head) find(id int) *Row {
 	return nil
 }
 
-// addStats folds one live sequence into the head's statistics.
-func (h *head) addStats(seq string) {
+// addStats folds one live row into the head's statistics.
+func (h *head) addStats(t Tuple) {
+	seq := t.Seq
 	h.live++
 	h.seqBytes += len(seq)
 	if len(seq) > h.maxLen {
 		h.maxLen = len(seq)
+	}
+	if t.Vec != nil {
+		h.vecRows++
+		if len(t.Vec) > h.vecDim {
+			h.vecDim = len(t.Vec)
+		}
 	}
 	var seen [256]bool
 	for i := 0; i < len(seq); i++ {
@@ -115,12 +162,16 @@ func (h *head) addStats(seq string) {
 	}
 }
 
-// dropStats removes one live sequence from the statistics. maxLen is
-// left as an upper bound; compaction restores it exactly.
-func (h *head) dropStats(seq string) {
+// dropStats removes one live row from the statistics. maxLen and
+// vecDim are left as upper bounds; compaction restores them exactly.
+func (h *head) dropStats(t Tuple) {
+	seq := t.Seq
 	h.live--
 	h.dead++
 	h.seqBytes -= len(seq)
+	if t.Vec != nil {
+		h.vecRows--
+	}
 	var seen [256]bool
 	for i := 0; i < len(seq); i++ {
 		if !seen[seq[i]] {
@@ -139,6 +190,10 @@ func (h *head) dropStats(seq string) {
 // InsertAt and UpdateAt are storage-layer primitives: they install rows
 // under caller-assigned ids (segmented-WAL replay and reserved-id
 // commits need them) and expect globally fresh ids.
+//
+// The Row-variant methods (InsertRowAt, UpdateRow, UpdateRowAt) are the
+// full-width forms carrying the vector column; the string-only methods
+// are wrappers kept for the sequence-only call sites.
 type Table interface {
 	Name() string
 	Len() int
@@ -149,9 +204,12 @@ type Table interface {
 	Insert(seq string, attrs map[string]string) int
 	InsertBatch(rows []InsertRow) []int
 	InsertAt(id int, seq string, attrs map[string]string) bool
+	InsertRowAt(id int, row InsertRow) bool
 	Delete(id int) bool
 	Update(id int, seq string, attrs map[string]string) (int, bool)
+	UpdateRow(id int, row InsertRow) (int, bool)
 	UpdateAt(id, newID int, seq string, attrs map[string]string) bool
+	UpdateRowAt(id, newID int, row InsertRow) bool
 }
 
 var (
@@ -174,6 +232,8 @@ type Stats struct {
 	AvgSeqLen float64 // mean sequence length
 	MaxSeqLen int     // longest sequence
 	Alphabet  int     // distinct bytes across all sequences (branching estimate)
+	VecCount  int     // tuples carrying a vector
+	VecDim    int     // largest vector dimension (upper bound between compactions)
 }
 
 // Compaction policy: rebuild the arena and indexes once at least
@@ -211,35 +271,38 @@ func (r *Relation) publish(h *head) {
 	r.version.Add(1)
 }
 
-// Insert appends a tuple and returns its id. Built indexes are
-// maintained online; the new entry becomes visible to snapshots taken
-// after the commit.
+// Insert appends a sequence-only tuple and returns its id. Built
+// indexes are maintained online; the new entry becomes visible to
+// snapshots taken after the commit.
 func (r *Relation) Insert(seq string, attrs map[string]string) int {
+	return r.InsertOne(InsertRow{Seq: seq, Attrs: attrs})
+}
+
+// InsertOne appends one full-width tuple (sequence, optional vector,
+// attributes) in its own commit and returns its id.
+func (r *Relation) InsertOne(in InsertRow) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h := r.head.Load()
 	nh := *h
 	id := nh.nextID
-	row := &Row{Tuple: Tuple{ID: id, Seq: seq, Attrs: attrs}}
+	row := &Row{Tuple: Tuple{ID: id, Seq: in.Seq, Vec: in.Vec, Attrs: in.Attrs}}
 	row.died.Store(aliveEpoch)
 	nh.rows = append(nh.rows, row)
 	nh.nextID++
 	nh.epoch++
-	nh.addStats(seq)
-	if nh.bk != nil {
-		nh.bk.Insert(id, seq)
-	}
-	if nh.trie != nil {
-		nh.trie.Insert(id, seq)
-	}
+	nh.addStats(row.Tuple)
+	nh.indexRow(row.Tuple)
 	nh.length, nh.qgram = nil, nil
 	r.publish(&nh)
 	return id
 }
 
-// InsertRow is one input row of InsertBatch.
+// InsertRow is one input row of InsertBatch: the full tuple width
+// minus the id.
 type InsertRow struct {
 	Seq   string
+	Vec   metric.Vector
 	Attrs map[string]string
 }
 
@@ -258,17 +321,12 @@ func (r *Relation) InsertBatch(rows []InsertRow) []int {
 	ids := make([]int, len(rows))
 	for i, in := range rows {
 		id := nh.nextID
-		row := &Row{Tuple: Tuple{ID: id, Seq: in.Seq, Attrs: in.Attrs}}
+		row := &Row{Tuple: Tuple{ID: id, Seq: in.Seq, Vec: in.Vec, Attrs: in.Attrs}}
 		row.died.Store(aliveEpoch)
 		nh.rows = append(nh.rows, row)
 		nh.nextID++
-		nh.addStats(in.Seq)
-		if nh.bk != nil {
-			nh.bk.Insert(id, in.Seq)
-		}
-		if nh.trie != nil {
-			nh.trie.Insert(id, in.Seq)
-		}
+		nh.addStats(row.Tuple)
+		nh.indexRow(row.Tuple)
 		ids[i] = id
 	}
 	nh.epoch++
@@ -284,18 +342,23 @@ func (r *Relation) InsertBatch(rows []InsertRow) []int {
 // id allocator is monotonic); an out-of-order id falls back to a
 // copy-and-sort of the arena so find()'s binary search stays valid.
 func (r *Relation) InsertAt(id int, seq string, attrs map[string]string) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.insertAtLocked(id, seq, attrs)
+	return r.InsertRowAt(id, InsertRow{Seq: seq, Attrs: attrs})
 }
 
-func (r *Relation) insertAtLocked(id int, seq string, attrs map[string]string) bool {
+// InsertRowAt is InsertAt carrying the full tuple width.
+func (r *Relation) InsertRowAt(id int, in InsertRow) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.insertAtLocked(id, in)
+}
+
+func (r *Relation) insertAtLocked(id int, in InsertRow) bool {
 	h := r.head.Load()
 	if h.find(id) != nil {
 		return false
 	}
 	nh := *h
-	row := &Row{Tuple: Tuple{ID: id, Seq: seq, Attrs: attrs}}
+	row := &Row{Tuple: Tuple{ID: id, Seq: in.Seq, Vec: in.Vec, Attrs: in.Attrs}}
 	row.died.Store(aliveEpoch)
 	if n := len(nh.rows); n > 0 && nh.rows[n-1].ID > id {
 		// Out-of-order id: older heads share the arena backing array, so
@@ -312,13 +375,8 @@ func (r *Relation) insertAtLocked(id int, seq string, attrs map[string]string) b
 		nh.nextID = id + 1
 	}
 	nh.epoch++
-	nh.addStats(seq)
-	if nh.bk != nil {
-		nh.bk.Insert(id, seq)
-	}
-	if nh.trie != nil {
-		nh.trie.Insert(id, seq)
-	}
+	nh.addStats(row.Tuple)
+	nh.indexRow(row.Tuple)
 	nh.length, nh.qgram = nil, nil
 	r.publish(&nh)
 	return true
@@ -358,19 +416,14 @@ func (r *Relation) InsertBatchAt(ids []int, rows []InsertRow) []int {
 			sorted = false
 		}
 		last = id
-		row := &Row{Tuple: Tuple{ID: id, Seq: in.Seq, Attrs: in.Attrs}}
+		row := &Row{Tuple: Tuple{ID: id, Seq: in.Seq, Vec: in.Vec, Attrs: in.Attrs}}
 		row.died.Store(aliveEpoch)
 		nh.rows = append(nh.rows, row)
 		if id >= nh.nextID {
 			nh.nextID = id + 1
 		}
-		nh.addStats(in.Seq)
-		if nh.bk != nil {
-			nh.bk.Insert(id, in.Seq)
-		}
-		if nh.trie != nil {
-			nh.trie.Insert(id, in.Seq)
-		}
+		nh.addStats(row.Tuple)
+		nh.indexRow(row.Tuple)
 	}
 	if len(installed) == 0 {
 		return nil
@@ -403,7 +456,7 @@ func (r *Relation) Delete(id int) bool {
 	// Store the tombstone before publishing the head: a snapshot of the
 	// new head must already see the row dead.
 	row.died.Store(nh.epoch)
-	nh.dropStats(row.Seq)
+	nh.dropStats(row.Tuple)
 	nh.length, nh.qgram = nil, nil
 	r.publish(&nh)
 	r.maybeCompact()
@@ -415,6 +468,11 @@ func (r *Relation) Delete(id int) bool {
 // every snapshot sees either the old row or the new one, never both.
 // Returns the new id; false when no visible row has the old id.
 func (r *Relation) Update(id int, seq string, attrs map[string]string) (int, bool) {
+	return r.UpdateRow(id, InsertRow{Seq: seq, Attrs: attrs})
+}
+
+// UpdateRow is Update carrying the full tuple width.
+func (r *Relation) UpdateRow(id int, in InsertRow) (int, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h := r.head.Load()
@@ -425,19 +483,14 @@ func (r *Relation) Update(id int, seq string, attrs map[string]string) (int, boo
 	nh := *h
 	nh.epoch++
 	row.died.Store(nh.epoch)
-	nh.dropStats(row.Seq)
+	nh.dropStats(row.Tuple)
 	newID := nh.nextID
-	nrow := &Row{Tuple: Tuple{ID: newID, Seq: seq, Attrs: attrs}}
+	nrow := &Row{Tuple: Tuple{ID: newID, Seq: in.Seq, Vec: in.Vec, Attrs: in.Attrs}}
 	nrow.died.Store(aliveEpoch)
 	nh.rows = append(nh.rows, nrow)
 	nh.nextID++
-	nh.addStats(seq)
-	if nh.bk != nil {
-		nh.bk.Insert(newID, seq)
-	}
-	if nh.trie != nil {
-		nh.trie.Insert(newID, seq)
-	}
+	nh.addStats(nrow.Tuple)
+	nh.indexRow(nrow.Tuple)
 	nh.length, nh.qgram = nil, nil
 	r.publish(&nh)
 	r.maybeCompact()
@@ -449,6 +502,11 @@ func (r *Relation) Update(id int, seq string, attrs map[string]string) (int, boo
 // one commit. Sharded relations allocate newID globally; segmented-WAL
 // replay re-applies updates under their logged ids.
 func (r *Relation) UpdateAt(id, newID int, seq string, attrs map[string]string) bool {
+	return r.UpdateRowAt(id, newID, InsertRow{Seq: seq, Attrs: attrs})
+}
+
+// UpdateRowAt is UpdateAt carrying the full tuple width.
+func (r *Relation) UpdateRowAt(id, newID int, in InsertRow) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h := r.head.Load()
@@ -459,8 +517,8 @@ func (r *Relation) UpdateAt(id, newID int, seq string, attrs map[string]string) 
 	nh := *h
 	nh.epoch++
 	row.died.Store(nh.epoch)
-	nh.dropStats(row.Seq)
-	nrow := &Row{Tuple: Tuple{ID: newID, Seq: seq, Attrs: attrs}}
+	nh.dropStats(row.Tuple)
+	nrow := &Row{Tuple: Tuple{ID: newID, Seq: in.Seq, Vec: in.Vec, Attrs: in.Attrs}}
 	nrow.died.Store(aliveEpoch)
 	if n := len(nh.rows); n > 0 && nh.rows[n-1].ID > newID {
 		rows := make([]*Row, 0, n+1)
@@ -474,13 +532,8 @@ func (r *Relation) UpdateAt(id, newID int, seq string, attrs map[string]string) 
 	if newID >= nh.nextID {
 		nh.nextID = newID + 1
 	}
-	nh.addStats(seq)
-	if nh.bk != nil {
-		nh.bk.Insert(newID, seq)
-	}
-	if nh.trie != nil {
-		nh.trie.Insert(newID, seq)
-	}
+	nh.addStats(nrow.Tuple)
+	nh.indexRow(nrow.Tuple)
 	nh.length, nh.qgram = nil, nil
 	r.publish(&nh)
 	r.maybeCompact()
@@ -517,7 +570,7 @@ func (r *Relation) compactLocked() {
 		// snapshots hold the old head.
 		if row.died.Load() == aliveEpoch {
 			nh.rows = append(nh.rows, row)
-			nh.addStats(row.Seq)
+			nh.addStats(row.Tuple)
 		}
 	}
 	if h.bk != nil {
@@ -530,6 +583,12 @@ func (r *Relation) compactLocked() {
 		nh.trie = index.NewTrie()
 		for _, row := range nh.rows {
 			nh.trie.Insert(row.ID, row.Seq)
+		}
+	}
+	if len(h.vps) > 0 {
+		nh.vps = make(map[string]*index.VPTree, len(h.vps))
+		for name, old := range h.vps {
+			nh.vps[name] = buildVPTree(old.Metric(), nh.rows)
 		}
 	}
 	// Publish without a version bump when nothing was dropped? Keep the
@@ -629,6 +688,49 @@ func buildBKTree(rows []*Row) *index.BKTree {
 	}
 	return bk
 }
+
+func buildVPTree(m metric.Distance, rows []*Row) *index.VPTree {
+	vp := index.NewVPTree(m)
+	for _, row := range rows {
+		if row.Vec != nil {
+			vp.Insert(row.ID, row.Vec)
+		}
+	}
+	return vp
+}
+
+// ensureVPTree installs a lazily-built VP-tree over the given metric
+// into a successor head; once built the tree is maintained online by
+// the insert paths and rebuilt by compaction. Like ensureBKTree the
+// publish carries no version bump — building an index changes no
+// statistics and must not invalidate cached plans.
+func (r *Relation) ensureVPTree(m metric.Distance) *index.VPTree {
+	if h := r.head.Load(); h.vps[m.Name()] != nil {
+		return h.vps[m.Name()]
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.head.Load()
+	if vp := h.vps[m.Name()]; vp != nil {
+		return vp
+	}
+	vp := buildVPTree(m, h.rows)
+	nh := *h
+	nvps := make(map[string]*index.VPTree, len(h.vps)+1)
+	for k, v := range h.vps {
+		nvps[k] = v
+	}
+	nvps[m.Name()] = vp
+	nh.vps = nvps
+	r.head.Store(&nh)
+	return vp
+}
+
+// VPTree returns the relation's VP-tree over the given metric, building
+// it on first use; once built it is maintained online like the BK-tree.
+// The metric should carry the triangle-inequality capability — the
+// planner only routes triangular metrics here.
+func (r *Relation) VPTree(m metric.Distance) *index.VPTree { return r.ensureVPTree(m) }
 
 func buildTrie(rows []*Row) *index.Trie {
 	tr := index.NewTrie()
@@ -739,7 +841,7 @@ func (s *Snapshot) Tuples() []Tuple {
 // Stats returns the planner statistics at this snapshot.
 func (s *Snapshot) Stats() Stats {
 	h := s.h
-	st := Stats{Count: h.live, MaxSeqLen: h.maxLen}
+	st := Stats{Count: h.live, MaxSeqLen: h.maxLen, VecCount: h.vecRows, VecDim: h.vecDim}
 	if h.live > 0 {
 		st.AvgSeqLen = float64(h.seqBytes) / float64(h.live)
 	}
@@ -789,6 +891,18 @@ func (s *Snapshot) Trie() *index.Trie {
 	return buildTrie(s.h.rows)
 }
 
+// VPTree returns a VP-tree over the given metric whose entries form a
+// superset of the rows visible at this snapshot; callers filter matches
+// through Visible, exactly as with BKTree. When the relation has no
+// shared tree for the metric a private one is built over the snapshot's
+// own arena.
+func (s *Snapshot) VPTree(m metric.Distance) *index.VPTree {
+	if vp := s.h.vps[m.Name()]; vp != nil {
+		return vp
+	}
+	return buildVPTree(m, s.h.rows)
+}
+
 // Visible reports whether the given id is visible at this snapshot —
 // the filter index-backed access paths apply to their matches.
 func (s *Snapshot) Visible(id int) bool {
@@ -817,23 +931,26 @@ func (c *Cursor) Next() (Tuple, bool) {
 }
 
 // Block is a column-oriented batch of visible tuples — the unit the
-// vectorized execution engine pulls. The three slices are parallel:
-// row i is (IDs[i], Seqs[i], Attrs[i]).
+// vectorized execution engine pulls. The four slices are parallel: row
+// i is (IDs[i], Seqs[i], Vecs[i], Attrs[i]); Vecs[i] is nil for rows
+// without an embedding.
 type Block struct {
 	IDs   []int
 	Seqs  []string
+	Vecs  []metric.Vector
 	Attrs []map[string]string
 }
 
 // Reset empties the block, keeping capacity.
 func (b *Block) Reset() {
-	b.IDs, b.Seqs, b.Attrs = b.IDs[:0], b.Seqs[:0], b.Attrs[:0]
+	b.IDs, b.Seqs, b.Vecs, b.Attrs = b.IDs[:0], b.Seqs[:0], b.Vecs[:0], b.Attrs[:0]
 }
 
 // Append adds one tuple to the block.
-func (b *Block) Append(id int, seq string, attrs map[string]string) {
+func (b *Block) Append(id int, seq string, vec metric.Vector, attrs map[string]string) {
 	b.IDs = append(b.IDs, id)
 	b.Seqs = append(b.Seqs, seq)
+	b.Vecs = append(b.Vecs, vec)
 	b.Attrs = append(b.Attrs, attrs)
 }
 
@@ -857,7 +974,7 @@ func (c *Cursor) NextBlock(b *Block, max int) int {
 			end = len(c.rows)
 		}
 		for _, row := range c.rows[c.pos:end] {
-			b.Append(row.ID, row.Seq, row.Attrs)
+			b.Append(row.ID, row.Seq, row.Vec, row.Attrs)
 		}
 		n := end - c.pos
 		c.pos = end
@@ -868,7 +985,7 @@ func (c *Cursor) NextBlock(b *Block, max int) int {
 		row := c.rows[c.pos]
 		c.pos++
 		if row.died.Load() > c.epoch {
-			b.Append(row.ID, row.Seq, row.Attrs)
+			b.Append(row.ID, row.Seq, row.Vec, row.Attrs)
 			n++
 		}
 	}
@@ -878,7 +995,11 @@ func (c *Cursor) NextBlock(b *Block, max int) int {
 // ------------------------------------------------------------- storage
 
 // Store writes the relation in the text codec: one tuple per line,
-// "seq TAB k=v TAB k=v...". IDs are positional and not stored.
+// "seq TAB vec=[...] TAB k=v TAB k=v...". IDs are positional and not
+// stored. The vec token — always first when present — carries the
+// canonical vector literal, whose shortest-round-trip formatting makes
+// Store/Load bit-exact for the embedding column; "vec" is therefore a
+// reserved column name that cannot appear as a plain attribute.
 func (r *Relation) Store(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	for _, t := range r.Tuples() {
@@ -888,12 +1009,20 @@ func (r *Relation) Store(w io.Writer) error {
 		if _, err := bw.WriteString(t.Seq); err != nil {
 			return err
 		}
+		if t.Vec != nil {
+			if _, err := fmt.Fprintf(bw, "\tvec=%s", metric.Format(t.Vec)); err != nil {
+				return err
+			}
+		}
 		keys := make([]string, 0, len(t.Attrs))
 		for k := range t.Attrs {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
+			if k == "vec" {
+				return fmt.Errorf("relation: attribute name %q is reserved for the vector column", k)
+			}
 			if _, err := fmt.Fprintf(bw, "\t%s=%s", k, t.Attrs[k]); err != nil {
 				return err
 			}
@@ -920,17 +1049,26 @@ func Load(name string, rd io.Reader) (*Relation, error) {
 		}
 		parts := strings.Split(text, "\t")
 		var attrs map[string]string
+		var vec metric.Vector
 		for _, p := range parts[1:] {
 			eq := strings.IndexByte(p, '=')
 			if eq < 0 {
 				return nil, fmt.Errorf("relation %s: line %d: bad attribute %q", name, line, p)
+			}
+			if p[:eq] == "vec" {
+				v, err := metric.Parse(p[eq+1:])
+				if err != nil {
+					return nil, fmt.Errorf("relation %s: line %d: %v", name, line, err)
+				}
+				vec = v
+				continue
 			}
 			if attrs == nil {
 				attrs = make(map[string]string)
 			}
 			attrs[p[:eq]] = p[eq+1:]
 		}
-		r.Insert(parts[0], attrs)
+		r.InsertOne(InsertRow{Seq: parts[0], Vec: vec, Attrs: attrs})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("relation %s: %w", name, err)

@@ -16,23 +16,47 @@
 package relation
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/metric"
 )
 
-// ShardOf is the hash partitioner: the shard index in [0,n) that owns a
-// sequence. FNV-1a over the sequence bytes, reduced mod n — fast,
-// allocation-free, and stable across processes (replay and re-open must
-// route every row to the shard that logged it).
+// ShardOf is the hash partitioner for sequence-only rows: the shard
+// index in [0,n) that owns a sequence. Equivalent to RouteOf(seq, nil,
+// n), kept as the short form for the (vast majority of) call sites
+// without a vector column.
 func ShardOf(seq string, n int) int {
+	return RouteOf(seq, nil, n)
+}
+
+// RouteOf is the full-width hash partitioner: FNV-1a over the sequence
+// bytes followed by the little-endian float32 bit patterns of the
+// vector, reduced mod n — fast, allocation-free, and stable across
+// processes (replay and re-open must route every row to the shard that
+// logged it). Hashing bit patterns rather than values means a row
+// routes identically after any text round-trip, because the vector
+// codec is bit-exact. Rows with a nil vector hash exactly as they did
+// before the vector column existed, so pre-existing WALs replay to the
+// same shards.
+func RouteOf(seq string, vec metric.Vector, n int) int {
 	if n <= 1 {
 		return 0
 	}
 	h := fnv.New64a()
 	h.Write([]byte(seq))
+	if len(vec) > 0 {
+		var buf [4]byte
+		for _, x := range vec {
+			binary.LittleEndian.PutUint32(buf[:], math.Float32bits(x))
+			h.Write(buf[:])
+		}
+	}
 	return int(h.Sum64() % uint64(n))
 }
 
@@ -145,7 +169,7 @@ func (s *ShardedRelation) InsertBatch(rows []InsertRow) []int {
 		id := s.nextID
 		s.nextID++
 		ids[i] = id
-		sh := ShardOf(in.Seq, len(s.shards))
+		sh := RouteOf(in.Seq, in.Vec, len(s.shards))
 		perIDs[sh] = append(perIDs[sh], id)
 		perRows[sh] = append(perRows[sh], in)
 	}
@@ -169,7 +193,7 @@ func (s *ShardedRelation) InsertBatch(rows []InsertRow) []int {
 func cloneSeqs(rows []InsertRow) []InsertRow {
 	out := make([]InsertRow, len(rows))
 	for i, r := range rows {
-		out[i] = InsertRow{Seq: strings.Clone(r.Seq), Attrs: r.Attrs}
+		out[i] = InsertRow{Seq: strings.Clone(r.Seq), Vec: r.Vec.Clone(), Attrs: r.Attrs}
 	}
 	return out
 }
@@ -198,7 +222,7 @@ func (s *ShardedRelation) InsertBatchAt(ids []int, rows []InsertRow) []int {
 		}
 		seen[id] = true
 		installed = append(installed, id)
-		sh := ShardOf(in.Seq, len(s.shards))
+		sh := RouteOf(in.Seq, in.Vec, len(s.shards))
 		perIDs[sh] = append(perIDs[sh], id)
 		perRows[sh] = append(perRows[sh], in)
 		if id >= s.nextID {
@@ -220,14 +244,19 @@ func (s *ShardedRelation) InsertBatchAt(ids []int, rows []InsertRow) []int {
 // InsertAt installs a row under a caller-assigned id (segmented-WAL
 // replay and reserved-id commits); false when the id is already taken.
 func (s *ShardedRelation) InsertAt(id int, seq string, attrs map[string]string) bool {
+	return s.InsertRowAt(id, InsertRow{Seq: seq, Attrs: attrs})
+}
+
+// InsertRowAt is InsertAt carrying the full tuple width.
+func (s *ShardedRelation) InsertRowAt(id int, in InsertRow) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// The id must be fresh across ALL shards — the row owning it may live
-	// on a different shard than the one this sequence hashes to.
+	// on a different shard than the one this row hashes to.
 	if s.shardOfIDLocked(id) >= 0 {
 		return false
 	}
-	ok := s.shards[ShardOf(seq, len(s.shards))].InsertAt(id, seq, attrs)
+	ok := s.shards[RouteOf(in.Seq, in.Vec, len(s.shards))].InsertRowAt(id, in)
 	if ok {
 		if id >= s.nextID {
 			s.nextID = id + 1
@@ -292,10 +321,15 @@ func (s *ShardedRelation) Delete(id int) bool {
 // never both and never neither, because only the view publish at the
 // end makes either side visible.
 func (s *ShardedRelation) Update(id int, seq string, attrs map[string]string) (int, bool) {
+	return s.UpdateRow(id, InsertRow{Seq: seq, Attrs: attrs})
+}
+
+// UpdateRow is Update carrying the full tuple width.
+func (s *ShardedRelation) UpdateRow(id int, in InsertRow) (int, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	newID := s.nextID
-	if !s.updateLocked(id, newID, seq, attrs) {
+	if !s.updateLocked(id, newID, in) {
 		return 0, false
 	}
 	s.nextID++
@@ -305,9 +339,14 @@ func (s *ShardedRelation) Update(id int, seq string, attrs map[string]string) (i
 
 // UpdateAt is Update under a caller-assigned replacement id.
 func (s *ShardedRelation) UpdateAt(id, newID int, seq string, attrs map[string]string) bool {
+	return s.UpdateRowAt(id, newID, InsertRow{Seq: seq, Attrs: attrs})
+}
+
+// UpdateRowAt is UpdateAt carrying the full tuple width.
+func (s *ShardedRelation) UpdateRowAt(id, newID int, in InsertRow) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if !s.updateLocked(id, newID, seq, attrs) {
+	if !s.updateLocked(id, newID, in) {
 		return false
 	}
 	if newID >= s.nextID {
@@ -317,7 +356,7 @@ func (s *ShardedRelation) UpdateAt(id, newID int, seq string, attrs map[string]s
 	return true
 }
 
-func (s *ShardedRelation) updateLocked(id, newID int, seq string, attrs map[string]string) bool {
+func (s *ShardedRelation) updateLocked(id, newID int, in InsertRow) bool {
 	from := s.shardOfIDLocked(id)
 	if from < 0 {
 		return false
@@ -328,14 +367,14 @@ func (s *ShardedRelation) updateLocked(id, newID int, seq string, attrs map[stri
 	if s.shardOfIDLocked(newID) >= 0 {
 		return false
 	}
-	to := ShardOf(seq, len(s.shards))
+	to := RouteOf(in.Seq, in.Vec, len(s.shards))
 	if from == to {
-		return s.shards[from].UpdateAt(id, newID, seq, attrs)
+		return s.shards[from].UpdateRowAt(id, newID, in)
 	}
 	if !s.shards[from].Delete(id) {
 		return false
 	}
-	return s.shards[to].InsertAt(newID, seq, attrs)
+	return s.shards[to].InsertRowAt(newID, in)
 }
 
 // Compact forces tombstone compaction on every shard (for tests and
@@ -386,6 +425,23 @@ func (s *ShardedRelation) EnsureTries() {
 	for _, r := range s.shards {
 		if r.head.Load().trie == nil {
 			r.ensureTrie()
+			built = true
+		}
+	}
+	if built {
+		s.view.Store(s.captureView())
+	}
+}
+
+// EnsureVPTrees is the VP-tree analogue of EnsureBKTrees: every shard
+// gets an online-maintained VP-tree over the given metric.
+func (s *ShardedRelation) EnsureVPTrees(m metric.Distance) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	built := false
+	for _, r := range s.shards {
+		if r.head.Load().vps[m.Name()] == nil {
+			r.ensureVPTree(m)
 			built = true
 		}
 	}
@@ -466,7 +522,7 @@ func (v *ShardView) Tuples() []Tuple {
 // histograms add); MaxSeqLen inherits each shard's upper-bound
 // semantics.
 func (v *ShardView) Stats() Stats {
-	var live, seqBytes, maxLen int
+	var live, seqBytes, maxLen, vecRows, vecDim int
 	var byteRows [256]int
 	for _, s := range v.snaps {
 		h := s.h
@@ -475,11 +531,15 @@ func (v *ShardView) Stats() Stats {
 		if h.maxLen > maxLen {
 			maxLen = h.maxLen
 		}
+		vecRows += h.vecRows
+		if h.vecDim > vecDim {
+			vecDim = h.vecDim
+		}
 		for b, n := range h.byteRows {
 			byteRows[b] += n
 		}
 	}
-	st := Stats{Count: live, MaxSeqLen: maxLen}
+	st := Stats{Count: live, MaxSeqLen: maxLen, VecCount: vecRows, VecDim: vecDim}
 	if live > 0 {
 		st.AvgSeqLen = float64(seqBytes) / float64(live)
 	}

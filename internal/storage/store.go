@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/metric"
 	"repro/internal/relation"
 )
 
@@ -23,16 +24,42 @@ const (
 	OpUpdateAt // update ID, installing the new version under NewID
 )
 
-// Op is one mutation against a named relation. Insert uses Seq/Attrs;
-// Delete uses ID; Update uses ID plus the replacement Seq/Attrs;
-// InsertAt additionally pins ID and UpdateAt pins NewID.
+// Op is one mutation against a named relation. Insert uses
+// Seq/Vec/Attrs; Delete uses ID; Update uses ID plus the replacement
+// Seq/Vec/Attrs; InsertAt additionally pins ID and UpdateAt pins NewID.
+// Vec is the optional embedding column (nil = none).
 type Op struct {
 	Kind  OpKind
 	Rel   string
 	ID    int
 	NewID int
 	Seq   string
+	Vec   metric.Vector
 	Attrs map[string]string
+}
+
+// encodeVec renders a vector for a WAL record ("" = none); decodeVec
+// reverses it on replay. The canonical literal round-trips float32 bit
+// for bit, so replayed rows hash and measure identically.
+func encodeVec(v metric.Vector) string {
+	if v == nil {
+		return ""
+	}
+	return metric.Format(v)
+}
+
+func decodeVec(s string) metric.Vector {
+	if s == "" {
+		return nil
+	}
+	v, err := metric.Parse(s)
+	if err != nil {
+		// A record that passed the CRC but carries an unreadable vector
+		// can only come from hand-edited logs; drop the column rather
+		// than the row.
+		return nil
+	}
+	return v
 }
 
 // CommitResult reports what a committed transaction did.
@@ -67,7 +94,7 @@ func applyBatch(resolve func(string) (relation.Table, error), ops []Op) (CommitR
 			}
 			rows := make([]relation.InsertRow, j-i)
 			for k := i; k < j; k++ {
-				rows[k-i] = relation.InsertRow{Seq: ops[k].Seq, Attrs: ops[k].Attrs}
+				rows[k-i] = relation.InsertRow{Seq: ops[k].Seq, Vec: ops[k].Vec, Attrs: ops[k].Attrs}
 			}
 			ids := r.InsertBatch(rows)
 			res.InsertedIDs = append(res.InsertedIDs, ids...)
@@ -83,7 +110,7 @@ func applyBatch(resolve func(string) (relation.Table, error), ops []Op) (CommitR
 				res.Deletes++
 			}
 		case OpUpdate:
-			if id, ok := r.Update(op.ID, op.Seq, op.Attrs); ok {
+			if id, ok := r.UpdateRow(op.ID, relation.InsertRow{Seq: op.Seq, Vec: op.Vec, Attrs: op.Attrs}); ok {
 				res.InsertedIDs = append(res.InsertedIDs, id)
 				res.Applied++
 				res.Updates++
@@ -101,7 +128,7 @@ func applyBatch(resolve func(string) (relation.Table, error), ops []Op) (CommitR
 				rows := make([]relation.InsertRow, j-i)
 				for k := i; k < j; k++ {
 					ids[k-i] = ops[k].ID
-					rows[k-i] = relation.InsertRow{Seq: ops[k].Seq, Attrs: ops[k].Attrs}
+					rows[k-i] = relation.InsertRow{Seq: ops[k].Seq, Vec: ops[k].Vec, Attrs: ops[k].Attrs}
 				}
 				type batchInserter interface {
 					InsertBatchAt(ids []int, rows []relation.InsertRow) []int
@@ -115,13 +142,13 @@ func applyBatch(resolve func(string) (relation.Table, error), ops []Op) (CommitR
 					continue
 				}
 			}
-			if r.InsertAt(op.ID, op.Seq, op.Attrs) {
+			if r.InsertRowAt(op.ID, relation.InsertRow{Seq: op.Seq, Vec: op.Vec, Attrs: op.Attrs}) {
 				res.InsertedIDs = append(res.InsertedIDs, op.ID)
 				res.Applied++
 				res.Inserts++
 			}
 		case OpUpdateAt:
-			if r.UpdateAt(op.ID, op.NewID, op.Seq, op.Attrs) {
+			if r.UpdateRowAt(op.ID, op.NewID, relation.InsertRow{Seq: op.Seq, Vec: op.Vec, Attrs: op.Attrs}) {
 				res.InsertedIDs = append(res.InsertedIDs, op.NewID)
 				res.Applied++
 				res.Updates++
@@ -292,17 +319,18 @@ func (s *Store) relFor(name string) relation.Table {
 // describe this process's traffic, not recovered history.
 func (s *Store) applyRecord(rec *walRecord) {
 	r := s.relFor(rec.Rel)
+	row := relation.InsertRow{Seq: rec.Seq, Vec: decodeVec(rec.Vec), Attrs: rec.Attrs}
 	switch rec.Kind {
 	case recInsert:
-		r.Insert(rec.Seq, rec.Attrs)
+		r.InsertBatch([]relation.InsertRow{row})
 	case recDelete:
 		r.Delete(rec.ID)
 	case recUpdate:
-		r.Update(rec.ID, rec.Seq, rec.Attrs)
+		r.UpdateRow(rec.ID, row)
 	case recInsertAt:
-		r.InsertAt(rec.ID, rec.Seq, rec.Attrs)
+		r.InsertRowAt(rec.ID, row)
 	case recUpdateAt:
-		r.UpdateAt(rec.ID, rec.NewID, rec.Seq, rec.Attrs)
+		r.UpdateRowAt(rec.ID, rec.NewID, row)
 	}
 }
 
@@ -337,14 +365,14 @@ func (s *Store) Commit(ops []Op) (CommitResult, error) {
 		var rec walRecord
 		switch op.Kind {
 		case OpInsert:
-			rec = walRecord{Kind: recInsert, Rel: op.Rel, Seq: op.Seq, Attrs: op.Attrs}
+			rec = walRecord{Kind: recInsert, Rel: op.Rel, Seq: op.Seq, Vec: encodeVec(op.Vec), Attrs: op.Attrs}
 			if sh != nil && nseg > 1 {
 				// Segmented: reserve the global id now so the record can
 				// carry it and land in the owning shard's segment.
 				id := sh.ReserveIDs(1)[0]
-				op = Op{Kind: OpInsertAt, Rel: op.Rel, ID: id, Seq: op.Seq, Attrs: op.Attrs}
-				rec = walRecord{Kind: recInsertAt, Rel: op.Rel, ID: id, Seq: op.Seq, Attrs: op.Attrs}
-				seg = relation.ShardOf(op.Seq, sh.NumShards()) % nseg
+				op = Op{Kind: OpInsertAt, Rel: op.Rel, ID: id, Seq: op.Seq, Vec: op.Vec, Attrs: op.Attrs}
+				rec = walRecord{Kind: recInsertAt, Rel: op.Rel, ID: id, Seq: op.Seq, Vec: encodeVec(op.Vec), Attrs: op.Attrs}
+				seg = relation.RouteOf(op.Seq, op.Vec, sh.NumShards()) % nseg
 			}
 		case OpDelete, OpUpdate:
 			t, ok := s.cat.Lookup(op.Rel)
@@ -358,13 +386,13 @@ func (s *Store) Commit(ops []Op) (CommitResult, error) {
 			if op.Kind == OpUpdate {
 				kind = recUpdate
 			}
-			rec = walRecord{Kind: kind, Rel: op.Rel, ID: op.ID, Seq: op.Seq, Attrs: op.Attrs}
+			rec = walRecord{Kind: kind, Rel: op.Rel, ID: op.ID, Seq: op.Seq, Vec: encodeVec(op.Vec), Attrs: op.Attrs}
 			if sh != nil && nseg > 1 {
 				seg = sh.ShardOfID(op.ID) % nseg
 				if op.Kind == OpUpdate {
 					newID := sh.ReserveIDs(1)[0]
-					op = Op{Kind: OpUpdateAt, Rel: op.Rel, ID: op.ID, NewID: newID, Seq: op.Seq, Attrs: op.Attrs}
-					rec = walRecord{Kind: recUpdateAt, Rel: op.Rel, ID: op.ID, NewID: newID, Seq: op.Seq, Attrs: op.Attrs}
+					op = Op{Kind: OpUpdateAt, Rel: op.Rel, ID: op.ID, NewID: newID, Seq: op.Seq, Vec: op.Vec, Attrs: op.Attrs}
+					rec = walRecord{Kind: recUpdateAt, Rel: op.Rel, ID: op.ID, NewID: newID, Seq: op.Seq, Vec: encodeVec(op.Vec), Attrs: op.Attrs}
 				}
 			}
 		default:

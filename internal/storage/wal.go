@@ -44,6 +44,11 @@ const (
 // no tuple id: ids are assigned deterministically by replay order,
 // which keeps the log identical across the original run and every
 // recovery. Segmented stores use the explicit-id kinds instead.
+//
+// Vec carries the row's embedding in the canonical vector-literal
+// syntax (metric.Format). The text form is bit-exact for float32, so a
+// replayed row hashes and measures identically to the original — and
+// the JSON stays human-readable, matching the rest of the record.
 type walRecord struct {
 	LSN   uint64            `json:"lsn"`
 	Tx    uint64            `json:"tx"`
@@ -52,6 +57,7 @@ type walRecord struct {
 	ID    int               `json:"id,omitempty"`
 	NewID int               `json:"nid,omitempty"` // updateat: replacement tuple id
 	Seq   string            `json:"seq,omitempty"`
+	Vec   string            `json:"vec,omitempty"` // canonical vector literal, "" = none
 	Attrs map[string]string `json:"attrs,omitempty"`
 	N     int               `json:"n,omitempty"` // commit: operation count of the tx
 }

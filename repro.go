@@ -28,6 +28,13 @@
 // safe spectral transformations and an R*-tree searched with the
 // transformation applied on the fly.
 //
+// Beyond string and time-series transformation distances, the engine
+// carries a pluggable metric layer (DistanceMetric, Vector): relations
+// may hold a float-vector column, the registered metrics (L2, cosine)
+// drive the same NEAREST / SIMILAR TO ... WITHIN predicates over it,
+// and triangle-inequality metrics are served by a VP-tree index the
+// way discrete distances are served by BK-trees.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduced evaluation.
 package repro
@@ -37,6 +44,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/editdp"
+	"repro/internal/metric"
 	"repro/internal/patdist"
 	"repro/internal/pattern"
 	"repro/internal/query"
@@ -174,6 +182,32 @@ var (
 	NewQueryEngine = query.NewEngine
 	// ParseQuery parses one statement without executing it.
 	ParseQuery = query.Parse
+)
+
+// Metric layer: pluggable continuous distances over float vectors.
+type (
+	// DistanceMetric is a pluggable distance over float vectors; the
+	// optional capability interfaces (triangle inequality, early
+	// abandon, batch evaluation) refine how the planner may use it.
+	DistanceMetric = metric.Distance
+	// Vector is the float-vector column type ([]float32).
+	Vector = metric.Vector
+)
+
+var (
+	// RegisterMetric adds a metric to the process-wide registry,
+	// making its name addressable from USING clauses.
+	RegisterMetric = metric.Register
+	// LookupMetric resolves a registered metric by name.
+	LookupMetric = metric.Lookup
+	// MetricNames lists the registered metric names, sorted.
+	MetricNames = metric.Names
+	// ParseVector reads the canonical vector-literal syntax
+	// ("[0.1,0.2]").
+	ParseVector = metric.Parse
+	// FormatVector renders the canonical vector-literal syntax;
+	// ParseVector(FormatVector(v)) is an exact round trip.
+	FormatVector = metric.Format
 )
 
 // Domain-independent framework core.
