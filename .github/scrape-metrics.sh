@@ -1,0 +1,20 @@
+#!/bin/sh
+# Snapshot a running simqd's /metrics into METRICS_<label>_<when>.txt.
+# Used by the nightly workflow around every simload phase, so each
+# night's artifact carries the full counter state before and after each
+# serving benchmark (WAL volume, plan-cache traffic, kernel dispatch,
+# index traversal totals, ...) next to the latency report.
+#
+# Usage: scrape-metrics.sh <port> <label> <before|after>
+# Polls /healthz first so a "before" scrape does not race server startup.
+set -eu
+port=$1
+label=$2
+when=$3
+for _ in $(seq 1 150); do
+    if curl -sf "http://127.0.0.1:${port}/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.2
+done
+curl -s "http://127.0.0.1:${port}/metrics" -o "METRICS_${label}_${when}.txt"

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"testing"
 )
@@ -86,6 +88,26 @@ func TestLiteralStatement(t *testing.T) {
 	got = literalStatement("SELECT id FROM w WHERE vec NEAREST 5 TO ? USING l2", "[1,2]", nil, true)
 	if want := `SELECT id FROM w WHERE vec NEAREST 5 TO [1,2] USING l2`; got != want {
 		t.Errorf("nearest: %q, want %q", got, want)
+	}
+}
+
+// TestErrorCounts pins the error-class split the report and the 1%
+// failure gate rely on: a non-200 response (statusError, possibly
+// wrapped) counts as an HTTP error, anything else — connection resets,
+// timeouts, decode failures — as a transport error.
+func TestErrorCounts(t *testing.T) {
+	var c errorCounts
+	c.count(statusError{msg: "http://x/query: 400 Bad Request: boom"})
+	c.count(fmt.Errorf("retry: %w", statusError{msg: "http://x/query: 500"}))
+	c.count(errors.New("dial tcp: connection refused"))
+	if c.http != 2 || c.transport != 1 {
+		t.Fatalf("counts = %+v, want http=2 transport=1", c)
+	}
+	var other errorCounts
+	other.count(errors.New("read: timeout"))
+	c.add(other)
+	if c.total() != 4 || c.transport != 2 {
+		t.Fatalf("after add: %+v, want total=4 transport=2", c)
 	}
 }
 

@@ -26,7 +26,16 @@
 //	POST /ingest   {"relation": "words", "rows": [{"seq": "...", "vec": "[0.1,0.2]", "attrs": {...}}]}
 //	                                                            batch insert (one WAL commit)
 //	GET  /healthz                                               liveness
-//	GET  /stats                                                 server, plan-cache and write counters
+//	GET  /stats                                                 server, plan-cache, runtime and write counters
+//	GET  /metrics                                               Prometheus text exposition of the obs registry
+//
+// Observability: every /query, /explain and /ingest response carries an
+// X-Trace-Id header (also echoed as "trace_id" in the /query body).
+// With -pprof the net/http/pprof handlers mount under /debug/pprof/.
+// With -slow-query-ms N engine tracing turns on and any query at or
+// over N milliseconds is logged to stderr as one JSON line carrying the
+// statement, bound parameters, chosen plan and the executed span tree —
+// the same tree EXPLAIN ANALYZE renders.
 //
 // With -wal every mutation (DML through /query and batches through
 // /ingest) is logged before it is applied, and a restarted server
@@ -49,9 +58,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -60,6 +72,7 @@ import (
 
 	"repro/internal/editdp"
 	"repro/internal/metric"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/relation"
 	"repro/internal/rewrite"
@@ -86,6 +99,8 @@ func main() {
 	shards := flag.Int("shards", 1, "hash-partition each loaded relation across N shards (scatter-gather execution)")
 	batchSize := flag.Int("batch-size", 256, "vectorized execution block size (0 = row-at-a-time pipeline)")
 	myersKernel := flag.Bool("myers-kernel", true, "serve unit-cost distances from the bit-parallel (Myers) kernel (false = scalar DP; identical results)")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	slowQueryMS := flag.Int("slow-query-ms", 0, "log a structured JSON line (with the span tree) for queries slower than this; 0 disables. Enables engine tracing.")
 	flag.Parse()
 	if *shards < 1 {
 		*shards = 1
@@ -123,11 +138,22 @@ func main() {
 			*walPath, st.Segments(), m.ReplayedTx, m.ReplayedOp)
 	}
 
+	if *slowQueryMS > 0 {
+		// The slow-query log needs the span tree, which is only collected
+		// while engine tracing is on; the overhead benchmark bounds the
+		// cost at a few percent on a mixed workload.
+		eng.SetTracing(true)
+	}
+	registerProcessGauges(eng.Catalog())
+
 	s := &server{
 		eng: eng, store: st, timeout: *timeout, started: time.Now(),
 		maxPrepared: *maxPrepared,
 		prepared:    map[string]*query.PreparedQuery{},
 		adhoc:       map[string]*query.PreparedQuery{},
+		pprofOn:     *pprofOn,
+		slowQueryMS: *slowQueryMS,
+		slowLog:     os.Stderr,
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: s.routes()}
@@ -227,6 +253,9 @@ type server struct {
 	timeout     time.Duration
 	started     time.Time
 	maxPrepared int
+	pprofOn     bool
+	slowQueryMS int       // log queries slower than this (0 = off)
+	slowLog     io.Writer // slow-query JSON destination (stderr in main)
 
 	mu       sync.RWMutex
 	prepared map[string]*query.PreparedQuery
@@ -245,6 +274,15 @@ type server struct {
 	inFlight atomic.Int64
 	writes   atomic.Int64 // /ingest requests served
 	ingested atomic.Int64 // rows inserted through /ingest
+	traceSeq atomic.Int64 // per-process trace-id sequence
+	slowMu   sync.Mutex   // serializes slow-query log lines
+}
+
+// newTraceID mints a per-request trace id: a process-wide sequence plus
+// the server start time, so ids are unique across restarts in the same
+// log stream.
+func (s *server) newTraceID() string {
+	return fmt.Sprintf("%x-%d", s.started.UnixNano(), s.traceSeq.Add(1))
 }
 
 // routes registers every endpoint with Go 1.22 method patterns, so a
@@ -258,7 +296,96 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /ingest", s.handleIngest)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.pprofOn {
+		// The default pprof mux entries, mounted explicitly so the flag
+		// gates them (importing net/http/pprof for its side effect would
+		// expose them unconditionally on DefaultServeMux).
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// handleMetrics serves the process-wide registry in the Prometheus text
+// exposition format.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.Default.WritePrometheus(w)
+}
+
+// registerProcessGauges registers scrape-time callback gauges for
+// runtime health and catalog populations. Safe to call more than once
+// (re-registration replaces the callback).
+func registerProcessGauges(cat *relation.Catalog) {
+	obs.Default.GaugeFunc("simq_goroutines",
+		"Live goroutines in the serving process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	obs.Default.GaugeFunc("simq_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.HeapAlloc)
+		})
+	obs.Default.GaugeFunc("simq_catalog_rows",
+		"Visible rows across all relations in the catalog.",
+		func() float64 {
+			var n int
+			for _, name := range cat.Names() {
+				if t, ok := cat.Lookup(name); ok {
+					n += t.Stats().Count
+				}
+			}
+			return float64(n)
+		})
+	obs.Default.GaugeFunc("simq_catalog_vec_rows",
+		"Visible rows carrying a vector column across all relations.",
+		func() float64 {
+			var n int
+			for _, name := range cat.Names() {
+				if t, ok := cat.Lookup(name); ok {
+					n += t.Stats().VecCount
+				}
+			}
+			return float64(n)
+		})
+	obs.Default.GaugeFunc("simq_catalog_tombstones",
+		"Dead rows still occupying arena slots across all relations.",
+		func() float64 {
+			var n int
+			for _, name := range cat.Names() {
+				t, ok := cat.Lookup(name)
+				if !ok {
+					continue
+				}
+				switch r := t.(type) {
+				case *relation.Relation:
+					n += r.Tombstones()
+				case *relation.ShardedRelation:
+					for _, st := range r.ShardStats() {
+						n += st.Tombstones
+					}
+				}
+			}
+			return float64(n)
+		})
+	obs.Default.GaugeFunc("simq_snapshot_epoch",
+		"Highest commit epoch across the catalog's relations.",
+		func() float64 {
+			var max uint64
+			for _, name := range cat.Names() {
+				if t, ok := cat.Lookup(name); ok {
+					if v := t.Version(); v > max {
+						max = v
+					}
+				}
+			}
+			return float64(max)
+		})
 }
 
 // adhocCacheMax bounds the ad-hoc statement cache; at capacity it
@@ -280,6 +407,7 @@ type queryResponse struct {
 	RowCount  int        `json:"row_count"`
 	Stats     statsBody  `json:"stats"`
 	ElapsedMS float64    `json:"elapsed_ms"`
+	TraceID   string     `json:"trace_id"`
 }
 
 type statsBody struct {
@@ -293,12 +421,16 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	traceID := s.newTraceID()
+	w.Header().Set("X-Trace-Id", traceID)
 	start := time.Now()
 	res, err := s.execute(r.Context(), req, false)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
+	elapsed := time.Since(start)
+	s.maybeLogSlow(traceID, req, res, elapsed)
 	writeJSON(w, http.StatusOK, queryResponse{
 		Columns:  res.Columns,
 		Rows:     res.Rows,
@@ -308,8 +440,53 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Verifications: res.Stats.Verifications,
 			PlanCacheHit:  res.Stats.PlanCacheHit,
 		},
-		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+		TraceID:   traceID,
 	})
+}
+
+// maybeLogSlow emits one structured JSON line for a query that ran at
+// or over the -slow-query-ms threshold: the statement (or prepared id),
+// its bound parameters, the plan the engine chose, and — when engine
+// tracing is on, which -slow-query-ms implies — the executed span tree.
+func (s *server) maybeLogSlow(traceID string, req *request, res *query.Result, elapsed time.Duration) {
+	if s.slowQueryMS <= 0 || s.slowLog == nil ||
+		elapsed < time.Duration(s.slowQueryMS)*time.Millisecond {
+		return
+	}
+	line := map[string]any{
+		"slow_query": true,
+		"ts":         time.Now().UTC().Format(time.RFC3339Nano),
+		"trace_id":   traceID,
+		"elapsed_ms": float64(elapsed.Microseconds()) / 1000,
+	}
+	if req.Query != "" {
+		line["query"] = req.Query
+	}
+	if req.ID != "" {
+		line["prepared_id"] = req.ID
+	}
+	if len(req.Params) > 0 {
+		line["params"] = req.Params
+	}
+	if len(req.Named) > 0 {
+		line["named"] = req.Named
+	}
+	if res != nil {
+		line["rows"] = len(res.Rows)
+		line["plan"] = res.Plan
+		line["plan_cache_hit"] = res.Stats.PlanCacheHit
+		if res.Trace != nil {
+			line["trace"] = res.Trace
+		}
+	}
+	buf, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	s.slowMu.Lock()
+	s.slowLog.Write(append(buf, '\n'))
+	s.slowMu.Unlock()
 }
 
 func (s *server) handlePrepare(w http.ResponseWriter, r *http.Request) {
@@ -351,6 +528,7 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	w.Header().Set("X-Trace-Id", s.newTraceID())
 	res, err := s.execute(r.Context(), req, true)
 	if err != nil {
 		s.fail(w, err)
@@ -373,6 +551,7 @@ type ingestRequest struct {
 }
 
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("X-Trace-Id", s.newTraceID())
 	var req ingestRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
 	if err := dec.Decode(&req); err != nil {
@@ -432,8 +611,12 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.adhocMu.Lock()
 	adhocCount := len(s.adhoc)
 	s.adhocMu.Unlock()
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
 	body := map[string]any{
 		"uptime_s":         time.Since(s.started).Seconds(),
+		"goroutines":       runtime.NumGoroutine(),
+		"heap_alloc_bytes": mem.HeapAlloc,
 		"requests":         s.requests.Load(),
 		"errors":           s.errors.Load(),
 		"timeouts":         s.timeouts.Load(),

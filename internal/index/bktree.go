@@ -87,12 +87,15 @@ func (t *BKTree) Insert(id int, s string) {
 	// One PEQ build serves every node on the insertion path.
 	dp := editdp.NewQueryDP(s)
 	cur := t.root.Load()
+	depth := 0
 	for {
+		depth++
 		d := dp.Distance(cur.entry.S)
 		child := cur.child(d)
 		if child == nil {
 			cur.addEdge(d, n)
 			t.size.Add(1)
+			bkInsertDepth.Observe(float64(depth))
 			return
 		}
 		cur = child
@@ -145,6 +148,7 @@ func (t *BKTree) NearestKFilterStatsInto(dst []Match, query string, k int, accep
 	var walk func(n *bkNode)
 	walk = func(n *bkNode) {
 		st.Candidates++
+		st.Nodes++
 		edges := n.loadEdges()
 		var d int
 		if len(best) == k {
@@ -158,11 +162,14 @@ func (t *BKTree) NearestKFilterStatsInto(dst []Match, query string, k int, accep
 				budget = edges[len(edges)-1].dist + r
 			}
 			if ld := len(query) - len(n.entry.S); ld > budget || -ld > budget {
+				st.Pruned++
 				return
 			}
 			st.Verifications++
 			var ok bool
 			if d, ok = dp.Within(n.entry.S, budget); !ok {
+				st.Abandoned++
+				st.Pruned++
 				return
 			}
 		} else {
@@ -186,6 +193,8 @@ func (t *BKTree) NearestKFilterStatsInto(dst []Match, query string, k int, accep
 			r := int(best[len(best)-1].Dist)
 			if e.dist >= d-r && e.dist <= d+r {
 				walk(e.node)
+			} else {
+				st.Pruned++
 			}
 		}
 	}
@@ -231,6 +240,7 @@ func (it *bkIter) Next() (Match, bool) {
 		n := it.stack[len(it.stack)-1]
 		it.stack = it.stack[:len(it.stack)-1]
 		it.st.Candidates++
+		it.st.Nodes++
 		edges := n.loadEdges()
 		// Distances beyond maxEdge+k can neither match (needs d <= k) nor
 		// admit any child (needs e.dist >= d-k), so the verification is
@@ -241,11 +251,14 @@ func (it *bkIter) Next() (Match, bool) {
 			budget = edges[len(edges)-1].dist + it.k
 		}
 		if ld := len(it.query) - len(n.entry.S); ld > budget || -ld > budget {
+			it.st.Pruned++
 			continue
 		}
 		it.st.Verifications++
 		d, ok := it.dp.Within(n.entry.S, budget)
 		if !ok {
+			it.st.Abandoned++
+			it.st.Pruned++
 			continue
 		}
 		// Triangle inequality: answers in child c require |d - c| <= k.
@@ -253,6 +266,8 @@ func (it *bkIter) Next() (Match, bool) {
 		for i := len(edges) - 1; i >= 0; i-- {
 			if edges[i].dist >= d-it.k && edges[i].dist <= d+it.k {
 				it.stack = append(it.stack, edges[i].node)
+			} else {
+				it.st.Pruned++
 			}
 		}
 		if d <= it.k {

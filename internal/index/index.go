@@ -124,10 +124,23 @@ func CalcVerifier(c *editdp.Calculator) Verifier {
 }
 
 // Stats counts the work a strategy did for one query; the experiments
-// report these next to wall-clock times.
+// report these next to wall-clock times, and EXPLAIN ANALYZE surfaces
+// them per operator.
 type Stats struct {
 	Candidates    int // entries reaching verification
 	Verifications int // verifier invocations
+	Nodes         int // tree-index nodes visited during traversal
+	Pruned        int // subtrees skipped by a pruning bound
+	Abandoned     int // verifications cut short by the early-abandon bound
+}
+
+// Add folds another Stats into s.
+func (s *Stats) Add(o Stats) {
+	s.Candidates += o.Candidates
+	s.Verifications += o.Verifications
+	s.Nodes += o.Nodes
+	s.Pruned += o.Pruned
+	s.Abandoned += o.Abandoned
 }
 
 // Scan verifies every entry against the query; the correctness baseline

@@ -1,0 +1,25 @@
+package index
+
+import "repro/internal/obs"
+
+// depthBuckets bounds the insert-depth histograms. The unit is tree
+// levels, not seconds, so the registry's default latency layout does
+// not apply; the bounds double (roughly) because a healthy tree's depth
+// grows logarithmically in its size.
+var depthBuckets = []float64{1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96}
+
+// Insert-depth histograms, one series per index kind. Depth is the
+// number of existing nodes an insert walked before attaching — the
+// live balance signal for the insertion-driven trees (a degenerate
+// insertion order shows up here long before query latency degrades).
+var (
+	bkInsertDepth = obs.Default.Histogram(
+		`simq_index_insert_depth{index="bktree"}`,
+		"Nodes walked before an index insert attached.", depthBuckets)
+	trieInsertDepth = obs.Default.Histogram(
+		`simq_index_insert_depth{index="trie"}`,
+		"Nodes walked before an index insert attached.", depthBuckets)
+	vpInsertDepth = obs.Default.Histogram(
+		`simq_index_insert_depth{index="vptree"}`,
+		"Nodes walked before an index insert attached.", depthBuckets)
+)

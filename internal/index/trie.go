@@ -93,6 +93,7 @@ func (t *Trie) Insert(id int, s string) {
 	term = append(term, Entry{ID: id, S: s})
 	cur.terminal.Store(&term)
 	t.size.Add(1)
+	trieInsertDepth.Observe(float64(len(s)))
 }
 
 // Contains reports whether some entry equals s.
@@ -181,6 +182,7 @@ func (it *trieIter) Next() (Match, bool) {
 		f := it.stack[len(it.stack)-1]
 		it.stack = it.stack[:len(it.stack)-1]
 		it.st.Candidates++
+		it.st.Nodes++
 		if it.dp != nil {
 			it.nextBitParallel(f)
 			continue
@@ -192,6 +194,7 @@ func (it *trieIter) Next() (Match, bool) {
 			}
 		}
 		if minInt(f.row) > it.k {
+			it.st.Pruned++
 			continue
 		}
 		// Push children in descending byte order so they pop ascending.
@@ -215,6 +218,7 @@ func (it *trieIter) nextBitParallel(f trieFrame) {
 	// Prune when even the cheapest row cell exceeds k; when the score is
 	// already within k the minimum cannot exceed it, so skip the fold.
 	if f.ms.Score > it.k && it.dp.RowMin(f.ms, f.depth) > it.k {
+		it.st.Pruned++
 		return
 	}
 	edges := f.node.loadEdges()

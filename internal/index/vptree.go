@@ -72,7 +72,9 @@ func (t *VPTree) Insert(id int, v metric.Vector) {
 		return
 	}
 	cur := t.root.Load()
+	depth := 0
 	for {
+		depth++
 		d := t.m.Dist(v, cur.vec)
 		inner := cur.inner.Load()
 		if inner == nil {
@@ -82,6 +84,7 @@ func (t *VPTree) Insert(id int, v metric.Vector) {
 			cur.mu = d
 			cur.inner.Store(n)
 			t.size.Add(1)
+			vpInsertDepth.Observe(float64(depth))
 			return
 		}
 		if d <= cur.mu {
@@ -92,6 +95,7 @@ func (t *VPTree) Insert(id int, v metric.Vector) {
 		if outer == nil {
 			cur.outer.Store(n)
 			t.size.Add(1)
+			vpInsertDepth.Observe(float64(depth))
 			return
 		}
 		cur = outer
@@ -143,6 +147,7 @@ func (it *vpIter) Next() (Match, bool) {
 		it.stack = it.stack[:len(it.stack)-1]
 		it.st.Candidates++
 		it.st.Verifications++
+		it.st.Nodes++
 		d := it.t.m.Dist(it.q, n.vec)
 		// Load children before consulting mu: observing a child is what
 		// guarantees mu is visible (release/acquire on the child pointer).
@@ -151,11 +156,19 @@ func (it *vpIter) Next() (Match, bool) {
 		// Push outer first so inner pops first (deterministic inner-
 		// before-outer emission order). Inclusive bounds: boundary ties
 		// visit both sides.
-		if outer != nil && d+it.r >= n.mu {
-			it.stack = append(it.stack, outer)
+		if outer != nil {
+			if d+it.r >= n.mu {
+				it.stack = append(it.stack, outer)
+			} else {
+				it.st.Pruned++
+			}
 		}
-		if inner != nil && d-it.r <= n.mu {
-			it.stack = append(it.stack, inner)
+		if inner != nil {
+			if d-it.r <= n.mu {
+				it.stack = append(it.stack, inner)
+			} else {
+				it.st.Pruned++
+			}
 		}
 		if d <= it.r {
 			return Match{ID: n.id, Dist: d}, true
@@ -195,6 +208,7 @@ func (t *VPTree) NearestKFilterStatsInto(dst []Match, q metric.Vector, k int, ac
 	walk = func(n *vpNode) {
 		st.Candidates++
 		st.Verifications++
+		st.Nodes++
 		d := t.m.Dist(q, n.vec)
 		if accept == nil || accept(n.id) {
 			if len(best) < k || d <= best[len(best)-1].Dist {
@@ -219,17 +233,29 @@ func (t *VPTree) NearestKFilterStatsInto(dst []Match, q metric.Vector, k int, ac
 		if d <= n.mu {
 			if d-tau() <= n.mu {
 				walk(inner)
+			} else {
+				st.Pruned++
 			}
-			if outer != nil && d+tau() >= n.mu {
-				walk(outer)
+			if outer != nil {
+				if d+tau() >= n.mu {
+					walk(outer)
+				} else {
+					st.Pruned++
+				}
 			}
 			return
 		}
-		if outer != nil && d+tau() >= n.mu {
-			walk(outer)
+		if outer != nil {
+			if d+tau() >= n.mu {
+				walk(outer)
+			} else {
+				st.Pruned++
+			}
 		}
 		if d-tau() <= n.mu {
 			walk(inner)
+		} else {
+			st.Pruned++
 		}
 	}
 	walk(root)

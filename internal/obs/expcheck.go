@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition validates Prometheus text-format output line by
+// line: every non-comment line must be `name[{labels}] value`, label
+// blocks must balance their quotes and braces, and values must parse
+// as floats. It is intentionally strict enough to catch malformed
+// escaping or truncated histogram series; the registry's own tests and
+// the /metrics handler test in cmd/simqd both run scrapes through it.
+func CheckExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(text, ' ')
+		if sp <= 0 {
+			return fmt.Errorf("line %d: no value separator: %q", line, text)
+		}
+		name, val := text[:sp], text[sp+1:]
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			return fmt.Errorf("line %d: bad value %q: %v", line, val, err)
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				return fmt.Errorf("line %d: unbalanced label block: %q", line, name)
+			}
+			if strings.Count(name, `"`)%2 != 0 {
+				return fmt.Errorf("line %d: unbalanced quotes: %q", line, name)
+			}
+			name = name[:i]
+		}
+		for j := 0; j < len(name); j++ {
+			c := name[j]
+			ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (j > 0 && c >= '0' && c <= '9')
+			if !ok {
+				return fmt.Errorf("line %d: bad metric name %q", line, name)
+			}
+		}
+	}
+	return sc.Err()
+}

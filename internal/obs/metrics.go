@@ -1,0 +1,381 @@
+// Package obs is the engine's observability layer: a process-wide
+// metrics registry (counters, gauges, fixed-bucket histograms) plus the
+// Span tree that EXPLAIN ANALYZE and the slow-query log report.
+//
+// The registry is dependency-free and built for hot paths: counters are
+// striped across cache-line-padded atomic cells (an Add is one atomic
+// add on one of several cells, a few nanoseconds even under heavy
+// cross-core contention), gauges are either a settable atomic or a
+// callback read at scrape time, and histograms keep a fixed bucket
+// layout so an Observe is a short bounds scan plus three atomic adds.
+// Everything renders in the Prometheus text exposition format through
+// WritePrometheus, which is how cmd/simqd's GET /metrics serves it.
+//
+// Metric naming follows the Prometheus conventions: snake_case names
+// under the simq_ prefix, counters end in _total, units are spelled out
+// (_seconds, _bytes). A name may carry inline labels —
+// "simq_kernel_dispatch_total{kernel=\"myers\"}" — and series sharing
+// the name before the '{' are grouped under one # HELP/# TYPE family.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// counterStripes is the number of padded cells a Counter spreads its
+// adds across; a power of two comfortably above typical core counts.
+const counterStripes = 8
+
+// cell is one cache-line-padded counter stripe. The padding keeps two
+// stripes from sharing a 64-byte line, so concurrent adders on
+// different stripes never bounce a line between cores.
+type cell struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing striped atomic counter.
+type Counter struct {
+	cells [counterStripes]cell
+}
+
+// stripeHint derives a cheap per-goroutine stripe index: goroutine
+// stacks live in distinct allocations, so the address of a stack
+// variable — folded down past the alignment bits — spreads concurrent
+// goroutines across stripes without any runtime hooks. The
+// unsafe.Pointer only ever converts to uintptr (an integer), so the
+// variable itself never escapes.
+func stripeHint() int {
+	var x byte
+	p := uintptr(unsafe.Pointer(&x))
+	return int((p>>9)^(p>>17)) & (counterStripes - 1)
+}
+
+// Add increments the counter by n (n must be >= 0 for Prometheus
+// counter semantics; the registry does not enforce it).
+func (c *Counter) Add(n int64) {
+	c.cells[stripeHint()].n.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value folds the stripes into the counter's current value.
+func (c *Counter) Value() int64 {
+	var total int64
+	for i := range c.cells {
+		total += c.cells[i].n.Load()
+	}
+	return total
+}
+
+// Gauge is a settable instantaneous value (an atomic int64).
+type Gauge struct {
+	n atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.n.Store(v) }
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.n.Add(delta) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.n.Load() }
+
+// DefBuckets is the default latency histogram layout: exponential
+// bounds from 50µs to ~26s (doubling), in seconds. The layout is fixed
+// at registration so Observe never allocates or locks.
+var DefBuckets = []float64{
+	0.00005, 0.0001, 0.0002, 0.0004, 0.0008, 0.0016, 0.0032, 0.0064,
+	0.0128, 0.0256, 0.0512, 0.1024, 0.2048, 0.4096, 0.8192, 1.6384,
+	3.2768, 6.5536, 13.1072, 26.2144,
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations
+// (latencies in seconds by convention). Buckets, count and sum are all
+// atomics, so concurrent Observe calls never lock; a scrape reads a
+// near-consistent snapshot (bucket counts may be one observation ahead
+// of the sum — Prometheus tolerates that skew by design).
+type Histogram struct {
+	bounds  []float64 // upper bounds, ascending; +Inf implied
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+// NewHistogram builds a histogram over the given upper bounds
+// (ascending; nil = DefBuckets). Prefer Registry.Histogram, which also
+// registers it for exposition.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Snapshot returns the cumulative bucket counts (one per bound, plus
+// the +Inf bucket last).
+func (h *Histogram) Snapshot() []int64 {
+	out := make([]int64, len(h.counts))
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+// Registry is a named collection of metrics. Get-or-create lookups are
+// guarded by a mutex — callers cache the returned pointers, so the
+// lock is off every hot path.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	gaugeFns map[string]func() float64
+	hists    map[string]*Histogram
+	help     map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		gaugeFns: map[string]func() float64{},
+		hists:    map[string]*Histogram{},
+		help:     map[string]string{},
+	}
+}
+
+// Default is the process-wide registry every engine layer writes to and
+// cmd/simqd's /metrics serves.
+var Default = NewRegistry()
+
+// family strips the inline label block: the part of the series name
+// before '{' names the metric family # HELP / # TYPE describe.
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// setHelp records the family help text on first registration.
+func (r *Registry) setHelp(name, help string) {
+	if help == "" {
+		return
+	}
+	f := family(name)
+	if _, ok := r.help[f]; !ok {
+		r.help[f] = help
+	}
+}
+
+// Counter returns the named counter, creating it on first use. The
+// name may carry inline labels; help describes the family.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+		r.setHelp(name, help)
+	}
+	return c
+}
+
+// Gauge returns the named settable gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+		r.setHelp(name, help)
+	}
+	return g
+}
+
+// GaugeFunc registers (or replaces) a callback gauge: fn is invoked at
+// scrape time, so the series always reports live state without the
+// owner pushing updates.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[name] = fn
+	r.setHelp(name, help)
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds (nil = DefBuckets) on first use.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+		r.setHelp(name, help)
+	}
+	return h
+}
+
+// labeled splits a series name into its family and an existing label
+// block body ("" when unlabeled): "f{a=\"b\"}" -> ("f", `a="b"`).
+func labeled(name string) (fam, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// suffixed inserts a family suffix before any inline label block the
+// series name carries: ("f{a=\"b\"}", "_sum") -> "f_sum{a=\"b\"}". The
+// histogram renderer needs this — a labeled histogram's _bucket/_sum/
+// _count series must keep the suffix on the metric name, not after the
+// labels.
+func suffixed(name, suffix string) string {
+	fam, labels := labeled(name)
+	if labels == "" {
+		return fam + suffix
+	}
+	return fam + suffix + "{" + labels + "}"
+}
+
+// series appends an extra label to a series name, preserving any
+// inline labels it already carries.
+func series(name, extraKey, extraVal string) string {
+	fam, labels := labeled(name)
+	extra := fmt.Sprintf("%s=%q", extraKey, extraVal)
+	if labels == "" {
+		return fam + "{" + extra + "}"
+	}
+	return fam + "{" + labels + "," + extra + "}"
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4), families sorted by name and
+// series sorted within a family, so scrapes are deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.RLock()
+	type kind struct {
+		typ    string
+		series []string
+	}
+	fams := map[string]*kind{}
+	add := func(name, typ string) {
+		f := family(name)
+		k := fams[f]
+		if k == nil {
+			k = &kind{typ: typ}
+			fams[f] = k
+		}
+		k.series = append(k.series, name)
+	}
+	for name := range r.counters {
+		add(name, "counter")
+	}
+	for name := range r.gauges {
+		add(name, "gauge")
+	}
+	for name := range r.gaugeFns {
+		add(name, "gauge")
+	}
+	for name := range r.hists {
+		add(name, "histogram")
+	}
+	names := make([]string, 0, len(fams))
+	for f := range fams {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+
+	for _, f := range names {
+		k := fams[f]
+		if help := r.help[f]; help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", f, help)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", f, k.typ)
+		sort.Strings(k.series)
+		for _, name := range k.series {
+			switch k.typ {
+			case "counter":
+				fmt.Fprintf(w, "%s %d\n", name, r.counters[name].Value())
+			case "gauge":
+				if g, ok := r.gauges[name]; ok {
+					fmt.Fprintf(w, "%s %d\n", name, g.Value())
+				} else {
+					fmt.Fprintf(w, "%s %s\n", name, formatFloat(r.gaugeFns[name]()))
+				}
+			case "histogram":
+				h := r.hists[name]
+				cum := h.Snapshot()
+				for i, bound := range h.bounds {
+					fmt.Fprintf(w, "%s %d\n", series(suffixed(name, "_bucket"), "le", formatFloat(bound)), cum[i])
+				}
+				fmt.Fprintf(w, "%s %d\n", series(suffixed(name, "_bucket"), "le", "+Inf"), cum[len(cum)-1])
+				fmt.Fprintf(w, "%s %s\n", suffixed(name, "_sum"), formatFloat(h.Sum()))
+				fmt.Fprintf(w, "%s %d\n", suffixed(name, "_count"), h.Count())
+			}
+		}
+	}
+	r.mu.RUnlock()
+}
+
+// formatFloat renders a float the way Prometheus clients do: integers
+// without an exponent, everything else as the shortest round-trip
+// decimal.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestMetricsCounterConcurrent hammers one counter from many
+// goroutines and checks nothing is lost (the -race CI step runs this
+// through the 'Metric' pattern).
+func TestMetricsCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, per = 16, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("counter lost updates: got %d want %d", got, workers*per)
+	}
+}
+
+// TestMetricsHistogramConcurrent checks concurrent observations keep
+// count, sum and bucket totals consistent.
+func TestMetricsHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(nil)
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%100) / 1000) // 0..0.099s
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("histogram count: got %d want %d", got, workers*per)
+	}
+	cum := h.Snapshot()
+	if last := cum[len(cum)-1]; last != workers*per {
+		t.Fatalf("+Inf bucket: got %d want %d", last, workers*per)
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("bucket counts not cumulative at %d: %v", i, cum)
+		}
+	}
+	wantSum := float64(workers) * per * meanOfMod100() // per-value mean * n
+	if math.Abs(h.Sum()-wantSum) > 1e-6*wantSum {
+		t.Fatalf("histogram sum: got %g want %g", h.Sum(), wantSum)
+	}
+}
+
+func meanOfMod100() float64 {
+	var s float64
+	for i := 0; i < 100; i++ {
+		s += float64(i) / 1000
+	}
+	return s / 100
+}
+
+// TestMetricsHistogramBounds pins the bucket assignment at the
+// boundaries: Prometheus buckets are upper-inclusive (le).
+func TestMetricsHistogramBounds(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	cum := h.Snapshot()
+	want := []int64{2, 4, 6, 7} // le=1: {0.5,1}; le=2: +{1.5,2}; le=4: +{3,4}; +Inf: +{100}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("bucket %d: got %d want %d (all %v)", i, cum[i], w, cum)
+		}
+	}
+}
+
+// TestMetricsRegistryExposition checks the Prometheus text rendering:
+// families grouped under one TYPE line, labels preserved, histogram
+// series complete, and the whole dump parseable line by line.
+func TestMetricsRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`simq_queries_total{kind="select"}`, "Queries executed.").Add(3)
+	r.Counter(`simq_queries_total{kind="dml"}`, "Queries executed.").Add(1)
+	r.Gauge("simq_rows", "Visible rows.").Set(42)
+	r.GaugeFunc("simq_uptime_seconds", "Uptime.", func() float64 { return 1.5 })
+	r.Histogram("simq_latency_seconds", "Latency.", []float64{0.001, 0.01}).Observe(0.002)
+	r.Histogram(`simq_depth{index="bk"}`, "Depth.", []float64{2}).Observe(1)
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE simq_queries_total counter",
+		`simq_queries_total{kind="select"} 3`,
+		`simq_queries_total{kind="dml"} 1`,
+		"# TYPE simq_rows gauge",
+		"simq_rows 42",
+		"simq_uptime_seconds 1.5",
+		"# TYPE simq_latency_seconds histogram",
+		`simq_latency_seconds_bucket{le="0.001"} 0`,
+		`simq_latency_seconds_bucket{le="0.01"} 1`,
+		`simq_latency_seconds_bucket{le="+Inf"} 1`,
+		"simq_latency_seconds_sum 0.002",
+		"simq_latency_seconds_count 1",
+		// A labeled histogram keeps the suffix on the family name, ahead
+		// of its label block.
+		`simq_depth_bucket{index="bk",le="2"} 1`,
+		`simq_depth_sum{index="bk"} 1`,
+		`simq_depth_count{index="bk"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := CheckExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("exposition not parseable: %v\n%s", err, out)
+	}
+	// One TYPE line per family, even with several labeled series.
+	if n := strings.Count(out, "# TYPE simq_queries_total"); n != 1 {
+		t.Fatalf("family emitted %d TYPE lines, want 1:\n%s", n, out)
+	}
+}
+
+// TestMetricsRegistryGetOrCreate checks the same name always resolves
+// to the same metric (concurrently, for the race step).
+func TestMetricsRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	ptrs := make([]*Counter, 8)
+	for i := range ptrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ptrs[i] = r.Counter("simq_x_total", "x")
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(ptrs); i++ {
+		if ptrs[i] != ptrs[0] {
+			t.Fatal("Counter returned distinct instances for one name")
+		}
+	}
+}
+
+// TestMetricsSpanRenderAndMerge pins the span renderer's shape and the
+// instance-merge semantics the fan-out aggregation relies on.
+func TestMetricsSpanRenderAndMerge(t *testing.T) {
+	leaf := &Span{Op: "Scan(words)", EstRows: 100, Rows: 90, WallNS: 2e6, Candidates: 90}
+	root := &Span{Op: "Filter(sim)", EstRows: 10, Rows: 9, WallNS: 3e6, Kernel: "myers",
+		Verifications: 90, Children: []*Span{leaf}}
+	out := root.Render()
+	for _, want := range []string{"Filter(sim)", "est=10 rows=9", "kernel=myers", "└─ Scan(words)", "sel=0.1000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	a := &Span{Op: "Scan", Rows: 10, WallNS: 5, Candidates: 10}
+	b := &Span{Op: "Scan", Rows: 20, WallNS: 9, Candidates: 20}
+	a.Merge(b)
+	if a.Rows != 30 || a.Candidates != 30 {
+		t.Fatalf("merge counters: %+v", a)
+	}
+	if a.WallNS != 9 {
+		t.Fatalf("merge wall should take max, got %d", a.WallNS)
+	}
+	if a.Instances != 2 {
+		t.Fatalf("merge instances: got %d want 2", a.Instances)
+	}
+}
+
+// CheckExposition-based sanity for the default registry helpers.
+func TestMetricsDefaultRegistry(t *testing.T) {
+	c := Default.Counter("simq_test_probe_total", "probe")
+	before := c.Value()
+	c.Inc()
+	if c.Value() != before+1 {
+		t.Fatal("default registry counter did not increment")
+	}
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Span is one node of a runtime trace mirroring the physical plan: the
+// operator's label plus the actuals its execution observed. EXPLAIN
+// ANALYZE renders the tree next to the planner's estimates, the
+// slow-query log emits it as one JSON object, and a later PR feeds the
+// observed selectivities back into the cost model — the field set is
+// shaped for exactly those three consumers.
+//
+// Wall time is inclusive: a parent's WallNS covers the time spent
+// inside its children (the EXPLAIN ANALYZE convention), so the tree's
+// root approximates the query's execution time.
+type Span struct {
+	// Op is the operator label as EXPLAIN renders it.
+	Op string `json:"op"`
+	// Kernel names the distance kernel the operator dispatched to
+	// (myers, scalar, targetdp, vec-l2, vec-cosine); empty when the
+	// operator computes no distances.
+	Kernel string `json:"kernel,omitempty"`
+	// EstRows is the planner's cardinality estimate (-1 = no estimate).
+	EstRows float64 `json:"est_rows"`
+	// Rows counts the rows the operator actually emitted.
+	Rows int64 `json:"rows"`
+	// Batches counts NextBatch calls that produced a batch (batch
+	// pipeline only).
+	Batches int64 `json:"batches,omitempty"`
+	// WallNS is the inclusive wall time spent inside the operator.
+	WallNS int64 `json:"wall_ns"`
+	// Candidates / Verifications are the operator's own contribution to
+	// the query's work counters (not cumulative over children).
+	Candidates    int64 `json:"candidates,omitempty"`
+	Verifications int64 `json:"verifications,omitempty"`
+	// IndexNodes / IndexPruned count tree-index nodes visited and
+	// subtrees skipped by pruning bounds during the operator's
+	// traversals.
+	IndexNodes  int64 `json:"index_nodes,omitempty"`
+	IndexPruned int64 `json:"index_pruned,omitempty"`
+	// Abandoned counts distance computations cut short by the
+	// early-abandon bound (a Within verdict reached before the full
+	// distance was computed).
+	Abandoned int64 `json:"abandoned,omitempty"`
+	// Instances is the number of executed operator instances folded
+	// into this span (parallel workers / shard fan-out); 0 or 1 means a
+	// single instance.
+	Instances int `json:"instances,omitempty"`
+	// Shards carries the per-shard (or per-worker) drain timings of a
+	// scatter-gather operator.
+	Shards []ShardTiming `json:"shards,omitempty"`
+	// Children are the operator's inputs, in plan order.
+	Children []*Span `json:"children,omitempty"`
+}
+
+// ShardTiming is one shard's contribution to a scatter-gather fan-out:
+// how long its drain took and how many rows it produced.
+type ShardTiming struct {
+	Shard  int   `json:"shard"`
+	WallNS int64 `json:"wall_ns"`
+	Rows   int64 `json:"rows"`
+}
+
+// Merge folds another instance of the same logical operator into s:
+// counters add, wall time takes the maximum (parallel instances
+// overlap, so summing would overstate elapsed time), and shard timings
+// concatenate. Children are left alone — callers merge child lists in
+// lockstep.
+func (s *Span) Merge(o *Span) {
+	if o == nil {
+		return
+	}
+	s.Rows += o.Rows
+	s.Batches += o.Batches
+	s.Candidates += o.Candidates
+	s.Verifications += o.Verifications
+	s.IndexNodes += o.IndexNodes
+	s.IndexPruned += o.IndexPruned
+	s.Abandoned += o.Abandoned
+	if o.WallNS > s.WallNS {
+		s.WallNS = o.WallNS
+	}
+	s.Shards = append(s.Shards, o.Shards...)
+	if s.Instances == 0 {
+		s.Instances = 1
+	}
+	if o.Instances > 1 {
+		s.Instances += o.Instances
+	} else {
+		s.Instances++
+	}
+}
+
+// Selectivity returns rows-out / rows-in against the span's first
+// child (the actual selectivity of a filtering operator); ok is false
+// when there is no child or the child emitted nothing.
+func (s *Span) Selectivity() (float64, bool) {
+	if len(s.Children) == 0 || s.Children[0].Rows == 0 {
+		return 0, false
+	}
+	return float64(s.Rows) / float64(s.Children[0].Rows), true
+}
+
+// Render pretty-prints the span tree with box-drawing connectors, one
+// operator per line annotated with its actuals — the EXPLAIN ANALYZE
+// output body.
+func (s *Span) Render() string {
+	var b strings.Builder
+	s.render(&b, "", "")
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func (s *Span) render(b *strings.Builder, prefix, childPrefix string) {
+	b.WriteString(prefix)
+	b.WriteString(s.Op)
+	b.WriteString("  (")
+	b.WriteString(s.annotations())
+	b.WriteString(")\n")
+	for i, c := range s.Children {
+		last := i == len(s.Children)-1
+		connector, cont := "├─ ", "│  "
+		if last {
+			connector, cont = "└─ ", "   "
+		}
+		c.render(b, childPrefix+connector, childPrefix+cont)
+	}
+}
+
+// annotations renders the per-operator actuals block.
+func (s *Span) annotations() string {
+	parts := make([]string, 0, 8)
+	if s.EstRows >= 0 {
+		parts = append(parts, fmt.Sprintf("est=%s rows=%d", formatEst(s.EstRows), s.Rows))
+	} else {
+		parts = append(parts, fmt.Sprintf("rows=%d", s.Rows))
+	}
+	parts = append(parts, "time="+formatDurationNS(s.WallNS))
+	if s.Kernel != "" {
+		parts = append(parts, "kernel="+s.Kernel)
+	}
+	if sel, ok := s.Selectivity(); ok {
+		parts = append(parts, fmt.Sprintf("sel=%.4f", sel))
+	}
+	if s.Batches > 0 {
+		parts = append(parts, fmt.Sprintf("batches=%d", s.Batches))
+	}
+	if s.Candidates > 0 || s.Verifications > 0 {
+		parts = append(parts, fmt.Sprintf("cand=%d verif=%d", s.Candidates, s.Verifications))
+	}
+	if s.IndexNodes > 0 {
+		parts = append(parts, fmt.Sprintf("nodes=%d pruned=%d", s.IndexNodes, s.IndexPruned))
+	}
+	if s.Abandoned > 0 {
+		parts = append(parts, fmt.Sprintf("abandoned=%d", s.Abandoned))
+	}
+	if s.Instances > 1 {
+		parts = append(parts, fmt.Sprintf("instances=%d", s.Instances))
+	}
+	if len(s.Shards) > 0 {
+		sh := make([]string, len(s.Shards))
+		for i, t := range s.Shards {
+			sh[i] = fmt.Sprintf("%d:%s/%drows", t.Shard, formatDurationNS(t.WallNS), t.Rows)
+		}
+		parts = append(parts, "shards=["+strings.Join(sh, " ")+"]")
+	}
+	return strings.Join(parts, " ")
+}
+
+// formatEst renders a planner cardinality estimate: integers bare,
+// anything fractional at one decimal — estimates carry no more
+// precision than that, and full round-trip floats drown the plan tree.
+func formatEst(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 1, 64)
+}
+
+// formatDurationNS renders a nanosecond count at millisecond-ish
+// precision without pulling in time.Duration formatting noise.
+func formatDurationNS(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

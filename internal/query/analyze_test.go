@@ -1,0 +1,287 @@
+package query
+
+// The EXPLAIN ANALYZE oracle: for every plan shape (row, batch, sharded
+// row, sharded batch), `EXPLAIN ANALYZE <stmt>` must execute the
+// statement and return byte-identical columns and rows to the plain
+// statement — tracing is an observer, never a participant — while the
+// span tree it renders must carry an estimate on every access path, a
+// kernel label on every distance-computing operator, and per-shard
+// timings on every scatter-gather. A second oracle pins Result.Stats
+// parity between the row and vectorized pipelines: the work counters
+// are part of the engine's observable contract, so the batch engine
+// must report the same candidate/verification/abandon totals as the
+// row engine for the same physical decision.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/relation"
+	"repro/internal/rewrite"
+)
+
+// analyzeEngine builds the testEngine word database over a plain or
+// sharded relation, with the requested vectorized block size (0 = pure
+// row-at-a-time).
+func analyzeEngine(t *testing.T, shards, batchSize int) *Engine {
+	t.Helper()
+	var tab relation.Table
+	if shards > 1 {
+		tab = relation.NewSharded("words", shards)
+	} else {
+		tab = relation.New("words")
+	}
+	for _, w := range []struct {
+		s    string
+		lang string
+	}{
+		{"color", "en"}, {"colour", "uk"}, {"colon", "en"}, {"cool", "en"},
+		{"dolor", "la"}, {"velour", "fr"}, {"clamor", "en"},
+	} {
+		tab.Insert(w.s, map[string]string{"lang": w.lang})
+	}
+	cat := relation.NewCatalog()
+	cat.Add(tab)
+	e := NewEngine(cat)
+	if err := e.RegisterRuleSet(rewrite.UnitEdits("abcdefghijklmnopqrstuvwxyz")); err != nil {
+		t.Fatal(err)
+	}
+	weighted := rewrite.MustRuleSet("cheap_vowels", []rewrite.Rule{
+		rewrite.Subst('o', 'u', 0.1), rewrite.Subst('u', 'o', 0.1),
+		rewrite.Insert('u', 0.2), rewrite.Delete('u', 0.2),
+	})
+	if err := e.RegisterRuleSet(weighted); err != nil {
+		t.Fatal(err)
+	}
+	e.SetBatchSize(batchSize)
+	return e
+}
+
+// analyzeStmts is the statement mix the oracle drives through every
+// plan shape: index range, filtered range, weighted scan range,
+// nearest-k (metric index), weighted nearest (scan), bare scan + limit.
+var analyzeStmts = []struct {
+	stmt      string
+	hasKernel bool // a distance kernel participates
+}{
+	{`SELECT * FROM words WHERE seq SIMILAR TO "color" WITHIN 1 USING unit-edits`, true},
+	{`SELECT * FROM words WHERE seq SIMILAR TO "color" WITHIN 2 USING unit-edits AND lang = "en"`, true},
+	{`SELECT * FROM words WHERE seq SIMILAR TO "color" WITHIN 0.3 USING cheap_vowels`, true},
+	{`SELECT seq, dist FROM words WHERE seq NEAREST 3 TO "color" USING unit-edits`, true},
+	{`SELECT seq, dist FROM words WHERE seq NEAREST 2 TO "color" USING cheap_vowels`, true},
+	{`SELECT * FROM words LIMIT 3`, false},
+}
+
+// flattenSpans returns the span tree in preorder.
+func flattenSpans(s *obs.Span) []*obs.Span {
+	if s == nil {
+		return nil
+	}
+	out := []*obs.Span{s}
+	for _, c := range s.Children {
+		out = append(out, flattenSpans(c)...)
+	}
+	return out
+}
+
+// checkAnalyzeOracle runs one statement plainly and under EXPLAIN
+// ANALYZE and pins result identity plus trace shape.
+func checkAnalyzeOracle(t *testing.T, e *Engine, stmt string, hasKernel bool, shards int) {
+	t.Helper()
+	plain, err := e.Execute(stmt)
+	if err != nil {
+		t.Fatalf("%q: %v", stmt, err)
+	}
+	an, err := e.Execute("EXPLAIN ANALYZE " + stmt)
+	if err != nil {
+		t.Fatalf("EXPLAIN ANALYZE %q: %v", stmt, err)
+	}
+	if strings.Join(plain.Columns, "\x1f") != strings.Join(an.Columns, "\x1f") {
+		t.Fatalf("%q: columns diverge under ANALYZE: %v vs %v", stmt, plain.Columns, an.Columns)
+	}
+	if positional(plain) != positional(an) {
+		t.Fatalf("%q: rows diverge under ANALYZE:\nplain:\n%s\nanalyze:\n%s", stmt, positional(plain), positional(an))
+	}
+	if an.Trace == nil {
+		t.Fatalf("%q: ANALYZE returned no trace", stmt)
+	}
+	if an.Plan == "" || !strings.Contains(an.Plan, "rows=") || !strings.Contains(an.Plan, "time=") {
+		t.Fatalf("%q: ANALYZE plan lacks actuals:\n%s", stmt, an.Plan)
+	}
+	if plain.Trace != nil {
+		t.Fatalf("%q: untraced execution leaked a trace", stmt)
+	}
+
+	all := flattenSpans(an.Trace)
+	var sawEst, sawKernel bool
+	for _, s := range all {
+		if s.Op == "" {
+			t.Fatalf("%q: span with empty operator label:\n%s", stmt, an.Plan)
+		}
+		if s.EstRows >= 0 {
+			sawEst = true
+		}
+		if s.Kernel != "" {
+			sawKernel = true
+		}
+		// Every leaf is an access path and must carry a planner estimate
+		// (est-vs-actual is the whole point of ANALYZE).
+		if len(s.Children) == 0 && s.EstRows < 0 {
+			t.Fatalf("%q: leaf span %s has no estimate:\n%s", stmt, s.Op, an.Plan)
+		}
+	}
+	if !sawEst {
+		t.Fatalf("%q: no span carries an estimate:\n%s", stmt, an.Plan)
+	}
+	if sawKernel != hasKernel {
+		t.Fatalf("%q: kernel label presence = %v, want %v:\n%s", stmt, sawKernel, hasKernel, an.Plan)
+	}
+	if hasKernel && !strings.Contains(an.Plan, "kernel=") {
+		t.Fatalf("%q: rendered plan lacks kernel label:\n%s", stmt, an.Plan)
+	}
+
+	// The root span's row count is the statement's result cardinality.
+	if an.Trace.Rows != int64(len(plain.Rows)) {
+		t.Fatalf("%q: root span rows=%d, result has %d:\n%s", stmt, an.Trace.Rows, len(plain.Rows), an.Plan)
+	}
+
+	if shards > 1 {
+		var gather *obs.Span
+		for _, s := range all {
+			if len(s.Shards) > 0 {
+				gather = s
+				break
+			}
+		}
+		if gather == nil {
+			t.Fatalf("%q: sharded trace has no shard timings:\n%s", stmt, an.Plan)
+		}
+		if len(gather.Shards) != shards {
+			t.Fatalf("%q: gather has %d shard timings, want %d:\n%s", stmt, len(gather.Shards), shards, an.Plan)
+		}
+		for i, sh := range gather.Shards {
+			if sh.Shard != i {
+				t.Fatalf("%q: shard timing %d labeled shard %d", stmt, i, sh.Shard)
+			}
+		}
+		// The fan-out below the gather merges one span per shard instance.
+		for _, c := range gather.Children {
+			if c.Instances != shards {
+				t.Fatalf("%q: merged child %s has %d instances, want %d:\n%s", stmt, c.Op, c.Instances, shards, an.Plan)
+			}
+		}
+	}
+}
+
+func TestAnalyzeOracleRow(t *testing.T) {
+	e := analyzeEngine(t, 1, 0)
+	for _, c := range analyzeStmts {
+		checkAnalyzeOracle(t, e, c.stmt, c.hasKernel, 1)
+	}
+}
+
+func TestAnalyzeOracleBatch(t *testing.T) {
+	e := analyzeEngine(t, 1, 4)
+	for _, c := range analyzeStmts {
+		checkAnalyzeOracle(t, e, c.stmt, c.hasKernel, 1)
+	}
+}
+
+func TestAnalyzeOracleSharded(t *testing.T) {
+	e := analyzeEngine(t, 3, 0)
+	for _, c := range analyzeStmts {
+		checkAnalyzeOracle(t, e, c.stmt, c.hasKernel, 3)
+	}
+}
+
+func TestAnalyzeOracleShardedBatch(t *testing.T) {
+	e := analyzeEngine(t, 3, 4)
+	for _, c := range analyzeStmts {
+		checkAnalyzeOracle(t, e, c.stmt, c.hasKernel, 3)
+	}
+}
+
+// TestAnalyzeStatsParityRowVsBatch pins Result.Stats consistency across
+// the row and vectorized pipelines at the same shard topology: the same
+// physical decision must report the same work counters.
+func TestAnalyzeStatsParityRowVsBatch(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		row := analyzeEngine(t, shards, 0)
+		batch := analyzeEngine(t, shards, 4)
+		for _, c := range analyzeStmts {
+			r, err := row.Execute(c.stmt)
+			if err != nil {
+				t.Fatalf("shards=%d %q: %v", shards, c.stmt, err)
+			}
+			b, err := batch.Execute(c.stmt)
+			if err != nil {
+				t.Fatalf("shards=%d %q: %v", shards, c.stmt, err)
+			}
+			if r.Stats.Candidates != b.Stats.Candidates ||
+				r.Stats.Verifications != b.Stats.Verifications ||
+				r.Stats.Abandoned != b.Stats.Abandoned {
+				t.Errorf("shards=%d %q: stats diverge:\nrow:   %+v\nbatch: %+v",
+					shards, c.stmt, r.Stats, b.Stats)
+			}
+		}
+	}
+}
+
+// TestAnalyzeTracingToggle pins the SetTracing contract: traces appear
+// only while the flag is on, and a traced plain execution keeps the
+// static plan rendering (only ANALYZE swaps in the actuals).
+func TestAnalyzeTracingToggle(t *testing.T) {
+	e := analyzeEngine(t, 1, 0)
+	const stmt = `SELECT * FROM words WHERE seq SIMILAR TO "color" WITHIN 1 USING unit-edits`
+
+	res, err := e.Execute(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Fatal("trace collected with tracing off")
+	}
+
+	e.SetTracing(true)
+	if !e.Tracing() {
+		t.Fatal("Tracing() = false after SetTracing(true)")
+	}
+	res, err = e.Execute(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil {
+		t.Fatal("no trace with tracing on")
+	}
+	if strings.Contains(res.Plan, "rows=") {
+		t.Fatalf("plain traced execution rendered actuals into Plan:\n%s", res.Plan)
+	}
+
+	e.SetTracing(false)
+	res, err = e.Execute(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Fatal("trace collected after SetTracing(false)")
+	}
+}
+
+// TestAnalyzeDMLRejected pins the parser guard: EXPLAIN ANALYZE
+// executes its statement, so analyzed DML would commit as a side effect
+// of asking for a plan — it must be rejected up front.
+func TestAnalyzeDMLRejected(t *testing.T) {
+	e := analyzeEngine(t, 1, 0)
+	for _, stmt := range []string{
+		`EXPLAIN ANALYZE INSERT INTO words (seq, lang) VALUES ("x", "en")`,
+		`EXPLAIN ANALYZE DELETE FROM words WHERE lang = "en"`,
+		`EXPLAIN ANALYZE UPDATE words SET seq = "y" WHERE lang = "en"`,
+	} {
+		if _, err := e.Execute(stmt); err == nil {
+			t.Errorf("%q succeeded, want error", stmt)
+		} else if !strings.Contains(err.Error(), "DML") {
+			t.Errorf("%q: error %q does not name DML", stmt, err)
+		}
+	}
+}

@@ -9,7 +9,9 @@ import (
 
 // Query is the root of a parsed statement.
 type Query struct {
-	Explain    bool
+	Explain bool
+	Analyze bool // EXPLAIN ANALYZE: execute, then render actuals
+
 	Select     []Column   // empty means '*'
 	From       []TableRef // one (range query) or several (N-way join)
 	Where      Expr       // may be nil
@@ -215,7 +217,11 @@ func (f FieldRef) String() string {
 func (q *Query) String() string {
 	var b strings.Builder
 	if q.Explain {
-		b.WriteString("EXPLAIN ")
+		if q.Analyze {
+			b.WriteString("EXPLAIN ANALYZE ")
+		} else {
+			b.WriteString("EXPLAIN ")
+		}
 	}
 	b.WriteString("SELECT ")
 	if len(q.Select) == 0 {

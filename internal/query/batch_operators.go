@@ -32,6 +32,7 @@ type batchScanOp struct {
 	cur   *relation.Cursor
 	buf   *Batch
 	local ExecStats
+	last  ExecStats // retained across Close for span attribution
 }
 
 func newBatchScanOp(ctx *execCtx, snap *relation.Snapshot, alias string, size int) *batchScanOp {
@@ -59,12 +60,15 @@ func (o *batchScanOp) NextBatch() (*Batch, error) {
 }
 
 func (o *batchScanOp) CloseBatch() error {
+	o.last.add(o.local)
 	o.ctx.addStats(o.local)
 	o.local = ExecStats{}
 	putBatch(o.buf)
 	o.buf = nil
 	return nil
 }
+
+func (o *batchScanOp) opStats() ExecStats { return o.last }
 
 func (o *batchScanOp) Describe() string {
 	if o.shards > 1 {
@@ -94,6 +98,7 @@ type batchIndexRangeOp struct {
 	iter index.BatchIterator
 	mbuf []index.Match
 	buf  *Batch
+	last ExecStats // retained across Close for span attribution
 }
 
 func (o *batchIndexRangeOp) OpenBatch() error {
@@ -141,14 +146,17 @@ func (o *batchIndexRangeOp) NextBatch() (*Batch, error) {
 
 func (o *batchIndexRangeOp) CloseBatch() error {
 	if o.iter != nil {
-		st := o.iter.Stats()
-		o.ctx.addStats(ExecStats{Candidates: st.Candidates, Verifications: st.Verifications})
+		es := fromIndexStats(o.iter.Stats())
+		o.last.add(es)
+		o.ctx.addStats(es)
 		o.iter = nil
 	}
 	putBatch(o.buf)
 	o.buf = nil
 	return nil
 }
+
+func (o *batchIndexRangeOp) opStats() ExecStats { return o.last }
 
 func (o *batchIndexRangeOp) Describe() string {
 	return fmt.Sprintf("IndexRange(%s via %s, target=%s, radius=%d, ruleset=%s)",
@@ -194,6 +202,7 @@ type batchNearestKOp struct {
 	pos     int
 	blk     relation.Block
 	buf     *Batch
+	last    ExecStats // retained across Close for span attribution
 }
 
 func (o *batchNearestKOp) OpenBatch() error {
@@ -202,7 +211,9 @@ func (o *batchNearestKOp) OpenBatch() error {
 	if o.via == "bktree" {
 		m, st := o.snap.BKTree().NearestKFilterStatsInto(o.matches[:0], o.target, o.k, o.snap.Visible)
 		o.matches = m
-		o.ctx.addStats(ExecStats{Candidates: st.Candidates, Verifications: st.Verifications})
+		es := fromIndexStats(st)
+		o.last.add(es)
+		o.ctx.addStats(es)
 		return nil
 	}
 	calc := o.ctx.eng.calc(o.ruleSet)
@@ -235,6 +246,7 @@ func (o *batchNearestKOp) OpenBatch() error {
 				d, within = dp.Within(s, bound)
 			}
 			if !within {
+				local.Abandoned++
 				continue
 			}
 			best = index.PushBestK(best, index.Match{ID: o.blk.IDs[i], S: s, Dist: d}, o.k)
@@ -244,6 +256,7 @@ func (o *batchNearestKOp) OpenBatch() error {
 		}
 	}
 	o.matches = best
+	o.last.add(local)
 	o.ctx.addStats(local)
 	return nil
 }
@@ -271,6 +284,8 @@ func (o *batchNearestKOp) CloseBatch() error {
 	return nil
 }
 
+func (o *batchNearestKOp) opStats() ExecStats { return o.last }
+
 func (o *batchNearestKOp) Describe() string {
 	return fmt.Sprintf("NearestK(%s via %s, k=%d, ruleset=%s)", o.alias, o.via, o.k, o.ruleSet)
 }
@@ -293,6 +308,7 @@ type batchFilterOp struct {
 	fn      predFn
 	scratch binding
 	local   ExecStats
+	last    ExecStats // retained across Close for span attribution
 }
 
 func (o *batchFilterOp) OpenBatch() error {
@@ -357,10 +373,13 @@ func (o *batchFilterOp) NextBatch() (*Batch, error) {
 }
 
 func (o *batchFilterOp) CloseBatch() error {
+	o.last.add(o.local)
 	o.ctx.addStats(o.local)
 	o.local = ExecStats{}
 	return o.child.CloseBatch()
 }
+
+func (o *batchFilterOp) opStats() ExecStats { return o.last }
 
 func (o *batchFilterOp) Describe() string  { return fmt.Sprintf("Filter(%s)", o.pred) }
 func (o *batchFilterOp) childNodes() []any { return []any{o.child} }
@@ -582,9 +601,31 @@ type batchParallelOp struct {
 	build    func(shard, shards int) BatchOperator
 	template BatchOperator // shard-0 pipeline, used only for EXPLAIN
 
+	// prebuilt holds the per-shard pipelines when tracing: building them
+	// eagerly lets the span extractor visit the instances that actually
+	// executed instead of the throwaway template.
+	prebuilt []BatchOperator
+
 	bufs  [][]*Batch
 	shard int
 	pos   int
+}
+
+// executedInstances exposes the per-shard pipelines for span
+// extraction; nil when the plan is not traced.
+func (o *batchParallelOp) executedInstances() []any {
+	out := make([]any, len(o.prebuilt))
+	for i, p := range o.prebuilt {
+		out[i] = p
+	}
+	return out
+}
+
+func (o *batchParallelOp) shardPipeline(i int) BatchOperator {
+	if o.prebuilt != nil {
+		return o.prebuilt[i]
+	}
+	return o.build(i, o.workers)
 }
 
 func (o *batchParallelOp) OpenBatch() error {
@@ -596,7 +637,7 @@ func (o *batchParallelOp) OpenBatch() error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			op := o.build(i, o.workers)
+			op := o.shardPipeline(i)
 			if err := op.OpenBatch(); err != nil {
 				errs[i] = err
 				op.CloseBatch()

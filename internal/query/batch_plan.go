@@ -41,21 +41,22 @@ func (e *Engine) buildBatchTree(q *Query, d *planDecision, rels []*relation.Rela
 	size := e.batchLeafSize(q)
 	cp.batchSize = size
 	cp.kernel = d.kernel
+	st := rels[0].Stats()
 
 	var access BatchOperator
 	switch d.kind {
 	case accessNearest:
 		ne := q.Where.(NearestExpr)
 		if isVecNearest(&ne) {
-			access = &batchVecNearestKOp{
+			access = trB(ctx, &batchVecNearestKOp{
 				ctx: ctx, snap: snapOf(rels[0]), alias: alias,
 				via: d.via, target: ne.Target.Vec, k: ne.K, metricName: ne.RuleSet, size: size,
-			}
+			}, estNearestRows(st.VecCount, ne.K), d.kernel)
 		} else {
-			access = &batchNearestKOp{
+			access = trB(ctx, &batchNearestKOp{
 				ctx: ctx, snap: snapOf(rels[0]), alias: alias,
 				via: d.via, target: ne.Target.Lit, k: ne.K, ruleSet: ne.RuleSet, size: size,
-			}
+			}, estNearestRows(st.Count, ne.K), d.kernel)
 		}
 	case accessRange:
 		if d.via == "vptree" {
@@ -63,12 +64,13 @@ func (e *Engine) buildBatchTree(q *Query, d *planDecision, rels []*relation.Rela
 			if sim == nil {
 				return nil, fmt.Errorf("query: stale plan: no vector range conjunct")
 			}
-			var op BatchOperator = &batchVecRangeOp{
+			var op BatchOperator = trB(ctx, &batchVecRangeOp{
 				ctx: ctx, snap: snapOf(rels[0]), alias: alias,
 				target: sim.Target.Vec, radius: sim.Radius, metricName: sim.RuleSet, size: size,
-			}
+			}, estVecRangeRows(st, sim.Radius), d.kernel)
 			if res := simplifyExpr(residual); !isTrivial(res) {
-				op = &batchFilterOp{ctx: ctx, child: op, pred: res, alias: alias}
+				op = trB(ctx, &batchFilterOp{ctx: ctx, child: op, pred: res, alias: alias},
+					estFilterRows(st, res, estOfBatch(op)), e.filterKernel(res))
 			}
 			access = op
 			break
@@ -77,12 +79,13 @@ func (e *Engine) buildBatchTree(q *Query, d *planDecision, rels []*relation.Rela
 		if sim == nil {
 			return nil, fmt.Errorf("query: stale plan: no indexable conjunct")
 		}
-		var op BatchOperator = &batchIndexRangeOp{
+		var op BatchOperator = trB(ctx, &batchIndexRangeOp{
 			ctx: ctx, snap: snapOf(rels[0]), alias: alias, via: d.via,
 			target: sim.Target.Lit, radius: int(sim.Radius), ruleSet: sim.RuleSet, size: size,
-		}
+		}, estRangeRows(st, sim.Radius), d.kernel)
 		if res := simplifyExpr(residual); !isTrivial(res) {
-			op = &batchFilterOp{ctx: ctx, child: op, pred: res, alias: alias}
+			op = trB(ctx, &batchFilterOp{ctx: ctx, child: op, pred: res, alias: alias},
+				estFilterRows(st, res, estOfBatch(op)), e.filterKernel(res))
 		}
 		access = op
 	case accessScan:
@@ -91,9 +94,10 @@ func (e *Engine) buildBatchTree(q *Query, d *planDecision, rels []*relation.Rela
 		build := func(shard, shards int) BatchOperator {
 			sc := newBatchScanOp(ctx, snap, alias, size)
 			sc.shard, sc.shards = shard, shards
-			var op BatchOperator = sc
+			var op BatchOperator = trB(ctx, sc, float64(st.Count)/float64(shards), "")
 			if !isTrivial(pred) {
-				op = &batchFilterOp{ctx: ctx, child: op, pred: pred, alias: alias}
+				op = trB(ctx, &batchFilterOp{ctx: ctx, child: op, pred: pred, alias: alias},
+					estFilterRows(st, pred, estOfBatch(op)), e.filterKernel(pred))
 			}
 			return op
 		}
@@ -106,7 +110,7 @@ func (e *Engine) buildBatchTree(q *Query, d *planDecision, rels []*relation.Rela
 		if err != nil {
 			return nil, err
 		}
-		access = &rowToBatchOp{child: rowAccess, size: size}
+		access = trB(ctx, &rowToBatchOp{child: rowAccess, size: size}, estOf(rowAccess), "")
 	default:
 		return nil, fmt.Errorf("query: unknown access kind %d", d.kind)
 	}
@@ -121,13 +125,13 @@ func (e *Engine) buildBatchTree(q *Query, d *planDecision, rels []*relation.Rela
 func (e *Engine) wrapBatchTop(q *Query, access BatchOperator, alias string, size int, ctx *execCtx) BatchOperator {
 	top := access
 	if q.Order == OrderDesc {
-		top = &batchOrderByDistOp{child: top, desc: true, size: size}
+		top = trB(ctx, &batchOrderByDistOp{child: top, desc: true, size: size}, estOfBatch(top), "")
 	} else if q.Order == OrderAsc {
-		top = &batchOrderByDistOp{child: top, size: size}
+		top = trB(ctx, &batchOrderByDistOp{child: top, size: size}, estOfBatch(top), "")
 	}
-	top = &batchProjectOp{ctx: ctx, q: q, child: top, alias: alias}
+	top = trB(ctx, &batchProjectOp{ctx: ctx, q: q, child: top, alias: alias}, estOfBatch(top), "")
 	if q.Limit > 0 {
-		top = &batchLimitOp{child: top, n: q.Limit}
+		top = trB(ctx, &batchLimitOp{child: top, n: q.Limit}, estLimitRows(q.Limit, estOfBatch(top)), "")
 	}
 	return top
 }
@@ -136,7 +140,21 @@ func (e *Engine) wrapBatchTop(q *Query, access BatchOperator, alias string, size
 // batch pipeline factory.
 func wrapBatchParallel(ctx *execCtx, d *planDecision, build func(shard, shards int) BatchOperator) BatchOperator {
 	if d.parallel && d.workers > 1 {
-		return &batchParallelOp{ctx: ctx, workers: d.workers, build: build, template: build(0, d.workers)}
+		p := &batchParallelOp{ctx: ctx, workers: d.workers, build: build}
+		if ctx.traced {
+			// Prebuild every shard pipeline so each carries its own span
+			// wrappers; OpenBatch runs the prebuilt instances and ANALYZE
+			// merges their counters (untraced plans keep lazy per-Open
+			// builds and pay nothing).
+			p.prebuilt = make([]BatchOperator, d.workers)
+			for i := range p.prebuilt {
+				p.prebuilt[i] = build(i, d.workers)
+			}
+			p.template = p.prebuilt[0]
+		} else {
+			p.template = build(0, d.workers)
+		}
+		return trB(ctx, p, -1, "")
 	}
 	return build(0, 1)
 }

@@ -11,8 +11,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/metric"
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -20,7 +22,7 @@ import (
 // operator tree for a decided single-relation query over a sharded
 // relation; the structure (per-shard filters, per-shard pushed limits,
 // gather mode) mirrors buildShardedPlan exactly.
-func (e *Engine) buildShardedBatchTree(q *Query, d *planDecision, view *relation.ShardView, ctx *execCtx, cp *compiledPlan) (*compiledPlan, error) {
+func (e *Engine) buildShardedBatchTree(q *Query, d *planDecision, view *relation.ShardView, st relation.Stats, ctx *execCtx, cp *compiledPlan) (*compiledPlan, error) {
 	n := view.NumShards()
 	alias := q.From[0].Alias
 	size := e.batchLeafSize(q)
@@ -32,29 +34,31 @@ func (e *Engine) buildShardedBatchTree(q *Query, d *planDecision, view *relation
 	switch d.kind {
 	case accessNearest:
 		ne := q.Where.(NearestExpr)
+		gatherEst := estNearestRows(n*st.Count, ne.K)
 		if isVecNearest(&ne) {
+			gatherEst = estNearestRows(n*st.VecCount, ne.K)
 			for i := range children {
-				children[i] = &batchShardVecNearestKOp{
+				children[i] = trB(ctx, &batchShardVecNearestKOp{
 					batchVecNearestKOp: batchVecNearestKOp{
 						ctx: ctx, snap: view.Snap(i), alias: alias,
 						via: d.via, target: ne.Target.Vec, k: ne.K, metricName: ne.RuleSet, size: size,
 					},
 					idx: i, of: n,
-				}
+				}, estNearestRows(st.VecCount, ne.K), d.kernel)
 			}
 		} else {
 			for i := range children {
-				children[i] = &batchShardNearestKOp{
+				children[i] = trB(ctx, &batchShardNearestKOp{
 					batchNearestKOp: batchNearestKOp{
 						ctx: ctx, snap: view.Snap(i), alias: alias,
 						via: d.via, target: ne.Target.Lit, k: ne.K, ruleSet: ne.RuleSet, size: size,
 					},
 					idx: i, of: n,
-				}
+				}, estNearestRows(st.Count, ne.K), d.kernel)
 			}
 		}
-		access = &batchGatherMergeOp{ctx: ctx, children: children, workers: d.workers,
-			mode: gatherBestK, k: ne.K, size: size}
+		access = trB(ctx, &batchGatherMergeOp{ctx: ctx, children: children, workers: d.workers,
+			mode: gatherBestK, k: ne.K, size: size}, gatherEst, "")
 	case accessRange:
 		if d.via == "vptree" {
 			sim, residual := extractVecRangeSim(q.Where)
@@ -63,20 +67,21 @@ func (e *Engine) buildShardedBatchTree(q *Query, d *planDecision, view *relation
 			}
 			pred := simplifyExpr(residual)
 			for i := range children {
-				var op BatchOperator = &batchVecRangeOp{
+				var op BatchOperator = trB(ctx, &batchVecRangeOp{
 					ctx: ctx, snap: view.Snap(i), alias: alias,
 					target: sim.Target.Vec, radius: sim.Radius, metricName: sim.RuleSet, size: size,
-				}
+				}, estVecRangeRows(st, sim.Radius), d.kernel)
 				if !isTrivial(pred) {
-					op = &batchFilterOp{ctx: ctx, child: op, pred: pred, alias: alias}
+					op = trB(ctx, &batchFilterOp{ctx: ctx, child: op, pred: pred, alias: alias},
+						estFilterRows(st, pred, estOfBatch(op)), e.filterKernel(pred))
 				}
 				if q.Limit > 0 && q.Order == OrderNone {
-					op = &batchLimitOp{child: op, n: q.Limit}
+					op = trB(ctx, &batchLimitOp{child: op, n: q.Limit}, estLimitRows(q.Limit, estOfBatch(op)), "")
 				}
 				children[i] = op
 			}
-			access = &batchGatherMergeOp{ctx: ctx, children: children, workers: d.workers,
-				mode: gatherByID, size: size}
+			access = trB(ctx, &batchGatherMergeOp{ctx: ctx, children: children, workers: d.workers,
+				mode: gatherByID, size: size}, -1, "")
 			break
 		}
 		sim, residual := extractRangeSim(q.Where, e.rangeIndexable)
@@ -85,37 +90,40 @@ func (e *Engine) buildShardedBatchTree(q *Query, d *planDecision, view *relation
 		}
 		pred := simplifyExpr(residual)
 		for i := range children {
-			var op BatchOperator = &batchIndexRangeOp{
+			var op BatchOperator = trB(ctx, &batchIndexRangeOp{
 				ctx: ctx, snap: view.Snap(i), alias: alias, via: d.via,
 				target: sim.Target.Lit, radius: int(sim.Radius), ruleSet: sim.RuleSet, size: size,
-			}
+			}, estRangeRows(st, sim.Radius), d.kernel)
 			if !isTrivial(pred) {
-				op = &batchFilterOp{ctx: ctx, child: op, pred: pred, alias: alias}
+				op = trB(ctx, &batchFilterOp{ctx: ctx, child: op, pred: pred, alias: alias},
+					estFilterRows(st, pred, estOfBatch(op)), e.filterKernel(pred))
 			}
 			if q.Limit > 0 && q.Order == OrderNone {
 				// Same per-shard pushdown as the row gather: each shard needs
 				// at most LIMIT matches, so the index traversal stops early.
-				op = &batchLimitOp{child: op, n: q.Limit}
+				op = trB(ctx, &batchLimitOp{child: op, n: q.Limit}, estLimitRows(q.Limit, estOfBatch(op)), "")
 			}
 			children[i] = op
 		}
-		access = &batchGatherMergeOp{ctx: ctx, children: children, workers: d.workers,
-			mode: gatherByID, size: size}
+		access = trB(ctx, &batchGatherMergeOp{ctx: ctx, children: children, workers: d.workers,
+			mode: gatherByID, size: size}, -1, "")
 	case accessScan:
 		pred := simplifyExpr(q.Where)
 		for i := range children {
 			sc := newBatchScanOp(ctx, view.Snap(i), alias, size)
-			var op BatchOperator = &batchShardScanOp{batchScanOp: *sc, idx: i, of: n}
+			var op BatchOperator = trB(ctx, &batchShardScanOp{batchScanOp: *sc, idx: i, of: n},
+				float64(st.Count), "")
 			if !isTrivial(pred) {
-				op = &batchFilterOp{ctx: ctx, child: op, pred: pred, alias: alias}
+				op = trB(ctx, &batchFilterOp{ctx: ctx, child: op, pred: pred, alias: alias},
+					estFilterRows(st, pred, estOfBatch(op)), e.filterKernel(pred))
 			}
 			if q.Limit > 0 && q.Order == OrderNone {
-				op = &batchLimitOp{child: op, n: q.Limit}
+				op = trB(ctx, &batchLimitOp{child: op, n: q.Limit}, estLimitRows(q.Limit, estOfBatch(op)), "")
 			}
 			children[i] = op
 		}
-		access = &batchGatherMergeOp{ctx: ctx, children: children, workers: d.workers,
-			mode: gatherByID, size: size}
+		access = trB(ctx, &batchGatherMergeOp{ctx: ctx, children: children, workers: d.workers,
+			mode: gatherByID, size: size}, -1, "")
 	default:
 		return nil, fmt.Errorf("query: access kind %d has no sharded build", d.kind)
 	}
@@ -185,11 +193,27 @@ type batchGatherMergeOp struct {
 	k        int // gatherBestK: result bound
 	size     int
 
-	cols []shardCols
-	pos  []int // per-shard frontier position into perm
-	done int   // rows emitted (gatherBestK stops at k)
-	out  *Batch
+	cols    []shardCols
+	pos     []int // per-shard frontier position into perm
+	done    int   // rows emitted (gatherBestK stops at k)
+	out     *Batch
+	timings []obs.ShardTiming // per-shard drain wall time (traced runs only)
 }
+
+// executedInstances reports every shard subplan for span extraction —
+// unlike childNodes (which shows the shard-0 template for EXPLAIN), all
+// instances always execute, so ANALYZE merges the counters of each.
+func (o *batchGatherMergeOp) executedInstances() []any {
+	out := make([]any, len(o.children))
+	for i, c := range o.children {
+		out[i] = c
+	}
+	return out
+}
+
+// shardTimings reports the per-shard fan-out timing recorded by the last
+// traced OpenBatch.
+func (o *batchGatherMergeOp) shardTimings() []obs.ShardTiming { return o.timings }
 
 func (o *batchGatherMergeOp) OpenBatch() error {
 	o.cols = make([]shardCols, len(o.children))
@@ -197,6 +221,9 @@ func (o *batchGatherMergeOp) OpenBatch() error {
 	o.done = 0
 	o.out = getBatch()
 	errs := make([]error, len(o.children))
+	if o.ctx.traced {
+		o.timings = make([]obs.ShardTiming, len(o.children))
+	}
 	workers := o.workers
 	if workers < 1 {
 		workers = 1
@@ -205,6 +232,10 @@ func (o *batchGatherMergeOp) OpenBatch() error {
 		workers = len(o.children)
 	}
 	drain := func(i int) {
+		var start time.Time
+		if o.ctx.traced {
+			start = time.Now()
+		}
 		op := o.children[i]
 		if err := op.OpenBatch(); err != nil {
 			errs[i] = err
@@ -224,6 +255,13 @@ func (o *batchGatherMergeOp) OpenBatch() error {
 		}
 		if err := op.CloseBatch(); err != nil && errs[i] == nil {
 			errs[i] = err
+		}
+		if o.ctx.traced {
+			// Each worker owns a disjoint set of indices, so indexed writes
+			// need no lock.
+			o.timings[i] = obs.ShardTiming{
+				Shard: i, WallNS: time.Since(start).Nanoseconds(), Rows: int64(len(o.cols[i].ids)),
+			}
 		}
 	}
 	if workers == 1 {

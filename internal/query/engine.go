@@ -8,9 +8,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/editdp"
 	"repro/internal/metric"
+	"repro/internal/obs"
 	"repro/internal/patdist"
 	"repro/internal/pattern"
 	"repro/internal/relation"
@@ -36,6 +39,10 @@ type Engine struct {
 	parallelism     int // workers for Parallel plans (<=1 disables)
 	parallelMinRows int // outer-relation size that justifies sharding
 	batchSize       int // rows per block for vectorized plans (<=0 disables)
+
+	// tracing forces span collection on every execution (the slow-query
+	// log's hook); EXPLAIN ANALYZE traces its own statement regardless.
+	tracing atomic.Bool
 }
 
 // parallelDefaultMinRows is the default outer-relation size below which
@@ -216,7 +223,18 @@ type Result struct {
 	Rows    [][]string
 	Plan    string    // rendered operator tree; the whole payload for EXPLAIN
 	Stats   ExecStats // work counters from the access paths
+	// Trace is the per-operator runtime span tree; non-nil only when the
+	// execution was traced (EXPLAIN ANALYZE, or SetTracing(true)).
+	Trace *obs.Span
 }
+
+// SetTracing toggles span collection for every subsequent execution.
+// Traced plans pay a per-operator timing wrapper (see trace.go); the
+// serving layer enables this only when a slow-query log is configured.
+func (e *Engine) SetTracing(on bool) { e.tracing.Store(on) }
+
+// Tracing reports whether engine-wide span collection is on.
+func (e *Engine) Tracing() bool { return e.tracing.Load() }
 
 // rulesetVersion returns the rule-set registry mutation counter.
 func (e *Engine) rulesetVersion() uint64 {
@@ -353,6 +371,7 @@ func (e *Engine) Execute(src string) (*Result, error) {
 			}
 			return res, err
 		}
+		mReplans.Inc()
 	}
 	stmt, err := ParseStatement(src)
 	if err != nil {
@@ -397,13 +416,30 @@ func (e *Engine) runDecided(q *Query, d *planDecision) (*Result, error) {
 }
 
 // finishPlan drives a built plan to completion, or renders it for
-// EXPLAIN.
+// EXPLAIN. EXPLAIN ANALYZE takes the execution path: the statement runs
+// to completion with tracing on, the result rows are exactly the plain
+// statement's (the analyze oracle pins that), and Plan carries the span
+// tree rendered with actuals instead of the static tree.
 func (e *Engine) finishPlan(q *Query, plan *compiledPlan) (*Result, error) {
-	if q.Explain {
+	if q.Explain && !q.Analyze {
 		tree := plan.describe()
 		return &Result{Columns: []string{"plan"}, Rows: [][]string{{tree}}, Plan: tree}, nil
 	}
-	return plan.run()
+	mQueriesTotal.Inc()
+	kernelDispatch(plan.kernel)
+	start := time.Now()
+	res, err := plan.run()
+	mQueryLatency.Observe(time.Since(start).Seconds())
+	if err != nil {
+		return nil, err
+	}
+	if plan.ctx.traced {
+		res.Trace = plan.extractTrace()
+		if q.Analyze && res.Trace != nil {
+			res.Plan = res.Trace.Render()
+		}
+	}
+	return res, nil
 }
 
 // binding maps table aliases to the tuples of one candidate row, plus

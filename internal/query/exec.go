@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+
+	"repro/internal/index"
 )
 
 // Operator is the Volcano-style physical operator interface: a pull
@@ -32,12 +34,38 @@ type Operator interface {
 type ExecStats struct {
 	Candidates    int  // tuples and index nodes examined by access paths
 	Verifications int  // distance computations and predicate evaluations
+	Nodes         int  // tree-index nodes visited during index traversals
+	Pruned        int  // index subtrees skipped by a pruning bound
+	Abandoned     int  // verifications cut short by the early-abandon bound
 	PlanCacheHit  bool // this execution reused a cached plan (skipped parse+plan)
+}
+
+// add folds another operator's counters into s (PlanCacheHit is a
+// per-execution flag, not a counter, and is left alone).
+func (s *ExecStats) add(o ExecStats) {
+	s.Candidates += o.Candidates
+	s.Verifications += o.Verifications
+	s.Nodes += o.Nodes
+	s.Pruned += o.Pruned
+	s.Abandoned += o.Abandoned
+}
+
+// fromIndexStats lifts an index iterator's work counters into the
+// executor's schema.
+func fromIndexStats(st index.Stats) ExecStats {
+	return ExecStats{
+		Candidates:    st.Candidates,
+		Verifications: st.Verifications,
+		Nodes:         st.Nodes,
+		Pruned:        st.Pruned,
+		Abandoned:     st.Abandoned,
+	}
 }
 
 // execCtx is shared by every operator of one executing query.
 type execCtx struct {
-	eng *Engine
+	eng    *Engine
+	traced bool // collect per-operator spans (EXPLAIN ANALYZE / engine tracing)
 
 	mu    sync.Mutex
 	stats ExecStats
@@ -46,9 +74,14 @@ type execCtx struct {
 // addStats merges an operator's local counters; safe for concurrent use
 // by parallel shard workers.
 func (c *execCtx) addStats(s ExecStats) {
+	if s.Nodes > 0 {
+		mIndexVisited.Add(int64(s.Nodes))
+	}
+	if s.Pruned > 0 {
+		mIndexPruned.Add(int64(s.Pruned))
+	}
 	c.mu.Lock()
-	c.stats.Candidates += s.Candidates
-	c.stats.Verifications += s.Verifications
+	c.stats.add(s)
 	c.mu.Unlock()
 }
 
@@ -65,7 +98,7 @@ type compiledPlan struct {
 	root      Operator
 	broot     BatchOperator
 	batchSize int    // leaf block size when broot is set (EXPLAIN)
-	kernel    string // decided distance kernel when broot is set (EXPLAIN)
+	kernel    string // decided distance kernel (EXPLAIN label, dispatch metric)
 	ctx       *execCtx
 	columns   []string
 }

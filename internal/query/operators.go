@@ -44,6 +44,7 @@ type scanOp struct {
 	cur   *relation.Cursor
 	free  *binding // last recycled binding, reused by the next Next
 	local ExecStats
+	last  ExecStats // retained across Close for span attribution
 }
 
 func newScanOp(ctx *execCtx, snap *relation.Snapshot, alias string) *scanOp {
@@ -73,10 +74,13 @@ func (o *scanOp) Next() (*binding, error) {
 func (o *scanOp) recycle(b *binding) { o.free = b }
 
 func (o *scanOp) Close() error {
+	o.last.add(o.local)
 	o.ctx.addStats(o.local)
 	o.local = ExecStats{}
 	return nil
 }
+
+func (o *scanOp) opStats() ExecStats { return o.last }
 
 func (o *scanOp) Describe() string {
 	if o.shards > 1 {
@@ -106,6 +110,7 @@ type indexRangeOp struct {
 	ruleSet string
 
 	iter index.Iterator
+	last ExecStats // retained across Close for span attribution
 }
 
 func (o *indexRangeOp) Open() error {
@@ -138,12 +143,15 @@ func (o *indexRangeOp) Next() (*binding, error) {
 
 func (o *indexRangeOp) Close() error {
 	if o.iter != nil {
-		st := o.iter.Stats()
-		o.ctx.addStats(ExecStats{Candidates: st.Candidates, Verifications: st.Verifications})
+		es := fromIndexStats(o.iter.Stats())
+		o.last.add(es)
+		o.ctx.addStats(es)
 		o.iter = nil
 	}
 	return nil
 }
+
+func (o *indexRangeOp) opStats() ExecStats { return o.last }
 
 func (o *indexRangeOp) Describe() string {
 	return fmt.Sprintf("IndexRange(%s via %s, target=%s, radius=%d, ruleset=%s)",
@@ -168,7 +176,10 @@ type nearestKOp struct {
 
 	matches []index.Match
 	pos     int
+	last    ExecStats // retained across Close for span attribution
 }
+
+func (o *nearestKOp) opStats() ExecStats { return o.last }
 
 func (o *nearestKOp) Open() error {
 	o.pos = 0
@@ -178,7 +189,9 @@ func (o *nearestKOp) Open() error {
 		// losing true answers.
 		m, st := o.snap.BKTree().NearestKFilterStats(o.target, o.k, o.snap.Visible)
 		o.matches = m
-		o.ctx.addStats(ExecStats{Candidates: st.Candidates, Verifications: st.Verifications})
+		es := fromIndexStats(st)
+		o.last.add(es)
+		o.ctx.addStats(es)
 		return nil
 	}
 	calc := o.ctx.eng.calc(o.ruleSet)
@@ -204,6 +217,7 @@ func (o *nearestKOp) Open() error {
 			d, within = calc.Within(t.Seq, o.target, bound)
 		}
 		if !within {
+			local.Abandoned++
 			continue
 		}
 		best = index.PushBestK(best, index.Match{ID: t.ID, S: t.Seq, Dist: d}, o.k)
@@ -212,6 +226,7 @@ func (o *nearestKOp) Open() error {
 		}
 	}
 	o.matches = best
+	o.last.add(local)
 	o.ctx.addStats(local)
 	return nil
 }
@@ -251,6 +266,7 @@ type filterOp struct {
 
 	rec   recycler // non-nil when child recycles rejected bindings
 	local ExecStats
+	last  ExecStats // retained across Close for span attribution
 }
 
 func (o *filterOp) Open() error {
@@ -279,10 +295,13 @@ func (o *filterOp) Next() (*binding, error) {
 }
 
 func (o *filterOp) Close() error {
+	o.last.add(o.local)
 	o.ctx.addStats(o.local)
 	o.local = ExecStats{}
 	return o.child.Close()
 }
+
+func (o *filterOp) opStats() ExecStats { return o.last }
 
 func (o *filterOp) Describe() string     { return fmt.Sprintf("Filter(%s)", o.pred) }
 func (o *filterOp) Children() []Operator { return []Operator{o.child} }
@@ -439,7 +458,10 @@ type nestedLoopJoinOp struct {
 
 	cur   *binding
 	local ExecStats
+	last  ExecStats // retained across Close for span attribution
 }
+
+func (o *nestedLoopJoinOp) opStats() ExecStats { return o.last }
 
 func (o *nestedLoopJoinOp) Open() error {
 	o.cur = nil
@@ -495,6 +517,7 @@ func (o *nestedLoopJoinOp) Next() (*binding, error) {
 }
 
 func (o *nestedLoopJoinOp) Close() error {
+	o.last.add(o.local)
 	o.ctx.addStats(o.local)
 	o.local = ExecStats{}
 	if o.cur != nil {
@@ -527,6 +550,7 @@ type indexJoinOp struct {
 	matches []index.Match
 	pos     int
 	local   ExecStats
+	last    ExecStats // retained across Close for span attribution
 }
 
 func (o *indexJoinOp) Open() error {
@@ -549,8 +573,7 @@ func (o *indexJoinOp) Next() (*binding, error) {
 			m, st := o.snap.BKTree().RangeStats(probe, int(o.sim.Radius))
 			sort.Slice(m, func(i, j int) bool { return m[i].ID < m[j].ID })
 			o.matches, o.pos = m, 0
-			o.local.Candidates += st.Candidates
-			o.local.Verifications += st.Verifications
+			o.local.add(fromIndexStats(st))
 		}
 		if o.pos >= len(o.matches) {
 			o.cur = nil
@@ -571,10 +594,13 @@ func (o *indexJoinOp) Next() (*binding, error) {
 }
 
 func (o *indexJoinOp) Close() error {
+	o.last.add(o.local)
 	o.ctx.addStats(o.local)
 	o.local = ExecStats{}
 	return o.outer.Close()
 }
+
+func (o *indexJoinOp) opStats() ExecStats { return o.last }
 
 func (o *indexJoinOp) Describe() string {
 	return fmt.Sprintf("IndexJoin(probe %s into bktree(%s), on %s)", o.probeField, o.alias, o.sim)
@@ -621,9 +647,31 @@ type parallelOp struct {
 	build    func(shard, shards int) Operator
 	template Operator // shard-0 pipeline, used only for EXPLAIN
 
+	// prebuilt holds the per-shard pipelines when tracing: building them
+	// eagerly lets the span extractor visit the instances that actually
+	// executed instead of the throwaway template.
+	prebuilt []Operator
+
 	bufs  [][]*binding
 	shard int
 	pos   int
+}
+
+// executedInstances exposes the per-shard pipelines for span
+// extraction; nil when the plan is not traced.
+func (o *parallelOp) executedInstances() []any {
+	out := make([]any, len(o.prebuilt))
+	for i, p := range o.prebuilt {
+		out[i] = p
+	}
+	return out
+}
+
+func (o *parallelOp) shardPipeline(i int) Operator {
+	if o.prebuilt != nil {
+		return o.prebuilt[i]
+	}
+	return o.build(i, o.workers)
 }
 
 func (o *parallelOp) Open() error {
@@ -635,7 +683,7 @@ func (o *parallelOp) Open() error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			op := o.build(i, o.workers)
+			op := o.shardPipeline(i)
 			if err := op.Open(); err != nil {
 				errs[i] = err
 				op.Close()

@@ -61,11 +61,14 @@ func ParseStatement(src string) (Statement, error) {
 }
 
 // leadKeyword peeks the statement-dispatching keyword, skipping an
-// EXPLAIN prefix, without consuming anything.
+// EXPLAIN or EXPLAIN ANALYZE prefix, without consuming anything.
 func (p *qparser) leadKeyword() string {
 	i := p.pos
 	if i < len(p.toks) && p.toks[i].kind == tokIdent && strings.EqualFold(p.toks[i].text, "explain") {
 		i++
+		if i < len(p.toks) && p.toks[i].kind == tokIdent && strings.EqualFold(p.toks[i].text, "analyze") {
+			i++
+		}
 	}
 	if i < len(p.toks) && p.toks[i].kind == tokIdent {
 		return strings.ToLower(p.toks[i].text)
@@ -132,6 +135,9 @@ func (p *qparser) parseQuery() (*Query, error) {
 	q := &Query{}
 	if p.keyword("explain") {
 		q.Explain = true
+		if p.keyword("analyze") {
+			q.Analyze = true
+		}
 	}
 	if err := p.expectKeyword("select"); err != nil {
 		return nil, err
@@ -213,7 +219,7 @@ func (p *qparser) parseQuery() (*Query, error) {
 var keywords = map[string]bool{
 	"select": true, "from": true, "where": true, "and": true, "or": true,
 	"not": true, "similar": true, "to": true, "within": true, "using": true,
-	"pattern": true, "nearest": true, "limit": true, "explain": true,
+	"pattern": true, "nearest": true, "limit": true, "explain": true, "analyze": true,
 	"order": true, "by": true, "asc": true, "desc": true,
 	"insert": true, "into": true, "values": true,
 	"delete": true, "update": true, "set": true,
@@ -226,6 +232,11 @@ func (p *qparser) parseMutation() (*Mutation, error) {
 	m := &Mutation{}
 	if p.keyword("explain") {
 		m.Explain = true
+		if p.keyword("analyze") {
+			// ANALYZE executes the statement; an analyzed DML would commit
+			// its writes as a side effect of "explaining" it. Refuse.
+			return nil, p.errf("EXPLAIN ANALYZE is not supported for DML statements")
+		}
 	}
 	switch {
 	case p.keyword("insert"):

@@ -150,6 +150,11 @@ func (e *Engine) decideWith(q *Query, batchSize int) (*planDecision, error) {
 	// key space). Every access family has a batch build; joins run their
 	// row chain behind the adapters.
 	d.vectorize = batchSize > 0
+	if d.vectorize {
+		mDecideVectorize.Inc()
+	} else {
+		mDecideRow.Inc()
+	}
 	d.kernel = e.kernelFor(q, d)
 	return d, nil
 }
@@ -506,35 +511,36 @@ func (e *Engine) buildPlan(q *Query, d *planDecision) (*compiledPlan, error) {
 		snaps[r] = s
 		return s
 	}
-	ctx := &execCtx{eng: e}
-	cp := &compiledPlan{ctx: ctx, columns: projectColumns(q)}
+	ctx := &execCtx{eng: e, traced: q.Analyze || e.tracing.Load()}
+	cp := &compiledPlan{ctx: ctx, columns: projectColumns(q), kernel: d.kernel}
 	if d.vectorize {
 		return e.buildBatchTree(q, d, rels, snapOf, ctx, cp)
 	}
 
 	var access Operator
+	st := rels[0].Stats()
 	switch d.kind {
 	case accessNearest:
 		ne := q.Where.(NearestExpr)
 		if isVecNearest(&ne) {
-			access = &vecNearestKOp{
+			access = tr(ctx, &vecNearestKOp{
 				ctx: ctx, snap: snapOf(rels[0]), alias: q.From[0].Alias,
 				via: d.via, target: ne.Target.Vec, k: ne.K, metricName: ne.RuleSet,
-			}
+			}, estNearestRows(st.VecCount, ne.K), d.kernel)
 		} else {
-			access = &nearestKOp{
+			access = tr(ctx, &nearestKOp{
 				ctx: ctx, snap: snapOf(rels[0]), alias: q.From[0].Alias,
 				via: d.via, target: ne.Target.Lit, k: ne.K, ruleSet: ne.RuleSet,
-			}
+			}, estNearestRows(st.Count, ne.K), d.kernel)
 		}
 	case accessRange:
 		if d.via == "vptree" {
-			access, err = e.buildVecRange(ctx, q, snapOf(rels[0]), d)
+			access, err = e.buildVecRange(ctx, q, snapOf(rels[0]), st, d)
 		} else {
-			access, err = e.buildRange(ctx, q, snapOf(rels[0]), d)
+			access, err = e.buildRange(ctx, q, snapOf(rels[0]), st, d)
 		}
 	case accessScan:
-		access = e.buildScan(ctx, q, snapOf(rels[0]), d)
+		access = e.buildScan(ctx, q, snapOf(rels[0]), st, d)
 	case accessJoin:
 		access, err = e.buildJoin(ctx, q, rels, snapOf, d)
 	default:
@@ -546,13 +552,13 @@ func (e *Engine) buildPlan(q *Query, d *planDecision) (*compiledPlan, error) {
 
 	top := access
 	if q.Order == OrderDesc {
-		top = &orderByDistOp{child: top, desc: true}
+		top = tr(ctx, &orderByDistOp{child: top, desc: true}, estOf(top), "")
 	} else if q.Order == OrderAsc {
-		top = &orderByDistOp{child: top}
+		top = tr(ctx, &orderByDistOp{child: top}, estOf(top), "")
 	}
-	top = &projectOp{ctx: ctx, q: q, child: top}
+	top = tr(ctx, &projectOp{ctx: ctx, q: q, child: top}, estOf(top), "")
 	if q.Limit > 0 {
-		top = &limitOp{child: top, n: q.Limit}
+		top = tr(ctx, &limitOp{child: top, n: q.Limit}, estLimitRows(q.Limit, estOf(top)), "")
 	}
 	cp.root = top
 	return cp, nil
@@ -561,31 +567,35 @@ func (e *Engine) buildPlan(q *Query, d *planDecision) (*compiledPlan, error) {
 // buildRange reconstructs the IndexRange pipeline; extraction is
 // deterministic, so the same conjunct the decision was made for is
 // found again.
-func (e *Engine) buildRange(ctx *execCtx, q *Query, snap *relation.Snapshot, d *planDecision) (Operator, error) {
+func (e *Engine) buildRange(ctx *execCtx, q *Query, snap *relation.Snapshot, st relation.Stats, d *planDecision) (Operator, error) {
 	sim, residual := extractRangeSim(q.Where, e.rangeIndexable)
 	if sim == nil {
 		return nil, fmt.Errorf("query: stale plan: no indexable conjunct")
 	}
-	var op Operator = &indexRangeOp{
+	est := estRangeRows(st, sim.Radius)
+	var op Operator = tr(ctx, &indexRangeOp{
 		ctx: ctx, snap: snap, alias: q.From[0].Alias, via: d.via,
 		target: sim.Target.Lit, radius: int(sim.Radius), ruleSet: sim.RuleSet,
-	}
+	}, est, d.kernel)
 	if res := simplifyExpr(residual); !isTrivial(res) {
-		op = &filterOp{ctx: ctx, child: op, pred: res}
+		op = tr(ctx, &filterOp{ctx: ctx, child: op, pred: res},
+			estFilterRows(st, res, est), e.filterKernel(res))
 	}
 	return op, nil
 }
 
 // buildScan constructs the (possibly parallel) scan+filter pipeline.
-func (e *Engine) buildScan(ctx *execCtx, q *Query, snap *relation.Snapshot, d *planDecision) Operator {
+func (e *Engine) buildScan(ctx *execCtx, q *Query, snap *relation.Snapshot, st relation.Stats, d *planDecision) Operator {
 	alias := q.From[0].Alias
 	pred := simplifyExpr(q.Where)
 	build := func(shard, shards int) Operator {
 		sc := newScanOp(ctx, snap, alias)
 		sc.shard, sc.shards = shard, shards
-		var op Operator = sc
+		scanEst := float64(st.Count) / float64(shards)
+		var op Operator = tr(ctx, sc, scanEst, "")
 		if !isTrivial(pred) {
-			op = &filterOp{ctx: ctx, child: op, pred: pred}
+			op = tr(ctx, &filterOp{ctx: ctx, child: op, pred: pred},
+				estFilterRows(st, pred, scanEst), e.filterKernel(pred))
 		}
 		return op
 	}
@@ -622,9 +632,12 @@ func (e *Engine) buildJoin(ctx *execCtx, q *Query, rels []*relation.Relation, sn
 	// Resolve snapshots eagerly: the build closure runs concurrently in
 	// parallel shard workers and must not touch the snapshot map.
 	startSnap := snapOf(relPlain[d.start])
+	startStats := relPlain[d.start].Stats()
 	stepSnaps := make([]*relation.Snapshot, len(steps))
+	stepStats := make([]relation.Stats, len(steps))
 	for i, step := range steps {
 		stepSnaps[i] = snapOf(relPlain[step.alias])
+		stepStats[i] = relPlain[step.alias].Stats()
 	}
 	// In a vectorized plan the join chain itself stays row-at-a-time,
 	// but the START scan — opened once per query — reads through a
@@ -635,33 +648,39 @@ func (e *Engine) buildJoin(ctx *execCtx, q *Query, rels []*relation.Relation, sn
 	// nothing to amortize it.
 	size := e.batchLeafSize(q)
 	startScan := func(shard, shards int) Operator {
+		scanEst := float64(startStats.Count) / float64(shards)
 		if d.vectorize {
 			bs := newBatchScanOp(ctx, startSnap, d.start, size)
 			bs.shard, bs.shards = shard, shards
-			return &batchToRowOp{child: bs}
+			return &batchToRowOp{child: trB(ctx, bs, scanEst, "")}
 		}
 		sc := newScanOp(ctx, startSnap, d.start)
 		sc.shard, sc.shards = shard, shards
-		return sc
+		return tr(ctx, sc, scanEst, "")
 	}
 	build := func(shard, shards int) Operator {
 		op := startScan(shard, shards)
+		// The chain estimate follows the decided join order with the same
+		// joinOutRows formula decideJoin costed with, scaled to one shard.
+		cur := float64(startStats.Count) / float64(shards)
 		for i, step := range steps {
+			cur = joinOutRows(cur, stepStats[i], edges[step.edge].Radius)
 			if step.index {
-				op = &indexJoinOp{
+				op = tr(ctx, &indexJoinOp{
 					ctx: ctx, outer: op, snap: stepSnaps[i], alias: step.alias,
 					probeField: step.probeField, sim: edges[step.edge],
-				}
+				}, cur, d.kernel)
 			} else {
-				op = &nestedLoopJoinOp{
+				op = tr(ctx, &nestedLoopJoinOp{
 					ctx: ctx, outer: op,
 					inner: newScanOp(ctx, stepSnaps[i], step.alias),
 					sim:   edges[step.edge],
-				}
+				}, cur, d.kernel)
 			}
 		}
 		if !isTrivial(pred) {
-			op = &filterOp{ctx: ctx, child: op, pred: pred}
+			op = tr(ctx, &filterOp{ctx: ctx, child: op, pred: pred},
+				estFilterRows(startStats, pred, cur), e.filterKernel(pred))
 		}
 		return op
 	}
@@ -669,10 +688,22 @@ func (e *Engine) buildJoin(ctx *execCtx, q *Query, rels []*relation.Relation, sn
 }
 
 // wrapParallel applies the decision's parallelism choice to a pipeline
-// factory.
+// factory. On a traced plan the per-shard pipelines are built eagerly
+// so the span extractor can visit the instances that actually executed
+// rather than the throwaway template.
 func wrapParallel(ctx *execCtx, d *planDecision, build func(shard, shards int) Operator) Operator {
 	if d.parallel && d.workers > 1 {
-		return &parallelOp{ctx: ctx, workers: d.workers, build: build, template: build(0, d.workers)}
+		p := &parallelOp{ctx: ctx, workers: d.workers, build: build}
+		if ctx.traced {
+			p.prebuilt = make([]Operator, d.workers)
+			for i := range p.prebuilt {
+				p.prebuilt[i] = build(i, d.workers)
+			}
+			p.template = p.prebuilt[0]
+		} else {
+			p.template = build(0, d.workers)
+		}
+		return tr(ctx, p, -1, "")
 	}
 	return build(0, 1)
 }

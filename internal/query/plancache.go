@@ -89,9 +89,11 @@ func (c *planCache) get(key string) (*planEntry, bool) {
 	s.mu.Unlock()
 	if !ok {
 		c.misses.Add(1)
+		mPlanCacheMiss.Inc()
 		return nil, false
 	}
 	c.hits.Add(1)
+	mPlanCacheHit.Inc()
 	return el.Value.(*planEntry), true
 }
 
@@ -114,6 +116,7 @@ func (c *planCache) put(key string, q *Query, d *planDecision) {
 		s.lru.Remove(last)
 		delete(s.items, last.Value.(*planEntry).key)
 		c.evicted.Add(1)
+		mPlanCacheEvict.Inc()
 	}
 	s.items[key] = s.lru.PushFront(&planEntry{key: key, q: q, d: d})
 }

@@ -22,8 +22,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/metric"
+	"repro/internal/obs"
 	"repro/internal/relation"
 )
 
@@ -68,10 +70,14 @@ func (e *Engine) buildShardedPlan(q *Query, d *planDecision, tab relation.Table)
 	view := sh.View()
 	n := view.NumShards()
 	alias := q.From[0].Alias
-	ctx := &execCtx{eng: e}
-	cp := &compiledPlan{ctx: ctx, columns: projectColumns(q)}
+	ctx := &execCtx{eng: e, traced: q.Analyze || e.tracing.Load()}
+	cp := &compiledPlan{ctx: ctx, columns: projectColumns(q), kernel: d.kernel}
+	// Planner estimates below are per shard: the leaf cardinalities of an
+	// even hash partition, so EXPLAIN ANALYZE compares each shard subplan
+	// against what the optimizer assumed for one shard, not the union.
+	st := shardStats(sh.Stats(), n)
 	if d.vectorize {
-		return e.buildShardedBatchTree(q, d, view, ctx, cp)
+		return e.buildShardedBatchTree(q, d, view, st, ctx, cp)
 	}
 
 	children := make([]Operator, n)
@@ -79,29 +85,31 @@ func (e *Engine) buildShardedPlan(q *Query, d *planDecision, tab relation.Table)
 	switch d.kind {
 	case accessNearest:
 		ne := q.Where.(NearestExpr)
+		gatherEst := estNearestRows(n*st.Count, ne.K)
 		if isVecNearest(&ne) {
+			gatherEst = estNearestRows(n*st.VecCount, ne.K)
 			for i := range children {
-				children[i] = &shardVecNearestKOp{
+				children[i] = tr(ctx, &shardVecNearestKOp{
 					vecNearestKOp: vecNearestKOp{
 						ctx: ctx, snap: view.Snap(i), alias: alias,
 						via: d.via, target: ne.Target.Vec, k: ne.K, metricName: ne.RuleSet,
 					},
 					idx: i, of: n,
-				}
+				}, estNearestRows(st.VecCount, ne.K), d.kernel)
 			}
 		} else {
 			for i := range children {
-				children[i] = &shardNearestKOp{
+				children[i] = tr(ctx, &shardNearestKOp{
 					nearestKOp: nearestKOp{
 						ctx: ctx, snap: view.Snap(i), alias: alias,
 						via: d.via, target: ne.Target.Lit, k: ne.K, ruleSet: ne.RuleSet,
 					},
 					idx: i, of: n,
-				}
+				}, estNearestRows(st.Count, ne.K), d.kernel)
 			}
 		}
-		access = &gatherMergeOp{ctx: ctx, children: children, workers: d.workers,
-			alias: alias, mode: gatherBestK, k: ne.K}
+		access = tr(ctx, &gatherMergeOp{ctx: ctx, children: children, workers: d.workers,
+			alias: alias, mode: gatherBestK, k: ne.K}, gatherEst, "")
 	case accessRange:
 		if d.via == "vptree" {
 			sim, residual := extractVecRangeSim(q.Where)
@@ -110,21 +118,22 @@ func (e *Engine) buildShardedPlan(q *Query, d *planDecision, tab relation.Table)
 			}
 			pred := simplifyExpr(residual)
 			for i := range children {
-				var op Operator = &vecRangeOp{
+				var op Operator = tr(ctx, &vecRangeOp{
 					ctx: ctx, snap: view.Snap(i), alias: alias,
 					target: sim.Target.Vec, radius: sim.Radius, metricName: sim.RuleSet,
-				}
+				}, estVecRangeRows(st, sim.Radius), d.kernel)
 				if !isTrivial(pred) {
-					op = &filterOp{ctx: ctx, child: op, pred: pred}
+					op = tr(ctx, &filterOp{ctx: ctx, child: op, pred: pred},
+						estFilterRows(st, pred, estOf(op)), e.filterKernel(pred))
 				}
 				if q.Limit > 0 && q.Order == OrderNone {
 					// Same per-shard pushdown as the string index range below.
-					op = &limitOp{child: op, n: q.Limit}
+					op = tr(ctx, &limitOp{child: op, n: q.Limit}, estLimitRows(q.Limit, estOf(op)), "")
 				}
 				children[i] = op
 			}
-			access = &gatherMergeOp{ctx: ctx, children: children, workers: d.workers,
-				alias: alias, mode: gatherByID}
+			access = tr(ctx, &gatherMergeOp{ctx: ctx, children: children, workers: d.workers,
+				alias: alias, mode: gatherByID}, -1, "")
 			break
 		}
 		sim, residual := extractRangeSim(q.Where, e.rangeIndexable)
@@ -133,12 +142,13 @@ func (e *Engine) buildShardedPlan(q *Query, d *planDecision, tab relation.Table)
 		}
 		pred := simplifyExpr(residual)
 		for i := range children {
-			var op Operator = &indexRangeOp{
+			var op Operator = tr(ctx, &indexRangeOp{
 				ctx: ctx, snap: view.Snap(i), alias: alias, via: d.via,
 				target: sim.Target.Lit, radius: int(sim.Radius), ruleSet: sim.RuleSet,
-			}
+			}, estRangeRows(st, sim.Radius), d.kernel)
 			if !isTrivial(pred) {
-				op = &filterOp{ctx: ctx, child: op, pred: pred}
+				op = tr(ctx, &filterOp{ctx: ctx, child: op, pred: pred},
+					estFilterRows(st, pred, estOf(op)), e.filterKernel(pred))
 			}
 			if q.Limit > 0 && q.Order == OrderNone {
 				// LIMIT without ORDER BY returns an arbitrary valid subset
@@ -146,42 +156,44 @@ func (e *Engine) buildShardedPlan(q *Query, d *planDecision, tab relation.Table)
 				// shard needs at most LIMIT matches: the pushed limit stops
 				// the per-shard index traversal early instead of draining
 				// the whole radius ball on every shard.
-				op = &limitOp{child: op, n: q.Limit}
+				op = tr(ctx, &limitOp{child: op, n: q.Limit}, estLimitRows(q.Limit, estOf(op)), "")
 			}
 			children[i] = op
 		}
-		access = &gatherMergeOp{ctx: ctx, children: children, workers: d.workers,
-			alias: alias, mode: gatherByID}
+		access = tr(ctx, &gatherMergeOp{ctx: ctx, children: children, workers: d.workers,
+			alias: alias, mode: gatherByID}, -1, "")
 	case accessScan:
 		pred := simplifyExpr(q.Where)
 		for i := range children {
-			var op Operator = &shardScanOp{scanOp: *newScanOp(ctx, view.Snap(i), alias), idx: i, of: n}
+			var op Operator = tr(ctx, &shardScanOp{scanOp: *newScanOp(ctx, view.Snap(i), alias), idx: i, of: n},
+				float64(st.Count), "")
 			if !isTrivial(pred) {
-				op = &filterOp{ctx: ctx, child: op, pred: pred}
+				op = tr(ctx, &filterOp{ctx: ctx, child: op, pred: pred},
+					estFilterRows(st, pred, estOf(op)), e.filterKernel(pred))
 			}
 			if q.Limit > 0 && q.Order == OrderNone {
 				// Shard scan streams are id-ascending, so the first LIMIT
 				// rows of the id-merged union draw at most LIMIT rows from
 				// any one shard — the limit pushes into every subplan.
-				op = &limitOp{child: op, n: q.Limit}
+				op = tr(ctx, &limitOp{child: op, n: q.Limit}, estLimitRows(q.Limit, estOf(op)), "")
 			}
 			children[i] = op
 		}
-		access = &gatherMergeOp{ctx: ctx, children: children, workers: d.workers,
-			alias: alias, mode: gatherByID}
+		access = tr(ctx, &gatherMergeOp{ctx: ctx, children: children, workers: d.workers,
+			alias: alias, mode: gatherByID}, -1, "")
 	default:
 		return nil, fmt.Errorf("query: access kind %d has no sharded build", d.kind)
 	}
 
 	top := access
 	if q.Order == OrderDesc {
-		top = &orderByDistOp{child: top, desc: true}
+		top = tr(ctx, &orderByDistOp{child: top, desc: true}, estOf(top), "")
 	} else if q.Order == OrderAsc {
-		top = &orderByDistOp{child: top}
+		top = tr(ctx, &orderByDistOp{child: top}, estOf(top), "")
 	}
-	top = &projectOp{ctx: ctx, q: q, child: top}
+	top = tr(ctx, &projectOp{ctx: ctx, q: q, child: top}, estOf(top), "")
 	if q.Limit > 0 {
-		top = &limitOp{child: top, n: q.Limit}
+		top = tr(ctx, &limitOp{child: top, n: q.Limit}, estLimitRows(q.Limit, estOf(top)), "")
 	}
 	cp.root = top
 	return cp, nil
@@ -237,13 +249,32 @@ type gatherMergeOp struct {
 	mode     gatherMode
 	k        int // gatherBestK: result bound
 
-	out []*binding
-	pos int
+	out     []*binding
+	pos     int
+	timings []obs.ShardTiming // per-shard drain wall time (traced runs only)
 }
+
+// executedInstances reports every shard subplan for span extraction —
+// unlike Children (which shows the shard-0 template for EXPLAIN), all
+// instances always execute, so ANALYZE merges the counters of each.
+func (o *gatherMergeOp) executedInstances() []any {
+	out := make([]any, len(o.children))
+	for i, c := range o.children {
+		out[i] = c
+	}
+	return out
+}
+
+// shardTimings reports the per-shard fan-out timing recorded by the last
+// traced Open.
+func (o *gatherMergeOp) shardTimings() []obs.ShardTiming { return o.timings }
 
 func (o *gatherMergeOp) Open() error {
 	bufs := make([][]*binding, len(o.children))
 	errs := make([]error, len(o.children))
+	if o.ctx.traced {
+		o.timings = make([]obs.ShardTiming, len(o.children))
+	}
 	workers := o.workers
 	if workers < 1 {
 		workers = 1
@@ -252,6 +283,10 @@ func (o *gatherMergeOp) Open() error {
 		workers = len(o.children)
 	}
 	drain := func(i int) {
+		var start time.Time
+		if o.ctx.traced {
+			start = time.Now()
+		}
 		op := o.children[i]
 		if err := op.Open(); err != nil {
 			errs[i] = err
@@ -271,6 +306,13 @@ func (o *gatherMergeOp) Open() error {
 		}
 		if err := op.Close(); err != nil && errs[i] == nil {
 			errs[i] = err
+		}
+		if o.ctx.traced {
+			// Each worker owns a disjoint set of indices, so indexed writes
+			// need no lock.
+			o.timings[i] = obs.ShardTiming{
+				Shard: i, WallNS: time.Since(start).Nanoseconds(), Rows: int64(len(bufs[i])),
+			}
 		}
 	}
 	if workers == 1 {

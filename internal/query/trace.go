@@ -1,0 +1,354 @@
+package query
+
+// Per-operator runtime tracing for EXPLAIN ANALYZE and the slow-query
+// log. When execCtx.traced is set, the planner wraps every operator it
+// constructs in a span wrapper (tr for row operators, trB for batch
+// operators) that times Open/Next/Close inclusively and counts emitted
+// rows. After the plan runs, extractTrace walks the wrapped tree and
+// assembles an obs.Span tree mirroring the physical plan, with each
+// operator's planner estimate next to its observed actuals.
+//
+// Tracing off is the common case, so tr/trB return the operator
+// unchanged when the context is untraced: the pipeline layout, the
+// per-row call chain and the allocation profile of an untraced query
+// are byte-for-byte those of a build without this file.
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/relation"
+)
+
+// opStatser is implemented by operators that retain their work counters
+// across Close for span attribution (the `last` field convention).
+type opStatser interface{ opStats() ExecStats }
+
+// instanced is implemented by fan-out operators (Parallel, GatherMerge)
+// that can expose the per-shard pipelines which actually executed; the
+// extractor merges their span trees in lockstep into one logical child.
+type instanced interface{ executedInstances() []any }
+
+// shardTimer is implemented by scatter-gather operators that record
+// per-shard drain timings when traced.
+type shardTimer interface{ shardTimings() []obs.ShardTiming }
+
+// tr wraps a row operator in a span recorder when the context is
+// traced; est is the planner's cardinality estimate (-1 = no estimate)
+// and kernel names the distance kernel the operator dispatches to ("" =
+// none).
+func tr(c *execCtx, op Operator, est float64, kernel string) Operator {
+	if !c.traced {
+		return op
+	}
+	return &spanOp{inner: op, est: est, kernel: kernel}
+}
+
+// trB is tr for batch operators.
+func trB(c *execCtx, op BatchOperator, est float64, kernel string) BatchOperator {
+	if !c.traced {
+		return op
+	}
+	return &batchSpanOp{inner: op, est: est, kernel: kernel}
+}
+
+// spanOp decorates a row operator with inclusive wall-time and row
+// accounting. It is transparent to EXPLAIN rendering: Describe and
+// Children delegate to the wrapped operator, whose children are
+// themselves span-wrapped, so the rendered tree is unchanged.
+type spanOp struct {
+	inner  Operator
+	est    float64
+	kernel string
+
+	rows   int64
+	wallNS int64
+}
+
+func (o *spanOp) Open() error {
+	start := time.Now()
+	err := o.inner.Open()
+	o.wallNS += time.Since(start).Nanoseconds()
+	return err
+}
+
+func (o *spanOp) Next() (*binding, error) {
+	start := time.Now()
+	b, err := o.inner.Next()
+	o.wallNS += time.Since(start).Nanoseconds()
+	if b != nil {
+		o.rows++
+	}
+	return b, err
+}
+
+func (o *spanOp) Close() error {
+	start := time.Now()
+	err := o.inner.Close()
+	o.wallNS += time.Since(start).Nanoseconds()
+	return err
+}
+
+func (o *spanOp) Describe() string     { return o.inner.Describe() }
+func (o *spanOp) Children() []Operator { return o.inner.Children() }
+
+// recycle forwards a consumer's rejected binding to the wrapped
+// operator (a filter above a traced scan must still reach the scan's
+// recycler, or tracing would silently change the allocation profile).
+func (o *spanOp) recycle(b *binding) {
+	if r, ok := o.inner.(recycler); ok {
+		r.recycle(b)
+	}
+}
+
+// batchSpanOp is spanOp for the batch pipeline; rows accumulate by
+// block length and Batches counts the blocks.
+type batchSpanOp struct {
+	inner  BatchOperator
+	est    float64
+	kernel string
+
+	rows    int64
+	batches int64
+	wallNS  int64
+}
+
+func (o *batchSpanOp) OpenBatch() error {
+	start := time.Now()
+	err := o.inner.OpenBatch()
+	o.wallNS += time.Since(start).Nanoseconds()
+	return err
+}
+
+func (o *batchSpanOp) NextBatch() (*Batch, error) {
+	start := time.Now()
+	b, err := o.inner.NextBatch()
+	o.wallNS += time.Since(start).Nanoseconds()
+	if b != nil {
+		o.rows += int64(b.Len())
+		o.batches++
+	}
+	return b, err
+}
+
+func (o *batchSpanOp) CloseBatch() error {
+	start := time.Now()
+	err := o.inner.CloseBatch()
+	o.wallNS += time.Since(start).Nanoseconds()
+	return err
+}
+
+func (o *batchSpanOp) Describe() string  { return o.inner.Describe() }
+func (o *batchSpanOp) childNodes() []any { return o.inner.childNodes() }
+
+// extractSpan converts one node of an executed, traced operator tree
+// into its span. Unwrapped nodes (adapters, pseudo-roots, fan-out
+// internals) get a label-only span so the trace never loses tree
+// structure.
+func extractSpan(node any) *obs.Span {
+	switch n := node.(type) {
+	case *spanOp:
+		return spanFrom(n.inner, n.est, n.kernel, n.rows, 0, n.wallNS)
+	case *batchSpanOp:
+		return spanFrom(n.inner, n.est, n.kernel, n.rows, n.batches, n.wallNS)
+	default:
+		return spanFrom(node, -1, "", 0, 0, 0)
+	}
+}
+
+// spanFrom assembles the span for an unwrapped operator: label, work
+// counters, shard timings, and children — either the lockstep merge of
+// the executed fan-out instances or the recursive extraction of the
+// plan children.
+func spanFrom(inner any, est float64, kernel string, rows, batches, wallNS int64) *obs.Span {
+	sp := &obs.Span{
+		Op:      describeNode(inner),
+		Kernel:  kernel,
+		EstRows: est,
+		Rows:    rows,
+		Batches: batches,
+		WallNS:  wallNS,
+	}
+	if os, ok := inner.(opStatser); ok {
+		st := os.opStats()
+		sp.Candidates = int64(st.Candidates)
+		sp.Verifications = int64(st.Verifications)
+		sp.IndexNodes = int64(st.Nodes)
+		sp.IndexPruned = int64(st.Pruned)
+		sp.Abandoned = int64(st.Abandoned)
+	}
+	if st, ok := inner.(shardTimer); ok {
+		sp.Shards = st.shardTimings()
+	}
+	if inst, ok := inner.(instanced); ok {
+		if merged := mergeInstanceSpans(inst.executedInstances()); merged != nil {
+			sp.Children = append(sp.Children, merged)
+			return sp
+		}
+	}
+	for _, k := range childNodesOf(inner) {
+		sp.Children = append(sp.Children, extractSpan(k))
+	}
+	return sp
+}
+
+// mergeInstanceSpans folds the executed instances of a fan-out operator
+// (all structurally identical pipelines) into one span tree: counters
+// add, wall time takes the per-level maximum, children merge in
+// lockstep. Returns nil when no instances were recorded (untraced).
+func mergeInstanceSpans(instances []any) *obs.Span {
+	var merged *obs.Span
+	for _, in := range instances {
+		s := extractSpan(in)
+		if merged == nil {
+			merged = s
+			continue
+		}
+		mergeSpanTrees(merged, s)
+	}
+	return merged
+}
+
+// mergeSpanTrees merges o into s recursively, pairing children by
+// position (fan-out instances share one pipeline shape, so the trees
+// are congruent by construction).
+func mergeSpanTrees(s, o *obs.Span) {
+	s.Merge(o)
+	for i := range s.Children {
+		if i < len(o.Children) {
+			mergeSpanTrees(s.Children[i], o.Children[i])
+		}
+	}
+}
+
+// ------------------------------------------------ cardinality estimates
+//
+// The numbers annotated on spans come from the same primitives the cost
+// model ranks plans with (cost.go), so est-vs-actual gaps in EXPLAIN
+// ANALYZE point directly at the selectivity formula a later PR can
+// recalibrate from observed spans.
+
+// estOf reads the planner estimate recorded on a wrapped operator (-1
+// when the operator is unwrapped or carries no estimate), letting
+// decorators inherit their child's estimate without extra plumbing.
+func estOf(op Operator) float64 {
+	if s, ok := op.(*spanOp); ok {
+		return s.est
+	}
+	return -1
+}
+
+// estOfBatch is estOf for batch operators.
+func estOfBatch(op BatchOperator) float64 {
+	if s, ok := op.(*batchSpanOp); ok {
+		return s.est
+	}
+	return -1
+}
+
+// estRangeRows estimates the output cardinality of a string range
+// access: the cost model's range selectivity times the relation size.
+func estRangeRows(st relation.Stats, radius float64) float64 {
+	return selRange(st, radius) * float64(st.Count)
+}
+
+// estVecRangeRows estimates the output cardinality of a vector range
+// access. There is no principled vector selectivity without a
+// distance-distribution sketch, so the VP-tree cost model's visited
+// fraction serves as the proxy (coarse, like every estimate here).
+func estVecRangeRows(st relation.Stats, radius float64) float64 {
+	frac := 0.25 * (radius + 1)
+	if frac > 1 {
+		frac = 1
+	}
+	return frac * float64(st.VecCount)
+}
+
+// estNearestRows: NEAREST k emits exactly min(k, population) rows.
+func estNearestRows(population, k int) float64 {
+	if population < k {
+		return float64(population)
+	}
+	return float64(k)
+}
+
+// estFilterRows scales a child estimate by the filter predicate's
+// selectivity: the first similarity conjunct's radius drives the same
+// selRange formula the planner costs with; predicates without a
+// similarity conjunct keep the child estimate (no attribute statistics
+// yet).
+func estFilterRows(st relation.Stats, pred Expr, childEst float64) float64 {
+	if childEst < 0 {
+		return -1
+	}
+	if r, ok := firstSimRadius(pred); ok {
+		return selRange(st, r) * childEst
+	}
+	return childEst
+}
+
+// estLimitRows caps a child estimate at the limit.
+func estLimitRows(n int, childEst float64) float64 {
+	if childEst >= 0 && childEst < float64(n) {
+		return childEst
+	}
+	return float64(n)
+}
+
+// firstSimRadius finds the radius of the first similarity conjunct in a
+// predicate tree, in evaluation order.
+func firstSimRadius(ex Expr) (float64, bool) {
+	switch ex := ex.(type) {
+	case SimExpr:
+		return ex.Radius, true
+	case AndExpr:
+		if r, ok := firstSimRadius(ex.L); ok {
+			return r, true
+		}
+		return firstSimRadius(ex.R)
+	case OrExpr:
+		if r, ok := firstSimRadius(ex.L); ok {
+			return r, true
+		}
+		return firstSimRadius(ex.R)
+	case NotExpr:
+		return firstSimRadius(ex.E)
+	}
+	return 0, false
+}
+
+// shardStats scales relation statistics to one shard of n (matching
+// decideSingle's per-shard costing).
+func shardStats(st relation.Stats, n int) relation.Stats {
+	if n > 1 {
+		st.Count = (st.Count + n - 1) / n
+		st.VecCount = (st.VecCount + n - 1) / n
+	}
+	return st
+}
+
+// extractTrace assembles the span tree of an executed traced plan; nil
+// when the plan was not traced. Vectorized plans root the trace at the
+// Vectorize pseudo-node with the top operator's totals lifted onto it,
+// matching EXPLAIN's rendering of the same tree.
+func (p *compiledPlan) extractTrace() *obs.Span {
+	if p.ctx == nil || !p.ctx.traced {
+		return nil
+	}
+	if p.broot != nil {
+		child := extractSpan(p.broot)
+		root := &obs.Span{
+			Op:       (&vectorizeNode{child: p.broot, size: p.batchSize, kernel: p.kernel}).Describe(),
+			EstRows:  -1,
+			Rows:     child.Rows,
+			Batches:  child.Batches,
+			WallNS:   child.WallNS,
+			Children: []*obs.Span{child},
+		}
+		return root
+	}
+	if p.root == nil {
+		return nil
+	}
+	return extractSpan(p.root)
+}

@@ -37,7 +37,10 @@ type vecNearestKOp struct {
 
 	matches []index.Match
 	pos     int
+	last    ExecStats // retained across Close for span attribution
 }
+
+func (o *vecNearestKOp) opStats() ExecStats { return o.last }
 
 func (o *vecNearestKOp) Open() error {
 	o.pos = 0
@@ -51,7 +54,9 @@ func (o *vecNearestKOp) Open() error {
 		// losing true answers.
 		ms, st := o.snap.VPTree(m).NearestKFilterStats(o.target, o.k, o.snap.Visible)
 		o.matches = ms
-		o.ctx.addStats(ExecStats{Candidates: st.Candidates, Verifications: st.Verifications})
+		es := fromIndexStats(st)
+		o.last.add(es)
+		o.ctx.addStats(es)
 		return nil
 	}
 	var local ExecStats
@@ -72,6 +77,7 @@ func (o *vecNearestKOp) Open() error {
 		}
 	}
 	o.matches = best
+	o.last.add(local)
 	o.ctx.addStats(local)
 	return nil
 }
@@ -115,7 +121,10 @@ type vecRangeOp struct {
 	metricName string
 
 	iter index.Iterator
+	last ExecStats // retained across Close for span attribution
 }
+
+func (o *vecRangeOp) opStats() ExecStats { return o.last }
 
 func (o *vecRangeOp) Open() error {
 	m, ok := metric.Lookup(o.metricName)
@@ -144,8 +153,9 @@ func (o *vecRangeOp) Next() (*binding, error) {
 
 func (o *vecRangeOp) Close() error {
 	if o.iter != nil {
-		st := o.iter.Stats()
-		o.ctx.addStats(ExecStats{Candidates: st.Candidates, Verifications: st.Verifications})
+		es := fromIndexStats(o.iter.Stats())
+		o.last.add(es)
+		o.ctx.addStats(es)
 		o.iter = nil
 	}
 	return nil
@@ -160,17 +170,19 @@ func (o *vecRangeOp) Children() []Operator { return nil }
 // buildVecRange reconstructs the VP-tree range pipeline; extraction is
 // deterministic, so the conjunct the decision was made for is found
 // again.
-func (e *Engine) buildVecRange(ctx *execCtx, q *Query, snap *relation.Snapshot, d *planDecision) (Operator, error) {
+func (e *Engine) buildVecRange(ctx *execCtx, q *Query, snap *relation.Snapshot, st relation.Stats, d *planDecision) (Operator, error) {
 	sim, residual := extractVecRangeSim(q.Where)
 	if sim == nil {
 		return nil, fmt.Errorf("query: stale plan: no vector range conjunct")
 	}
-	var op Operator = &vecRangeOp{
+	est := estVecRangeRows(st, sim.Radius)
+	var op Operator = tr(ctx, &vecRangeOp{
 		ctx: ctx, snap: snap, alias: q.From[0].Alias,
 		target: sim.Target.Vec, radius: sim.Radius, metricName: sim.RuleSet,
-	}
+	}, est, d.kernel)
 	if res := simplifyExpr(residual); !isTrivial(res) {
-		op = &filterOp{ctx: ctx, child: op, pred: res}
+		op = tr(ctx, &filterOp{ctx: ctx, child: op, pred: res},
+			estFilterRows(st, res, est), e.filterKernel(res))
 	}
 	return op, nil
 }
@@ -197,7 +209,10 @@ type batchVecNearestKOp struct {
 	blk     relation.Block
 	dbuf    []float64
 	buf     *Batch
+	last    ExecStats // retained across Close for span attribution
 }
+
+func (o *batchVecNearestKOp) opStats() ExecStats { return o.last }
 
 func (o *batchVecNearestKOp) OpenBatch() error {
 	o.pos = 0
@@ -209,7 +224,9 @@ func (o *batchVecNearestKOp) OpenBatch() error {
 	if o.via == "vptree" {
 		ms, st := o.snap.VPTree(m).NearestKFilterStatsInto(o.matches[:0], o.target, o.k, o.snap.Visible)
 		o.matches = ms
-		o.ctx.addStats(ExecStats{Candidates: st.Candidates, Verifications: st.Verifications})
+		es := fromIndexStats(st)
+		o.last.add(es)
+		o.ctx.addStats(es)
 		return nil
 	}
 	var local ExecStats
@@ -238,6 +255,7 @@ func (o *batchVecNearestKOp) OpenBatch() error {
 		}
 	}
 	o.matches = best
+	o.last.add(local)
 	o.ctx.addStats(local)
 	return nil
 }
@@ -288,7 +306,10 @@ type batchVecRangeOp struct {
 	iter index.BatchIterator
 	mbuf []index.Match
 	buf  *Batch
+	last ExecStats // retained across Close for span attribution
 }
+
+func (o *batchVecRangeOp) opStats() ExecStats { return o.last }
 
 func (o *batchVecRangeOp) OpenBatch() error {
 	m, ok := metric.Lookup(o.metricName)
@@ -332,8 +353,9 @@ func (o *batchVecRangeOp) NextBatch() (*Batch, error) {
 
 func (o *batchVecRangeOp) CloseBatch() error {
 	if o.iter != nil {
-		st := o.iter.Stats()
-		o.ctx.addStats(ExecStats{Candidates: st.Candidates, Verifications: st.Verifications})
+		es := fromIndexStats(o.iter.Stats())
+		o.last.add(es)
+		o.ctx.addStats(es)
 		o.iter = nil
 	}
 	putBatch(o.buf)

@@ -1,0 +1,14 @@
+package relation
+
+import "repro/internal/obs"
+
+// Relation-layer metrics on the process-wide obs registry. Row and
+// tombstone populations are per-relation and live on GaugeFuncs
+// registered by the serving layer over its catalog; the counters here
+// aggregate events that any relation can trigger.
+var (
+	mCompactions = obs.Default.Counter("simq_compactions_total",
+		"Tombstone compactions run across all relations.")
+	mCompactSeconds = obs.Default.Histogram("simq_compaction_seconds",
+		"Wall time of one relation compaction (arena + index rebuild).", obs.DefBuckets)
+)

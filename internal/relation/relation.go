@@ -42,6 +42,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/index"
 	"repro/internal/metric"
@@ -561,6 +562,11 @@ func (r *Relation) Compact() {
 }
 
 func (r *Relation) compactLocked() {
+	start := time.Now()
+	defer func() {
+		mCompactions.Inc()
+		mCompactSeconds.Observe(time.Since(start).Seconds())
+	}()
 	h := r.head.Load()
 	nh := head{epoch: h.epoch, nextID: h.nextID}
 	nh.rows = make([]*Row, 0, h.live)

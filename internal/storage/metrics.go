@@ -1,0 +1,24 @@
+package storage
+
+import "repro/internal/obs"
+
+// Write-path metrics, registered on the process-wide obs registry. The
+// store's own Metrics() snapshot stays the /stats source of truth;
+// these series are the Prometheus view of the same traffic plus the
+// latency distributions a snapshot cannot carry.
+var (
+	mCommits = obs.Default.Counter("simq_store_commits_total",
+		"Committed WAL transactions (live traffic, not replay).")
+	mWALAppends = obs.Default.Counter("simq_wal_appends_total",
+		"WAL transaction appends across all segments.")
+	mWALBytes = obs.Default.Counter("simq_wal_bytes_total",
+		"Bytes framed into the WAL across all segments.")
+	mWALFsync = obs.Default.Histogram("simq_wal_fsync_seconds",
+		"Latency of the per-commit WAL fsync.", obs.DefBuckets)
+	mReplayTx = obs.Default.Counter("simq_wal_replayed_tx_total",
+		"Transactions replayed from the WAL at store open.")
+	mReplayOps = obs.Default.Counter("simq_wal_replayed_ops_total",
+		"Operations replayed from the WAL at store open.")
+	mReplayMillis = obs.Default.Gauge("simq_wal_replay_ms",
+		"Wall time in milliseconds of the most recent WAL replay at store open.")
+)

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/metric"
 	"repro/internal/relation"
@@ -278,6 +279,7 @@ func openSegments(paths []string, cat *relation.Catalog) (*Store, error) {
 		w.lsn = &s.lsn
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i][0].LSN < all[j][0].LSN })
+	start := time.Now()
 	for _, ops := range all {
 		for i := range ops {
 			s.applyRecord(&ops[i])
@@ -285,6 +287,9 @@ func openSegments(paths []string, cat *relation.Catalog) (*Store, error) {
 		}
 		s.replayedTx++
 	}
+	mReplayMillis.Set(time.Since(start).Milliseconds())
+	mReplayTx.Add(int64(s.replayedTx))
+	mReplayOps.Add(int64(s.replayedOp))
 	return s, nil
 }
 
@@ -435,6 +440,7 @@ func (s *Store) Commit(ops []Op) (CommitResult, error) {
 	s.deletes.Add(int64(res.Deletes))
 	s.updates.Add(int64(res.Updates))
 	s.commits.Add(1)
+	mCommits.Inc()
 	return res, nil
 }
 

@@ -25,6 +25,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
 )
 
 // Record kinds. Operation records precede their transaction's commit.
@@ -211,10 +212,14 @@ func (w *wal) appendTx(ops []walRecord) (tx uint64, err error) {
 		return 0, err
 	}
 	if w.sync {
+		start := time.Now()
 		if err := w.f.Sync(); err != nil {
 			return 0, err
 		}
+		mWALFsync.Observe(time.Since(start).Seconds())
 	}
+	mWALAppends.Inc()
+	mWALBytes.Add(w.bytes - bytes0)
 	return tx, nil
 }
 
