@@ -95,7 +95,10 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "worker count for parallel plans (0 = GOMAXPROCS)")
 	maxPrepared := flag.Int("max-prepared", 1024, "prepared-statement registry capacity (oldest evicted past it)")
 	walPath := flag.String("wal", "", "write-ahead log file (empty = in-memory mutations only)")
-	walSync := flag.Bool("wal-sync", true, "fsync the WAL on every commit")
+	walSync := flag.Bool("wal-sync", true, "fsync the WAL on every commit (batched across concurrent commits by group commit)")
+	groupCommit := flag.Bool("group-commit", true, "batch concurrent commit fsyncs into one (only meaningful with -wal-sync)")
+	ckptInterval := flag.Duration("checkpoint-interval", 0, "write a snapshot checkpoint (and truncate the WAL) this often; 0 disables the timer")
+	ckptWALMB := flag.Int("checkpoint-wal-mb", 0, "checkpoint when the WAL grows past this many MiB (checked every 15s); 0 disables the size trigger")
 	shards := flag.Int("shards", 1, "hash-partition each loaded relation across N shards (scatter-gather execution)")
 	batchSize := flag.Int("batch-size", 256, "vectorized execution block size (0 = row-at-a-time pipeline)")
 	myersKernel := flag.Bool("myers-kernel", true, "serve unit-cost distances from the bit-parallel (Myers) kernel (false = scalar DP; identical results)")
@@ -132,11 +135,14 @@ func main() {
 			fail(err)
 		}
 		st.SetSync(*walSync)
+		st.SetGroupCommit(*groupCommit)
 		eng.SetStore(st)
 		m := st.Metrics()
 		fmt.Fprintf(os.Stderr, "simqd: WAL %s (%d segments) replayed %d tx / %d ops\n",
 			*walPath, st.Segments(), m.ReplayedTx, m.ReplayedOp)
 	}
+	stopCkpt := startCheckpointer(st, *ckptInterval, *ckptWALMB)
+	defer stopCkpt()
 
 	if *slowQueryMS > 0 {
 		// The slow-query log needs the span tree, which is only collected
@@ -244,6 +250,54 @@ func buildEngine(loads, ruleFiles []string, shards int) (*query.Engine, error) {
 	return eng, nil
 }
 
+// startCheckpointer runs the background checkpoint policy: a periodic
+// snapshot every interval, plus a WAL-size trigger checked on a fixed
+// 15-second cadence (a size check is one mutex-guarded counter read —
+// cheap enough to poll, and a crash loses at most the poll window of
+// extra replay work). Returns a stop function; no-op when the store is
+// nil or both triggers are disabled.
+func startCheckpointer(st *storage.Store, interval time.Duration, walMB int) func() {
+	if st == nil || (interval <= 0 && walMB <= 0) {
+		return func() {}
+	}
+	tick := interval
+	if tick <= 0 || (walMB > 0 && tick > 15*time.Second) {
+		tick = 15 * time.Second
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		last := time.Now()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+			}
+			due := interval > 0 && time.Since(last) >= interval
+			if !due && walMB > 0 {
+				due = st.Metrics().WALBytes >= int64(walMB)<<20
+			}
+			if !due {
+				continue
+			}
+			info, err := st.Checkpoint()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "simqd: checkpoint failed: %v\n", err)
+				continue
+			}
+			last = time.Now()
+			fmt.Fprintf(os.Stderr, "simqd: checkpoint lsn=%d rows=%d bytes=%d in %s\n",
+				info.LSN, info.Rows, info.Bytes, info.Duration.Round(time.Millisecond))
+		}
+	}()
+	return func() { close(done); wg.Wait() }
+}
+
 // server carries the shared engine plus serving state. The engine is
 // safe for concurrent queries and mutations; the prepared-statement
 // registry has its own lock.
@@ -294,6 +348,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /prepare", s.handlePrepare)
 	mux.HandleFunc("POST /explain", s.handleExplain)
 	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -604,6 +659,30 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
+// handleCheckpoint triggers a snapshot checkpoint on demand (the same
+// operation the -checkpoint-* policy runs in the background): the
+// catalog is serialized to the snapshot file and the WAL truncated, so
+// the next restart replays only the post-checkpoint tail.
+func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeJSON(w, http.StatusPreconditionFailed, map[string]string{"error": "no WAL configured (-wal); nothing to checkpoint"})
+		return
+	}
+	info, err := s.store.Checkpoint()
+	if err != nil {
+		s.errors.Add(1)
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"lsn":         info.LSN,
+		"relations":   info.Rels,
+		"rows":        info.Rows,
+		"bytes":       info.Bytes,
+		"duration_ms": float64(info.Duration.Microseconds()) / 1e3,
+	})
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	preparedCount := len(s.prepared)
@@ -630,6 +709,15 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.store != nil {
 		body["store"] = s.store.Metrics()
+		if ck := s.store.LastCheckpoint(); !ck.At.IsZero() {
+			body["checkpoint"] = map[string]any{
+				"lsn":         ck.LSN,
+				"rows":        ck.Rows,
+				"bytes":       ck.Bytes,
+				"age_s":       time.Since(ck.At).Seconds(),
+				"duration_ms": float64(ck.Duration.Microseconds()) / 1e3,
+			}
+		}
 	}
 	if shards := s.shardStats(); len(shards) > 0 {
 		body["shards"] = shards

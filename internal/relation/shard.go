@@ -377,6 +377,44 @@ func (s *ShardedRelation) updateLocked(id, newID int, in InsertRow) bool {
 	return s.shards[to].InsertRowAt(newID, in)
 }
 
+// DumpState captures the sharded relation's durable state for a
+// checkpoint: the visible tuples in global id order plus the global
+// id-allocator position. Like Relation.DumpState, tombstoned rows are
+// elided. The per-shard placement is NOT recorded — every row's shard
+// satisfies RouteOf (the placement invariant every mutation maintains),
+// so RebuildSharded re-derives it, and the dump format stays identical
+// for sharded and plain relations.
+func (s *ShardedRelation) DumpState() (rows []Tuple, nextID int) {
+	s.mu.Lock()
+	v := s.view.Load()
+	nextID = s.nextID
+	s.mu.Unlock()
+	return v.Tuples(), nextID
+}
+
+// RebuildSharded constructs an n-shard relation from checkpointed
+// state, routing every row to its hash shard and building each shard's
+// arena in one pass (see Rebuild). nextID is clamped past every row.
+func RebuildSharded(name string, n int, rows []Tuple, nextID int) *ShardedRelation {
+	if n < 1 {
+		n = 1
+	}
+	perShard := make([][]Tuple, n)
+	for _, t := range rows {
+		sh := RouteOf(t.Seq, t.Vec, n)
+		perShard[sh] = append(perShard[sh], t)
+		if t.ID >= nextID {
+			nextID = t.ID + 1
+		}
+	}
+	s := &ShardedRelation{name: name, shards: make([]*Relation, n), nextID: nextID}
+	for i := range s.shards {
+		s.shards[i] = Rebuild(fmt.Sprintf("%s/%d", name, i), perShard[i], 0)
+	}
+	s.view.Store(s.captureView())
+	return s
+}
+
 // Compact forces tombstone compaction on every shard (for tests and
 // operational tooling; each shard also self-compacts by policy).
 func (s *ShardedRelation) Compact() {

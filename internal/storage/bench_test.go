@@ -3,6 +3,8 @@ package storage
 import (
 	"fmt"
 	"path/filepath"
+	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/relation"
@@ -49,6 +51,156 @@ func BenchmarkCommitBatch100(b *testing.B) {
 		}
 	}
 }
+
+// Replay-history shape shared by the reopen benchmark pair: inserts,
+// then update and delete churn (history a checkpoint folds away — the
+// snapshot holds only the live rows, so its load cost scales with the
+// database size while full replay scales with history length), then a
+// short post-checkpoint tail.
+const (
+	reopenInserts = 4750 // ids 0..4749
+	reopenUpdates = 2000 // ids 0..1999 replaced (one tx each)
+	reopenDeletes = 1000 // ids 2000..2999 removed (one tx each)
+	reopenTail    = 250  // transactions past the checkpoint
+	reopenLive    = reopenInserts - reopenDeletes + reopenTail
+)
+
+// buildReplayWAL writes the churn history above as single-row
+// transactions (the worst case for replay: one commit frame per tx)
+// and, when ckpt is set, checkpoints before the tail so reopen loads
+// the snapshot and replays only reopenTail transactions. Returns the
+// WAL path.
+func buildReplayWAL(b *testing.B, ckpt bool) string {
+	b.Helper()
+	path := filepath.Join(b.TempDir(), "wal.log")
+	cat := relation.NewCatalog()
+	cat.Add(relation.New("w"))
+	st, err := Open(path, cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st.SetSync(false)
+	for i := 0; i < reopenInserts; i++ {
+		if _, err := st.Insert("w", fmt.Sprintf("seq%08d", i), map[string]string{"n": fmt.Sprint(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < reopenUpdates; i++ {
+		if _, ok, err := st.Update("w", i, fmt.Sprintf("upd%08d", i), nil); err != nil || !ok {
+			b.Fatalf("update %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	for i := reopenUpdates; i < reopenUpdates+reopenDeletes; i++ {
+		if ok, err := st.Delete("w", i); err != nil || !ok {
+			b.Fatalf("delete %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if ckpt {
+		if _, err := st.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < reopenTail; i++ {
+		if _, err := st.Insert("w", fmt.Sprintf("tail%07d", i), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+func benchReopen(b *testing.B, ckpt bool) {
+	path := buildReplayWAL(b, ckpt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cat := relation.NewCatalog()
+		cat.Add(relation.New("w"))
+		st, err := Open(path, cat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, _ := cat.Get("w")
+		if w.Len() != reopenLive {
+			b.Fatalf("recovered %d rows, want %d", w.Len(), reopenLive)
+		}
+		st.SetSync(false)
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReopenFullReplay — cold open of an 8000-transaction churn
+// history with no checkpoint: every insert, update and delete replays
+// through the MVCC apply path. The recovery-time baseline the
+// checkpoint gate is measured against.
+func BenchmarkReopenFullReplay(b *testing.B) { benchReopen(b, false) }
+
+// BenchmarkReopenFromCheckpoint — the same history with a snapshot
+// covering everything but a 250-transaction tail: open loads the live
+// rows (tombstones and overwritten versions folded away) and replays
+// only the tail. Gated in BENCH_baseline.json to stay at most half the
+// full-replay time.
+func BenchmarkReopenFromCheckpoint(b *testing.B) { benchReopen(b, true) }
+
+// benchIngest drives bursts of concurrent single-row commits with
+// fsync ON against real files — the sustained-ingest shape. Each b.N
+// iteration runs 8 bursts of 64 concurrent writers, so the benchmark
+// produces stable numbers even at CI's -benchtime=3x: per burst the
+// per-commit path pays 64 serialized fsyncs while group commit pays a
+// handful, and averaging 8 bursts per iteration washes out the
+// scheduling jitter of any single burst (on fast-fsync machines the
+// leader/follower handoff, not the fsync, is the variable cost).
+func benchIngest(b *testing.B, group bool) {
+	const burst = 64
+	const rounds = 8
+	// The pair measures concurrent committers, which needs at least two
+	// runnable Ps: with GOMAXPROCS=1 the leader's blocking fsync parks
+	// the only P until sysmon retakes it, commits trickle in one at a
+	// time, and neither side of the pair batches — the ratio degenerates
+	// to ~1 by scheduling accident, not by storage behavior. Both sides
+	// run under the identical setting, so the gated ratio stays honest.
+	if runtime.GOMAXPROCS(0) < 4 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	}
+	cat := relation.NewCatalog()
+	cat.Add(relation.New("w"))
+	st, err := Open(filepath.Join(b.TempDir(), "wal.log"), cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st.SetGroupCommit(group)
+	b.Cleanup(func() { st.Close() })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < rounds; r++ {
+			var wg sync.WaitGroup
+			for g := 0; g < burst; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					if _, err := st.Insert("w", fmt.Sprintf("seq%08d-%d-%02d", i, r, g), nil); err != nil {
+						b.Error(err)
+					}
+				}(g)
+			}
+			wg.Wait()
+		}
+	}
+}
+
+// BenchmarkIngestFsyncPerCommit — 32 concurrent committers, one fsync
+// per commit inside the store mutex (group commit off): the fully
+// serialized durability floor.
+func BenchmarkIngestFsyncPerCommit(b *testing.B) { benchIngest(b, false) }
+
+// BenchmarkIngestGroupCommit — the same burst with group commit on:
+// one leader fsync covers every concurrently flushed commit. Gated in
+// BENCH_baseline.json to stay at least 1.5x faster than the
+// fsync-per-commit floor (max_ratio 0.667).
+func BenchmarkIngestGroupCommit(b *testing.B) { benchIngest(b, true) }
 
 // BenchmarkCommitInsertIndexed — the same single-row commit while the
 // relation's BK-tree and trie are live, so every commit pays online

@@ -21,4 +21,19 @@ var (
 		"Operations replayed from the WAL at store open.")
 	mReplayMillis = obs.Default.Gauge("simq_wal_replay_ms",
 		"Wall time in milliseconds of the most recent WAL replay at store open.")
+	mTruncatedFrames = obs.Default.Counter("simq_wal_truncated_frames",
+		"Torn, corrupt or mismatched WAL tails truncated away at store open.")
+	mGroupCommitBatch = obs.Default.Histogram("simq_group_commit_batch",
+		"Commits covered by one WAL fsync (group-commit batch size).",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128})
+	mCheckpoints = obs.Default.Counter("simq_checkpoints_total",
+		"Checkpoints written (snapshot + WAL truncation).")
+	mCheckpointSeconds = obs.Default.Histogram("simq_checkpoint_seconds",
+		"Wall time of a checkpoint: serialize, fsync, rename, truncate.", obs.DefBuckets)
+	mCheckpointBytes = obs.Default.Gauge("simq_checkpoint_bytes",
+		"Size in bytes of the most recent checkpoint snapshot file.")
+	mCheckpointRows = obs.Default.Gauge("simq_checkpoint_rows",
+		"Visible rows captured by the most recent checkpoint snapshot.")
+	mReplayTailTx = obs.Default.Gauge("simq_wal_replay_tail_tx",
+		"Transactions replayed from the WAL tail at the most recent open (post-snapshot tail when a checkpoint was loaded).")
 )

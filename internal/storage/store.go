@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -188,10 +189,17 @@ type Metrics struct {
 }
 
 // Store gives a catalog of MVCC relations a durable write path: every
-// commit is framed into the WAL (flushed, optionally fsynced) before it
-// is applied in memory, so reopening the store replays the log to the
-// identical committed state. Writers serialize on the store's mutex;
-// readers never touch it — they read relation snapshots.
+// commit is framed into the WAL (flushed, optionally fsynced) before
+// its acknowledgement, and applied in memory under the store mutex, so
+// reopening the store replays the log to the identical committed
+// state. Writers serialize on the store's mutex for the append+apply
+// critical section; the fsync happens OUTSIDE the mutex through a
+// per-segment group-commit syncer, so concurrent committers share one
+// fsync instead of queueing N of them. Acknowledgements retire in
+// commit order (a dense sequence watermark), so a commit is never
+// acknowledged while an earlier commit it may depend on is still
+// waiting for the disk. Readers never touch the mutex — they read
+// relation snapshots.
 //
 // Replay determinism: insert records carry no tuple id — ids are
 // re-assigned by replay order — so the store must be opened over the
@@ -204,18 +212,32 @@ type Metrics struct {
 // that owns the row, and carry explicit global ids (reserved before
 // logging) so each segment replays independently of the others'
 // interleaving. Records for plain relations always land in segment 0.
-// The atomicity trade: a commit spanning several shards appends one
-// transaction per touched segment, so a crash between segment appends
-// can surface a partially-durable cross-shard batch — in-memory
-// visibility stays atomic (the shard view publishes once), and each
-// single-kind DML statement rarely spans segments. A global commit
-// record (2PC) would close the gap at the cost of a second fsync; see
-// DESIGN.md.
+// A commit spanning several segments is made atomic by a global commit
+// record: each segment's part carries the transaction's GID and part
+// count, and a recGlobal record in segment 0 seals the transaction.
+// Replay applies a GID transaction only when the global record survived
+// AND every part is present — a crash between segment appends can
+// therefore never surface a partially-replayed cross-shard batch.
+//
+// Checkpoint serializes the whole catalog to a snapshot file (temp
+// file + fsync + atomic rename + dir fsync), truncates every WAL
+// segment, and records the covering LSN: reopen loads the snapshot and
+// replays only the WAL tail past it.
 type Store struct {
-	mu   sync.Mutex
-	cat  *relation.Catalog
-	wals []*wal // len >= 1; segment 0 is the default route
-	lsn  uint64 // store-wide LSN counter shared by every segment
+	mu          sync.Mutex
+	cat         *relation.Catalog
+	wals        []*wal // len >= 1; segment 0 is the default route
+	lsn         uint64 // store-wide LSN counter shared by every segment
+	gid         uint64 // cross-segment (global) transaction id allocator
+	seqNext     uint64 // dense commit sequence, assigned under mu
+	ckptPath    string
+	groupCommit bool
+	stopped     bool // fail-stop: a post-apply durability error poisoned the store
+	lastCkpt    CheckpointInfo
+
+	ackMu   sync.Mutex
+	ackCond *sync.Cond
+	ackNext uint64 // next commit sequence allowed to acknowledge
 
 	commits    atomic.Int64
 	inserts    atomic.Int64
@@ -226,17 +248,19 @@ type Store struct {
 }
 
 // Open opens (creating if needed) the WAL at path and replays every
-// committed transaction into the catalog. Relations named by the log
-// that are missing from the catalog are created and registered.
+// committed transaction into the catalog — from the checkpoint snapshot
+// at path+".ckpt" first, when one exists, then the WAL tail past its
+// covering LSN. Relations named by the log that are missing from the
+// catalog are created and registered.
 func Open(path string, cat *relation.Catalog) (*Store, error) {
-	return openSegments([]string{path}, cat)
+	return openSegments([]string{path}, cat, path+".ckpt")
 }
 
 // OpenSegmented opens a store with one WAL segment per shard:
-// "path.0" … "path.N-1". The catalog's sharded relations must already
-// be registered (replay routes rows by the same hash partitioner that
-// logged them, so the shard count must match the one the log was
-// written under).
+// "path.0" … "path.N-1" (checkpoint snapshot at "path.ckpt"). The
+// catalog's sharded relations must already be registered (replay routes
+// rows by the same hash partitioner that logged them, so the shard
+// count must match the one the log was written under).
 func OpenSegmented(path string, cat *relation.Catalog, segments int) (*Store, error) {
 	if segments < 1 {
 		segments = 1
@@ -245,14 +269,28 @@ func OpenSegmented(path string, cat *relation.Catalog, segments int) (*Store, er
 	for i := range paths {
 		paths[i] = fmt.Sprintf("%s.%d", path, i)
 	}
-	return openSegments(paths, cat)
+	return openSegments(paths, cat, path+".ckpt")
 }
 
-func openSegments(paths []string, cat *relation.Catalog) (*Store, error) {
-	s := &Store{cat: cat}
-	var all [][]walRecord
+func openSegments(paths []string, cat *relation.Catalog, ckptPath string) (*Store, error) {
+	// A crash mid-checkpoint leaves a temp file; it was never renamed,
+	// so it covers nothing and is safe to drop.
+	os.Remove(ckptPath + ".tmp")
+
+	ckptLSN, ckptGID, fromCkpt, err := loadCheckpoint(ckptPath, cat)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{cat: cat, ckptPath: ckptPath, groupCommit: true, lsn: ckptLSN, gid: ckptGID}
+	s.ackCond = sync.NewCond(&s.ackMu)
+
+	var (
+		all       []walTx
+		globals   = map[uint64]bool{}
+		partsSeen = map[uint64]int{}
+	)
 	for _, p := range paths {
-		w, txs, err := openWAL(p)
+		w, rec, err := openWAL(p)
 		if err != nil {
 			for _, open := range s.wals {
 				open.close()
@@ -260,12 +298,21 @@ func openSegments(paths []string, cat *relation.Catalog) (*Store, error) {
 			return nil, err
 		}
 		s.wals = append(s.wals, w)
-		for _, tx := range txs {
+		for _, tx := range rec.txs {
+			if tx.gid != 0 {
+				partsSeen[tx.gid]++
+			}
 			// A committed zero-op transaction (valid but vacuous) has no
 			// first record to sort on; replaying it is a no-op either way.
-			if len(tx) > 0 {
+			if len(tx.ops) > 0 {
 				all = append(all, tx)
 			}
+		}
+		for g := range rec.globals {
+			globals[g] = true
+		}
+		if rec.maxGID > s.gid {
+			s.gid = rec.maxGID
 		}
 		if w.maxLSN > s.lsn {
 			s.lsn = w.maxLSN
@@ -278,11 +325,23 @@ func openSegments(paths []string, cat *relation.Catalog) (*Store, error) {
 	for _, w := range s.wals {
 		w.lsn = &s.lsn
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i][0].LSN < all[j][0].LSN })
+	sort.Slice(all, func(i, j int) bool { return all[i].ops[0].LSN < all[j].ops[0].LSN })
 	start := time.Now()
-	for _, ops := range all {
-		for i := range ops {
-			s.applyRecord(&ops[i])
+	for _, tx := range all {
+		if fromCkpt && tx.commitLSN <= ckptLSN {
+			// Folded into the snapshot already (the checkpoint's covering
+			// LSN was captured at a commit boundary; a crash between the
+			// snapshot rename and the WAL truncation leaves these behind).
+			continue
+		}
+		if tx.gid != 0 && (!globals[tx.gid] || partsSeen[tx.gid] != tx.parts) {
+			// A cross-segment transaction missing its global record or any
+			// of its parts was not fully durable at the crash: drop every
+			// part, never replay it partially.
+			continue
+		}
+		for i := range tx.ops {
+			s.applyRecord(&tx.ops[i])
 			s.replayedOp++
 		}
 		s.replayedTx++
@@ -290,6 +349,7 @@ func openSegments(paths []string, cat *relation.Catalog) (*Store, error) {
 	mReplayMillis.Set(time.Since(start).Milliseconds())
 	mReplayTx.Add(int64(s.replayedTx))
 	mReplayOps.Add(int64(s.replayedOp))
+	mReplayTailTx.Set(int64(s.replayedTx))
 	return s, nil
 }
 
@@ -302,6 +362,17 @@ func (s *Store) SetSync(sync bool) {
 	for _, w := range s.wals {
 		w.sync = sync
 	}
+}
+
+// SetGroupCommit toggles the group-commit fsync path (default on).
+// With it off, a sync-enabled commit fsyncs its segments inside the
+// store mutex — one fsync per commit, fully serialized. Exists for the
+// benchmark pair that gates the group-commit win; production callers
+// have no reason to turn it off.
+func (s *Store) SetGroupCommit(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.groupCommit = on
 }
 
 // Catalog returns the catalog the store writes into.
@@ -339,11 +410,36 @@ func (s *Store) applyRecord(rec *walRecord) {
 	}
 }
 
+// retire blocks until every earlier commit has acknowledged, then
+// releases this one's slot. Commit sequences are dense and assigned
+// under the store mutex, so the watermark advances exactly once per
+// commit — error paths included, or the pipeline would stall forever.
+func (s *Store) retire(seq uint64) {
+	s.ackMu.Lock()
+	for s.ackNext != seq {
+		s.ackCond.Wait()
+	}
+	s.ackNext++
+	s.ackCond.Broadcast()
+	s.ackMu.Unlock()
+}
+
+// failStop poisons the store after a post-apply durability error:
+// in-memory state is ahead of what the log can promise, so continuing
+// to acknowledge commits would silently widen the divergence.
+func (s *Store) failStop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+}
+
 // Commit durably applies a batch of operations: the surviving ops are
-// framed into the WAL as one transaction (log first), then applied to
-// the relations. Deletes and updates whose target id is not currently
-// visible are dropped before logging, so the log never carries no-ops
-// and replay can apply every record blindly.
+// framed into the WAL as one transaction (log first), applied to the
+// relations, and — when fsync is on — acknowledged only after the
+// group-commit syncer reports the bytes durable. Deletes and updates
+// whose target id is not currently visible are dropped before logging,
+// so the log never carries no-ops and replay can apply every record
+// blindly.
 //
 // Ops in one batch must reference pre-batch state: validation runs
 // before any op applies, so a delete/update of a row inserted earlier
@@ -355,9 +451,12 @@ func (s *Store) applyRecord(rec *walRecord) {
 // separately.
 func (s *Store) Commit(ops []Op) (CommitResult, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 
 	var res CommitResult
+	if s.stopped {
+		s.mu.Unlock()
+		return res, fmt.Errorf("storage: store is fail-stopped after a durability error")
+	}
 	nseg := len(s.wals)
 	segRecs := make([][]walRecord, nseg)
 	kept := make([]Op, 0, len(ops))
@@ -382,6 +481,7 @@ func (s *Store) Commit(ops []Op) (CommitResult, error) {
 		case OpDelete, OpUpdate:
 			t, ok := s.cat.Lookup(op.Rel)
 			if !ok {
+				s.mu.Unlock()
 				return res, fmt.Errorf("storage: unknown relation %q", op.Rel)
 			}
 			if _, visible := t.Tuple(op.ID); !visible {
@@ -401,30 +501,51 @@ func (s *Store) Commit(ops []Op) (CommitResult, error) {
 				}
 			}
 		default:
+			s.mu.Unlock()
 			return res, fmt.Errorf("storage: unknown op kind %d", op.Kind)
 		}
 		segRecs[seg] = append(segRecs[seg], rec)
 		kept = append(kept, op)
 	}
 	if len(kept) == 0 {
+		s.mu.Unlock()
 		return res, nil
 	}
 
-	var tx uint64
+	touched := make([]int, 0, nseg)
 	for seg, recs := range segRecs {
-		if len(recs) == 0 {
-			continue
+		if len(recs) > 0 {
+			touched = append(touched, seg)
 		}
-		// One transaction per touched segment. A failed append here can
-		// leave earlier segments' transactions durable while this one is
-		// not — the commit is reported failed and nothing applies in
-		// memory, but a later replay will surface the partial batch (the
-		// cross-shard durability trade documented in DESIGN.md).
-		t, err := s.wals[seg].appendTx(recs)
+	}
+	var gid uint64
+	parts := 0
+	if len(touched) > 1 {
+		// Cross-segment transaction: every part carries the GID and part
+		// count, and a global record in segment 0 seals it. Replay
+		// requires the seal AND all parts, so a crash that tears any of
+		// the appends drops the transaction atomically.
+		s.gid++
+		gid = s.gid
+		parts = len(touched)
+	}
+
+	var tx uint64
+	for _, seg := range touched {
+		t, err := s.wals[seg].appendTx(segRecs[seg], gid, parts)
 		if err != nil {
+			// Earlier segments keep their parts, but without the global
+			// record replay drops them — the commit fails atomically.
+			s.mu.Unlock()
 			return res, fmt.Errorf("storage: WAL append (segment %d): %w", seg, err)
 		}
 		tx = t
+	}
+	if gid != 0 {
+		if err := s.wals[0].appendGlobal(gid, parts); err != nil {
+			s.mu.Unlock()
+			return res, fmt.Errorf("storage: WAL global-commit append: %w", err)
+		}
 	}
 
 	res, err := applyBatch(func(name string) (relation.Table, error) {
@@ -434,8 +555,55 @@ func (s *Store) Commit(ops []Op) (CommitResult, error) {
 	if err != nil {
 		// Cannot happen with validated kept ops; surface it loudly if a
 		// future op kind slips past validation after logging.
+		s.stopped = true
+		s.mu.Unlock()
 		return res, fmt.Errorf("storage: apply after WAL commit: %w", err)
 	}
+
+	// Capture fsync targets under the mutex — offsets and truncation
+	// generations must describe the bytes THIS commit wrote — then sync
+	// outside it so concurrent commits share fsyncs (group commit).
+	type syncTarget struct {
+		w   *wal
+		off int64
+		gen uint64
+	}
+	var targets []syncTarget
+	syncSegs := touched
+	if gid != 0 && segRecs[0] == nil {
+		syncSegs = append(append(make([]int, 0, len(touched)+1), touched...), 0)
+	}
+	for _, seg := range syncSegs {
+		w := s.wals[seg]
+		if !w.sync {
+			continue
+		}
+		if s.groupCommit {
+			targets = append(targets, syncTarget{w: w, off: w.bytes, gen: w.generation()})
+			continue
+		}
+		// Legacy path (bench baseline): one fsync per commit, serialized
+		// under the store mutex exactly like the pre-group-commit store.
+		start := time.Now()
+		if err := syncFile(w.f); err != nil {
+			s.stopped = true
+			s.mu.Unlock()
+			return res, fmt.Errorf("storage: WAL fsync (segment %d): %w", seg, err)
+		}
+		mWALFsync.Observe(time.Since(start).Seconds())
+	}
+	seq := s.seqNext
+	s.seqNext++
+	s.mu.Unlock()
+	defer s.retire(seq)
+
+	for _, t := range targets {
+		if err := t.w.syncTo(t.off, t.gen); err != nil {
+			s.failStop()
+			return res, fmt.Errorf("storage: WAL fsync: %w", err)
+		}
+	}
+
 	s.inserts.Add(int64(res.Inserts))
 	s.deletes.Add(int64(res.Deletes))
 	s.updates.Add(int64(res.Updates))
@@ -443,6 +611,61 @@ func (s *Store) Commit(ops []Op) (CommitResult, error) {
 	mCommits.Inc()
 	return res, nil
 }
+
+// Checkpoint serializes the catalog to the store's snapshot file and
+// truncates every WAL segment. Stop-the-world: the store mutex is held
+// across the dump, so the snapshot is one commit boundary and its
+// covering LSN is exact — writers queue for the duration (dump cost is
+// one sequential pass over the visible rows; see EXPERIMENTS.md for
+// measured times). Commits already waiting on a group fsync when the
+// truncation lands are released: their bytes are durable in the
+// snapshot, which is exactly the guarantee they were waiting for.
+func (s *Store) Checkpoint() (CheckpointInfo, error) {
+	start := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return CheckpointInfo{}, fmt.Errorf("storage: store is fail-stopped after a durability error")
+	}
+	rels, rows, bytes, err := writeCheckpoint(s.ckptPath, s.cat, s.lsn, s.gid)
+	if err != nil {
+		return CheckpointInfo{}, fmt.Errorf("storage: checkpoint: %w", err)
+	}
+	for i, w := range s.wals {
+		if err := w.truncateAll(); err != nil {
+			// The snapshot is durable and covers every logged transaction;
+			// a tail that would not truncate merely costs replay-and-filter
+			// work at the next open. Warn, don't fail the checkpoint.
+			warnf("storage: WAL truncate after checkpoint failed segment=%d err=%q", i, err)
+		}
+	}
+	info := CheckpointInfo{
+		LSN:      s.lsn,
+		Rels:     rels,
+		Rows:     rows,
+		Bytes:    bytes,
+		Duration: time.Since(start),
+		At:       start,
+	}
+	s.lastCkpt = info
+	mCheckpoints.Inc()
+	mCheckpointSeconds.Observe(info.Duration.Seconds())
+	mCheckpointBytes.Set(bytes)
+	mCheckpointRows.Set(int64(rows))
+	return info, nil
+}
+
+// LastCheckpoint reports the most recent checkpoint written by THIS
+// process (zero value when none); feeds /stats.
+func (s *Store) LastCheckpoint() CheckpointInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastCkpt
+}
+
+// CheckpointPath returns the snapshot file path the store reads at
+// open and Checkpoint writes.
+func (s *Store) CheckpointPath() string { return s.ckptPath }
 
 // Insert is a single-op Commit convenience; returns the assigned id.
 func (s *Store) Insert(rel, seq string, attrs map[string]string) (int, error) {
@@ -495,7 +718,7 @@ func (s *Store) Metrics() Metrics {
 }
 
 // Close flushes and closes every WAL segment. The store must not be
-// used after.
+// used after (in-flight commits must have returned).
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
