@@ -15,19 +15,28 @@
 // gather-merge the results, DML routes rows by hash, and with -wal each
 // shard keeps its own WAL segment. /stats reports per-shard counters.
 //
-// Endpoints (wrong-method requests on any of them answer 405):
+// Endpoints (wrong-method requests on any of them answer 405). The
+// versioned /v1/ paths are the stable API surface; the bare legacy
+// paths remain registered as aliases of the same handlers, so existing
+// clients keep working:
 //
-//	POST /query    {"query": "...", "params": [...]}            run a statement (SELECT or DML)
-//	               {"id": "p1", "params": [...]}                run a prepared statement
-//	               {"named": {"k": v}}                          named parameters
-//	               {"timeout_ms": 500}                          per-request deadline override
-//	POST /prepare  {"query": "... ? ..."}                       compile, returns {"id", "params", "names"}
-//	POST /explain  {"query": "...", "params": [...]}            plan without executing
-//	POST /ingest   {"relation": "words", "rows": [{"seq": "...", "vec": "[0.1,0.2]", "attrs": {...}}]}
+//	POST /v1/query       {"query": "...", "params": [...]}      run a statement (SELECT or DML)
+//	                     {"id": "p1", "params": [...]}          run a prepared statement
+//	                     {"named": {"k": v}}                    named parameters
+//	                     {"timeout_ms": 500}                    per-request deadline override
+//	POST /v1/prepare     {"query": "... ? ..."}                 compile, returns {"id", "params", "names"}
+//	POST /v1/explain     {"query": "...", "params": [...]}      plan without executing
+//	POST /v1/ingest      {"relation": "words", "rows": [{"seq": "...", "vec": "[0.1,0.2]", "attrs": {...}}]}
 //	                                                            batch insert (one WAL commit)
-//	GET  /healthz                                               liveness
-//	GET  /stats                                                 server, plan-cache, runtime and write counters
-//	GET  /metrics                                               Prometheus text exposition of the obs registry
+//	POST /v1/checkpoint                                         snapshot + WAL truncation on demand
+//	GET  /v1/stats                                              server, plan-cache, runtime and write counters
+//	GET  /healthz                                               liveness (unversioned: infrastructure probe)
+//	GET  /metrics                                               Prometheus text exposition (unversioned: scrape target)
+//
+// Every error answers the same JSON envelope regardless of endpoint:
+// {"error": "...", "code": "bad_request|timeout|precondition_failed|internal|...",
+// "trace_id": "..."} — the trace_id matches the X-Trace-Id response
+// header, so a client error report names the exact server-side request.
 //
 // Observability: every /query, /explain and /ingest response carries an
 // X-Trace-Id header (also echoed as "trace_id" in the /query body).
@@ -339,18 +348,36 @@ func (s *server) newTraceID() string {
 	return fmt.Sprintf("%x-%d", s.started.UnixNano(), s.traceSeq.Add(1))
 }
 
+// trace mints the request's trace id and sets the X-Trace-Id response
+// header; every handler calls it first so success and error bodies
+// alike can echo the id.
+func (s *server) trace(w http.ResponseWriter) string {
+	id := s.newTraceID()
+	w.Header().Set("X-Trace-Id", id)
+	return id
+}
+
 // routes registers every endpoint with Go 1.22 method patterns, so a
 // wrong-method request on a registered path answers 405 Method Not
-// Allowed (with an Allow header) instead of 404.
+// Allowed (with an Allow header) instead of 404. The API endpoints
+// mount twice: under /v1/ (the stable, versioned contract) and at the
+// bare legacy path (alias for pre-v1 clients). /healthz and /metrics
+// stay unversioned on purpose — probes and scrape configs address the
+// process, not the API revision.
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /query", s.handleQuery)
-	mux.HandleFunc("POST /prepare", s.handlePrepare)
-	mux.HandleFunc("POST /explain", s.handleExplain)
-	mux.HandleFunc("POST /ingest", s.handleIngest)
-	mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
+	versioned := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, h)
+		method, path, _ := strings.Cut(pattern, " ")
+		mux.HandleFunc(method+" /v1"+path, h)
+	}
+	versioned("POST /query", s.handleQuery)
+	versioned("POST /prepare", s.handlePrepare)
+	versioned("POST /explain", s.handleExplain)
+	versioned("POST /ingest", s.handleIngest)
+	versioned("POST /checkpoint", s.handleCheckpoint)
+	versioned("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.pprofOn {
 		// The default pprof mux entries, mounted explicitly so the flag
@@ -472,16 +499,15 @@ type statsBody struct {
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	req, ok := s.decode(w, r)
+	traceID := s.trace(w)
+	req, ok := s.decode(w, r, traceID)
 	if !ok {
 		return
 	}
-	traceID := s.newTraceID()
-	w.Header().Set("X-Trace-Id", traceID)
 	start := time.Now()
 	res, err := s.execute(r.Context(), req, false)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, traceID, err)
 		return
 	}
 	elapsed := time.Since(start)
@@ -545,17 +571,18 @@ func (s *server) maybeLogSlow(traceID string, req *request, res *query.Result, e
 }
 
 func (s *server) handlePrepare(w http.ResponseWriter, r *http.Request) {
-	req, ok := s.decode(w, r)
+	traceID := s.trace(w)
+	req, ok := s.decode(w, r, traceID)
 	if !ok {
 		return
 	}
 	if req.Query == "" {
-		s.fail(w, errBad("prepare requires \"query\""))
+		s.fail(w, traceID, errBad("prepare requires \"query\""))
 		return
 	}
 	pq, err := s.eng.Prepare(req.Query)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, traceID, err)
 		return
 	}
 	s.mu.Lock()
@@ -579,14 +606,14 @@ func (s *server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	req, ok := s.decode(w, r)
+	traceID := s.trace(w)
+	req, ok := s.decode(w, r, traceID)
 	if !ok {
 		return
 	}
-	w.Header().Set("X-Trace-Id", s.newTraceID())
 	res, err := s.execute(r.Context(), req, true)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, traceID, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"plan": res.Plan})
@@ -606,19 +633,19 @@ type ingestRequest struct {
 }
 
 func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("X-Trace-Id", s.newTraceID())
+	traceID := s.trace(w)
 	var req ingestRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
 	if err := dec.Decode(&req); err != nil {
-		s.fail(w, errBad("bad JSON: "+err.Error()))
+		s.fail(w, traceID, errBad("bad JSON: "+err.Error()))
 		return
 	}
 	if req.Relation == "" || len(req.Rows) == 0 {
-		s.fail(w, errBad(`ingest requires "relation" and at least one row`))
+		s.fail(w, traceID, errBad(`ingest requires "relation" and at least one row`))
 		return
 	}
 	if _, ok := s.eng.Catalog().Lookup(req.Relation); !ok {
-		s.fail(w, errBad(fmt.Sprintf("unknown relation %q", req.Relation)))
+		s.fail(w, traceID, errBad(fmt.Sprintf("unknown relation %q", req.Relation)))
 		return
 	}
 	start := time.Now()
@@ -628,7 +655,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		if row.Vec != "" {
 			v, err := metric.Parse(row.Vec)
 			if err != nil {
-				s.fail(w, errBad(fmt.Sprintf("row %d: %v", i, err)))
+				s.fail(w, traceID, errBad(fmt.Sprintf("row %d: %v", i, err)))
 				return
 			}
 			ops[i].Vec = v
@@ -642,7 +669,7 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		res, err = storage.Apply(s.eng.Catalog(), ops)
 	}
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, traceID, err)
 		return
 	}
 	ids := res.InsertedIDs
@@ -664,14 +691,14 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // catalog is serialized to the snapshot file and the WAL truncated, so
 // the next restart replays only the post-checkpoint tail.
 func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	traceID := s.trace(w)
 	if s.store == nil {
-		writeJSON(w, http.StatusPreconditionFailed, map[string]string{"error": "no WAL configured (-wal); nothing to checkpoint"})
+		s.fail(w, traceID, errPrecondition("no WAL configured (-wal); nothing to checkpoint"))
 		return
 	}
 	info, err := s.store.Checkpoint()
 	if err != nil {
-		s.errors.Add(1)
-		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		s.fail(w, traceID, errInternal(err))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -867,15 +894,17 @@ func (s *server) preparedRunner(pq *query.PreparedQuery, req *request, explain b
 	}
 }
 
-func (s *server) decode(w http.ResponseWriter, r *http.Request) (*request, bool) {
+func (s *server) decode(w http.ResponseWriter, r *http.Request, traceID string) (*request, bool) {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST required"})
+		// Unreachable behind the method-qualified mux patterns; kept as a
+		// guard for handlers mounted elsewhere.
+		s.fail(w, traceID, httpError{http.StatusMethodNotAllowed, "method_not_allowed", "POST required"})
 		return nil, false
 	}
 	var req request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err := dec.Decode(&req); err != nil {
-		s.fail(w, errBad("bad JSON: "+err.Error()))
+		s.fail(w, traceID, errBad("bad JSON: "+err.Error()))
 		return nil, false
 	}
 	return &req, true
@@ -883,25 +912,47 @@ func (s *server) decode(w http.ResponseWriter, r *http.Request) (*request, bool)
 
 type httpError struct {
 	status int
+	code   string // machine-readable envelope code
 	msg    string
 }
 
 func (e httpError) Error() string { return e.msg }
 
-func errBad(msg string) error { return httpError{http.StatusBadRequest, msg} }
+func errBad(msg string) error { return httpError{http.StatusBadRequest, "bad_request", msg} }
 
 func errTimeout(err error) error {
-	return httpError{http.StatusGatewayTimeout, "query deadline exceeded: " + err.Error()}
+	return httpError{http.StatusGatewayTimeout, "timeout", "query deadline exceeded: " + err.Error()}
 }
 
-func (s *server) fail(w http.ResponseWriter, err error) {
+func errPrecondition(msg string) error {
+	return httpError{http.StatusPreconditionFailed, "precondition_failed", msg}
+}
+
+func errInternal(err error) error {
+	return httpError{http.StatusInternalServerError, "internal", err.Error()}
+}
+
+// errorBody is the uniform JSON error envelope every endpoint answers
+// with: a human-readable message, a machine-readable code, and the
+// request's trace id (matching the X-Trace-Id header) so a client-side
+// error report names the exact server-side request.
+type errorBody struct {
+	Error   string `json:"error"`
+	Code    string `json:"code"`
+	TraceID string `json:"trace_id"`
+}
+
+func (s *server) fail(w http.ResponseWriter, traceID string, err error) {
 	s.errors.Add(1)
-	status := http.StatusBadRequest
+	status, code := http.StatusBadRequest, "bad_request"
 	var he httpError
 	if errors.As(err, &he) {
 		status = he.status
+		if he.code != "" {
+			code = he.code
+		}
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, status, errorBody{Error: err.Error(), Code: code, TraceID: traceID})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

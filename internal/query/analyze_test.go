@@ -71,6 +71,22 @@ var analyzeStmts = []struct {
 	{`SELECT seq, dist FROM words WHERE seq NEAREST 3 TO "color" USING unit-edits`, true},
 	{`SELECT seq, dist FROM words WHERE seq NEAREST 2 TO "color" USING cheap_vowels`, true},
 	{`SELECT * FROM words LIMIT 3`, false},
+	// The weighted nested-loop join is the one join shape both pipelines
+	// execute identically (no batch operator exists for weighted rule
+	// sets), so it is safe for the row-vs-batch stats parity oracle too.
+	{`SELECT a.seq, b.seq FROM words a, words b ON dist(a.seq, b.seq) <= 0.3 USING cheap_vowels AND a.id != b.id`, true},
+}
+
+// analyzeJoinStmts are the join shapes whose physical algorithm depends
+// on the execution mode (index in row plans, partition in batch plans),
+// so their work counters legitimately differ between pipelines; the
+// ANALYZE oracle still pins result identity and span shape for each.
+var analyzeJoinStmts = []struct {
+	stmt      string
+	hasKernel bool
+}{
+	{`SELECT a.seq, b.seq FROM words a, words b ON dist(a.seq, b.seq) <= 1 USING unit-edits`, true},
+	{`SELECT a.seq, c.seq FROM words a, words b, words c ON dist(a.seq, b.seq) <= 1 USING unit-edits AND dist(b.seq, c.seq) <= 1 USING unit-edits`, true},
 }
 
 // flattenSpans returns the span tree in preorder.
@@ -199,6 +215,22 @@ func TestAnalyzeOracleShardedBatch(t *testing.T) {
 	e := analyzeEngine(t, 3, 4)
 	for _, c := range analyzeStmts {
 		checkAnalyzeOracle(t, e, c.stmt, c.hasKernel, 3)
+	}
+}
+
+// TestAnalyzeJoinOracle drives the mode-dependent join shapes through
+// every plan family: the row engine's index-nested-loop, the batch
+// engine's partition join, and the sharded broadcast variant of each
+// must all satisfy the ANALYZE contract (result identity, estimates on
+// leaves, kernel labels, per-shard gather timings).
+func TestAnalyzeJoinOracle(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		for _, batch := range []int{0, 4} {
+			e := analyzeEngine(t, shards, batch)
+			for _, c := range analyzeJoinStmts {
+				checkAnalyzeOracle(t, e, c.stmt, c.hasKernel, shards)
+			}
+		}
 	}
 }
 

@@ -4,10 +4,11 @@ package query
 // `vectorize` choice (recorded in planDecision and therefore in
 // plan-cache and prepared-decision keys); this file is the build half:
 // given a vectorized decision it assembles the BatchOperator tree that
-// mirrors the row plan shape node for node. Joins are the one
-// unconverted access path — they run as row operators bridged by the
-// adapters in batch.go, with the once-per-query start scan still
-// reading through a batch cursor.
+// mirrors the row plan shape node for node. Join chains build through
+// buildBatchJoin (join_batch.go): partition steps run natively batched,
+// nl/index steps run as row operators bridged by the adapters in
+// batch.go, with the once-per-query start scan always reading through a
+// batch cursor.
 
 import (
 	"fmt"
@@ -103,14 +104,11 @@ func (e *Engine) buildBatchTree(q *Query, d *planDecision, rels []*relation.Rela
 		}
 		access = wrapBatchParallel(ctx, d, build)
 	case accessJoin:
-		// Joins are not converted: the decided row join chain (with a
-		// batch cursor under its start scan) runs as-is and the RowToBatch
-		// adapter lifts its bindings into the batched decorators above.
-		rowAccess, err := e.buildJoin(ctx, q, rels, snapOf, d)
+		var err error
+		access, err = e.buildBatchJoin(ctx, q, rels, snapOf, d, size)
 		if err != nil {
 			return nil, err
 		}
-		access = trB(ctx, &rowToBatchOp{child: rowAccess, size: size}, estOf(rowAccess), "")
 	default:
 		return nil, fmt.Errorf("query: unknown access kind %d", d.kind)
 	}

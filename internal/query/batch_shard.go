@@ -182,9 +182,10 @@ func (c *shardCols) appendBatch(b *Batch) {
 
 // batchGatherMergeOp drains one batch subplan per shard through a
 // bounded worker pool and merges the column buffers. Shard subplans of
-// a sharded single-relation query are always columnar (joins are
-// rejected at decide time), so the merge never sees a bindings-layout
-// batch.
+// a sharded single-relation query are always columnar, so the merge
+// never sees a bindings-layout batch — sharded JOIN chains carry
+// multi-alias bindings and therefore gather through the row
+// gatherMergeOp instead (see buildShardedJoin).
 type batchGatherMergeOp struct {
 	ctx      *execCtx
 	children []BatchOperator

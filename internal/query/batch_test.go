@@ -7,8 +7,9 @@ import (
 
 // TestVectorizeDecisionInExplain pins the EXPLAIN surface of the
 // vectorize decision: batched plans carry the Vectorize pseudo-root
-// with the leaf block size, row plans do not, and joins inside a
-// batched plan render both adapters around the row chain.
+// with the leaf block size, row plans do not, unit-cost joins render
+// the native partition join, and weighted joins render both adapters
+// around their row chain.
 func TestVectorizeDecisionInExplain(t *testing.T) {
 	e := bigEngine(t)
 	res, err := e.Execute(`EXPLAIN SELECT * FROM dict LIMIT 3`)
@@ -29,13 +30,27 @@ func TestVectorizeDecisionInExplain(t *testing.T) {
 		t.Fatalf("vectorized plan lacks the default-size Vectorize root with the kernel:\n%s", res.Plan)
 	}
 
+	// A unit-cost join vectorizes natively: the length-partitioned batch
+	// join, no adapters.
 	res, err = e.Execute(`EXPLAIN SELECT a.seq FROM dna a, dna b WHERE a.seq SIMILAR TO b.seq WITHIN 1 USING unit-edits`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, frag := range []string{"Vectorize(", "RowToBatch(", "BatchToRow", "IndexJoin("} {
+	for _, frag := range []string{"Vectorize(", "PartitionJoin(probe a.seq into b[length-banded]"} {
 		if !strings.Contains(res.Plan, frag) {
 			t.Fatalf("vectorized join plan lacks %q:\n%s", frag, res.Plan)
+		}
+	}
+
+	// A weighted join has no batch operator: the row chain runs behind
+	// both adapters.
+	res, err = e.Execute(`EXPLAIN SELECT a.seq FROM dna a, dna b WHERE a.seq SIMILAR TO b.seq WITHIN 1 USING half`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"Vectorize(", "RowToBatch(", "BatchToRow", "NestedLoopJoin("} {
+		if !strings.Contains(res.Plan, frag) {
+			t.Fatalf("vectorized weighted join plan lacks %q:\n%s", frag, res.Plan)
 		}
 	}
 

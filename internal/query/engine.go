@@ -55,10 +55,39 @@ const parallelDefaultMinRows = 4096
 // for the 1/64/256/1024 sweep).
 const defaultBatchSize = 256
 
+// Option configures an Engine at construction time. Options are the
+// primary configuration surface — NewEngine(cat, WithBatchSize(256),
+// WithTracing(true)) reads as one coherent call — while the Set*
+// methods remain as thin runtime wrappers for knobs that change after
+// construction (the serving layer flips tracing on live engines).
+type Option func(*Engine)
+
+// WithBatchSize sets the vectorized block size; n <= 0 disables
+// vectorization. Equivalent to SetBatchSize.
+func WithBatchSize(n int) Option { return func(e *Engine) { e.SetBatchSize(n) } }
+
+// WithParallelism sets the worker count for parallel scan/join plans.
+// Equivalent to SetParallelism.
+func WithParallelism(n int) Option { return func(e *Engine) { e.SetParallelism(n) } }
+
+// WithParallelMinRows sets the outer-relation size from which the
+// planner shards work across workers. Equivalent to SetParallelMinRows.
+func WithParallelMinRows(n int) Option { return func(e *Engine) { e.SetParallelMinRows(n) } }
+
+// WithPlanCacheSize sets the plan-cache capacity; n <= 0 disables plan
+// caching. Equivalent to SetPlanCacheSize.
+func WithPlanCacheSize(n int) Option { return func(e *Engine) { e.SetPlanCacheSize(n) } }
+
+// WithTracing toggles engine-wide span collection. Equivalent to
+// SetTracing.
+func WithTracing(on bool) Option { return func(e *Engine) { e.SetTracing(on) } }
+
 // NewEngine returns an engine over the catalog with no rule sets
-// registered.
-func NewEngine(cat *relation.Catalog) *Engine {
-	return &Engine{
+// registered, configured by the given options (defaults: vectorized
+// blocks of 256, GOMAXPROCS workers, a 512-entry plan cache, tracing
+// off).
+func NewEngine(cat *relation.Catalog, opts ...Option) *Engine {
+	e := &Engine{
 		catalog:         cat,
 		rulesets:        make(map[string]*rewrite.RuleSet),
 		calcs:           make(map[string]*editdp.Calculator),
@@ -69,6 +98,10 @@ func NewEngine(cat *relation.Catalog) *Engine {
 		parallelMinRows: parallelDefaultMinRows,
 		batchSize:       defaultBatchSize,
 	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
 }
 
 // SetBatchSize sets the block size for vectorized (batch-at-a-time)
@@ -537,14 +570,11 @@ func (e *Engine) evalExpr(ex Expr, b *binding) (bool, error) {
 		}
 		return l == r, nil
 	case SimExpr:
-		if isVecSim(&ex) {
-			return e.evalVecSim(ex, b)
-		}
-		x, err := fieldValue(ex.Field, b)
-		if err != nil {
-			return false, err
-		}
 		if ex.Pattern {
+			x, err := fieldValue(ex.Field, b)
+			if err != nil {
+				return false, err
+			}
 			d, ok, err := e.patternWithin(x, ex.Target.Lit, ex.RuleSet, ex.Radius)
 			if err != nil {
 				return false, err
@@ -554,11 +584,7 @@ func (e *Engine) evalExpr(ex Expr, b *binding) (bool, error) {
 			}
 			return ok, nil
 		}
-		target, err := operandValue(ex.Target, b)
-		if err != nil {
-			return false, err
-		}
-		d, ok, err := e.within(x, target, ex.RuleSet, ex.Radius)
+		d, ok, err := e.evalSim(&ex, b)
 		if err != nil {
 			return false, err
 		}
@@ -581,33 +607,51 @@ func isVecSim(ex *SimExpr) bool {
 	return ex.Field.Name == "vec" || ex.Target.IsVec
 }
 
-// evalVecSim evaluates "vec SIMILAR TO [..] WITHIN r USING metric" on
-// one binding. Rows without a vector never match (their distance is
-// undefined, not zero). The distance comes from metric.Within, the same
-// shared kernel core every other vector path uses, so row, batch and
-// index evaluation agree bitwise.
-func (e *Engine) evalVecSim(ex SimExpr, b *binding) (bool, error) {
-	t, err := vecTupleFor(ex.Field, b)
+// evalSim computes one non-pattern similarity conjunct on a binding,
+// returning the distance without mutating the binding (callers decide
+// how distances merge — evalExpr keeps the first, joins keep the
+// outer's). Vector predicates resolve through metric.Within with the
+// target vector first, the operand order the VP-tree and batch kernels
+// use, so every path agrees bitwise; rows without a vector never match
+// (their distance is undefined, not zero). String predicates resolve
+// through Engine.within. A field target (a distance join's inner side)
+// is resolved against the same binding, for both domains.
+func (e *Engine) evalSim(ex *SimExpr, b *binding) (float64, bool, error) {
+	if isVecSim(ex) {
+		t, err := vecTupleFor(ex.Field, b)
+		if err != nil {
+			return 0, false, err
+		}
+		m, ok := metric.Lookup(ex.RuleSet)
+		if !ok {
+			return 0, false, fmt.Errorf("query: unknown metric %q", ex.RuleSet)
+		}
+		target := ex.Target.Vec
+		if !ex.Target.IsVec {
+			if ex.Target.IsLit || ex.Target.Field.Name != "vec" {
+				return 0, false, fmt.Errorf("query: vec similarity requires a vector literal or a vec field target")
+			}
+			tt, err := vecTupleFor(ex.Target.Field, b)
+			if err != nil {
+				return 0, false, err
+			}
+			target = tt.Vec
+		}
+		if t.Vec == nil || target == nil {
+			return 0, false, nil
+		}
+		d, within := metric.Within(m, target, t.Vec, ex.Radius)
+		return d, within, nil
+	}
+	x, err := fieldValue(ex.Field, b)
 	if err != nil {
-		return false, err
+		return 0, false, err
 	}
-	if !ex.Target.IsVec {
-		return false, fmt.Errorf("query: vec similarity requires a vector literal target")
+	target, err := operandValue(ex.Target, b)
+	if err != nil {
+		return 0, false, err
 	}
-	m, ok := metric.Lookup(ex.RuleSet)
-	if !ok {
-		return false, fmt.Errorf("query: unknown metric %q", ex.RuleSet)
-	}
-	if t.Vec == nil {
-		return false, nil
-	}
-	// Target vector first, matching the VP-tree's and batch kernel's
-	// operand order, so every path agrees bitwise.
-	d, within := metric.Within(m, ex.Target.Vec, t.Vec, ex.Radius)
-	if within && !b.hasDist {
-		b.dist, b.hasDist = d, true
-	}
-	return within, nil
+	return e.within(x, target, ex.RuleSet, ex.Radius)
 }
 
 // vecTupleFor resolves the tuple a vector predicate's field binds to,

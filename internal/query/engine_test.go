@@ -1,6 +1,7 @@
 package query
 
 import (
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
@@ -239,9 +240,24 @@ func TestJoinIndexVsNested(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(idx.Plan, "IndexJoin") {
+	// Vectorized unit-cost joins run the length-partitioned batch join;
+	// in row mode (no partition operator) the same join probes the
+	// BK-tree. Both must agree with each other byte for byte.
+	if !strings.Contains(idx.Plan, "PartitionJoin") {
 		t.Errorf("plan = %q", idx.Plan)
 	}
+	e.SetBatchSize(0)
+	rowIdx, err := e.Execute(`SELECT a.seq, b.seq FROM words a, words b WHERE a.seq SIMILAR TO b.seq WITHIN 1 USING unit-edits AND a.id != b.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rowIdx.Plan, "IndexJoin") {
+		t.Errorf("row plan = %q", rowIdx.Plan)
+	}
+	if !reflect.DeepEqual(rowIdx.Rows, idx.Rows) {
+		t.Errorf("row join rows = %v, batch join rows = %v", rowIdx.Rows, idx.Rows)
+	}
+	e.SetBatchSize(256)
 	nested, err := e.Execute(`SELECT a.seq, b.seq FROM words a, words b WHERE a.seq SIMILAR TO b.seq WITHIN 1 USING cheap_vowels AND a.id != b.id`)
 	if err != nil {
 		t.Fatal(err)

@@ -74,6 +74,8 @@ func bigEngine(t testing.TB) *Engine {
 // every access path, one EXPLAIN per row.
 func TestExplainOperatorTrees(t *testing.T) {
 	small := testEngine(t)
+	rowSmall := testEngine(t)
+	rowSmall.SetBatchSize(0)
 	big := bigEngine(t)
 	cases := []struct {
 		name string
@@ -144,11 +146,18 @@ func TestExplainOperatorTrees(t *testing.T) {
 			want: []string{"NearestK(words via scan, k=2, ruleset=cheap_vowels)"},
 		},
 		{
-			name: "unit join uses the index",
+			name: "vectorized unit join partitions by length",
 			eng:  small,
 			src:  `SELECT * FROM words a, words b WHERE a.seq SIMILAR TO b.seq WITHIN 1 USING unit-edits`,
+			want: []string{"PartitionJoin(probe a.seq into b[length-banded]", "Scan(a)"},
+			not:  []string{"NestedLoopJoin", "IndexJoin"},
+		},
+		{
+			name: "row-mode unit join uses the index",
+			eng:  rowSmall,
+			src:  `SELECT * FROM words a, words b WHERE a.seq SIMILAR TO b.seq WITHIN 1 USING unit-edits`,
 			want: []string{"IndexJoin(probe a.seq into bktree(b)", "Scan(a)"},
-			not:  []string{"NestedLoopJoin"},
+			not:  []string{"NestedLoopJoin", "PartitionJoin"},
 		},
 		{
 			name: "weighted join needs nested loops",
@@ -158,8 +167,15 @@ func TestExplainOperatorTrees(t *testing.T) {
 			not:  []string{"IndexJoin"},
 		},
 		{
-			name: "three-way join chains two index joins",
+			name: "three-way join chains two partition joins",
 			eng:  small,
+			src: `SELECT * FROM words a, words b, words c WHERE a.seq SIMILAR TO b.seq WITHIN 1 USING unit-edits ` +
+				`AND b.seq SIMILAR TO c.seq WITHIN 1 USING unit-edits`,
+			want: []string{"PartitionJoin(probe a.seq into b[length-banded]", "PartitionJoin(probe b.seq into c[length-banded]"},
+		},
+		{
+			name: "three-way row join chains two index joins",
+			eng:  rowSmall,
 			src: `SELECT * FROM words a, words b, words c WHERE a.seq SIMILAR TO b.seq WITHIN 1 USING unit-edits ` +
 				`AND b.seq SIMILAR TO c.seq WITHIN 1 USING unit-edits`,
 			want: []string{"IndexJoin(probe a.seq into bktree(b)", "IndexJoin(probe b.seq into bktree(c)"},

@@ -1,0 +1,466 @@
+package query
+
+// The partitioned batch join. The row-pipeline joins (operators.go)
+// verify one outer/inner pair per Next call; for a block-oriented plan
+// the partition join instead blocks the OUTER side through the batch
+// pipeline and pre-partitions the INNER side once at open:
+//
+//   - edit-distance edges partition inner rows by sequence length.
+//     Under a unit-cost rule set every edit operation costs at least 1,
+//     so d(x, y) >= | |x| - |y| | and an outer probe of length L only
+//     needs the buckets [L-floor(k), L+floor(k)] — the classic
+//     length-filter band.
+//   - vector edges under a triangular metric partition by distance to
+//     a fixed vantage (the zero vector): |d(q,0) - d(c,0)| <= d(q,c),
+//     so a probe with norm n only needs buckets covering [n-r, n+r].
+//     Non-triangular metrics (cosine) degrade to a single partition —
+//     the blocked kernels still apply, the pruning does not.
+//
+// Inside a band the probe runs the same kernels the scan+filter path
+// uses (bit-parallel Myers or the dense TargetDP for strings, the
+// metric's DistBatch for vectors) with the operand order of the row
+// join's evalSim preserved on every fallback, so results stay
+// byte-identical to the nested-loop plan — the join oracle pins that.
+//
+// The inner side is a list of snapshots: one for a plain relation, one
+// per shard when a sharded inner is broadcast (see join_shard.go).
+// Per-probe matches sort by global tuple id before emission, so the
+// output order is exactly the nested-loop plan's (outer order, inner
+// ascending).
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/editdp"
+	"repro/internal/metric"
+	"repro/internal/relation"
+)
+
+// partInnerRow is one partitioned inner tuple; val holds the join
+// attribute, resolved once at partition time.
+type partInnerRow struct {
+	t   relation.Tuple
+	val string
+}
+
+// partVecRow is the vector analogue; the vector lives in the tuple.
+type partVecRow struct {
+	t relation.Tuple
+}
+
+// partMatch is one verified join match of the current probe.
+type partMatch struct {
+	t relation.Tuple
+	d float64
+}
+
+// batchPartitionJoinOp is the BatchOperator that executes one decided
+// "partition" join step.
+type batchPartitionJoinOp struct {
+	ctx           *execCtx
+	child         BatchOperator // outer side, batched
+	snaps         []*relation.Snapshot
+	alias         string   // inner alias
+	probeField    FieldRef // outer-side join field
+	innerField    string   // inner-side join attribute
+	outerIsTarget bool     // probe value is the predicate's target operand
+	sim           *SimExpr
+	size          int
+	vec           bool
+	m             metric.Distance // vec edges: the resolved metric
+
+	// Partition state, built at OpenBatch.
+	strBuckets map[int][]partInnerRow // key: len(val)
+	vecBuckets map[int][]partVecRow   // key: floor(norm/w)
+	vecCols    map[int][]metric.Vector
+	bandW      float64 // vec bucket width (radius, min 1)
+	banded     bool    // vec: triangular metric => norm pruning applies
+	calc       *editdp.Calculator
+
+	// Iteration state.
+	cur     *Batch // current outer batch (owned by child)
+	pos     int    // next outer row to probe
+	curBind *binding
+	scratch binding
+	matches []partMatch
+	mpos    int
+	dists   []float64 // DistBatch scratch
+
+	out   *Batch
+	binds []*binding
+	local ExecStats
+	last  ExecStats // retained across Close for span attribution
+}
+
+func (o *batchPartitionJoinOp) OpenBatch() error {
+	if err := o.buildPartitions(); err != nil {
+		return err
+	}
+	o.out = getBatch()
+	o.cur, o.pos, o.curBind = nil, 0, nil
+	o.matches, o.mpos = o.matches[:0], 0
+	return o.child.OpenBatch()
+}
+
+// buildPartitions reads every inner snapshot once and buckets the rows.
+// Reading the inner side counts as candidate work, like a scan's.
+func (o *batchPartitionJoinOp) buildPartitions() error {
+	if o.vec {
+		if o.m == nil {
+			return fmt.Errorf("query: stale plan: partition join lost its metric")
+		}
+		o.banded = metric.IsTriangular(o.m)
+		o.bandW = o.sim.Radius
+		if o.bandW <= 0 {
+			o.bandW = 1
+		}
+		o.vecBuckets = make(map[int][]partVecRow)
+		o.vecCols = make(map[int][]metric.Vector)
+		for _, snap := range o.snaps {
+			for _, t := range snap.Tuples() {
+				if t.Vec == nil {
+					continue // rows without a vector never match
+				}
+				key := 0
+				if o.banded {
+					key = int(math.Floor(o.m.Dist(t.Vec, metric.Vector{}) / o.bandW))
+				}
+				o.vecBuckets[key] = append(o.vecBuckets[key], partVecRow{t: t})
+				o.vecCols[key] = append(o.vecCols[key], t.Vec)
+				o.local.Candidates++
+			}
+		}
+		return nil
+	}
+	o.calc = o.ctx.eng.calc(o.sim.RuleSet)
+	if o.calc == nil {
+		// Partition is only decided for rule sets with a DP calculator;
+		// the rule set changed under the plan — Execute re-plans on this.
+		return fmt.Errorf("query: stale plan: rule set %q has no calculator", o.sim.RuleSet)
+	}
+	o.strBuckets = make(map[int][]partInnerRow)
+	for _, snap := range o.snaps {
+		for _, t := range snap.Tuples() {
+			val := t.Attr(o.innerField)
+			o.strBuckets[len(val)] = append(o.strBuckets[len(val)], partInnerRow{t: t, val: val})
+			o.local.Candidates++
+		}
+	}
+	return nil
+}
+
+// probe verifies the banded inner candidates against one outer row and
+// leaves the id-sorted matches in o.matches.
+func (o *batchPartitionJoinOp) probe(b *binding) error {
+	o.matches, o.mpos = o.matches[:0], 0
+	if o.vec {
+		return o.probeVec(b)
+	}
+	return o.probeStr(b)
+}
+
+func (o *batchPartitionJoinOp) probeStr(b *binding) error {
+	pv, err := fieldValue(o.probeField, b)
+	if err != nil {
+		return err
+	}
+	radius := o.sim.Radius
+	k := int(radius) // exact for integer distances: d <= radius iff d <= floor(radius)
+	if radius >= math.MaxInt32 {
+		k = math.MaxInt32 // clamp: degrades to the walk-all-buckets path below
+	}
+	// Fallback kernel preserving the row join's operand order, built
+	// lazily — most probes under a unit-cost rule set never need it.
+	var fall *editdp.TargetDP
+	fallback := func(x string) (float64, bool) {
+		if o.outerIsTarget {
+			if fall == nil {
+				fall = o.calc.NewTargetDP(pv)
+			}
+			return fall.Within(x, radius)
+		}
+		return o.calc.Within(pv, x, radius)
+	}
+	// The unit distance is symmetric, so the Myers kernel can anchor on
+	// the probe regardless of which operand it is: integer distances are
+	// equal in both directions and bit-identical either way.
+	var qdp *editdp.QueryDP
+	if myersEligible(o.calc, pv, radius) {
+		qdp = editdp.NewQueryDP(pv)
+	}
+	verify := func(rows []partInnerRow) {
+		for _, row := range rows {
+			o.local.Candidates++
+			o.local.Verifications++
+			var d float64
+			var ok bool
+			if qdp != nil && o.calc.Covers(row.val) {
+				di, okd := qdp.Within(row.val, k)
+				d, ok = float64(di), okd
+			} else {
+				d, ok = fallback(row.val)
+			}
+			if ok {
+				o.matches = append(o.matches, partMatch{t: row.t, d: d})
+			}
+		}
+	}
+	if 2*k+1 <= len(o.strBuckets) {
+		for key := len(pv) - k; key <= len(pv)+k; key++ {
+			verify(o.strBuckets[key])
+		}
+	} else {
+		// The band covers more keys than buckets exist (a huge radius):
+		// walk the map instead of the key range. Matches are id-sorted
+		// afterwards either way, so bucket visit order is irrelevant.
+		for key, rows := range o.strBuckets {
+			if math.Abs(float64(key-len(pv))) <= float64(k) {
+				verify(rows)
+			}
+		}
+	}
+	sort.Slice(o.matches, func(i, j int) bool { return o.matches[i].t.ID < o.matches[j].t.ID })
+	return nil
+}
+
+func (o *batchPartitionJoinOp) probeVec(b *binding) error {
+	t, err := vecTupleFor(o.probeField, b)
+	if err != nil {
+		return err
+	}
+	pv := t.Vec
+	if pv == nil {
+		return nil // rows without a vector never match
+	}
+	r := o.sim.Radius
+	lo, hi := 0, 0
+	if o.banded {
+		nq := o.m.Dist(pv, metric.Vector{})
+		lo = int(math.Floor((nq - r) / o.bandW))
+		hi = int(math.Floor((nq + r) / o.bandW))
+		if lo < 0 {
+			lo = 0
+		}
+	}
+	for key := lo; key <= hi; key++ {
+		rows := o.vecBuckets[key]
+		if len(rows) == 0 {
+			continue
+		}
+		if o.outerIsTarget {
+			// evalSim computes Dist(target, field); the blocked kernel
+			// with the probe as query matches that order exactly.
+			if cap(o.dists) < len(rows) {
+				o.dists = make([]float64, len(rows))
+			}
+			out := o.dists[:len(rows)]
+			metric.DistBatch(o.m, pv, o.vecCols[key], out)
+			for i, row := range rows {
+				o.local.Candidates++
+				o.local.Verifications++
+				if d := out[i]; d <= r {
+					o.matches = append(o.matches, partMatch{t: row.t, d: d})
+				}
+			}
+		} else {
+			// Probe is the field operand: keep the candidate (target)
+			// first, the order the row join verifies with.
+			for _, row := range rows {
+				o.local.Candidates++
+				o.local.Verifications++
+				if d, ok := metric.Within(o.m, row.t.Vec, pv, r); ok {
+					o.matches = append(o.matches, partMatch{t: row.t, d: d})
+				}
+			}
+		}
+	}
+	sort.Slice(o.matches, func(i, j int) bool { return o.matches[i].t.ID < o.matches[j].t.ID })
+	return nil
+}
+
+func (o *batchPartitionJoinOp) NextBatch() (*Batch, error) {
+	b := o.out
+	b.reset()
+	binds := o.binds[:0]
+	for len(binds) < o.size {
+		if o.mpos < len(o.matches) {
+			m := o.matches[o.mpos]
+			o.mpos++
+			nb := mergeBindings(o.curBind, newBinding(o.alias, m.t))
+			if !nb.hasDist {
+				nb.dist, nb.hasDist = m.d, true
+			}
+			binds = append(binds, nb)
+			continue
+		}
+		if o.cur != nil && o.pos < o.cur.Len() {
+			if o.cur.binds != nil {
+				o.curBind = o.cur.binds[o.pos]
+			} else {
+				// Safe to reuse the scratch view: mergeBindings copies the
+				// tuple into the emitted binding before the next probe.
+				o.cur.scratch(o.pos, o.cur.alias, &o.scratch)
+				o.curBind = &o.scratch
+			}
+			o.pos++
+			if err := o.probe(o.curBind); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		nb, err := o.child.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if nb == nil {
+			break
+		}
+		o.cur, o.pos = nb, 0
+	}
+	o.binds = binds
+	if len(binds) == 0 {
+		return nil, nil
+	}
+	b.binds = binds
+	return b, nil
+}
+
+func (o *batchPartitionJoinOp) CloseBatch() error {
+	o.last.add(o.local)
+	o.ctx.addStats(o.local)
+	o.local = ExecStats{}
+	o.strBuckets, o.vecBuckets, o.vecCols = nil, nil, nil
+	o.cur, o.curBind = nil, nil
+	putBatch(o.out)
+	o.out = nil
+	return o.child.CloseBatch()
+}
+
+func (o *batchPartitionJoinOp) opStats() ExecStats { return o.last }
+
+func (o *batchPartitionJoinOp) Describe() string {
+	band := "length-banded"
+	if o.vec {
+		band = "norm-banded"
+		if !metric.IsTriangular(o.m) {
+			band = "single partition"
+		}
+	}
+	if len(o.snaps) > 1 {
+		return fmt.Sprintf("PartitionJoin(probe %s into %s[%s] x%d shards, on %s)",
+			o.probeField, o.alias, band, len(o.snaps), o.sim)
+	}
+	return fmt.Sprintf("PartitionJoin(probe %s into %s[%s], on %s)", o.probeField, o.alias, band, o.sim)
+}
+
+func (o *batchPartitionJoinOp) childNodes() []any { return []any{o.child} }
+
+// buildBatchJoin reconstructs a decided join chain for the batch
+// pipeline. Chains without a partition step keep the proven shape: the
+// row join chain (with a batch cursor under its start scan) bridged by
+// one RowToBatch adapter. Chains with a partition step build natively
+// batched: the start scan feeds partition steps directly, and any
+// nl/index steps in the same chain run as row operators between a
+// BatchToRow/RowToBatch adapter pair.
+func (e *Engine) buildBatchJoin(ctx *execCtx, q *Query, rels []*relation.Relation, snapOf func(*relation.Relation) *relation.Snapshot, d *planDecision, size int) (BatchOperator, error) {
+	hasPartition := false
+	for _, step := range d.steps {
+		if step.algo == "partition" {
+			hasPartition = true
+		}
+	}
+	if !hasPartition {
+		rowAccess, err := e.buildJoin(ctx, q, rels, snapOf, d)
+		if err != nil {
+			return nil, err
+		}
+		return trB(ctx, &rowToBatchOp{child: rowAccess, size: size}, estOf(rowAccess), ""), nil
+	}
+
+	relOf := map[string]relation.Table{}
+	relPlain := map[string]*relation.Relation{}
+	for i, ref := range q.From {
+		relOf[ref.Alias] = rels[i]
+		relPlain[ref.Alias] = rels[i]
+	}
+	edges, residual := extractJoinSims(q.Where, relOf)
+	used := make([]bool, len(edges))
+	for _, step := range d.steps {
+		if step.edge < 0 || step.edge >= len(edges) {
+			return nil, fmt.Errorf("query: stale plan: join edge %d out of range", step.edge)
+		}
+		used[step.edge] = true
+	}
+	for i, edge := range edges {
+		if !used[i] {
+			residual = AndExpr{L: residual, R: *edge}
+		}
+	}
+	pred := simplifyExpr(residual)
+	steps := d.steps
+
+	startSnap := snapOf(relPlain[d.start])
+	startStats := relPlain[d.start].Stats()
+	stepSnaps := make([]*relation.Snapshot, len(steps))
+	stepStats := make([]relation.Stats, len(steps))
+	stepMetrics := make([]metric.Distance, len(steps))
+	for i, step := range steps {
+		stepSnaps[i] = snapOf(relPlain[step.alias])
+		stepStats[i] = relPlain[step.alias].Stats()
+		if step.vec {
+			m, ok := metric.Lookup(edges[step.edge].RuleSet)
+			if !ok {
+				return nil, fmt.Errorf("query: unknown metric %q", edges[step.edge].RuleSet)
+			}
+			stepMetrics[i] = m
+		}
+	}
+
+	build := func(shard, shards int) BatchOperator {
+		bs := newBatchScanOp(ctx, startSnap, d.start, size)
+		bs.shard, bs.shards = shard, shards
+		cur := float64(startStats.Count) / float64(shards)
+		var op BatchOperator = trB(ctx, bs, cur, "")
+		for i, step := range steps {
+			edge := edges[step.edge]
+			outerEst := cur
+			cur = joinOutRowsFor(edge, cur, stepStats[i])
+			switch step.algo {
+			case "partition":
+				outerIsTarget := step.probeField == edge.Target.Field
+				innerField := edge.Field.Name
+				if !outerIsTarget {
+					innerField = edge.Target.Field.Name
+				}
+				op = trB(ctx, &batchPartitionJoinOp{
+					ctx: ctx, child: op, snaps: []*relation.Snapshot{stepSnaps[i]},
+					alias: step.alias, probeField: step.probeField,
+					innerField: innerField, outerIsTarget: outerIsTarget,
+					sim: edge, size: size, vec: step.vec, m: stepMetrics[i],
+				}, cur, d.kernel)
+			case "index":
+				row := tr(ctx, &indexJoinOp{
+					ctx: ctx, outer: &batchToRowOp{child: op},
+					snaps: []*relation.Snapshot{stepSnaps[i]}, alias: step.alias,
+					probeField: step.probeField, sim: edge, vec: step.vec, m: stepMetrics[i],
+				}, cur, d.kernel)
+				op = trB(ctx, &rowToBatchOp{child: row, size: size}, cur, "")
+			default: // "nl"
+				inner := tr(ctx, newScanOp(ctx, stepSnaps[i], step.alias),
+					outerEst*float64(stepStats[i].Count), "")
+				row := tr(ctx, &nestedLoopJoinOp{
+					ctx: ctx, outer: &batchToRowOp{child: op}, inner: inner, sim: edge,
+				}, cur, d.kernel)
+				op = trB(ctx, &rowToBatchOp{child: row, size: size}, cur, "")
+			}
+		}
+		if !isTrivial(pred) {
+			op = trB(ctx, &batchFilterOp{ctx: ctx, child: op, pred: pred, alias: d.start},
+				estFilterRows(startStats, pred, cur), e.filterKernel(pred))
+		}
+		return op
+	}
+	return wrapBatchParallel(ctx, d, build), nil
+}

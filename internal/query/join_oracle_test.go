@@ -1,0 +1,327 @@
+package query
+
+// The distance-join oracle: every join execution strategy — the row
+// nested-loop, the row index-nested-loop, the batched partition join
+// and the sharded broadcast variant of each — must produce the same
+// result as a brute-force double loop over the same data.
+//
+// Join result order is plan-dependent (which relation wins the start
+// slot is a cost decision), so results are compared as canonically-
+// encoded row sets against the brute-force model. The sharded pledge
+// is stronger: at the same batch size the sharded engine runs the same
+// join order as the unsharded one, so the two are compared positionally,
+// byte for byte — including assigned dist strings, which the metric
+// layer's determinism contract makes bitwise-stable across kernels.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/editdp"
+	"repro/internal/metric"
+	"repro/internal/relation"
+	"repro/internal/rewrite"
+)
+
+// joinOraclePair is one unsharded/sharded engine pair over identical
+// rows (ids 0..n-1 assigned in order on both layouts).
+type joinOraclePair struct {
+	plain   *Engine
+	sharded *Engine
+}
+
+// halvesRules is a symmetric weighted rule set (every op costs 0.5, no
+// unit-cost shortcut), forcing the nested-loop join path in every mode.
+func halvesRules() *rewrite.RuleSet {
+	return rewrite.MustRuleSet("halves", []rewrite.Rule{
+		rewrite.Subst('a', 'b', 0.5), rewrite.Subst('b', 'a', 0.5),
+		rewrite.Insert('c', 0.5), rewrite.Delete('c', 0.5),
+	})
+}
+
+func newJoinOraclePair(t testing.TB, shards int, rows []relation.InsertRow) *joinOraclePair {
+	t.Helper()
+	mk := func(tab relation.Table) *Engine {
+		cat := relation.NewCatalog()
+		cat.Add(tab)
+		e := NewEngine(cat)
+		if err := e.RegisterRuleSet(rewrite.MustRuleSet("edits", rewrite.UnitEdits(oracleAlphabet).Rules())); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.RegisterRuleSet(halvesRules()); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	plainTab := relation.New("words")
+	plainTab.InsertBatch(rows)
+	shardTab := relation.NewSharded("words", shards)
+	shardTab.InsertBatch(rows)
+	return &joinOraclePair{plain: mk(plainTab), sharded: mk(shardTab)}
+}
+
+// joinOracleRows builds n rows with short random seqs (dense edit-
+// distance collisions), random 3-d vectors and a rotating tag; every
+// seventh row has no vector, pinning the nil-vec no-match rule.
+func joinOracleRows(rng *rand.Rand, n int) []relation.InsertRow {
+	rows := make([]relation.InsertRow, n)
+	for i := range rows {
+		rows[i] = relation.InsertRow{
+			Seq:   randOracleSeq(rng),
+			Attrs: map[string]string{"tag": fmt.Sprint(i % 3)},
+		}
+		if i%7 != 0 {
+			v := make(metric.Vector, 3)
+			for j := range v {
+				v[j] = float32(rng.Float64()*2 - 1)
+			}
+			rows[i].Vec = v
+		}
+	}
+	return rows
+}
+
+// checkJoin runs stmt on both engines at batch sizes 0 and 256 and
+// asserts (a) plain and sharded agree byte-for-byte at each size and
+// (b) every execution matches the brute-force row set canonically.
+func (p *joinOraclePair) checkJoin(t *testing.T, stmt string, want []string) {
+	t.Helper()
+	for _, batch := range []int{0, 256} {
+		p.plain.SetBatchSize(batch)
+		p.sharded.SetBatchSize(batch)
+		a, err := p.plain.Execute(stmt)
+		if err != nil {
+			t.Fatalf("batch=%d unsharded %q: %v", batch, stmt, err)
+		}
+		b, err := p.sharded.Execute(stmt)
+		if err != nil {
+			t.Fatalf("batch=%d sharded %q: %v", batch, stmt, err)
+		}
+		if positional(a) != positional(b) {
+			t.Fatalf("batch=%d sharded join diverges byte-wise for %q:\nunsharded:\n%s\nsharded:\n%s",
+				batch, stmt, positional(a), positional(b))
+		}
+		wantRes := &Result{}
+		for _, w := range want {
+			wantRes.Rows = append(wantRes.Rows, strings.Split(w, "\x1f"))
+		}
+		if canonical(a) != canonical(wantRes) {
+			t.Fatalf("batch=%d join diverges from oracle for %q:\ngot:\n%s\nwant:\n%s",
+				batch, stmt, canonical(a), canonical(wantRes))
+		}
+	}
+}
+
+// TestJoinOracleEdits covers the edit-distance join strategies: unit
+// radius (partition/index eligible), a residual-filtered radius-2 join,
+// the weighted nested-loop fallback, and a three-way chain.
+func TestJoinOracleEdits(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	rows := joinOracleRows(rng, 80)
+	calc, err := editdp.New(halvesRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 4} {
+		p := newJoinOraclePair(t, shards, rows)
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			var want []string
+			for ai, a := range rows {
+				for bi, b := range rows {
+					if d, ok := editdp.LevenshteinWithin(a.Seq, b.Seq, 1); ok {
+						want = append(want, fmt.Sprintf("%d\x1f%d\x1f%s", ai, bi, formatDist(float64(d))))
+					}
+				}
+			}
+			p.checkJoin(t,
+				`SELECT a.id, b.id, dist FROM words a, words b ON dist(a.seq, b.seq) <= 1 USING edits`,
+				want)
+
+			want = want[:0]
+			for ai, a := range rows {
+				if a.Attrs["tag"] != "0" {
+					continue
+				}
+				for bi, b := range rows {
+					if ai == bi {
+						continue
+					}
+					if _, ok := editdp.LevenshteinWithin(a.Seq, b.Seq, 2); ok {
+						want = append(want, fmt.Sprintf("%d\x1f%d", ai, bi))
+					}
+				}
+			}
+			p.checkJoin(t,
+				`SELECT a.id, b.id FROM words a, words b ON dist(a.seq, b.seq) <= 2 USING edits WHERE a.tag = "0" AND a.id != b.id`,
+				want)
+
+			want = want[:0]
+			for ai, a := range rows {
+				for bi, b := range rows {
+					if ai == bi {
+						continue
+					}
+					if _, ok := calc.Within(a.Seq, b.Seq, 1); ok {
+						want = append(want, fmt.Sprintf("%d\x1f%d", ai, bi))
+					}
+				}
+			}
+			p.checkJoin(t,
+				`SELECT a.id, b.id FROM words a, words b ON dist(a.seq, b.seq) <= 1 USING halves WHERE a.id != b.id`,
+				want)
+
+			want = want[:0]
+			for ai, a := range rows {
+				for bi, b := range rows {
+					if _, ok := editdp.LevenshteinWithin(a.Seq, b.Seq, 1); !ok {
+						continue
+					}
+					for ci, c := range rows {
+						if _, ok := editdp.LevenshteinWithin(b.Seq, c.Seq, 1); ok {
+							want = append(want, fmt.Sprintf("%d\x1f%d\x1f%d", ai, bi, ci))
+						}
+					}
+				}
+			}
+			p.checkJoin(t,
+				`SELECT a.id, b.id, c.id FROM words a, words b, words c ON dist(a.seq, b.seq) <= 1 USING edits AND dist(b.seq, c.seq) <= 1 USING edits`,
+				want)
+		})
+	}
+}
+
+// TestJoinOracleVec covers the vector-metric join strategies: l2
+// (triangular — norm-banded partitions and VP-tree probes are legal)
+// and cosine (not triangular — single partition, no index). Rows
+// without a vector must never match.
+func TestJoinOracleVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	rows := joinOracleRows(rng, 100)
+	cases := []struct {
+		name   string
+		radius float64
+	}{
+		{"l2", 0.8},
+		{"cosine", 0.25},
+	}
+	for _, shards := range []int{1, 4} {
+		p := newJoinOraclePair(t, shards, rows)
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			for _, c := range cases {
+				m, ok := metric.Lookup(c.name)
+				if !ok {
+					t.Fatalf("metric %q not registered", c.name)
+				}
+				var want []string
+				for ai, a := range rows {
+					if a.Vec == nil {
+						continue
+					}
+					for bi, b := range rows {
+						if ai == bi || b.Vec == nil {
+							continue
+						}
+						if d, within := metric.Within(m, a.Vec, b.Vec, c.radius); within {
+							want = append(want, fmt.Sprintf("%d\x1f%d\x1f%s", ai, bi, formatDist(d)))
+						}
+					}
+				}
+				stmt := fmt.Sprintf(
+					`SELECT a.id, b.id, dist FROM words a, words b ON dist(a.vec, b.vec) <= %g USING %s WHERE a.id != b.id`,
+					c.radius, c.name)
+				p.checkJoin(t, stmt, want)
+			}
+		})
+	}
+}
+
+// TestJoinOracleInterleavedDML hammers join reads on both engines while
+// a single writer per engine applies the same deterministic DML stream,
+// then re-checks full join parity against the brute-force model over
+// the converged table. Under -race this proves the broadcast-inner
+// snapshot capture is data-race free against live mutation.
+func TestJoinOracleInterleavedDML(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	rows := joinOracleRows(rng, 60)
+	p := newJoinOraclePair(t, 4, rows)
+	p.plain.SetBatchSize(256)
+	p.sharded.SetBatchSize(256)
+
+	var stmts []string
+	for i := 0; i < 80; i++ {
+		if rng.Intn(3) == 0 {
+			stmts = append(stmts, fmt.Sprintf(
+				`DELETE FROM words WHERE seq SIMILAR TO %q WITHIN 1 USING edits`, randOracleSeq(rng)))
+		} else {
+			stmts = append(stmts, fmt.Sprintf(
+				`INSERT INTO words (seq, tag) VALUES (%q, %q)`, randOracleSeq(rng), fmt.Sprint(i%3)))
+		}
+	}
+
+	joins := []string{
+		`SELECT a.id, b.id, dist FROM words a, words b ON dist(a.seq, b.seq) <= 1 USING edits`,
+		`SELECT a.id, b.id FROM words a, words b ON dist(a.vec, b.vec) <= 0.8 USING l2 WHERE a.id != b.id`,
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for _, eng := range []*Engine{p.plain, p.sharded} {
+		eng := eng
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, s := range stmts {
+				if _, err := eng.Execute(s); err != nil {
+					errs <- fmt.Errorf("%q: %w", s, err)
+					return
+				}
+			}
+		}()
+		for r := 0; r < 2; r++ {
+			r := r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 25; i++ {
+					if _, err := eng.Execute(joins[(r+i)%len(joins)]); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+
+	// Converged: table contents must agree, and a final join must match
+	// the brute force over the surviving rows.
+	plainTab, _ := p.plain.Catalog().Lookup("words")
+	shardTab, _ := p.sharded.Catalog().Lookup("words")
+	dump := func(tab relation.Table) string {
+		var b strings.Builder
+		for _, tup := range tab.Tuples() {
+			fmt.Fprintf(&b, "%d\x1f%s\n", tup.ID, tup.Seq)
+		}
+		return b.String()
+	}
+	if dump(plainTab) != dump(shardTab) {
+		t.Fatalf("tables diverge after interleaved DML:\nunsharded:\n%s\nsharded:\n%s",
+			dump(plainTab), dump(shardTab))
+	}
+	final := plainTab.Tuples()
+	var want []string
+	for _, a := range final {
+		for _, b := range final {
+			if d, ok := editdp.LevenshteinWithin(a.Seq, b.Seq, 1); ok {
+				want = append(want, fmt.Sprintf("%d\x1f%d\x1f%s", a.ID, b.ID, formatDist(float64(d))))
+			}
+		}
+	}
+	p.checkJoin(t, joins[0], want)
+}

@@ -1,0 +1,249 @@
+package query
+
+// Sharded distance joins: broadcast-inner under GatherMerge. A join
+// whose FROM references a sharded relation runs one join chain per
+// OUTER shard — each chain scans one shard snapshot of the outer
+// relation and joins it against the FULL inner side ("broadcast": every
+// chain sees every inner shard's snapshot). Because tuple ids are
+// global and each chain's output is ascending in outer id with inner
+// matches ascending in global inner id, the id-ordered gather
+// reproduces exactly the unsharded plan's emission order — the sharded
+// join parity oracle pins byte-identity against the brute-force
+// nested loop.
+//
+// Broadcast is the right first strategy here because the hash
+// partitioner (relation.RouteOf) is not distance-preserving: rows
+// within edit distance k of each other land on unrelated shards, so a
+// co-partitioned join does not exist without a second, band-aware
+// partitioning scheme. The batch partition join recovers exactly that
+// banding — per chain, over the broadcast inner — without moving rows.
+
+import (
+	"fmt"
+
+	"repro/internal/metric"
+	"repro/internal/relation"
+)
+
+// buildShardedJoin constructs the scatter-gather operator tree for a
+// decided join touching at least one sharded relation. Works for both
+// pipelines: row chains directly, vectorized chains behind the
+// BatchToRow adapter under the row gather (join batches carry
+// multi-alias bindings, which the columnar batch gather cannot merge).
+func (e *Engine) buildShardedJoin(q *Query, d *planDecision, tabs []relation.Table) (*compiledPlan, error) {
+	relOf := map[string]relation.Table{}
+	for i, ref := range q.From {
+		relOf[ref.Alias] = tabs[i]
+	}
+	edges, residual := extractJoinSims(q.Where, relOf)
+	used := make([]bool, len(edges))
+	for _, step := range d.steps {
+		if step.edge < 0 || step.edge >= len(edges) {
+			return nil, fmt.Errorf("query: stale plan: join edge %d out of range", step.edge)
+		}
+		used[step.edge] = true
+	}
+	for i, edge := range edges {
+		if !used[i] {
+			residual = AndExpr{L: residual, R: *edge}
+		}
+	}
+	pred := simplifyExpr(residual)
+	steps := d.steps
+
+	// Resolve metrics and ensure shared index structures BEFORE any view
+	// or snapshot capture: Ensure* republishes the sharded view, and the
+	// captured snapshots must carry the online-maintained indexes
+	// instead of building private ones per chain.
+	stepMetrics := make([]metric.Distance, len(steps))
+	for i, step := range steps {
+		if step.vec {
+			m, ok := metric.Lookup(edges[step.edge].RuleSet)
+			if !ok {
+				return nil, fmt.Errorf("query: unknown metric %q", edges[step.edge].RuleSet)
+			}
+			stepMetrics[i] = m
+		}
+		if step.algo != "index" {
+			continue
+		}
+		switch t := relOf[step.alias].(type) {
+		case *relation.ShardedRelation:
+			if step.vec {
+				t.EnsureVPTrees(stepMetrics[i])
+			} else {
+				t.EnsureBKTrees()
+			}
+		case *relation.Relation:
+			if step.vec {
+				t.VPTree(stepMetrics[i])
+			} else {
+				t.BKTree()
+			}
+		}
+	}
+
+	// One snapshot list per table IDENTITY: a self-join must read the
+	// same consistent cut on both sides, and a sharded table's view is
+	// captured exactly once.
+	snapCache := map[relation.Table][]*relation.Snapshot{}
+	snapsOf := func(tab relation.Table) ([]*relation.Snapshot, error) {
+		if s, ok := snapCache[tab]; ok {
+			return s, nil
+		}
+		var snaps []*relation.Snapshot
+		switch t := tab.(type) {
+		case *relation.ShardedRelation:
+			view := t.View()
+			snaps = make([]*relation.Snapshot, view.NumShards())
+			for i := range snaps {
+				snaps[i] = view.Snap(i)
+			}
+		case *relation.Relation:
+			snaps = []*relation.Snapshot{t.Snapshot()}
+		default:
+			return nil, fmt.Errorf("query: relation %q has an unknown layout", tab.Name())
+		}
+		snapCache[tab] = snaps
+		return snaps, nil
+	}
+
+	startSnaps, err := snapsOf(relOf[d.start])
+	if err != nil {
+		return nil, err
+	}
+	if len(startSnaps) != d.shards {
+		// The start relation was re-registered with a different layout;
+		// Execute re-plans on this error.
+		return nil, fmt.Errorf("query: stale plan: relation %q has %d shards, plan wants %d",
+			relOf[d.start].Name(), len(startSnaps), d.shards)
+	}
+	startStats := relOf[d.start].Stats()
+	stepSnaps := make([][]*relation.Snapshot, len(steps))
+	stepStats := make([]relation.Stats, len(steps))
+	for i, step := range steps {
+		if stepSnaps[i], err = snapsOf(relOf[step.alias]); err != nil {
+			return nil, err
+		}
+		stepStats[i] = relOf[step.alias].Stats()
+	}
+
+	ctx := &execCtx{eng: e, traced: q.Analyze || e.tracing.Load()}
+	cp := &compiledPlan{ctx: ctx, columns: projectColumns(q), kernel: d.kernel}
+	n := d.shards
+	size := e.batchLeafSize(q)
+
+	// innerScan streams the broadcast inner side of a nested-loop step in
+	// global id order, whatever its layout.
+	innerScan := func(i int, est float64) Operator {
+		if len(stepSnaps[i]) == 1 {
+			return tr(ctx, newScanOp(ctx, stepSnaps[i][0], steps[i].alias), est, "")
+		}
+		return tr(ctx, &multiScanOp{ctx: ctx, snaps: stepSnaps[i], alias: steps[i].alias}, est, "")
+	}
+
+	// rowChain builds the shard-s join chain of the row pipeline.
+	// Estimates are per outer shard, mirroring buildShardedPlan.
+	rowChain := func(s int) Operator {
+		cur := float64(startStats.Count) / float64(n)
+		var op Operator = tr(ctx, newScanOp(ctx, startSnaps[s], d.start), cur, "")
+		for i, step := range steps {
+			outerEst := cur
+			cur = joinOutRowsFor(edges[step.edge], cur, stepStats[i])
+			if step.algo == "index" {
+				op = tr(ctx, &indexJoinOp{
+					ctx: ctx, outer: op, snaps: stepSnaps[i], alias: step.alias,
+					probeField: step.probeField, sim: edges[step.edge], vec: step.vec, m: stepMetrics[i],
+				}, cur, d.kernel)
+			} else {
+				inner := innerScan(i, outerEst*float64(stepStats[i].Count))
+				op = tr(ctx, &nestedLoopJoinOp{
+					ctx: ctx, outer: op, inner: inner, sim: edges[step.edge],
+				}, cur, d.kernel)
+			}
+		}
+		if !isTrivial(pred) {
+			op = tr(ctx, &filterOp{ctx: ctx, child: op, pred: pred},
+				estFilterRows(startStats, pred, cur), e.filterKernel(pred))
+		}
+		return op
+	}
+
+	// batchChain is the vectorized twin: partition steps run natively
+	// batched over the broadcast inner snapshots, nl/index steps bridge
+	// through the row operators exactly as buildBatchJoin does.
+	batchChain := func(s int) BatchOperator {
+		cur := float64(startStats.Count) / float64(n)
+		bs := newBatchScanOp(ctx, startSnaps[s], d.start, size)
+		var op BatchOperator = trB(ctx, bs, cur, "")
+		for i, step := range steps {
+			edge := edges[step.edge]
+			outerEst := cur
+			cur = joinOutRowsFor(edge, cur, stepStats[i])
+			switch step.algo {
+			case "partition":
+				outerIsTarget := step.probeField == edge.Target.Field
+				innerField := edge.Field.Name
+				if !outerIsTarget {
+					innerField = edge.Target.Field.Name
+				}
+				op = trB(ctx, &batchPartitionJoinOp{
+					ctx: ctx, child: op, snaps: stepSnaps[i], alias: step.alias,
+					probeField: step.probeField, innerField: innerField, outerIsTarget: outerIsTarget,
+					sim: edge, size: size, vec: step.vec, m: stepMetrics[i],
+				}, cur, d.kernel)
+			case "index":
+				row := tr(ctx, &indexJoinOp{
+					ctx: ctx, outer: &batchToRowOp{child: op}, snaps: stepSnaps[i], alias: step.alias,
+					probeField: step.probeField, sim: edge, vec: step.vec, m: stepMetrics[i],
+				}, cur, d.kernel)
+				op = trB(ctx, &rowToBatchOp{child: row, size: size}, cur, "")
+			default: // "nl"
+				inner := innerScan(i, outerEst*float64(stepStats[i].Count))
+				row := tr(ctx, &nestedLoopJoinOp{
+					ctx: ctx, outer: &batchToRowOp{child: op}, inner: inner, sim: edge,
+				}, cur, d.kernel)
+				op = trB(ctx, &rowToBatchOp{child: row, size: size}, cur, "")
+			}
+		}
+		if !isTrivial(pred) {
+			op = trB(ctx, &batchFilterOp{ctx: ctx, child: op, pred: pred, alias: d.start},
+				estFilterRows(startStats, pred, cur), e.filterKernel(pred))
+		}
+		return op
+	}
+
+	children := make([]Operator, n)
+	for s := range children {
+		if d.vectorize {
+			children[s] = &batchToRowOp{child: batchChain(s)}
+		} else {
+			children[s] = rowChain(s)
+		}
+	}
+	access := tr(ctx, &gatherMergeOp{ctx: ctx, children: children, workers: d.workers,
+		alias: d.start, mode: gatherByID}, -1, "")
+
+	if d.vectorize {
+		// Re-enter the batch pipeline above the gather so the decorator
+		// stack (OrderByDist, Project, Limit) and the EXPLAIN Vectorize
+		// root match every other vectorized plan.
+		cp.batchSize = size
+		var top BatchOperator = trB(ctx, &rowToBatchOp{child: access, size: size}, estOf(access), "")
+		cp.broot = e.wrapBatchTop(q, top, d.start, size, ctx)
+		return cp, nil
+	}
+
+	top := access
+	if q.Order == OrderDesc {
+		top = tr(ctx, &orderByDistOp{child: top, desc: true}, estOf(top), "")
+	} else if q.Order == OrderAsc {
+		top = tr(ctx, &orderByDistOp{child: top}, estOf(top), "")
+	}
+	top = tr(ctx, &projectOp{ctx: ctx, q: q, child: top}, estOf(top), "")
+	if q.Limit > 0 {
+		top = tr(ctx, &limitOp{child: top, n: q.Limit}, estLimitRows(q.Limit, estOf(top)), "")
+	}
+	cp.root = top
+	return cp, nil
+}

@@ -7,6 +7,8 @@
 //	SELECT * FROM words WHERE seq SIMILAR TO "colour" WITHIN 2 USING edits
 //	SELECT * FROM words WHERE seq SIMILAR TO PATTERN "a(b|c)*d" WITHIN 1 USING edits
 //	SELECT * FROM stocks a, stocks b WHERE a.seq SIMILAR TO b.seq WITHIN 3 USING edits
+//	SELECT * FROM stocks a, stocks b ON dist(a.seq, b.seq) <= 3 USING edits
+//	SELECT * FROM docs a, docs b ON dist(a.vec, b.vec) <= 0.5 USING l2
 //	SELECT * FROM words WHERE seq NEAREST 5 TO "color" USING edits
 //	SELECT * FROM s a, s b, s c WHERE a.seq SIMILAR TO b.seq WITHIN 1 USING edits
 //	       AND b.seq SIMILAR TO c.seq WITHIN 1 USING edits ORDER BY dist LIMIT 10
@@ -63,6 +65,7 @@ const (
 	tokEq
 	tokNeq
 	tokSemi
+	tokLe         // '<=' distance-join comparison
 	tokQMark      // '?'  positional parameter
 	tokNamedParam // ':name' named parameter (text holds the name)
 	tokLBracket   // '[' opens a vector literal
@@ -93,6 +96,8 @@ func (k tokenKind) String() string {
 		return "'='"
 	case tokNeq:
 		return "'!='"
+	case tokLe:
+		return "'<='"
 	case tokSemi:
 		return "';'"
 	case tokQMark:
@@ -157,6 +162,13 @@ func lex(src string) ([]token, error) {
 				i += 2
 			} else {
 				return nil, fmt.Errorf("query: stray '!' at %d", i)
+			}
+		case c == '<':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tokLe, "<=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("query: stray '<' at %d (only '<=' is part of the grammar)", i)
 			}
 		case c == '?':
 			toks = append(toks, token{tokQMark, "?", i})

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/index"
+	"repro/internal/metric"
 	"repro/internal/relation"
 )
 
@@ -90,6 +91,75 @@ func (o *scanOp) Describe() string {
 }
 
 func (o *scanOp) Children() []Operator { return nil }
+
+// multiScanOp streams the visible tuples of several snapshots (the
+// shard snapshots of a broadcast join inner) merged by ascending
+// global tuple id. Ids are global and each shard's arena is already
+// ascending in id, so the merge reproduces exactly the order a
+// single-snapshot scan of the unsharded twin yields — which is what
+// keeps sharded join output byte-identical to the plain plan's.
+type multiScanOp struct {
+	ctx   *execCtx
+	snaps []*relation.Snapshot
+	alias string
+
+	cursors []*relation.Cursor
+	heads   []relation.Tuple
+	ok      []bool
+	free    *binding // last recycled binding, reused by the next Next
+	local   ExecStats
+	last    ExecStats // retained across Close for span attribution
+}
+
+func (o *multiScanOp) Open() error {
+	o.cursors = make([]*relation.Cursor, len(o.snaps))
+	o.heads = make([]relation.Tuple, len(o.snaps))
+	o.ok = make([]bool, len(o.snaps))
+	for i, s := range o.snaps {
+		o.cursors[i] = s.Shard(0, 1)
+		o.heads[i], o.ok[i] = o.cursors[i].Next()
+	}
+	o.free = nil
+	return nil
+}
+
+func (o *multiScanOp) Next() (*binding, error) {
+	best := -1
+	for i := range o.heads {
+		if o.ok[i] && (best < 0 || o.heads[i].ID < o.heads[best].ID) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, nil
+	}
+	t := o.heads[best]
+	o.heads[best], o.ok[best] = o.cursors[best].Next()
+	o.local.Candidates++
+	if b := o.free; b != nil {
+		o.free = nil
+		*b = binding{alias: o.alias, tuple: t}
+		return b, nil
+	}
+	return newBinding(o.alias, t), nil
+}
+
+func (o *multiScanOp) recycle(b *binding) { o.free = b }
+
+func (o *multiScanOp) Close() error {
+	o.last.add(o.local)
+	o.ctx.addStats(o.local)
+	o.local = ExecStats{}
+	return nil
+}
+
+func (o *multiScanOp) opStats() ExecStats { return o.last }
+
+func (o *multiScanOp) Describe() string {
+	return fmt.Sprintf("Scan(%s, %d shards merged)", o.alias, len(o.snaps))
+}
+
+func (o *multiScanOp) Children() []Operator { return nil }
 
 // --------------------------------------------------------- index range
 
@@ -447,9 +517,10 @@ func (o *orderByDistOp) Children() []Operator { return []Operator{o.child} }
 // --------------------------------------------------- nested-loop join
 
 // nestedLoopJoinOp evaluates a similarity join by re-opening its inner
-// child per outer binding and verifying the join predicate pairwise.
-// It works for any rule set because the distance direction follows the
-// predicate (field -> target), not the join order.
+// child per outer binding and verifying the join predicate pairwise
+// through evalSim. It works for any rule set or metric because the
+// distance direction follows the predicate (field -> target), not the
+// join order.
 type nestedLoopJoinOp struct {
 	ctx   *execCtx
 	outer Operator
@@ -494,15 +565,7 @@ func (o *nestedLoopJoinOp) Next() (*binding, error) {
 		b := mergeBindings(o.cur, ib)
 		o.local.Candidates++
 		o.local.Verifications++
-		x, err := fieldValue(o.sim.Field, b)
-		if err != nil {
-			return nil, err
-		}
-		y, err := operandValue(o.sim.Target, b)
-		if err != nil {
-			return nil, err
-		}
-		d, ok, err := o.ctx.eng.within(x, y, o.sim.RuleSet, o.sim.Radius)
+		d, ok, err := o.ctx.eng.evalSim(o.sim, b)
 		if err != nil {
 			return nil, err
 		}
@@ -536,26 +599,75 @@ func (o *nestedLoopJoinOp) Children() []Operator { return []Operator{o.outer, o.
 // --------------------------------------------------------- index join
 
 // indexJoinOp probes each outer binding's join value into the inner
-// relation's BK-tree. Only offered for unit-cost rule sets (the tree
-// requires a metric) with integral radius.
+// relation's metric index — the BK-tree for unit-cost edit edges with
+// integral radius, the VP-tree for vector edges under a triangular
+// metric. The inner side is a list of snapshots: one for a plain
+// relation, one per shard when a sharded inner is broadcast; per probe
+// the per-snapshot match lists concatenate and sort by global tuple
+// id, so the emission order is identical to the unsharded plan's.
 type indexJoinOp struct {
 	ctx        *execCtx
 	outer      Operator
-	snap       *relation.Snapshot // inner, indexed side
-	alias      string             // inner alias
-	probeField FieldRef           // outer-side join field
+	snaps      []*relation.Snapshot // inner, indexed side (broadcast when > 1)
+	alias      string               // inner alias
+	probeField FieldRef             // outer-side join field
 	sim        *SimExpr
+	vec        bool
+	m          metric.Distance // vec edges: the resolved metric
 
 	cur     *binding
-	matches []index.Match
+	matches []joinIndexMatch
 	pos     int
 	local   ExecStats
 	last    ExecStats // retained across Close for span attribution
 }
 
+// joinIndexMatch tags an index match with the snapshot that produced
+// it, so visibility resolves against the right shard.
+type joinIndexMatch struct {
+	snap int
+	m    index.Match
+}
+
 func (o *indexJoinOp) Open() error {
 	o.cur, o.matches, o.pos = nil, nil, 0
 	return o.outer.Open()
+}
+
+// probe runs the outer binding's join value through every inner
+// snapshot's index and leaves the id-sorted matches in o.matches.
+func (o *indexJoinOp) probe(b *binding) error {
+	o.matches, o.pos = o.matches[:0], 0
+	if o.vec {
+		t, err := vecTupleFor(o.probeField, b)
+		if err != nil {
+			return err
+		}
+		if t.Vec == nil {
+			return nil // rows without a vector never match
+		}
+		for si, snap := range o.snaps {
+			m, st := snap.VPTree(o.m).RangeStats(t.Vec, o.sim.Radius)
+			for _, mm := range m {
+				o.matches = append(o.matches, joinIndexMatch{snap: si, m: mm})
+			}
+			o.local.add(fromIndexStats(st))
+		}
+	} else {
+		probe, err := fieldValue(o.probeField, b)
+		if err != nil {
+			return err
+		}
+		for si, snap := range o.snaps {
+			m, st := snap.BKTree().RangeStats(probe, int(o.sim.Radius))
+			for _, mm := range m {
+				o.matches = append(o.matches, joinIndexMatch{snap: si, m: mm})
+			}
+			o.local.add(fromIndexStats(st))
+		}
+	}
+	sort.Slice(o.matches, func(i, j int) bool { return o.matches[i].m.ID < o.matches[j].m.ID })
+	return nil
 }
 
 func (o *indexJoinOp) Next() (*binding, error) {
@@ -566,14 +678,9 @@ func (o *indexJoinOp) Next() (*binding, error) {
 				return nil, err
 			}
 			o.cur = b
-			probe, err := fieldValue(o.probeField, b)
-			if err != nil {
+			if err := o.probe(b); err != nil {
 				return nil, err
 			}
-			m, st := o.snap.BKTree().RangeStats(probe, int(o.sim.Radius))
-			sort.Slice(m, func(i, j int) bool { return m[i].ID < m[j].ID })
-			o.matches, o.pos = m, 0
-			o.local.add(fromIndexStats(st))
 		}
 		if o.pos >= len(o.matches) {
 			o.cur = nil
@@ -581,13 +688,13 @@ func (o *indexJoinOp) Next() (*binding, error) {
 		}
 		m := o.matches[o.pos]
 		o.pos++
-		t, ok := o.snap.Tuple(m.ID)
+		t, ok := o.snaps[m.snap].Tuple(m.m.ID)
 		if !ok {
 			continue // invisible at this snapshot (tombstone or later insert)
 		}
 		b := mergeBindings(o.cur, newBinding(o.alias, t))
 		if !b.hasDist {
-			b.dist, b.hasDist = m.Dist, true
+			b.dist, b.hasDist = m.m.Dist, true
 		}
 		return b, nil
 	}
@@ -603,7 +710,15 @@ func (o *indexJoinOp) Close() error {
 func (o *indexJoinOp) opStats() ExecStats { return o.last }
 
 func (o *indexJoinOp) Describe() string {
-	return fmt.Sprintf("IndexJoin(probe %s into bktree(%s), on %s)", o.probeField, o.alias, o.sim)
+	idx := "bktree"
+	if o.vec {
+		idx = "vptree"
+	}
+	if len(o.snaps) > 1 {
+		return fmt.Sprintf("IndexJoin(probe %s into %s(%s) x%d shards, on %s)",
+			o.probeField, idx, o.alias, len(o.snaps), o.sim)
+	}
+	return fmt.Sprintf("IndexJoin(probe %s into %s(%s), on %s)", o.probeField, idx, o.alias, o.sim)
 }
 
 func (o *indexJoinOp) Children() []Operator { return []Operator{o.outer} }

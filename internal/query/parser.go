@@ -176,12 +176,31 @@ func (p *qparser) parseQuery() (*Query, error) {
 		}
 		p.next()
 	}
+	// ON introduces join conditions (typically dist(a.x, b.y) <= k
+	// forms); it is sugar for ANDing the condition into WHERE, so the
+	// planner sees one predicate space regardless of where the user
+	// spelled the join.
+	var onExpr Expr
+	if p.keyword("on") {
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		onExpr = e
+	}
 	if p.keyword("where") {
 		e, err := p.parseOr()
 		if err != nil {
 			return nil, err
 		}
 		q.Where = e
+	}
+	if onExpr != nil {
+		if q.Where != nil {
+			q.Where = AndExpr{L: onExpr, R: q.Where}
+		} else {
+			q.Where = onExpr
+		}
 	}
 	if p.keyword("order") {
 		if err := p.expectKeyword("by"); err != nil {
@@ -220,7 +239,7 @@ var keywords = map[string]bool{
 	"select": true, "from": true, "where": true, "and": true, "or": true,
 	"not": true, "similar": true, "to": true, "within": true, "using": true,
 	"pattern": true, "nearest": true, "limit": true, "explain": true, "analyze": true,
-	"order": true, "by": true, "asc": true, "desc": true,
+	"order": true, "by": true, "asc": true, "desc": true, "on": true,
 	"insert": true, "into": true, "values": true,
 	"delete": true, "update": true, "set": true,
 }
@@ -514,6 +533,14 @@ func (p *qparser) parseUnary() (Expr, error) {
 }
 
 func (p *qparser) parsePredicate() (Expr, error) {
+	// dist(x, y) <= k USING name — the distance-predicate form. It
+	// desugars to the same SimExpr as `x SIMILAR TO y WITHIN k USING
+	// name`, so the two spellings share planning, caching and execution.
+	// "dist" is not reserved: only the immediate '(' selects this form,
+	// so `ORDER BY dist` and a bare dist column keep working.
+	if t := p.cur(); t.kind == tokIdent && strings.EqualFold(t.text, "dist") && p.toks[p.pos+1].kind == tokLParen {
+		return p.parseDistPredicate()
+	}
 	left, err := p.parseOperand()
 	if err != nil {
 		return nil, err
@@ -598,6 +625,60 @@ func (p *qparser) parsePredicate() (Expr, error) {
 	default:
 		return nil, p.errf("expected predicate operator, got %q", p.cur().text)
 	}
+}
+
+// parseDistPredicate parses `dist(x, y) <= k USING name` with the
+// leading "dist" identifier still current. x must be a field reference;
+// y may be a field (a distance join), a string or vector literal, or a
+// bind parameter.
+func (p *qparser) parseDistPredicate() (Expr, error) {
+	p.next() // "dist"
+	p.next() // '('
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	if left.IsLit || left.IsVec || left.Param != nil {
+		return nil, p.errf("dist() requires a field as its first argument")
+	}
+	sim := SimExpr{Field: left.Field}
+	if p.cur().kind != tokComma {
+		return nil, p.errf("expected ',' between dist() arguments")
+	}
+	p.next()
+	target, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	sim.Target = target
+	if p.cur().kind != tokRParen {
+		return nil, p.errf("missing ')' after dist() arguments")
+	}
+	p.next()
+	if p.cur().kind != tokLe {
+		return nil, p.errf("dist() must be compared with '<='")
+	}
+	p.next()
+	if p.atParam() {
+		sim.RadiusParam = p.takeParam()
+	} else {
+		if p.cur().kind != tokNumber {
+			return nil, p.errf("dist() <= requires a number")
+		}
+		radius, err := strconv.ParseFloat(p.next().text, 64)
+		if err != nil || radius < 0 {
+			return nil, p.errf("bad radius")
+		}
+		sim.Radius = radius
+	}
+	if err := p.expectKeyword("using"); err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokIdent {
+		return nil, p.errf("USING requires a rule-set or metric name")
+	}
+	sim.RuleSet = p.next().text
+	return sim, nil
 }
 
 func (p *qparser) parseOperand() (Operand, error) {

@@ -59,6 +59,79 @@ func TestParseJoin(t *testing.T) {
 	}
 }
 
+// TestParseOnDistJoin pins the v1 join grammar: `FROM a, b ON
+// dist(a.x, b.y) <= k USING m` desugars to the same SimExpr as the
+// SIMILAR TO spelling, ANDed in front of any WHERE clause.
+func TestParseOnDistJoin(t *testing.T) {
+	q, err := Parse(`SELECT a.seq, b.seq FROM words a, words b ON dist(a.seq, b.seq) <= 2 USING edits WHERE a.tag = "1"`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	and, ok := q.Where.(AndExpr)
+	if !ok {
+		t.Fatalf("Where = %T, want AndExpr(ON, WHERE)", q.Where)
+	}
+	sim, ok := and.L.(SimExpr)
+	if !ok {
+		t.Fatalf("ON condition = %T, want SimExpr", and.L)
+	}
+	if sim.Field.Table != "a" || sim.Field.Name != "seq" ||
+		sim.Target.Field.Table != "b" || sim.Target.Field.Name != "seq" ||
+		sim.Radius != 2 || sim.RuleSet != "edits" {
+		t.Errorf("sim = %+v", sim)
+	}
+	if cmp, ok := and.R.(CmpExpr); !ok || cmp.L.Field.Name != "tag" {
+		t.Errorf("WHERE residual = %+v", and.R)
+	}
+
+	// Without a WHERE clause the ON condition is the whole predicate,
+	// and the two spellings parse to the same query.
+	onQ, err := Parse(`SELECT a.seq FROM s a, s b ON dist(a.seq, b.seq) <= 1.5 USING edits`)
+	if err != nil {
+		t.Fatalf("Parse ON-only: %v", err)
+	}
+	simQ, err := Parse(`SELECT a.seq FROM s a, s b WHERE a.seq SIMILAR TO b.seq WITHIN 1.5 USING edits`)
+	if err != nil {
+		t.Fatalf("Parse SIMILAR TO: %v", err)
+	}
+	if onQ.String() != simQ.String() {
+		t.Errorf("spellings diverge:\n  %s\n  %s", onQ, simQ)
+	}
+
+	// dist() also accepts literal targets and bind parameters.
+	q, err = Parse(`SELECT * FROM words WHERE dist(seq, "colour") <= 2 USING edits`)
+	if err != nil {
+		t.Fatalf("Parse literal dist: %v", err)
+	}
+	sim = q.Where.(SimExpr)
+	if !sim.Target.IsLit || sim.Target.Lit != "colour" || sim.Radius != 2 {
+		t.Errorf("literal sim = %+v", sim)
+	}
+	q, err = Parse(`SELECT * FROM items a, items b ON dist(a.vec, b.vec) <= ? USING l2`)
+	if err != nil {
+		t.Fatalf("Parse param radius: %v", err)
+	}
+	sim = q.Where.(SimExpr)
+	if sim.RadiusParam == nil || sim.RuleSet != "l2" {
+		t.Errorf("param sim = %+v", sim)
+	}
+}
+
+func TestParseOnDistErrors(t *testing.T) {
+	for _, src := range []string{
+		`SELECT * FROM a, b ON dist(a.seq) <= 1 USING e`,
+		`SELECT * FROM a, b ON dist("x", b.seq) <= 1 USING e`,
+		`SELECT * FROM a, b ON dist(a.seq, b.seq) = 1 USING e`,
+		`SELECT * FROM a, b ON dist(a.seq, b.seq) <= 1`,
+		`SELECT * FROM a, b ON dist(a.seq, b.seq <= 1 USING e`,
+		`SELECT * FROM a, b ON dist(a.seq, b.seq) <= "x" USING e`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
 func TestParseNearest(t *testing.T) {
 	q, err := Parse(`SELECT * FROM words WHERE seq NEAREST 5 TO "color" USING edits LIMIT 3`)
 	if err != nil {
@@ -188,6 +261,7 @@ func TestQueryStringRoundTrip(t *testing.T) {
 		`EXPLAIN SELECT * FROM r WHERE seq SIMILAR TO PATTERN "a(b|c)*" WITHIN 1 USING e`,
 		`SELECT * FROM words WHERE seq SIMILAR TO "color" WITHIN 2 USING edits ORDER BY dist DESC LIMIT 4`,
 		`SELECT * FROM s a, s b, s c WHERE a.seq SIMILAR TO b.seq WITHIN 1 USING e AND b.seq SIMILAR TO c.seq WITHIN 1 USING e`,
+		`SELECT a.seq, b.seq FROM s a, s b ON dist(a.seq, b.seq) <= 2 USING edits WHERE a.tag = "1"`,
 	} {
 		q1, err := Parse(src)
 		if err != nil {

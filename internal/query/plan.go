@@ -58,6 +58,7 @@ type planDecision struct {
 	parallel  bool         // shard the scan-rooted pipeline
 	workers   int          // worker count when parallel (or gather fan-out)
 	shards    int          // > 0: scatter-gather plan over a ShardedRelation
+	shardJoin bool         // accessJoin over >= 1 sharded relation (broadcast inner)
 	vectorize bool         // build the batch-at-a-time pipeline
 	kernel    string       // distance kernel serving the primary edit conjunct
 	// ("myers", "targetdp", "scalar", or "" when none)
@@ -65,11 +66,14 @@ type planDecision struct {
 
 // stepChoice is one edge of the decided join order. The edge is named
 // by its position in extractJoinSims' deterministic output so build can
-// recover the SimExpr from the (re-extracted) predicate.
+// recover the SimExpr from the (re-extracted) predicate. algo selects
+// the physical join operator ("nl", "index", "partition"); vec marks a
+// vector-metric edge (USING names a metric, the index is a VP-tree).
 type stepChoice struct {
 	alias      string
 	edge       int
-	index      bool
+	algo       string
+	vec        bool
 	probeField FieldRef
 }
 
@@ -140,7 +144,9 @@ func (e *Engine) decideWith(q *Query, batchSize int) (*planDecision, error) {
 	} else if len(q.From) == 1 {
 		d, err = e.decideSingle(q, rels[0])
 	} else {
-		d, err = e.decideJoin(q, rels)
+		// Join algorithm choice depends on the vectorize epoch: the
+		// partitioned batch join only exists in the batch pipeline.
+		d, err = e.decideJoin(q, rels, batchSize > 0)
 	}
 	if err != nil {
 		return nil, err
@@ -188,6 +194,21 @@ func (e *Engine) kernelFor(q *Query, d *planDecision) string {
 			return ""
 		}
 		return indexKernel
+	case accessJoin:
+		// Classify by the primary join edge: vec edges run the metric's
+		// block kernels, unit edit edges the query-scoped bit-parallel
+		// probe (partition verify and BK-tree traversal alike), weighted
+		// edges the budgeted DP (TargetDP in the partition fallback).
+		if sim := firstJoinSim(q.Where); sim != nil {
+			if isVecSim(sim) {
+				return "vec-" + sim.RuleSet
+			}
+			if c := e.calc(sim.RuleSet); c != nil && c.Unit() {
+				return indexKernel
+			}
+			return "targetdp"
+		}
+		return ""
 	}
 	return e.filterKernel(q.Where)
 }
@@ -338,24 +359,28 @@ func (e *Engine) decideSingle(q *Query, tab relation.Table) (*planDecision, erro
 }
 
 // decideJoin greedily orders a left-deep join chain over N relations by
-// estimated cost; similarity edges come from top-level SIMILAR TO
-// conjuncts between two aliases.
-func (e *Engine) decideJoin(q *Query, rels []relation.Table) (*planDecision, error) {
+// estimated cost; similarity edges come from top-level similarity
+// conjuncts between two aliases (SIMILAR TO or ON dist(...) <= k). Per
+// edge the cheapest physical join is chosen: index-nested-loop (probe
+// the inner BK-tree or VP-tree), partitioned batch (length/norm-band
+// the inner side; batch pipeline only), or plain nested loop. A join
+// touching sharded relations becomes a scatter-gather plan: one chain
+// per outer shard with the inner sides broadcast, merged by outer id
+// under GatherMerge (see buildShardedJoin).
+func (e *Engine) decideJoin(q *Query, rels []relation.Table, vectorize bool) (*planDecision, error) {
 	relOf := map[string]relation.Table{}
 	pos := map[string]int{}
+	shardJoin := false
 	for i, ref := range q.From {
 		if _, ok := rels[i].(*relation.ShardedRelation); ok {
-			// Sharded joins need either a shard-aligned co-partitioning or
-			// a broadcast of the inner side; neither is built yet. Fail
-			// loudly rather than silently merging shards.
-			return nil, fmt.Errorf("query: relation %q is sharded; joins over sharded relations are not supported yet", q.From[i].Name)
+			shardJoin = true
 		}
 		relOf[ref.Alias] = rels[i]
 		pos[ref.Alias] = i
 	}
 	edges, _ := extractJoinSims(q.Where, relOf)
 	if len(edges) == 0 {
-		return nil, fmt.Errorf("query: joins require a SIMILAR TO predicate between the relations")
+		return nil, fmt.Errorf("query: joins require a similarity predicate between the relations")
 	}
 
 	// Start from the smallest relation (ties: FROM order).
@@ -389,37 +414,103 @@ func (e *Engine) decideJoin(q *Query, rels []relation.Table) (*planDecision, err
 			default:
 				continue // cycle edge or not yet reachable
 			}
-			rs, err := e.ruleset(edge.RuleSet)
+			algo, cost, err := e.chooseJoinAlgo(edge, innerField, curRows, relOf[newAlias].Stats(), vectorize)
 			if err != nil {
 				return nil, err
-			}
-			innerStats := relOf[newAlias].Stats()
-			// The BK-tree indexes seq, so index joins additionally need
-			// the inner join field to be seq.
-			indexable := unitCost(rs) && edge.Radius == float64(int(edge.Radius)) && innerField == "seq"
-			cost := nestedLoopJoinCost(curRows, innerStats, edge.Radius)
-			if indexable {
-				cost = indexJoinCost(curRows, innerStats, edge.Radius)
 			}
 			better := bestIdx < 0 || cost < bestCost ||
 				cost == bestCost && pos[newAlias] < pos[best.alias]
 			if better {
 				bestIdx, bestCost = i, cost
-				best = stepChoice{alias: newAlias, edge: i, index: indexable, probeField: probe}
+				best = stepChoice{alias: newAlias, edge: i, algo: algo.algo, vec: algo.vec, probeField: probe}
 			}
 		}
 		if bestIdx < 0 {
-			return nil, fmt.Errorf("query: relations are not connected by SIMILAR TO predicates")
+			return nil, fmt.Errorf("query: relations are not connected by similarity predicates")
 		}
 		used[bestIdx] = true
 		bound[best.alias] = true
-		curRows = joinOutRows(curRows, relOf[best.alias].Stats(), edges[best.edge].Radius)
+		curRows = joinOutRowsFor(edges[best.edge], curRows, relOf[best.alias].Stats())
 		steps = append(steps, best)
 	}
 
-	d := &planDecision{kind: accessJoin, start: start, steps: steps}
+	d := &planDecision{kind: accessJoin, start: start, steps: steps, shardJoin: shardJoin}
+	if shardJoin {
+		// One chain per outer shard (the whole chain runs under the
+		// gather, so per-chain Parallel buys nothing on top).
+		d.shards = 1
+		if sh, ok := relOf[start].(*relation.ShardedRelation); ok {
+			d.shards = sh.NumShards()
+		}
+		d.workers = e.gatherWorkers(d.shards)
+		return d, nil
+	}
 	d.parallel, d.workers = e.decideParallel(q, relOf[start].Stats().Count, true)
 	return d, nil
+}
+
+// joinAlgo is chooseJoinAlgo's verdict for one edge.
+type joinAlgo struct {
+	algo string // "nl" | "index" | "partition"
+	vec  bool
+}
+
+// chooseJoinAlgo picks the physical join operator for one similarity
+// edge. Index joins keep their historical precedence (an indexable edge
+// always probes the index rather than scanning); the partitioned batch
+// join — only available when the pipeline vectorizes — competes on
+// cost. String partitioning requires a unit-cost rule set (the length
+// band |len(x)-len(y)| <= d needs every edit to cost at least one);
+// vector partitioning bands by distance-to-origin under a triangular
+// metric and degrades to a single partition (block kernel only) for
+// non-triangular metrics like cosine.
+func (e *Engine) chooseJoinAlgo(edge *SimExpr, innerField string, outerRows float64, inner relation.Stats, vectorize bool) (joinAlgo, float64, error) {
+	if isVecSim(edge) {
+		m, ok := metric.Lookup(edge.RuleSet)
+		if !ok {
+			return joinAlgo{}, 0, fmt.Errorf("query: unknown metric %q", edge.RuleSet)
+		}
+		triangular := metric.IsTriangular(m)
+		algo, cost := "nl", vecNestedLoopJoinCost(outerRows, inner)
+		// The VP-tree indexes the vec column, so vector index joins need
+		// the inner join field to be vec (it always is — validateVecSim
+		// pins both sides to vec) and a triangular metric.
+		if triangular && innerField == "vec" {
+			algo, cost = "index", vecIndexJoinCost(outerRows, inner, edge.Radius)
+		}
+		if vectorize {
+			if pc := vecPartitionJoinCost(outerRows, inner, edge.Radius, triangular); pc < cost {
+				algo, cost = "partition", pc
+			}
+		}
+		return joinAlgo{algo: algo, vec: true}, cost, nil
+	}
+	rs, err := e.ruleset(edge.RuleSet)
+	if err != nil {
+		return joinAlgo{}, 0, err
+	}
+	unit := unitCost(rs)
+	algo, cost := "nl", nestedLoopJoinCost(outerRows, inner, edge.Radius)
+	// The BK-tree indexes seq, so index joins additionally need the
+	// inner join field to be seq (and an integral radius).
+	if unit && edge.Radius == float64(int(edge.Radius)) && innerField == "seq" {
+		algo, cost = "index", indexJoinCost(outerRows, inner, edge.Radius)
+	}
+	if vectorize && unit && e.calc(edge.RuleSet) != nil {
+		if pc := partitionJoinCost(outerRows, inner, edge.Radius); pc < cost {
+			algo, cost = "partition", pc
+		}
+	}
+	return joinAlgo{algo: algo}, cost, nil
+}
+
+// joinOutRowsFor dispatches the join cardinality estimate on the edge's
+// domain (string selectivity vs the vector visited-fraction proxy).
+func joinOutRowsFor(edge *SimExpr, outerRows float64, inner relation.Stats) float64 {
+	if isVecSim(edge) {
+		return vecJoinOutRows(outerRows, inner, edge.Radius)
+	}
+	return joinOutRows(outerRows, inner, edge.Radius)
 }
 
 // decideParallel reports whether a scan-rooted pipeline should shard
@@ -455,6 +546,9 @@ func (e *Engine) buildPlan(q *Query, d *planDecision) (*compiledPlan, error) {
 	tabs, err := e.resolveFrom(q)
 	if err != nil {
 		return nil, err
+	}
+	if d.kind == accessJoin && d.shardJoin {
+		return e.buildShardedJoin(q, d, tabs)
 	}
 	if d.shards > 0 {
 		return e.buildShardedPlan(q, d, tabs[0])
@@ -494,9 +588,23 @@ func (e *Engine) buildPlan(q *Query, d *planDecision) (*compiledPlan, error) {
 			}
 		}
 	case accessJoin:
+		relOfJ := map[string]relation.Table{}
+		for i, ref := range q.From {
+			relOfJ[ref.Alias] = rels[i]
+		}
+		edges, _ := extractJoinSims(q.Where, relOfJ)
 		for i, ref := range q.From {
 			for _, step := range d.steps {
-				if step.index && step.alias == ref.Alias {
+				if step.algo != "index" || step.alias != ref.Alias {
+					continue
+				}
+				if step.vec {
+					if step.edge >= 0 && step.edge < len(edges) {
+						if m, ok := metric.Lookup(edges[step.edge].RuleSet); ok {
+							rels[i].VPTree(m)
+						}
+					}
+				} else {
 					rels[i].BKTree()
 				}
 			}
@@ -635,9 +743,17 @@ func (e *Engine) buildJoin(ctx *execCtx, q *Query, rels []*relation.Relation, sn
 	startStats := relPlain[d.start].Stats()
 	stepSnaps := make([]*relation.Snapshot, len(steps))
 	stepStats := make([]relation.Stats, len(steps))
+	stepMetrics := make([]metric.Distance, len(steps))
 	for i, step := range steps {
 		stepSnaps[i] = snapOf(relPlain[step.alias])
 		stepStats[i] = relPlain[step.alias].Stats()
+		if step.vec {
+			m, ok := metric.Lookup(edges[step.edge].RuleSet)
+			if !ok {
+				return nil, fmt.Errorf("query: unknown metric %q", edges[step.edge].RuleSet)
+			}
+			stepMetrics[i] = m
+		}
 	}
 	// In a vectorized plan the join chain itself stays row-at-a-time,
 	// but the START scan — opened once per query — reads through a
@@ -661,20 +777,27 @@ func (e *Engine) buildJoin(ctx *execCtx, q *Query, rels []*relation.Relation, sn
 	build := func(shard, shards int) Operator {
 		op := startScan(shard, shards)
 		// The chain estimate follows the decided join order with the same
-		// joinOutRows formula decideJoin costed with, scaled to one shard.
+		// joinOutRowsFor formula decideJoin costed with, scaled to one
+		// shard.
 		cur := float64(startStats.Count) / float64(shards)
 		for i, step := range steps {
-			cur = joinOutRows(cur, stepStats[i], edges[step.edge].Radius)
-			if step.index {
+			outerEst := cur
+			cur = joinOutRowsFor(edges[step.edge], cur, stepStats[i])
+			if step.algo == "index" {
 				op = tr(ctx, &indexJoinOp{
-					ctx: ctx, outer: op, snap: stepSnaps[i], alias: step.alias,
-					probeField: step.probeField, sim: edges[step.edge],
+					ctx: ctx, outer: op, snaps: []*relation.Snapshot{stepSnaps[i]}, alias: step.alias,
+					probeField: step.probeField, sim: edges[step.edge], vec: step.vec, m: stepMetrics[i],
 				}, cur, d.kernel)
 			} else {
+				// "nl" — and, defensively, a "partition" step reaching the
+				// row build (partition is a batch-only operator). The inner
+				// scan is span-wrapped so ANALYZE attributes its candidates
+				// and re-open wall time; across re-opens the wrapper
+				// accumulates, so the estimate is outer rows x inner rows.
+				inner := tr(ctx, newScanOp(ctx, stepSnaps[i], step.alias),
+					outerEst*float64(stepStats[i].Count), "")
 				op = tr(ctx, &nestedLoopJoinOp{
-					ctx: ctx, outer: op,
-					inner: newScanOp(ctx, stepSnaps[i], step.alias),
-					sim:   edges[step.edge],
+					ctx: ctx, outer: op, inner: inner, sim: edges[step.edge],
 				}, cur, d.kernel)
 			}
 		}
@@ -751,8 +874,9 @@ func (e *Engine) validateExpr(ex Expr) error {
 }
 
 // validateVecSim checks the shape of a vector similarity conjunct: the
-// field must be the vec column, the target a vector literal, PATTERN
-// does not apply, and USING must name a registered metric.
+// field must be the vec column, the target a vector literal or — for a
+// distance join — another alias's vec column, PATTERN does not apply,
+// and USING must name a registered metric.
 func validateVecSim(ex *SimExpr) error {
 	if ex.Pattern {
 		return fmt.Errorf("query: PATTERN does not apply to the vec column")
@@ -763,7 +887,12 @@ func validateVecSim(ex *SimExpr) error {
 	// An unbound parameter target is validated again after binding, when
 	// the string argument has been parsed into a vector literal.
 	if !ex.Target.IsVec && ex.Target.Param == nil {
-		return fmt.Errorf("query: vec SIMILAR TO requires a vector literal target (joins on vec are not supported)")
+		if !ex.Target.IsLit && ex.Target.Field.Name == "vec" &&
+			ex.Target.Field.Table != "" && ex.Target.Field.Table != ex.Field.Table {
+			// A vec-vec join edge: dist(a.vec, b.vec) <= r USING metric.
+			return validateMetricName(ex.RuleSet)
+		}
+		return fmt.Errorf("query: vec similarity requires a vector literal or a vec field target")
 	}
 	return validateMetricName(ex.RuleSet)
 }
@@ -887,6 +1016,27 @@ func vecRangeMetric(ex Expr) metric.Distance {
 		return nil
 	}
 	return m
+}
+
+// firstJoinSim returns the query's primary join conjunct — the first
+// cross-alias SimExpr in conjunct order — for advisory classification
+// (kernelFor). extractJoinSims is the authoritative edge extractor; it
+// additionally checks both aliases resolve to known relations.
+func firstJoinSim(ex Expr) *SimExpr {
+	switch ex := ex.(type) {
+	case SimExpr:
+		if !ex.Target.IsLit && !ex.Target.IsVec && !ex.Pattern &&
+			ex.Field.Table != "" && ex.Target.Field.Table != "" &&
+			ex.Field.Table != ex.Target.Field.Table {
+			return &ex
+		}
+	case AndExpr:
+		if s := firstJoinSim(ex.L); s != nil {
+			return s
+		}
+		return firstJoinSim(ex.R)
+	}
+	return nil
 }
 
 // extractJoinSims collects every top-level SimExpr conjunct whose field

@@ -395,13 +395,16 @@ func bindingID(b *binding, alias string) int {
 
 // mergeByID merges shard outputs into ascending global id order. Scan
 // streams arrive already sorted; index-range streams arrive in index
-// traversal order, so each buffer is sorted first (ids are unique —
-// no tie to break).
+// traversal order, so each buffer is sorted first. The sort must be
+// stable: join subplans emit the same outer id once per inner match
+// (already grouped in ascending-inner order), and a stable sort keeps
+// each group's inner order intact. Across buffers ids never tie — the
+// merge key is the OUTER id and outer rows partition across shards.
 func mergeByID(bufs [][]*binding, alias string) []*binding {
 	total := 0
 	for _, buf := range bufs {
 		total += len(buf)
-		sort.Slice(buf, func(i, j int) bool { return bindingID(buf[i], alias) < bindingID(buf[j], alias) })
+		sort.SliceStable(buf, func(i, j int) bool { return bindingID(buf[i], alias) < bindingID(buf[j], alias) })
 	}
 	out := make([]*binding, 0, total)
 	pos := make([]int, len(bufs))

@@ -3,7 +3,7 @@ package query
 // Planner and plan-cache behaviour over sharded relations: EXPLAIN
 // shapes, the shard-count/StatsVersion cache-invalidation regression
 // pins, prepared-query re-decision, per-shard LIMIT pushdown and the
-// sharded-join rejection.
+// sharded broadcast join.
 
 import (
 	"fmt"
@@ -71,14 +71,46 @@ func TestShardedExplainShapes(t *testing.T) {
 	}
 }
 
-// TestShardedJoinRejected: joins over sharded relations fail loudly at
-// plan time rather than producing silently wrong merges.
-func TestShardedJoinRejected(t *testing.T) {
+// TestShardedJoinBroadcast: joins over sharded relations execute as
+// one chain per outer shard against a broadcast inner side, merged
+// under GatherMerge (the full parity oracle lives in
+// join_oracle_test.go).
+func TestShardedJoinBroadcast(t *testing.T) {
 	e := shardTestEngine(t, 2, 50)
-	e.Catalog().Add(relation.New("other"))
-	_, err := e.Execute(`SELECT a.seq, b.seq FROM words a, other b WHERE a.seq SIMILAR TO b.seq WITHIN 1 USING edits`)
-	if err == nil || !strings.Contains(err.Error(), "sharded") {
-		t.Fatalf("sharded join error = %v, want a sharded-join rejection", err)
+	other := relation.New("other")
+	other.Insert("aaab", map[string]string{"tag": "0"})
+	e.Catalog().Add(other)
+	res, err := e.Execute(`EXPLAIN SELECT a.seq, b.seq FROM words a, other b WHERE a.seq SIMILAR TO b.seq WITHIN 1 USING edits`)
+	if err != nil {
+		t.Fatalf("sharded join: %v", err)
+	}
+	// The 1-row plain relation wins the start slot, so the sharded side
+	// is the broadcast inner: all its shard snapshots probed per chain.
+	plan := res.Rows[0][0]
+	if !strings.Contains(plan, "GatherMerge(") || !strings.Contains(plan, "x2 shards") {
+		t.Fatalf("sharded join plan lacks gather + broadcast inner:\n%s", plan)
+	}
+	// A self-join over the sharded relation fans out one chain per
+	// outer shard.
+	res, err = e.Execute(`EXPLAIN SELECT a.seq, b.seq FROM words a, words b WHERE a.seq SIMILAR TO b.seq WITHIN 1 USING edits`)
+	if err != nil {
+		t.Fatalf("sharded self-join: %v", err)
+	}
+	plan = res.Rows[0][0]
+	if !strings.Contains(plan, "GatherMerge(shards=2") || !strings.Contains(plan, "x2 shards") {
+		t.Fatalf("sharded self-join plan lacks per-shard fan-out + broadcast inner:\n%s", plan)
+	}
+	got, err := e.Execute(`SELECT a.seq, b.seq FROM words a, other b WHERE a.seq SIMILAR TO b.seq WITHIN 1 USING edits`)
+	if err != nil {
+		t.Fatalf("sharded join: %v", err)
+	}
+	if len(got.Rows) == 0 {
+		t.Fatal(`sharded join found no matches, expected at least "aaaa" ~ "aaab"`)
+	}
+	for _, row := range got.Rows {
+		if row[1] != "aaab" {
+			t.Fatalf("inner side produced %q, want aaab", row[1])
+		}
 	}
 }
 

@@ -169,6 +169,11 @@ type (
 	// QueryCacheStats snapshots the engine's plan-cache counters
 	// (Engine.CacheStats).
 	QueryCacheStats = query.CacheStats
+	// EngineOption configures a QueryEngine at construction:
+	// NewQueryEngine(cat, WithBatchSize(0), WithTracing(true)). The
+	// Engine.Set* methods remain as thin runtime wrappers for knobs
+	// that change after construction.
+	EngineOption = query.Option
 )
 
 var (
@@ -178,10 +183,25 @@ var (
 	LoadRelation = relation.Load
 	// NewCatalog returns an empty catalog.
 	NewCatalog = relation.NewCatalog
-	// NewQueryEngine binds a catalog to a rule-set registry.
+	// NewQueryEngine binds a catalog to a rule-set registry,
+	// configured by EngineOptions.
 	NewQueryEngine = query.NewEngine
 	// ParseQuery parses one statement without executing it.
 	ParseQuery = query.Parse
+	// WithBatchSize sets the vectorized block size (<= 0 disables
+	// vectorization and every plan runs row-at-a-time).
+	WithBatchSize = query.WithBatchSize
+	// WithParallelism sets the worker count for parallel plans.
+	WithParallelism = query.WithParallelism
+	// WithParallelMinRows sets the outer-relation size from which the
+	// planner shards work across workers.
+	WithParallelMinRows = query.WithParallelMinRows
+	// WithPlanCacheSize sets the plan-cache capacity (<= 0 disables
+	// plan caching).
+	WithPlanCacheSize = query.WithPlanCacheSize
+	// WithTracing toggles engine-wide span collection (EXPLAIN ANALYZE
+	// span trees on every Result).
+	WithTracing = query.WithTracing
 )
 
 // Metric layer: pluggable continuous distances over float vectors.

@@ -94,6 +94,48 @@ func TestFacadeQueryLanguage(t *testing.T) {
 	}
 }
 
+// TestFacadeEngineOptions pins the functional-option construction
+// surface and runs a distance join through a facade-built engine in
+// both execution modes.
+func TestFacadeEngineOptions(t *testing.T) {
+	cat := NewCatalog()
+	words := NewRelation("words")
+	for _, w := range []string{"color", "colour", "colon", "dolor", "cool"} {
+		words.Insert(w, nil)
+	}
+	cat.Add(words)
+	opts := []EngineOption{WithBatchSize(0), WithParallelism(2), WithParallelMinRows(8), WithPlanCacheSize(4), WithTracing(true)}
+	eng := NewQueryEngine(cat, opts...)
+	if err := eng.RegisterRuleSet(MustRuleSet("edits", UnitEdits("abcdefghijklmnopqrstuvwxyz").Rules())); err != nil {
+		t.Fatal(err)
+	}
+	if eng.BatchSize() != 0 {
+		t.Errorf("WithBatchSize(0): BatchSize() = %d", eng.BatchSize())
+	}
+	join := `SELECT a.seq, b.seq FROM words a, words b ON dist(a.seq, b.seq) <= 1 USING edits WHERE a.id != b.id`
+	row, err := eng.Execute(join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(row.Rows) != 6 { // color↔{colour,colon,dolor}, both directions
+		t.Errorf("row-mode join rows = %v", row.Rows)
+	}
+	if row.Trace == nil {
+		t.Error("WithTracing(true): no span tree on the result")
+	}
+	batched := NewQueryEngine(cat, WithBatchSize(256))
+	if err := batched.RegisterRuleSet(MustRuleSet("edits", UnitEdits("abcdefghijklmnopqrstuvwxyz").Rules())); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := batched.Execute(join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Rows) != len(row.Rows) {
+		t.Errorf("batch-mode join rows = %v, row-mode = %v", batch.Rows, row.Rows)
+	}
+}
+
 func TestFacadeFrameworkCore(t *testing.T) {
 	dom, err := SequenceDomain(MustRuleSet("del", []Rule{Delete('a', 1), Delete('b', 1)}))
 	if err != nil {
